@@ -1,0 +1,51 @@
+//! Criterion form of the paper figures at smoke scale: statistical wall
+//! -time tracking of each figure's workload per tree. The authoritative
+//! figure regeneration (simulated-device metrics, paper-comparable
+//! series) is the `eirene-bench` binary; these benches exist to catch
+//! performance regressions of the reproduction itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eirene_bench::harness::{default_mix, measure, spec_for, TreeKind};
+use eirene_workloads::Mix;
+
+/// Fig. 7 workload (95/5 mix) per tree kind.
+fn bench_fig7_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_default_mix");
+    g.sample_size(10);
+    for kind in [TreeKind::Stm, TreeKind::Lock, TreeKind::EireneCombining, TreeKind::Eirene] {
+        let spec = spec_for(12, 1 << 12, default_mix(), 7);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &k| {
+            b.iter(|| measure(k, &spec, 1))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 13 workload (pure range queries) per tree kind.
+fn bench_fig13_ranges(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_range_queries");
+    g.sample_size(10);
+    for kind in [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene] {
+        let spec = spec_for(12, 1 << 11, Mix::range_only(4), 13);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &k| {
+            b.iter(|| measure(k, &spec, 1))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 1/9 profiling workload (instruction counting overhead).
+fn bench_profiling_metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_fig9_profiling");
+    g.sample_size(10);
+    for kind in [TreeKind::NoCc, TreeKind::Eirene] {
+        let spec = spec_for(12, 1 << 12, default_mix(), 1);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &k| {
+            b.iter(|| measure(k, &spec, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(figures, bench_fig7_workload, bench_fig13_ranges, bench_profiling_metrics);
+criterion_main!(figures);

@@ -1,0 +1,13 @@
+//! Benchmark harness regenerating every figure of the paper's evaluation
+//! (§8). See `DESIGN.md` for the per-figure index and `EXPERIMENTS.md`
+//! for the recorded paper-vs-measured comparison.
+//!
+//! The binary (`cargo run -p eirene-bench --release -- <figure>`) prints
+//! the same rows/series the paper reports and writes CSV files under
+//! `results/`.
+
+pub mod ablate;
+pub mod figures;
+pub mod harness;
+
+pub use harness::{Measurement, Scale, TreeKind};

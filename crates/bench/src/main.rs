@@ -1,0 +1,77 @@
+//! Figure-regeneration CLI.
+//!
+//! ```text
+//! cargo run -p eirene-bench --release -- all            # every figure
+//! cargo run -p eirene-bench --release -- fig7           # one figure
+//! cargo run -p eirene-bench --release -- fig7 --paper-scale
+//! cargo run -p eirene-bench --release -- fig2 --batch 65536 --repeats 10
+//! ```
+
+use eirene_bench::{figures, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eirene-bench <fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|fig13|all|\
+         ablate-threshold|ablate-protection|ablate-iteration|ablate-distribution|\
+         ablate-batch|ablate-mix|ablate-all> \
+         [--paper-scale] [--smoke] [--batch N] [--repeats N] [--exps a,b,c]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut scale = Scale::default();
+    let mut which = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--paper-scale" => scale = Scale::paper(),
+            "--smoke" => scale = Scale::smoke(),
+            "--batch" => {
+                scale.batch_size = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+            }
+            "--repeats" => {
+                scale.repeats = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+            }
+            "--exps" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                scale.tree_exps = list
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                scale.default_exp = scale.tree_exps[0];
+            }
+            name if which.is_none() && !name.starts_with('-') => which = Some(name.to_string()),
+            _ => usage(),
+        }
+    }
+    let which = which.unwrap_or_else(|| usage());
+    eprintln!(
+        "scale: tree 2^{:?} (default 2^{}), batch {}, repeats {}",
+        scale.tree_exps, scale.default_exp, scale.batch_size, scale.repeats
+    );
+    match which.as_str() {
+        "fig1" => figures::fig1(&scale),
+        "fig2" => figures::fig2(&scale),
+        "fig7" => figures::fig7(&scale),
+        "fig8" => figures::fig8(&scale),
+        "fig9" => figures::fig9(&scale),
+        "fig10" => figures::fig10(&scale),
+        "fig11" => figures::fig11(&scale),
+        "fig12" => figures::fig12(&scale),
+        "fig13" => figures::fig13(&scale),
+        "all" => figures::all(&scale),
+        "ablate-threshold" => eirene_bench::ablate::ablate_threshold(&scale),
+        "ablate-protection" => eirene_bench::ablate::ablate_protection(&scale),
+        "ablate-iteration" => eirene_bench::ablate::ablate_iteration_warps(&scale),
+        "ablate-distribution" => eirene_bench::ablate::ablate_distribution(&scale),
+        "ablate-batch" => eirene_bench::ablate::ablate_batch_size(&scale),
+        "ablate-mix" => eirene_bench::ablate::ablate_mix(&scale),
+        "ablate-all" => eirene_bench::ablate::all(&scale),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,401 @@
+//! Node layout: a fixed 38-word record in device memory.
+//!
+//! ```text
+//! word 0  META     bit0 = leaf flag, bit1 = lock bit, bits 8..16 = count
+//! word 1  VERSION  bumped atomically when the node splits (§4.2)
+//! word 2  NEXT     right-sibling address (leaves; 0 = none)
+//! word 3  RF       range field for locality-aware traversal (§5);
+//!                  u64::MAX = "no bound, horizontal always allowed"
+//! word 4  HIGH     Lehman-Yao high key: exclusive upper bound of the
+//!                  node's key range (u64::MAX = unbounded). A request
+//!                  with key >= HIGH must follow NEXT; deletes never
+//!                  change HIGH, so right-hops stay correct even when a
+//!                  node's minimum key rises above its parent fence
+//! word 5  LOW      inclusive lower bound of the node's key range (the
+//!                  fence it was created with; 0 = unbounded). Together
+//!                  with HIGH it makes node ownership locally checkable:
+//!                  node owns key iff LOW <= key < HIGH — which lets the
+//!                  update kernel's STM leaf region verify a leaf located
+//!                  by an *unprotected* traversal
+//! words 6..22   KEYS     up to 16 keys, ascending; empty slots = u64::MAX
+//! words 22..38  PAYLOADS leaf: values; inner: child addresses
+//! ```
+//!
+//! Inner nodes use the *fence-key* convention: entry `i` is
+//! `(min key of child i's subtree, child i)`. Search picks the largest `i`
+//! with `keys[i] <= target`. This keeps key and payload arrays the same
+//! length (warp-friendly: one coalesced load covers either) and makes
+//! splits symmetric between leaves and inner nodes.
+//!
+//! Nodes are allocated 16-word aligned so a cooperative node load always
+//! touches exactly three 128-byte transactions.
+
+use eirene_sim::{Addr, GlobalMemory};
+
+/// Maximum entries per node.
+pub const FANOUT: usize = 16;
+/// Words per node record.
+pub const NODE_WORDS: usize = 38;
+/// Mean fill used by the bulk loader (leaves room for inserts). The
+/// actual per-node fill is staggered around this value (see
+/// [`build_fill_for`]) so that later insert streams do not drive whole
+/// levels to capacity in the same batch — uniform fill makes every leaf
+/// split in lockstep, which synchronizes structure conflicts into storms.
+pub const BUILD_FILL: usize = 12;
+
+/// Staggered fill for the `i`-th node of a level: 10..=14, mean 12.
+#[inline]
+pub fn build_fill_for(i: usize) -> usize {
+    10 + (i * 7 + 3) % 5
+}
+
+/// Key slot value meaning "empty".
+pub const EMPTY_KEY: u64 = u64::MAX;
+
+/// Word offsets within a node.
+pub const OFF_META: u64 = 0;
+pub const OFF_VERSION: u64 = 1;
+pub const OFF_NEXT: u64 = 2;
+pub const OFF_RF: u64 = 3;
+pub const OFF_HIGH: u64 = 4;
+pub const OFF_LOW: u64 = 5;
+pub const OFF_KEYS: u64 = 6;
+pub const OFF_VALS: u64 = 6 + FANOUT as u64;
+
+/// META bit for "this node is a leaf".
+pub const META_LEAF: u64 = 1;
+/// META bit used as a latch by the lock-based tree.
+pub const META_LOCK: u64 = 2;
+const META_COUNT_SHIFT: u64 = 8;
+const META_COUNT_MASK: u64 = 0xFF << META_COUNT_SHIFT;
+
+/// Packs a META word from parts.
+#[inline]
+pub fn pack_meta(leaf: bool, locked: bool, count: usize) -> u64 {
+    debug_assert!(count <= FANOUT);
+    (leaf as u64) | ((locked as u64) << 1) | ((count as u64) << META_COUNT_SHIFT)
+}
+
+/// Extracts the entry count from a META word.
+#[inline]
+pub fn meta_count(meta: u64) -> usize {
+    ((meta & META_COUNT_MASK) >> META_COUNT_SHIFT) as usize
+}
+
+/// True if the META word marks a leaf.
+#[inline]
+pub fn meta_is_leaf(meta: u64) -> bool {
+    meta & META_LEAF != 0
+}
+
+/// True if the META word's latch bit is set.
+#[inline]
+pub fn meta_is_locked(meta: u64) -> bool {
+    meta & META_LOCK != 0
+}
+
+/// A typed, *uninstrumented* view of a node for host-side code (bulk
+/// build, reference ops, validation). Device kernels must not use these
+/// accessors — they read nodes through `WarpCtx` so traffic is counted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeRef {
+    pub addr: Addr,
+}
+
+impl NodeRef {
+    /// Allocates a fresh node.
+    pub fn alloc(mem: &GlobalMemory, leaf: bool) -> NodeRef {
+        let addr = mem.alloc_aligned(NODE_WORDS, 16);
+        mem.write(addr + OFF_META, pack_meta(leaf, false, 0));
+        mem.write(addr + OFF_RF, u64::MAX);
+        mem.write(addr + OFF_HIGH, u64::MAX);
+        for i in 0..FANOUT as u64 {
+            mem.write(addr + OFF_KEYS + i, EMPTY_KEY);
+        }
+        NodeRef { addr }
+    }
+
+    #[inline]
+    pub fn meta(&self, mem: &GlobalMemory) -> u64 {
+        mem.read(self.addr + OFF_META)
+    }
+
+    #[inline]
+    pub fn is_leaf(&self, mem: &GlobalMemory) -> bool {
+        meta_is_leaf(self.meta(mem))
+    }
+
+    #[inline]
+    pub fn count(&self, mem: &GlobalMemory) -> usize {
+        meta_count(self.meta(mem))
+    }
+
+    /// Rewrites META preserving the leaf/lock bits, setting `count`.
+    pub fn set_count(&self, mem: &GlobalMemory, count: usize) {
+        let meta = self.meta(mem);
+        mem.write(
+            self.addr + OFF_META,
+            pack_meta(meta_is_leaf(meta), meta_is_locked(meta), count),
+        );
+    }
+
+    #[inline]
+    pub fn key(&self, mem: &GlobalMemory, i: usize) -> u64 {
+        debug_assert!(i < FANOUT);
+        mem.read(self.addr + OFF_KEYS + i as u64)
+    }
+
+    #[inline]
+    pub fn set_key(&self, mem: &GlobalMemory, i: usize, key: u64) {
+        debug_assert!(i < FANOUT);
+        mem.write(self.addr + OFF_KEYS + i as u64, key);
+    }
+
+    #[inline]
+    pub fn val(&self, mem: &GlobalMemory, i: usize) -> u64 {
+        debug_assert!(i < FANOUT);
+        mem.read(self.addr + OFF_VALS + i as u64)
+    }
+
+    #[inline]
+    pub fn set_val(&self, mem: &GlobalMemory, i: usize, val: u64) {
+        debug_assert!(i < FANOUT);
+        mem.write(self.addr + OFF_VALS + i as u64, val);
+    }
+
+    #[inline]
+    pub fn next(&self, mem: &GlobalMemory) -> Addr {
+        mem.read(self.addr + OFF_NEXT)
+    }
+
+    #[inline]
+    pub fn set_next(&self, mem: &GlobalMemory, next: Addr) {
+        mem.write(self.addr + OFF_NEXT, next);
+    }
+
+    #[inline]
+    pub fn version(&self, mem: &GlobalMemory) -> u64 {
+        mem.read(self.addr + OFF_VERSION)
+    }
+
+    /// Atomically bumps the version (done when the node splits).
+    pub fn bump_version(&self, mem: &GlobalMemory) {
+        mem.fetch_add(self.addr + OFF_VERSION, 1);
+    }
+
+    #[inline]
+    pub fn high(&self, mem: &GlobalMemory) -> u64 {
+        mem.read(self.addr + OFF_HIGH)
+    }
+
+    #[inline]
+    pub fn set_high(&self, mem: &GlobalMemory, high: u64) {
+        mem.write(self.addr + OFF_HIGH, high);
+    }
+
+    #[inline]
+    pub fn low(&self, mem: &GlobalMemory) -> u64 {
+        mem.read(self.addr + OFF_LOW)
+    }
+
+    #[inline]
+    pub fn set_low(&self, mem: &GlobalMemory, low: u64) {
+        mem.write(self.addr + OFF_LOW, low);
+    }
+
+    #[inline]
+    pub fn rf(&self, mem: &GlobalMemory) -> u64 {
+        mem.read(self.addr + OFF_RF)
+    }
+
+    #[inline]
+    pub fn set_rf(&self, mem: &GlobalMemory, rf: u64) {
+        mem.write(self.addr + OFF_RF, rf);
+    }
+
+    /// Smallest key stored in the node (must be non-empty).
+    pub fn min_key(&self, mem: &GlobalMemory) -> u64 {
+        debug_assert!(self.count(mem) > 0);
+        self.key(mem, 0)
+    }
+
+    /// Largest key stored in the node (must be non-empty).
+    pub fn max_key(&self, mem: &GlobalMemory) -> u64 {
+        let c = self.count(mem);
+        debug_assert!(c > 0);
+        self.key(mem, c - 1)
+    }
+}
+
+/// A node snapshot parsed from a cooperative block load — device kernels
+/// load the node words once through `WarpCtx::read_block` (paying exactly one
+/// node's traffic) and then interpret the copy for free.
+#[derive(Clone, Copy, Debug)]
+pub struct ParsedNode {
+    pub meta: u64,
+    pub version: u64,
+    pub next: Addr,
+    pub rf: u64,
+    /// Exclusive upper bound of this node's key range (Lehman-Yao).
+    pub high: u64,
+    /// Inclusive lower bound of this node's key range.
+    pub low: u64,
+    pub keys: [u64; FANOUT],
+    pub vals: [u64; FANOUT],
+}
+
+impl ParsedNode {
+    pub fn from_words(w: &[u64; NODE_WORDS]) -> Self {
+        let mut keys = [0u64; FANOUT];
+        let mut vals = [0u64; FANOUT];
+        keys.copy_from_slice(&w[OFF_KEYS as usize..OFF_KEYS as usize + FANOUT]);
+        vals.copy_from_slice(&w[OFF_VALS as usize..OFF_VALS as usize + FANOUT]);
+        ParsedNode { meta: w[0], version: w[1], next: w[2], rf: w[3], high: w[4], low: w[5], keys, vals }
+    }
+
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        meta_is_leaf(self.meta)
+    }
+
+    /// Entry count, clamped to [`FANOUT`]: device snapshots may observe
+    /// torn or foreign words under unprotected traversal, and a clamped
+    /// count keeps every array access in bounds (callers re-validate
+    /// before trusting the data).
+    #[inline]
+    pub fn count(&self) -> usize {
+        meta_count(self.meta).min(FANOUT)
+    }
+
+    /// Inner-node search: index of the child to descend into — the last
+    /// entry whose fence key is `<= key`, or 0 if all fences exceed it
+    /// (only possible at the root for keys below the tree minimum).
+    pub fn child_slot(&self, key: u64) -> usize {
+        let c = self.count();
+        debug_assert!(c > 0);
+        let mut slot = 0;
+        for i in 0..c {
+            if self.keys[i] <= key {
+                slot = i;
+            } else {
+                break;
+            }
+        }
+        slot
+    }
+
+    /// Leaf search: slot of `key` if present.
+    pub fn find(&self, key: u64) -> Option<usize> {
+        let c = self.count();
+        (0..c).find(|&i| self.keys[i] == key)
+    }
+
+    /// Largest key in the node (node must be non-empty).
+    pub fn max_key(&self) -> u64 {
+        let c = self.count();
+        debug_assert!(c > 0);
+        self.keys[c - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_pack_roundtrip() {
+        let m = pack_meta(true, false, 13);
+        assert!(meta_is_leaf(m));
+        assert!(!meta_is_locked(m));
+        assert_eq!(meta_count(m), 13);
+        let m = pack_meta(false, true, 0);
+        assert!(!meta_is_leaf(m));
+        assert!(meta_is_locked(m));
+        assert_eq!(meta_count(m), 0);
+    }
+
+    #[test]
+    fn alloc_initializes_node() {
+        let mem = GlobalMemory::new(1 << 12);
+        let n = NodeRef::alloc(&mem, true);
+        assert!(n.is_leaf(&mem));
+        assert_eq!(n.count(&mem), 0);
+        assert_eq!(n.rf(&mem), u64::MAX);
+        assert_eq!(n.key(&mem, 0), EMPTY_KEY);
+        assert_eq!(n.addr % 16, 0, "node must be 16-word aligned");
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let mem = GlobalMemory::new(1 << 12);
+        let n = NodeRef::alloc(&mem, true);
+        n.set_key(&mem, 3, 42);
+        n.set_val(&mem, 3, 420);
+        n.set_count(&mem, 4);
+        n.set_next(&mem, 0x100);
+        n.set_rf(&mem, 999);
+        assert_eq!(n.key(&mem, 3), 42);
+        assert_eq!(n.val(&mem, 3), 420);
+        assert_eq!(n.count(&mem), 4);
+        assert_eq!(n.next(&mem), 0x100);
+        assert_eq!(n.rf(&mem), 999);
+        assert!(n.is_leaf(&mem), "set_count must preserve the leaf bit");
+    }
+
+    #[test]
+    fn version_bumps() {
+        let mem = GlobalMemory::new(1 << 12);
+        let n = NodeRef::alloc(&mem, false);
+        assert_eq!(n.version(&mem), 0);
+        n.bump_version(&mem);
+        n.bump_version(&mem);
+        assert_eq!(n.version(&mem), 2);
+    }
+
+    #[test]
+    fn parsed_node_matches_stored_node() {
+        let mem = GlobalMemory::new(1 << 12);
+        let n = NodeRef::alloc(&mem, true);
+        for i in 0..5 {
+            n.set_key(&mem, i, (i as u64 + 1) * 10);
+            n.set_val(&mem, i, i as u64);
+        }
+        n.set_count(&mem, 5);
+        n.set_next(&mem, 77);
+        let mut w = [0u64; NODE_WORDS];
+        mem.read_slice(n.addr, &mut w);
+        let p = ParsedNode::from_words(&w);
+        assert!(p.is_leaf());
+        assert_eq!(p.count(), 5);
+        assert_eq!(p.next, 77);
+        assert_eq!(p.keys[2], 30);
+        assert_eq!(p.max_key(), 50);
+    }
+
+    #[test]
+    fn child_slot_picks_fence() {
+        let mut w = [0u64; NODE_WORDS];
+        w[0] = pack_meta(false, false, 3);
+        w[OFF_KEYS as usize] = 10;
+        w[OFF_KEYS as usize + 1] = 20;
+        w[OFF_KEYS as usize + 2] = 30;
+        let p = ParsedNode::from_words(&w);
+        assert_eq!(p.child_slot(5), 0, "below minimum clamps to first child");
+        assert_eq!(p.child_slot(10), 0);
+        assert_eq!(p.child_slot(19), 0);
+        assert_eq!(p.child_slot(20), 1);
+        assert_eq!(p.child_slot(1000), 2);
+    }
+
+    #[test]
+    fn find_locates_keys_in_leaf() {
+        let mut w = [0u64; NODE_WORDS];
+        w[0] = pack_meta(true, false, 2);
+        w[OFF_KEYS as usize] = 7;
+        w[OFF_KEYS as usize + 1] = 9;
+        let p = ParsedNode::from_words(&w);
+        assert_eq!(p.find(7), Some(0));
+        assert_eq!(p.find(9), Some(1));
+        assert_eq!(p.find(8), None);
+    }
+}

@@ -1,0 +1,396 @@
+//! Host-side reference operations: uninstrumented, single-threaded tree
+//! ops used by the bulk loader's consumers, differential tests, and
+//! examples. Device kernels implement the same logic through `WarpCtx`.
+
+use crate::build::TreeHandle;
+use crate::node::{NodeRef, FANOUT};
+use eirene_sim::{Addr, GlobalMemory};
+
+/// Result of a recursive insert at one level.
+enum Ins {
+    Done(Option<u64>),
+    /// Child split: (fence key of new right sibling, its address,
+    /// previous value if the key existed).
+    Split(u64, Addr, Option<u64>),
+}
+
+/// Looks up `key`, returning its value if present.
+pub fn get(mem: &GlobalMemory, tree: &TreeHandle, key: u64) -> Option<u64> {
+    let mut node = NodeRef { addr: tree.root(mem) };
+    while !node.is_leaf(mem) {
+        node = NodeRef { addr: node.val(mem, child_slot(mem, node, key)) };
+    }
+    let c = node.count(mem);
+    (0..c).find(|&i| node.key(mem, i) == key).map(|i| node.val(mem, i))
+}
+
+/// Inserts or updates `key`, returning the previous value if any.
+pub fn upsert(mem: &GlobalMemory, tree: &TreeHandle, key: u64, val: u64) -> Option<u64> {
+    let root = NodeRef { addr: tree.root(mem) };
+    match insert_rec(mem, root, key, val) {
+        Ins::Done(old) => old,
+        Ins::Split(fence, right, old) => {
+            // Root split: a new root with two fences.
+            let new_root = NodeRef::alloc(mem, false);
+            new_root.set_key(mem, 0, first_key_bound(mem, root));
+            new_root.set_val(mem, 0, root.addr);
+            new_root.set_key(mem, 1, fence);
+            new_root.set_val(mem, 1, right);
+            new_root.set_count(mem, 2);
+            let height = tree.height(mem);
+            tree.set_root(mem, new_root.addr, height + 1);
+            old
+        }
+    }
+}
+
+/// Deletes `key`, returning its previous value if it was present. Nodes
+/// are never merged (GPU B-trees, including the paper's baselines, do not
+/// rebalance on delete); an emptied leaf stays in the chain.
+pub fn delete(mem: &GlobalMemory, tree: &TreeHandle, key: u64) -> Option<u64> {
+    let mut node = NodeRef { addr: tree.root(mem) };
+    while !node.is_leaf(mem) {
+        node = NodeRef { addr: node.val(mem, child_slot(mem, node, key)) };
+    }
+    let c = node.count(mem);
+    let slot = (0..c).find(|&i| node.key(mem, i) == key)?;
+    let old = node.val(mem, slot);
+    for i in slot..c - 1 {
+        node.set_key(mem, i, node.key(mem, i + 1));
+        node.set_val(mem, i, node.val(mem, i + 1));
+    }
+    node.set_key(mem, c - 1, u64::MAX);
+    node.set_count(mem, c - 1);
+    Some(old)
+}
+
+/// Returns the values of keys in `[lo, lo + len - 1]`, one optional slot
+/// per key offset.
+pub fn range(mem: &GlobalMemory, tree: &TreeHandle, lo: u64, len: u32) -> Vec<Option<u64>> {
+    let hi = lo.saturating_add(len as u64 - 1);
+    let mut out = vec![None; len as usize];
+    let mut node = NodeRef { addr: tree.root(mem) };
+    while !node.is_leaf(mem) {
+        node = NodeRef { addr: node.val(mem, child_slot(mem, node, lo)) };
+    }
+    loop {
+        let c = node.count(mem);
+        for i in 0..c {
+            let k = node.key(mem, i);
+            if k >= lo && k <= hi {
+                out[(k - lo) as usize] = Some(node.val(mem, i));
+            }
+        }
+        if c > 0 && node.key(mem, c - 1) >= hi {
+            break;
+        }
+        let next = node.next(mem);
+        if next == 0 {
+            break;
+        }
+        node = NodeRef { addr: next };
+    }
+    out
+}
+
+/// Walks the leaf chain and returns every (key, value) pair in order.
+pub fn contents(mem: &GlobalMemory, tree: &TreeHandle) -> Vec<(u64, u64)> {
+    let mut node = NodeRef { addr: tree.root(mem) };
+    while !node.is_leaf(mem) {
+        node = NodeRef { addr: node.val(mem, 0) };
+    }
+    let mut out = Vec::new();
+    loop {
+        for i in 0..node.count(mem) {
+            out.push((node.key(mem, i), node.val(mem, i)));
+        }
+        let next = node.next(mem);
+        if next == 0 {
+            break;
+        }
+        node = NodeRef { addr: next };
+    }
+    out
+}
+
+/// Inner-node descent slot (host-side twin of `ParsedNode::child_slot`).
+pub fn child_slot(mem: &GlobalMemory, node: NodeRef, key: u64) -> usize {
+    let c = node.count(mem);
+    debug_assert!(c > 0);
+    let mut slot = 0;
+    for i in 0..c {
+        if node.key(mem, i) <= key {
+            slot = i;
+        } else {
+            break;
+        }
+    }
+    slot
+}
+
+fn first_key_bound(mem: &GlobalMemory, node: NodeRef) -> u64 {
+    // Fence for the left half after a root split: its first stored key
+    // (fences only need to lower-bound the subtree for search to work;
+    // the leftmost path is clamped).
+    node.key(mem, 0)
+}
+
+fn insert_rec(mem: &GlobalMemory, node: NodeRef, key: u64, val: u64) -> Ins {
+    if node.is_leaf(mem) {
+        return leaf_insert(mem, node, key, val);
+    }
+    let slot = child_slot(mem, node, key);
+    let child = NodeRef { addr: node.val(mem, slot) };
+    match insert_rec(mem, child, key, val) {
+        Ins::Done(old) => Ins::Done(old),
+        Ins::Split(fence, right, old) => {
+            // Clamp case: along the leftmost spine a child can hold keys
+            // below its recorded fence; its split fence may then undercut
+            // the parent entry. Lower the stale fence to the child's true
+            // lower bound before inserting, or key order would break.
+            if fence < node.key(mem, slot) {
+                debug_assert_eq!(slot, 0, "only the clamped slot can undercut");
+                node.set_key(mem, slot, child.low(mem));
+            }
+            let c = node.count(mem);
+            if c < FANOUT {
+                entry_insert(mem, node, slot + 1, fence, right);
+                Ins::Done(old)
+            } else {
+                let (rnode, rfence) = split_inner(mem, node);
+                // Insert the new fence into the correct half.
+                if fence >= rfence {
+                    let rslot = child_slot(mem, rnode, fence);
+                    entry_insert(mem, rnode, rslot + 1, fence, right);
+                } else {
+                    entry_insert(mem, node, slot + 1, fence, right);
+                }
+                Ins::Split(rfence, rnode.addr, old)
+            }
+        }
+    }
+}
+
+fn leaf_insert(mem: &GlobalMemory, leaf: NodeRef, key: u64, val: u64) -> Ins {
+    let c = leaf.count(mem);
+    for i in 0..c {
+        if leaf.key(mem, i) == key {
+            let old = leaf.val(mem, i);
+            leaf.set_val(mem, i, val);
+            return Ins::Done(Some(old));
+        }
+    }
+    if c < FANOUT {
+        let slot = (0..c).take_while(|&i| leaf.key(mem, i) < key).count();
+        entry_insert(mem, leaf, slot, key, val);
+        return Ins::Done(None);
+    }
+    // Split the leaf, then insert into the proper half.
+    let (right, rfence) = split_leaf(mem, leaf);
+    let target = if key >= rfence { right } else { leaf };
+    let tc = target.count(mem);
+    let slot = (0..tc).take_while(|&i| target.key(mem, i) < key).count();
+    entry_insert(mem, target, slot, key, val);
+    Ins::Split(rfence, right.addr, None)
+}
+
+/// Inserts (key, val) at `slot`, shifting later entries right. The node
+/// must have spare capacity.
+fn entry_insert(mem: &GlobalMemory, node: NodeRef, slot: usize, key: u64, val: u64) {
+    let c = node.count(mem);
+    debug_assert!(c < FANOUT && slot <= c);
+    let mut i = c;
+    while i > slot {
+        node.set_key(mem, i, node.key(mem, i - 1));
+        node.set_val(mem, i, node.val(mem, i - 1));
+        i -= 1;
+    }
+    node.set_key(mem, slot, key);
+    node.set_val(mem, slot, val);
+    node.set_count(mem, c + 1);
+}
+
+/// Splits a full leaf: upper half moves to a new right sibling, versions
+/// bump (the validation signal of §4.2), chain links update. Returns the
+/// new node and its fence key.
+pub fn split_leaf(mem: &GlobalMemory, leaf: NodeRef) -> (NodeRef, u64) {
+    split_node(mem, leaf, true)
+}
+
+/// Splits a full inner node analogously.
+pub fn split_inner(mem: &GlobalMemory, node: NodeRef) -> (NodeRef, u64) {
+    split_node(mem, node, false)
+}
+
+fn split_node(mem: &GlobalMemory, node: NodeRef, leaf: bool) -> (NodeRef, u64) {
+    let c = node.count(mem);
+    debug_assert_eq!(c, FANOUT, "only full nodes split");
+    let half = c / 2;
+    let right = NodeRef::alloc(mem, leaf);
+    for i in half..c {
+        right.set_key(mem, i - half, node.key(mem, i));
+        right.set_val(mem, i - half, node.val(mem, i));
+        node.set_key(mem, i, u64::MAX);
+    }
+    right.set_count(mem, c - half);
+    node.set_count(mem, half);
+    right.set_next(mem, node.next(mem));
+    right.set_rf(mem, node.rf(mem));
+    right.set_high(mem, node.high(mem));
+    right.set_low(mem, right.key(mem, 0));
+    node.set_next(mem, right.addr);
+    node.set_high(mem, right.key(mem, 0));
+    node.bump_version(mem);
+    (right, right.key(mem, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{arena_budget, bulk_build};
+    use crate::validate::validate;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+
+    fn tree_with(n: u64) -> (GlobalMemory, TreeHandle) {
+        let mem = GlobalMemory::new(arena_budget(n as usize, 4 * n as usize + 64));
+        let pairs: Vec<(u64, u64)> = (1..=n).map(|i| (2 * i, 2 * i + 1)).collect();
+        let t = bulk_build(&mem, &pairs);
+        (mem, t)
+    }
+
+    #[test]
+    fn get_finds_loaded_keys() {
+        let (mem, t) = tree_with(1000);
+        assert_eq!(get(&mem, &t, 2), Some(3));
+        assert_eq!(get(&mem, &t, 1000), Some(1001));
+        assert_eq!(get(&mem, &t, 2000), Some(2001));
+        assert_eq!(get(&mem, &t, 3), None);
+        assert_eq!(get(&mem, &t, 99_999), None);
+    }
+
+    #[test]
+    fn upsert_updates_in_place() {
+        let (mem, t) = tree_with(100);
+        assert_eq!(upsert(&mem, &t, 10, 555), Some(11));
+        assert_eq!(get(&mem, &t, 10), Some(555));
+    }
+
+    #[test]
+    fn upsert_inserts_new_keys_with_splits() {
+        let (mem, t) = tree_with(100);
+        // Insert all the odd keys — forces many leaf splits.
+        for i in 0..100u64 {
+            assert_eq!(upsert(&mem, &t, 2 * i + 1, i), None);
+        }
+        for i in 0..100u64 {
+            assert_eq!(get(&mem, &t, 2 * i + 1), Some(i));
+        }
+        // Originals still present.
+        for i in 1..=100u64 {
+            assert_eq!(get(&mem, &t, 2 * i), Some(2 * i + 1));
+        }
+        validate(&mem, &t).unwrap();
+    }
+
+    #[test]
+    fn insert_below_global_minimum() {
+        let (mem, t) = tree_with(500);
+        assert_eq!(upsert(&mem, &t, 1, 42), None);
+        assert_eq!(get(&mem, &t, 1), Some(42));
+        validate(&mem, &t).unwrap();
+    }
+
+    #[test]
+    fn delete_removes_and_returns_old() {
+        let (mem, t) = tree_with(200);
+        assert_eq!(delete(&mem, &t, 50), Some(51));
+        assert_eq!(get(&mem, &t, 50), None);
+        assert_eq!(delete(&mem, &t, 50), None);
+        validate(&mem, &t).unwrap();
+    }
+
+    #[test]
+    fn delete_then_reinsert() {
+        let (mem, t) = tree_with(50);
+        delete(&mem, &t, 20).unwrap();
+        assert_eq!(upsert(&mem, &t, 20, 7), None);
+        assert_eq!(get(&mem, &t, 20), Some(7));
+    }
+
+    #[test]
+    fn range_collects_per_offset() {
+        let (mem, t) = tree_with(100);
+        // Keys 10..=13: 10 and 12 exist.
+        let r = range(&mem, &t, 10, 4);
+        assert_eq!(r, vec![Some(11), None, Some(13), None]);
+    }
+
+    #[test]
+    fn range_spanning_many_leaves() {
+        let (mem, t) = tree_with(1000);
+        let r = range(&mem, &t, 2, 100);
+        for off in 0..100u64 {
+            let k = 2 + off;
+            let expect = if k % 2 == 0 { Some(k + 1) } else { None };
+            assert_eq!(r[off as usize], expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn contents_match_inserted_set() {
+        let (mem, t) = tree_with(300);
+        upsert(&mem, &t, 7, 70);
+        delete(&mem, &t, 4);
+        let c = contents(&mem, &t);
+        assert_eq!(c.len(), 300);
+        assert!(c.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(c.contains(&(7, 70)));
+        assert!(!c.iter().any(|&(k, _)| k == 4));
+    }
+
+    #[test]
+    fn split_bumps_version() {
+        let (mem, t) = tree_with(100);
+        let mut node = NodeRef { addr: t.root(&mem) };
+        while !node.is_leaf(&mem) {
+            node = NodeRef { addr: node.val(&mem, 0) };
+        }
+        let v0 = node.version(&mem);
+        // Fill this leaf until it splits: insert odd keys just above its
+        // min until the version changes.
+        let base = node.min_key(&mem);
+        for d in 0..10u64 {
+            upsert(&mem, &t, base + 2 * d + 1, 0);
+        }
+        assert!(node.version(&mem) > v0, "leaf split must bump version");
+    }
+
+    #[test]
+    fn randomized_against_btreemap() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let (mem, t) = tree_with(500);
+        let mut model: std::collections::BTreeMap<u64, u64> =
+            (1..=500u64).map(|i| (2 * i, 2 * i + 1)).collect();
+        let mut keys: Vec<u64> = (1..=1000).collect();
+        keys.shuffle(&mut rng);
+        for (step, &k) in keys.iter().enumerate() {
+            match step % 3 {
+                0 => {
+                    let v = rng.gen::<u32>() as u64;
+                    assert_eq!(upsert(&mem, &t, k, v), model.insert(k, v), "upsert {k}");
+                }
+                1 => {
+                    assert_eq!(delete(&mem, &t, k), model.remove(&k), "delete {k}");
+                }
+                _ => {
+                    assert_eq!(get(&mem, &t, k), model.get(&k).copied(), "get {k}");
+                }
+            }
+        }
+        let c = contents(&mem, &t);
+        let m: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(c, m);
+        validate(&mem, &t).unwrap();
+    }
+}

@@ -1,0 +1,453 @@
+//! Transactional tree operations over the word-based STM.
+//!
+//! Shared by the STM GB-tree baseline (which wraps *every* request in one
+//! transaction) and by Eirene's update kernel (which uses them only for
+//! the leaf region, plus the full descent as its fallback path once the
+//! optimistic retry threshold is exceeded — Alg. 1 lines 27-46).
+
+use crate::build::TreeHandle;
+use crate::node::{
+    meta_count, meta_is_leaf, pack_meta, FANOUT, NODE_WORDS, OFF_HIGH, OFF_KEYS, OFF_LOW,
+    OFF_META, OFF_NEXT, OFF_RF, OFF_VALS, OFF_VERSION,
+};
+use eirene_sim::{Addr, WarpCtx};
+use eirene_stm::{Tx, TxResult};
+
+/// Sentinel for "no previous value".
+pub const NO_VALUE: u64 = u64::MAX;
+
+/// Where a split publishes its new fence.
+pub enum SplitParent {
+    /// Insert the fence into this (non-full) parent: `(address, child
+    /// slot, count)`.
+    Node(Addr, usize, usize),
+    /// The split node is the root: build a new root.
+    Root,
+}
+
+/// Transactional binary search for the descent slot in an inner node:
+/// probes `O(log FANOUT)` keys, each a transactional read.
+pub fn tx_child_slot(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    addr: Addr,
+    count: usize,
+    key: u64,
+) -> TxResult<usize> {
+    let mut lo = 0usize; // invariant: keys[lo] <= key or lo == 0
+    let mut hi = count; // invariant: keys[hi] > key (virtual +inf)
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        let k = tx.read(ctx, addr + OFF_KEYS + mid as u64)?;
+        ctx.control(2);
+        if k <= key {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// Transactional search for an exact key in a leaf.
+pub fn tx_find(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    addr: Addr,
+    count: usize,
+    key: u64,
+) -> TxResult<Option<usize>> {
+    if count == 0 {
+        return Ok(None);
+    }
+    let slot = tx_child_slot(tx, ctx, addr, count, key)?;
+    let k = tx.read(ctx, addr + OFF_KEYS + slot as u64)?;
+    ctx.control(1);
+    Ok((k == key).then_some(slot))
+}
+
+/// Splits a full node inside the transaction, returning the sibling's
+/// address and fence key. All writes are transactional, so an abort rolls
+/// the whole split back (the freshly allocated sibling leaks into the bump
+/// arena, as it would on a GPU free-list allocator without reclamation).
+pub fn tx_split(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    handle: &TreeHandle,
+    parent: SplitParent,
+    addr: Addr,
+    leaf: bool,
+) -> TxResult<(Addr, u64)> {
+    let half = FANOUT / 2;
+    let raddr = ctx.raw_mem().alloc_aligned(NODE_WORDS, 16);
+    ctx.stats.atomic_insts += 1;
+    ctx.charge_cycles(ctx.config().atomic_latency);
+    // Move the upper half to the sibling.
+    for i in half..FANOUT {
+        let k = tx.read(ctx, addr + OFF_KEYS + i as u64)?;
+        let v = tx.read(ctx, addr + OFF_VALS + i as u64)?;
+        tx.write(ctx, raddr + OFF_KEYS + (i - half) as u64, k)?;
+        tx.write(ctx, raddr + OFF_VALS + (i - half) as u64, v)?;
+        tx.write(ctx, addr + OFF_KEYS + i as u64, u64::MAX)?;
+    }
+    // Remaining sibling key slots start zeroed; mark them empty.
+    for i in (FANOUT - half)..FANOUT {
+        tx.write(ctx, raddr + OFF_KEYS + i as u64, u64::MAX)?;
+    }
+    // The sibling inherits the RF bound of the node it split from (§5: RF
+    // values are heuristics, refreshed lazily by overshooting traversals).
+    let rf = tx.read(ctx, addr + OFF_RF)?;
+    tx.write(ctx, raddr + OFF_RF, rf)?;
+    let next = tx.read(ctx, addr + OFF_NEXT)?;
+    tx.write(ctx, raddr + OFF_NEXT, next)?;
+    tx.write(ctx, raddr + OFF_META, pack_meta(leaf, false, FANOUT - half))?;
+    let rfence = tx.read(ctx, raddr + OFF_KEYS)?;
+    // Lehman-Yao bounds: the sibling inherits the node's high key, the
+    // node's new high key is the fence.
+    let high = tx.read(ctx, addr + OFF_HIGH)?;
+    tx.write(ctx, raddr + OFF_HIGH, high)?;
+    tx.write(ctx, raddr + OFF_LOW, rfence)?;
+    tx.write(ctx, addr + OFF_HIGH, rfence)?;
+    tx.write(ctx, addr + OFF_NEXT, raddr)?;
+    tx.write(ctx, addr + OFF_META, pack_meta(leaf, false, half))?;
+    let ver = tx.read(ctx, addr + OFF_VERSION)?;
+    tx.write(ctx, addr + OFF_VERSION, ver + 1)?;
+
+    match parent {
+        SplitParent::Node(paddr, slot, pcount) => {
+            // Clamp case (leftmost spine): the split child may hold keys
+            // below its parent fence; lower the stale fence to the child's
+            // true bound so the inserted fence keeps the order.
+            let pfence = tx.read(ctx, paddr + OFF_KEYS + slot as u64)?;
+            if rfence < pfence {
+                let child_low = tx.read(ctx, addr + OFF_LOW)?;
+                tx.write(ctx, paddr + OFF_KEYS + slot as u64, child_low)?;
+            }
+            // Shift parent entries right of `slot` and insert the fence.
+            debug_assert!(pcount < FANOUT);
+            let at = slot + 1;
+            let mut i = pcount;
+            while i > at {
+                let k = tx.read(ctx, paddr + OFF_KEYS + (i - 1) as u64)?;
+                let v = tx.read(ctx, paddr + OFF_VALS + (i - 1) as u64)?;
+                tx.write(ctx, paddr + OFF_KEYS + i as u64, k)?;
+                tx.write(ctx, paddr + OFF_VALS + i as u64, v)?;
+                i -= 1;
+            }
+            tx.write(ctx, paddr + OFF_KEYS + at as u64, rfence)?;
+            tx.write(ctx, paddr + OFF_VALS + at as u64, raddr)?;
+            tx.write(ctx, paddr + OFF_META, pack_meta(false, false, pcount + 1))?;
+        }
+        SplitParent::Root => {
+            // Root split: new root with two fences.
+            let new_root = ctx.raw_mem().alloc_aligned(NODE_WORDS, 16);
+            ctx.stats.atomic_insts += 1;
+            ctx.charge_cycles(ctx.config().atomic_latency);
+            let k0 = tx.read(ctx, addr + OFF_KEYS)?;
+            for i in 2..FANOUT {
+                tx.write(ctx, new_root + OFF_KEYS + i as u64, u64::MAX)?;
+            }
+            tx.write(ctx, new_root + OFF_KEYS, k0)?;
+            tx.write(ctx, new_root + OFF_VALS, addr)?;
+            tx.write(ctx, new_root + OFF_KEYS + 1, rfence)?;
+            tx.write(ctx, new_root + OFF_VALS + 1, raddr)?;
+            tx.write(ctx, new_root + OFF_RF, u64::MAX)?;
+            tx.write(ctx, new_root + OFF_HIGH, u64::MAX)?;
+            tx.write(ctx, new_root + OFF_META, pack_meta(false, false, 2))?;
+            tx.write(ctx, handle.root_word, new_root)?;
+            let h = tx.read(ctx, handle.height_word)?;
+            tx.write(ctx, handle.height_word, h + 1)?;
+        }
+    }
+    ctx.control(8);
+    Ok((raddr, rfence))
+}
+
+/// Right-hops across the leaf chain transactionally until reaching the
+/// leaf responsible for `key` (splits only move keys right, so hopping
+/// right from any leaf at or left of the target is always correct).
+/// Returns the leaf address and count.
+pub fn tx_hop_right(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    mut addr: Addr,
+    mut count: usize,
+    key: u64,
+) -> TxResult<(Addr, usize)> {
+    loop {
+        let high = tx.read(ctx, addr + OFF_HIGH)?;
+        ctx.control(1);
+        if key < high {
+            break;
+        }
+        let next = tx.read(ctx, addr + OFF_NEXT)?;
+        if next == 0 {
+            break;
+        }
+        ctx.stats.horizontal_steps += 1;
+        addr = next;
+        count = meta_count(tx.read(ctx, addr + OFF_META)?);
+    }
+    Ok((addr, count))
+}
+
+/// Transactional descent from the root to the leaf owning `key`. With
+/// `may_insert`, any full node on the path is split inside the transaction
+/// and the descent restarts (still inside the same transaction, which
+/// observes its own split); the returned leaf then always has room.
+/// Returns (leaf address, leaf count).
+pub fn tx_descend(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    handle: &TreeHandle,
+    key: u64,
+    may_insert: bool,
+) -> TxResult<(Addr, usize)> {
+    'restart: loop {
+        ctx.stats.vertical_traversals += 1;
+        let mut parent: Option<(Addr, usize, usize)> = None;
+        let mut cur = tx.read(ctx, handle.root_word)?;
+        loop {
+            let meta = tx.read(ctx, cur + OFF_META)?;
+            ctx.stats.vertical_steps += 1;
+            ctx.control(2);
+            let count = meta_count(meta);
+            let leaf = meta_is_leaf(meta);
+            if may_insert && count == FANOUT {
+                let mode = match parent {
+                    Some((p, s, c)) => SplitParent::Node(p, s, c),
+                    None => SplitParent::Root,
+                };
+                tx_split(tx, ctx, handle, mode, cur, leaf)?;
+                continue 'restart;
+            }
+            if leaf {
+                let (cur_l, count_l) = tx_hop_right(tx, ctx, cur, count, key)?;
+                if may_insert && count_l == FANOUT && cur_l != cur {
+                    // Hopped onto a full leaf whose parent we do not hold.
+                    // Committed state always publishes fences, so this can
+                    // only be a transient view of another writer's split —
+                    // restart the descent, which will land on the leaf via
+                    // its fence path (with the parent in hand).
+                    continue 'restart;
+                }
+                return Ok((cur_l, count_l));
+            }
+            let slot = tx_child_slot(tx, ctx, cur, count, key)?;
+            let child = tx.read(ctx, cur + OFF_VALS + slot as u64)?;
+            parent = Some((cur, slot, count));
+            cur = child;
+        }
+    }
+}
+
+/// Outcome of a leaf-local transactional upsert.
+pub enum LeafUpsert {
+    /// Applied; carries the previous value or [`NO_VALUE`].
+    Done(u64),
+    /// The key is absent and the leaf is full — the caller must take a
+    /// split-capable path.
+    Full,
+}
+
+/// Upserts `key` in the (already located) leaf. Does not split.
+pub fn tx_upsert_at_leaf(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    addr: Addr,
+    count: usize,
+    key: u64,
+    val: u64,
+) -> TxResult<LeafUpsert> {
+    if let Some(slot) = tx_find(tx, ctx, addr, count, key)? {
+        let old = tx.read(ctx, addr + OFF_VALS + slot as u64)?;
+        tx.write(ctx, addr + OFF_VALS + slot as u64, val)?;
+        return Ok(LeafUpsert::Done(old));
+    }
+    if count == FANOUT {
+        return Ok(LeafUpsert::Full);
+    }
+    // Find the sorted slot.
+    let mut slot = 0;
+    while slot < count {
+        let k = tx.read(ctx, addr + OFF_KEYS + slot as u64)?;
+        ctx.control(1);
+        if k >= key {
+            break;
+        }
+        slot += 1;
+    }
+    let mut i = count;
+    while i > slot {
+        let k = tx.read(ctx, addr + OFF_KEYS + (i - 1) as u64)?;
+        let pv = tx.read(ctx, addr + OFF_VALS + (i - 1) as u64)?;
+        tx.write(ctx, addr + OFF_KEYS + i as u64, k)?;
+        tx.write(ctx, addr + OFF_VALS + i as u64, pv)?;
+        i -= 1;
+    }
+    tx.write(ctx, addr + OFF_KEYS + slot as u64, key)?;
+    tx.write(ctx, addr + OFF_VALS + slot as u64, val)?;
+    tx.write(ctx, addr + OFF_META, pack_meta(true, false, count + 1))?;
+    Ok(LeafUpsert::Done(NO_VALUE))
+}
+
+/// Deletes `key` from the (already located) leaf, returning the previous
+/// value or [`NO_VALUE`].
+pub fn tx_delete_at_leaf(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    addr: Addr,
+    count: usize,
+    key: u64,
+) -> TxResult<u64> {
+    match tx_find(tx, ctx, addr, count, key)? {
+        None => Ok(NO_VALUE),
+        Some(slot) => {
+            let old = tx.read(ctx, addr + OFF_VALS + slot as u64)?;
+            for i in slot..count - 1 {
+                let k = tx.read(ctx, addr + OFF_KEYS + (i + 1) as u64)?;
+                let v = tx.read(ctx, addr + OFF_VALS + (i + 1) as u64)?;
+                tx.write(ctx, addr + OFF_KEYS + i as u64, k)?;
+                tx.write(ctx, addr + OFF_VALS + i as u64, v)?;
+            }
+            tx.write(ctx, addr + OFF_KEYS + (count - 1) as u64, u64::MAX)?;
+            tx.write(ctx, addr + OFF_META, pack_meta(true, false, count - 1))?;
+            Ok(old)
+        }
+    }
+}
+
+/// Reads `key`'s value from the (already located) leaf, or [`NO_VALUE`].
+pub fn tx_query_at_leaf(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    addr: Addr,
+    count: usize,
+    key: u64,
+) -> TxResult<u64> {
+    match tx_find(tx, ctx, addr, count, key)? {
+        None => Ok(NO_VALUE),
+        Some(slot) => tx.read(ctx, addr + OFF_VALS + slot as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{arena_budget, bulk_build};
+    use crate::refops;
+    use crate::validate::validate;
+    use eirene_sim::{Device, DeviceConfig};
+    use eirene_stm::Stm;
+
+    fn setup(n: u64) -> (Device, TreeHandle, Stm) {
+        let dev = Device::new(
+            arena_budget(n as usize, 4 * n as usize + 64) + (1 << 14),
+            DeviceConfig::test_small(),
+        );
+        let pairs: Vec<(u64, u64)> = (1..=n).map(|i| (2 * i, 2 * i + 1)).collect();
+        let t = bulk_build(dev.mem(), &pairs);
+        let stm = Stm::new(dev.mem(), 1 << 12);
+        (dev, t, stm)
+    }
+
+    #[test]
+    fn tx_descend_reaches_correct_leaf() {
+        let (dev, t, stm) = setup(1000);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        let v = stm
+            .run(&mut ctx, 4, |tx, ctx| {
+                let (addr, count) = tx_descend(tx, ctx, &t, 500, false)?;
+                tx_query_at_leaf(tx, ctx, addr, count, 500)
+            })
+            .unwrap();
+        assert_eq!(v, 501);
+    }
+
+    #[test]
+    fn tx_upsert_and_delete_roundtrip() {
+        let (dev, t, stm) = setup(200);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        stm.run(&mut ctx, 4, |tx, ctx| {
+            let (addr, count) = tx_descend(tx, ctx, &t, 7, true)?;
+            match tx_upsert_at_leaf(tx, ctx, addr, count, 7, 70)? {
+                LeafUpsert::Done(old) => {
+                    assert_eq!(old, NO_VALUE);
+                    Ok(())
+                }
+                LeafUpsert::Full => unreachable!("descent guarantees room"),
+            }
+        })
+        .unwrap();
+        assert_eq!(refops::get(dev.mem(), &t, 7), Some(70));
+        stm.run(&mut ctx, 4, |tx, ctx| {
+            let (addr, count) = tx_descend(tx, ctx, &t, 7, false)?;
+            let old = tx_delete_at_leaf(tx, ctx, addr, count, 7)?;
+            assert_eq!(old, 70);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(refops::get(dev.mem(), &t, 7), None);
+        validate(dev.mem(), &t).unwrap();
+    }
+
+    #[test]
+    fn tx_inserts_split_and_stay_valid() {
+        let (dev, t, stm) = setup(100);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        for i in 0..100u64 {
+            stm.run(&mut ctx, 8, |tx, ctx| {
+                let (addr, count) = tx_descend(tx, ctx, &t, 2 * i + 1, true)?;
+                match tx_upsert_at_leaf(tx, ctx, addr, count, 2 * i + 1, i)? {
+                    LeafUpsert::Done(_) => Ok(()),
+                    LeafUpsert::Full => unreachable!(),
+                }
+            })
+            .unwrap();
+        }
+        validate(dev.mem(), &t).unwrap();
+        for i in 0..100u64 {
+            assert_eq!(refops::get(dev.mem(), &t, 2 * i + 1), Some(i));
+        }
+    }
+
+    #[test]
+    fn aborted_split_rolls_back_cleanly() {
+        let (dev, t, stm) = setup(100);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        let before = refops::contents(dev.mem(), &t);
+        // Force the leaf containing key 2 full, then run a tx that splits
+        // and deliberately aborts.
+        for d in 0..12u64 {
+            refops::upsert(dev.mem(), &t, 3 + d * 2, 0);
+        }
+        let snapshot = refops::contents(dev.mem(), &t);
+        assert!(snapshot.len() > before.len());
+        let mut tx = stm.begin();
+        let r = tx_descend(&mut tx, &mut ctx, &t, 5_000_000, true);
+        assert!(r.is_ok());
+        tx.rollback(&mut ctx);
+        assert_eq!(refops::contents(dev.mem(), &t), snapshot, "rollback must undo");
+        validate(dev.mem(), &t).unwrap();
+    }
+
+    #[test]
+    fn hop_right_walks_to_covering_leaf() {
+        let (dev, t, stm) = setup(1000);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        // Start from the leftmost leaf and hop to key 1500.
+        let mut leftmost = crate::node::NodeRef { addr: t.root(dev.mem()) };
+        while !leftmost.is_leaf(dev.mem()) {
+            leftmost = crate::node::NodeRef { addr: leftmost.val(dev.mem(), 0) };
+        }
+        let v = stm
+            .run(&mut ctx, 4, |tx, ctx| {
+                let count = leftmost.count(dev.mem());
+                let (addr, count) = tx_hop_right(tx, ctx, leftmost.addr, count, 1500)?;
+                tx_query_at_leaf(tx, ctx, addr, count, 1500)
+            })
+            .unwrap();
+        assert_eq!(v, 1501);
+        assert!(ctx.stats.horizontal_steps > 0);
+    }
+}

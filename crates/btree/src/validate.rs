@@ -1,0 +1,240 @@
+//! Structural validation of the B+tree invariants.
+
+use crate::build::TreeHandle;
+use crate::node::{NodeRef, FANOUT};
+use eirene_sim::GlobalMemory;
+
+/// Summary statistics returned by a successful validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeStats {
+    pub height: u64,
+    pub nodes: usize,
+    pub leaves: usize,
+    pub keys: usize,
+}
+
+/// Checks every structural invariant of the tree:
+///
+/// * keys within each node are strictly ascending;
+/// * every key in child `i` of an inner node is `>= fence_i` (except along
+///   the leftmost spine, where keys below the original minimum are allowed
+///   by the clamped descent) and `< fence_{i+1}`;
+/// * all leaves are at the same depth, equal to the recorded height;
+/// * the leaf chain visits exactly the leaves, left to right;
+/// * node occupancy is within `1..=FANOUT` for inner nodes (leaves may be
+///   empty after deletes);
+/// * counts never exceed FANOUT;
+/// * Lehman-Yao high keys are exact: child `i`'s high equals the next
+///   fence (or the parent's high for the rightmost child), the root's is
+///   unbounded, and every stored key is below its node's high.
+///
+/// Returns [`TreeStats`] on success, or a description of the first
+/// violation.
+pub fn validate(mem: &GlobalMemory, tree: &TreeHandle) -> Result<TreeStats, String> {
+    let root = NodeRef { addr: tree.root(mem) };
+    let height = tree.height(mem);
+    let mut stats = TreeStats { height, nodes: 0, leaves: 0, keys: 0 };
+    let mut leaves_in_order = Vec::new();
+    check_node(
+        mem,
+        root,
+        height,
+        1,
+        None,
+        u64::MAX,
+        true,
+        &mut stats,
+        &mut leaves_in_order,
+    )?;
+
+    // Leaf chain must equal the in-order leaf sequence.
+    let mut chain = Vec::with_capacity(leaves_in_order.len());
+    let mut node = *leaves_in_order
+        .first()
+        .ok_or_else(|| "tree has no leaves".to_string())?;
+    loop {
+        chain.push(node);
+        let next = node.next(mem);
+        if next == 0 {
+            break;
+        }
+        node = NodeRef { addr: next };
+    }
+    if chain != leaves_in_order {
+        return Err(format!(
+            "leaf chain ({} nodes) disagrees with in-order leaves ({} nodes)",
+            chain.len(),
+            leaves_in_order.len()
+        ));
+    }
+    Ok(stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_node(
+    mem: &GlobalMemory,
+    node: NodeRef,
+    height: u64,
+    depth: u64,
+    lo: Option<u64>,
+    hi: u64,
+    leftmost: bool,
+    stats: &mut TreeStats,
+    leaves: &mut Vec<NodeRef>,
+) -> Result<(), String> {
+    let node_high = node.high(mem);
+    if node_high != hi {
+        return Err(format!(
+            "node {:#x}: high key {node_high} != expected {hi}",
+            node.addr
+        ));
+    }
+    let node_low = node.low(mem);
+    let expected_low = if leftmost { 0 } else { lo.unwrap_or(0) };
+    if node_low != expected_low {
+        return Err(format!(
+            "node {:#x}: low key {node_low} != expected {expected_low}",
+            node.addr
+        ));
+    }
+    stats.nodes += 1;
+    let c = node.count(mem);
+    if c > FANOUT {
+        return Err(format!("node {:#x}: count {c} exceeds FANOUT", node.addr));
+    }
+    let is_leaf = node.is_leaf(mem);
+    if !is_leaf && c == 0 {
+        return Err(format!("inner node {:#x} is empty", node.addr));
+    }
+
+    // Keys strictly ascending and inside (lo, hi).
+    let mut prev: Option<u64> = None;
+    for i in 0..c {
+        let k = node.key(mem, i);
+        if let Some(p) = prev {
+            if k <= p {
+                return Err(format!(
+                    "node {:#x}: keys not ascending at slot {i} ({p} -> {k})",
+                    node.addr
+                ));
+            }
+        }
+        prev = Some(k);
+        if let Some(l) = lo {
+            if !leftmost && k < l {
+                return Err(format!(
+                    "node {:#x}: key {k} below lower bound {l}",
+                    node.addr
+                ));
+            }
+        }
+        if k >= hi {
+            return Err(format!(
+                "node {:#x}: key {k} at/above upper bound {hi}",
+                node.addr
+            ));
+        }
+    }
+
+    if is_leaf {
+        if depth != height {
+            return Err(format!(
+                "leaf {:#x} at depth {depth}, expected height {height}",
+                node.addr
+            ));
+        }
+        stats.leaves += 1;
+        stats.keys += c;
+        leaves.push(node);
+        return Ok(());
+    }
+
+    for i in 0..c {
+        let fence = node.key(mem, i);
+        let child = NodeRef { addr: node.val(mem, i) };
+        let child_hi = if i + 1 < c { node.key(mem, i + 1) } else { hi };
+        check_node(
+            mem,
+            child,
+            height,
+            depth + 1,
+            Some(fence),
+            child_hi,
+            leftmost && i == 0,
+            stats,
+            leaves,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{arena_budget, bulk_build};
+    use crate::refops::{delete, upsert};
+
+    fn tree(n: u64) -> (GlobalMemory, TreeHandle) {
+        let mem = GlobalMemory::new(arena_budget(n as usize, 2 * n as usize + 64));
+        let pairs: Vec<(u64, u64)> = (1..=n).map(|i| (2 * i, 2 * i + 1)).collect();
+        let t = bulk_build(&mem, &pairs);
+        (mem, t)
+    }
+
+    #[test]
+    fn fresh_tree_validates() {
+        let (mem, t) = tree(5000);
+        let s = validate(&mem, &t).unwrap();
+        assert_eq!(s.keys, 5000);
+        assert_eq!(s.height, t.height(&mem));
+        assert!(s.leaves >= 5000 / 12);
+    }
+
+    #[test]
+    fn tree_validates_after_heavy_churn() {
+        let (mem, t) = tree(1000);
+        for i in 0..1000u64 {
+            upsert(&mem, &t, 2 * i + 1, i);
+        }
+        for i in 0..500u64 {
+            delete(&mem, &t, 4 * i + 2);
+        }
+        let s = validate(&mem, &t).unwrap();
+        assert_eq!(s.keys, 1000 + 1000 - 500);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (mem, t) = tree(100);
+        // Swap two keys in the root to break ordering.
+        let root = NodeRef { addr: t.root(&mem) };
+        let k0 = root.key(&mem, 0);
+        let k1 = root.key(&mem, 1);
+        root.set_key(&mem, 0, k1);
+        root.set_key(&mem, 1, k0);
+        let err = validate(&mem, &t).unwrap_err();
+        assert!(err.contains("not ascending") || err.contains("bound"), "{err}");
+    }
+
+    #[test]
+    fn wrong_leaf_depth_is_detected() {
+        let (mem, t) = tree(100);
+        // Lie about the height.
+        mem.write(t.height_word, t.height(&mem) + 1);
+        let err = validate(&mem, &t).unwrap_err();
+        assert!(err.contains("depth"), "{err}");
+    }
+
+    #[test]
+    fn broken_chain_is_detected() {
+        let (mem, t) = tree(200);
+        let mut node = NodeRef { addr: t.root(&mem) };
+        while !node.is_leaf(&mem) {
+            node = NodeRef { addr: node.val(&mem, 0) };
+        }
+        // Cut the chain after the first leaf.
+        node.set_next(&mem, 0);
+        let err = validate(&mem, &t).unwrap_err();
+        assert!(err.contains("chain"), "{err}");
+    }
+}

@@ -1,0 +1,542 @@
+//! Kernel execution and result calculation (Alg. 1, §4.2).
+//!
+//! After combining, the issued requests are partitioned by type:
+//!
+//! * the **query kernel** processes issued point queries and range queries
+//!   with *no synchronization at all* — safe because issued requests have
+//!   no key conflicts and queries do not modify the structure;
+//! * the **update kernel** processes issued upserts/deletes with the
+//!   optimistic scheme: unprotected inner-node traversal (locality-aware,
+//!   §5), an STM-protected leaf region guarded by the leaf-version
+//!   validation of Eunomia, and a full STM-protected descent as the
+//!   fallback once the retry threshold is exceeded.
+//!
+//! Both kernels record the *old value* of each issued key; the
+//! **result-calculation** phase then resolves every unissued request from
+//! its run's dependence chain and patches range-query slots from
+//! artificial queries — all without touching the tree.
+
+use crate::locality::WarpLocator;
+use crate::plan::{Artificial, CombinePlan, IssuedKind, Run};
+use eirene_baselines::common::{charge_request_io, BatchRun, ResponseBuf};
+use eirene_btree::build::TreeHandle;
+use eirene_btree::node::{meta_count, meta_is_leaf, OFF_LOW, OFF_META, OFF_VERSION};
+use eirene_btree::txops::{
+    tx_delete_at_leaf, tx_descend, tx_hop_right, tx_upsert_at_leaf, LeafUpsert, NO_VALUE,
+};
+use eirene_primitives::PrimCost;
+use eirene_sim::{Device, KernelStats};
+use eirene_stm::{Abort, Stm};
+use eirene_workloads::{Batch, OpKind, Response};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How the update kernel protects leaf-region operations. The paper's
+/// design uses the optimistic STM scheme of Alg. 1; §7 notes that
+/// "synchronization schemes other than STM can be used in the
+/// implementation, such as fine-grained locks" — that alternative is
+/// provided for the ablation benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum UpdateProtection {
+    /// Alg. 1: unprotected inner traversal, STM-protected leaf region with
+    /// version validation, full-STM fallback past the retry threshold.
+    #[default]
+    OptimisticStm,
+    /// Latch-coupled descent with preemptive splits (the Lock GB-tree's
+    /// update machinery) for every issued update. No optimism, and no
+    /// locality reuse on the update path.
+    FineGrainedLocks,
+}
+
+/// Tunables of the execution engine.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Enable locality-aware warp reorganization (§5). Off = the paper's
+    /// "+ Combining" ablation configuration (Fig. 11).
+    pub locality: bool,
+    /// Optimistic retries before the inner traversal falls back to full
+    /// STM protection (Alg. 1 line 28 THRESHOLD).
+    pub retry_threshold: u32,
+    /// Requests per request group (warp size in the paper).
+    pub rg_size: usize,
+    /// Leaf-region synchronization of the update kernel.
+    pub protection: UpdateProtection,
+    /// Target number of iteration warps per kernel; request groups are
+    /// spread contiguously over this many warps (0 = one per resident
+    /// warp). Smaller values mean more RGs per iteration warp — more
+    /// locality reuse, less parallelism — the trade-off §5 discusses.
+    pub target_warps: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            locality: true,
+            retry_threshold: 3,
+            rg_size: 32,
+            protection: UpdateProtection::OptimisticStm,
+            target_warps: 0,
+        }
+    }
+}
+
+/// One query-kernel work item, in ascending key order.
+enum QkItem {
+    /// Issued point query for run `run`.
+    Query { run: u32, key: u64 },
+    /// Range query `range_idx` over `[lo, lo+len)`.
+    Range { range_idx: u32, lo: u64, len: u32 },
+}
+
+impl QkItem {
+    fn sort_key(&self) -> u64 {
+        match self {
+            QkItem::Query { key, .. } => *key,
+            QkItem::Range { lo, .. } => *lo,
+        }
+    }
+}
+
+/// Executes a combined batch on the device. `stm` protects the update
+/// kernel's leaf region.
+pub fn execute(
+    device: &Device,
+    handle: &TreeHandle,
+    stm: &Stm,
+    opts: &ExecOptions,
+    batch: &Batch,
+    plan: &CombinePlan,
+) -> BatchRun {
+    let n = batch.len();
+    let responses = ResponseBuf::new(n);
+    // Old value per run, retrieved by the run's issued request.
+    let old_vals: Vec<AtomicU64> = (0..plan.runs.len()).map(|_| AtomicU64::new(NO_VALUE)).collect();
+
+    // --- Partition issued requests into kernel work lists (Alg.1 l.3). --
+    let mut qk_items: Vec<QkItem> = Vec::new();
+    let mut uk_items: Vec<(u32, u64, IssuedKind)> = Vec::new();
+    for is in &plan.issued {
+        match is.kind {
+            IssuedKind::Query => {
+                qk_items.push(QkItem::Query { run: is.run, key: is.key as u64 })
+            }
+            kind => uk_items.push((is.run, is.key as u64, kind)),
+        }
+    }
+    // Merge ranges into the query-kernel stream by key (both sorted).
+    let mut merged: Vec<QkItem> = Vec::with_capacity(qk_items.len() + plan.ranges.len());
+    {
+        let mut qi = qk_items.into_iter().peekable();
+        let mut ri = plan.ranges.iter().enumerate().peekable();
+        loop {
+            match (qi.peek(), ri.peek()) {
+                (Some(q), Some((_, r))) => {
+                    if q.sort_key() <= r.lo as u64 {
+                        merged.push(qi.next().expect("peeked"));
+                    } else {
+                        let (idx, r) = ri.next().expect("peeked");
+                        merged.push(QkItem::Range {
+                            range_idx: idx as u32,
+                            lo: r.lo as u64,
+                            len: r.len,
+                        });
+                    }
+                }
+                (Some(_), None) => merged.push(qi.next().expect("peeked")),
+                (None, Some(_)) => {
+                    let (idx, r) = ri.next().expect("peeked");
+                    merged.push(QkItem::Range {
+                        range_idx: idx as u32,
+                        lo: r.lo as u64,
+                        len: r.len,
+                    });
+                }
+                (None, None) => break,
+            }
+        }
+    }
+    let qk_items = merged;
+
+    // Range results are accumulated here (written by the query kernel,
+    // patched by result calculation) and installed into `responses` last.
+    let range_results: Vec<parking_lot_free::SlotVec> = plan
+        .ranges
+        .iter()
+        .map(|r| parking_lot_free::SlotVec::new(r.len as usize))
+        .collect();
+
+    // ------------------------- Query kernel ----------------------------
+    let query_stats = launch_grouped(device, handle, opts, &qk_items, "eirene-query", |ctx, loc, item| {
+        match *item {
+            QkItem::Query { run, key } => {
+                ctx.begin_request();
+                charge_request_io(ctx);
+                let (_, leaf) = loc.locate(ctx, handle, key);
+                ctx.control(12);
+                let v = leaf.find(key).map_or(NO_VALUE, |i| leaf.vals[i]);
+                old_vals[run as usize].store(v, Ordering::Relaxed);
+                ctx.end_request();
+            }
+            QkItem::Range { range_idx, lo, len } => {
+                ctx.begin_request();
+                charge_request_io(ctx);
+                let hi = lo + len as u64 - 1;
+                let (_, mut leaf) = loc.locate(ctx, handle, lo);
+                loop {
+                    for i in 0..leaf.count() {
+                        let k = leaf.keys[i];
+                        if k >= lo && k <= hi {
+                            range_results[range_idx as usize]
+                                .set((k - lo) as usize, leaf.vals[i]);
+                        }
+                    }
+                    ctx.control(leaf.count() as u64 + 2);
+                    if hi < leaf.high || leaf.next == 0 {
+                        break;
+                    }
+                    let next = leaf.next;
+                    leaf = crate::locality::load_node(ctx, next);
+                    ctx.stats.horizontal_steps += 1;
+                }
+                ctx.end_request();
+            }
+        }
+    });
+
+    // ------------------------- Update kernel ---------------------------
+    let update_stats =
+        launch_grouped(device, handle, opts, &uk_items, "eirene-update", |ctx, loc, item| {
+            let (run, key, kind) = *item;
+            ctx.begin_request();
+            charge_request_io(ctx);
+            let old = match opts.protection {
+                UpdateProtection::OptimisticStm => {
+                    update_one(ctx, handle, stm, opts, loc, key, kind)
+                }
+                UpdateProtection::FineGrainedLocks => match kind {
+                    IssuedKind::Upsert(v) => {
+                        eirene_baselines::lock::locked_upsert(ctx, handle, key, v as u64)
+                    }
+                    IssuedKind::Delete => {
+                        eirene_baselines::lock::locked_delete(ctx, handle, key)
+                    }
+                    IssuedKind::Query => unreachable!("queries run in the query kernel"),
+                },
+            };
+            old_vals[run as usize].store(old, Ordering::Relaxed);
+            ctx.end_request();
+        });
+
+    // ----------------------- Result calculation ------------------------
+    let resolve_cost = resolve(batch, plan, &old_vals, &responses, &range_results);
+
+    // Install range responses.
+    for (idx, r) in plan.ranges.iter().enumerate() {
+        let slots = range_results[idx].snapshot();
+        let vec: Vec<Option<u32>> =
+            slots.iter().map(|&v| (v != NO_VALUE).then_some(v as u32)).collect();
+        responses.set(r.orig_idx as usize, Response::Range(vec));
+    }
+
+    // ----------------------------- Stats --------------------------------
+    let cfg = device.config();
+    let mut stats = plan.cost.into_kernel_stats("eirene-combine", cfg);
+    stats.merge(&query_stats);
+    stats.merge(&update_stats);
+    stats.merge(&resolve_cost.into_kernel_stats("eirene-resolve", cfg));
+
+    BatchRun { responses: responses.into_vec(), stats }
+}
+
+/// Executes one issued update with the optimistic protocol of Alg. 1.
+fn update_one(
+    ctx: &mut eirene_sim::WarpCtx<'_>,
+    handle: &TreeHandle,
+    stm: &Stm,
+    opts: &ExecOptions,
+    loc: &mut WarpLocator,
+    key: u64,
+    kind: IssuedKind,
+) -> u64 {
+    let mut retries = 0u32;
+    loop {
+        if retries >= opts.retry_threshold {
+            // Fallback: the whole traversal under STM protection
+            // (Alg. 1 lines 30-34). Unbounded retries: progress is
+            // guaranteed because aborting releases ownership.
+            loc.invalidate();
+            let old = stm
+                .run(ctx, usize::MAX >> 1, |tx, ctx| match kind {
+                    IssuedKind::Upsert(v) => {
+                        let (addr, count) = tx_descend(tx, ctx, handle, key, true)?;
+                        match tx_upsert_at_leaf(tx, ctx, addr, count, key, v as u64)? {
+                            LeafUpsert::Done(old) => Ok(old),
+                            LeafUpsert::Full => unreachable!("descent guarantees room"),
+                        }
+                    }
+                    IssuedKind::Delete => {
+                        let (addr, count) = tx_descend(tx, ctx, handle, key, false)?;
+                        tx_delete_at_leaf(tx, ctx, addr, count, key)
+                    }
+                    IssuedKind::Query => unreachable!("queries run in the query kernel"),
+                })
+                .expect("unbounded retries cannot exhaust");
+            return old;
+        }
+
+        // Optimistic pass: unprotected inner traversal (lines 28-29),
+        // leaf-version validation + STM-protected leaf region (37-45).
+        let (addr, node) = loc.locate(ctx, handle, key);
+        let leafvers = node.version;
+        let mut need_split = false;
+        let attempt = {
+            let mut tx = stm.begin();
+            let r = (|| {
+                let v2 = tx.read(ctx, addr + OFF_VERSION)?;
+                ctx.control(1);
+                if v2 != leafvers {
+                    return Ok(None); // stale leaf reference (line 38)
+                }
+                let meta = tx.read(ctx, addr + OFF_META)?;
+                ctx.control(1);
+                if !meta_is_leaf(meta) {
+                    return Ok(None); // the unprotected hint was garbage
+                }
+                let count = meta_count(meta);
+                let (laddr, lcount) = tx_hop_right(&mut tx, ctx, addr, count, key)?;
+                // Ownership proof: hop_right established key < high; the
+                // low fence closes the other side. A leaf located right of
+                // the target (possible only from a torn hint) fails here
+                // and retries vertically.
+                let low = tx.read(ctx, laddr + OFF_LOW)?;
+                ctx.control(1);
+                if key < low {
+                    return Ok(None);
+                }
+                match kind {
+                    IssuedKind::Upsert(v) => {
+                        match tx_upsert_at_leaf(&mut tx, ctx, laddr, lcount, key, v as u64)? {
+                            LeafUpsert::Done(old) => Ok(Some(old)),
+                            LeafUpsert::Full => {
+                                need_split = true;
+                                Err(Abort)
+                            }
+                        }
+                    }
+                    IssuedKind::Delete => Ok(Some(tx_delete_at_leaf(&mut tx, ctx, laddr, lcount, key)?)),
+                    IssuedKind::Query => unreachable!(),
+                }
+            })();
+            match r {
+                Ok(Some(old)) => match tx.commit(ctx) {
+                    Ok(()) => Some(old),
+                    Err(Abort) => {
+                        ctx.stats.stm_aborts += 1;
+                        None
+                    }
+                },
+                Ok(None) => {
+                    tx.rollback(ctx);
+                    ctx.stats.version_conflicts += 1;
+                    None
+                }
+                Err(Abort) => {
+                    tx.rollback(ctx);
+                    if !need_split {
+                        ctx.stats.stm_aborts += 1;
+                    }
+                    None
+                }
+            }
+        };
+        match attempt {
+            Some(old) => return old,
+            None => {
+                if need_split {
+                    // Structure change required: jump straight to the
+                    // STM-protected path which can split.
+                    retries = opts.retry_threshold;
+                } else {
+                    retries += 1;
+                    // Per §5, a conflicted horizontal traversal retries
+                    // vertically.
+                    loc.invalidate();
+                    ctx.charge_cycles(50 * retries as u64);
+                }
+            }
+        }
+    }
+}
+
+/// Work items that expose the key the RF decision needs.
+trait HasKey: Sync {
+    fn item_key(&self) -> u64;
+}
+
+impl HasKey for QkItem {
+    fn item_key(&self) -> u64 {
+        match self {
+            QkItem::Query { key, .. } => *key,
+            // A range touches keys up to its inclusive upper bound.
+            QkItem::Range { lo, len, .. } => lo + *len as u64 - 1,
+        }
+    }
+}
+
+impl HasKey for (u32, u64, IssuedKind) {
+    fn item_key(&self) -> u64 {
+        self.1
+    }
+}
+
+/// Launches `items` over iteration warps: contiguous blocks of request
+/// groups per warp, so adjacent RGs share a [`WarpLocator`] buffer (§5).
+fn launch_grouped<T: HasKey>(
+    device: &Device,
+    _handle: &TreeHandle,
+    opts: &ExecOptions,
+    items: &[T],
+    name: &str,
+    body: impl Fn(&mut eirene_sim::WarpCtx<'_>, &mut WarpLocator, &T) + Sync,
+) -> KernelStats {
+    let n = items.len();
+    if n == 0 {
+        return KernelStats { name: name.to_string(), ..Default::default() };
+    }
+    let rg = opts.rg_size.max(1);
+    let num_rgs = n.div_ceil(rg);
+    // Spread contiguous RG blocks over the device's resident warps (or
+    // the configured iteration-warp target).
+    let target = if opts.target_warps > 0 {
+        opts.target_warps
+    } else {
+        device.config().resident_warps().max(1)
+    };
+    let rgs_per_warp = num_rgs.div_ceil(target).max(1);
+    let num_warps = num_rgs.div_ceil(rgs_per_warp);
+    device.launch(name, num_warps, |wid, ctx| {
+        let mut loc = WarpLocator::new(opts.locality);
+        let rg_lo = wid * rgs_per_warp;
+        let rg_hi = ((wid + 1) * rgs_per_warp).min(num_rgs);
+        for rg_idx in rg_lo..rg_hi {
+            let lo = rg_idx * rg;
+            let hi = ((rg_idx + 1) * rg).min(n);
+            // RF decision per RG uses the group's maximal key (§5); keys
+            // are ascending, so it is the last item's key.
+            loc.begin_rg(items[hi - 1].item_key());
+            for item in &items[lo..hi] {
+                body(ctx, &mut loc, item);
+            }
+        }
+    })
+}
+
+/// Result calculation (Alg. 1 line 6, RESULT_CAL): resolves every point
+/// request from its run's dependence chain and patches range slots from
+/// artificial queries. Runs on the host in parallel; the modelled device
+/// cost is a streaming pass over the batch.
+fn resolve(
+    batch: &Batch,
+    plan: &CombinePlan,
+    old_vals: &[AtomicU64],
+    responses: &ResponseBuf,
+    range_results: &[parking_lot_free::SlotVec],
+) -> PrimCost {
+    use rayon::prelude::*;
+    plan.runs.par_iter().enumerate().for_each(|(run_i, run)| {
+        resolve_run(batch, plan, run_i, run, old_vals, responses, range_results);
+    });
+    PrimCost::streaming(
+        &eirene_sim::DeviceConfig::default(),
+        batch.len() as u64,
+        1,
+        4,
+    )
+}
+
+/// State of a key while replaying its run in timestamp order.
+#[derive(Clone, Copy)]
+enum KeyState {
+    /// No state-changing op seen yet: queries observe the old value.
+    Old,
+    Deleted,
+    Value(u32),
+}
+
+fn resolve_run(
+    batch: &Batch,
+    plan: &CombinePlan,
+    run_i: usize,
+    run: &Run,
+    old_vals: &[AtomicU64],
+    responses: &ResponseBuf,
+    range_results: &[parking_lot_free::SlotVec],
+) {
+    let old = old_vals[run_i].load(Ordering::Relaxed);
+    let reqs = &plan.point_sorted[run.start as usize..(run.start + run.len) as usize];
+    let arts: &[Artificial] = &plan.run_art[run_i];
+    let mut state = KeyState::Old;
+    let mut ai = 0usize;
+    let value_at = |state: KeyState| -> u64 {
+        match state {
+            KeyState::Old => old,
+            KeyState::Deleted => NO_VALUE,
+            KeyState::Value(v) => v as u64,
+        }
+    };
+    for &orig in reqs {
+        let req = &batch.requests[orig as usize];
+        // Artificial queries with earlier timestamps resolve first.
+        while ai < arts.len() && arts[ai].ts < req.ts {
+            let a = &arts[ai];
+            range_results[a.range_idx as usize].set(a.offset as usize, value_at(state));
+            ai += 1;
+        }
+        match req.op {
+            OpKind::Query => {
+                let v = value_at(state);
+                responses
+                    .set(orig as usize, Response::Value((v != NO_VALUE).then_some(v as u32)));
+            }
+            OpKind::Upsert(v) => {
+                state = KeyState::Value(v);
+                responses.set(orig as usize, Response::Done);
+            }
+            OpKind::Delete => {
+                state = KeyState::Deleted;
+                responses.set(orig as usize, Response::Done);
+            }
+            OpKind::Range { .. } => unreachable!("ranges are not in runs"),
+        }
+    }
+    while ai < arts.len() {
+        let a = &arts[ai];
+        range_results[a.range_idx as usize].set(a.offset as usize, value_at(state));
+        ai += 1;
+    }
+}
+
+/// Minimal lock-free helpers local to this module.
+mod parking_lot_free {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A fixed-size vector of atomically-written u64 slots (NO_VALUE =
+    /// empty), used for range-query result assembly across warps and the
+    /// resolution pass.
+    pub struct SlotVec {
+        slots: Vec<AtomicU64>,
+    }
+
+    impl SlotVec {
+        pub fn new(len: usize) -> Self {
+            SlotVec { slots: (0..len).map(|_| AtomicU64::new(u64::MAX)).collect() }
+        }
+
+        pub fn set(&self, idx: usize, v: u64) {
+            self.slots[idx].store(v, Ordering::Relaxed);
+        }
+
+        pub fn snapshot(&self) -> Vec<u64> {
+            self.slots.iter().map(|s| s.load(Ordering::Relaxed)).collect()
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Locality-aware warp reorganization (§5).
+//!
+//! After combining, issued requests are key-sorted, so adjacent request
+//! groups (RGs) target the same or adjacent leaves. Each *iteration warp*
+//! processes several adjacent RGs in a loop, keeping a buffer with the
+//! last accessed leaf and that leaf's RF (range field). At each RG
+//! boundary the warp compares the RG's maximal key with the buffered RF
+//! to choose between:
+//!
+//! * **horizontal traversal** — walk the leaf chain rightward from the
+//!   buffered leaf (cheap when the target is within `height` hops);
+//! * **vertical traversal** — descend from the root.
+//!
+//! If a horizontal walk overshoots `height + 1` steps, the walk aborts to
+//! a vertical descent and the starting leaf's RF is refreshed with the
+//! minimal key of the node reached at step `height + 1`, exactly the
+//! adaptive rule of §5.
+
+use eirene_btree::build::TreeHandle;
+use eirene_btree::node::{ParsedNode, NODE_WORDS, OFF_RF};
+use eirene_sim::{Addr, WarpCtx};
+
+/// Per-warp traversal state implementing the RF-guided choice.
+pub struct WarpLocator {
+    enabled: bool,
+    /// Last accessed leaf (address + snapshot), if reusable.
+    cur: Option<(Addr, ParsedNode)>,
+}
+
+/// Cooperative block load of one node (one warp memory operation).
+pub fn load_node(ctx: &mut WarpCtx<'_>, addr: Addr) -> ParsedNode {
+    let mut w = [0u64; NODE_WORDS];
+    ctx.read_block(addr, &mut w);
+    ParsedNode::from_words(&w)
+}
+
+use load_node as load;
+
+
+impl WarpLocator {
+    pub fn new(enabled: bool) -> Self {
+        WarpLocator { enabled, cur: None }
+    }
+
+    /// Called at every RG boundary with the RG's maximal key: applies the
+    /// RF check (§5) and drops the buffer when a vertical start is the
+    /// better choice.
+    pub fn begin_rg(&mut self, rg_max_key: u64) {
+        if !self.enabled {
+            self.cur = None;
+            return;
+        }
+        if let Some((_, node)) = &self.cur {
+            if rg_max_key > node.rf {
+                self.cur = None;
+            }
+        }
+    }
+
+    /// Invalidates the buffer (e.g. after an STM conflict, per §5 the
+    /// retry traverses vertically).
+    pub fn invalidate(&mut self) {
+        self.cur = None;
+    }
+
+    /// Locates the leaf owning `key`, horizontally from the buffered leaf
+    /// when possible, vertically otherwise. Returns the leaf address and
+    /// snapshot (unprotected reads — callers that mutate re-validate
+    /// transactionally).
+    pub fn locate(
+        &mut self,
+        ctx: &mut WarpCtx<'_>,
+        handle: &TreeHandle,
+        key: u64,
+    ) -> (Addr, ParsedNode) {
+        let height = handle.height(ctx.raw_mem());
+        if self.enabled {
+            if let Some((addr, node)) = self.cur.take() {
+                match self.walk_right(ctx, addr, node, key, height) {
+                    Some(hit) => {
+                        self.cur = Some(hit);
+                        return hit;
+                    }
+                    None => {
+                        // Overshot: fall through to a vertical descent.
+                    }
+                }
+            }
+        }
+        let hit = self.descend(ctx, handle, key);
+        self.cur = self.enabled.then_some(hit);
+        hit
+    }
+
+    /// Horizontal traversal with the height+1 overshoot bound and RF
+    /// refresh. Returns `None` when the walk aborted to vertical.
+    fn walk_right(
+        &mut self,
+        ctx: &mut WarpCtx<'_>,
+        start_addr: Addr,
+        start_node: ParsedNode,
+        key: u64,
+        height: u64,
+    ) -> Option<(Addr, ParsedNode)> {
+        ctx.stats.horizontal_traversals += 1;
+        let mut addr = start_addr;
+        let mut node = start_node;
+        let mut steps = 0u64;
+        // Lehman-Yao walk: the owning leaf is the first one whose high
+        // bound exceeds the key.
+        while key >= node.high && node.next != 0 {
+            ctx.control(4);
+            steps += 1;
+            if steps > height {
+                // Overshoot: refresh the starting leaf's RF with the high
+                // bound of the node at step height+1, then give up and
+                // descend vertically (§5).
+                ctx.write(start_addr + OFF_RF, node.high.min(node.rf));
+                ctx.control(1);
+                return None;
+            }
+            addr = node.next;
+            node = load(ctx, addr);
+            ctx.stats.horizontal_steps += 1;
+        }
+        ctx.control(1);
+        Some((addr, node))
+    }
+
+    /// Vertical descent from the root with right-hops at the leaf level.
+    ///
+    /// This traversal is *unprotected* (Alg. 1 line 29): it can observe
+    /// another transaction's uncommitted or rolled-back eager writes, so
+    /// everything it reads is treated as a hint — malformed nodes (empty
+    /// inners, null children, runaway depth) restart the descent, and the
+    /// caller's STM leaf region re-validates ownership before mutating.
+    fn descend(
+        &mut self,
+        ctx: &mut WarpCtx<'_>,
+        handle: &TreeHandle,
+        key: u64,
+    ) -> (Addr, ParsedNode) {
+        'restart: loop {
+            ctx.stats.vertical_traversals += 1;
+            let mut addr = ctx.read(handle.root_word);
+            let mut node = load(ctx, addr);
+            ctx.stats.vertical_steps += 1;
+            let mut depth = 0u32;
+            while !node.is_leaf() {
+                ctx.control(12);
+                depth += 1;
+                if depth > 64 || node.count() == 0 {
+                    ctx.charge_cycles(50);
+                    continue 'restart;
+                }
+                let child = node.vals[node.child_slot(key)];
+                if child == 0 {
+                    ctx.charge_cycles(50);
+                    continue 'restart;
+                }
+                addr = child;
+                node = load(ctx, addr);
+                ctx.stats.vertical_steps += 1;
+            }
+            let mut hops = 0u32;
+            while key >= node.high && node.next != 0 {
+                ctx.control(4);
+                hops += 1;
+                if hops > 256 {
+                    ctx.charge_cycles(50);
+                    continue 'restart;
+                }
+                addr = node.next;
+                node = load(ctx, addr);
+                ctx.stats.horizontal_steps += 1;
+            }
+            ctx.control(1);
+            return (addr, node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eirene_btree::build::{arena_budget, bulk_build};
+    use eirene_sim::{Device, DeviceConfig};
+
+    fn tree(n: u64) -> (Device, TreeHandle) {
+        let dev = Device::new(arena_budget(n as usize, 64), DeviceConfig::test_small());
+        let pairs: Vec<(u64, u64)> = (1..=n).map(|i| (2 * i, 2 * i + 1)).collect();
+        let t = bulk_build(dev.mem(), &pairs);
+        (dev, t)
+    }
+
+    #[test]
+    fn first_locate_descends_vertically() {
+        let (dev, t) = tree(5000);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        let mut loc = WarpLocator::new(true);
+        let (_, leaf) = loc.locate(&mut ctx, &t, 500);
+        assert_eq!(leaf.find(500).map(|i| leaf.vals[i]), Some(501));
+        assert_eq!(ctx.stats.vertical_traversals, 1);
+        assert_eq!(ctx.stats.horizontal_traversals, 0);
+    }
+
+    #[test]
+    fn adjacent_keys_walk_horizontally() {
+        let (dev, t) = tree(5000);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        let mut loc = WarpLocator::new(true);
+        loc.locate(&mut ctx, &t, 500);
+        let v_before = ctx.stats.vertical_traversals;
+        // Next key is nearby: must reuse the buffer.
+        let (_, leaf) = loc.locate(&mut ctx, &t, 530);
+        assert_eq!(leaf.find(530).map(|i| leaf.vals[i]), Some(531));
+        assert_eq!(ctx.stats.vertical_traversals, v_before, "no new vertical descent");
+        assert!(ctx.stats.horizontal_traversals >= 1);
+    }
+
+    #[test]
+    fn distant_key_overshoots_and_falls_back_vertical() {
+        let (dev, t) = tree(5000);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        let mut loc = WarpLocator::new(true);
+        let (start_addr, _) = loc.locate(&mut ctx, &t, 2);
+        let rf_before = dev.mem().read(start_addr + OFF_RF);
+        let (_, leaf) = loc.locate(&mut ctx, &t, 9000);
+        assert_eq!(leaf.find(9000).map(|i| leaf.vals[i]), Some(9001));
+        assert_eq!(ctx.stats.vertical_traversals, 2, "fallback descent");
+        let rf_after = dev.mem().read(start_addr + OFF_RF);
+        assert!(rf_after <= rf_before, "overshoot must refresh the RF bound");
+        assert_ne!(rf_after, u64::MAX);
+    }
+
+    #[test]
+    fn begin_rg_honors_rf_bound() {
+        let (dev, t) = tree(5000);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        let mut loc = WarpLocator::new(true);
+        loc.locate(&mut ctx, &t, 2);
+        // A far-away RG max key must force a vertical start.
+        loc.begin_rg(10_000);
+        assert!(loc.cur.is_none());
+        let (_, _) = loc.locate(&mut ctx, &t, 9998);
+        assert_eq!(ctx.stats.vertical_traversals, 2);
+    }
+
+    #[test]
+    fn disabled_locator_always_descends() {
+        let (dev, t) = tree(2000);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        let mut loc = WarpLocator::new(false);
+        loc.locate(&mut ctx, &t, 100);
+        loc.locate(&mut ctx, &t, 102);
+        loc.locate(&mut ctx, &t, 104);
+        assert_eq!(ctx.stats.vertical_traversals, 3);
+        assert_eq!(ctx.stats.horizontal_traversals, 0);
+    }
+
+    #[test]
+    fn locate_works_for_absent_keys() {
+        let (dev, t) = tree(1000);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        let mut loc = WarpLocator::new(true);
+        let (_, leaf) = loc.locate(&mut ctx, &t, 501); // odd key, absent
+        assert_eq!(leaf.find(501), None);
+        // And keys beyond the maximum.
+        let (_, leaf) = loc.locate(&mut ctx, &t, 99_999);
+        assert_eq!(leaf.find(99_999), None);
+        assert_eq!(leaf.next, 0, "must land on the rightmost leaf");
+    }
+}

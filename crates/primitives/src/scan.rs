@@ -1,0 +1,174 @@
+//! Parallel exclusive scan and stable partition.
+
+use crate::cost::PrimCost;
+use eirene_sim::DeviceConfig;
+use rayon::prelude::*;
+
+/// Parallel exclusive prefix sum. Returns `(prefix, total, cost)` where
+/// `prefix[i] = sum(values[..i])`.
+pub fn exclusive_scan(values: &[u32], cfg: &DeviceConfig) -> (Vec<u32>, u32, PrimCost) {
+    let n = values.len();
+    let cost = PrimCost::streaming(cfg, n as u64, 2, 1);
+    if n == 0 {
+        return (Vec::new(), 0, cost);
+    }
+    let chunk = n.div_ceil(rayon::current_num_threads().max(1) * 4).max(1024);
+    // 1. Per-chunk sums.
+    let sums: Vec<u64> = values
+        .par_chunks(chunk)
+        .map(|c| c.iter().map(|&v| v as u64).sum())
+        .collect();
+    // 2. Scan of chunk sums (tiny, sequential).
+    let mut chunk_offsets = Vec::with_capacity(sums.len());
+    let mut running = 0u64;
+    for s in &sums {
+        chunk_offsets.push(running);
+        running += s;
+    }
+    assert!(running <= u32::MAX as u64, "scan total overflows u32");
+    // 3. Per-chunk exclusive scans seeded with chunk offsets.
+    let mut out = vec![0u32; n];
+    out.par_chunks_mut(chunk)
+        .zip(values.par_chunks(chunk))
+        .zip(chunk_offsets.into_par_iter())
+        .for_each(|((o, v), base)| {
+            let mut acc = base as u32;
+            for (slot, &val) in o.iter_mut().zip(v) {
+                *slot = acc;
+                acc += val;
+            }
+        });
+    (out, running as u32, cost)
+}
+
+/// Stable partition: returns the indices of `items` for which `pred` is
+/// true, followed by those for which it is false, preserving relative
+/// order within each class, plus the count of true items and the device
+/// cost. This is the device-side split of the combined batch into
+/// query-kernel and update-kernel request arrays (Alg. 1, `PARTITION`).
+pub fn stable_partition<T: Sync>(
+    items: &[T],
+    cfg: &DeviceConfig,
+    pred: impl Fn(&T) -> bool + Sync,
+) -> (Vec<u32>, usize, PrimCost) {
+    let n = items.len();
+    let flags: Vec<u32> = items.par_iter().map(|it| pred(it) as u32).collect();
+    let (true_prefix, num_true, scan_cost) = exclusive_scan(&flags, cfg);
+    let mut cost = PrimCost::streaming(cfg, n as u64, 2, 2);
+    cost.merge(scan_cost);
+    let mut out = vec![0u32; n];
+    // index among falses = i - true_prefix[i]; falses start at num_true.
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    (0..n).into_par_iter().for_each(|i| {
+        let dst = if flags[i] == 1 {
+            true_prefix[i] as usize
+        } else {
+            num_true as usize + (i - true_prefix[i] as usize)
+        };
+        // SAFETY: dst values are a permutation of 0..n (true slots are
+        // 0..num_true in order; false slots are num_true..n in order).
+        unsafe { *out_ptr.get().add(dst) = i as u32 };
+    });
+    (out, num_true as usize, cost)
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+impl<T> SendPtr<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scan_basic() {
+        let cfg = DeviceConfig::default();
+        let (p, total, _) = exclusive_scan(&[1, 2, 3, 4], &cfg);
+        assert_eq!(p, vec![0, 1, 3, 6]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn scan_empty() {
+        let cfg = DeviceConfig::default();
+        let (p, total, _) = exclusive_scan(&[], &cfg);
+        assert!(p.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn scan_large_matches_sequential() {
+        let cfg = DeviceConfig::default();
+        let values: Vec<u32> = (0..100_000).map(|i| (i % 7) as u32).collect();
+        let (p, total, _) = exclusive_scan(&values, &cfg);
+        let mut acc = 0u32;
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(p[i], acc);
+            acc += v;
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn partition_splits_and_preserves_order() {
+        let cfg = DeviceConfig::default();
+        let items = vec![5, 2, 8, 1, 9, 4];
+        let (idx, ntrue, _) = stable_partition(&items, &cfg, |&x| x % 2 == 0);
+        assert_eq!(ntrue, 3);
+        let evens: Vec<i32> = idx[..3].iter().map(|&i| items[i as usize]).collect();
+        let odds: Vec<i32> = idx[3..].iter().map(|&i| items[i as usize]).collect();
+        assert_eq!(evens, vec![2, 8, 4]);
+        assert_eq!(odds, vec![5, 1, 9]);
+    }
+
+    #[test]
+    fn partition_all_true_and_all_false() {
+        let cfg = DeviceConfig::default();
+        let items = vec![1, 2, 3];
+        let (idx, ntrue, _) = stable_partition(&items, &cfg, |_| true);
+        assert_eq!(ntrue, 3);
+        assert_eq!(idx, vec![0, 1, 2]);
+        let (idx, ntrue, _) = stable_partition(&items, &cfg, |_| false);
+        assert_eq!(ntrue, 0);
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_scan_matches_fold(values in proptest::collection::vec(0u32..100, 0..3000)) {
+            let cfg = DeviceConfig::default();
+            let (p, total, _) = exclusive_scan(&values, &cfg);
+            let mut acc = 0u32;
+            for (i, v) in values.iter().enumerate() {
+                prop_assert_eq!(p[i], acc);
+                acc += v;
+            }
+            prop_assert_eq!(total, acc);
+        }
+
+        #[test]
+        fn prop_partition_is_stable_permutation(values in proptest::collection::vec(any::<u8>(), 0..2000)) {
+            let cfg = DeviceConfig::default();
+            let (idx, ntrue, _) = stable_partition(&values, &cfg, |&v| v < 128);
+            // Permutation check.
+            let mut sorted = idx.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..values.len() as u32).collect::<Vec<_>>());
+            // Class check + stability.
+            prop_assert!(idx[..ntrue].windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(idx[ntrue..].windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(idx[..ntrue].iter().all(|&i| values[i as usize] < 128));
+            prop_assert!(idx[ntrue..].iter().all(|&i| values[i as usize] >= 128));
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Device configuration: geometry and latency model.
+
+/// Geometry and cost model of the simulated device.
+///
+/// Defaults approximate an NVIDIA A100 (108 SMs, 32-lane warps, 1.41 GHz).
+/// Latencies are *effective* per-instruction costs after pipelining — they
+/// set the relative weight of memory traffic vs. control flow vs. atomics
+/// in the makespan, which is what determines the shape of the throughput
+/// and QoS figures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Lanes per warp (fixed at 32 on all NVIDIA hardware).
+    pub warp_size: usize,
+    /// Warps that make concurrent progress on one SM (occupancy). The
+    /// makespan of an SM is its total warp cycles divided by this.
+    pub warps_per_sm: usize,
+    /// Effective cycles charged per coalesced global-memory transaction.
+    pub mem_latency: u64,
+    /// Effective cycles per atomic operation (CAS / fetch-add).
+    pub atomic_latency: u64,
+    /// Cycles per control-flow instruction.
+    pub control_latency: u64,
+    /// Fixed kernel-launch overhead in cycles.
+    pub launch_overhead: u64,
+    /// Core clock in GHz, used only to convert cycles to wall time for
+    /// throughput reporting.
+    pub clock_ghz: f64,
+    /// Bytes per coalesced memory transaction (128 on NVIDIA hardware).
+    pub transaction_bytes: usize,
+    /// Host threads that execute warps concurrently. `0` = auto
+    /// (`max(8, 2 × cores)`). Oversubscription is deliberate: combined
+    /// with `yield_interval` it produces fine-grained warp interleaving —
+    /// and therefore genuine lock/STM contention — even on hosts with few
+    /// cores.
+    pub worker_threads: usize,
+    /// Inject a cooperative `yield_now` after this many instrumented
+    /// device operations (0 disables). This is what makes warps interleave
+    /// at memory-access granularity rather than running to completion one
+    /// after another.
+    pub yield_interval: u32,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            num_sms: 108,
+            warp_size: 32,
+            warps_per_sm: 8,
+            mem_latency: 20,
+            atomic_latency: 40,
+            control_latency: 1,
+            launch_overhead: 2_000,
+            clock_ghz: 1.41,
+            transaction_bytes: 128,
+            worker_threads: 0,
+            yield_interval: 24,
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// A small configuration for unit tests: fewer SMs keeps contention
+    /// high and tests fast.
+    pub fn test_small() -> Self {
+        DeviceConfig { num_sms: 4, warps_per_sm: 2, ..Self::default() }
+    }
+
+    /// Words (u64) per coalesced transaction.
+    pub fn transaction_words(&self) -> usize {
+        self.transaction_bytes / std::mem::size_of::<u64>()
+    }
+
+    /// Number of coalesced transactions needed to touch `words` contiguous
+    /// words starting at `addr` (segment-aligned, as real hardware counts).
+    pub fn transactions_for(&self, addr: u64, words: usize) -> u64 {
+        if words == 0 {
+            return 0;
+        }
+        let tw = self.transaction_words() as u64;
+        let first = addr / tw;
+        let last = (addr + words as u64 - 1) / tw;
+        last - first + 1
+    }
+
+    /// Converts cycles to seconds at the configured clock.
+    pub fn cycles_to_secs(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9)
+    }
+
+    /// Total warps resident across the device.
+    pub fn resident_warps(&self) -> usize {
+        self.num_sms * self.warps_per_sm
+    }
+
+    /// Resolved worker-thread count for kernel launches.
+    pub fn effective_workers(&self) -> usize {
+        if self.worker_threads != 0 {
+            return self.worker_threads;
+        }
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        (2 * cores).max(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_a100_like() {
+        let c = DeviceConfig::default();
+        assert_eq!(c.num_sms, 108);
+        assert_eq!(c.warp_size, 32);
+        assert_eq!(c.transaction_words(), 16);
+    }
+
+    #[test]
+    fn transactions_respect_segment_alignment() {
+        let c = DeviceConfig::default();
+        // 16 words fit one aligned segment.
+        assert_eq!(c.transactions_for(0, 16), 1);
+        // Unaligned 16-word access straddles two segments.
+        assert_eq!(c.transactions_for(8, 16), 2);
+        // A single word is one transaction.
+        assert_eq!(c.transactions_for(1234, 1), 1);
+        // Zero words cost nothing.
+        assert_eq!(c.transactions_for(0, 0), 0);
+        // 36 words aligned: words 0..36 covers segments 0,1,2.
+        assert_eq!(c.transactions_for(0, 36), 3);
+    }
+
+    #[test]
+    fn cycles_to_secs_uses_clock() {
+        let c = DeviceConfig { clock_ghz: 1.0, ..Default::default() };
+        assert!((c.cycles_to_secs(1e9) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,223 @@
+//! The device: owns the arena and launches kernels.
+
+use crate::config::DeviceConfig;
+use crate::mem::GlobalMemory;
+use crate::stats::{KernelStats, WarpStats};
+use crate::warp::WarpCtx;
+
+/// Raw pointer wrapper for disjoint per-warp result slots.
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// A simulated GPU: a global-memory arena plus a configuration, able to
+/// launch kernels.
+///
+/// A *kernel* is a closure executed once per warp; warps run concurrently
+/// on host threads, so device-side synchronization (locks, STM, versions)
+/// exhibits genuine contention. The launch returns aggregated
+/// [`KernelStats`] including a makespan computed under the SM occupancy
+/// model: warps are assigned to SMs round-robin, an SM's time is the sum of
+/// its warps' cycles divided by the number of concurrently-resident warps,
+/// and the kernel's makespan is the slowest SM plus launch overhead.
+pub struct Device {
+    mem: GlobalMemory,
+    cfg: DeviceConfig,
+}
+
+impl Device {
+    /// Creates a device with an arena of `arena_words` 64-bit words.
+    pub fn new(arena_words: usize, cfg: DeviceConfig) -> Self {
+        Device { mem: GlobalMemory::new(arena_words), cfg }
+    }
+
+    /// Device with default (A100-like) configuration.
+    pub fn with_arena(arena_words: usize) -> Self {
+        Self::new(arena_words, DeviceConfig::default())
+    }
+
+    pub fn mem(&self) -> &GlobalMemory {
+        &self.mem
+    }
+
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Launches `num_warps` warps running `kernel` and aggregates their
+    /// statistics. The closure receives the warp id and its context.
+    ///
+    /// Warps execute on a pool of **oversubscribed** OS threads
+    /// ([`DeviceConfig::effective_workers`]); combined with the cooperative
+    /// yields injected by [`WarpCtx`], co-resident warps interleave at
+    /// memory-access granularity — so device-side synchronization exhibits
+    /// real contention regardless of how many host cores exist.
+    pub fn launch<F>(&self, name: &str, num_warps: usize, kernel: F) -> KernelStats
+    where
+        F: Fn(usize, &mut WarpCtx) + Sync,
+    {
+        let workers = self.cfg.effective_workers().min(num_warps.max(1));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let kernel = &kernel;
+        let mut warp_stats: Vec<Option<WarpStats>> = vec![None; num_warps];
+        let slots = SendPtr(warp_stats.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let next = &next;
+                scope.spawn(move || loop {
+                    let wid = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if wid >= num_warps {
+                        return;
+                    }
+                    let mut ctx = WarpCtx::new(&self.mem, &self.cfg, wid);
+                    kernel(wid, &mut ctx);
+                    // SAFETY: each wid is claimed by exactly one worker.
+                    unsafe { *slots.get().add(wid) = Some(ctx.into_stats()) };
+                });
+            }
+        });
+        let warp_stats: Vec<WarpStats> =
+            warp_stats.into_iter().map(|s| s.expect("warp ran")).collect();
+        self.aggregate(name, &warp_stats)
+    }
+
+    /// Sequential launch, for deterministic debugging and tests that need
+    /// reproducible interleavings (no cross-warp races).
+    pub fn launch_seq<F>(&self, name: &str, num_warps: usize, mut kernel: F) -> KernelStats
+    where
+        F: FnMut(usize, &mut WarpCtx),
+    {
+        let warp_stats: Vec<WarpStats> = (0..num_warps)
+            .map(|wid| {
+                let mut ctx = WarpCtx::new(&self.mem, &self.cfg, wid);
+                kernel(wid, &mut ctx);
+                ctx.into_stats()
+            })
+            .collect();
+        self.aggregate(name, &warp_stats)
+    }
+
+    fn aggregate(&self, name: &str, warp_stats: &[WarpStats]) -> KernelStats {
+        let mut totals = WarpStats::default();
+        let mut per_sm = vec![0u64; self.cfg.num_sms];
+        for (wid, ws) in warp_stats.iter().enumerate() {
+            totals.merge(ws);
+            per_sm[wid % self.cfg.num_sms] += ws.cycles;
+        }
+        let slowest_sm = per_sm.iter().copied().max().unwrap_or(0) as f64;
+        let makespan =
+            slowest_sm / self.cfg.warps_per_sm as f64 + self.cfg.launch_overhead as f64;
+        KernelStats {
+            name: name.to_string(),
+            warps: warp_stats.len() as u64,
+            totals,
+            makespan_cycles: makespan,
+        }
+    }
+
+    /// Converts a makespan in cycles into throughput (requests per second).
+    pub fn throughput(&self, requests: usize, makespan_cycles: f64) -> f64 {
+        if makespan_cycles == 0.0 {
+            return 0.0;
+        }
+        requests as f64 / self.cfg.cycles_to_secs(makespan_cycles)
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("mem", &self.mem)
+            .field("num_sms", &self.cfg.num_sms)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_runs_every_warp() {
+        let dev = Device::new(1 << 12, DeviceConfig::test_small());
+        let counter = dev.mem().alloc(1);
+        let stats = dev.launch("count", 64, |_, ctx| {
+            ctx.atomic_add(counter, 1);
+        });
+        assert_eq!(dev.mem().read(counter), 64);
+        assert_eq!(stats.warps, 64);
+        assert_eq!(stats.totals.atomic_insts, 64);
+    }
+
+    #[test]
+    fn makespan_reflects_occupancy_model() {
+        let cfg = DeviceConfig { num_sms: 2, warps_per_sm: 2, launch_overhead: 0, ..DeviceConfig::default() };
+        let dev = Device::new(1 << 12, cfg.clone());
+        let a = dev.mem().alloc(1);
+        // 4 warps, each does one read: each SM gets 2 warps × mem_latency
+        // cycles, divided by 2 resident warps.
+        let stats = dev.launch("reads", 4, |_, ctx| {
+            ctx.read(a);
+        });
+        assert!((stats.makespan_cycles - cfg.mem_latency as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warps_contend_on_shared_memory() {
+        let dev = Device::new(1 << 12, DeviceConfig::test_small());
+        let cell = dev.mem().alloc(1);
+        // Spin-increment through CAS: total must be exact despite races.
+        dev.launch("cas", 32, |_, ctx| {
+            for _ in 0..100 {
+                loop {
+                    let cur = ctx.read(cell);
+                    if ctx.atomic_cas(cell, cur, cur + 1).is_ok() {
+                        break;
+                    }
+                    ctx.stats.lock_conflicts += 1;
+                }
+            }
+        });
+        assert_eq!(dev.mem().read(cell), 3200);
+    }
+
+    #[test]
+    fn launch_seq_is_deterministic() {
+        let dev = Device::new(1 << 12, DeviceConfig::test_small());
+        let a = dev.mem().alloc(1);
+        let s1 = dev.launch_seq("s", 8, |wid, ctx| {
+            ctx.write(a, wid as u64);
+            ctx.control(wid as u64);
+        });
+        assert_eq!(dev.mem().read(a), 7);
+        assert_eq!(s1.totals.control_insts, (0..8).sum::<u64>());
+    }
+
+    #[test]
+    fn throughput_conversion() {
+        let cfg = DeviceConfig { clock_ghz: 1.0, ..DeviceConfig::default() };
+        let dev = Device::new(1 << 12, cfg);
+        // 1000 requests in 1000 cycles at 1 GHz = 1e9 req/s.
+        let tput = dev.throughput(1000, 1000.0);
+        assert!((tput - 1e9).abs() / 1e9 < 1e-9);
+    }
+
+    #[test]
+    fn empty_launch_is_harmless() {
+        let dev = Device::new(1 << 12, DeviceConfig::test_small());
+        let stats = dev.launch("empty", 0, |_, _| {});
+        assert_eq!(stats.warps, 0);
+        assert_eq!(stats.totals.requests, 0);
+    }
+}

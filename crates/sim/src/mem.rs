@@ -1,0 +1,265 @@
+//! Word-addressable global-memory arena shared by all warps.
+//!
+//! The arena is a flat array of `AtomicU64`. Device data structures (B+tree
+//! nodes, request arrays, ownership tables) are allocated from it with a
+//! lock-free bump allocator. Host-side accessors on this type are
+//! *uninstrumented* — device code must go through
+//! [`WarpCtx`](crate::WarpCtx) so that every access is counted and charged.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A device address: an index of a 64-bit word in the arena.
+pub type Addr = u64;
+
+/// The null device pointer. The first words of the arena are reserved so
+/// that no allocation ever returns 0.
+pub const NULL_ADDR: Addr = 0;
+
+/// Number of reserved words at the bottom of the arena (so address 0 is
+/// never handed out, and there is scratch space for globals like the root
+/// pointer).
+const RESERVED_WORDS: usize = 64;
+
+/// The global-memory arena.
+pub struct GlobalMemory {
+    words: Box<[AtomicU64]>,
+    next: AtomicUsize,
+}
+
+impl GlobalMemory {
+    /// Creates a zeroed arena of `num_words` 64-bit words.
+    ///
+    /// # Panics
+    /// Panics if `num_words` is not larger than the reserved prefix.
+    pub fn new(num_words: usize) -> Self {
+        assert!(
+            num_words > RESERVED_WORDS,
+            "arena must exceed the {RESERVED_WORDS}-word reserved prefix"
+        );
+        let mut v = Vec::with_capacity(num_words);
+        v.resize_with(num_words, || AtomicU64::new(0));
+        GlobalMemory { words: v.into_boxed_slice(), next: AtomicUsize::new(RESERVED_WORDS) }
+    }
+
+    /// Arena capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Words currently allocated (including the reserved prefix).
+    pub fn used(&self) -> usize {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Bump-allocates `words` contiguous words and returns the base address.
+    /// The memory is zeroed (the arena starts zeroed and is never recycled).
+    ///
+    /// # Panics
+    /// Panics when the arena is exhausted; sizing is a host-side decision
+    /// and running out indicates a mis-sized experiment, not a recoverable
+    /// condition.
+    pub fn alloc(&self, words: usize) -> Addr {
+        assert!(words > 0, "zero-sized allocation");
+        let base = self.next.fetch_add(words, Ordering::Relaxed);
+        let end = base + words;
+        assert!(
+            end <= self.words.len(),
+            "device arena exhausted: need {} words, capacity {}",
+            end,
+            self.words.len()
+        );
+        base as Addr
+    }
+
+    /// Aligns the bump pointer up to a multiple of `align` words, then
+    /// allocates. Useful to keep node loads within coalescing segments.
+    pub fn alloc_aligned(&self, words: usize, align: usize) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        loop {
+            let cur = self.next.load(Ordering::Relaxed);
+            let base = (cur + align - 1) & !(align - 1);
+            let end = base + words;
+            assert!(
+                end <= self.words.len(),
+                "device arena exhausted: need {} words, capacity {}",
+                end,
+                self.words.len()
+            );
+            if self
+                .next
+                .compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return base as Addr;
+            }
+        }
+    }
+
+    #[inline]
+    fn word(&self, addr: Addr) -> &AtomicU64 {
+        &self.words[addr as usize]
+    }
+
+    /// Uninstrumented read (host side, or already-charged device access).
+    #[inline]
+    pub fn read(&self, addr: Addr) -> u64 {
+        self.word(addr).load(Ordering::Acquire)
+    }
+
+    /// Uninstrumented write.
+    #[inline]
+    pub fn write(&self, addr: Addr, value: u64) {
+        self.word(addr).store(value, Ordering::Release);
+    }
+
+    /// Uninstrumented relaxed read, for statistics words where ordering is
+    /// irrelevant.
+    #[inline]
+    pub fn read_relaxed(&self, addr: Addr) -> u64 {
+        self.word(addr).load(Ordering::Relaxed)
+    }
+
+    /// Compare-and-swap; returns `Ok(previous)` on success and
+    /// `Err(actual)` on failure.
+    #[inline]
+    pub fn cas(&self, addr: Addr, current: u64, new: u64) -> Result<u64, u64> {
+        self.word(addr)
+            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+    }
+
+    /// Atomic fetch-add; returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, addr: Addr, delta: u64) -> u64 {
+        self.word(addr).fetch_add(delta, Ordering::AcqRel)
+    }
+
+    /// Atomic fetch-or; returns the previous value.
+    #[inline]
+    pub fn fetch_or(&self, addr: Addr, bits: u64) -> u64 {
+        self.word(addr).fetch_or(bits, Ordering::AcqRel)
+    }
+
+    /// Atomic fetch-and; returns the previous value.
+    #[inline]
+    pub fn fetch_and(&self, addr: Addr, bits: u64) -> u64 {
+        self.word(addr).fetch_and(bits, Ordering::AcqRel)
+    }
+
+    /// Host-side bulk write of contiguous words (e.g. during bulk build).
+    pub fn write_slice(&self, base: Addr, values: &[u64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write(base + i as Addr, v);
+        }
+    }
+
+    /// Host-side bulk read of contiguous words.
+    pub fn read_slice(&self, base: Addr, out: &mut [u64]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.read(base + i as Addr);
+        }
+    }
+}
+
+impl std::fmt::Debug for GlobalMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalMemory")
+            .field("capacity_words", &self.capacity())
+            .field("used_words", &self.used())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_never_returns_null() {
+        let m = GlobalMemory::new(1024);
+        for _ in 0..10 {
+            assert_ne!(m.alloc(7), NULL_ADDR);
+        }
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let m = GlobalMemory::new(4096);
+        let a = m.alloc(10);
+        let b = m.alloc(10);
+        assert!(b >= a + 10);
+    }
+
+    #[test]
+    fn aligned_alloc_is_aligned() {
+        let m = GlobalMemory::new(4096);
+        m.alloc(3); // perturb the bump pointer
+        let a = m.alloc_aligned(36, 16);
+        assert_eq!(a % 16, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena exhausted")]
+    fn alloc_panics_when_exhausted() {
+        let m = GlobalMemory::new(128);
+        m.alloc(200);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let m = GlobalMemory::new(1024);
+        let a = m.alloc(4);
+        m.write(a + 2, 0xDEAD_BEEF);
+        assert_eq!(m.read(a + 2), 0xDEAD_BEEF);
+        assert_eq!(m.read(a + 3), 0, "fresh memory is zeroed");
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let m = GlobalMemory::new(1024);
+        let a = m.alloc(1);
+        assert_eq!(m.cas(a, 0, 5), Ok(0));
+        assert_eq!(m.cas(a, 0, 9), Err(5));
+        assert_eq!(m.read(a), 5);
+    }
+
+    #[test]
+    fn fetch_ops() {
+        let m = GlobalMemory::new(1024);
+        let a = m.alloc(1);
+        assert_eq!(m.fetch_add(a, 3), 0);
+        assert_eq!(m.fetch_or(a, 0b1000), 3);
+        assert_eq!(m.fetch_and(a, 0b1011), 0b1011);
+        assert_eq!(m.read(a), 0b1011);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let m = GlobalMemory::new(1024);
+        let a = m.alloc(8);
+        m.write_slice(a, &[1, 2, 3, 4]);
+        let mut out = [0u64; 4];
+        m.read_slice(a, &mut out);
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn concurrent_alloc_is_disjoint() {
+        use std::sync::Arc;
+        let m = Arc::new(GlobalMemory::new(1 << 16));
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                (0..100).map(|_| m.alloc(5)).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<Addr> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        for w in all.windows(2) {
+            assert!(w[1] - w[0] >= 5, "overlapping allocations");
+        }
+    }
+}

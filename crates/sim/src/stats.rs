@@ -1,0 +1,230 @@
+//! Execution counters: per-warp during a kernel, aggregated per kernel.
+//!
+//! These are the quantities the paper profiles with Nsight Compute:
+//! memory instructions and control-flow instructions per request
+//! (Figs. 1, 9, 12), conflicts per request (Fig. 12), and traversal steps
+//! (Fig. 10), plus the cycle accounting that feeds throughput (Fig. 7, 11,
+//! 13) and response-time/QoS (Figs. 2, 8) numbers.
+
+/// Counters accumulated by a single warp while executing a kernel.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WarpStats {
+    /// Warp-issued memory instructions (one per warp-level load/store,
+    /// regardless of how many lanes participate).
+    pub mem_insts: u64,
+    /// Total 64-bit words touched by those instructions.
+    pub mem_words: u64,
+    /// Coalesced memory transactions (128-byte segments touched).
+    pub mem_transactions: u64,
+    /// Control-flow instructions (branches, loop iterations, predicate
+    /// evaluations) — instrumented at the algorithm's decision points.
+    pub control_insts: u64,
+    /// Atomic operations issued (CAS, fetch-add, ...).
+    pub atomic_insts: u64,
+    /// Lock-acquisition failures (lock-based concurrency control).
+    pub lock_conflicts: u64,
+    /// STM aborts (eager conflict detection or commit-time validation).
+    pub stm_aborts: u64,
+    /// Version-validation failures between inner traversal and leaf ops.
+    pub version_conflicts: u64,
+    /// Nodes visited while traversing from the root ("vertical" steps).
+    pub vertical_steps: u64,
+    /// Leaf-chain nodes visited during horizontal traversal (§5).
+    pub horizontal_steps: u64,
+    /// Traversals that started from the root.
+    pub vertical_traversals: u64,
+    /// Traversals that started from a buffered leaf (§5).
+    pub horizontal_traversals: u64,
+    /// Requests this warp completed (for per-request normalization).
+    pub requests: u64,
+    /// Simulated cycles consumed by this warp.
+    pub cycles: u64,
+    /// Response time (cycles) of each request this warp completed.
+    pub request_cycles: Vec<u64>,
+}
+
+impl WarpStats {
+    /// Total conflicts of all classes.
+    pub fn conflicts(&self) -> u64 {
+        self.lock_conflicts + self.stm_aborts + self.version_conflicts
+    }
+
+    /// Total traversal steps, vertical plus horizontal.
+    pub fn traversal_steps(&self) -> u64 {
+        self.vertical_steps + self.horizontal_steps
+    }
+
+    /// Accumulates `other` into `self` (used when merging warp results).
+    pub fn merge(&mut self, other: &WarpStats) {
+        self.mem_insts += other.mem_insts;
+        self.mem_words += other.mem_words;
+        self.mem_transactions += other.mem_transactions;
+        self.control_insts += other.control_insts;
+        self.atomic_insts += other.atomic_insts;
+        self.lock_conflicts += other.lock_conflicts;
+        self.stm_aborts += other.stm_aborts;
+        self.version_conflicts += other.version_conflicts;
+        self.vertical_steps += other.vertical_steps;
+        self.horizontal_steps += other.horizontal_steps;
+        self.vertical_traversals += other.vertical_traversals;
+        self.horizontal_traversals += other.horizontal_traversals;
+        self.requests += other.requests;
+        self.cycles += other.cycles;
+        self.request_cycles.extend_from_slice(&other.request_cycles);
+    }
+}
+
+/// Aggregated result of one kernel launch (or several merged launches).
+#[derive(Clone, Debug, Default)]
+pub struct KernelStats {
+    /// Kernel name(s), for reporting.
+    pub name: String,
+    /// Number of warps launched.
+    pub warps: u64,
+    /// Sum of all warp counters.
+    pub totals: WarpStats,
+    /// Makespan of the launch in cycles under the SM occupancy model.
+    pub makespan_cycles: f64,
+}
+
+impl KernelStats {
+    /// Per-request memory instructions.
+    pub fn mem_insts_per_request(&self) -> f64 {
+        ratio(self.totals.mem_insts, self.totals.requests)
+    }
+
+    /// Per-request control-flow instructions.
+    pub fn control_insts_per_request(&self) -> f64 {
+        ratio(self.totals.control_insts, self.totals.requests)
+    }
+
+    /// Per-request conflicts of all classes.
+    pub fn conflicts_per_request(&self) -> f64 {
+        ratio(self.totals.conflicts(), self.totals.requests)
+    }
+
+    /// Per-request traversal steps.
+    pub fn steps_per_request(&self) -> f64 {
+        ratio(self.totals.traversal_steps(), self.totals.requests)
+    }
+
+    /// Average response time in cycles across all completed requests.
+    pub fn avg_response_cycles(&self) -> f64 {
+        let rc = &self.totals.request_cycles;
+        if rc.is_empty() {
+            return 0.0;
+        }
+        rc.iter().sum::<u64>() as f64 / rc.len() as f64
+    }
+
+    /// Maximum response time in cycles.
+    pub fn max_response_cycles(&self) -> u64 {
+        self.totals.request_cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Minimum response time in cycles.
+    pub fn min_response_cycles(&self) -> u64 {
+        self.totals.request_cycles.iter().copied().min().unwrap_or(0)
+    }
+
+    /// The paper's QoS metric (§8.2): `max(|max - avg|, |avg - min|) / avg`,
+    /// i.e. the worst-side deviation of response time from the average.
+    pub fn response_variance(&self) -> f64 {
+        let avg = self.avg_response_cycles();
+        if avg == 0.0 {
+            return 0.0;
+        }
+        let hi = self.max_response_cycles() as f64 - avg;
+        let lo = avg - self.min_response_cycles() as f64;
+        hi.max(lo) / avg
+    }
+
+    /// Merges another kernel's stats into this one (sequential composition:
+    /// makespans add, counters accumulate).
+    pub fn merge(&mut self, other: &KernelStats) {
+        if self.name.is_empty() {
+            self.name = other.name.clone();
+        } else if !other.name.is_empty() {
+            self.name.push('+');
+            self.name.push_str(&other.name);
+        }
+        self.warps += other.warps;
+        self.totals.merge(&other.totals);
+        self.makespan_cycles += other.makespan_cycles;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warp(mem: u64, ctrl: u64, reqs: u64) -> WarpStats {
+        WarpStats {
+            mem_insts: mem,
+            control_insts: ctrl,
+            requests: reqs,
+            request_cycles: (0..reqs).map(|i| 10 + i).collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let mut a = warp(10, 20, 2);
+        a.lock_conflicts = 1;
+        let mut b = warp(5, 5, 1);
+        b.stm_aborts = 2;
+        a.merge(&b);
+        assert_eq!(a.mem_insts, 15);
+        assert_eq!(a.control_insts, 25);
+        assert_eq!(a.requests, 3);
+        assert_eq!(a.conflicts(), 3);
+        assert_eq!(a.request_cycles.len(), 3);
+    }
+
+    #[test]
+    fn per_request_ratios() {
+        let k = KernelStats {
+            name: "t".into(),
+            warps: 1,
+            totals: warp(100, 50, 10),
+            makespan_cycles: 0.0,
+        };
+        assert_eq!(k.mem_insts_per_request(), 10.0);
+        assert_eq!(k.control_insts_per_request(), 5.0);
+    }
+
+    #[test]
+    fn ratios_handle_zero_requests() {
+        let k = KernelStats::default();
+        assert_eq!(k.mem_insts_per_request(), 0.0);
+        assert_eq!(k.response_variance(), 0.0);
+    }
+
+    #[test]
+    fn response_variance_matches_definition() {
+        let k = KernelStats {
+            totals: WarpStats { request_cycles: vec![8, 10, 12], requests: 3, ..Default::default() },
+            ..Default::default()
+        };
+        assert!((k.avg_response_cycles() - 10.0).abs() < 1e-9);
+        assert!((k.response_variance() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_merge_adds_makespans() {
+        let mut a = KernelStats { name: "q".into(), makespan_cycles: 100.0, ..Default::default() };
+        let b = KernelStats { name: "u".into(), makespan_cycles: 50.0, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.makespan_cycles, 150.0);
+        assert_eq!(a.name, "q+u");
+    }
+}

@@ -1,0 +1,284 @@
+//! Per-warp execution context: every device memory access, atomic, and
+//! branch goes through here so it can be counted and charged cycles.
+
+use crate::config::DeviceConfig;
+use crate::mem::{Addr, GlobalMemory};
+use crate::stats::WarpStats;
+
+/// Execution context handed to a kernel closure, one per warp.
+///
+/// A `WarpCtx` wraps the shared [`GlobalMemory`] with instrumentation: each
+/// operation updates the warp's [`WarpStats`] (instruction and transaction
+/// counts, conflict counters via the public `stats` field) and advances the
+/// warp's simulated cycle count according to the [`DeviceConfig`] latency
+/// model.
+///
+/// Request boundaries: kernels bracket the work done for one request with
+/// [`begin_request`](Self::begin_request) /
+/// [`end_request`](Self::end_request) so per-request response times (the
+/// QoS figures) can be recorded.
+pub struct WarpCtx<'a> {
+    mem: &'a GlobalMemory,
+    cfg: &'a DeviceConfig,
+    warp_id: usize,
+    /// Counters for this warp; algorithm code bumps conflict/step counters
+    /// directly.
+    pub stats: WarpStats,
+    req_start: u64,
+    ops_since_yield: u32,
+}
+
+impl<'a> WarpCtx<'a> {
+    /// Creates a context. Normally called by
+    /// [`Device::launch`](crate::Device::launch); public so lower-level
+    /// crates can unit-test device code without a full launch.
+    pub fn new(mem: &'a GlobalMemory, cfg: &'a DeviceConfig, warp_id: usize) -> Self {
+        WarpCtx {
+            mem,
+            cfg,
+            warp_id,
+            stats: WarpStats::default(),
+            req_start: 0,
+            // Stagger the first yield per warp so co-scheduled warps do
+            // not advance in lockstep with each other.
+            ops_since_yield: (warp_id as u32).wrapping_mul(7) % cfg.yield_interval.max(1),
+        }
+    }
+
+    /// Cooperative interleaving point: with oversubscribed worker threads,
+    /// periodic yields make warps alternate at memory-access granularity,
+    /// so locks and transactions genuinely contend even on few-core hosts.
+    #[inline]
+    fn maybe_yield(&mut self) {
+        if self.cfg.yield_interval == 0 {
+            return;
+        }
+        self.ops_since_yield += 1;
+        if self.ops_since_yield >= self.cfg.yield_interval {
+            self.ops_since_yield = 0;
+            std::thread::yield_now();
+        }
+    }
+
+    #[inline]
+    pub fn warp_id(&self) -> usize {
+        self.warp_id
+    }
+
+    #[inline]
+    pub fn config(&self) -> &DeviceConfig {
+        self.cfg
+    }
+
+    /// Raw, *uninstrumented* access to the arena. Use only for host-visible
+    /// bookkeeping that the real system would not execute on the device.
+    #[inline]
+    pub fn raw_mem(&self) -> &'a GlobalMemory {
+        self.mem
+    }
+
+    #[inline]
+    fn charge_mem(&mut self, addr: Addr, words: usize) {
+        self.maybe_yield();
+        let insts = words.div_ceil(self.cfg.warp_size) as u64;
+        let txns = self.cfg.transactions_for(addr, words);
+        self.stats.mem_insts += insts;
+        self.stats.mem_words += words as u64;
+        self.stats.mem_transactions += txns;
+        self.stats.cycles += txns * self.cfg.mem_latency;
+    }
+
+    /// Instrumented single-word read.
+    #[inline]
+    pub fn read(&mut self, addr: Addr) -> u64 {
+        self.charge_mem(addr, 1);
+        self.mem.read(addr)
+    }
+
+    /// Instrumented single-word write.
+    #[inline]
+    pub fn write(&mut self, addr: Addr, value: u64) {
+        self.charge_mem(addr, 1);
+        self.mem.write(addr, value);
+    }
+
+    /// Warp-cooperative coalesced read of `out.len()` contiguous words
+    /// (lanes each load one word per instruction, as in the warp-wide node
+    /// loads of the Lock GB-tree and Eirene kernels).
+    pub fn read_block(&mut self, base: Addr, out: &mut [u64]) {
+        self.charge_mem(base, out.len());
+        self.mem.read_slice(base, out);
+    }
+
+    /// Warp-cooperative coalesced write of contiguous words.
+    pub fn write_block(&mut self, base: Addr, values: &[u64]) {
+        self.charge_mem(base, values.len());
+        self.mem.write_slice(base, values);
+    }
+
+    #[inline]
+    fn charge_atomic(&mut self) {
+        self.maybe_yield();
+        self.stats.atomic_insts += 1;
+        self.stats.mem_transactions += 1;
+        self.stats.cycles += self.cfg.atomic_latency;
+    }
+
+    /// Instrumented compare-and-swap.
+    #[inline]
+    pub fn atomic_cas(&mut self, addr: Addr, current: u64, new: u64) -> Result<u64, u64> {
+        self.charge_atomic();
+        self.mem.cas(addr, current, new)
+    }
+
+    /// Instrumented fetch-add.
+    #[inline]
+    pub fn atomic_add(&mut self, addr: Addr, delta: u64) -> u64 {
+        self.charge_atomic();
+        self.mem.fetch_add(addr, delta)
+    }
+
+    /// Instrumented fetch-or.
+    #[inline]
+    pub fn atomic_or(&mut self, addr: Addr, bits: u64) -> u64 {
+        self.charge_atomic();
+        self.mem.fetch_or(addr, bits)
+    }
+
+    /// Instrumented fetch-and.
+    #[inline]
+    pub fn atomic_and(&mut self, addr: Addr, bits: u64) -> u64 {
+        self.charge_atomic();
+        self.mem.fetch_and(addr, bits)
+    }
+
+    /// Records `n` control-flow instructions (branch decisions, loop
+    /// iterations, predicate evaluations).
+    #[inline]
+    pub fn control(&mut self, n: u64) {
+        self.stats.control_insts += n;
+        self.stats.cycles += n * self.cfg.control_latency;
+    }
+
+    /// Charges extra cycles without touching instruction counters (e.g.
+    /// back-off delays).
+    #[inline]
+    pub fn charge_cycles(&mut self, cycles: u64) {
+        self.stats.cycles += cycles;
+    }
+
+    /// Current simulated cycle count of this warp.
+    #[inline]
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Marks the start of one request's processing.
+    #[inline]
+    pub fn begin_request(&mut self) {
+        self.req_start = self.stats.cycles;
+    }
+
+    /// Marks the end of one request's processing: records its response time
+    /// and bumps the completed-request count.
+    #[inline]
+    pub fn end_request(&mut self) {
+        let dt = self.stats.cycles - self.req_start;
+        self.stats.request_cycles.push(dt);
+        self.stats.requests += 1;
+    }
+
+    /// Records a completed request whose cost is known externally (used for
+    /// combined/unissued requests resolved outside a traversal).
+    #[inline]
+    pub fn record_request_cycles(&mut self, cycles: u64) {
+        self.stats.request_cycles.push(cycles);
+        self.stats.requests += 1;
+    }
+
+    /// Consumes the context, returning the accumulated statistics.
+    pub fn into_stats(self) -> WarpStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (GlobalMemory, DeviceConfig) {
+        (GlobalMemory::new(4096), DeviceConfig::default())
+    }
+
+    #[test]
+    fn read_counts_one_inst_one_transaction() {
+        let (mem, cfg) = setup();
+        let a = mem.alloc(4);
+        mem.write(a, 42);
+        let mut ctx = WarpCtx::new(&mem, &cfg, 0);
+        assert_eq!(ctx.read(a), 42);
+        assert_eq!(ctx.stats.mem_insts, 1);
+        assert_eq!(ctx.stats.mem_transactions, 1);
+        assert_eq!(ctx.stats.cycles, cfg.mem_latency);
+    }
+
+    #[test]
+    fn block_read_coalesces() {
+        let (mem, cfg) = setup();
+        let a = mem.alloc_aligned(36, 16);
+        let mut ctx = WarpCtx::new(&mem, &cfg, 0);
+        let mut out = [0u64; 36];
+        ctx.read_block(a, &mut out);
+        // 36 words / 32 lanes = 2 warp instructions; 36 aligned words touch
+        // 3 128-byte segments.
+        assert_eq!(ctx.stats.mem_insts, 2);
+        assert_eq!(ctx.stats.mem_transactions, 3);
+        assert_eq!(ctx.stats.mem_words, 36);
+    }
+
+    #[test]
+    fn atomics_charge_atomic_latency() {
+        let (mem, cfg) = setup();
+        let a = mem.alloc(1);
+        let mut ctx = WarpCtx::new(&mem, &cfg, 0);
+        assert_eq!(ctx.atomic_cas(a, 0, 1), Ok(0));
+        assert_eq!(ctx.atomic_add(a, 1), 1);
+        assert_eq!(ctx.stats.atomic_insts, 2);
+        assert_eq!(ctx.stats.cycles, 2 * cfg.atomic_latency);
+    }
+
+    #[test]
+    fn request_brackets_record_response_times() {
+        let (mem, cfg) = setup();
+        let a = mem.alloc(1);
+        let mut ctx = WarpCtx::new(&mem, &cfg, 0);
+        ctx.begin_request();
+        ctx.read(a);
+        ctx.end_request();
+        ctx.begin_request();
+        ctx.read(a);
+        ctx.read(a);
+        ctx.end_request();
+        assert_eq!(ctx.stats.requests, 2);
+        assert_eq!(ctx.stats.request_cycles, vec![cfg.mem_latency, 2 * cfg.mem_latency]);
+    }
+
+    #[test]
+    fn control_charges_control_latency() {
+        let (mem, cfg) = setup();
+        let mut ctx = WarpCtx::new(&mem, &cfg, 0);
+        ctx.control(7);
+        assert_eq!(ctx.stats.control_insts, 7);
+        assert_eq!(ctx.stats.cycles, 7 * cfg.control_latency);
+    }
+
+    #[test]
+    fn writes_are_visible_through_raw_mem() {
+        let (mem, cfg) = setup();
+        let a = mem.alloc(2);
+        let mut ctx = WarpCtx::new(&mem, &cfg, 0);
+        ctx.write(a + 1, 99);
+        assert_eq!(mem.read(a + 1), 99);
+        assert_eq!(ctx.raw_mem().read(a + 1), 99);
+    }
+}

@@ -1,0 +1,442 @@
+//! Transaction machinery: ownership table, transactions, retry helper.
+
+use eirene_sim::{Addr, GlobalMemory, WarpCtx};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Marker error: the transaction hit a conflict and must be rolled back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Abort;
+
+/// Result of a transactional operation.
+pub type TxResult<T> = Result<T, Abort>;
+
+/// STM instance: an ownership table in device memory.
+///
+/// `stripes` must be a power of two. Each record protects the arena words
+/// that hash onto it. Records are even version numbers when free and odd
+/// `(tx_id << 1) | 1` markers when owned.
+pub struct Stm {
+    table_base: Addr,
+    mask: u64,
+    next_tx_id: AtomicU64,
+}
+
+impl Stm {
+    /// Allocates the ownership table in the arena.
+    pub fn new(mem: &GlobalMemory, stripes: usize) -> Self {
+        assert!(stripes.is_power_of_two(), "stripe count must be a power of two");
+        let table_base = mem.alloc_aligned(stripes, 16);
+        Stm { table_base, mask: stripes as u64 - 1, next_tx_id: AtomicU64::new(1) }
+    }
+
+    /// Ownership-record address for an arena word. Fibonacci hashing
+    /// spreads adjacent node words over the table so one hot node does not
+    /// serialize on a single stripe — except for words within the same
+    /// cache-line-sized group, which intentionally share a record.
+    #[inline]
+    pub fn record_addr(&self, addr: Addr) -> Addr {
+        let group = addr >> 1; // two words share a stripe
+        let h = group.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17;
+        self.table_base + (h & self.mask)
+    }
+
+    /// Starts a transaction.
+    pub fn begin(&self) -> Tx<'_> {
+        let id = self.next_tx_id.fetch_add(1, Ordering::Relaxed);
+        Tx {
+            stm: self,
+            marker: (id << 1) | 1,
+            reads: Vec::new(),
+            undo: Vec::new(),
+            owned: Vec::new(),
+        }
+    }
+
+    /// Runs `body` in a transaction, retrying on abort up to `max_retries`
+    /// times with linear back-off. Increments `ctx.stats.stm_aborts` per
+    /// abort. Returns `Err(Abort)` only if every attempt aborted.
+    pub fn run<T>(
+        &self,
+        ctx: &mut WarpCtx<'_>,
+        max_retries: usize,
+        mut body: impl FnMut(&mut Tx<'_>, &mut WarpCtx<'_>) -> TxResult<T>,
+    ) -> TxResult<T> {
+        for attempt in 0..=max_retries {
+            let mut tx = self.begin();
+            match body(&mut tx, ctx) {
+                Ok(value) => if let Ok(()) = tx.commit(ctx) { return Ok(value) },
+                Err(Abort) => tx.rollback(ctx),
+            }
+            ctx.stats.stm_aborts += 1;
+            // Capped linear back-off, charged as stall cycles.
+            ctx.charge_cycles(50 * ((attempt as u64) + 1).min(16));
+        }
+        Err(Abort)
+    }
+}
+
+impl std::fmt::Debug for Stm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stm").field("stripes", &(self.mask + 1)).finish()
+    }
+}
+
+/// An in-flight transaction.
+pub struct Tx<'s> {
+    stm: &'s Stm,
+    marker: u64,
+    /// (record address, observed version).
+    reads: Vec<(Addr, u64)>,
+    /// (word address, old value) — undo log, rolled back in reverse.
+    undo: Vec<(Addr, u64)>,
+    /// (record address, pre-lock version) for stripes this tx owns.
+    owned: Vec<(Addr, u64)>,
+}
+
+impl<'s> Tx<'s> {
+    #[inline]
+    fn owns(&self, rec: Addr) -> bool {
+        self.owned.iter().any(|&(r, _)| r == rec)
+    }
+
+    /// Transactional read with eager conflict detection.
+    ///
+    /// TL2-style post-validation: the ownership record is read *before and
+    /// after* the data word. Without the second check, a concurrent writer
+    /// could install a value, hand it to this reader, and then abort —
+    /// restoring the record's version so that commit-time validation would
+    /// miss the dirty read entirely.
+    pub fn read(&mut self, ctx: &mut WarpCtx<'_>, addr: Addr) -> TxResult<u64> {
+        let rec = self.stm.record_addr(addr);
+        // Ownership check, read-set append, and lock/version decode are
+        // all control flow in the real implementation.
+        ctx.control(4);
+        let r1 = ctx.read(rec);
+        if r1 & 1 == 1 {
+            if r1 != self.marker {
+                return Err(Abort); // owned by someone else
+            }
+            // Owned by us: read through.
+            return Ok(ctx.read(addr));
+        }
+        let value = ctx.read(addr);
+        let r2 = ctx.read(rec);
+        ctx.control(1);
+        if r2 != r1 {
+            return Err(Abort); // writer interfered mid-read
+        }
+        self.reads.push((rec, r1));
+        Ok(value)
+    }
+
+    /// Transactional write with encounter-time locking and undo logging.
+    pub fn write(&mut self, ctx: &mut WarpCtx<'_>, addr: Addr, value: u64) -> TxResult<()> {
+        let rec = self.stm.record_addr(addr);
+        // Encounter-time locking: ownership lookup, CAS result dispatch,
+        // and undo-log append are control flow.
+        ctx.control(6);
+        if !self.owns(rec) {
+            let cur = ctx.read(rec);
+            if cur & 1 == 1 {
+                return Err(Abort); // locked by another tx
+            }
+            if ctx.atomic_cas(rec, cur, self.marker).is_err() {
+                return Err(Abort);
+            }
+            self.owned.push((rec, cur));
+        }
+        let old = ctx.read(addr);
+        self.undo.push((addr, old));
+        ctx.write(addr, value);
+        Ok(())
+    }
+
+    /// Validates the read set and publishes: owned versions advance by 2.
+    pub fn commit(self, ctx: &mut WarpCtx<'_>) -> TxResult<()> {
+        // Validate: every read record still shows the version we saw,
+        // unless we later acquired it ourselves.
+        for &(rec, ver) in &self.reads {
+            ctx.control(2);
+            let cur = ctx.read(rec);
+            let ok = cur == ver || (cur == self.marker && self.pre_lock_version(rec) == Some(ver));
+            if !ok {
+                self.rollback(ctx);
+                return Err(Abort);
+            }
+        }
+        // Publish: bump versions and release locks.
+        for &(rec, ver) in &self.owned {
+            ctx.write(rec, ver.wrapping_add(2));
+        }
+        Ok(())
+    }
+
+    fn pre_lock_version(&self, rec: Addr) -> Option<u64> {
+        self.owned.iter().find(|&&(r, _)| r == rec).map(|&(_, v)| v)
+    }
+
+    /// Rolls back all writes (in reverse) and releases owned stripes with
+    /// their versions unchanged.
+    pub fn rollback(self, ctx: &mut WarpCtx<'_>) {
+        for &(addr, old) in self.undo.iter().rev() {
+            ctx.write(addr, old);
+        }
+        for &(rec, ver) in &self.owned {
+            ctx.write(rec, ver);
+        }
+    }
+
+    /// Number of words read so far (diagnostics).
+    pub fn read_set_len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Number of words written so far (diagnostics).
+    pub fn write_set_len(&self) -> usize {
+        self.undo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eirene_sim::{Device, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(1 << 16, DeviceConfig::test_small())
+    }
+
+    #[test]
+    fn committed_write_is_visible() {
+        let dev = device();
+        let stm = Stm::new(dev.mem(), 256);
+        let a = dev.mem().alloc(1);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        stm.run(&mut ctx, 4, |tx, ctx| {
+            tx.write(ctx, a, 42)?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(dev.mem().read(a), 42);
+    }
+
+    #[test]
+    fn rollback_restores_old_values() {
+        let dev = device();
+        let stm = Stm::new(dev.mem(), 256);
+        let a = dev.mem().alloc(2);
+        dev.mem().write(a, 7);
+        dev.mem().write(a + 1, 8);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        let mut tx = stm.begin();
+        tx.write(&mut ctx, a, 100).unwrap();
+        tx.write(&mut ctx, a + 1, 200).unwrap();
+        tx.rollback(&mut ctx);
+        assert_eq!(dev.mem().read(a), 7);
+        assert_eq!(dev.mem().read(a + 1), 8);
+    }
+
+    #[test]
+    fn read_own_write() {
+        let dev = device();
+        let stm = Stm::new(dev.mem(), 256);
+        let a = dev.mem().alloc(1);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        let mut tx = stm.begin();
+        tx.write(&mut ctx, a, 5).unwrap();
+        assert_eq!(tx.read(&mut ctx, a), Ok(5));
+        tx.commit(&mut ctx).unwrap();
+    }
+
+    #[test]
+    fn writer_conflicts_abort_eagerly() {
+        let dev = device();
+        let stm = Stm::new(dev.mem(), 256);
+        let a = dev.mem().alloc(1);
+        let mut ctx1 = WarpCtx::new(dev.mem(), dev.config(), 0);
+        let mut ctx2 = WarpCtx::new(dev.mem(), dev.config(), 1);
+        let mut t1 = stm.begin();
+        t1.write(&mut ctx1, a, 1).unwrap();
+        let mut t2 = stm.begin();
+        assert_eq!(t2.write(&mut ctx2, a, 2), Err(Abort));
+        assert_eq!(t2.read(&mut ctx2, a), Err(Abort));
+        t2.rollback(&mut ctx2);
+        t1.commit(&mut ctx1).unwrap();
+        assert_eq!(dev.mem().read(a), 1);
+    }
+
+    #[test]
+    fn commit_validates_read_set() {
+        let dev = device();
+        let stm = Stm::new(dev.mem(), 256);
+        let a = dev.mem().alloc(1);
+        let mut ctx1 = WarpCtx::new(dev.mem(), dev.config(), 0);
+        let mut ctx2 = WarpCtx::new(dev.mem(), dev.config(), 1);
+        // T1 reads a, then T2 commits a write to a, then T1 must fail.
+        let mut t1 = stm.begin();
+        assert_eq!(t1.read(&mut ctx1, a), Ok(0));
+        let mut t2 = stm.begin();
+        t2.write(&mut ctx2, a, 9).unwrap();
+        t2.commit(&mut ctx2).unwrap();
+        assert_eq!(t1.commit(&mut ctx1), Err(Abort));
+    }
+
+    #[test]
+    fn read_then_own_write_still_commits() {
+        let dev = device();
+        let stm = Stm::new(dev.mem(), 256);
+        let a = dev.mem().alloc(1);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        let mut tx = stm.begin();
+        assert_eq!(tx.read(&mut ctx, a), Ok(0));
+        tx.write(&mut ctx, a, 3).unwrap();
+        assert_eq!(tx.commit(&mut ctx), Ok(()));
+        assert_eq!(dev.mem().read(a), 3);
+    }
+
+    #[test]
+    fn run_retries_until_success() {
+        let dev = device();
+        let stm = Stm::new(dev.mem(), 256);
+        let a = dev.mem().alloc(1);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        let mut attempts = 0;
+        let r = stm.run(&mut ctx, 5, |tx, ctx| {
+            attempts += 1;
+            if attempts < 3 {
+                return Err(Abort); // simulate conflicts
+            }
+            tx.write(ctx, a, 77)
+        });
+        assert_eq!(r, Ok(()));
+        assert_eq!(attempts, 3);
+        assert_eq!(ctx.stats.stm_aborts, 2);
+        assert_eq!(dev.mem().read(a), 77);
+    }
+
+    #[test]
+    fn concurrent_increments_are_atomic() {
+        use rayon::prelude::*;
+        let dev = device();
+        let stm = Stm::new(dev.mem(), 1024);
+        let cells: Vec<Addr> = (0..16).map(|_| dev.mem().alloc(1)).collect();
+        let total: u64 = (0..64u64)
+            .into_par_iter()
+            .map(|wid| {
+                let mut ctx = WarpCtx::new(dev.mem(), dev.config(), wid as usize);
+                let mut done = 0;
+                for i in 0..100 {
+                    let cell = cells[(wid as usize + i) % cells.len()];
+                    let r = stm.run(&mut ctx, usize::MAX >> 1, |tx, ctx| {
+                        let v = tx.read(ctx, cell)?;
+                        tx.write(ctx, cell, v + 1)
+                    });
+                    if r.is_ok() {
+                        done += 1;
+                    }
+                }
+                done
+            })
+            .sum();
+        assert_eq!(total, 6400);
+        let sum: u64 = cells.iter().map(|&c| dev.mem().read(c)).sum();
+        assert_eq!(sum, 6400, "lost or duplicated increments");
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve_totals() {
+        // Classic STM atomicity property: random transfers between
+        // accounts must conserve the total; a dirty read, lost update, or
+        // partial rollback would break conservation.
+        use rayon::prelude::*;
+        let dev = device();
+        let stm = Stm::new(dev.mem(), 1024);
+        let accounts: Vec<Addr> = (0..32).map(|_| dev.mem().alloc(1)).collect();
+        for &a in &accounts {
+            dev.mem().write(a, 1000);
+        }
+        (0..48u64).into_par_iter().for_each(|wid| {
+            let mut ctx = WarpCtx::new(dev.mem(), dev.config(), wid as usize);
+            for i in 0..80u64 {
+                let from = accounts[((wid * 7 + i) % 32) as usize];
+                let to = accounts[((wid * 13 + i * 3 + 1) % 32) as usize];
+                if from == to {
+                    continue;
+                }
+                stm.run(&mut ctx, usize::MAX >> 1, |tx, ctx| {
+                    let f = tx.read(ctx, from)?;
+                    let t = tx.read(ctx, to)?;
+                    let amount = 1 + (i % 7);
+                    if f >= amount {
+                        tx.write(ctx, from, f - amount)?;
+                        tx.write(ctx, to, t + amount)?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            }
+        });
+        let total: u64 = accounts.iter().map(|&a| dev.mem().read(a)).sum();
+        assert_eq!(total, 32 * 1000, "transfers must conserve the total");
+    }
+
+    #[test]
+    fn doomed_reader_never_observes_torn_transfer() {
+        // Readers must never see a state where money is in flight: with
+        // the TL2-style post-validated read, any snapshot of (a, b) taken
+        // inside a committed transaction shows a conserved sum.
+        use rayon::prelude::*;
+        let dev = device();
+        let stm = Stm::new(dev.mem(), 512);
+        let a = dev.mem().alloc(1);
+        let b = dev.mem().alloc(1);
+        dev.mem().write(a, 500);
+        dev.mem().write(b, 500);
+        let bad = std::sync::atomic::AtomicU64::new(0);
+        (0..16u64).into_par_iter().for_each(|wid| {
+            let mut ctx = WarpCtx::new(dev.mem(), dev.config(), wid as usize);
+            for i in 0..200u64 {
+                if wid % 2 == 0 {
+                    stm.run(&mut ctx, usize::MAX >> 1, |tx, ctx| {
+                        let va = tx.read(ctx, a)?;
+                        let vb = tx.read(ctx, b)?;
+                        if va > 0 {
+                            tx.write(ctx, a, va - 1)?;
+                            tx.write(ctx, b, vb + 1)?;
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+                } else {
+                    let sum = stm
+                        .run(&mut ctx, usize::MAX >> 1, |tx, ctx| {
+                            Ok(tx.read(ctx, a)? + tx.read(ctx, b)?)
+                        })
+                        .unwrap();
+                    if sum != 1000 {
+                        bad.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+                let _ = i;
+            }
+        });
+        assert_eq!(bad.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn stm_reads_cost_more_than_raw_reads() {
+        // The Fig. 1 mechanism: transactional traffic includes ownership
+        // records, so per-access memory instructions go up.
+        let dev = device();
+        let stm = Stm::new(dev.mem(), 256);
+        let a = dev.mem().alloc(1);
+        let mut raw_ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        raw_ctx.read(a);
+        let raw = raw_ctx.stats.mem_insts;
+        let mut tx_ctx = WarpCtx::new(dev.mem(), dev.config(), 1);
+        let mut tx = stm.begin();
+        tx.read(&mut tx_ctx, a).unwrap();
+        tx.commit(&mut tx_ctx).unwrap();
+        assert!(tx_ctx.stats.mem_insts >= 2 * raw);
+    }
+}

@@ -1,0 +1,280 @@
+//! YCSB-style workload specification and batch generation.
+//!
+//! The initial tree is bulk-loaded with the *even* keys
+//! `2, 4, ..., 2 * tree_size`. Request keys are drawn from the full domain
+//! `[1, 2 * tree_size]`, so roughly half of the upserts hit absent (odd)
+//! keys and become true insertions that trigger leaf splits — the structure
+//! conflicts the paper's update kernel must handle (§4.2).
+
+use crate::request::{Batch, Key, OpKind, Request, Value};
+use crate::zipf::Zipfian;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Key-popularity distribution of a workload. The paper's default is
+/// `Uniform` (§8.1); YCSB's skewed option is zipfian with theta = 0.99.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Distribution {
+    Uniform,
+    Zipfian { theta: f64 },
+}
+
+/// Operation mix of a workload, as fractions summing to at most 1; the
+/// remainder is point queries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mix {
+    pub upsert: f64,
+    pub delete: f64,
+    pub range: f64,
+    /// Length of generated range queries (the paper evaluates 4 and 8).
+    pub range_len: u32,
+}
+
+impl Mix {
+    /// The paper's default: 95% query / 5% update (§8.1).
+    pub fn read_heavy() -> Self {
+        Mix { upsert: 0.05, delete: 0.0, range: 0.0, range_len: 4 }
+    }
+
+    /// Pure point queries.
+    pub fn query_only() -> Self {
+        Mix { upsert: 0.0, delete: 0.0, range: 0.0, range_len: 4 }
+    }
+
+    /// Pure range queries of the given length (Fig. 13).
+    pub fn range_only(range_len: u32) -> Self {
+        Mix { upsert: 0.0, delete: 0.0, range: 1.0, range_len }
+    }
+
+    /// Balanced update-heavy mix used for stress tests.
+    pub fn update_heavy() -> Self {
+        Mix { upsert: 0.45, delete: 0.05, range: 0.0, range_len: 4 }
+    }
+
+    /// YCSB workload A: 50% reads / 50% updates.
+    pub fn ycsb_a() -> Self {
+        Mix { upsert: 0.5, delete: 0.0, range: 0.0, range_len: 4 }
+    }
+
+    /// YCSB workload B: 95% reads / 5% updates (the paper's default).
+    pub fn ycsb_b() -> Self {
+        Self::read_heavy()
+    }
+
+    /// YCSB workload C: read-only.
+    pub fn ycsb_c() -> Self {
+        Self::query_only()
+    }
+
+    /// YCSB workload E: short range scans (95%) with inserts (5%).
+    pub fn ycsb_e(range_len: u32) -> Self {
+        Mix { upsert: 0.05, delete: 0.0, range: 0.95, range_len }
+    }
+
+    fn validate(&self) {
+        let s = self.upsert + self.delete + self.range;
+        assert!(
+            (0.0..=1.0).contains(&s),
+            "mix fractions must sum to <= 1, got {s}"
+        );
+        assert!(self.range_len >= 1, "range length must be at least 1");
+    }
+}
+
+/// Full description of a benchmark workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Number of keys bulk-loaded into the tree before the batches run
+    /// (the paper sweeps 2^23..2^26).
+    pub tree_size: usize,
+    /// Requests per batch (the paper buffers 1M requests per transfer, §7).
+    pub batch_size: usize,
+    pub mix: Mix,
+    pub distribution: Distribution,
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Paper defaults scaled to the given tree-size exponent.
+    pub fn with_tree_exp(exp: u32, batch_size: usize) -> Self {
+        WorkloadSpec {
+            tree_size: 1usize << exp,
+            batch_size,
+            mix: Mix::read_heavy(),
+            distribution: Distribution::Uniform,
+            seed: 0x00E1_BE4E,
+        }
+    }
+
+    /// The even keys the tree is bulk-loaded with, in ascending order, with
+    /// value `key + 1` (an arbitrary but checkable scheme).
+    pub fn initial_pairs(&self) -> Vec<(Key, Value)> {
+        (1..=self.tree_size as u64)
+            .map(|i| ((2 * i) as Key, (2 * i + 1) as Value))
+            .collect()
+    }
+
+    /// Upper bound of the key domain requests are drawn from.
+    pub fn key_domain(&self) -> u64 {
+        2 * self.tree_size as u64
+    }
+}
+
+/// Streaming batch generator for a [`WorkloadSpec`].
+pub struct WorkloadGen {
+    spec: WorkloadSpec,
+    rng: ChaCha8Rng,
+    zipf: Option<Zipfian>,
+    next_ts: u64,
+}
+
+impl WorkloadGen {
+    pub fn new(spec: WorkloadSpec) -> Self {
+        spec.mix.validate();
+        assert!(spec.tree_size > 0, "tree_size must be positive");
+        assert!(spec.batch_size > 0, "batch_size must be positive");
+        let zipf = match spec.distribution {
+            Distribution::Uniform => None,
+            Distribution::Zipfian { theta } => Some(Zipfian::new(spec.key_domain(), theta)),
+        };
+        let rng = ChaCha8Rng::seed_from_u64(spec.seed);
+        WorkloadGen { spec, rng, zipf, next_ts: 0 }
+    }
+
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    fn sample_key(&mut self) -> Key {
+        let domain = self.spec.key_domain();
+        let raw = match &self.zipf {
+            None => self.rng.gen_range(0..domain),
+            Some(z) => {
+                let rank = z.rank(self.rng.gen::<f64>());
+                // Scatter ranks over the domain so hot keys are not all
+                // adjacent (YCSB applies an FNV hash; a multiplicative
+                // hash keeps the same effect deterministically).
+                rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % domain
+            }
+        };
+        // Keys live in [1, domain]; 0 is reserved.
+        (raw + 1) as Key
+    }
+
+    /// Generates the next batch of requests with fresh logical timestamps.
+    pub fn next_batch(&mut self) -> Batch {
+        let mut requests = Vec::with_capacity(self.spec.batch_size);
+        let mix = self.spec.mix;
+        for _ in 0..self.spec.batch_size {
+            let key = self.sample_key();
+            let ts = self.next_ts;
+            self.next_ts += 1;
+            let p: f64 = self.rng.gen();
+            let op = if p < mix.upsert {
+                OpKind::Upsert(self.rng.gen::<u32>() >> 1)
+            } else if p < mix.upsert + mix.delete {
+                OpKind::Delete
+            } else if p < mix.upsert + mix.delete + mix.range {
+                OpKind::Range { len: mix.range_len }
+            } else {
+                OpKind::Query
+            };
+            requests.push(Request { key, op, ts });
+        }
+        Batch::new(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            tree_size: 1 << 10,
+            batch_size: 4096,
+            mix: Mix::read_heavy(),
+            distribution: Distribution::Uniform,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn initial_pairs_are_even_keys() {
+        let s = spec();
+        let pairs = s.initial_pairs();
+        assert_eq!(pairs.len(), 1 << 10);
+        assert!(pairs.iter().all(|(k, v)| k % 2 == 0 && *v == k + 1));
+        assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn batch_respects_mix_ratios_approximately() {
+        let mut gen = WorkloadGen::new(spec());
+        let b = gen.next_batch();
+        let updates = b.requests.iter().filter(|r| r.op.is_update()).count();
+        let frac = updates as f64 / b.len() as f64;
+        assert!((frac - 0.05).abs() < 0.02, "update fraction {frac}");
+    }
+
+    #[test]
+    fn timestamps_are_globally_monotonic_across_batches() {
+        let mut gen = WorkloadGen::new(spec());
+        let b1 = gen.next_batch();
+        let b2 = gen.next_batch();
+        let max1 = b1.requests.iter().map(|r| r.ts).max().unwrap();
+        let min2 = b2.requests.iter().map(|r| r.ts).min().unwrap();
+        assert!(min2 > max1);
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = WorkloadGen::new(spec()).next_batch();
+        let b = WorkloadGen::new(spec()).next_batch();
+        assert_eq!(a.requests, b.requests);
+    }
+
+    #[test]
+    fn keys_stay_in_domain_and_nonzero() {
+        let mut gen = WorkloadGen::new(spec());
+        let b = gen.next_batch();
+        let domain = gen.spec().key_domain();
+        assert!(b.requests.iter().all(|r| r.key >= 1 && (r.key as u64) <= domain));
+    }
+
+    #[test]
+    fn zipfian_workload_produces_hot_keys() {
+        let mut s = spec();
+        s.distribution = Distribution::Zipfian { theta: 0.99 };
+        s.batch_size = 20_000;
+        let mut gen = WorkloadGen::new(s);
+        let b = gen.next_batch();
+        let mut counts = std::collections::HashMap::new();
+        for r in &b.requests {
+            *counts.entry(r.key).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        // Uniform over 2^11 keys would give ~10 per key; zipfian must
+        // concentrate far more on the hottest key.
+        assert!(max > 100, "hottest key only seen {max} times");
+    }
+
+    #[test]
+    fn ycsb_presets_are_consistent() {
+        for m in [Mix::ycsb_a(), Mix::ycsb_b(), Mix::ycsb_c(), Mix::ycsb_e(8)] {
+            m.validate();
+        }
+        assert_eq!(Mix::ycsb_b(), Mix::read_heavy());
+        assert_eq!(Mix::ycsb_a().upsert, 0.5);
+        assert_eq!(Mix::ycsb_e(8).range, 0.95);
+    }
+
+    #[test]
+    fn range_only_mix_generates_ranges() {
+        let mut s = spec();
+        s.mix = Mix::range_only(8);
+        let mut gen = WorkloadGen::new(s);
+        let b = gen.next_batch();
+        assert!(b.requests.iter().all(|r| r.op == OpKind::Range { len: 8 }));
+    }
+}

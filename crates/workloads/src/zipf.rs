@@ -1,0 +1,120 @@
+//! Zipfian key-popularity generator in the style of YCSB's
+//! `ZipfianGenerator` (Gray et al., "Quickly generating billion-record
+//! synthetic databases", SIGMOD'94).
+//!
+//! YCSB's default skew constant is `theta = 0.99`. Items are ranked
+//! 0..n-1; rank 0 is the most popular.
+
+/// Zipfian distribution over `0..n`.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+    zeta_2: f64,
+}
+
+impl Zipfian {
+    /// Creates a generator over `0..n` with skew `theta` (0 < theta < 1).
+    ///
+    /// Precomputes `zeta(n, theta)` in O(n); for the sizes used in the
+    /// benchmarks (< 2^26) this is fast enough to do once per workload.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian domain must be non-empty");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0, 1), got {theta}"
+        );
+        let zeta_n = Self::zeta(n, theta);
+        let zeta_2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
+        Zipfian { n, theta, alpha, zeta_n, eta, zeta_2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Maps a uniform sample `u ∈ [0, 1)` to a zipfian-distributed rank.
+    pub fn rank(&self, u: f64) -> u64 {
+        debug_assert!((0.0..1.0).contains(&u));
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Number of items in the domain.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// zeta(2, theta), exposed for tests.
+    #[doc(hidden)]
+    pub fn zeta_2(&self) -> f64 {
+        self.zeta_2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            let r = z.rank(rng.gen::<f64>());
+            counts[r as usize] += 1;
+        }
+        // Rank 0 must dominate rank 10 which must dominate rank 500.
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[500]);
+        // Roughly: P(0)/P(1) ~ 2^theta ~ 1.99; allow generous slack.
+        assert!(counts[0] as f64 / counts[1] as f64 > 1.3);
+    }
+
+    #[test]
+    fn ranks_stay_in_domain() {
+        let z = Zipfian::new(17, 0.5);
+        for i in 0..1000 {
+            let u = i as f64 / 1000.0;
+            assert!(z.rank(u) < 17);
+        }
+    }
+
+    #[test]
+    fn boundary_samples() {
+        let z = Zipfian::new(100, 0.99);
+        assert_eq!(z.rank(0.0), 0);
+        assert!(z.rank(0.999_999) < 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain must be non-empty")]
+    fn rejects_empty_domain() {
+        let _ = Zipfian::new(0, 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in")]
+    fn rejects_bad_theta() {
+        let _ = Zipfian::new(10, 1.5);
+    }
+}

@@ -1,0 +1,88 @@
+//! A YCSB-style key-value store service loop, the scenario that motivates
+//! the paper (§1): requests stream into a host-side buffer and are shipped
+//! to the GPU in batches. Compares Eirene with both baselines on the same
+//! request stream and reports throughput and per-request instruction
+//! counts.
+//!
+//! ```text
+//! cargo run --release --example kvstore [tree_exp] [batch_size] [batches]
+//! ```
+
+use eirene::baselines::common::ConcurrentTree;
+use eirene::baselines::{LockTree, StmTree};
+use eirene::core::{EireneOptions, EireneTree};
+use eirene::sim::DeviceConfig;
+use eirene::workloads::{Mix, WorkloadGen, WorkloadSpec};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let exp: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(14);
+    let batch_size: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1 << 16);
+    let batches: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    let spec = WorkloadSpec {
+        tree_size: 1 << exp,
+        batch_size,
+        mix: Mix::read_heavy(), // the paper's default 95% query / 5% update
+        distribution: eirene::workloads::Distribution::Uniform,
+        seed: 2024,
+    };
+    let pairs: Vec<(u64, u64)> =
+        spec.initial_pairs().iter().map(|&(k, v)| (k as u64, v as u64)).collect();
+    println!(
+        "KV store: tree 2^{exp} keys, {batches} batches x {batch_size} requests, 95/5 mix\n"
+    );
+
+    let headroom = batch_size * batches / 8 + (1 << 12);
+    let mut trees: Vec<Box<dyn ConcurrentTree>> = vec![
+        Box::new(StmTree::new(&pairs, DeviceConfig::default(), headroom)),
+        Box::new(LockTree::new(&pairs, DeviceConfig::default(), headroom)),
+        Box::new(EireneTree::new(
+            &pairs,
+            EireneOptions { headroom_nodes: headroom, ..Default::default() },
+        )),
+    ];
+
+    println!(
+        "{:<16}{:>14}{:>12}{:>12}{:>14}",
+        "tree", "Mreq/s", "mem/req", "ctrl/req", "conflicts/req"
+    );
+    let mut eirene_tput = 0.0;
+    let mut baseline_best = 0.0f64;
+    for tree in trees.iter_mut() {
+        let mut gen = WorkloadGen::new(spec.clone());
+        tree.run_batch(&gen.next_batch()); // warm-up (unmeasured)
+        let mut total_reqs = 0usize;
+        let mut total_secs = 0.0;
+        let mut mem = 0u64;
+        let mut ctrl = 0u64;
+        let mut confl = 0u64;
+        for _ in 0..batches {
+            let batch = gen.next_batch();
+            let run = tree.run_batch(&batch);
+            total_reqs += batch.len();
+            total_secs += tree.device().config().cycles_to_secs(run.stats.makespan_cycles);
+            mem += run.stats.totals.mem_insts;
+            ctrl += run.stats.totals.control_insts;
+            confl += run.stats.totals.conflicts();
+        }
+        let tput = total_reqs as f64 / total_secs;
+        println!(
+            "{:<16}{:>14.1}{:>12.1}{:>12.1}{:>14.4}",
+            tree.name(),
+            tput / 1e6,
+            mem as f64 / total_reqs as f64,
+            ctrl as f64 / total_reqs as f64,
+            confl as f64 / total_reqs as f64
+        );
+        if tree.name() == "Eirene" {
+            eirene_tput = tput;
+        } else {
+            baseline_best = baseline_best.max(tput);
+        }
+    }
+    println!(
+        "\nEirene speedup over the best baseline: {:.2}x",
+        eirene_tput / baseline_best
+    );
+}

@@ -1,0 +1,98 @@
+//! QoS monitor — the paper's response-time story (Figs. 2 and 8): conflict
+//! detection and resolution make baseline response times *unpredictable*,
+//! while Eirene's conflict-free kernels keep them flat.
+//!
+//! Follows the paper's methodology (§8.1): each run is a fresh execution
+//! — a freshly bulk-loaded tree processing one batch — and the variance
+//! statistic is the worst-side deviation of per-batch response time from
+//! the mean across runs. (A long-lived tree absorbing batch after batch
+//! additionally sees periodic *split waves* as cohorts of leaves fill up
+//! together; `examples/kvstore.rs` shows that service-loop mode.)
+//!
+//! ```text
+//! cargo run --release --example qos_monitor [runs]
+//! ```
+
+use eirene::baselines::common::ConcurrentTree;
+use eirene::baselines::{LockTree, StmTree};
+use eirene::core::{EireneOptions, EireneTree};
+use eirene::sim::DeviceConfig;
+use eirene::workloads::{Distribution, Mix, WorkloadGen, WorkloadSpec};
+
+fn main() {
+    let mut runs: usize = 10;
+    let mut zipf = false;
+    for a in std::env::args().skip(1) {
+        if a == "--zipf" {
+            zipf = true;
+        } else if let Ok(n) = a.parse() {
+            runs = n;
+        }
+    }
+    // Default: the paper's 95/5 uniform workload. `--zipf` switches to a
+    // skewed update-heavy stress mix where conflicts dominate.
+    let spec = WorkloadSpec {
+        tree_size: 1 << 14,
+        batch_size: 1 << 16,
+        mix: if zipf {
+            Mix { upsert: 0.3, delete: 0.0, range: 0.0, range_len: 4 }
+        } else {
+            Mix::read_heavy()
+        },
+        distribution: if zipf { Distribution::Zipfian { theta: 0.99 } } else { Distribution::Uniform },
+        seed: 7,
+    };
+    let pairs: Vec<(u64, u64)> =
+        spec.initial_pairs().iter().map(|&(k, v)| (k as u64, v as u64)).collect();
+    let headroom = spec.batch_size * runs / 4 + (1 << 12);
+
+    println!(
+        "{} workload, {} runs x {} requests\n",
+        if zipf { "zipfian(0.99) 70/30" } else { "uniform 95/5" },
+        runs,
+        spec.batch_size
+    );
+    println!(
+        "{:<16}{:>10}{:>10}{:>10}{:>11}{:>15}",
+        "tree", "avg ns", "min ns", "max ns", "variance", "conflicts/req"
+    );
+    for which in 0..3 {
+        let mut gen = WorkloadGen::new(spec.clone());
+        let mut per_req = Vec::with_capacity(runs);
+        let mut conflicts = 0u64;
+        let mut reqs = 0u64;
+        let mut name = "";
+        for _ in 0..runs {
+            // Fresh execution per run, as in the paper.
+            let mut tree: Box<dyn ConcurrentTree> = match which {
+                0 => Box::new(StmTree::new(&pairs, DeviceConfig::default(), headroom)),
+                1 => Box::new(LockTree::new(&pairs, DeviceConfig::default(), headroom)),
+                _ => Box::new(EireneTree::new(
+                    &pairs,
+                    EireneOptions { headroom_nodes: headroom, ..Default::default() },
+                )),
+            };
+            name = tree.name();
+            let batch = gen.next_batch();
+            let run = tree.run_batch(&batch);
+            let secs = tree.device().config().cycles_to_secs(run.stats.makespan_cycles);
+            per_req.push(secs * 1e9 / batch.len() as f64);
+            conflicts += run.stats.totals.conflicts();
+            reqs += batch.len() as u64;
+        }
+        let avg = per_req.iter().sum::<f64>() / per_req.len() as f64;
+        let min = per_req.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_req.iter().copied().fold(0.0f64, f64::max);
+        let var = ((max - avg).max(avg - min)) / avg * 100.0;
+        println!(
+            "{name:<16}{avg:>10.2}{min:>10.2}{max:>10.2}{:>10.1}%{:>15.4}",
+            var,
+            conflicts as f64 / reqs as f64
+        );
+    }
+    println!(
+        "\nLower variance = more predictable service: the designs that \
+         detect and resolve conflicts during traversal are the ones whose \
+         response times move between runs."
+    );
+}

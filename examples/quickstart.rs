@@ -1,0 +1,59 @@
+//! Quickstart: build an Eirene tree, run one concurrent batch, inspect
+//! results and execution statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use eirene::baselines::common::ConcurrentTree;
+use eirene::core::{EireneOptions, EireneTree};
+use eirene::workloads::{Batch, Request, Response};
+
+fn main() {
+    // 1. Bulk-load a tree with the even keys 2..=2000, value = key + 1.
+    let pairs: Vec<(u64, u64)> = (1..=1000u64).map(|i| (2 * i, 2 * i + 1)).collect();
+    let mut tree = EireneTree::new(&pairs, EireneOptions::default());
+
+    // 2. Buffer a batch of concurrent requests. The timestamp (third
+    //    argument) is the arrival order, which fixes the linearization:
+    //    requests on the same key behave exactly as if executed one at a
+    //    time in timestamp order.
+    let batch = Batch::new(vec![
+        Request::query(10, 0),        // sees the loaded value 11
+        Request::upsert(10, 555, 1),  // overwrites key 10
+        Request::query(10, 2),        // sees 555
+        Request::delete(10, 3),       // removes key 10
+        Request::query(10, 4),        // sees nothing
+        Request::upsert(11, 7, 5),    // inserts a brand-new odd key
+        Request::range(8, 6, 6),      // keys 8..=13 as of timestamp 6
+    ]);
+
+    // 3. Ship the batch to the (simulated) GPU.
+    let run = tree.run_batch(&batch);
+
+    // 4. Responses are positionally aligned with the batch.
+    for (req, resp) in batch.requests.iter().zip(&run.responses) {
+        println!("{req:?}\n    -> {resp:?}");
+    }
+    assert_eq!(run.responses[0], Response::Value(Some(11)));
+    assert_eq!(run.responses[2], Response::Value(Some(555)));
+    assert_eq!(run.responses[4], Response::Value(None));
+    assert_eq!(
+        run.responses[6],
+        Response::Range(vec![Some(9), None, None, Some(7), Some(13), None])
+    );
+
+    // 5. Execution statistics: what Nsight Compute would report.
+    let s = &run.stats;
+    println!("\n--- execution statistics ---");
+    println!("kernels:              {}", s.name);
+    println!("issued requests:      {} (of {} in the batch)", s.totals.requests, batch.len());
+    println!("memory instructions:  {}", s.totals.mem_insts);
+    println!("control instructions: {}", s.totals.control_insts);
+    println!("conflicts:            {}", s.totals.conflicts());
+    println!("makespan:             {:.0} cycles", s.makespan_cycles);
+    println!(
+        "throughput:           {:.1} Mreq/s",
+        run.throughput(tree.device(), batch.len()) / 1e6
+    );
+}

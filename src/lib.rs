@@ -1,0 +1,15 @@
+//! Umbrella crate for the Eirene reproduction.
+//!
+//! Re-exports every sub-crate so downstream users (and the repository's
+//! integration tests and examples) can depend on a single `eirene` crate.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+pub use eirene_baselines as baselines;
+pub use eirene_btree as btree;
+pub use eirene_core as core;
+pub use eirene_primitives as primitives;
+pub use eirene_sim as sim;
+pub use eirene_stm as stm;
+pub use eirene_workloads as workloads;

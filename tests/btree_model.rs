@@ -1,0 +1,135 @@
+//! Property-based differential testing of the B+tree substrate against
+//! `std::collections::BTreeMap`: arbitrary op sequences must produce
+//! identical observable behaviour and preserve every structural invariant.
+
+use eirene::btree::build::{arena_budget, bulk_build};
+use eirene::btree::refops;
+use eirene::btree::validate::validate;
+use eirene::sim::GlobalMemory;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Get(u64),
+    Upsert(u64, u64),
+    Delete(u64),
+    Range(u64, u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..200).prop_map(Op::Get),
+        ((1u64..200), any::<u64>()).prop_map(|(k, v)| Op::Upsert(k, v)),
+        (1u64..200).prop_map(Op::Delete),
+        ((1u64..190), (1u32..12)).prop_map(|(lo, len)| Op::Range(lo, len)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_refops_match_btreemap(
+        initial in 1u64..60,
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        let mem = GlobalMemory::new(arena_budget(initial as usize, 2048));
+        let pairs: Vec<(u64, u64)> = (1..=initial).map(|i| (2 * i, i)).collect();
+        let tree = bulk_build(&mem, &pairs);
+        let mut model: BTreeMap<u64, u64> = pairs.iter().copied().collect();
+
+        for op in &ops {
+            match *op {
+                Op::Get(k) => {
+                    prop_assert_eq!(refops::get(&mem, &tree, k), model.get(&k).copied());
+                }
+                Op::Upsert(k, v) => {
+                    prop_assert_eq!(refops::upsert(&mem, &tree, k, v), model.insert(k, v));
+                }
+                Op::Delete(k) => {
+                    prop_assert_eq!(refops::delete(&mem, &tree, k), model.remove(&k));
+                }
+                Op::Range(lo, len) => {
+                    let got = refops::range(&mem, &tree, lo, len);
+                    for off in 0..len as u64 {
+                        prop_assert_eq!(
+                            got[off as usize],
+                            model.get(&(lo + off)).copied(),
+                            "range offset {} from {}", off, lo
+                        );
+                    }
+                }
+            }
+        }
+        // Full-state comparison + invariants at the end.
+        let contents = refops::contents(&mem, &tree);
+        let expect: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(contents, expect);
+        validate(&mem, &tree).map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    #[test]
+    fn prop_bulk_build_validates_at_any_size(n in 1usize..3000) {
+        let mem = GlobalMemory::new(arena_budget(n, 64));
+        let pairs: Vec<(u64, u64)> = (1..=n as u64).map(|i| (3 * i, i)).collect();
+        let tree = bulk_build(&mem, &pairs);
+        let stats = validate(&mem, &tree).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(stats.keys, n);
+        // Every loaded key must be findable.
+        for &(k, v) in pairs.iter().step_by((n / 17).max(1)) {
+            prop_assert_eq!(refops::get(&mem, &tree, k), Some(v));
+        }
+    }
+
+    #[test]
+    fn prop_monotone_insert_stream_keeps_balance(
+        n in 1usize..500,
+        base in 1u64..1000,
+    ) {
+        // Ascending inserts are the worst case for rightmost-leaf splits.
+        let mem = GlobalMemory::new(arena_budget(8, n * 8 + 256));
+        let tree = bulk_build(&mem, &[(1, 1), (2, 2)]);
+        for i in 0..n as u64 {
+            refops::upsert(&mem, &tree, base + i, i);
+        }
+        let stats = validate(&mem, &tree).map_err(TestCaseError::fail)?;
+        prop_assert!(stats.keys >= n);
+        // Height stays logarithmic (fanout 16, generous bound).
+        prop_assert!(stats.height <= 1 + (n as f64).log2() as u64);
+    }
+}
+
+#[test]
+fn descending_insert_stream_keeps_left_spine_valid() {
+    // Descending inserts drive everything through the leftmost clamp.
+    let mem = GlobalMemory::new(arena_budget(8, 4096));
+    let tree = bulk_build(&mem, &[(1_000_000, 0)]);
+    for i in (1..=2000u64).rev() {
+        refops::upsert(&mem, &tree, i, i);
+    }
+    validate(&mem, &tree).unwrap();
+    for i in 1..=2000u64 {
+        assert_eq!(refops::get(&mem, &tree, i), Some(i));
+    }
+}
+
+#[test]
+fn interleaved_delete_insert_cycles_preserve_invariants() {
+    let mem = GlobalMemory::new(arena_budget(1000, 1 << 14));
+    let pairs: Vec<(u64, u64)> = (1..=1000u64).map(|i| (2 * i, i)).collect();
+    let tree = bulk_build(&mem, &pairs);
+    // Delete and reinsert the same band repeatedly: exercises empty
+    // leaves, re-fills, and fence staleness.
+    for round in 0..5u64 {
+        for k in (100..300u64).step_by(2) {
+            refops::delete(&mem, &tree, k);
+        }
+        validate(&mem, &tree).unwrap();
+        for k in (100..300u64).step_by(2) {
+            assert_eq!(refops::upsert(&mem, &tree, k, round), None);
+        }
+        validate(&mem, &tree).unwrap();
+    }
+    assert_eq!(refops::get(&mem, &tree, 200), Some(4));
+}

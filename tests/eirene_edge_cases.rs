@@ -1,0 +1,218 @@
+//! Edge-case and failure-injection tests for the Eirene pipeline: batch
+//! shapes the figures never exercise but a deployed system would see.
+
+use eirene::baselines::common::ConcurrentTree;
+use eirene::core::plan::IssuedKind;
+use eirene::core::{EireneOptions, EireneTree};
+use eirene::workloads::{Batch, Mix, OpKind, Oracle, Request, Response, SequentialOracle};
+
+fn pairs(n: u64) -> Vec<(u64, u64)> {
+    (1..=n).map(|i| (2 * i, 2 * i + 1)).collect()
+}
+
+fn tree(n: u64) -> EireneTree {
+    EireneTree::new(&pairs(n), EireneOptions::test_small())
+}
+
+#[test]
+fn empty_batch_is_a_noop() {
+    let mut t = tree(100);
+    let run = t.run_batch(&Batch::new(vec![]));
+    assert!(run.responses.is_empty());
+    assert_eq!(run.stats.totals.requests, 0);
+}
+
+#[test]
+fn single_request_batch() {
+    let mut t = tree(100);
+    let run = t.run_batch(&Batch::new(vec![Request::query(50, 0)]));
+    assert_eq!(run.responses, vec![Response::Value(Some(51))]);
+}
+
+#[test]
+fn all_range_batch() {
+    let mut t = tree(500);
+    let reqs: Vec<Request> = (0..64u64).map(|i| Request::range((i * 13 + 1) as u32, 6, i)).collect();
+    let batch = Batch::new(reqs.clone());
+    let got = t.run_batch(&batch).responses;
+    let init: Vec<(u32, u32)> = pairs(500).iter().map(|&(k, v)| (k as u32, v as u32)).collect();
+    let want = SequentialOracle::load(&init).run_batch(&batch);
+    assert_eq!(got, want);
+}
+
+#[test]
+fn all_delete_batch_empties_keys() {
+    let mut t = tree(64);
+    let batch = Batch::new((1..=64u32).map(|i| Request::delete(2 * i, i as u64)).collect());
+    let run = t.run_batch(&batch);
+    assert!(run.responses.iter().all(|r| *r == Response::Done));
+    let q = Batch::new((1..=64u32).map(|i| Request::query(2 * i, i as u64)).collect());
+    let run = t.run_batch(&q);
+    assert!(run.responses.iter().all(|r| *r == Response::Value(None)));
+}
+
+#[test]
+fn delete_then_query_then_reinsert_same_key_in_one_batch() {
+    let mut t = tree(64);
+    let batch = Batch::new(vec![
+        Request::delete(10, 0),
+        Request::query(10, 1),
+        Request::upsert(10, 42, 2),
+        Request::query(10, 3),
+        Request::delete(10, 4),
+        Request::query(10, 5),
+    ]);
+    let run = t.run_batch(&batch);
+    assert_eq!(run.responses[1], Response::Value(None));
+    assert_eq!(run.responses[3], Response::Value(Some(42)));
+    assert_eq!(run.responses[5], Response::Value(None));
+    // Final state: deleted.
+    let q = Batch::new(vec![Request::query(10, 0)]);
+    assert_eq!(t.run_batch(&q).responses[0], Response::Value(None));
+}
+
+#[test]
+fn issued_kind_follows_last_state_op() {
+    let t = tree(64);
+    // query-last but issued must be the delete (last *state* op).
+    let batch = Batch::new(vec![
+        Request::upsert(8, 1, 0),
+        Request::delete(8, 1),
+        Request::query(8, 2),
+    ]);
+    let plan = t.plan(&batch);
+    assert_eq!(plan.issued.len(), 1);
+    assert!(matches!(plan.issued[0].kind, IssuedKind::Delete));
+}
+
+#[test]
+fn range_at_key_domain_boundaries() {
+    let mut t = tree(64); // keys 2..=128
+    let batch = Batch::new(vec![
+        Request::range(1, 4, 0),              // straddles the low edge
+        Request::range(126, 8, 1),            // runs past the high edge
+        Request::range(u32::MAX - 2, 3, 2),   // saturating upper bound
+    ]);
+    let run = t.run_batch(&batch);
+    // Keys 1..=4: only 2 (value 3) and 4 (value 5) exist.
+    assert_eq!(
+        run.responses[0],
+        Response::Range(vec![None, Some(3), None, Some(5)])
+    );
+    // Keys 126..=133: only 126 (value 127) and 128 (value 129) exist.
+    assert_eq!(
+        run.responses[1],
+        Response::Range(vec![Some(127), None, Some(129), None, None, None, None, None])
+    );
+    assert_eq!(run.responses[2], Response::Range(vec![None, None, None]));
+}
+
+#[test]
+fn range_covering_deleted_and_inserted_keys_same_batch() {
+    let mut t = tree(64);
+    // Keys 10 and 12 exist; delete 10, insert 11, range over [9, 13] at
+    // various timestamps.
+    let batch = Batch::new(vec![
+        Request::range(9, 5, 0),  // pre-everything
+        Request::delete(10, 1),
+        Request::range(9, 5, 2),  // 10 gone
+        Request::upsert(11, 77, 3),
+        Request::range(9, 5, 4),  // 11 present
+    ]);
+    let got = t.run_batch(&batch).responses;
+    let init: Vec<(u32, u32)> = pairs(64).iter().map(|&(k, v)| (k as u32, v as u32)).collect();
+    let want = SequentialOracle::load(&init).run_batch(&batch);
+    assert_eq!(got, want);
+}
+
+#[test]
+fn duplicate_heavy_batch_issues_once_per_key() {
+    let mut t = tree(32);
+    // 512 requests over exactly 2 keys.
+    let reqs: Vec<Request> = (0..512u64)
+        .map(|ts| {
+            if ts % 2 == 0 {
+                Request::upsert(4, ts as u32, ts)
+            } else {
+                Request::query(6, ts)
+            }
+        })
+        .collect();
+    let plan = t.plan(&Batch::new(reqs.clone()));
+    assert_eq!(plan.issued.len(), 2);
+    assert_eq!(plan.combined_away(), 510);
+    let run = t.run_batch(&Batch::new(reqs));
+    assert_eq!(run.stats.totals.requests, 2);
+    // Every query response is the untouched key-6 value.
+    for (i, r) in run.responses.iter().enumerate() {
+        if i % 2 == 1 {
+            assert_eq!(*r, Response::Value(Some(7)));
+        }
+    }
+}
+
+#[test]
+fn update_mix_preset_matches_oracle_multi_batch() {
+    use eirene::workloads::{Distribution, WorkloadGen, WorkloadSpec};
+    let spec = WorkloadSpec {
+        tree_size: 1 << 9,
+        batch_size: 1024,
+        mix: Mix::ycsb_a(),
+        distribution: Distribution::Zipfian { theta: 0.8 },
+        seed: 17,
+    };
+    let init = spec.initial_pairs();
+    let p64: Vec<(u64, u64)> = init.iter().map(|&(k, v)| (k as u64, v as u64)).collect();
+    let mut t = EireneTree::new(&p64, EireneOptions::test_small());
+    let mut oracle = SequentialOracle::load(&init);
+    let mut gen = WorkloadGen::new(spec);
+    for _ in 0..3 {
+        let batch = gen.next_batch();
+        assert_eq!(t.run_batch(&batch).responses, oracle.run_batch(&batch));
+    }
+}
+
+#[test]
+fn queries_on_nonexistent_key_ranges_share_results() {
+    let mut t = tree(64);
+    // All queries on one absent key: one issue, shared None.
+    let batch = Batch::new((0..100u64).map(|ts| Request::query(999, ts)).collect());
+    let run = t.run_batch(&batch);
+    assert_eq!(run.stats.totals.requests, 1);
+    assert!(run.responses.iter().all(|r| *r == Response::Value(None)));
+}
+
+#[test]
+fn mixed_op_kinds_on_adjacent_keys_keep_kernel_partition_disjoint() {
+    let mut t = tree(256);
+    let mut reqs = Vec::new();
+    for ts in 0..256u64 {
+        let k = (ts % 16) as u32 * 2 + 100;
+        reqs.push(Request {
+            key: k,
+            op: match ts % 4 {
+                0 => OpKind::Query,
+                1 => OpKind::Upsert(ts as u32),
+                2 => OpKind::Range { len: 4 },
+                _ => OpKind::Delete,
+            },
+            ts,
+        });
+    }
+    let batch = Batch::new(reqs);
+    let plan = t.plan(&batch);
+    // Every run with state ops must be issued as an update, never a query.
+    for is in &plan.issued {
+        let run = &plan.runs[is.run as usize];
+        assert_eq!(
+            run.has_state_ops,
+            !matches!(is.kind, IssuedKind::Query),
+            "key {}",
+            is.key
+        );
+    }
+    let got = t.run_batch(&batch).responses;
+    let init: Vec<(u32, u32)> = pairs(256).iter().map(|&(k, v)| (k as u32, v as u32)).collect();
+    let want = SequentialOracle::load(&init).run_batch(&batch);
+    assert_eq!(got, want);
+}

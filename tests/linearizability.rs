@@ -1,0 +1,221 @@
+//! The paper's central correctness claim (§6): Eirene's concurrent
+//! execution is linearizable — every batch produces exactly the results of
+//! a sequential execution in logical-timestamp order. These tests check
+//! the claim mechanically against the sequential oracle, including with
+//! property-based random workloads, multi-batch histories, range queries,
+//! and skewed (high-conflict) key distributions.
+
+use eirene::baselines::common::ConcurrentTree;
+use eirene::btree::refops;
+use eirene::btree::validate::validate;
+use eirene::core::{EireneOptions, EireneTree};
+use eirene::workloads::{
+    Batch, Distribution, Mix, OpKind, Oracle, Request, Response, SequentialOracle, WorkloadGen,
+    WorkloadSpec,
+};
+use proptest::prelude::*;
+
+fn pairs(n: u64) -> Vec<(u64, u64)> {
+    (1..=n).map(|i| (2 * i, 2 * i + 1)).collect()
+}
+
+fn pairs32(n: u64) -> Vec<(u32, u32)> {
+    (1..=n).map(|i| ((2 * i) as u32, (2 * i + 1) as u32)).collect()
+}
+
+fn check_batch_against_oracle(tree: &mut EireneTree, oracle: &mut SequentialOracle, batch: &Batch) {
+    let got = tree.run_batch(batch).responses;
+    let want = oracle.run_batch(batch);
+    for i in 0..batch.len() {
+        assert_eq!(
+            got[i], want[i],
+            "response {i} diverges for {:?}",
+            batch.requests[i]
+        );
+    }
+    // Structural invariants and final state must also agree.
+    validate(tree.device().mem(), tree.handle()).expect("tree invariants");
+    let tree_contents = refops::contents(tree.device().mem(), tree.handle());
+    let oracle_contents: Vec<(u64, u64)> =
+        oracle.contents().iter().map(|(&k, &v)| (k as u64, v as u64)).collect();
+    assert_eq!(tree_contents, oracle_contents, "final tree state diverges");
+}
+
+#[test]
+fn single_key_hammering_is_linearizable() {
+    // 2048 requests all on one key: the worst case for key conflicts and
+    // the best case for combining.
+    let mut tree = EireneTree::new(&pairs(256), EireneOptions::test_small());
+    let mut oracle = SequentialOracle::load(&pairs32(256));
+    let ops: Vec<(u32, OpKind)> = (0..2048u32)
+        .map(|i| {
+            let op = match i % 5 {
+                0 => OpKind::Upsert(i),
+                1 => OpKind::Delete,
+                _ => OpKind::Query,
+            };
+            (128, op)
+        })
+        .collect();
+    let batch = Batch::from_ops(ops);
+    check_batch_against_oracle(&mut tree, &mut oracle, &batch);
+}
+
+#[test]
+fn multi_batch_history_stays_linearizable() {
+    let spec = WorkloadSpec {
+        tree_size: 1 << 11,
+        batch_size: 2048,
+        mix: Mix { upsert: 0.25, delete: 0.1, range: 0.05, range_len: 4 },
+        distribution: Distribution::Uniform,
+        seed: 99,
+    };
+    let init = spec.initial_pairs();
+    let p64: Vec<(u64, u64)> = init.iter().map(|&(k, v)| (k as u64, v as u64)).collect();
+    let mut tree = EireneTree::new(&p64, EireneOptions::test_small());
+    let mut oracle = SequentialOracle::load(&init);
+    let mut gen = WorkloadGen::new(spec);
+    for _ in 0..4 {
+        let batch = gen.next_batch();
+        check_batch_against_oracle(&mut tree, &mut oracle, &batch);
+    }
+}
+
+#[test]
+fn zipfian_contention_is_linearizable() {
+    // Heavy skew concentrates many requests on few keys — the regime
+    // where baselines conflict most and combining matters most.
+    let spec = WorkloadSpec {
+        tree_size: 1 << 10,
+        batch_size: 4096,
+        mix: Mix { upsert: 0.3, delete: 0.05, range: 0.0, range_len: 4 },
+        distribution: Distribution::Zipfian { theta: 0.99 },
+        seed: 5,
+    };
+    let init = spec.initial_pairs();
+    let p64: Vec<(u64, u64)> = init.iter().map(|&(k, v)| (k as u64, v as u64)).collect();
+    let mut tree = EireneTree::new(&p64, EireneOptions::test_small());
+    let mut oracle = SequentialOracle::load(&init);
+    let mut gen = WorkloadGen::new(spec);
+    let batch = gen.next_batch();
+    check_batch_against_oracle(&mut tree, &mut oracle, &batch);
+}
+
+#[test]
+fn range_queries_interleaved_with_updates_are_linearizable() {
+    let mut tree = EireneTree::new(&pairs(512), EireneOptions::test_small());
+    let mut oracle = SequentialOracle::load(&pairs32(512));
+    // Dense interleaving of ranges and updates over a small key window.
+    let mut reqs = Vec::new();
+    for i in 0..600u64 {
+        let k = 100 + (i % 40) as u32;
+        let op = match i % 4 {
+            0 => OpKind::Upsert(i as u32),
+            1 => OpKind::Range { len: 8 },
+            2 => OpKind::Delete,
+            _ => OpKind::Query,
+        };
+        reqs.push(Request { key: k, op, ts: i });
+    }
+    let batch = Batch::new(reqs);
+    check_batch_against_oracle(&mut tree, &mut oracle, &batch);
+}
+
+#[test]
+fn responses_are_deterministic_across_runs() {
+    // Scheduling is nondeterministic; linearizable results must not be.
+    let spec = WorkloadSpec {
+        tree_size: 1 << 10,
+        batch_size: 4096,
+        mix: Mix { upsert: 0.2, delete: 0.05, range: 0.02, range_len: 4 },
+        distribution: Distribution::Uniform,
+        seed: 123,
+    };
+    let p64: Vec<(u64, u64)> =
+        spec.initial_pairs().iter().map(|&(k, v)| (k as u64, v as u64)).collect();
+    let batch = WorkloadGen::new(spec).next_batch();
+    let r1 = EireneTree::new(&p64, EireneOptions::test_small()).run_batch(&batch).responses;
+    let r2 = EireneTree::new(&p64, EireneOptions::test_small()).run_batch(&batch).responses;
+    assert_eq!(r1, r2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random batches over a small key domain (maximal conflict density)
+    /// must match the oracle response-for-response and state-for-state.
+    #[test]
+    fn prop_random_batches_match_oracle(
+        ops in proptest::collection::vec(
+            (1u32..64, 0u8..10, any::<u32>()),
+            1..400,
+        )
+    ) {
+        let init = pairs32(16); // keys 2..=32
+        let p64: Vec<(u64, u64)> = init.iter().map(|&(k, v)| (k as u64, v as u64)).collect();
+        let mut tree = EireneTree::new(&p64, EireneOptions::test_small());
+        let mut oracle = SequentialOracle::load(&init);
+        let reqs: Vec<Request> = ops
+            .iter()
+            .enumerate()
+            .map(|(ts, &(key, sel, val))| {
+                let op = match sel {
+                    0..=2 => OpKind::Upsert(val),
+                    3 => OpKind::Delete,
+                    4 => OpKind::Range { len: 1 + (val % 8) },
+                    _ => OpKind::Query,
+                };
+                Request { key, op, ts: ts as u64 }
+            })
+            .collect();
+        let batch = Batch::new(reqs);
+        let got = tree.run_batch(&batch).responses;
+        let want = oracle.run_batch(&batch);
+        prop_assert_eq!(&got, &want);
+        validate(tree.device().mem(), tree.handle()).map_err(|e| {
+            TestCaseError::fail(format!("invariant violation: {e}"))
+        })?;
+    }
+
+    /// Permuting the *positions* of requests while keeping their
+    /// timestamps must not change any response: only logical time matters.
+    #[test]
+    fn prop_results_depend_on_timestamps_not_positions(
+        seed in 0u64..1000,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let init = pairs32(64);
+        let p64: Vec<(u64, u64)> = init.iter().map(|&(k, v)| (k as u64, v as u64)).collect();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut reqs: Vec<Request> = (0..200u64)
+            .map(|ts| {
+                let key = 2 * (1 + (ts as u32 * 7 + seed as u32) % 64);
+                let op = match ts % 3 {
+                    0 => OpKind::Upsert(ts as u32),
+                    1 => OpKind::Query,
+                    _ => OpKind::Delete,
+                };
+                Request { key, op, ts }
+            })
+            .collect();
+        let mut t1 = EireneTree::new(&p64, EireneOptions::test_small());
+        let batch1 = Batch::new(reqs.clone());
+        let mut r1 = t1.run_batch(&batch1).responses;
+
+        reqs.shuffle(&mut rng);
+        let mut t2 = EireneTree::new(&p64, EireneOptions::test_small());
+        let batch2 = Batch::new(reqs.clone());
+        let r2 = t2.run_batch(&batch2).responses;
+
+        // Align by timestamp before comparing.
+        let mut order1: Vec<usize> = (0..batch1.len()).collect();
+        order1.sort_by_key(|&i| batch1.requests[i].ts);
+        let mut order2: Vec<usize> = (0..batch2.len()).collect();
+        order2.sort_by_key(|&i| batch2.requests[i].ts);
+        let by_ts1: Vec<&Response> = order1.iter().map(|&i| &r1[i]).collect();
+        let by_ts2: Vec<&Response> = order2.iter().map(|&i| &r2[i]).collect();
+        prop_assert_eq!(by_ts1, by_ts2);
+        r1.clear();
+    }
+}
