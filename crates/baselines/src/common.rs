@@ -87,10 +87,7 @@ pub const HOP_CONTROL: u64 = 4;
 /// keeps absolute per-request instruction counts honest).
 #[inline]
 pub fn charge_request_io(ctx: &mut WarpCtx<'_>) {
-    ctx.stats.mem_insts += 2;
-    ctx.stats.mem_words += 2;
-    ctx.stats.mem_transactions += 1;
-    ctx.charge_cycles(ctx.config().mem_latency);
+    ctx.charge_request_io();
 }
 
 /// Plain (unsynchronized) cooperative node load: one block read, counted
@@ -113,13 +110,10 @@ pub fn seqlock_load(ctx: &mut WarpCtx<'_>, addr: Addr) -> ParsedNode {
         let meta2 = ctx.read(addr + OFF_META);
         let ver2 = ctx.read(addr + OFF_VERSION);
         ctx.control(2);
-        if !meta_is_locked(node.meta)
-            && !meta_is_locked(meta2)
-            && node.version == ver2
-        {
+        if !meta_is_locked(node.meta) && !meta_is_locked(meta2) && node.version == ver2 {
             return node;
         }
-        ctx.stats.version_conflicts += 1;
+        ctx.version_conflict();
         ctx.charge_cycles(20);
     }
 }
@@ -139,7 +133,9 @@ unsafe impl Sync for ResponseBuf {}
 
 impl ResponseBuf {
     pub fn new(n: usize) -> Self {
-        ResponseBuf { data: std::cell::UnsafeCell::new(vec![Response::Done; n]) }
+        ResponseBuf {
+            data: std::cell::UnsafeCell::new(vec![Response::Done; n]),
+        }
     }
 
     /// Stores the response for request `idx`. Must be called at most once

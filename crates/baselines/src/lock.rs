@@ -22,10 +22,10 @@ use crate::common::{
 };
 use eirene_btree::build::TreeHandle;
 use eirene_btree::node::{
-    pack_meta, ParsedNode, FANOUT, META_LOCK, NODE_WORDS, OFF_HIGH, OFF_KEYS, OFF_LOW,
-    OFF_META, OFF_NEXT, OFF_RF, OFF_VALS, OFF_VERSION,
+    pack_meta, ParsedNode, FANOUT, META_LOCK, NODE_WORDS, OFF_HIGH, OFF_KEYS, OFF_LOW, OFF_META,
+    OFF_NEXT, OFF_RF, OFF_VALS, OFF_VERSION,
 };
-use eirene_sim::{Addr, Device, DeviceConfig, WarpCtx};
+use eirene_sim::{Addr, Device, DeviceConfig, Phase, TraceEventKind, WarpCtx};
 use eirene_workloads::{Batch, OpKind, Response};
 
 /// The lock-based tree.
@@ -37,20 +37,24 @@ impl LockTree {
     /// Bulk-loads the tree, reserving split headroom proportional to the
     /// expected insert volume (`headroom_nodes`).
     pub fn new(pairs: &[(u64, u64)], cfg: DeviceConfig, headroom_nodes: usize) -> Self {
-        LockTree { base: TreeBase::build(pairs, cfg, headroom_nodes, 0) }
+        LockTree {
+            base: TreeBase::build(pairs, cfg, headroom_nodes, 0),
+        }
     }
 }
 
 /// Spins until the node latch is acquired. Counts failed attempts as lock
 /// conflicts (the Fig. 12 conflict class for lock-based designs).
 fn lock(ctx: &mut WarpCtx<'_>, addr: Addr) {
+    let prev = ctx.set_phase(Phase::LockAcquire);
     loop {
         ctx.control(2);
         let old = ctx.atomic_or(addr + OFF_META, META_LOCK);
         if old & META_LOCK == 0 {
+            ctx.set_phase(prev);
             return;
         }
-        ctx.stats.lock_conflicts += 1;
+        ctx.lock_conflict();
         ctx.charge_cycles(30 + (ctx.warp_id() as u64 % 7) * 10);
     }
 }
@@ -58,11 +62,13 @@ fn lock(ctx: &mut WarpCtx<'_>, addr: Addr) {
 /// Releases the latch; if the holder modified the node, the version is
 /// bumped first so seqlock readers retry.
 fn unlock(ctx: &mut WarpCtx<'_>, addr: Addr, modified: bool) {
+    let prev = ctx.set_phase(Phase::LockAcquire);
     ctx.control(1);
     if modified {
         ctx.atomic_add(addr + OFF_VERSION, 1);
     }
     ctx.atomic_and(addr + OFF_META, !META_LOCK);
+    ctx.set_phase(prev);
 }
 
 /// Splits a full, locked node: the upper half moves to a freshly allocated
@@ -71,11 +77,11 @@ fn unlock(ctx: &mut WarpCtx<'_>, addr: Addr, modified: bool) {
 /// address and fence key. The caller must unlock both sides.
 fn split_locked(ctx: &mut WarpCtx<'_>, addr: Addr, node: &ParsedNode) -> (Addr, u64) {
     debug_assert_eq!(node.count(), FANOUT);
+    let prev = ctx.set_phase(Phase::StructureMod);
     let half = FANOUT / 2;
     // Device-side allocation: one atomic bump on the allocator.
     let raddr = ctx.raw_mem().alloc_aligned(NODE_WORDS, 16);
-    ctx.stats.atomic_insts += 1;
-    ctx.charge_cycles(ctx.config().atomic_latency);
+    ctx.charge_alloc();
     // Compose the sibling locally, then publish with one block write.
     let mut w = [0u64; NODE_WORDS];
     w[OFF_META as usize] = pack_meta(node.is_leaf(), true, FANOUT - half);
@@ -101,6 +107,8 @@ fn split_locked(ctx: &mut WarpCtx<'_>, addr: Addr, node: &ParsedNode) -> (Addr, 
     ctx.write(addr + OFF_NEXT, raddr);
     ctx.write(addr + OFF_META, pack_meta(node.is_leaf(), true, half));
     ctx.control(4);
+    ctx.emit(TraceEventKind::NodeSplit, addr);
+    ctx.set_phase(prev);
     (raddr, node.keys[half])
 }
 
@@ -114,6 +122,7 @@ fn insert_fence(
     fence: u64,
     child: Addr,
 ) {
+    let prev = ctx.set_phase(Phase::StructureMod);
     let c = node.count();
     debug_assert!(c < FANOUT);
     let slot = after + 1;
@@ -127,16 +136,17 @@ fn insert_fence(
     ctx.write(addr + OFF_VALS + slot as u64, child);
     ctx.write(addr + OFF_META, pack_meta(false, true, c + 1));
     ctx.control((c - slot) as u64 + 2);
+    ctx.set_phase(prev);
 }
 
 /// Splits a full root under its lock: builds the sibling and a new root,
 /// installs the root atomically, bumps the height. The caller still holds
 /// (and must release) the old root's latch.
 fn split_root(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, root_addr: Addr, node: &ParsedNode) {
+    let prev = ctx.set_phase(Phase::StructureMod);
     let (raddr, rfence) = split_locked(ctx, root_addr, node);
     let new_root = ctx.raw_mem().alloc_aligned(NODE_WORDS, 16);
-    ctx.stats.atomic_insts += 1;
-    ctx.charge_cycles(ctx.config().atomic_latency);
+    ctx.charge_alloc();
     let mut w = [0u64; NODE_WORDS];
     w[OFF_META as usize] = pack_meta(false, false, 2);
     w[OFF_RF as usize] = u64::MAX;
@@ -150,10 +160,13 @@ fn split_root(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, root_addr: Addr, node:
     w[OFF_VALS as usize + 1] = raddr;
     ctx.write_block(new_root, &w);
     // Only the root-latch holder installs a new root, so the CAS succeeds.
-    let ok = ctx.atomic_cas(handle.root_word, root_addr, new_root).is_ok();
+    let ok = ctx
+        .atomic_cas(handle.root_word, root_addr, new_root)
+        .is_ok();
     debug_assert!(ok, "root CAS must succeed under the root latch");
     ctx.atomic_add(handle.height_word, 1);
     unlock(ctx, raddr, false); // newborn sibling
+    ctx.set_phase(prev);
 }
 
 /// Lock-coupled descent to the leaf owning `key`. Returns the *locked*
@@ -165,13 +178,14 @@ fn locked_descend(
     key: u64,
     may_insert: bool,
 ) -> (Addr, ParsedNode) {
+    let outer = ctx.set_phase(Phase::VerticalTraversal);
     'retry: loop {
         let root_addr = ctx.read(handle.root_word);
         lock(ctx, root_addr);
         if ctx.read(handle.root_word) != root_addr {
             // Root changed while we were locking a stale node.
             unlock(ctx, root_addr, false);
-            ctx.stats.lock_conflicts += 1;
+            ctx.lock_conflict();
             continue 'retry;
         }
         ctx.stats.vertical_traversals += 1;
@@ -187,6 +201,7 @@ fn locked_descend(
             if node.is_leaf() {
                 // Right-hop with lock coupling across concurrent splits
                 // (key >= high means the key moved right, Lehman-Yao).
+                let vprev = ctx.set_phase(Phase::HorizontalTraversal);
                 while key >= node.high && node.next != 0 {
                     ctx.control(HOP_CONTROL);
                     let nxt_addr = node.next;
@@ -197,6 +212,7 @@ fn locked_descend(
                     cur = nxt_addr;
                     node = nxt;
                 }
+                ctx.set_phase(vprev);
                 ctx.control(1);
                 if may_insert && node.count() == FANOUT {
                     // A full leaf reached by hopping: its fence was being
@@ -205,10 +221,11 @@ fn locked_descend(
                     // will reach the leaf with its parent held and split
                     // it preemptively.
                     unlock(ctx, cur, false);
-                    ctx.stats.lock_conflicts += 1;
+                    ctx.lock_conflict();
                     ctx.charge_cycles(50);
                     continue 'retry;
                 }
+                ctx.set_phase(outer);
                 return (cur, node);
             }
             let slot = node.child_slot(key);
@@ -246,6 +263,7 @@ fn locked_descend(
 
 /// Seqlock descent for queries, with right-hops.
 fn descend_seq(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64) -> ParsedNode {
+    let outer = ctx.set_phase(Phase::VerticalTraversal);
     let mut addr = ctx.read(handle.root_word);
     ctx.stats.vertical_traversals += 1;
     let mut node = seqlock_load(ctx, addr);
@@ -256,12 +274,14 @@ fn descend_seq(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64) -> ParsedNo
         node = seqlock_load(ctx, addr);
         ctx.stats.vertical_steps += 1;
     }
+    ctx.set_phase(Phase::HorizontalTraversal);
     while key >= node.high && node.next != 0 {
         ctx.control(HOP_CONTROL);
         node = seqlock_load(ctx, node.next);
         ctx.stats.horizontal_steps += 1;
     }
     ctx.control(1);
+    ctx.set_phase(outer);
     node
 }
 
@@ -269,11 +289,15 @@ fn process_one(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64, op: OpKind)
     match op {
         OpKind::Query => {
             let leaf = descend_seq(ctx, handle, key);
+            let prev = ctx.set_phase(Phase::LeafOp);
             ctx.control(NODE_SEARCH_CONTROL);
-            Response::Value(leaf.find(key).map(|i| leaf.vals[i] as u32))
+            let resp = Response::Value(leaf.find(key).map(|i| leaf.vals[i] as u32));
+            ctx.set_phase(prev);
+            resp
         }
         OpKind::Upsert(v) => {
             let (addr, leaf) = locked_descend(ctx, handle, key, true);
+            let prev = ctx.set_phase(Phase::LeafOp);
             ctx.control(NODE_SEARCH_CONTROL);
             if let Some(slot) = leaf.find(key) {
                 ctx.write(addr + OFF_VALS + slot as u64, v as u64);
@@ -293,10 +317,12 @@ fn process_one(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64, op: OpKind)
                 ctx.control((c - slot) as u64 + 2);
             }
             unlock(ctx, addr, true);
+            ctx.set_phase(prev);
             Response::Done
         }
         OpKind::Delete => {
             let (addr, leaf) = locked_descend(ctx, handle, key, false);
+            let prev = ctx.set_phase(Phase::LeafOp);
             ctx.control(NODE_SEARCH_CONTROL);
             match leaf.find(key) {
                 None => unlock(ctx, addr, false),
@@ -312,6 +338,7 @@ fn process_one(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64, op: OpKind)
                     unlock(ctx, addr, true);
                 }
             }
+            ctx.set_phase(prev);
             Response::Done
         }
         OpKind::Range { len } => {
@@ -319,6 +346,7 @@ fn process_one(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64, op: OpKind)
             let hi = lo.saturating_add(len as u64 - 1);
             let mut out = vec![None; len as usize];
             let mut leaf = descend_seq(ctx, handle, lo);
+            let prev = ctx.set_phase(Phase::LeafOp);
             loop {
                 for i in 0..leaf.count() {
                     let k = leaf.keys[i];
@@ -330,9 +358,12 @@ fn process_one(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64, op: OpKind)
                 if hi < leaf.high || leaf.next == 0 {
                     break;
                 }
+                ctx.set_phase(Phase::HorizontalTraversal);
                 leaf = seqlock_load(ctx, leaf.next);
                 ctx.stats.horizontal_steps += 1;
+                ctx.set_phase(Phase::LeafOp);
             }
+            ctx.set_phase(prev);
             Response::Range(out)
         }
     }
@@ -345,6 +376,7 @@ fn process_one(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64, op: OpKind)
 /// the key was absent.
 pub fn locked_upsert(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64, val: u64) -> u64 {
     let (addr, leaf) = locked_descend(ctx, handle, key, true);
+    let prev = ctx.set_phase(Phase::LeafOp);
     ctx.control(NODE_SEARCH_CONTROL);
     let old = if let Some(slot) = leaf.find(key) {
         let old = leaf.vals[slot];
@@ -367,6 +399,7 @@ pub fn locked_upsert(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64, val: 
         u64::MAX
     };
     unlock(ctx, addr, true);
+    ctx.set_phase(prev);
     old
 }
 
@@ -374,8 +407,9 @@ pub fn locked_upsert(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64, val: 
 /// value, or `u64::MAX` when the key was absent.
 pub fn locked_delete(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64) -> u64 {
     let (addr, leaf) = locked_descend(ctx, handle, key, false);
+    let prev = ctx.set_phase(Phase::LeafOp);
     ctx.control(NODE_SEARCH_CONTROL);
-    match leaf.find(key) {
+    let old = match leaf.find(key) {
         None => {
             unlock(ctx, addr, false);
             u64::MAX
@@ -393,7 +427,9 @@ pub fn locked_delete(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64) -> u6
             unlock(ctx, addr, true);
             old
         }
-    }
+    };
+    ctx.set_phase(prev);
+    old
 }
 
 impl ConcurrentTree for LockTree {
@@ -402,17 +438,23 @@ impl ConcurrentTree for LockTree {
         let ws = self.base.device.config().warp_size;
         let buf = ResponseBuf::new(n);
         let handle = self.base.handle;
-        let stats = self.base.device.launch("lock-gbtree", warps_for(n, ws), |wid, ctx| {
-            for i in warp_span(n, wid, ws) {
-                let req = batch.requests[i];
-                ctx.begin_request();
-                charge_request_io(ctx);
-                let resp = process_one(ctx, &handle, req.key as u64, req.op);
-                buf.set(i, resp);
-                ctx.end_request();
-            }
-        });
-        BatchRun { responses: buf.into_vec(), stats }
+        let stats = self
+            .base
+            .device
+            .launch("lock-gbtree", warps_for(n, ws), |wid, ctx| {
+                for i in warp_span(n, wid, ws) {
+                    let req = batch.requests[i];
+                    ctx.begin_request();
+                    charge_request_io(ctx);
+                    let resp = process_one(ctx, &handle, req.key as u64, req.op);
+                    buf.set(i, resp);
+                    ctx.end_request();
+                }
+            });
+        BatchRun {
+            responses: buf.into_vec(),
+            stats,
+        }
     }
 
     fn device(&self) -> &Device {
@@ -444,7 +486,9 @@ mod tests {
     fn queries_match_reference() {
         let mut t = LockTree::new(&pairs(3000), DeviceConfig::test_small(), 64);
         let batch = Batch::new(
-            (0..200u32).map(|i| Request::query(i * 31 % 6000, i as u64)).collect(),
+            (0..200u32)
+                .map(|i| Request::query(i * 31 % 6000, i as u64))
+                .collect(),
         );
         let run = t.run_batch(&batch);
         for (i, r) in run.responses.iter().enumerate() {
@@ -459,7 +503,9 @@ mod tests {
         let mut t = LockTree::new(&pairs(500), DeviceConfig::test_small(), 4096);
         // 512 distinct odd keys: all inserts, heavy splitting.
         let batch = Batch::new(
-            (0..512u32).map(|i| Request::upsert(2 * i + 1, i, i as u64)).collect(),
+            (0..512u32)
+                .map(|i| Request::upsert(2 * i + 1, i, i as u64))
+                .collect(),
         );
         t.run_batch(&batch);
         validate(t.device().mem(), t.handle()).unwrap();
@@ -477,12 +523,17 @@ mod tests {
     fn concurrent_disjoint_deletes_all_land() {
         let mut t = LockTree::new(&pairs(1000), DeviceConfig::test_small(), 64);
         let batch = Batch::new(
-            (1..=300u32).map(|i| Request::delete(2 * i, i as u64)).collect(),
+            (1..=300u32)
+                .map(|i| Request::delete(2 * i, i as u64))
+                .collect(),
         );
         t.run_batch(&batch);
         validate(t.device().mem(), t.handle()).unwrap();
         for i in 1..=300u32 {
-            assert_eq!(refops::get(t.device().mem(), t.handle(), (2 * i) as u64), None);
+            assert_eq!(
+                refops::get(t.device().mem(), t.handle(), (2 * i) as u64),
+                None
+            );
         }
         assert_eq!(
             refops::get(t.device().mem(), t.handle(), 602).unwrap(),
@@ -516,7 +567,9 @@ mod tests {
         let mut t = LockTree::new(&pairs(64), DeviceConfig::test_small(), 4096);
         // Everyone hammers the same few keys with updates.
         let batch = Batch::new(
-            (0..1024u64).map(|ts| Request::upsert(2 + (ts % 4) as u32 * 2, ts as u32, ts)).collect(),
+            (0..1024u64)
+                .map(|ts| Request::upsert(2 + (ts % 4) as u32 * 2, ts as u32, ts))
+                .collect(),
         );
         let run = t.run_batch(&batch);
         assert!(

@@ -15,7 +15,7 @@ use crate::common::{
 };
 use eirene_btree::build::TreeHandle;
 use eirene_btree::node::{pack_meta, ParsedNode, FANOUT, OFF_KEYS, OFF_META, OFF_VALS};
-use eirene_sim::{Addr, Device, DeviceConfig, WarpCtx};
+use eirene_sim::{Addr, Device, DeviceConfig, Phase, WarpCtx};
 use eirene_workloads::{Batch, OpKind, Response};
 
 /// The no-concurrency-control tree.
@@ -26,7 +26,9 @@ pub struct NoCcTree {
 impl NoCcTree {
     /// Bulk-loads the tree from ascending `(key, value)` pairs.
     pub fn new(pairs: &[(u64, u64)], cfg: DeviceConfig) -> Self {
-        NoCcTree { base: TreeBase::build(pairs, cfg, 64, 0) }
+        NoCcTree {
+            base: TreeBase::build(pairs, cfg, 64, 0),
+        }
     }
 }
 
@@ -38,6 +40,7 @@ pub(crate) fn descend_plain(
     handle: &TreeHandle,
     key: u64,
 ) -> (Addr, ParsedNode) {
+    let outer = ctx.set_phase(Phase::VerticalTraversal);
     let mut addr = ctx.read(handle.root_word);
     ctx.stats.vertical_traversals += 1;
     let mut node = plain_load(ctx, addr);
@@ -51,6 +54,7 @@ pub(crate) fn descend_plain(
     }
     // Right-hop across the leaf chain if the key lies beyond this leaf's
     // high bound (Lehman-Yao).
+    ctx.set_phase(Phase::HorizontalTraversal);
     while key >= node.high && node.next != 0 {
         ctx.control(HOP_CONTROL);
         addr = node.next;
@@ -58,6 +62,7 @@ pub(crate) fn descend_plain(
         ctx.stats.horizontal_steps += 1;
     }
     ctx.control(1);
+    ctx.set_phase(outer);
     (addr, node)
 }
 
@@ -65,11 +70,15 @@ fn process_one(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64, op: OpKind)
     match op {
         OpKind::Query => {
             let (_, leaf) = descend_plain(ctx, handle, key);
+            let prev = ctx.set_phase(Phase::LeafOp);
             ctx.control(NODE_SEARCH_CONTROL);
-            Response::Value(leaf.find(key).map(|i| leaf.vals[i] as u32))
+            let resp = Response::Value(leaf.find(key).map(|i| leaf.vals[i] as u32));
+            ctx.set_phase(prev);
+            resp
         }
         OpKind::Upsert(v) => {
             let (addr, leaf) = descend_plain(ctx, handle, key);
+            let prev = ctx.set_phase(Phase::LeafOp);
             ctx.control(NODE_SEARCH_CONTROL);
             if let Some(slot) = leaf.find(key) {
                 ctx.write(addr + OFF_VALS + slot as u64, v as u64);
@@ -89,10 +98,12 @@ fn process_one(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64, op: OpKind)
                 ctx.control(c as u64 + 2);
             }
             // Full leaf: insert dropped (this tree never splits).
+            ctx.set_phase(prev);
             Response::Done
         }
         OpKind::Delete => {
             let (addr, leaf) = descend_plain(ctx, handle, key);
+            let prev = ctx.set_phase(Phase::LeafOp);
             ctx.control(NODE_SEARCH_CONTROL);
             if let Some(slot) = leaf.find(key) {
                 let c = leaf.count();
@@ -104,6 +115,7 @@ fn process_one(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64, op: OpKind)
                 ctx.write(addr + OFF_META, pack_meta(true, false, c - 1));
                 ctx.control(c as u64);
             }
+            ctx.set_phase(prev);
             Response::Done
         }
         OpKind::Range { len } => {
@@ -111,6 +123,7 @@ fn process_one(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64, op: OpKind)
             let hi = lo.saturating_add(len as u64 - 1);
             let mut out = vec![None; len as usize];
             let (_, mut leaf) = descend_plain(ctx, handle, lo);
+            let prev = ctx.set_phase(Phase::LeafOp);
             loop {
                 for i in 0..leaf.count() {
                     let k = leaf.keys[i];
@@ -122,9 +135,12 @@ fn process_one(ctx: &mut WarpCtx<'_>, handle: &TreeHandle, key: u64, op: OpKind)
                 if hi < leaf.high || leaf.next == 0 {
                     break;
                 }
+                ctx.set_phase(Phase::HorizontalTraversal);
                 leaf = plain_load(ctx, leaf.next);
                 ctx.stats.horizontal_steps += 1;
+                ctx.set_phase(Phase::LeafOp);
             }
+            ctx.set_phase(prev);
             Response::Range(out)
         }
     }
@@ -136,17 +152,23 @@ impl ConcurrentTree for NoCcTree {
         let ws = self.base.device.config().warp_size;
         let buf = ResponseBuf::new(n);
         let handle = self.base.handle;
-        let stats = self.base.device.launch("nocc", warps_for(n, ws), |wid, ctx| {
-            for i in warp_span(n, wid, ws) {
-                let req = batch.requests[i];
-                ctx.begin_request();
-                charge_request_io(ctx);
-                let resp = process_one(ctx, &handle, req.key as u64, req.op);
-                buf.set(i, resp);
-                ctx.end_request();
-            }
-        });
-        BatchRun { responses: buf.into_vec(), stats }
+        let stats = self
+            .base
+            .device
+            .launch("nocc", warps_for(n, ws), |wid, ctx| {
+                for i in warp_span(n, wid, ws) {
+                    let req = batch.requests[i];
+                    ctx.begin_request();
+                    charge_request_io(ctx);
+                    let resp = process_one(ctx, &handle, req.key as u64, req.op);
+                    buf.set(i, resp);
+                    ctx.end_request();
+                }
+            });
+        BatchRun {
+            responses: buf.into_vec(),
+            stats,
+        }
     }
 
     fn device(&self) -> &Device {
@@ -175,7 +197,9 @@ mod tests {
     fn pure_queries_return_correct_values() {
         let mut t = NoCcTree::new(&pairs(2000), DeviceConfig::test_small());
         let batch = Batch::new(
-            (1..=100u32).map(|k| Request::query(2 * k, k as u64)).collect(),
+            (1..=100u32)
+                .map(|k| Request::query(2 * k, k as u64))
+                .collect(),
         );
         let run = t.run_batch(&batch);
         for (i, r) in run.responses.iter().enumerate() {
@@ -217,7 +241,11 @@ mod tests {
     #[test]
     fn stats_count_requests_and_steps() {
         let mut t = NoCcTree::new(&pairs(5000), DeviceConfig::test_small());
-        let batch = Batch::new((0..64u32).map(|i| Request::query(2 * i + 2, i as u64)).collect());
+        let batch = Batch::new(
+            (0..64u32)
+                .map(|i| Request::query(2 * i + 2, i as u64))
+                .collect(),
+        );
         let run = t.run_batch(&batch);
         assert_eq!(run.stats.totals.requests, 64);
         let height = t.handle().height(t.device().mem());

@@ -22,7 +22,7 @@ use eirene_btree::node::{meta_count, OFF_KEYS, OFF_META, OFF_NEXT, OFF_VALS};
 use eirene_btree::txops::{
     tx_delete_at_leaf, tx_descend, tx_query_at_leaf, tx_upsert_at_leaf, LeafUpsert, NO_VALUE,
 };
-use eirene_sim::{Device, DeviceConfig, WarpCtx};
+use eirene_sim::{Device, DeviceConfig, Phase, WarpCtx};
 use eirene_stm::{Stm, Tx, TxResult};
 use eirene_workloads::{Batch, OpKind, Response};
 
@@ -79,29 +79,39 @@ fn tx_process(
             let hi = lo.saturating_add(len as u64 - 1);
             let mut out = vec![None; len as usize];
             let (mut addr, mut count) = tx_descend(tx, ctx, handle, lo, false)?;
-            loop {
-                let mut maxk = 0;
-                for i in 0..count {
-                    let k = tx.read(ctx, addr + OFF_KEYS + i as u64)?;
-                    ctx.control(1);
-                    maxk = k;
-                    if k >= lo && k <= hi {
-                        let v = tx.read(ctx, addr + OFF_VALS + i as u64)?;
-                        out[(k - lo) as usize] = Some(v as u32);
+            let prev = ctx.set_phase(Phase::LeafOp);
+            let mut scan = |tx: &mut Tx<'_>, ctx: &mut WarpCtx<'_>, out: &mut Vec<Option<u32>>| {
+                loop {
+                    let mut maxk = 0;
+                    for i in 0..count {
+                        let k = tx.read(ctx, addr + OFF_KEYS + i as u64)?;
+                        ctx.control(1);
+                        maxk = k;
+                        if k >= lo && k <= hi {
+                            let v = tx.read(ctx, addr + OFF_VALS + i as u64)?;
+                            out[(k - lo) as usize] = Some(v as u32);
+                        }
                     }
+                    if count > 0 && maxk >= hi {
+                        break;
+                    }
+                    ctx.set_phase(Phase::HorizontalTraversal);
+                    let next = tx.read(ctx, addr + OFF_NEXT)?;
+                    if next == 0 {
+                        ctx.set_phase(Phase::LeafOp);
+                        break;
+                    }
+                    ctx.stats.horizontal_steps += 1;
+                    addr = next;
+                    let meta = tx.read(ctx, addr + OFF_META)?;
+                    count = meta_count(meta);
+                    ctx.set_phase(Phase::LeafOp);
                 }
-                if count > 0 && maxk >= hi {
-                    break;
-                }
-                let next = tx.read(ctx, addr + OFF_NEXT)?;
-                if next == 0 {
-                    break;
-                }
-                ctx.stats.horizontal_steps += 1;
-                addr = next;
-                let meta = tx.read(ctx, addr + OFF_META)?;
-                count = meta_count(meta);
-            }
+                Ok(())
+            };
+            let r = scan(tx, ctx, &mut out);
+            ctx.set_phase(prev);
+            r?;
             Ok(Response::Range(out))
         }
     }
@@ -114,21 +124,27 @@ impl ConcurrentTree for StmTree {
         let buf = ResponseBuf::new(n);
         let handle = self.base.handle;
         let stm = &self.stm;
-        let stats = self.base.device.launch("stm-gbtree", warps_for(n, ws), |wid, ctx| {
-            for i in warp_span(n, wid, ws) {
-                let req = batch.requests[i];
-                ctx.begin_request();
-                charge_request_io(ctx);
-                let resp = stm
-                    .run(ctx, usize::MAX >> 1, |tx, ctx| {
-                        tx_process(tx, ctx, &handle, req.key as u64, req.op)
-                    })
-                    .expect("unbounded retries cannot exhaust");
-                buf.set(i, resp);
-                ctx.end_request();
-            }
-        });
-        BatchRun { responses: buf.into_vec(), stats }
+        let stats = self
+            .base
+            .device
+            .launch("stm-gbtree", warps_for(n, ws), |wid, ctx| {
+                for i in warp_span(n, wid, ws) {
+                    let req = batch.requests[i];
+                    ctx.begin_request();
+                    charge_request_io(ctx);
+                    let resp = stm
+                        .run(ctx, usize::MAX >> 1, |tx, ctx| {
+                            tx_process(tx, ctx, &handle, req.key as u64, req.op)
+                        })
+                        .expect("unbounded retries cannot exhaust");
+                    buf.set(i, resp);
+                    ctx.end_request();
+                }
+            });
+        BatchRun {
+            responses: buf.into_vec(),
+            stats,
+        }
     }
 
     fn device(&self) -> &Device {
@@ -160,7 +176,9 @@ mod tests {
     fn queries_match_reference() {
         let mut t = StmTree::new(&pairs(2000), DeviceConfig::test_small(), 64);
         let batch = Batch::new(
-            (0..128u32).map(|i| Request::query(i * 37 % 4000, i as u64)).collect(),
+            (0..128u32)
+                .map(|i| Request::query(i * 37 % 4000, i as u64))
+                .collect(),
         );
         let run = t.run_batch(&batch);
         for (i, r) in run.responses.iter().enumerate() {
@@ -174,7 +192,9 @@ mod tests {
     fn concurrent_inserts_with_splits_keep_tree_valid() {
         let mut t = StmTree::new(&pairs(200), DeviceConfig::test_small(), 8192);
         let batch = Batch::new(
-            (0..256u32).map(|i| Request::upsert(2 * i + 1, i, i as u64)).collect(),
+            (0..256u32)
+                .map(|i| Request::upsert(2 * i + 1, i, i as u64))
+                .collect(),
         );
         t.run_batch(&batch);
         validate(t.device().mem(), t.handle()).unwrap();
@@ -190,12 +210,17 @@ mod tests {
     fn deletes_apply_atomically() {
         let mut t = StmTree::new(&pairs(500), DeviceConfig::test_small(), 64);
         let batch = Batch::new(
-            (1..=100u32).map(|i| Request::delete(2 * i, i as u64)).collect(),
+            (1..=100u32)
+                .map(|i| Request::delete(2 * i, i as u64))
+                .collect(),
         );
         t.run_batch(&batch);
         validate(t.device().mem(), t.handle()).unwrap();
         for i in 1..=100u32 {
-            assert_eq!(refops::get(t.device().mem(), t.handle(), (2 * i) as u64), None);
+            assert_eq!(
+                refops::get(t.device().mem(), t.handle(), (2 * i) as u64),
+                None
+            );
         }
     }
 
@@ -203,10 +228,15 @@ mod tests {
     fn contended_updates_produce_aborts() {
         let mut t = StmTree::new(&pairs(64), DeviceConfig::test_small(), 4096);
         let batch = Batch::new(
-            (0..512u64).map(|ts| Request::upsert(2, ts as u32, ts)).collect(),
+            (0..512u64)
+                .map(|ts| Request::upsert(2, ts as u32, ts))
+                .collect(),
         );
         let run = t.run_batch(&batch);
-        assert!(run.stats.totals.stm_aborts > 0, "same-key updates must abort");
+        assert!(
+            run.stats.totals.stm_aborts > 0,
+            "same-key updates must abort"
+        );
     }
 
     #[test]
@@ -214,15 +244,16 @@ mod tests {
         // The Fig. 1 relationship on identical workloads.
         let p = pairs(4000);
         let batch = Batch::new(
-            (0..256u32).map(|i| Request::query(2 * (i % 2000) + 2, i as u64)).collect(),
+            (0..256u32)
+                .map(|i| Request::query(2 * (i % 2000) + 2, i as u64))
+                .collect(),
         );
         let mut stm_t = StmTree::new(&p, DeviceConfig::test_small(), 64);
         let stm_run = stm_t.run_batch(&batch);
         let mut nocc_t = crate::nocc::NoCcTree::new(&p, DeviceConfig::test_small());
         let nocc_run = nocc_t.run_batch(&batch);
         assert!(
-            stm_run.stats.mem_insts_per_request()
-                > 1.5 * nocc_run.stats.mem_insts_per_request(),
+            stm_run.stats.mem_insts_per_request() > 1.5 * nocc_run.stats.mem_insts_per_request(),
             "stm {} vs nocc {}",
             stm_run.stats.mem_insts_per_request(),
             nocc_run.stats.mem_insts_per_request()
@@ -242,8 +273,7 @@ mod tests {
                     .collect(),
             );
             t.run_batch(&batch);
-            validate(t.device().mem(), t.handle())
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            validate(t.device().mem(), t.handle()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 

@@ -12,11 +12,18 @@ use eirene_workloads::Mix;
 fn bench_fig7_workload(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7_default_mix");
     g.sample_size(10);
-    for kind in [TreeKind::Stm, TreeKind::Lock, TreeKind::EireneCombining, TreeKind::Eirene] {
+    for kind in [
+        TreeKind::Stm,
+        TreeKind::Lock,
+        TreeKind::EireneCombining,
+        TreeKind::Eirene,
+    ] {
         let spec = spec_for(12, 1 << 12, default_mix(), 7);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &k| {
-            b.iter(|| measure(k, &spec, 1))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &k| b.iter(|| measure(k, &spec, 1)),
+        );
     }
     g.finish();
 }
@@ -27,9 +34,11 @@ fn bench_fig13_ranges(c: &mut Criterion) {
     g.sample_size(10);
     for kind in [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene] {
         let spec = spec_for(12, 1 << 11, Mix::range_only(4), 13);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &k| {
-            b.iter(|| measure(k, &spec, 1))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &k| b.iter(|| measure(k, &spec, 1)),
+        );
     }
     g.finish();
 }
@@ -40,12 +49,19 @@ fn bench_profiling_metrics(c: &mut Criterion) {
     g.sample_size(10);
     for kind in [TreeKind::NoCc, TreeKind::Eirene] {
         let spec = spec_for(12, 1 << 12, default_mix(), 1);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &k| {
-            b.iter(|| measure(k, &spec, 1))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &k| b.iter(|| measure(k, &spec, 1)),
+        );
     }
     g.finish();
 }
 
-criterion_group!(figures, bench_fig7_workload, bench_fig13_ranges, bench_profiling_metrics);
+criterion_group!(
+    figures,
+    bench_fig7_workload,
+    bench_fig13_ranges,
+    bench_profiling_metrics
+);
 criterion_main!(figures);

@@ -58,7 +58,13 @@ fn bench_bulk_build(c: &mut Criterion) {
 }
 
 fn bench_stm_tx(c: &mut Criterion) {
-    let dev = Device::new(1 << 16, DeviceConfig { yield_interval: 0, ..Default::default() });
+    let dev = Device::new(
+        1 << 16,
+        DeviceConfig {
+            yield_interval: 0,
+            ..Default::default()
+        },
+    );
     let stm = Stm::new(dev.mem(), 1 << 10);
     let cells: Vec<u64> = (0..64).map(|_| dev.mem().alloc(1)).collect();
     c.bench_function("stm_read_write_commit", |b| {

@@ -8,8 +8,11 @@ use eirene_workloads::{Distribution, Mix, WorkloadGen, WorkloadSpec};
 
 /// One Eirene configuration measured over fresh executions.
 fn measure_eirene(opts: &EireneOptions, spec: &WorkloadSpec, repeats: usize) -> (f64, f64, f64) {
-    let pairs: Vec<(u64, u64)> =
-        spec.initial_pairs().iter().map(|&(k, v)| (k as u64, v as u64)).collect();
+    let pairs: Vec<(u64, u64)> = spec
+        .initial_pairs()
+        .iter()
+        .map(|&(k, v)| (k as u64, v as u64))
+        .collect();
     let mut gen = WorkloadGen::new(spec.clone());
     let mut tput = 0.0;
     let mut conflicts = 0.0;
@@ -18,7 +21,10 @@ fn measure_eirene(opts: &EireneOptions, spec: &WorkloadSpec, repeats: usize) -> 
         let mut tree = EireneTree::new(&pairs, opts.clone());
         let batch = gen.next_batch();
         let run = tree.run_batch(&batch);
-        let secs = tree.device().config().cycles_to_secs(run.stats.makespan_cycles);
+        let secs = tree
+            .device()
+            .config()
+            .cycles_to_secs(run.stats.makespan_cycles);
         tput += batch.len() as f64 / secs;
         conflicts += run.stats.totals.conflicts() as f64 / batch.len() as f64;
         steps += run.stats.steps_per_request();
@@ -28,19 +34,29 @@ fn measure_eirene(opts: &EireneOptions, spec: &WorkloadSpec, repeats: usize) -> 
 }
 
 fn eirene_opts(headroom: usize) -> EireneOptions {
-    EireneOptions { headroom_nodes: headroom, ..Default::default() }
+    EireneOptions {
+        headroom_nodes: headroom,
+        device: crate::metrics::device_config(),
+        ..Default::default()
+    }
 }
 
 /// Sweep of the optimistic retry THRESHOLD (Alg. 1 line 28): 0 means the
 /// update kernel goes straight to the fully STM-protected descent; large
 /// values keep retrying optimistically.
 pub fn ablate_threshold(scale: &Scale) {
+    crate::metrics::set_context("ablate-threshold");
     println!("== Ablation: optimistic retry threshold (update-heavy zipfian) ==");
     println!("{:<12}{:>14}{:>16}", "threshold", "Mreq/s", "conflicts/req");
     let spec = WorkloadSpec {
         tree_size: 1 << scale.default_exp,
         batch_size: scale.batch_size,
-        mix: Mix { upsert: 0.3, delete: 0.05, range: 0.0, range_len: 4 },
+        mix: Mix {
+            upsert: 0.3,
+            delete: 0.05,
+            range: 0.0,
+            range_len: 4,
+        },
         distribution: Distribution::Zipfian { theta: 0.99 },
         seed: 21,
     };
@@ -54,16 +70,27 @@ pub fn ablate_threshold(scale: &Scale) {
         println!("{threshold:<12}{:>14.1}{conflicts:>16.5}", tput / 1e6);
         rows.push(format!("{threshold},{tput:.0},{conflicts:.6}"));
     }
-    write_csv("ablate_threshold", "threshold,throughput_req_s,conflicts_per_req", &rows);
+    write_csv(
+        "ablate_threshold",
+        "threshold,throughput_req_s,conflicts_per_req",
+        &rows,
+    );
 }
 
 /// Optimistic STM vs fine-grained locks for the update kernel (§7's
 /// "other synchronization schemes" note), across update ratios.
 pub fn ablate_protection(scale: &Scale) {
+    crate::metrics::set_context("ablate-protection");
     println!("== Ablation: update-kernel protection (STM vs latches) ==");
-    println!("{:<22}{:>12}{:>12}{:>12}", "update ratio", "5%", "20%", "50%");
+    println!(
+        "{:<22}{:>12}{:>12}{:>12}",
+        "update ratio", "5%", "20%", "50%"
+    );
     let mut rows = Vec::new();
-    for protection in [UpdateProtection::OptimisticStm, UpdateProtection::FineGrainedLocks] {
+    for protection in [
+        UpdateProtection::OptimisticStm,
+        UpdateProtection::FineGrainedLocks,
+    ] {
         let label = match protection {
             UpdateProtection::OptimisticStm => "optimistic STM",
             UpdateProtection::FineGrainedLocks => "fine-grained locks",
@@ -73,7 +100,12 @@ pub fn ablate_protection(scale: &Scale) {
             let spec = WorkloadSpec {
                 tree_size: 1 << scale.default_exp,
                 batch_size: scale.batch_size,
-                mix: Mix { upsert, delete: 0.0, range: 0.0, range_len: 4 },
+                mix: Mix {
+                    upsert,
+                    delete: 0.0,
+                    range: 0.0,
+                    range_len: 4,
+                },
                 distribution: Distribution::Uniform,
                 seed: 22,
             };
@@ -89,13 +121,18 @@ pub fn ablate_protection(scale: &Scale) {
     }
     println!("(Mreq/s; latches descend lock-coupled from the root, so they forgo");
     println!(" the optimistic path's unprotected traversal and locality reuse)");
-    write_csv("ablate_protection", "protection,update_ratio,throughput_req_s", &rows);
+    write_csv(
+        "ablate_protection",
+        "protection,update_ratio,throughput_req_s",
+        &rows,
+    );
 }
 
 /// Iteration-warp count (§5's "iteration number" trade-off): fewer warps
 /// means more request groups per warp — better locality, less
 /// parallelism.
 pub fn ablate_iteration_warps(scale: &Scale) {
+    crate::metrics::set_context("ablate-iteration");
     println!("== Ablation: iteration-warp target (locality vs parallelism) ==");
     println!("{:<14}{:>14}{:>16}", "warps", "Mreq/s", "steps/issued");
     let spec = spec_for(scale.default_exp, scale.batch_size, default_mix(), 23);
@@ -106,17 +143,29 @@ pub fn ablate_iteration_warps(scale: &Scale) {
             ..eirene_opts(scale.batch_size / 8 + (1 << 12))
         };
         let (tput, _, steps) = measure_eirene(&opts, &spec, scale.repeats.min(3));
-        let label = if target == 0 { "auto".to_string() } else { target.to_string() };
+        let label = if target == 0 {
+            "auto".to_string()
+        } else {
+            target.to_string()
+        };
         println!("{label:<14}{:>14.1}{steps:>16.2}", tput / 1e6);
         rows.push(format!("{label},{tput:.0},{steps:.3}"));
     }
-    write_csv("ablate_iteration", "target_warps,throughput_req_s,steps_per_issued", &rows);
+    write_csv(
+        "ablate_iteration",
+        "target_warps,throughput_req_s,steps_per_issued",
+        &rows,
+    );
 }
 
 /// Key-distribution sweep (extension: the paper only evaluates Uniform).
 pub fn ablate_distribution(scale: &Scale) {
+    crate::metrics::set_context("ablate-distribution");
     println!("== Ablation: key distribution (uniform vs zipfian) ==");
-    println!("{:<18}{:>14}{:>14}{:>14}", "tree", "uniform", "zipf 0.8", "zipf 0.99");
+    println!(
+        "{:<18}{:>14}{:>14}{:>14}",
+        "tree", "uniform", "zipf 0.8", "zipf 0.99"
+    );
     let mut rows = Vec::new();
     for kind in [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene] {
         print!("{:<18}", kind.label());
@@ -135,12 +184,17 @@ pub fn ablate_distribution(scale: &Scale) {
     }
     println!("(Mreq/s; skew concentrates requests on hot keys: baselines conflict,");
     println!(" Eirene combines — duplicates are resolved without tree traversals)");
-    write_csv("ablate_distribution", "tree,distribution,throughput_req_s", &rows);
+    write_csv(
+        "ablate_distribution",
+        "tree,distribution,throughput_req_s",
+        &rows,
+    );
 }
 
 /// Batch-size sweep: combining's fixed costs (sort, kernel launches)
 /// amortize with batch size — the batching trade-off of §2.1/§7.
 pub fn ablate_batch_size(scale: &Scale) {
+    crate::metrics::set_context("ablate-batch");
     println!("== Ablation: batch size (combining amortization) ==");
     print!("{:<18}", "tree \\ batch");
     let batches = [1usize << 12, 1 << 14, 1 << 16, 1 << 18];
@@ -166,6 +220,7 @@ pub fn ablate_batch_size(scale: &Scale) {
 
 /// Query/update mix sweep (extension beyond the paper's fixed 95/5).
 pub fn ablate_mix(scale: &Scale) {
+    crate::metrics::set_context("ablate-mix");
     println!("== Ablation: query/update ratio ==");
     print!("{:<18}", "tree \\ updates");
     let ratios = [0.0, 0.05, 0.20, 0.50];
@@ -177,7 +232,12 @@ pub fn ablate_mix(scale: &Scale) {
     for kind in [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene] {
         print!("{:<18}", kind.label());
         for upsert in ratios {
-            let mix = Mix { upsert, delete: 0.0, range: 0.0, range_len: 4 };
+            let mix = Mix {
+                upsert,
+                delete: 0.0,
+                range: 0.0,
+                range_len: 4,
+            };
             let spec = spec_for(scale.default_exp, scale.batch_size, mix, 26);
             let m = measure(kind, &spec, scale.repeats.min(3));
             print!("{:>10.0}", m.throughput / 1e6);

@@ -11,6 +11,7 @@ fn fmt_m(v: f64) -> String {
 /// Fig. 1 — memory and control-flow instructions per request for the
 /// motivation baselines (no-CC / STM / Lock), default workload.
 pub fn fig1(scale: &Scale) {
+    crate::metrics::set_context("fig1");
     println!("== Figure 1: profiling of STM GB-tree and Lock GB-tree ==");
     println!("{:<34}{:>14}{:>14}", "tree", "memory_inst", "control_inst");
     let spec = spec_for(scale.default_exp, scale.batch_size, default_mix(), 1);
@@ -18,8 +19,18 @@ pub fn fig1(scale: &Scale) {
     let mut base: Option<Measurement> = None;
     for kind in [TreeKind::NoCc, TreeKind::Stm, TreeKind::Lock] {
         let m = measure(kind, &spec, scale.repeats);
-        println!("{:<34}{:>14.1}{:>14.1}", kind.label(), m.mem_insts, m.control_insts);
-        rows.push(format!("{},{:.2},{:.2}", kind.label(), m.mem_insts, m.control_insts));
+        println!(
+            "{:<34}{:>14.1}{:>14.1}",
+            kind.label(),
+            m.mem_insts,
+            m.control_insts
+        );
+        rows.push(format!(
+            "{},{:.2},{:.2}",
+            kind.label(),
+            m.mem_insts,
+            m.control_insts
+        ));
         if kind == TreeKind::NoCc {
             base = Some(m.clone());
         } else if let Some(b) = &base {
@@ -37,8 +48,12 @@ pub fn fig1(scale: &Scale) {
 /// Fig. 2 — normalized time per request with max/min whiskers for the two
 /// baselines and Eirene (normalized to the STM GB-tree average).
 pub fn fig2(scale: &Scale) {
+    crate::metrics::set_context("fig2");
     println!("== Figure 2: normalized time per request ==");
-    println!("{:<18}{:>10}{:>10}{:>10}{:>12}", "tree", "avg", "min", "max", "variance");
+    println!(
+        "{:<18}{:>10}{:>10}{:>10}{:>12}",
+        "tree", "avg", "min", "max", "variance"
+    );
     let spec = spec_for(scale.default_exp, scale.batch_size, default_mix(), 2);
     let repeats = scale.repeats.max(5);
     let ms: Vec<Measurement> = [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene]
@@ -70,6 +85,7 @@ pub fn fig2(scale: &Scale) {
 
 /// Fig. 7 — overall throughput (Mreq/s) across tree sizes.
 pub fn fig7(scale: &Scale) {
+    crate::metrics::set_context("fig7");
     println!("== Figure 7: overall performance (throughput, Mreq/s) ==");
     print!("{:<18}", "tree \\ log2(size)");
     for e in &scale.tree_exps {
@@ -109,8 +125,12 @@ pub fn fig7(scale: &Scale) {
 
 /// Fig. 8 — absolute time per request (avg with min/max whiskers).
 pub fn fig8(scale: &Scale) {
+    crate::metrics::set_context("fig8");
     println!("== Figure 8: time per request (ns) ==");
-    println!("{:<18}{:>10}{:>10}{:>10}{:>12}", "tree", "avg ns", "min ns", "max ns", "variance");
+    println!(
+        "{:<18}{:>10}{:>10}{:>10}{:>12}",
+        "tree", "avg ns", "min ns", "max ns", "variance"
+    );
     let spec = spec_for(scale.default_exp, scale.batch_size, default_mix(), 8);
     let repeats = scale.repeats.max(5);
     let mut rows = Vec::new();
@@ -139,13 +159,17 @@ pub fn fig8(scale: &Scale) {
 /// Fig. 9 — Eirene's memory/control instructions per request, normalized
 /// to each baseline.
 pub fn fig9(scale: &Scale) {
+    crate::metrics::set_context("fig9");
     println!("== Figure 9: metrics profiling of Eirene (normalized) ==");
     let spec = spec_for(scale.default_exp, scale.batch_size, default_mix(), 9);
     let ms: Vec<Measurement> = [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene]
         .into_iter()
         .map(|k| measure(k, &spec, scale.repeats))
         .collect();
-    println!("{:<18}{:>14}{:>14}{:>14}", "tree", "mem/req", "ctrl/req", "conflicts/req");
+    println!(
+        "{:<18}{:>14}{:>14}{:>14}",
+        "tree", "mem/req", "ctrl/req", "conflicts/req"
+    );
     let mut rows = Vec::new();
     for m in &ms {
         println!(
@@ -175,11 +199,16 @@ pub fn fig9(scale: &Scale) {
         100.0 * eir.mem_insts / lock.mem_insts,
         100.0 * eir.control_insts / lock.control_insts
     );
-    write_csv("fig9", "tree,mem_per_req,ctrl_per_req,conflicts_per_req", &rows);
+    write_csv(
+        "fig9",
+        "tree,mem_per_req,ctrl_per_req,conflicts_per_req",
+        &rows,
+    );
 }
 
 /// Fig. 10 — normalized average traversal steps across tree sizes.
 pub fn fig10(scale: &Scale) {
+    crate::metrics::set_context("fig10");
     println!("== Figure 10: traversal steps (normalized to STM GB-tree) ==");
     print!("{:<18}", "tree \\ log2(size)");
     for e in &scale.tree_exps {
@@ -202,12 +231,17 @@ pub fn fig10(scale: &Scale) {
         }
         println!();
     }
-    write_csv("fig10", "tree,log2_size,steps_per_traversal,normalized", &rows);
+    write_csv(
+        "fig10",
+        "tree,log2_size,steps_per_traversal,normalized",
+        &rows,
+    );
 }
 
 /// Fig. 11 — design-choice ablation: STM GB-tree vs "+ Combining" vs full
 /// Eirene across tree sizes (throughput, Mreq/s).
 pub fn fig11(scale: &Scale) {
+    crate::metrics::set_context("fig11");
     println!("== Figure 11: different design choices (throughput, Mreq/s) ==");
     print!("{:<18}", "config \\ log2(size)");
     for e in &scale.tree_exps {
@@ -231,7 +265,12 @@ pub fn fig11(scale: &Scale) {
     }
     let stm = at_default[0].1;
     for &(kind, tput) in &at_default[1..] {
-        println!("{}: {:.2}x speedup vs STM GB-tree at 2^{}", kind.label(), tput / stm, scale.default_exp);
+        println!(
+            "{}: {:.2}x speedup vs STM GB-tree at 2^{}",
+            kind.label(),
+            tput / stm,
+            scale.default_exp
+        );
     }
     write_csv("fig11", "config,log2_size,throughput_req_s", &rows);
 }
@@ -239,31 +278,59 @@ pub fn fig11(scale: &Scale) {
 /// Fig. 12 — contribution of combining vs locality to the reduction of
 /// conflicts, memory accesses, and control instructions.
 pub fn fig12(scale: &Scale) {
+    crate::metrics::set_context("fig12");
     println!("== Figure 12: contribution of the optimizations ==");
     let spec = spec_for(scale.default_exp, scale.batch_size, default_mix(), 12);
     let stm = measure(TreeKind::Stm, &spec, scale.repeats);
     let comb = measure(TreeKind::EireneCombining, &spec, scale.repeats);
     let eir = measure(TreeKind::Eirene, &spec, scale.repeats);
-    println!("{:<14}{:>14}{:>14}{:>14}", "metric", "combining %", "locality %", "total reduction %");
+    println!(
+        "{:<14}{:>14}{:>14}{:>14}",
+        "metric", "combining %", "locality %", "total reduction %"
+    );
     let mut rows = Vec::new();
     for (name, s, c, e) in [
         ("conflicts", stm.conflicts, comb.conflicts, eir.conflicts),
         ("memory_inst", stm.mem_insts, comb.mem_insts, eir.mem_insts),
-        ("control_inst", stm.control_insts, comb.control_insts, eir.control_insts),
+        (
+            "control_inst",
+            stm.control_insts,
+            comb.control_insts,
+            eir.control_insts,
+        ),
     ] {
         let total_red = s - e;
-        let comb_share = if total_red.abs() < 1e-12 { 0.0 } else { (s - c) / total_red * 100.0 };
-        let loc_share = if total_red.abs() < 1e-12 { 0.0 } else { (c - e) / total_red * 100.0 };
-        let total_pct = if s.abs() < 1e-12 { 0.0 } else { total_red / s * 100.0 };
+        let comb_share = if total_red.abs() < 1e-12 {
+            0.0
+        } else {
+            (s - c) / total_red * 100.0
+        };
+        let loc_share = if total_red.abs() < 1e-12 {
+            0.0
+        } else {
+            (c - e) / total_red * 100.0
+        };
+        let total_pct = if s.abs() < 1e-12 {
+            0.0
+        } else {
+            total_red / s * 100.0
+        };
         println!("{name:<14}{comb_share:>13.1}%{loc_share:>13.1}%{total_pct:>13.1}%");
-        rows.push(format!("{name},{comb_share:.2},{loc_share:.2},{total_pct:.2}"));
+        rows.push(format!(
+            "{name},{comb_share:.2},{loc_share:.2},{total_pct:.2}"
+        ));
     }
-    write_csv("fig12", "metric,combining_share_pct,locality_share_pct,total_reduction_pct", &rows);
+    write_csv(
+        "fig12",
+        "metric,combining_share_pct,locality_share_pct,total_reduction_pct",
+        &rows,
+    );
 }
 
 /// Fig. 13 — pure range-query throughput for lengths 4 and 8 across tree
 /// sizes (Mreq/s).
 pub fn fig13(scale: &Scale) {
+    crate::metrics::set_context("fig13");
     println!("== Figure 13: range query throughput (Mreq/s) ==");
     let mut rows = Vec::new();
     for len in [4u32, 8] {

@@ -3,7 +3,7 @@
 
 use eirene_baselines::{common::ConcurrentTree, LockTree, NoCcTree, StmTree};
 use eirene_core::{EireneOptions, EireneTree};
-use eirene_sim::DeviceConfig;
+use eirene_sim::{DeviceConfig, KernelStats};
 use eirene_workloads::{Mix, WorkloadGen, WorkloadSpec};
 
 /// Which concurrent tree to measure.
@@ -53,19 +53,34 @@ impl Default for Scale {
     /// conflict metrics depend only on tree *height* and contention, so a
     /// height-shifted sweep preserves every relative curve.
     fn default() -> Self {
-        Scale { tree_exps: vec![14, 15, 16, 17], default_exp: 14, batch_size: 1 << 16, repeats: 5 }
+        Scale {
+            tree_exps: vec![14, 15, 16, 17],
+            default_exp: 14,
+            batch_size: 1 << 16,
+            repeats: 5,
+        }
     }
 }
 
 impl Scale {
     /// The paper's original scale (needs ~tens of GiB and hours on CPU).
     pub fn paper() -> Self {
-        Scale { tree_exps: vec![23, 24, 25, 26], default_exp: 23, batch_size: 1 << 20, repeats: 5 }
+        Scale {
+            tree_exps: vec![23, 24, 25, 26],
+            default_exp: 23,
+            batch_size: 1 << 20,
+            repeats: 5,
+        }
     }
 
     /// An even smaller scale for smoke tests.
     pub fn smoke() -> Self {
-        Scale { tree_exps: vec![10, 11], default_exp: 10, batch_size: 1 << 10, repeats: 2 }
+        Scale {
+            tree_exps: vec![10, 11],
+            default_exp: 10,
+            batch_size: 1 << 10,
+            repeats: 2,
+        }
     }
 }
 
@@ -85,6 +100,15 @@ pub struct Measurement {
     pub min_ns: f64,
     /// Slowest whole-batch per-request time across repeats.
     pub max_ns: f64,
+    /// Median per-request response time (ns) from the merged latency
+    /// histogram (bucket-midpoint estimate, ≤3.2% relative error).
+    pub p50_ns: f64,
+    /// 90th-percentile per-request response time (ns).
+    pub p90_ns: f64,
+    /// 99th-percentile per-request response time (ns).
+    pub p99_ns: f64,
+    /// 99.9th-percentile per-request response time (ns).
+    pub p999_ns: f64,
     /// Warp-issued memory instructions per batch request.
     pub mem_insts: f64,
     /// Control-flow instructions per batch request.
@@ -93,6 +117,9 @@ pub struct Measurement {
     pub conflicts: f64,
     /// Traversal steps per *issued* tree traversal.
     pub steps: f64,
+    /// Kernel stats merged across repeats: per-phase rows, the latency
+    /// histogram, and (when tracing) the per-warp event log.
+    pub stats: KernelStats,
 }
 
 impl Measurement {
@@ -117,7 +144,12 @@ pub fn spec_for(exp: u32, batch: usize, mix: Mix, seed: u64) -> WorkloadSpec {
     }
 }
 
-fn build_tree(kind: TreeKind, pairs: &[(u64, u64)], cfg: DeviceConfig, headroom: usize) -> Box<dyn ConcurrentTree> {
+fn build_tree(
+    kind: TreeKind,
+    pairs: &[(u64, u64)],
+    cfg: DeviceConfig,
+    headroom: usize,
+) -> Box<dyn ConcurrentTree> {
     match kind {
         TreeKind::NoCc => Box::new(NoCcTree::new(pairs, cfg)),
         TreeKind::Stm => Box::new(StmTree::new(pairs, cfg, headroom)),
@@ -143,24 +175,31 @@ fn build_tree(kind: TreeKind, pairs: &[(u64, u64)], cfg: DeviceConfig, headroom:
 /// conflict handling (near-zero for Eirene, real for the baselines).
 pub fn measure(kind: TreeKind, spec: &WorkloadSpec, repeats: usize) -> Measurement {
     let exp = spec.tree_size.trailing_zeros();
-    let pairs: Vec<(u64, u64)> =
-        spec.initial_pairs().iter().map(|&(k, v)| (k as u64, v as u64)).collect();
+    let pairs: Vec<(u64, u64)> = spec
+        .initial_pairs()
+        .iter()
+        .map(|&(k, v)| (k as u64, v as u64))
+        .collect();
     // Headroom: worst case every update is an insert into a fresh leaf.
     let updates = (spec.batch_size as f64 * (spec.mix.upsert + 0.01)) as usize;
     let headroom = (updates * 2).max(1 << 12);
     let mut gen = WorkloadGen::new(spec.clone());
 
+    let device_cfg = crate::metrics::device_config();
     let mut per_req_ns = Vec::with_capacity(repeats);
     let mut tput_sum = 0.0;
     let mut mem = 0.0;
     let mut ctrl = 0.0;
     let mut confl = 0.0;
     let mut steps = 0.0;
+    let mut agg = KernelStats::default();
+    let mut cyc_to_ns = 1.0;
     for _ in 0..repeats {
-        let mut tree = build_tree(kind, &pairs, DeviceConfig::default(), headroom);
+        let mut tree = build_tree(kind, &pairs, device_cfg.clone(), headroom);
         let batch = gen.next_batch();
         let run = tree.run_batch(&batch);
         let cfg = tree.device().config();
+        cyc_to_ns = cfg.cycles_to_secs(1.0) * 1e9;
         let secs = cfg.cycles_to_secs(run.stats.makespan_cycles);
         per_req_ns.push(secs * 1e9 / batch.len() as f64);
         tput_sum += batch.len() as f64 / secs;
@@ -170,25 +209,38 @@ pub fn measure(kind: TreeKind, spec: &WorkloadSpec, repeats: usize) -> Measureme
         confl += run.stats.totals.conflicts() as f64 / n;
         // Steps per processed (issued) request, as in Fig. 10.
         steps += run.stats.steps_per_request();
+        crate::metrics::record_events(&run.stats.totals.events);
+        agg.merge(&run.stats);
     }
+    // The event log has been forwarded; don't carry a second copy.
+    agg.totals.events.clear();
     let r = repeats as f64;
     let avg_ns = per_req_ns.iter().sum::<f64>() / r;
-    Measurement {
+    let m = Measurement {
         tree: kind,
         tree_exp: exp,
         throughput: tput_sum / r,
         avg_ns,
         min_ns: per_req_ns.iter().copied().fold(f64::INFINITY, f64::min),
         max_ns: per_req_ns.iter().copied().fold(0.0, f64::max),
+        p50_ns: agg.response_quantile_cycles(0.50) as f64 * cyc_to_ns,
+        p90_ns: agg.response_quantile_cycles(0.90) as f64 * cyc_to_ns,
+        p99_ns: agg.response_quantile_cycles(0.99) as f64 * cyc_to_ns,
+        p999_ns: agg.response_quantile_cycles(0.999) as f64 * cyc_to_ns,
         mem_insts: mem / r,
         control_insts: ctrl / r,
         conflicts: confl / r,
         steps: steps / r,
-    }
+        stats: agg,
+    };
+    crate::metrics::record_measurement(&m);
+    m
 }
 
-/// Writes rows as CSV under `results/<name>.csv` (best effort).
+/// Writes rows as CSV under `results/<name>.csv` (best effort) and
+/// mirrors the table into the metrics sink when one is active.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    crate::metrics::record_table(name, header, rows);
     let _ = std::fs::create_dir_all("results");
     let body = format!("{header}\n{}\n", rows.join("\n"));
     if let Err(e) = std::fs::write(format!("results/{name}.csv"), body) {
@@ -246,10 +298,15 @@ mod tests {
             avg_ns: 10.0,
             min_ns: 8.0,
             max_ns: 11.0,
+            p50_ns: 0.0,
+            p90_ns: 0.0,
+            p99_ns: 0.0,
+            p999_ns: 0.0,
             mem_insts: 0.0,
             control_insts: 0.0,
             conflicts: 0.0,
             steps: 0.0,
+            stats: KernelStats::default(),
         };
         assert!((m.response_variance() - 0.2).abs() < 1e-12);
     }

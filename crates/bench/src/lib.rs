@@ -9,5 +9,6 @@
 pub mod ablate;
 pub mod figures;
 pub mod harness;
+pub mod metrics;
 
 pub use harness::{Measurement, Scale, TreeKind};

@@ -7,14 +7,16 @@
 //! cargo run -p eirene-bench --release -- fig2 --batch 65536 --repeats 10
 //! ```
 
-use eirene_bench::{figures, Scale};
+use eirene_bench::{figures, metrics, Scale};
+use eirene_telemetry::JsonValue;
 
 fn usage() -> ! {
     eprintln!(
         "usage: eirene-bench <fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|fig13|all|\
          ablate-threshold|ablate-protection|ablate-iteration|ablate-distribution|\
          ablate-batch|ablate-mix|ablate-all> \
-         [--paper-scale] [--smoke] [--batch N] [--repeats N] [--exps a,b,c]"
+         [--paper-scale] [--smoke] [--batch N] [--repeats N] [--exps a,b,c] \
+         [--json PATH] [--trace PATH]"
     );
     std::process::exit(2);
 }
@@ -32,10 +34,18 @@ fn main() {
             "--paper-scale" => scale = Scale::paper(),
             "--smoke" => scale = Scale::smoke(),
             "--batch" => {
-                scale.batch_size = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+                scale.batch_size = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--repeats" => {
-                scale.repeats = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage())
+                scale.repeats = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--exps" => {
                 let list = it.next().unwrap_or_else(|| usage());
@@ -45,6 +55,8 @@ fn main() {
                     .collect();
                 scale.default_exp = scale.tree_exps[0];
             }
+            "--json" => metrics::enable_json(it.next().unwrap_or_else(|| usage())),
+            "--trace" => metrics::enable_trace(it.next().unwrap_or_else(|| usage())),
             name if which.is_none() && !name.starts_with('-') => which = Some(name.to_string()),
             _ => usage(),
         }
@@ -54,6 +66,22 @@ fn main() {
         "scale: tree 2^{:?} (default 2^{}), batch {}, repeats {}",
         scale.tree_exps, scale.default_exp, scale.batch_size, scale.repeats
     );
+    if metrics::active() {
+        metrics::set_meta("command", JsonValue::from(which.as_str()));
+        metrics::set_meta("batch_size", JsonValue::from(scale.batch_size));
+        metrics::set_meta("repeats", JsonValue::from(scale.repeats));
+        metrics::set_meta("default_exp", JsonValue::from(scale.default_exp));
+        metrics::set_meta(
+            "tree_exps",
+            JsonValue::Arr(
+                scale
+                    .tree_exps
+                    .iter()
+                    .map(|&e| JsonValue::from(e))
+                    .collect(),
+            ),
+        );
+    }
     match which.as_str() {
         "fig1" => figures::fig1(&scale),
         "fig2" => figures::fig2(&scale),
@@ -74,4 +102,5 @@ fn main() {
         "ablate-all" => eirene_bench::ablate::all(&scale),
         _ => usage(),
     }
+    metrics::flush();
 }

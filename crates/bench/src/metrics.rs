@@ -1,0 +1,287 @@
+//! Process-global metrics sink wiring for the bench CLI.
+//!
+//! `--json <path>` collects every measurement and result table the run
+//! produces into one machine-readable envelope (schema in
+//! `eirene_telemetry::MetricsSink`); `--trace <path>` additionally turns
+//! on per-warp event tracing and writes a chrome://tracing file. The
+//! figure code stays declarative: it sets a context label, and the
+//! harness records into the sink whenever one is active.
+
+use crate::harness::Measurement;
+use eirene_sim::DeviceConfig;
+use eirene_telemetry::{JsonValue, MetricsSink, Phase, TraceEvent};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+#[derive(Default)]
+struct State {
+    sink: MetricsSink,
+    json_path: Option<PathBuf>,
+    trace_path: Option<PathBuf>,
+}
+
+fn state() -> MutexGuard<'static, State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    STATE
+        .get_or_init(|| Mutex::new(State::default()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Enables JSON metrics export to `path` (written by [`flush`]).
+pub fn enable_json(path: &str) {
+    state().json_path = Some(PathBuf::from(path));
+}
+
+/// Enables event tracing and chrome://tracing export to `path`.
+pub fn enable_trace(path: &str) {
+    state().trace_path = Some(PathBuf::from(path));
+}
+
+/// True when any export destination is configured.
+pub fn active() -> bool {
+    let s = state();
+    s.json_path.is_some() || s.trace_path.is_some()
+}
+
+/// True when event tracing was requested (`--trace`).
+pub fn trace_active() -> bool {
+    state().trace_path.is_some()
+}
+
+/// Labels subsequent measurements/tables with the figure being run.
+pub fn set_context(context: &str) {
+    state().sink.set_context(context);
+}
+
+/// Attaches free-form metadata to the export envelope.
+pub fn set_meta(key: &str, value: JsonValue) {
+    state().sink.set_meta(key, value);
+}
+
+/// The device configuration benchmarks should launch with: the shared
+/// default, with per-warp event tracing on iff `--trace` was given.
+pub fn device_config() -> DeviceConfig {
+    DeviceConfig {
+        trace: trace_active(),
+        ..Default::default()
+    }
+}
+
+/// Records one measurement document (no-op when no sink is active).
+pub fn record_measurement(m: &Measurement) {
+    let mut s = state();
+    if s.json_path.is_none() && s.trace_path.is_none() {
+        return;
+    }
+    let doc = measurement_doc(s.sink.context(), m);
+    s.sink.record_measurement(doc);
+}
+
+/// Records the per-warp events of a run (no-op unless `--trace`).
+pub fn record_events(events: &[TraceEvent]) {
+    let mut s = state();
+    if s.trace_path.is_some() {
+        s.sink.extend_events(events);
+    }
+}
+
+/// Records a result table; `header` and `rows` are the CSV strings the
+/// figure code already produces.
+pub fn record_table(name: &str, header: &str, rows: &[String]) {
+    let mut s = state();
+    if s.json_path.is_none() {
+        return;
+    }
+    let header: Vec<String> = header.split(',').map(str::to_string).collect();
+    let rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.split(',').map(str::to_string).collect())
+        .collect();
+    s.sink.record_table(name, &header, &rows);
+}
+
+/// Writes the configured output files. Call once after all figures ran.
+pub fn flush() {
+    let s = state();
+    if let Some(path) = &s.json_path {
+        match s.sink.write_json_file(path) {
+            Ok(()) => eprintln!(
+                "metrics: wrote {} measurement(s) to {}",
+                s.sink.num_measurements(),
+                path.display()
+            ),
+            Err(e) => eprintln!("metrics: could not write {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = &s.trace_path {
+        match s.sink.write_trace_file(path) {
+            Ok(()) => eprintln!(
+                "metrics: wrote {} trace event(s) to {}",
+                s.sink.num_events(),
+                path.display()
+            ),
+            Err(e) => eprintln!("metrics: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Builds the stable measurement document for one figure data point.
+fn measurement_doc(context: &str, m: &Measurement) -> JsonValue {
+    let t = &m.stats.totals;
+    let phases: Vec<(String, JsonValue)> = t
+        .phases
+        .iter()
+        .filter(|(_, row)| !row.is_zero())
+        .map(|(phase, row)| {
+            (
+                phase.name().to_string(),
+                JsonValue::obj(vec![
+                    ("mem_insts", JsonValue::from(row.mem_insts)),
+                    ("mem_words", JsonValue::from(row.mem_words)),
+                    ("mem_transactions", JsonValue::from(row.mem_transactions)),
+                    ("control_insts", JsonValue::from(row.control_insts)),
+                    ("atomic_insts", JsonValue::from(row.atomic_insts)),
+                    ("lock_conflicts", JsonValue::from(row.lock_conflicts)),
+                    ("stm_aborts", JsonValue::from(row.stm_aborts)),
+                    ("version_conflicts", JsonValue::from(row.version_conflicts)),
+                    ("cycles", JsonValue::from(row.cycles)),
+                ]),
+            )
+        })
+        .collect();
+    JsonValue::obj(vec![
+        ("context", JsonValue::from(context)),
+        ("tree", JsonValue::from(m.tree.label())),
+        ("log2_tree_size", JsonValue::from(m.tree_exp)),
+        ("throughput_req_s", JsonValue::from(m.throughput)),
+        (
+            "response_ns",
+            JsonValue::obj(vec![
+                ("avg", JsonValue::from(m.avg_ns)),
+                ("min", JsonValue::from(m.min_ns)),
+                ("max", JsonValue::from(m.max_ns)),
+                ("p50", JsonValue::from(m.p50_ns)),
+                ("p90", JsonValue::from(m.p90_ns)),
+                ("p99", JsonValue::from(m.p99_ns)),
+                ("p999", JsonValue::from(m.p999_ns)),
+                ("variance", JsonValue::from(m.response_variance())),
+            ]),
+        ),
+        (
+            "response_cycles",
+            JsonValue::obj(vec![
+                ("avg", JsonValue::from(m.stats.avg_response_cycles())),
+                ("min", JsonValue::from(m.stats.min_response_cycles())),
+                ("max", JsonValue::from(m.stats.max_response_cycles())),
+                (
+                    "p50",
+                    JsonValue::from(m.stats.response_quantile_cycles(0.50)),
+                ),
+                (
+                    "p90",
+                    JsonValue::from(m.stats.response_quantile_cycles(0.90)),
+                ),
+                (
+                    "p99",
+                    JsonValue::from(m.stats.response_quantile_cycles(0.99)),
+                ),
+                (
+                    "p999",
+                    JsonValue::from(m.stats.response_quantile_cycles(0.999)),
+                ),
+            ]),
+        ),
+        (
+            "per_request",
+            JsonValue::obj(vec![
+                ("mem_insts", JsonValue::from(m.mem_insts)),
+                ("control_insts", JsonValue::from(m.control_insts)),
+                ("conflicts", JsonValue::from(m.conflicts)),
+                ("traversal_steps", JsonValue::from(m.steps)),
+            ]),
+        ),
+        (
+            "totals",
+            JsonValue::obj(vec![
+                ("requests", JsonValue::from(t.requests)),
+                ("mem_insts", JsonValue::from(t.mem_insts)),
+                ("mem_words", JsonValue::from(t.mem_words)),
+                ("mem_transactions", JsonValue::from(t.mem_transactions)),
+                ("control_insts", JsonValue::from(t.control_insts)),
+                ("atomic_insts", JsonValue::from(t.atomic_insts)),
+                ("lock_conflicts", JsonValue::from(t.lock_conflicts)),
+                ("stm_aborts", JsonValue::from(t.stm_aborts)),
+                ("version_conflicts", JsonValue::from(t.version_conflicts)),
+                ("cycles", JsonValue::from(t.cycles)),
+            ]),
+        ),
+        ("phases", JsonValue::Obj(phases)),
+    ])
+}
+
+/// Phase rows serialize in declaration order (exposed for tests).
+pub fn phase_names() -> Vec<&'static str> {
+    Phase::ALL.iter().map(|p| p.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::TreeKind;
+    use eirene_sim::KernelStats;
+
+    #[test]
+    fn measurement_doc_has_stable_keys() {
+        let mut stats = KernelStats::default();
+        stats.totals.requests = 4;
+        stats.totals.mem_insts = 40;
+        stats.totals.phases.row_mut(Phase::LeafOp).mem_insts = 40;
+        for c in [10u64, 20, 30, 40] {
+            stats.totals.latency.record(c);
+        }
+        let m = Measurement {
+            tree: TreeKind::Eirene,
+            tree_exp: 10,
+            throughput: 1e8,
+            avg_ns: 12.0,
+            min_ns: 8.0,
+            max_ns: 20.0,
+            p50_ns: 11.0,
+            p90_ns: 18.0,
+            p99_ns: 19.0,
+            p999_ns: 20.0,
+            mem_insts: 10.0,
+            control_insts: 5.0,
+            conflicts: 0.0,
+            steps: 3.0,
+            stats,
+        };
+        let doc = measurement_doc("fig7", &m);
+        let text = doc.to_json();
+        let parsed = JsonValue::parse(&text).unwrap();
+        assert_eq!(parsed.get("context").and_then(|v| v.as_str()), Some("fig7"));
+        assert_eq!(parsed.get("tree").and_then(|v| v.as_str()), Some("Eirene"));
+        let resp = parsed.get("response_cycles").unwrap();
+        assert_eq!(resp.get("min").and_then(|v| v.as_u64()), Some(10));
+        assert_eq!(resp.get("max").and_then(|v| v.as_u64()), Some(40));
+        let phases = parsed.get("phases").unwrap();
+        assert_eq!(
+            phases
+                .get("leaf_op")
+                .and_then(|p| p.get("mem_insts"))
+                .and_then(|v| v.as_u64()),
+            Some(40)
+        );
+        // Zero rows are elided.
+        assert!(phases.get("combine").is_none());
+    }
+
+    #[test]
+    fn phase_names_are_the_schema_keys() {
+        let names = phase_names();
+        assert_eq!(names.len(), eirene_telemetry::PHASE_COUNT);
+        assert!(names.contains(&"leaf_op"));
+        assert!(names.contains(&"stm_commit"));
+    }
+}

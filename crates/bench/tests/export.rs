@@ -1,0 +1,88 @@
+//! End-to-end test of the `--json` export path: run a smoke-scale fig7,
+//! flush the sink, and validate that the file parses back into the
+//! documented schema with per-tree throughput, response percentiles, and
+//! per-phase counters that sum to the kernel totals.
+
+use eirene_bench::{figures, metrics, Scale};
+use eirene_telemetry::JsonValue;
+
+#[test]
+fn fig7_smoke_json_round_trips() {
+    let dir = std::env::temp_dir().join("eirene-bench-export-test");
+    let path = dir.join("fig7.json");
+    let _ = std::fs::remove_file(&path);
+    metrics::enable_json(path.to_str().unwrap());
+    metrics::set_meta("scale", JsonValue::from("test"));
+
+    let scale = Scale {
+        tree_exps: vec![10],
+        default_exp: 10,
+        batch_size: 512,
+        repeats: 1,
+    };
+    figures::fig7(&scale);
+    metrics::flush();
+
+    let text = std::fs::read_to_string(&path).expect("exported file exists");
+    let doc = JsonValue::parse(&text).expect("exported file is valid JSON");
+    assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(
+        doc.get("meta")
+            .and_then(|m| m.get("scale"))
+            .and_then(|v| v.as_str()),
+        Some("test")
+    );
+
+    let ms = doc
+        .get("measurements")
+        .and_then(|v| v.as_arr())
+        .expect("measurements array");
+    assert_eq!(ms.len(), 3, "fig7 measures three trees");
+    let trees: Vec<&str> = ms
+        .iter()
+        .filter_map(|m| m.get("tree").and_then(|v| v.as_str()))
+        .collect();
+    assert!(trees.contains(&"Eirene"));
+    assert!(trees.contains(&"STM GB-tree"));
+    assert!(trees.contains(&"Lock GB-tree"));
+
+    for m in ms {
+        assert_eq!(m.get("context").and_then(|v| v.as_str()), Some("fig7"));
+        assert!(m.get("throughput_req_s").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        // Response percentiles are present and ordered.
+        let rc = m.get("response_cycles").expect("response_cycles");
+        let p50 = rc.get("p50").and_then(|v| v.as_u64()).unwrap();
+        let p99 = rc.get("p99").and_then(|v| v.as_u64()).unwrap();
+        let p999 = rc.get("p999").and_then(|v| v.as_u64()).unwrap();
+        let max = rc.get("max").and_then(|v| v.as_u64()).unwrap();
+        assert!(p50 <= p99 && p99 <= p999 && p999 <= max, "quantile order");
+        // Histogram-derived average is exact (sum/count side channel).
+        assert!(rc.get("avg").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        // Per-phase counters sum to the kernel totals exactly.
+        let totals = m.get("totals").expect("totals");
+        let phases = match m.get("phases").expect("phases") {
+            JsonValue::Obj(fields) => fields,
+            _ => panic!("phases must be an object"),
+        };
+        for field in ["mem_insts", "control_insts", "cycles", "atomic_insts"] {
+            let want = totals.get(field).and_then(|v| v.as_u64()).unwrap();
+            let got: u64 = phases
+                .iter()
+                .map(|(_, row)| row.get(field).and_then(|v| v.as_u64()).unwrap())
+                .sum();
+            assert_eq!(
+                got,
+                want,
+                "{}: phase {field} rows must sum to totals",
+                trees.len()
+            );
+        }
+    }
+
+    let tables = doc.get("tables").and_then(|v| v.as_arr()).expect("tables");
+    assert!(tables
+        .iter()
+        .any(|t| t.get("name").and_then(|v| v.as_str()) == Some("fig7")));
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -116,7 +116,10 @@ pub fn bulk_build(mem: &GlobalMemory, pairs: &[(u64, u64)]) -> TreeHandle {
     }
 
     let root_word = mem.alloc(2);
-    let handle = TreeHandle { root_word, height_word: root_word + 1 };
+    let handle = TreeHandle {
+        root_word,
+        height_word: root_word + 1,
+    };
     handle.set_root(mem, entries[0].1, height);
     handle
 }
@@ -129,7 +132,10 @@ struct StaggeredChunks<'a, T> {
 
 impl<'a, T> StaggeredChunks<'a, T> {
     fn new(items: &'a [T]) -> Self {
-        StaggeredChunks { rest: items, idx: 0 }
+        StaggeredChunks {
+            rest: items,
+            idx: 0,
+        }
     }
 }
 
@@ -196,7 +202,9 @@ mod tests {
         let root = NodeRef { addr: h.root(&mem) };
         assert!(!root.is_leaf(&mem));
         // Fences in the root are the min keys of the leaves.
-        let c0 = NodeRef { addr: root.val(&mem, 0) };
+        let c0 = NodeRef {
+            addr: root.val(&mem, 0),
+        };
         assert_eq!(root.key(&mem, 0), c0.min_key(&mem));
     }
 
@@ -207,7 +215,9 @@ mod tests {
         // Descend to leftmost leaf.
         let mut node = NodeRef { addr: h.root(&mem) };
         while !node.is_leaf(&mem) {
-            node = NodeRef { addr: node.val(&mem, 0) };
+            node = NodeRef {
+                addr: node.val(&mem, 0),
+            };
         }
         let mut seen = 0;
         let mut last_key = 0;
@@ -233,12 +243,17 @@ mod tests {
         let h = bulk_build(&mem, &pairs(300));
         let mut node = NodeRef { addr: h.root(&mem) };
         while !node.is_leaf(&mem) {
-            node = NodeRef { addr: node.val(&mem, 0) };
+            node = NodeRef {
+                addr: node.val(&mem, 0),
+            };
         }
         let mut counts = Vec::new();
         loop {
             assert!(node.count(&mem) <= BUILD_FILL + 2);
-            assert!(node.count(&mem) < FANOUT, "every leaf keeps insert headroom");
+            assert!(
+                node.count(&mem) < FANOUT,
+                "every leaf keeps insert headroom"
+            );
             counts.push(node.count(&mem));
             let next = node.next(&mem);
             if next == 0 {
@@ -248,7 +263,10 @@ mod tests {
         }
         // Fill must actually be staggered, not uniform.
         let distinct: std::collections::HashSet<_> = counts[..counts.len() - 1].iter().collect();
-        assert!(distinct.len() >= 3, "staggered fill expected, got {counts:?}");
+        assert!(
+            distinct.len() >= 3,
+            "staggered fill expected, got {counts:?}"
+        );
     }
 
     #[test]
@@ -259,11 +277,15 @@ mod tests {
         // Collect leaves.
         let mut node = NodeRef { addr: h.root(&mem) };
         while !node.is_leaf(&mem) {
-            node = NodeRef { addr: node.val(&mem, 0) };
+            node = NodeRef {
+                addr: node.val(&mem, 0),
+            };
         }
         let mut leaves = vec![node];
         while leaves.last().unwrap().next(&mem) != 0 {
-            leaves.push(NodeRef { addr: leaves.last().unwrap().next(&mem) });
+            leaves.push(NodeRef {
+                addr: leaves.last().unwrap().next(&mem),
+            });
         }
         for (i, leaf) in leaves.iter().enumerate() {
             let expect = if i + height + 1 < leaves.len() {

@@ -250,7 +250,16 @@ impl ParsedNode {
         let mut vals = [0u64; FANOUT];
         keys.copy_from_slice(&w[OFF_KEYS as usize..OFF_KEYS as usize + FANOUT]);
         vals.copy_from_slice(&w[OFF_VALS as usize..OFF_VALS as usize + FANOUT]);
-        ParsedNode { meta: w[0], version: w[1], next: w[2], rf: w[3], high: w[4], low: w[5], keys, vals }
+        ParsedNode {
+            meta: w[0],
+            version: w[1],
+            next: w[2],
+            rf: w[3],
+            high: w[4],
+            low: w[5],
+            keys,
+            vals,
+        }
     }
 
     #[inline]

@@ -16,17 +16,25 @@ enum Ins {
 
 /// Looks up `key`, returning its value if present.
 pub fn get(mem: &GlobalMemory, tree: &TreeHandle, key: u64) -> Option<u64> {
-    let mut node = NodeRef { addr: tree.root(mem) };
+    let mut node = NodeRef {
+        addr: tree.root(mem),
+    };
     while !node.is_leaf(mem) {
-        node = NodeRef { addr: node.val(mem, child_slot(mem, node, key)) };
+        node = NodeRef {
+            addr: node.val(mem, child_slot(mem, node, key)),
+        };
     }
     let c = node.count(mem);
-    (0..c).find(|&i| node.key(mem, i) == key).map(|i| node.val(mem, i))
+    (0..c)
+        .find(|&i| node.key(mem, i) == key)
+        .map(|i| node.val(mem, i))
 }
 
 /// Inserts or updates `key`, returning the previous value if any.
 pub fn upsert(mem: &GlobalMemory, tree: &TreeHandle, key: u64, val: u64) -> Option<u64> {
-    let root = NodeRef { addr: tree.root(mem) };
+    let root = NodeRef {
+        addr: tree.root(mem),
+    };
     match insert_rec(mem, root, key, val) {
         Ins::Done(old) => old,
         Ins::Split(fence, right, old) => {
@@ -48,9 +56,13 @@ pub fn upsert(mem: &GlobalMemory, tree: &TreeHandle, key: u64, val: u64) -> Opti
 /// are never merged (GPU B-trees, including the paper's baselines, do not
 /// rebalance on delete); an emptied leaf stays in the chain.
 pub fn delete(mem: &GlobalMemory, tree: &TreeHandle, key: u64) -> Option<u64> {
-    let mut node = NodeRef { addr: tree.root(mem) };
+    let mut node = NodeRef {
+        addr: tree.root(mem),
+    };
     while !node.is_leaf(mem) {
-        node = NodeRef { addr: node.val(mem, child_slot(mem, node, key)) };
+        node = NodeRef {
+            addr: node.val(mem, child_slot(mem, node, key)),
+        };
     }
     let c = node.count(mem);
     let slot = (0..c).find(|&i| node.key(mem, i) == key)?;
@@ -69,9 +81,13 @@ pub fn delete(mem: &GlobalMemory, tree: &TreeHandle, key: u64) -> Option<u64> {
 pub fn range(mem: &GlobalMemory, tree: &TreeHandle, lo: u64, len: u32) -> Vec<Option<u64>> {
     let hi = lo.saturating_add(len as u64 - 1);
     let mut out = vec![None; len as usize];
-    let mut node = NodeRef { addr: tree.root(mem) };
+    let mut node = NodeRef {
+        addr: tree.root(mem),
+    };
     while !node.is_leaf(mem) {
-        node = NodeRef { addr: node.val(mem, child_slot(mem, node, lo)) };
+        node = NodeRef {
+            addr: node.val(mem, child_slot(mem, node, lo)),
+        };
     }
     loop {
         let c = node.count(mem);
@@ -95,9 +111,13 @@ pub fn range(mem: &GlobalMemory, tree: &TreeHandle, lo: u64, len: u32) -> Vec<Op
 
 /// Walks the leaf chain and returns every (key, value) pair in order.
 pub fn contents(mem: &GlobalMemory, tree: &TreeHandle) -> Vec<(u64, u64)> {
-    let mut node = NodeRef { addr: tree.root(mem) };
+    let mut node = NodeRef {
+        addr: tree.root(mem),
+    };
     while !node.is_leaf(mem) {
-        node = NodeRef { addr: node.val(mem, 0) };
+        node = NodeRef {
+            addr: node.val(mem, 0),
+        };
     }
     let mut out = Vec::new();
     loop {
@@ -140,7 +160,9 @@ fn insert_rec(mem: &GlobalMemory, node: NodeRef, key: u64, val: u64) -> Ins {
         return leaf_insert(mem, node, key, val);
     }
     let slot = child_slot(mem, node, key);
-    let child = NodeRef { addr: node.val(mem, slot) };
+    let child = NodeRef {
+        addr: node.val(mem, slot),
+    };
     match insert_rec(mem, child, key, val) {
         Ins::Done(old) => Ins::Done(old),
         Ins::Split(fence, right, old) => {
@@ -354,7 +376,9 @@ mod tests {
         let (mem, t) = tree_with(100);
         let mut node = NodeRef { addr: t.root(&mem) };
         while !node.is_leaf(&mem) {
-            node = NodeRef { addr: node.val(&mem, 0) };
+            node = NodeRef {
+                addr: node.val(&mem, 0),
+            };
         }
         let v0 = node.version(&mem);
         // Fill this leaf until it splits: insert odd keys just above its

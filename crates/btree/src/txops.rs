@@ -7,10 +7,10 @@
 
 use crate::build::TreeHandle;
 use crate::node::{
-    meta_count, meta_is_leaf, pack_meta, FANOUT, NODE_WORDS, OFF_HIGH, OFF_KEYS, OFF_LOW,
-    OFF_META, OFF_NEXT, OFF_RF, OFF_VALS, OFF_VERSION,
+    meta_count, meta_is_leaf, pack_meta, FANOUT, NODE_WORDS, OFF_HIGH, OFF_KEYS, OFF_LOW, OFF_META,
+    OFF_NEXT, OFF_RF, OFF_VALS, OFF_VERSION,
 };
-use eirene_sim::{Addr, WarpCtx};
+use eirene_sim::{Addr, Phase, TraceEventKind, WarpCtx};
 use eirene_stm::{Tx, TxResult};
 
 /// Sentinel for "no previous value".
@@ -78,10 +78,28 @@ pub fn tx_split(
     addr: Addr,
     leaf: bool,
 ) -> TxResult<(Addr, u64)> {
+    // The phase wrapper restores attribution even when a transactional
+    // access aborts out of the split with `?`.
+    let prev = ctx.set_phase(Phase::StructureMod);
+    let r = tx_split_inner(tx, ctx, handle, parent, addr, leaf);
+    if r.is_ok() {
+        ctx.emit(TraceEventKind::NodeSplit, addr);
+    }
+    ctx.set_phase(prev);
+    r
+}
+
+fn tx_split_inner(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    handle: &TreeHandle,
+    parent: SplitParent,
+    addr: Addr,
+    leaf: bool,
+) -> TxResult<(Addr, u64)> {
     let half = FANOUT / 2;
     let raddr = ctx.raw_mem().alloc_aligned(NODE_WORDS, 16);
-    ctx.stats.atomic_insts += 1;
-    ctx.charge_cycles(ctx.config().atomic_latency);
+    ctx.charge_alloc();
     // Move the upper half to the sibling.
     for i in half..FANOUT {
         let k = tx.read(ctx, addr + OFF_KEYS + i as u64)?;
@@ -141,8 +159,7 @@ pub fn tx_split(
         SplitParent::Root => {
             // Root split: new root with two fences.
             let new_root = ctx.raw_mem().alloc_aligned(NODE_WORDS, 16);
-            ctx.stats.atomic_insts += 1;
-            ctx.charge_cycles(ctx.config().atomic_latency);
+            ctx.charge_alloc();
             let k0 = tx.read(ctx, addr + OFF_KEYS)?;
             for i in 2..FANOUT {
                 tx.write(ctx, new_root + OFF_KEYS + i as u64, u64::MAX)?;
@@ -168,6 +185,19 @@ pub fn tx_split(
 /// right from any leaf at or left of the target is always correct).
 /// Returns the leaf address and count.
 pub fn tx_hop_right(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    addr: Addr,
+    count: usize,
+    key: u64,
+) -> TxResult<(Addr, usize)> {
+    let prev = ctx.set_phase(Phase::HorizontalTraversal);
+    let r = tx_hop_right_inner(tx, ctx, addr, count, key);
+    ctx.set_phase(prev);
+    r
+}
+
+fn tx_hop_right_inner(
     tx: &mut Tx<'_>,
     ctx: &mut WarpCtx<'_>,
     mut addr: Addr,
@@ -197,6 +227,19 @@ pub fn tx_hop_right(
 /// observes its own split); the returned leaf then always has room.
 /// Returns (leaf address, leaf count).
 pub fn tx_descend(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    handle: &TreeHandle,
+    key: u64,
+    may_insert: bool,
+) -> TxResult<(Addr, usize)> {
+    let prev = ctx.set_phase(Phase::VerticalTraversal);
+    let r = tx_descend_inner(tx, ctx, handle, key, may_insert);
+    ctx.set_phase(prev);
+    r
+}
+
+fn tx_descend_inner(
     tx: &mut Tx<'_>,
     ctx: &mut WarpCtx<'_>,
     handle: &TreeHandle,
@@ -259,6 +302,20 @@ pub fn tx_upsert_at_leaf(
     key: u64,
     val: u64,
 ) -> TxResult<LeafUpsert> {
+    let prev = ctx.set_phase(Phase::LeafOp);
+    let r = tx_upsert_at_leaf_inner(tx, ctx, addr, count, key, val);
+    ctx.set_phase(prev);
+    r
+}
+
+fn tx_upsert_at_leaf_inner(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    addr: Addr,
+    count: usize,
+    key: u64,
+    val: u64,
+) -> TxResult<LeafUpsert> {
     if let Some(slot) = tx_find(tx, ctx, addr, count, key)? {
         let old = tx.read(ctx, addr + OFF_VALS + slot as u64)?;
         tx.write(ctx, addr + OFF_VALS + slot as u64, val)?;
@@ -300,6 +357,19 @@ pub fn tx_delete_at_leaf(
     count: usize,
     key: u64,
 ) -> TxResult<u64> {
+    let prev = ctx.set_phase(Phase::LeafOp);
+    let r = tx_delete_at_leaf_inner(tx, ctx, addr, count, key);
+    ctx.set_phase(prev);
+    r
+}
+
+fn tx_delete_at_leaf_inner(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    addr: Addr,
+    count: usize,
+    key: u64,
+) -> TxResult<u64> {
     match tx_find(tx, ctx, addr, count, key)? {
         None => Ok(NO_VALUE),
         Some(slot) => {
@@ -325,10 +395,14 @@ pub fn tx_query_at_leaf(
     count: usize,
     key: u64,
 ) -> TxResult<u64> {
-    match tx_find(tx, ctx, addr, count, key)? {
-        None => Ok(NO_VALUE),
-        Some(slot) => tx.read(ctx, addr + OFF_VALS + slot as u64),
-    }
+    let prev = ctx.set_phase(Phase::LeafOp);
+    let r = match tx_find(tx, ctx, addr, count, key) {
+        Ok(None) => Ok(NO_VALUE),
+        Ok(Some(slot)) => tx.read(ctx, addr + OFF_VALS + slot as u64),
+        Err(e) => Err(e),
+    };
+    ctx.set_phase(prev);
+    r
 }
 
 #[cfg(test)]
@@ -427,7 +501,11 @@ mod tests {
         let r = tx_descend(&mut tx, &mut ctx, &t, 5_000_000, true);
         assert!(r.is_ok());
         tx.rollback(&mut ctx);
-        assert_eq!(refops::contents(dev.mem(), &t), snapshot, "rollback must undo");
+        assert_eq!(
+            refops::contents(dev.mem(), &t),
+            snapshot,
+            "rollback must undo"
+        );
         validate(dev.mem(), &t).unwrap();
     }
 
@@ -436,9 +514,13 @@ mod tests {
         let (dev, t, stm) = setup(1000);
         let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
         // Start from the leftmost leaf and hop to key 1500.
-        let mut leftmost = crate::node::NodeRef { addr: t.root(dev.mem()) };
+        let mut leftmost = crate::node::NodeRef {
+            addr: t.root(dev.mem()),
+        };
         while !leftmost.is_leaf(dev.mem()) {
-            leftmost = crate::node::NodeRef { addr: leftmost.val(dev.mem(), 0) };
+            leftmost = crate::node::NodeRef {
+                addr: leftmost.val(dev.mem(), 0),
+            };
         }
         let v = stm
             .run(&mut ctx, 4, |tx, ctx| {

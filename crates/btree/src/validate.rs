@@ -31,9 +31,16 @@ pub struct TreeStats {
 /// Returns [`TreeStats`] on success, or a description of the first
 /// violation.
 pub fn validate(mem: &GlobalMemory, tree: &TreeHandle) -> Result<TreeStats, String> {
-    let root = NodeRef { addr: tree.root(mem) };
+    let root = NodeRef {
+        addr: tree.root(mem),
+    };
     let height = tree.height(mem);
-    let mut stats = TreeStats { height, nodes: 0, leaves: 0, keys: 0 };
+    let mut stats = TreeStats {
+        height,
+        nodes: 0,
+        leaves: 0,
+        keys: 0,
+    };
     let mut leaves_in_order = Vec::new();
     check_node(
         mem,
@@ -151,7 +158,9 @@ fn check_node(
 
     for i in 0..c {
         let fence = node.key(mem, i);
-        let child = NodeRef { addr: node.val(mem, i) };
+        let child = NodeRef {
+            addr: node.val(mem, i),
+        };
         let child_hi = if i + 1 < c { node.key(mem, i + 1) } else { hi };
         check_node(
             mem,
@@ -213,7 +222,10 @@ mod tests {
         root.set_key(&mem, 0, k1);
         root.set_key(&mem, 1, k0);
         let err = validate(&mem, &t).unwrap_err();
-        assert!(err.contains("not ascending") || err.contains("bound"), "{err}");
+        assert!(
+            err.contains("not ascending") || err.contains("bound"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -230,7 +242,9 @@ mod tests {
         let (mem, t) = tree(200);
         let mut node = NodeRef { addr: t.root(&mem) };
         while !node.is_leaf(&mem) {
-            node = NodeRef { addr: node.val(&mem, 0) };
+            node = NodeRef {
+                addr: node.val(&mem, 0),
+            };
         }
         // Cut the chain after the first leaf.
         node.set_next(&mem, 0);

@@ -1,0 +1,191 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides just enough API surface for the workspace's `[[bench]]`
+//! targets to build and run: `Criterion`, benchmark groups,
+//! `bench_with_input`/`bench_function`, `Bencher::iter`/`iter_batched`,
+//! and the `criterion_group!`/`criterion_main!` macros. Timing is plain
+//! wall clock with a handful of samples — good enough to spot order-of-
+//! magnitude regressions, with none of criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; the shim times the routine
+/// per call either way, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+pub struct Bencher {
+    samples: usize,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            elapsed: Vec::new(),
+        }
+    }
+
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.elapsed.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.elapsed.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.elapsed.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.elapsed.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        println!(
+            "{label:<40} median {median:>12.3?}  mean {mean:>12.3?}  ({} samples)",
+            sorted.len()
+        );
+    }
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("== group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&id.id);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(c: &mut Criterion) {
+        let mut g = c.benchmark_group("toy");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::from_parameter(7u32), &7u32, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.finish();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+    }
+
+    criterion_group!(toy_group, toy);
+
+    #[test]
+    fn group_and_bench_run() {
+        toy_group();
+    }
+}

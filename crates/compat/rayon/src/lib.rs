@@ -1,0 +1,219 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the small parallel-iterator surface the workspace uses
+//! (`par_iter`, `par_chunks`, `par_chunks_mut`, `into_par_iter`, plus the
+//! `map`/`for_each`/`collect`/`reduce`/`sum`/`zip`/`enumerate`/`copied`
+//! adapters) on top of `std::thread::scope`. Unlike real rayon it is
+//! eager: each adapter chain materializes its items, and the terminal
+//! operation fans the work out across OS threads in contiguous,
+//! order-preserving chunks. That preserves the two properties callers
+//! depend on — real cross-thread parallelism (the STM contention tests
+//! need genuinely concurrent transactions) and deterministic output order
+//! (the radix-sort scatter needs stable chunk ordering).
+
+use std::ops::Range;
+
+/// Number of worker threads used for parallel operations.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Order-preserving parallel map over an owned item vector.
+fn pmap<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().clamp(1, n);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let take = chunk.min(items.len());
+        let rest = items.split_off(take);
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// An eager "parallel iterator": a materialized item list whose terminal
+/// operations run on multiple threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: pmap(self.items, &f),
+        }
+    }
+
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        pmap(self.items, &|t| f(t));
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn reduce<ID: Fn() -> T + Sync, OP: Fn(T, T) -> T + Sync>(self, identity: ID, op: OP) -> T {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+}
+
+impl<T: Copy + Send + Sync> ParIter<&T> {
+    pub fn copied(self) -> ParIter<T> {
+        ParIter {
+            items: self.items.into_iter().copied().collect(),
+        }
+    }
+}
+
+/// Conversion of owned collections (and ranges) into a [`ParIter`].
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_into_par!(u32, u64, usize, i32, i64);
+
+/// Borrowing parallel iteration over slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(chunk_size.max(1)).collect(),
+        }
+    }
+}
+
+/// Mutable parallel iteration over slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size.max(1)).collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn for_each_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        (0..512u64).into_par_iter().for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            std::thread::yield_now();
+        });
+        // With >1 hardware threads the work must not collapse to one thread.
+        if super::current_num_threads() > 1 {
+            assert!(ids.lock().unwrap().len() > 1);
+        }
+    }
+
+    #[test]
+    fn chunks_zip_reduce_sum() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let or_all = xs.par_iter().copied().reduce(|| 0, |a, b| a | b);
+        assert_eq!(or_all, (0..1000u64).fold(0, |a, b| a | b));
+        let sums: Vec<u64> = xs.par_chunks(100).map(|c| c.iter().sum::<u64>()).collect();
+        assert_eq!(sums.len(), 10);
+        assert_eq!(sums.iter().sum::<u64>(), 1000 * 999 / 2);
+        let mut out = vec![0u64; 1000];
+        out.par_chunks_mut(100)
+            .zip(xs.par_chunks(100))
+            .zip(
+                (0..10u64)
+                    .into_par_iter()
+                    .collect::<Vec<_>>()
+                    .into_par_iter(),
+            )
+            .for_each(|((o, x), base)| {
+                for (slot, &v) in o.iter_mut().zip(x) {
+                    *slot = v + base;
+                }
+            });
+        assert_eq!(out[999], 999 + 9);
+        let total: u64 = (0..100u64).into_par_iter().map(|x| x).sum();
+        assert_eq!(total, 4950);
+    }
+}

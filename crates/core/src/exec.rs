@@ -25,7 +25,7 @@ use eirene_btree::txops::{
     tx_delete_at_leaf, tx_descend, tx_hop_right, tx_upsert_at_leaf, LeafUpsert, NO_VALUE,
 };
 use eirene_primitives::PrimCost;
-use eirene_sim::{Device, KernelStats};
+use eirene_sim::{Device, KernelStats, Phase, TraceEventKind};
 use eirene_stm::{Abort, Stm};
 use eirene_workloads::{Batch, OpKind, Response};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -109,16 +109,19 @@ pub fn execute(
     let n = batch.len();
     let responses = ResponseBuf::new(n);
     // Old value per run, retrieved by the run's issued request.
-    let old_vals: Vec<AtomicU64> = (0..plan.runs.len()).map(|_| AtomicU64::new(NO_VALUE)).collect();
+    let old_vals: Vec<AtomicU64> = (0..plan.runs.len())
+        .map(|_| AtomicU64::new(NO_VALUE))
+        .collect();
 
     // --- Partition issued requests into kernel work lists (Alg.1 l.3). --
     let mut qk_items: Vec<QkItem> = Vec::new();
     let mut uk_items: Vec<(u32, u64, IssuedKind)> = Vec::new();
     for is in &plan.issued {
         match is.kind {
-            IssuedKind::Query => {
-                qk_items.push(QkItem::Query { run: is.run, key: is.key as u64 })
-            }
+            IssuedKind::Query => qk_items.push(QkItem::Query {
+                run: is.run,
+                key: is.key as u64,
+            }),
             kind => uk_items.push((is.run, is.key as u64, kind)),
         }
     }
@@ -165,14 +168,25 @@ pub fn execute(
         .collect();
 
     // ------------------------- Query kernel ----------------------------
-    let query_stats = launch_grouped(device, handle, opts, &qk_items, "eirene-query", |ctx, loc, item| {
-        match *item {
+    let query_stats = launch_grouped(
+        device,
+        handle,
+        opts,
+        &qk_items,
+        "eirene-query",
+        |ctx, loc, item| match *item {
             QkItem::Query { run, key } => {
                 ctx.begin_request();
                 charge_request_io(ctx);
+                let run_len = plan.runs[run as usize].len;
+                if run_len > 1 {
+                    ctx.emit(TraceEventKind::CombineHit, run_len as u64);
+                }
                 let (_, leaf) = loc.locate(ctx, handle, key);
+                let prev = ctx.set_phase(Phase::LeafOp);
                 ctx.control(12);
                 let v = leaf.find(key).map_or(NO_VALUE, |i| leaf.vals[i]);
+                ctx.set_phase(prev);
                 old_vals[run as usize].store(v, Ordering::Relaxed);
                 ctx.end_request();
             }
@@ -181,12 +195,12 @@ pub fn execute(
                 charge_request_io(ctx);
                 let hi = lo + len as u64 - 1;
                 let (_, mut leaf) = loc.locate(ctx, handle, lo);
+                let prev = ctx.set_phase(Phase::LeafOp);
                 loop {
                     for i in 0..leaf.count() {
                         let k = leaf.keys[i];
                         if k >= lo && k <= hi {
-                            range_results[range_idx as usize]
-                                .set((k - lo) as usize, leaf.vals[i]);
+                            range_results[range_idx as usize].set((k - lo) as usize, leaf.vals[i]);
                         }
                     }
                     ctx.control(leaf.count() as u64 + 2);
@@ -194,20 +208,32 @@ pub fn execute(
                         break;
                     }
                     let next = leaf.next;
+                    ctx.set_phase(Phase::HorizontalTraversal);
                     leaf = crate::locality::load_node(ctx, next);
                     ctx.stats.horizontal_steps += 1;
+                    ctx.set_phase(Phase::LeafOp);
                 }
+                ctx.set_phase(prev);
                 ctx.end_request();
             }
-        }
-    });
+        },
+    );
 
     // ------------------------- Update kernel ---------------------------
-    let update_stats =
-        launch_grouped(device, handle, opts, &uk_items, "eirene-update", |ctx, loc, item| {
+    let update_stats = launch_grouped(
+        device,
+        handle,
+        opts,
+        &uk_items,
+        "eirene-update",
+        |ctx, loc, item| {
             let (run, key, kind) = *item;
             ctx.begin_request();
             charge_request_io(ctx);
+            let run_len = plan.runs[run as usize].len;
+            if run_len > 1 {
+                ctx.emit(TraceEventKind::CombineHit, run_len as u64);
+            }
             let old = match opts.protection {
                 UpdateProtection::OptimisticStm => {
                     update_one(ctx, handle, stm, opts, loc, key, kind)
@@ -216,15 +242,14 @@ pub fn execute(
                     IssuedKind::Upsert(v) => {
                         eirene_baselines::lock::locked_upsert(ctx, handle, key, v as u64)
                     }
-                    IssuedKind::Delete => {
-                        eirene_baselines::lock::locked_delete(ctx, handle, key)
-                    }
+                    IssuedKind::Delete => eirene_baselines::lock::locked_delete(ctx, handle, key),
                     IssuedKind::Query => unreachable!("queries run in the query kernel"),
                 },
             };
             old_vals[run as usize].store(old, Ordering::Relaxed);
             ctx.end_request();
-        });
+        },
+    );
 
     // ----------------------- Result calculation ------------------------
     let resolve_cost = resolve(batch, plan, &old_vals, &responses, &range_results);
@@ -232,19 +257,26 @@ pub fn execute(
     // Install range responses.
     for (idx, r) in plan.ranges.iter().enumerate() {
         let slots = range_results[idx].snapshot();
-        let vec: Vec<Option<u32>> =
-            slots.iter().map(|&v| (v != NO_VALUE).then_some(v as u32)).collect();
+        let vec: Vec<Option<u32>> = slots
+            .iter()
+            .map(|&v| (v != NO_VALUE).then_some(v as u32))
+            .collect();
         responses.set(r.orig_idx as usize, Response::Range(vec));
     }
 
     // ----------------------------- Stats --------------------------------
     let cfg = device.config();
-    let mut stats = plan.cost.into_kernel_stats("eirene-combine", cfg);
+    let mut stats = plan
+        .cost
+        .into_phased_kernel_stats("eirene-combine", cfg, Phase::Combine);
     stats.merge(&query_stats);
     stats.merge(&update_stats);
-    stats.merge(&resolve_cost.into_kernel_stats("eirene-resolve", cfg));
+    stats.merge(&resolve_cost.into_phased_kernel_stats("eirene-resolve", cfg, Phase::ResultCalc));
 
-    BatchRun { responses: responses.into_vec(), stats }
+    BatchRun {
+        responses: responses.into_vec(),
+        stats,
+    }
 }
 
 /// Executes one issued update with the optimistic protocol of Alg. 1.
@@ -288,6 +320,7 @@ fn update_one(
         let (addr, node) = loc.locate(ctx, handle, key);
         let leafvers = node.version;
         let mut need_split = false;
+        let outer = ctx.set_phase(Phase::LeafOp);
         let attempt = {
             let mut tx = stm.begin();
             let r = (|| {
@@ -322,7 +355,9 @@ fn update_one(
                             }
                         }
                     }
-                    IssuedKind::Delete => Ok(Some(tx_delete_at_leaf(&mut tx, ctx, laddr, lcount, key)?)),
+                    IssuedKind::Delete => {
+                        Ok(Some(tx_delete_at_leaf(&mut tx, ctx, laddr, lcount, key)?))
+                    }
                     IssuedKind::Query => unreachable!(),
                 }
             })();
@@ -330,24 +365,25 @@ fn update_one(
                 Ok(Some(old)) => match tx.commit(ctx) {
                     Ok(()) => Some(old),
                     Err(Abort) => {
-                        ctx.stats.stm_aborts += 1;
+                        ctx.stm_abort();
                         None
                     }
                 },
                 Ok(None) => {
                     tx.rollback(ctx);
-                    ctx.stats.version_conflicts += 1;
+                    ctx.version_conflict();
                     None
                 }
                 Err(Abort) => {
                     tx.rollback(ctx);
                     if !need_split {
-                        ctx.stats.stm_aborts += 1;
+                        ctx.stm_abort();
                     }
                     None
                 }
             }
         };
+        ctx.set_phase(outer);
         match attempt {
             Some(old) => return old,
             None => {
@@ -400,7 +436,10 @@ fn launch_grouped<T: HasKey>(
 ) -> KernelStats {
     let n = items.len();
     if n == 0 {
-        return KernelStats { name: name.to_string(), ..Default::default() };
+        return KernelStats {
+            name: name.to_string(),
+            ..Default::default()
+        };
     }
     let rg = opts.rg_size.max(1);
     let num_rgs = n.div_ceil(rg);
@@ -494,8 +533,10 @@ fn resolve_run(
         match req.op {
             OpKind::Query => {
                 let v = value_at(state);
-                responses
-                    .set(orig as usize, Response::Value((v != NO_VALUE).then_some(v as u32)));
+                responses.set(
+                    orig as usize,
+                    Response::Value((v != NO_VALUE).then_some(v as u32)),
+                );
             }
             OpKind::Upsert(v) => {
                 state = KeyState::Value(v);
@@ -528,7 +569,9 @@ mod parking_lot_free {
 
     impl SlotVec {
         pub fn new(len: usize) -> Self {
-            SlotVec { slots: (0..len).map(|_| AtomicU64::new(u64::MAX)).collect() }
+            SlotVec {
+                slots: (0..len).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            }
         }
 
         pub fn set(&self, idx: usize, v: u64) {
@@ -536,7 +579,10 @@ mod parking_lot_free {
         }
 
         pub fn snapshot(&self) -> Vec<u64> {
-            self.slots.iter().map(|s| s.load(Ordering::Relaxed)).collect()
+            self.slots
+                .iter()
+                .map(|s| s.load(Ordering::Relaxed))
+                .collect()
         }
     }
 }

@@ -18,7 +18,7 @@
 
 use eirene_btree::build::TreeHandle;
 use eirene_btree::node::{ParsedNode, NODE_WORDS, OFF_RF};
-use eirene_sim::{Addr, WarpCtx};
+use eirene_sim::{Addr, Phase, WarpCtx};
 
 /// Per-warp traversal state implementing the RF-guided choice.
 pub struct WarpLocator {
@@ -35,7 +35,6 @@ pub fn load_node(ctx: &mut WarpCtx<'_>, addr: Addr) -> ParsedNode {
 }
 
 use load_node as load;
-
 
 impl WarpLocator {
     pub fn new(enabled: bool) -> Self {
@@ -102,6 +101,7 @@ impl WarpLocator {
         key: u64,
         height: u64,
     ) -> Option<(Addr, ParsedNode)> {
+        let prev = ctx.set_phase(Phase::HorizontalTraversal);
         ctx.stats.horizontal_traversals += 1;
         let mut addr = start_addr;
         let mut node = start_node;
@@ -117,6 +117,7 @@ impl WarpLocator {
                 // descend vertically (§5).
                 ctx.write(start_addr + OFF_RF, node.high.min(node.rf));
                 ctx.control(1);
+                ctx.set_phase(prev);
                 return None;
             }
             addr = node.next;
@@ -124,6 +125,7 @@ impl WarpLocator {
             ctx.stats.horizontal_steps += 1;
         }
         ctx.control(1);
+        ctx.set_phase(prev);
         Some((addr, node))
     }
 
@@ -140,7 +142,9 @@ impl WarpLocator {
         handle: &TreeHandle,
         key: u64,
     ) -> (Addr, ParsedNode) {
+        let outer = ctx.set_phase(Phase::VerticalTraversal);
         'restart: loop {
+            ctx.set_phase(Phase::VerticalTraversal);
             ctx.stats.vertical_traversals += 1;
             let mut addr = ctx.read(handle.root_word);
             let mut node = load(ctx, addr);
@@ -162,6 +166,7 @@ impl WarpLocator {
                 node = load(ctx, addr);
                 ctx.stats.vertical_steps += 1;
             }
+            ctx.set_phase(Phase::HorizontalTraversal);
             let mut hops = 0u32;
             while key >= node.high && node.next != 0 {
                 ctx.control(4);
@@ -175,6 +180,7 @@ impl WarpLocator {
                 ctx.stats.horizontal_steps += 1;
             }
             ctx.control(1);
+            ctx.set_phase(outer);
             return (addr, node);
         }
     }
@@ -214,7 +220,10 @@ mod tests {
         // Next key is nearby: must reuse the buffer.
         let (_, leaf) = loc.locate(&mut ctx, &t, 530);
         assert_eq!(leaf.find(530).map(|i| leaf.vals[i]), Some(531));
-        assert_eq!(ctx.stats.vertical_traversals, v_before, "no new vertical descent");
+        assert_eq!(
+            ctx.stats.vertical_traversals, v_before,
+            "no new vertical descent"
+        );
         assert!(ctx.stats.horizontal_traversals >= 1);
     }
 

@@ -137,7 +137,12 @@ pub fn build_plan(batch: &Batch, cfg: &DeviceConfig) -> CombinePlan {
     for &idx in &payload {
         let req = &batch.requests[idx as usize];
         if let OpKind::Range { len } = req.op {
-            ranges.push(RangeReq { orig_idx: idx, lo: req.key, len, ts: req.ts });
+            ranges.push(RangeReq {
+                orig_idx: idx,
+                lo: req.key,
+                len,
+                ts: req.ts,
+            });
             continue;
         }
         let pos = point_sorted.len() as u32;
@@ -149,7 +154,12 @@ pub fn build_plan(batch: &Batch, cfg: &DeviceConfig) -> CombinePlan {
             if let Some(run) = runs.last() {
                 issued.push(close_run(run, &mut last_state));
             }
-            runs.push(Run { key: req.key, start: pos, len: 0, has_state_ops: false });
+            runs.push(Run {
+                key: req.key,
+                start: pos,
+                len: 0,
+                has_state_ops: false,
+            });
         }
         let run = runs.last_mut().expect("run was just ensured");
         run.len += 1;
@@ -211,13 +221,24 @@ pub fn build_plan(batch: &Batch, cfg: &DeviceConfig) -> CombinePlan {
     let art: usize = run_art.iter().map(|v| v.len()).sum();
     cost.merge(PrimCost::streaming(cfg, (ranges.len() + art) as u64, 1, 4));
 
-    CombinePlan { point_sorted, runs, issued, ranges, run_art, cost }
+    CombinePlan {
+        point_sorted,
+        runs,
+        issued,
+        ranges,
+        run_art,
+        cost,
+    }
 }
 
 fn close_run(run: &Run, last_state: &mut Option<IssuedKind>) -> Issued {
     let kind = last_state.take().unwrap_or(IssuedKind::Query);
     debug_assert_eq!(run.has_state_ops, !matches!(kind, IssuedKind::Query));
-    Issued { key: run.key, kind, run: 0 }
+    Issued {
+        key: run.key,
+        kind,
+        run: 0,
+    }
 }
 
 #[cfg(test)]
@@ -268,7 +289,11 @@ mod tests {
         ];
         let p = plan_of(reqs);
         assert_eq!(p.runs.len(), 1);
-        let order: Vec<u64> = p.point_sorted.iter().map(|&i| [30, 10, 20][i as usize]).collect();
+        let order: Vec<u64> = p
+            .point_sorted
+            .iter()
+            .map(|&i| [30, 10, 20][i as usize])
+            .collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 

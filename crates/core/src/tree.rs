@@ -85,8 +85,15 @@ pub struct EireneTree {
 impl EireneTree {
     /// Builds the tree from strictly-ascending `(key, value)` pairs.
     pub fn new(pairs: &[(u64, u64)], opts: EireneOptions) -> Self {
-        let stripes = (pairs.len() * 4).next_power_of_two().clamp(1 << 12, 1 << 22);
-        let base = TreeBase::build(pairs, opts.device.clone(), opts.headroom_nodes, stripes + 64);
+        let stripes = (pairs.len() * 4)
+            .next_power_of_two()
+            .clamp(1 << 12, 1 << 22);
+        let base = TreeBase::build(
+            pairs,
+            opts.device.clone(),
+            opts.headroom_nodes,
+            stripes + 64,
+        );
         let stm = Stm::new(base.device.mem(), stripes);
         EireneTree { base, stm, opts }
     }
@@ -113,7 +120,14 @@ impl ConcurrentTree for EireneTree {
             protection: self.opts.protection,
             target_warps: self.opts.target_warps,
         };
-        execute(&self.base.device, &self.base.handle, &self.stm, &exec_opts, batch, &plan)
+        execute(
+            &self.base.device,
+            &self.base.handle,
+            &self.stm,
+            &exec_opts,
+            batch,
+            &plan,
+        )
     }
 
     fn device(&self) -> &Device {
@@ -134,7 +148,9 @@ mod tests {
     use super::*;
     use eirene_btree::refops;
     use eirene_btree::validate::validate;
-    use eirene_workloads::{Oracle, Request, Response, SequentialOracle, WorkloadGen, WorkloadSpec};
+    use eirene_workloads::{
+        Oracle, Request, Response, SequentialOracle, WorkloadGen, WorkloadSpec,
+    };
 
     fn pairs(n: u64) -> Vec<(u64, u64)> {
         (1..=n).map(|i| (2 * i, 2 * i + 1)).collect()
@@ -144,7 +160,9 @@ mod tests {
     fn pure_queries_return_correct_values() {
         let mut t = EireneTree::new(&pairs(3000), EireneOptions::test_small());
         let batch = Batch::new(
-            (0..300u32).map(|i| Request::query(i * 13 % 6000, i as u64)).collect(),
+            (0..300u32)
+                .map(|i| Request::query(i * 13 % 6000, i as u64))
+                .collect(),
         );
         let run = t.run_batch(&batch);
         for (i, r) in run.responses.iter().enumerate() {
@@ -158,13 +176,13 @@ mod tests {
     fn same_key_requests_resolve_in_timestamp_order() {
         let mut t = EireneTree::new(&pairs(100), EireneOptions::test_small());
         let batch = Batch::new(vec![
-            Request::query(10, 0),       // sees pre-batch value 11
+            Request::query(10, 0), // sees pre-batch value 11
             Request::upsert(10, 100, 1),
-            Request::query(10, 2),       // sees 100
+            Request::query(10, 2), // sees 100
             Request::delete(10, 3),
-            Request::query(10, 4),       // sees nothing
+            Request::query(10, 4), // sees nothing
             Request::upsert(10, 200, 5),
-            Request::query(10, 6),       // sees 200
+            Request::query(10, 6), // sees 200
         ]);
         let run = t.run_batch(&batch);
         assert_eq!(run.responses[0], Response::Value(Some(11)));
@@ -180,7 +198,12 @@ mod tests {
         let spec = WorkloadSpec {
             tree_size: 1 << 10,
             batch_size: 4096,
-            mix: eirene_workloads::Mix { upsert: 0.2, delete: 0.1, range: 0.05, range_len: 4 },
+            mix: eirene_workloads::Mix {
+                upsert: 0.2,
+                delete: 0.1,
+                range: 0.05,
+                range_len: 4,
+            },
             distribution: eirene_workloads::Distribution::Uniform,
             seed: 7,
         };
@@ -279,7 +302,9 @@ mod tests {
     fn heavy_insert_batch_keeps_tree_valid() {
         let mut t = EireneTree::new(&pairs(200), EireneOptions::test_small());
         let batch = Batch::new(
-            (0..1000u32).map(|i| Request::upsert(2 * i + 1, i, i as u64)).collect(),
+            (0..1000u32)
+                .map(|i| Request::upsert(2 * i + 1, i, i as u64))
+                .collect(),
         );
         t.run_batch(&batch);
         validate(t.device().mem(), t.handle()).unwrap();
@@ -339,7 +364,12 @@ mod protection_tests {
         let spec = WorkloadSpec {
             tree_size: 1 << 10,
             batch_size: 4096,
-            mix: Mix { upsert: 0.3, delete: 0.1, range: 0.05, range_len: 4 },
+            mix: Mix {
+                upsert: 0.3,
+                delete: 0.1,
+                range: 0.05,
+                range_len: 4,
+            },
             distribution: eirene_workloads::Distribution::Uniform,
             seed: 31,
         };
@@ -366,8 +396,11 @@ mod protection_tests {
             distribution: eirene_workloads::Distribution::Uniform,
             seed: 32,
         };
-        let p64: Vec<(u64, u64)> =
-            spec.initial_pairs().iter().map(|&(k, v)| (k as u64, v as u64)).collect();
+        let p64: Vec<(u64, u64)> = spec
+            .initial_pairs()
+            .iter()
+            .map(|&(k, v)| (k as u64, v as u64))
+            .collect();
         let batch = WorkloadGen::new(spec).next_batch();
         let r_stm = EireneTree::new(&p64, EireneOptions::test_small()).run_batch(&batch);
         let r_lock = EireneTree::new(&p64, lock_opts()).run_batch(&batch);

@@ -1,6 +1,6 @@
 //! Analytic device-cost accounting for host-executed primitives.
 
-use eirene_sim::{DeviceConfig, KernelStats, WarpStats};
+use eirene_sim::{DeviceConfig, KernelStats, Phase, WarpStats};
 
 /// Device cost of a primitive, in the same units as
 /// [`WarpStats`](eirene_sim::WarpStats).
@@ -27,8 +27,7 @@ impl PrimCost {
         let mem_insts = touched.div_ceil(cfg.warp_size as u64);
         let mem_transactions = touched.div_ceil(cfg.transaction_words() as u64);
         let control_insts = words * passes * control_per_word;
-        let cycles =
-            mem_transactions * cfg.mem_latency + control_insts * cfg.control_latency;
+        let cycles = mem_transactions * cfg.mem_latency + control_insts * cfg.control_latency;
         PrimCost {
             mem_insts,
             mem_words: touched,
@@ -52,7 +51,19 @@ impl PrimCost {
     /// is perfectly balanced across resident warps (radix sort and scan
     /// are; that is why GPUs run them well).
     pub fn into_kernel_stats(self, name: &str, cfg: &DeviceConfig) -> KernelStats {
-        let totals = WarpStats {
+        self.into_phased_kernel_stats(name, cfg, Phase::Other)
+    }
+
+    /// Like [`into_kernel_stats`](Self::into_kernel_stats), but attributes
+    /// the whole cost to `phase` so the per-phase rows still sum to the
+    /// kernel totals after the conversion.
+    pub fn into_phased_kernel_stats(
+        self,
+        name: &str,
+        cfg: &DeviceConfig,
+        phase: Phase,
+    ) -> KernelStats {
+        let mut totals = WarpStats {
             mem_insts: self.mem_insts,
             mem_words: self.mem_words,
             mem_transactions: self.mem_transactions,
@@ -60,6 +71,12 @@ impl PrimCost {
             cycles: self.cycles,
             ..Default::default()
         };
+        let row = totals.phases.row_mut(phase);
+        row.mem_insts = self.mem_insts;
+        row.mem_words = self.mem_words;
+        row.mem_transactions = self.mem_transactions;
+        row.control_insts = self.control_insts;
+        row.cycles = self.cycles;
         let makespan =
             self.cycles as f64 / cfg.resident_warps() as f64 + cfg.launch_overhead as f64;
         KernelStats {
@@ -96,12 +113,25 @@ mod tests {
     }
 
     #[test]
+    fn phased_conversion_keeps_rows_summing_to_totals() {
+        let cfg = DeviceConfig::default();
+        let c = PrimCost::streaming(&cfg, 4096, 2, 3);
+        let ks = c.into_phased_kernel_stats("sort", &cfg, Phase::Combine);
+        let summed = ks.totals.phases.summed();
+        assert_eq!(summed.mem_insts, ks.totals.mem_insts);
+        assert_eq!(summed.mem_words, ks.totals.mem_words);
+        assert_eq!(summed.mem_transactions, ks.totals.mem_transactions);
+        assert_eq!(summed.control_insts, ks.totals.control_insts);
+        assert_eq!(summed.cycles, ks.totals.cycles);
+        assert_eq!(ks.totals.phases.row(Phase::Combine).cycles, c.cycles);
+    }
+
+    #[test]
     fn kernel_stats_conversion_divides_by_parallelism() {
         let cfg = DeviceConfig::default();
         let c = PrimCost::streaming(&cfg, 1 << 20, 8, 2);
         let ks = c.into_kernel_stats("sort", &cfg);
-        let expected =
-            c.cycles as f64 / cfg.resident_warps() as f64 + cfg.launch_overhead as f64;
+        let expected = c.cycles as f64 / cfg.resident_warps() as f64 + cfg.launch_overhead as f64;
         assert!((ks.makespan_cycles - expected).abs() < 1e-6);
         assert_eq!(ks.totals.mem_transactions, c.mem_transactions);
     }

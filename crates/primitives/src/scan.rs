@@ -12,7 +12,9 @@ pub fn exclusive_scan(values: &[u32], cfg: &DeviceConfig) -> (Vec<u32>, u32, Pri
     if n == 0 {
         return (Vec::new(), 0, cost);
     }
-    let chunk = n.div_ceil(rayon::current_num_threads().max(1) * 4).max(1024);
+    let chunk = n
+        .div_ceil(rayon::current_num_threads().max(1) * 4)
+        .max(1024);
     // 1. Per-chunk sums.
     let sums: Vec<u64> = values
         .par_chunks(chunk)

@@ -46,7 +46,9 @@ pub fn radix_sort_pairs(
     let mut dst_k = vec![0u64; n];
     let mut dst_p = vec![0u32; n];
 
-    let chunk = n.div_ceil(rayon::current_num_threads().max(1) * 4).max(1024);
+    let chunk = n
+        .div_ceil(rayon::current_num_threads().max(1) * 4)
+        .max(1024);
     let num_chunks = n.div_ceil(chunk);
 
     for pass in 0..PASSES {

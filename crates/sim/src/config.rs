@@ -40,6 +40,12 @@ pub struct DeviceConfig {
     /// at memory-access granularity rather than running to completion one
     /// after another.
     pub yield_interval: u32,
+    /// Record per-warp [`TraceEvent`](eirene_telemetry::TraceEvent)s
+    /// (lock conflicts, STM aborts, version invalidations, node splits,
+    /// combine hits) for chrome://tracing export. Off by default: tracing
+    /// allocates per-event and is meant for timeline inspection, not
+    /// steady-state benchmarking.
+    pub trace: bool,
 }
 
 impl Default for DeviceConfig {
@@ -56,6 +62,7 @@ impl Default for DeviceConfig {
             transaction_bytes: 128,
             worker_threads: 0,
             yield_interval: 24,
+            trace: false,
         }
     }
 }
@@ -64,7 +71,11 @@ impl DeviceConfig {
     /// A small configuration for unit tests: fewer SMs keeps contention
     /// high and tests fast.
     pub fn test_small() -> Self {
-        DeviceConfig { num_sms: 4, warps_per_sm: 2, ..Self::default() }
+        DeviceConfig {
+            num_sms: 4,
+            warps_per_sm: 2,
+            ..Self::default()
+        }
     }
 
     /// Words (u64) per coalesced transaction.
@@ -133,7 +144,10 @@ mod tests {
 
     #[test]
     fn cycles_to_secs_uses_clock() {
-        let c = DeviceConfig { clock_ghz: 1.0, ..Default::default() };
+        let c = DeviceConfig {
+            clock_ghz: 1.0,
+            ..Default::default()
+        };
         assert!((c.cycles_to_secs(1e9) - 1.0).abs() < 1e-12);
     }
 }

@@ -39,7 +39,10 @@ pub struct Device {
 impl Device {
     /// Creates a device with an arena of `arena_words` 64-bit words.
     pub fn new(arena_words: usize, cfg: DeviceConfig) -> Self {
-        Device { mem: GlobalMemory::new(arena_words), cfg }
+        Device {
+            mem: GlobalMemory::new(arena_words),
+            cfg,
+        }
     }
 
     /// Device with default (A100-like) configuration.
@@ -87,8 +90,10 @@ impl Device {
                 });
             }
         });
-        let warp_stats: Vec<WarpStats> =
-            warp_stats.into_iter().map(|s| s.expect("warp ran")).collect();
+        let warp_stats: Vec<WarpStats> = warp_stats
+            .into_iter()
+            .map(|s| s.expect("warp ran"))
+            .collect();
         self.aggregate(name, &warp_stats)
     }
 
@@ -116,8 +121,7 @@ impl Device {
             per_sm[wid % self.cfg.num_sms] += ws.cycles;
         }
         let slowest_sm = per_sm.iter().copied().max().unwrap_or(0) as f64;
-        let makespan =
-            slowest_sm / self.cfg.warps_per_sm as f64 + self.cfg.launch_overhead as f64;
+        let makespan = slowest_sm / self.cfg.warps_per_sm as f64 + self.cfg.launch_overhead as f64;
         KernelStats {
             name: name.to_string(),
             warps: warp_stats.len() as u64,
@@ -162,7 +166,12 @@ mod tests {
 
     #[test]
     fn makespan_reflects_occupancy_model() {
-        let cfg = DeviceConfig { num_sms: 2, warps_per_sm: 2, launch_overhead: 0, ..DeviceConfig::default() };
+        let cfg = DeviceConfig {
+            num_sms: 2,
+            warps_per_sm: 2,
+            launch_overhead: 0,
+            ..DeviceConfig::default()
+        };
         let dev = Device::new(1 << 12, cfg.clone());
         let a = dev.mem().alloc(1);
         // 4 warps, each does one read: each SM gets 2 warps × mem_latency
@@ -206,7 +215,10 @@ mod tests {
 
     #[test]
     fn throughput_conversion() {
-        let cfg = DeviceConfig { clock_ghz: 1.0, ..DeviceConfig::default() };
+        let cfg = DeviceConfig {
+            clock_ghz: 1.0,
+            ..DeviceConfig::default()
+        };
         let dev = Device::new(1 << 12, cfg);
         // 1000 requests in 1000 cycles at 1 GHz = 1e9 req/s.
         let tput = dev.throughput(1000, 1000.0);

@@ -33,3 +33,10 @@ pub use device::Device;
 pub use mem::{Addr, GlobalMemory, NULL_ADDR};
 pub use stats::{KernelStats, WarpStats};
 pub use warp::WarpCtx;
+
+// Observability vocabulary, re-exported so dependents need no direct
+// telemetry dependency for the common cases.
+pub use eirene_telemetry as telemetry;
+pub use eirene_telemetry::{
+    CycleHistogram, Phase, PhaseStats, PhaseTable, TraceEvent, TraceEventKind,
+};

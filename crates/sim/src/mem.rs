@@ -38,7 +38,10 @@ impl GlobalMemory {
         );
         let mut v = Vec::with_capacity(num_words);
         v.resize_with(num_words, || AtomicU64::new(0));
-        GlobalMemory { words: v.into_boxed_slice(), next: AtomicUsize::new(RESERVED_WORDS) }
+        GlobalMemory {
+            words: v.into_boxed_slice(),
+            next: AtomicUsize::new(RESERVED_WORDS),
+        }
     }
 
     /// Arena capacity in words.

@@ -5,6 +5,17 @@
 //! (Figs. 1, 9, 12), conflicts per request (Fig. 12), and traversal steps
 //! (Fig. 10), plus the cycle accounting that feeds throughput (Fig. 7, 11,
 //! 13) and response-time/QoS (Figs. 2, 8) numbers.
+//!
+//! Three observability layers ride on top of the raw totals:
+//! per-[`Phase`] sub-counter rows (the software Nsight breakdown), a
+//! bounded [`CycleHistogram`] of per-request response times (replacing the
+//! old unbounded `request_cycles: Vec<u64>`, whose memory and merge cost
+//! grew with request count), and an optional per-warp [`TraceEvent`] log.
+
+use eirene_telemetry::{CycleHistogram, PhaseStats, PhaseTable, TraceEvent};
+
+#[cfg(test)]
+use eirene_telemetry::Phase;
 
 /// Counters accumulated by a single warp while executing a kernel.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -39,8 +50,16 @@ pub struct WarpStats {
     pub requests: u64,
     /// Simulated cycles consumed by this warp.
     pub cycles: u64,
-    /// Response time (cycles) of each request this warp completed.
-    pub request_cycles: Vec<u64>,
+    /// Per-phase breakdown of the shared counters above. Every update that
+    /// flows through `WarpCtx` lands in exactly one row, so the rows sum
+    /// to the totals exactly.
+    pub phases: PhaseTable,
+    /// Bounded histogram of per-request response times (cycles), with
+    /// exact count/sum/min/max so averages and the §8.2 QoS variance are
+    /// identical to the old exact-vector recording.
+    pub latency: CycleHistogram,
+    /// Optional event trace (empty unless `DeviceConfig::trace` is set).
+    pub events: Vec<TraceEvent>,
 }
 
 impl WarpStats {
@@ -55,6 +74,8 @@ impl WarpStats {
     }
 
     /// Accumulates `other` into `self` (used when merging warp results).
+    /// Cost is bounded by the phase-table and histogram sizes, not by the
+    /// number of requests the warps processed.
     pub fn merge(&mut self, other: &WarpStats) {
         self.mem_insts += other.mem_insts;
         self.mem_words += other.mem_words;
@@ -70,7 +91,15 @@ impl WarpStats {
         self.horizontal_traversals += other.horizontal_traversals;
         self.requests += other.requests;
         self.cycles += other.cycles;
-        self.request_cycles.extend_from_slice(&other.request_cycles);
+        self.phases.merge(&other.phases);
+        self.latency.merge(&other.latency);
+        self.events.extend_from_slice(&other.events);
+    }
+
+    /// The phase-tracked counters summed across all phase rows. Equals the
+    /// corresponding totals exactly for stats produced through `WarpCtx`.
+    pub fn phase_sums(&self) -> PhaseStats {
+        self.phases.summed()
     }
 }
 
@@ -108,23 +137,26 @@ impl KernelStats {
         ratio(self.totals.traversal_steps(), self.totals.requests)
     }
 
-    /// Average response time in cycles across all completed requests.
+    /// Average response time in cycles across all completed requests
+    /// (exact: the histogram tracks the sum and count exactly).
     pub fn avg_response_cycles(&self) -> f64 {
-        let rc = &self.totals.request_cycles;
-        if rc.is_empty() {
-            return 0.0;
-        }
-        rc.iter().sum::<u64>() as f64 / rc.len() as f64
+        self.totals.latency.mean()
     }
 
-    /// Maximum response time in cycles.
+    /// Maximum response time in cycles (exact).
     pub fn max_response_cycles(&self) -> u64 {
-        self.totals.request_cycles.iter().copied().max().unwrap_or(0)
+        self.totals.latency.max()
     }
 
-    /// Minimum response time in cycles.
+    /// Minimum response time in cycles (exact).
     pub fn min_response_cycles(&self) -> u64 {
-        self.totals.request_cycles.iter().copied().min().unwrap_or(0)
+        self.totals.latency.min()
+    }
+
+    /// Response-time quantile in cycles (bucket-midpoint estimate, ≤3.2%
+    /// relative error; see [`CycleHistogram`]).
+    pub fn response_quantile_cycles(&self, q: f64) -> u64 {
+        self.totals.latency.quantile(q)
     }
 
     /// The paper's QoS metric (§8.2): `max(|max - avg|, |avg - min|) / avg`,
@@ -140,11 +172,12 @@ impl KernelStats {
     }
 
     /// Merges another kernel's stats into this one (sequential composition:
-    /// makespans add, counters accumulate).
+    /// makespans add, counters accumulate). Repeated component names are
+    /// not re-appended, so merging homogeneous runs keeps a bounded name.
     pub fn merge(&mut self, other: &KernelStats) {
         if self.name.is_empty() {
             self.name = other.name.clone();
-        } else if !other.name.is_empty() {
+        } else if !other.name.is_empty() && !self.name.split('+').any(|part| part == other.name) {
             self.name.push('+');
             self.name.push_str(&other.name);
         }
@@ -167,11 +200,19 @@ mod tests {
     use super::*;
 
     fn warp(mem: u64, ctrl: u64, reqs: u64) -> WarpStats {
+        let mut latency = CycleHistogram::new();
+        for i in 0..reqs {
+            latency.record(10 + i);
+        }
+        let mut phases = PhaseTable::default();
+        phases.row_mut(Phase::LeafOp).mem_insts = mem;
+        phases.row_mut(Phase::Other).control_insts = ctrl;
         WarpStats {
             mem_insts: mem,
             control_insts: ctrl,
             requests: reqs,
-            request_cycles: (0..reqs).map(|i| 10 + i).collect(),
+            latency,
+            phases,
             ..Default::default()
         }
     }
@@ -187,7 +228,11 @@ mod tests {
         assert_eq!(a.control_insts, 25);
         assert_eq!(a.requests, 3);
         assert_eq!(a.conflicts(), 3);
-        assert_eq!(a.request_cycles.len(), 3);
+        assert_eq!(a.latency.count(), 3);
+        // Phase rows merge alongside the totals.
+        assert_eq!(a.phases.row(Phase::LeafOp).mem_insts, 15);
+        assert_eq!(a.phase_sums().mem_insts, a.mem_insts);
+        assert_eq!(a.phase_sums().control_insts, a.control_insts);
     }
 
     #[test]
@@ -211,20 +256,55 @@ mod tests {
 
     #[test]
     fn response_variance_matches_definition() {
+        let mut latency = CycleHistogram::new();
+        for v in [8u64, 10, 12] {
+            latency.record(v);
+        }
         let k = KernelStats {
-            totals: WarpStats { request_cycles: vec![8, 10, 12], requests: 3, ..Default::default() },
+            totals: WarpStats {
+                latency,
+                requests: 3,
+                ..Default::default()
+            },
             ..Default::default()
         };
         assert!((k.avg_response_cycles() - 10.0).abs() < 1e-9);
         assert!((k.response_variance() - 0.2).abs() < 1e-9);
+        // Percentiles come from the same histogram.
+        assert_eq!(k.response_quantile_cycles(0.50), 10);
+        assert_eq!(k.response_quantile_cycles(0.999), 12);
     }
 
     #[test]
     fn kernel_merge_adds_makespans() {
-        let mut a = KernelStats { name: "q".into(), makespan_cycles: 100.0, ..Default::default() };
-        let b = KernelStats { name: "u".into(), makespan_cycles: 50.0, ..Default::default() };
+        let mut a = KernelStats {
+            name: "q".into(),
+            makespan_cycles: 100.0,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            name: "u".into(),
+            makespan_cycles: 50.0,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.makespan_cycles, 150.0);
+        assert_eq!(a.name, "q+u");
+    }
+
+    #[test]
+    fn kernel_merge_does_not_repeat_names() {
+        let mut a = KernelStats {
+            name: "q".into(),
+            ..Default::default()
+        };
+        let b = KernelStats {
+            name: "u".into(),
+            ..Default::default()
+        };
+        for _ in 0..10 {
+            a.merge(&b);
+        }
         assert_eq!(a.name, "q+u");
     }
 }

@@ -4,26 +4,39 @@
 use crate::config::DeviceConfig;
 use crate::mem::{Addr, GlobalMemory};
 use crate::stats::WarpStats;
+use eirene_telemetry::{Phase, TraceEvent, TraceEventKind};
 
 /// Execution context handed to a kernel closure, one per warp.
 ///
 /// A `WarpCtx` wraps the shared [`GlobalMemory`] with instrumentation: each
 /// operation updates the warp's [`WarpStats`] (instruction and transaction
-/// counts, conflict counters via the public `stats` field) and advances the
-/// warp's simulated cycle count according to the [`DeviceConfig`] latency
-/// model.
+/// counts, conflict counters) and advances the warp's simulated cycle count
+/// according to the [`DeviceConfig`] latency model.
+///
+/// Phase scoping: the context carries a current [`Phase`]; every charge is
+/// attributed both to the kernel totals and to the current phase's row, so
+/// per-phase rows always sum to the totals exactly. Kernels switch phases
+/// with [`set_phase`](Self::set_phase), restoring the previous phase when a
+/// span ends:
+///
+/// ```ignore
+/// let prev = ctx.set_phase(Phase::VerticalTraversal);
+/// // ... descend ...
+/// ctx.set_phase(prev);
+/// ```
 ///
 /// Request boundaries: kernels bracket the work done for one request with
 /// [`begin_request`](Self::begin_request) /
 /// [`end_request`](Self::end_request) so per-request response times (the
-/// QoS figures) can be recorded.
+/// QoS figures) land in the bounded latency histogram.
 pub struct WarpCtx<'a> {
     mem: &'a GlobalMemory,
     cfg: &'a DeviceConfig,
     warp_id: usize,
-    /// Counters for this warp; algorithm code bumps conflict/step counters
-    /// directly.
+    /// Counters for this warp; algorithm code bumps step counters directly
+    /// and reports conflicts through the phase-aware methods below.
     pub stats: WarpStats,
+    phase: Phase,
     req_start: u64,
     ops_since_yield: u32,
 }
@@ -38,6 +51,7 @@ impl<'a> WarpCtx<'a> {
             cfg,
             warp_id,
             stats: WarpStats::default(),
+            phase: Phase::Other,
             req_start: 0,
             // Stagger the first yield per warp so co-scheduled warps do
             // not advance in lockstep with each other.
@@ -70,6 +84,32 @@ impl<'a> WarpCtx<'a> {
         self.cfg
     }
 
+    /// The phase charges are currently attributed to.
+    #[inline]
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Switches the attribution phase, returning the previous one so
+    /// nested spans can restore it.
+    #[inline]
+    pub fn set_phase(&mut self, phase: Phase) -> Phase {
+        std::mem::replace(&mut self.phase, phase)
+    }
+
+    /// Appends an event to the warp's trace when tracing is enabled.
+    #[inline]
+    pub fn emit(&mut self, kind: TraceEventKind, arg: u64) {
+        if self.cfg.trace {
+            self.stats.events.push(TraceEvent {
+                kind,
+                warp: self.warp_id as u32,
+                cycle: self.stats.cycles,
+                arg,
+            });
+        }
+    }
+
     /// Raw, *uninstrumented* access to the arena. Use only for host-visible
     /// bookkeeping that the real system would not execute on the device.
     #[inline]
@@ -82,10 +122,16 @@ impl<'a> WarpCtx<'a> {
         self.maybe_yield();
         let insts = words.div_ceil(self.cfg.warp_size) as u64;
         let txns = self.cfg.transactions_for(addr, words);
+        let cycles = txns * self.cfg.mem_latency;
         self.stats.mem_insts += insts;
         self.stats.mem_words += words as u64;
         self.stats.mem_transactions += txns;
-        self.stats.cycles += txns * self.cfg.mem_latency;
+        self.stats.cycles += cycles;
+        let row = self.stats.phases.row_mut(self.phase);
+        row.mem_insts += insts;
+        row.mem_words += words as u64;
+        row.mem_transactions += txns;
+        row.cycles += cycles;
     }
 
     /// Instrumented single-word read.
@@ -122,6 +168,10 @@ impl<'a> WarpCtx<'a> {
         self.stats.atomic_insts += 1;
         self.stats.mem_transactions += 1;
         self.stats.cycles += self.cfg.atomic_latency;
+        let row = self.stats.phases.row_mut(self.phase);
+        row.atomic_insts += 1;
+        row.mem_transactions += 1;
+        row.cycles += self.cfg.atomic_latency;
     }
 
     /// Instrumented compare-and-swap.
@@ -156,8 +206,12 @@ impl<'a> WarpCtx<'a> {
     /// iterations, predicate evaluations).
     #[inline]
     pub fn control(&mut self, n: u64) {
+        let cycles = n * self.cfg.control_latency;
         self.stats.control_insts += n;
-        self.stats.cycles += n * self.cfg.control_latency;
+        self.stats.cycles += cycles;
+        let row = self.stats.phases.row_mut(self.phase);
+        row.control_insts += n;
+        row.cycles += cycles;
     }
 
     /// Charges extra cycles without touching instruction counters (e.g.
@@ -165,6 +219,60 @@ impl<'a> WarpCtx<'a> {
     #[inline]
     pub fn charge_cycles(&mut self, cycles: u64) {
         self.stats.cycles += cycles;
+        self.stats.phases.row_mut(self.phase).cycles += cycles;
+    }
+
+    /// Charges an arena allocation: one atomic bump of the allocation
+    /// cursor, without a coalesced-transaction charge (the bump targets a
+    /// dedicated cursor word, not tree data).
+    #[inline]
+    pub fn charge_alloc(&mut self) {
+        self.stats.atomic_insts += 1;
+        self.stats.cycles += self.cfg.atomic_latency;
+        let row = self.stats.phases.row_mut(self.phase);
+        row.atomic_insts += 1;
+        row.cycles += self.cfg.atomic_latency;
+    }
+
+    /// Charges the fixed I/O of accepting a request and publishing its
+    /// response (one coalesced read of the request word, one coalesced
+    /// write of the response word).
+    #[inline]
+    pub fn charge_request_io(&mut self) {
+        self.stats.mem_insts += 2;
+        self.stats.mem_words += 2;
+        self.stats.mem_transactions += 1;
+        self.stats.cycles += self.cfg.mem_latency;
+        let row = self.stats.phases.row_mut(self.phase);
+        row.mem_insts += 2;
+        row.mem_words += 2;
+        row.mem_transactions += 1;
+        row.cycles += self.cfg.mem_latency;
+    }
+
+    /// Records a failed latch acquisition, attributed to the current phase.
+    #[inline]
+    pub fn lock_conflict(&mut self) {
+        self.stats.lock_conflicts += 1;
+        self.stats.phases.row_mut(self.phase).lock_conflicts += 1;
+        self.emit(TraceEventKind::LockConflict, 0);
+    }
+
+    /// Records an STM abort, attributed to the current phase.
+    #[inline]
+    pub fn stm_abort(&mut self) {
+        self.stats.stm_aborts += 1;
+        self.stats.phases.row_mut(self.phase).stm_aborts += 1;
+        self.emit(TraceEventKind::StmAbort, 0);
+    }
+
+    /// Records a version-validation failure, attributed to the current
+    /// phase.
+    #[inline]
+    pub fn version_conflict(&mut self) {
+        self.stats.version_conflicts += 1;
+        self.stats.phases.row_mut(self.phase).version_conflicts += 1;
+        self.emit(TraceEventKind::VersionConflict, 0);
     }
 
     /// Current simulated cycle count of this warp.
@@ -184,7 +292,7 @@ impl<'a> WarpCtx<'a> {
     #[inline]
     pub fn end_request(&mut self) {
         let dt = self.stats.cycles - self.req_start;
-        self.stats.request_cycles.push(dt);
+        self.stats.latency.record(dt);
         self.stats.requests += 1;
     }
 
@@ -192,7 +300,7 @@ impl<'a> WarpCtx<'a> {
     /// combined/unissued requests resolved outside a traversal).
     #[inline]
     pub fn record_request_cycles(&mut self, cycles: u64) {
-        self.stats.request_cycles.push(cycles);
+        self.stats.latency.record(cycles);
         self.stats.requests += 1;
     }
 
@@ -260,7 +368,10 @@ mod tests {
         ctx.read(a);
         ctx.end_request();
         assert_eq!(ctx.stats.requests, 2);
-        assert_eq!(ctx.stats.request_cycles, vec![cfg.mem_latency, 2 * cfg.mem_latency]);
+        assert_eq!(ctx.stats.latency.count(), 2);
+        assert_eq!(ctx.stats.latency.min(), cfg.mem_latency);
+        assert_eq!(ctx.stats.latency.max(), 2 * cfg.mem_latency);
+        assert_eq!(ctx.stats.latency.sum(), 3 * cfg.mem_latency);
     }
 
     #[test]
@@ -280,5 +391,73 @@ mod tests {
         ctx.write(a + 1, 99);
         assert_eq!(mem.read(a + 1), 99);
         assert_eq!(ctx.raw_mem().read(a + 1), 99);
+    }
+
+    #[test]
+    fn phase_rows_sum_to_totals() {
+        let (mem, cfg) = setup();
+        let a = mem.alloc(64);
+        let mut ctx = WarpCtx::new(&mem, &cfg, 0);
+        let prev = ctx.set_phase(Phase::VerticalTraversal);
+        assert_eq!(prev, Phase::Other);
+        let mut buf = [0u64; 16];
+        ctx.read_block(a, &mut buf);
+        ctx.control(12);
+        let prev = ctx.set_phase(Phase::LeafOp);
+        assert_eq!(prev, Phase::VerticalTraversal);
+        ctx.write(a + 3, 7);
+        ctx.version_conflict();
+        ctx.set_phase(Phase::LockAcquire);
+        ctx.atomic_or(a + 8, 1);
+        ctx.lock_conflict();
+        ctx.charge_cycles(30);
+        ctx.set_phase(Phase::StmCommit);
+        ctx.stm_abort();
+        ctx.charge_alloc();
+        ctx.set_phase(Phase::Other);
+        ctx.charge_request_io();
+
+        let sums = ctx.stats.phase_sums();
+        assert_eq!(sums.mem_insts, ctx.stats.mem_insts);
+        assert_eq!(sums.mem_words, ctx.stats.mem_words);
+        assert_eq!(sums.mem_transactions, ctx.stats.mem_transactions);
+        assert_eq!(sums.control_insts, ctx.stats.control_insts);
+        assert_eq!(sums.atomic_insts, ctx.stats.atomic_insts);
+        assert_eq!(sums.cycles, ctx.stats.cycles);
+        assert_eq!(sums.lock_conflicts, ctx.stats.lock_conflicts);
+        assert_eq!(sums.stm_aborts, ctx.stats.stm_aborts);
+        assert_eq!(sums.version_conflicts, ctx.stats.version_conflicts);
+        // And the work landed in the phases that issued it.
+        assert_eq!(
+            ctx.stats.phases.row(Phase::VerticalTraversal).control_insts,
+            12
+        );
+        assert_eq!(ctx.stats.phases.row(Phase::LeafOp).version_conflicts, 1);
+        assert_eq!(ctx.stats.phases.row(Phase::LockAcquire).lock_conflicts, 1);
+        assert_eq!(ctx.stats.phases.row(Phase::StmCommit).stm_aborts, 1);
+        assert_eq!(ctx.stats.phases.row(Phase::StmCommit).atomic_insts, 1);
+    }
+
+    #[test]
+    fn events_are_recorded_only_when_tracing() {
+        let (mem, _) = setup();
+        let cfg_off = DeviceConfig::default();
+        let mut ctx = WarpCtx::new(&mem, &cfg_off, 0);
+        ctx.lock_conflict();
+        assert!(ctx.stats.events.is_empty());
+
+        let cfg_on = DeviceConfig {
+            trace: true,
+            ..DeviceConfig::default()
+        };
+        let mut ctx = WarpCtx::new(&mem, &cfg_on, 3);
+        ctx.charge_cycles(100);
+        ctx.lock_conflict();
+        ctx.emit(TraceEventKind::CombineHit, 5);
+        assert_eq!(ctx.stats.events.len(), 2);
+        assert_eq!(ctx.stats.events[0].kind, TraceEventKind::LockConflict);
+        assert_eq!(ctx.stats.events[0].warp, 3);
+        assert_eq!(ctx.stats.events[0].cycle, 100);
+        assert_eq!(ctx.stats.events[1].arg, 5);
     }
 }

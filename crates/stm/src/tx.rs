@@ -1,6 +1,6 @@
 //! Transaction machinery: ownership table, transactions, retry helper.
 
-use eirene_sim::{Addr, GlobalMemory, WarpCtx};
+use eirene_sim::{Addr, GlobalMemory, Phase, WarpCtx};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Marker error: the transaction hit a conflict and must be rolled back.
@@ -24,9 +24,16 @@ pub struct Stm {
 impl Stm {
     /// Allocates the ownership table in the arena.
     pub fn new(mem: &GlobalMemory, stripes: usize) -> Self {
-        assert!(stripes.is_power_of_two(), "stripe count must be a power of two");
+        assert!(
+            stripes.is_power_of_two(),
+            "stripe count must be a power of two"
+        );
         let table_base = mem.alloc_aligned(stripes, 16);
-        Stm { table_base, mask: stripes as u64 - 1, next_tx_id: AtomicU64::new(1) }
+        Stm {
+            table_base,
+            mask: stripes as u64 - 1,
+            next_tx_id: AtomicU64::new(1),
+        }
     }
 
     /// Ownership-record address for an arena word. Fibonacci hashing
@@ -64,12 +71,18 @@ impl Stm {
         for attempt in 0..=max_retries {
             let mut tx = self.begin();
             match body(&mut tx, ctx) {
-                Ok(value) => if let Ok(()) = tx.commit(ctx) { return Ok(value) },
+                Ok(value) => {
+                    if let Ok(()) = tx.commit(ctx) {
+                        return Ok(value);
+                    }
+                }
                 Err(Abort) => tx.rollback(ctx),
             }
-            ctx.stats.stm_aborts += 1;
+            let prev = ctx.set_phase(Phase::StmCommit);
+            ctx.stm_abort();
             // Capped linear back-off, charged as stall cycles.
             ctx.charge_cycles(50 * ((attempt as u64) + 1).min(16));
+            ctx.set_phase(prev);
         }
         Err(Abort)
     }
@@ -77,7 +90,9 @@ impl Stm {
 
 impl std::fmt::Debug for Stm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Stm").field("stripes", &(self.mask + 1)).finish()
+        f.debug_struct("Stm")
+            .field("stripes", &(self.mask + 1))
+            .finish()
     }
 }
 
@@ -108,10 +123,15 @@ impl<'s> Tx<'s> {
     /// miss the dirty read entirely.
     pub fn read(&mut self, ctx: &mut WarpCtx<'_>, addr: Addr) -> TxResult<u64> {
         let rec = self.stm.record_addr(addr);
+        // Ownership-record traffic is STM overhead; the data-word access
+        // below stays attributed to the caller's phase so tree-level phase
+        // breakdowns remain visible under STM protection.
+        let prev = ctx.set_phase(Phase::StmAccess);
         // Ownership check, read-set append, and lock/version decode are
         // all control flow in the real implementation.
         ctx.control(4);
         let r1 = ctx.read(rec);
+        ctx.set_phase(prev);
         if r1 & 1 == 1 {
             if r1 != self.marker {
                 return Err(Abort); // owned by someone else
@@ -120,8 +140,10 @@ impl<'s> Tx<'s> {
             return Ok(ctx.read(addr));
         }
         let value = ctx.read(addr);
+        let prev = ctx.set_phase(Phase::StmAccess);
         let r2 = ctx.read(rec);
         ctx.control(1);
+        ctx.set_phase(prev);
         if r2 != r1 {
             return Err(Abort); // writer interfered mid-read
         }
@@ -132,27 +154,34 @@ impl<'s> Tx<'s> {
     /// Transactional write with encounter-time locking and undo logging.
     pub fn write(&mut self, ctx: &mut WarpCtx<'_>, addr: Addr, value: u64) -> TxResult<()> {
         let rec = self.stm.record_addr(addr);
+        // Stripe acquisition and undo logging are STM overhead; only the
+        // final data-word store stays in the caller's phase.
+        let prev = ctx.set_phase(Phase::StmAccess);
         // Encounter-time locking: ownership lookup, CAS result dispatch,
         // and undo-log append are control flow.
         ctx.control(6);
         if !self.owns(rec) {
             let cur = ctx.read(rec);
             if cur & 1 == 1 {
+                ctx.set_phase(prev);
                 return Err(Abort); // locked by another tx
             }
             if ctx.atomic_cas(rec, cur, self.marker).is_err() {
+                ctx.set_phase(prev);
                 return Err(Abort);
             }
             self.owned.push((rec, cur));
         }
         let old = ctx.read(addr);
         self.undo.push((addr, old));
+        ctx.set_phase(prev);
         ctx.write(addr, value);
         Ok(())
     }
 
     /// Validates the read set and publishes: owned versions advance by 2.
     pub fn commit(self, ctx: &mut WarpCtx<'_>) -> TxResult<()> {
+        let prev = ctx.set_phase(Phase::StmCommit);
         // Validate: every read record still shows the version we saw,
         // unless we later acquired it ourselves.
         for &(rec, ver) in &self.reads {
@@ -161,6 +190,7 @@ impl<'s> Tx<'s> {
             let ok = cur == ver || (cur == self.marker && self.pre_lock_version(rec) == Some(ver));
             if !ok {
                 self.rollback(ctx);
+                ctx.set_phase(prev);
                 return Err(Abort);
             }
         }
@@ -168,6 +198,7 @@ impl<'s> Tx<'s> {
         for &(rec, ver) in &self.owned {
             ctx.write(rec, ver.wrapping_add(2));
         }
+        ctx.set_phase(prev);
         Ok(())
     }
 
@@ -178,12 +209,14 @@ impl<'s> Tx<'s> {
     /// Rolls back all writes (in reverse) and releases owned stripes with
     /// their versions unchanged.
     pub fn rollback(self, ctx: &mut WarpCtx<'_>) {
+        let prev = ctx.set_phase(Phase::StmCommit);
         for &(addr, old) in self.undo.iter().rev() {
             ctx.write(addr, old);
         }
         for &(rec, ver) in &self.owned {
             ctx.write(rec, ver);
         }
+        ctx.set_phase(prev);
     }
 
     /// Number of words read so far (diagnostics).

@@ -1,0 +1,191 @@
+//! Phase taxonomy and per-phase sub-counters.
+//!
+//! Phases cover both Eirene's pipeline (sort/combine, vertical traversal,
+//! horizontal traversal, leaf ops, structure modification, result
+//! calculation) and the baselines' synchronization work (lock
+//! acquire/retry, STM read-set access, STM validate/commit). Work that
+//! predates instrumentation or sits outside any declared span lands in
+//! [`Phase::Other`], so the per-phase rows always sum to kernel totals.
+
+/// A pipeline phase a warp can be executing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Outside any declared span.
+    #[default]
+    Other,
+    /// Host-side sort + combining of the request batch (Eirene).
+    Combine,
+    /// Root-to-leaf descent.
+    VerticalTraversal,
+    /// Leaf-chain walks: range scans, locality right-walks, B-link hops.
+    HorizontalTraversal,
+    /// Search and mutation inside a located leaf.
+    LeafOp,
+    /// Structure modification: node splits, root growth.
+    StructureMod,
+    /// Latch acquire/release and retry backoff (lock baseline).
+    LockAcquire,
+    /// STM read/write-set accesses inside a transaction body.
+    StmAccess,
+    /// STM validate/commit/rollback.
+    StmCommit,
+    /// Host-side result materialization for combined requests (Eirene).
+    ResultCalc,
+}
+
+pub const PHASE_COUNT: usize = 10;
+
+impl Phase {
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::Other,
+        Phase::Combine,
+        Phase::VerticalTraversal,
+        Phase::HorizontalTraversal,
+        Phase::LeafOp,
+        Phase::StructureMod,
+        Phase::LockAcquire,
+        Phase::StmAccess,
+        Phase::StmCommit,
+        Phase::ResultCalc,
+    ];
+
+    /// Stable snake_case name used in reports and the JSON schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Other => "other",
+            Phase::Combine => "combine",
+            Phase::VerticalTraversal => "vertical_traversal",
+            Phase::HorizontalTraversal => "horizontal_traversal",
+            Phase::LeafOp => "leaf_op",
+            Phase::StructureMod => "structure_mod",
+            Phase::LockAcquire => "lock_acquire",
+            Phase::StmAccess => "stm_access",
+            Phase::StmCommit => "stm_commit",
+            Phase::ResultCalc => "result_calc",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            Phase::Other => 0,
+            Phase::Combine => 1,
+            Phase::VerticalTraversal => 2,
+            Phase::HorizontalTraversal => 3,
+            Phase::LeafOp => 4,
+            Phase::StructureMod => 5,
+            Phase::LockAcquire => 6,
+            Phase::StmAccess => 7,
+            Phase::StmCommit => 8,
+            Phase::ResultCalc => 9,
+        }
+    }
+}
+
+/// Counter row for one phase — the phase-scoped slice of `WarpStats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    pub mem_insts: u64,
+    pub mem_words: u64,
+    pub mem_transactions: u64,
+    pub control_insts: u64,
+    pub atomic_insts: u64,
+    pub lock_conflicts: u64,
+    pub stm_aborts: u64,
+    pub version_conflicts: u64,
+    pub cycles: u64,
+}
+
+impl PhaseStats {
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.mem_insts += other.mem_insts;
+        self.mem_words += other.mem_words;
+        self.mem_transactions += other.mem_transactions;
+        self.control_insts += other.control_insts;
+        self.atomic_insts += other.atomic_insts;
+        self.lock_conflicts += other.lock_conflicts;
+        self.stm_aborts += other.stm_aborts;
+        self.version_conflicts += other.version_conflicts;
+        self.cycles += other.cycles;
+    }
+
+    pub fn conflicts(&self) -> u64 {
+        self.lock_conflicts + self.stm_aborts + self.version_conflicts
+    }
+
+    pub fn is_zero(&self) -> bool {
+        *self == PhaseStats::default()
+    }
+}
+
+/// Fixed-size table of one [`PhaseStats`] row per [`Phase`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTable {
+    rows: [PhaseStats; PHASE_COUNT],
+}
+
+impl PhaseTable {
+    #[inline]
+    pub fn row(&self, phase: Phase) -> &PhaseStats {
+        &self.rows[phase.index()]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, phase: Phase) -> &mut PhaseStats {
+        &mut self.rows[phase.index()]
+    }
+
+    pub fn merge(&mut self, other: &PhaseTable) {
+        for (dst, src) in self.rows.iter_mut().zip(other.rows.iter()) {
+            dst.merge(src);
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, &PhaseStats)> {
+        Phase::ALL.iter().map(move |&p| (p, self.row(p)))
+    }
+
+    /// Sum of all rows — must equal the owning kernel's totals exactly.
+    pub fn summed(&self) -> PhaseStats {
+        let mut total = PhaseStats::default();
+        for row in &self.rows {
+            total.merge(row);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_phase_once() {
+        let mut seen = [false; PHASE_COUNT];
+        for p in Phase::ALL {
+            assert!(!seen[p.index()], "duplicate phase {p:?}");
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Names are unique and stable.
+        let mut names: Vec<_> = Phase::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), PHASE_COUNT);
+    }
+
+    #[test]
+    fn table_rows_sum() {
+        let mut t = PhaseTable::default();
+        t.row_mut(Phase::LeafOp).mem_insts = 3;
+        t.row_mut(Phase::Combine).mem_insts = 4;
+        t.row_mut(Phase::Combine).cycles = 9;
+        let mut u = PhaseTable::default();
+        u.row_mut(Phase::LeafOp).mem_insts = 10;
+        t.merge(&u);
+        assert_eq!(t.row(Phase::LeafOp).mem_insts, 13);
+        let total = t.summed();
+        assert_eq!(total.mem_insts, 17);
+        assert_eq!(total.cycles, 9);
+    }
+}

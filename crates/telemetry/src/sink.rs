@@ -1,0 +1,181 @@
+//! Structured metrics sink: collects per-run measurement documents,
+//! result tables, and trace events, and serializes them to stable JSON.
+//!
+//! Schema (version 1):
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "generated_by": "eirene-bench",
+//!   "meta": { ... free-form run metadata ... },
+//!   "measurements": [ { "context": "fig7", "tree": "Eirene", ... } ],
+//!   "tables": [ { "name": "fig7", "header": [...], "rows": [[...]] } ]
+//! }
+//! ```
+//! Measurement documents are produced by the bench harness; the sink is
+//! schema-agnostic above the envelope so new fields never break readers.
+
+use crate::json::JsonValue;
+use crate::trace::{chrome_trace, TraceEvent};
+
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    context: String,
+    meta: Vec<(String, JsonValue)>,
+    measurements: Vec<JsonValue>,
+    tables: Vec<JsonValue>,
+    events: Vec<TraceEvent>,
+}
+
+impl MetricsSink {
+    pub fn new() -> Self {
+        MetricsSink::default()
+    }
+
+    /// Sets the current context label (e.g. the figure being run);
+    /// attached by callers to subsequent measurements.
+    pub fn set_context(&mut self, context: &str) {
+        self.context = context.to_string();
+    }
+
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// Attaches free-form run metadata to the envelope.
+    pub fn set_meta(&mut self, key: &str, value: JsonValue) {
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.meta.push((key.to_string(), value));
+        }
+    }
+
+    pub fn record_measurement(&mut self, doc: JsonValue) {
+        self.measurements.push(doc);
+    }
+
+    pub fn record_table(&mut self, name: &str, header: &[String], rows: &[Vec<String>]) {
+        self.tables.push(JsonValue::obj(vec![
+            ("name", JsonValue::from(name)),
+            (
+                "header",
+                JsonValue::Arr(header.iter().map(|h| JsonValue::from(h.as_str())).collect()),
+            ),
+            (
+                "rows",
+                JsonValue::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            JsonValue::Arr(r.iter().map(|c| JsonValue::from(c.as_str())).collect())
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
+    pub fn extend_events(&mut self, events: &[TraceEvent]) {
+        self.events.extend_from_slice(events);
+    }
+
+    pub fn num_measurements(&self) -> usize {
+        self.measurements.len()
+    }
+
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Serializes the envelope document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("schema_version", JsonValue::from(1u64)),
+            ("generated_by", JsonValue::from("eirene-bench")),
+            ("meta", JsonValue::Obj(self.meta.clone())),
+            ("measurements", JsonValue::Arr(self.measurements.clone())),
+            ("tables", JsonValue::Arr(self.tables.clone())),
+        ])
+    }
+
+    /// Serializes collected events in Trace Event Format.
+    pub fn trace_json(&self) -> JsonValue {
+        chrome_trace(&self.events)
+    }
+
+    pub fn write_json_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json().to_json_pretty())
+    }
+
+    pub fn write_trace_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.trace_json().to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEventKind;
+
+    #[test]
+    fn envelope_round_trips() {
+        let mut sink = MetricsSink::new();
+        sink.set_context("fig7");
+        assert_eq!(sink.context(), "fig7");
+        sink.set_meta("scale", JsonValue::from("smoke"));
+        sink.set_meta("scale", JsonValue::from("paper")); // overwrite, no dup
+        sink.record_measurement(JsonValue::obj(vec![
+            ("context", JsonValue::from("fig7")),
+            ("tree", JsonValue::from("Eirene")),
+            ("throughput_req_s", JsonValue::from(1.5e8)),
+        ]));
+        sink.record_table(
+            "fig7",
+            &["tree".to_string(), "ops".to_string()],
+            &[vec!["Eirene".to_string(), "42".to_string()]],
+        );
+        sink.extend_events(&[TraceEvent {
+            kind: TraceEventKind::NodeSplit,
+            warp: 1,
+            cycle: 10,
+            arg: 0,
+        }]);
+
+        let doc = sink.to_json();
+        let parsed = JsonValue::parse(&doc.to_json()).unwrap();
+        assert_eq!(
+            parsed.get("schema_version").and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            parsed
+                .get("meta")
+                .and_then(|m| m.get("scale"))
+                .and_then(|v| v.as_str()),
+            Some("paper")
+        );
+        let ms = parsed.get("measurements").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get("tree").and_then(|v| v.as_str()), Some("Eirene"));
+        let tables = parsed.get("tables").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(tables[0].get("name").and_then(|v| v.as_str()), Some("fig7"));
+        assert_eq!(sink.num_events(), 1);
+        let trace = JsonValue::parse(&sink.trace_json().to_json()).unwrap();
+        assert_eq!(
+            trace
+                .get("traceEvents")
+                .and_then(|v| v.as_arr())
+                .map(|a| a.len()),
+            Some(1)
+        );
+    }
+}

@@ -29,7 +29,9 @@ impl SequentialOracle {
 
     /// Bulk-loads the initial contents (mirrors the tree's bulk build).
     pub fn load(pairs: &[(Key, Value)]) -> Self {
-        SequentialOracle { map: pairs.iter().copied().collect() }
+        SequentialOracle {
+            map: pairs.iter().copied().collect(),
+        }
     }
 
     /// Number of live keys.
@@ -115,10 +117,7 @@ mod tests {
     fn respects_timestamp_order_not_positional_order() {
         let mut o = SequentialOracle::new();
         // Positionally the query comes first, but its timestamp is later.
-        let b = Batch::new(vec![
-            Request::query(9, 1),
-            Request::upsert(9, 77, 0),
-        ]);
+        let b = Batch::new(vec![Request::query(9, 1), Request::upsert(9, 77, 0)]);
         let r = o.run_batch(&b);
         assert_eq!(r[0], Response::Value(Some(77)));
     }
@@ -127,9 +126,9 @@ mod tests {
     fn range_query_reflects_state_at_its_timestamp() {
         let mut o = SequentialOracle::load(&[(2, 20), (4, 40)]);
         let b = Batch::from_ops(vec![
-            (3, OpKind::Upsert(30)),  // ts 0
+            (3, OpKind::Upsert(30)),       // ts 0
             (2, OpKind::Range { len: 4 }), // ts 1: sees 2,3,4
-            (4, OpKind::Delete),      // ts 2
+            (4, OpKind::Delete),           // ts 2
             (2, OpKind::Range { len: 4 }), // ts 3: sees 2,3 only
         ]);
         let r = o.run_batch(&b);
@@ -137,10 +136,7 @@ mod tests {
             r[1],
             Response::Range(vec![Some(20), Some(30), Some(40), None])
         );
-        assert_eq!(
-            r[3],
-            Response::Range(vec![Some(20), Some(30), None, None])
-        );
+        assert_eq!(r[3], Response::Range(vec![Some(20), Some(30), None, None]));
     }
 
     #[test]

@@ -65,16 +65,32 @@ pub struct Request {
 
 impl Request {
     pub fn query(key: Key, ts: u64) -> Self {
-        Request { key, op: OpKind::Query, ts }
+        Request {
+            key,
+            op: OpKind::Query,
+            ts,
+        }
     }
     pub fn upsert(key: Key, value: Value, ts: u64) -> Self {
-        Request { key, op: OpKind::Upsert(value), ts }
+        Request {
+            key,
+            op: OpKind::Upsert(value),
+            ts,
+        }
     }
     pub fn delete(key: Key, ts: u64) -> Self {
-        Request { key, op: OpKind::Delete, ts }
+        Request {
+            key,
+            op: OpKind::Delete,
+            ts,
+        }
     }
     pub fn range(key: Key, len: u32, ts: u64) -> Self {
-        Request { key, op: OpKind::Range { len }, ts }
+        Request {
+            key,
+            op: OpKind::Range { len },
+            ts,
+        }
     }
 }
 
@@ -108,7 +124,11 @@ impl Batch {
         let requests = ops
             .into_iter()
             .enumerate()
-            .map(|(ts, (key, op))| Request { key, op, ts: ts as u64 })
+            .map(|(ts, (key, op))| Request {
+                key,
+                op,
+                ts: ts as u64,
+            })
             .collect();
         Batch { requests }
     }

@@ -33,27 +33,52 @@ pub struct Mix {
 impl Mix {
     /// The paper's default: 95% query / 5% update (§8.1).
     pub fn read_heavy() -> Self {
-        Mix { upsert: 0.05, delete: 0.0, range: 0.0, range_len: 4 }
+        Mix {
+            upsert: 0.05,
+            delete: 0.0,
+            range: 0.0,
+            range_len: 4,
+        }
     }
 
     /// Pure point queries.
     pub fn query_only() -> Self {
-        Mix { upsert: 0.0, delete: 0.0, range: 0.0, range_len: 4 }
+        Mix {
+            upsert: 0.0,
+            delete: 0.0,
+            range: 0.0,
+            range_len: 4,
+        }
     }
 
     /// Pure range queries of the given length (Fig. 13).
     pub fn range_only(range_len: u32) -> Self {
-        Mix { upsert: 0.0, delete: 0.0, range: 1.0, range_len }
+        Mix {
+            upsert: 0.0,
+            delete: 0.0,
+            range: 1.0,
+            range_len,
+        }
     }
 
     /// Balanced update-heavy mix used for stress tests.
     pub fn update_heavy() -> Self {
-        Mix { upsert: 0.45, delete: 0.05, range: 0.0, range_len: 4 }
+        Mix {
+            upsert: 0.45,
+            delete: 0.05,
+            range: 0.0,
+            range_len: 4,
+        }
     }
 
     /// YCSB workload A: 50% reads / 50% updates.
     pub fn ycsb_a() -> Self {
-        Mix { upsert: 0.5, delete: 0.0, range: 0.0, range_len: 4 }
+        Mix {
+            upsert: 0.5,
+            delete: 0.0,
+            range: 0.0,
+            range_len: 4,
+        }
     }
 
     /// YCSB workload B: 95% reads / 5% updates (the paper's default).
@@ -68,7 +93,12 @@ impl Mix {
 
     /// YCSB workload E: short range scans (95%) with inserts (5%).
     pub fn ycsb_e(range_len: u32) -> Self {
-        Mix { upsert: 0.05, delete: 0.0, range: 0.95, range_len }
+        Mix {
+            upsert: 0.05,
+            delete: 0.0,
+            range: 0.95,
+            range_len,
+        }
     }
 
     fn validate(&self) {
@@ -138,7 +168,12 @@ impl WorkloadGen {
             Distribution::Zipfian { theta } => Some(Zipfian::new(spec.key_domain(), theta)),
         };
         let rng = ChaCha8Rng::seed_from_u64(spec.seed);
-        WorkloadGen { spec, rng, zipf, next_ts: 0 }
+        WorkloadGen {
+            spec,
+            rng,
+            zipf,
+            next_ts: 0,
+        }
     }
 
     pub fn spec(&self) -> &WorkloadSpec {
@@ -239,7 +274,10 @@ mod tests {
         let mut gen = WorkloadGen::new(spec());
         let b = gen.next_batch();
         let domain = gen.spec().key_domain();
-        assert!(b.requests.iter().all(|r| r.key >= 1 && (r.key as u64) <= domain));
+        assert!(b
+            .requests
+            .iter()
+            .all(|r| r.key >= 1 && (r.key as u64) <= domain));
     }
 
     #[test]

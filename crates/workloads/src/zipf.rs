@@ -31,7 +31,14 @@ impl Zipfian {
         let zeta_2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
-        Zipfian { n, theta, alpha, zeta_n, eta, zeta_2 }
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zeta_n,
+            eta,
+            zeta_2,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {

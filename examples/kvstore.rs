@@ -27,11 +27,12 @@ fn main() {
         distribution: eirene::workloads::Distribution::Uniform,
         seed: 2024,
     };
-    let pairs: Vec<(u64, u64)> =
-        spec.initial_pairs().iter().map(|&(k, v)| (k as u64, v as u64)).collect();
-    println!(
-        "KV store: tree 2^{exp} keys, {batches} batches x {batch_size} requests, 95/5 mix\n"
-    );
+    let pairs: Vec<(u64, u64)> = spec
+        .initial_pairs()
+        .iter()
+        .map(|&(k, v)| (k as u64, v as u64))
+        .collect();
+    println!("KV store: tree 2^{exp} keys, {batches} batches x {batch_size} requests, 95/5 mix\n");
 
     let headroom = batch_size * batches / 8 + (1 << 12);
     let mut trees: Vec<Box<dyn ConcurrentTree>> = vec![
@@ -39,7 +40,10 @@ fn main() {
         Box::new(LockTree::new(&pairs, DeviceConfig::default(), headroom)),
         Box::new(EireneTree::new(
             &pairs,
-            EireneOptions { headroom_nodes: headroom, ..Default::default() },
+            EireneOptions {
+                headroom_nodes: headroom,
+                ..Default::default()
+            },
         )),
     ];
 
@@ -61,7 +65,10 @@ fn main() {
             let batch = gen.next_batch();
             let run = tree.run_batch(&batch);
             total_reqs += batch.len();
-            total_secs += tree.device().config().cycles_to_secs(run.stats.makespan_cycles);
+            total_secs += tree
+                .device()
+                .config()
+                .cycles_to_secs(run.stats.makespan_cycles);
             mem += run.stats.totals.mem_insts;
             ctrl += run.stats.totals.control_insts;
             confl += run.stats.totals.conflicts();

@@ -16,7 +16,7 @@
 use eirene::baselines::common::ConcurrentTree;
 use eirene::baselines::{LockTree, StmTree};
 use eirene::core::{EireneOptions, EireneTree};
-use eirene::sim::DeviceConfig;
+use eirene::sim::{DeviceConfig, KernelStats};
 use eirene::workloads::{Distribution, Mix, WorkloadGen, WorkloadSpec};
 
 fn main() {
@@ -35,20 +35,36 @@ fn main() {
         tree_size: 1 << 14,
         batch_size: 1 << 16,
         mix: if zipf {
-            Mix { upsert: 0.3, delete: 0.0, range: 0.0, range_len: 4 }
+            Mix {
+                upsert: 0.3,
+                delete: 0.0,
+                range: 0.0,
+                range_len: 4,
+            }
         } else {
             Mix::read_heavy()
         },
-        distribution: if zipf { Distribution::Zipfian { theta: 0.99 } } else { Distribution::Uniform },
+        distribution: if zipf {
+            Distribution::Zipfian { theta: 0.99 }
+        } else {
+            Distribution::Uniform
+        },
         seed: 7,
     };
-    let pairs: Vec<(u64, u64)> =
-        spec.initial_pairs().iter().map(|&(k, v)| (k as u64, v as u64)).collect();
+    let pairs: Vec<(u64, u64)> = spec
+        .initial_pairs()
+        .iter()
+        .map(|&(k, v)| (k as u64, v as u64))
+        .collect();
     let headroom = spec.batch_size * runs / 4 + (1 << 12);
 
     println!(
         "{} workload, {} runs x {} requests\n",
-        if zipf { "zipfian(0.99) 70/30" } else { "uniform 95/5" },
+        if zipf {
+            "zipfian(0.99) 70/30"
+        } else {
+            "uniform 95/5"
+        },
         runs,
         spec.batch_size
     );
@@ -56,12 +72,12 @@ fn main() {
         "{:<16}{:>10}{:>10}{:>10}{:>11}{:>15}",
         "tree", "avg ns", "min ns", "max ns", "variance", "conflicts/req"
     );
+    let mut aggregates: Vec<(String, KernelStats)> = Vec::new();
     for which in 0..3 {
         let mut gen = WorkloadGen::new(spec.clone());
         let mut per_req = Vec::with_capacity(runs);
-        let mut conflicts = 0u64;
-        let mut reqs = 0u64;
-        let mut name = "";
+        let mut agg = KernelStats::default();
+        let mut name = String::new();
         for _ in 0..runs {
             // Fresh execution per run, as in the paper.
             let mut tree: Box<dyn ConcurrentTree> = match which {
@@ -69,16 +85,21 @@ fn main() {
                 1 => Box::new(LockTree::new(&pairs, DeviceConfig::default(), headroom)),
                 _ => Box::new(EireneTree::new(
                     &pairs,
-                    EireneOptions { headroom_nodes: headroom, ..Default::default() },
+                    EireneOptions {
+                        headroom_nodes: headroom,
+                        ..Default::default()
+                    },
                 )),
             };
-            name = tree.name();
+            name = tree.name().to_string();
             let batch = gen.next_batch();
             let run = tree.run_batch(&batch);
-            let secs = tree.device().config().cycles_to_secs(run.stats.makespan_cycles);
+            let secs = tree
+                .device()
+                .config()
+                .cycles_to_secs(run.stats.makespan_cycles);
             per_req.push(secs * 1e9 / batch.len() as f64);
-            conflicts += run.stats.totals.conflicts();
-            reqs += batch.len() as u64;
+            agg.merge(&run.stats);
         }
         let avg = per_req.iter().sum::<f64>() / per_req.len() as f64;
         let min = per_req.iter().copied().fold(f64::INFINITY, f64::min);
@@ -87,9 +108,59 @@ fn main() {
         println!(
             "{name:<16}{avg:>10.2}{min:>10.2}{max:>10.2}{:>10.1}%{:>15.4}",
             var,
-            conflicts as f64 / reqs as f64
+            agg.conflicts_per_request()
+        );
+        aggregates.push((name, agg));
+    }
+
+    // Per-warp response-time percentiles from the bounded latency
+    // histogram (§8.2's QoS view, at request rather than batch grain).
+    let cyc_to_ns = DeviceConfig::default().cycles_to_secs(1.0) * 1e9;
+    println!("\nper-request response-time percentiles (warp-cycles -> ns):");
+    println!(
+        "{:<16}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "tree", "p50", "p90", "p99", "p99.9", "max", "avg"
+    );
+    for (name, agg) in &aggregates {
+        println!(
+            "{name:<16}{:>10.0}{:>10.0}{:>10.0}{:>10.0}{:>10.0}{:>10.0}",
+            agg.response_quantile_cycles(0.50) as f64 * cyc_to_ns,
+            agg.response_quantile_cycles(0.90) as f64 * cyc_to_ns,
+            agg.response_quantile_cycles(0.99) as f64 * cyc_to_ns,
+            agg.response_quantile_cycles(0.999) as f64 * cyc_to_ns,
+            agg.max_response_cycles() as f64 * cyc_to_ns,
+            agg.avg_response_cycles() * cyc_to_ns,
         );
     }
+
+    // Where each design spends its work: per-phase breakdown (the
+    // software analogue of the paper's Nsight profiling, Figs. 1/9/12).
+    for (name, agg) in &aggregates {
+        let t = &agg.totals;
+        println!("\n{name}: per-phase breakdown");
+        println!(
+            "{:<22}{:>12}{:>12}{:>10}{:>12}{:>8}",
+            "phase", "mem_insts", "ctrl_insts", "conflicts", "cycles", "cyc %"
+        );
+        for (phase, row) in t.phases.iter() {
+            if row.is_zero() {
+                continue;
+            }
+            println!(
+                "{:<22}{:>12}{:>12}{:>10}{:>12}{:>7.1}%",
+                phase.name(),
+                row.mem_insts,
+                row.control_insts,
+                row.conflicts(),
+                row.cycles,
+                100.0 * row.cycles as f64 / t.cycles.max(1) as f64
+            );
+        }
+        let sums = t.phase_sums();
+        assert_eq!(sums.mem_insts, t.mem_insts, "phase rows must sum to totals");
+        assert_eq!(sums.cycles, t.cycles, "phase rows must sum to totals");
+    }
+
     println!(
         "\nLower variance = more predictable service: the designs that \
          detect and resolve conflicts during traversal are the ones whose \

@@ -19,13 +19,13 @@ fn main() {
     //    requests on the same key behave exactly as if executed one at a
     //    time in timestamp order.
     let batch = Batch::new(vec![
-        Request::query(10, 0),        // sees the loaded value 11
-        Request::upsert(10, 555, 1),  // overwrites key 10
-        Request::query(10, 2),        // sees 555
-        Request::delete(10, 3),       // removes key 10
-        Request::query(10, 4),        // sees nothing
-        Request::upsert(11, 7, 5),    // inserts a brand-new odd key
-        Request::range(8, 6, 6),      // keys 8..=13 as of timestamp 6
+        Request::query(10, 0),       // sees the loaded value 11
+        Request::upsert(10, 555, 1), // overwrites key 10
+        Request::query(10, 2),       // sees 555
+        Request::delete(10, 3),      // removes key 10
+        Request::query(10, 4),       // sees nothing
+        Request::upsert(11, 7, 5),   // inserts a brand-new odd key
+        Request::range(8, 6, 6),     // keys 8..=13 as of timestamp 6
     ]);
 
     // 3. Ship the batch to the (simulated) GPU.
@@ -47,7 +47,11 @@ fn main() {
     let s = &run.stats;
     println!("\n--- execution statistics ---");
     println!("kernels:              {}", s.name);
-    println!("issued requests:      {} (of {} in the batch)", s.totals.requests, batch.len());
+    println!(
+        "issued requests:      {} (of {} in the batch)",
+        s.totals.requests,
+        batch.len()
+    );
     println!("memory instructions:  {}", s.totals.mem_insts);
     println!("control instructions: {}", s.totals.control_insts);
     println!("conflicts:            {}", s.totals.conflicts());

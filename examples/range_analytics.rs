@@ -37,13 +37,25 @@ fn main() {
             let r: f64 = rng.gen();
             let req = if r < 0.30 {
                 let key = rng.gen_range(hot_lo..=hot_hi);
-                Request { key, op: OpKind::Upsert(rng.gen::<u32>() >> 4), ts }
+                Request {
+                    key,
+                    op: OpKind::Upsert(rng.gen::<u32>() >> 4),
+                    ts,
+                }
             } else if r < 0.40 {
                 let lo = rng.gen_range(hot_lo..hot_hi - 8);
-                Request { key: lo, op: OpKind::Range { len: 8 }, ts }
+                Request {
+                    key: lo,
+                    op: OpKind::Range { len: 8 },
+                    ts,
+                }
             } else {
                 let key = rng.gen_range(1..=(2 * n) as u32);
-                Request { key, op: OpKind::Query, ts }
+                Request {
+                    key,
+                    op: OpKind::Query,
+                    ts,
+                }
             };
             reqs.push(req);
         }

@@ -66,7 +66,7 @@ proptest! {
         let contents = refops::contents(&mem, &tree);
         let expect: Vec<(u64, u64)> = model.into_iter().collect();
         prop_assert_eq!(contents, expect);
-        validate(&mem, &tree).map_err(|e| TestCaseError::fail(e))?;
+        validate(&mem, &tree).map_err(TestCaseError::fail)?;
     }
 
     #[test]

@@ -27,24 +27,45 @@ fn all_trees(p: &[(u64, u64)]) -> Vec<Box<dyn ConcurrentTree>> {
     ]
 }
 
-/// A batch where every request targets a distinct key, in random order.
+/// A batch where every request's *footprint* is disjoint from every other
+/// request's, in random order. A `Range { len }` request reads `len`
+/// consecutive keys, so its whole window is reserved: if another request
+/// wrote inside the window, the concurrent trees (which only order requests
+/// on the *same* key) could legitimately disagree with the sequential
+/// oracle.
 fn disjoint_batch(seed: u64, n: usize, domain: u32) -> Batch {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     let mut keys: Vec<u32> = (1..=domain).collect();
     keys.shuffle(&mut rng);
-    let reqs: Vec<Request> = keys[..n]
-        .iter()
-        .enumerate()
-        .map(|(ts, &key)| {
-            let op = match rng.gen_range(0..6) {
-                0 => OpKind::Upsert(rng.gen()),
-                1 => OpKind::Delete,
-                2 => OpKind::Range { len: 4 },
-                _ => OpKind::Query,
-            };
-            Request { key, op, ts: ts as u64 }
-        })
-        .collect();
+    let mut used = std::collections::HashSet::new();
+    let mut reqs: Vec<Request> = Vec::with_capacity(n);
+    for &key in &keys {
+        if reqs.len() == n {
+            break;
+        }
+        if used.contains(&key) {
+            continue;
+        }
+        let mut op = match rng.gen_range(0..6) {
+            0 => OpKind::Upsert(rng.gen()),
+            1 => OpKind::Delete,
+            2 => OpKind::Range { len: 4 },
+            _ => OpKind::Query,
+        };
+        if let OpKind::Range { len } = op {
+            if (1..len).any(|d| used.contains(&(key + d))) {
+                // Window collides with an already-claimed key: fall back to
+                // a point read rather than disturbing determinism.
+                op = OpKind::Query;
+            } else {
+                used.extend((1..len).map(|d| key + d));
+            }
+        }
+        used.insert(key);
+        let ts = reqs.len() as u64;
+        reqs.push(Request { key, op, ts });
+    }
+    assert_eq!(reqs.len(), n, "domain too small for a disjoint batch");
     Batch::new(reqs)
 }
 
@@ -58,7 +79,8 @@ fn disjoint_key_batches_agree_across_all_trees() {
         let BatchRun { responses, .. } = tree.run_batch(&batch);
         for i in 0..batch.len() {
             assert_eq!(
-                responses[i], want[i],
+                responses[i],
+                want[i],
                 "{}: response {i} for {:?}",
                 tree.name(),
                 batch.requests[i]
@@ -84,7 +106,10 @@ fn final_state_agrees_on_disjoint_updates() {
         tree.run_batch(&batch);
         validate(tree.device().mem(), tree.handle())
             .unwrap_or_else(|e| panic!("{}: {e}", tree.name()));
-        snapshots.push((tree.name(), refops::contents(tree.device().mem(), tree.handle())));
+        snapshots.push((
+            tree.name(),
+            refops::contents(tree.device().mem(), tree.handle()),
+        ));
     }
     for w in snapshots.windows(2) {
         assert_eq!(w[0].1, w[1].1, "{} vs {}", w[0].0, w[1].0);
@@ -160,7 +185,9 @@ fn concurrent_descending_inserts_below_minimum_stay_valid() {
     // nodes whose keys sit below their parent fences.
     let p: Vec<(u64, u64)> = vec![(1_000_000, 0)];
     let batch = Batch::new(
-        (0..1200u32).map(|i| Request::upsert(2000 - i, i, i as u64)).collect(),
+        (0..1200u32)
+            .map(|i| Request::upsert(2000 - i, i, i as u64))
+            .collect(),
     );
     for mut tree in all_trees(&p) {
         tree.run_batch(&batch);

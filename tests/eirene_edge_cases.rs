@@ -32,10 +32,15 @@ fn single_request_batch() {
 #[test]
 fn all_range_batch() {
     let mut t = tree(500);
-    let reqs: Vec<Request> = (0..64u64).map(|i| Request::range((i * 13 + 1) as u32, 6, i)).collect();
+    let reqs: Vec<Request> = (0..64u64)
+        .map(|i| Request::range((i * 13 + 1) as u32, 6, i))
+        .collect();
     let batch = Batch::new(reqs.clone());
     let got = t.run_batch(&batch).responses;
-    let init: Vec<(u32, u32)> = pairs(500).iter().map(|&(k, v)| (k as u32, v as u32)).collect();
+    let init: Vec<(u32, u32)> = pairs(500)
+        .iter()
+        .map(|&(k, v)| (k as u32, v as u32))
+        .collect();
     let want = SequentialOracle::load(&init).run_batch(&batch);
     assert_eq!(got, want);
 }
@@ -43,10 +48,18 @@ fn all_range_batch() {
 #[test]
 fn all_delete_batch_empties_keys() {
     let mut t = tree(64);
-    let batch = Batch::new((1..=64u32).map(|i| Request::delete(2 * i, i as u64)).collect());
+    let batch = Batch::new(
+        (1..=64u32)
+            .map(|i| Request::delete(2 * i, i as u64))
+            .collect(),
+    );
     let run = t.run_batch(&batch);
     assert!(run.responses.iter().all(|r| *r == Response::Done));
-    let q = Batch::new((1..=64u32).map(|i| Request::query(2 * i, i as u64)).collect());
+    let q = Batch::new(
+        (1..=64u32)
+            .map(|i| Request::query(2 * i, i as u64))
+            .collect(),
+    );
     let run = t.run_batch(&q);
     assert!(run.responses.iter().all(|r| *r == Response::Value(None)));
 }
@@ -89,9 +102,9 @@ fn issued_kind_follows_last_state_op() {
 fn range_at_key_domain_boundaries() {
     let mut t = tree(64); // keys 2..=128
     let batch = Batch::new(vec![
-        Request::range(1, 4, 0),              // straddles the low edge
-        Request::range(126, 8, 1),            // runs past the high edge
-        Request::range(u32::MAX - 2, 3, 2),   // saturating upper bound
+        Request::range(1, 4, 0),            // straddles the low edge
+        Request::range(126, 8, 1),          // runs past the high edge
+        Request::range(u32::MAX - 2, 3, 2), // saturating upper bound
     ]);
     let run = t.run_batch(&batch);
     // Keys 1..=4: only 2 (value 3) and 4 (value 5) exist.
@@ -102,7 +115,16 @@ fn range_at_key_domain_boundaries() {
     // Keys 126..=133: only 126 (value 127) and 128 (value 129) exist.
     assert_eq!(
         run.responses[1],
-        Response::Range(vec![Some(127), None, Some(129), None, None, None, None, None])
+        Response::Range(vec![
+            Some(127),
+            None,
+            Some(129),
+            None,
+            None,
+            None,
+            None,
+            None
+        ])
     );
     assert_eq!(run.responses[2], Response::Range(vec![None, None, None]));
 }
@@ -113,14 +135,17 @@ fn range_covering_deleted_and_inserted_keys_same_batch() {
     // Keys 10 and 12 exist; delete 10, insert 11, range over [9, 13] at
     // various timestamps.
     let batch = Batch::new(vec![
-        Request::range(9, 5, 0),  // pre-everything
+        Request::range(9, 5, 0), // pre-everything
         Request::delete(10, 1),
-        Request::range(9, 5, 2),  // 10 gone
+        Request::range(9, 5, 2), // 10 gone
         Request::upsert(11, 77, 3),
-        Request::range(9, 5, 4),  // 11 present
+        Request::range(9, 5, 4), // 11 present
     ]);
     let got = t.run_batch(&batch).responses;
-    let init: Vec<(u32, u32)> = pairs(64).iter().map(|&(k, v)| (k as u32, v as u32)).collect();
+    let init: Vec<(u32, u32)> = pairs(64)
+        .iter()
+        .map(|&(k, v)| (k as u32, v as u32))
+        .collect();
     let want = SequentialOracle::load(&init).run_batch(&batch);
     assert_eq!(got, want);
 }
@@ -212,7 +237,10 @@ fn mixed_op_kinds_on_adjacent_keys_keep_kernel_partition_disjoint() {
         );
     }
     let got = t.run_batch(&batch).responses;
-    let init: Vec<(u32, u32)> = pairs(256).iter().map(|&(k, v)| (k as u32, v as u32)).collect();
+    let init: Vec<(u32, u32)> = pairs(256)
+        .iter()
+        .map(|&(k, v)| (k as u32, v as u32))
+        .collect();
     let want = SequentialOracle::load(&init).run_batch(&batch);
     assert_eq!(got, want);
 }

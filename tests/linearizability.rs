@@ -20,7 +20,9 @@ fn pairs(n: u64) -> Vec<(u64, u64)> {
 }
 
 fn pairs32(n: u64) -> Vec<(u32, u32)> {
-    (1..=n).map(|i| ((2 * i) as u32, (2 * i + 1) as u32)).collect()
+    (1..=n)
+        .map(|i| ((2 * i) as u32, (2 * i + 1) as u32))
+        .collect()
 }
 
 fn check_batch_against_oracle(tree: &mut EireneTree, oracle: &mut SequentialOracle, batch: &Batch) {
@@ -36,8 +38,11 @@ fn check_batch_against_oracle(tree: &mut EireneTree, oracle: &mut SequentialOrac
     // Structural invariants and final state must also agree.
     validate(tree.device().mem(), tree.handle()).expect("tree invariants");
     let tree_contents = refops::contents(tree.device().mem(), tree.handle());
-    let oracle_contents: Vec<(u64, u64)> =
-        oracle.contents().iter().map(|(&k, &v)| (k as u64, v as u64)).collect();
+    let oracle_contents: Vec<(u64, u64)> = oracle
+        .contents()
+        .iter()
+        .map(|(&k, &v)| (k as u64, v as u64))
+        .collect();
     assert_eq!(tree_contents, oracle_contents, "final tree state diverges");
 }
 
@@ -66,7 +71,12 @@ fn multi_batch_history_stays_linearizable() {
     let spec = WorkloadSpec {
         tree_size: 1 << 11,
         batch_size: 2048,
-        mix: Mix { upsert: 0.25, delete: 0.1, range: 0.05, range_len: 4 },
+        mix: Mix {
+            upsert: 0.25,
+            delete: 0.1,
+            range: 0.05,
+            range_len: 4,
+        },
         distribution: Distribution::Uniform,
         seed: 99,
     };
@@ -88,7 +98,12 @@ fn zipfian_contention_is_linearizable() {
     let spec = WorkloadSpec {
         tree_size: 1 << 10,
         batch_size: 4096,
-        mix: Mix { upsert: 0.3, delete: 0.05, range: 0.0, range_len: 4 },
+        mix: Mix {
+            upsert: 0.3,
+            delete: 0.05,
+            range: 0.0,
+            range_len: 4,
+        },
         distribution: Distribution::Zipfian { theta: 0.99 },
         seed: 5,
     };
@@ -127,15 +142,27 @@ fn responses_are_deterministic_across_runs() {
     let spec = WorkloadSpec {
         tree_size: 1 << 10,
         batch_size: 4096,
-        mix: Mix { upsert: 0.2, delete: 0.05, range: 0.02, range_len: 4 },
+        mix: Mix {
+            upsert: 0.2,
+            delete: 0.05,
+            range: 0.02,
+            range_len: 4,
+        },
         distribution: Distribution::Uniform,
         seed: 123,
     };
-    let p64: Vec<(u64, u64)> =
-        spec.initial_pairs().iter().map(|&(k, v)| (k as u64, v as u64)).collect();
+    let p64: Vec<(u64, u64)> = spec
+        .initial_pairs()
+        .iter()
+        .map(|&(k, v)| (k as u64, v as u64))
+        .collect();
     let batch = WorkloadGen::new(spec).next_batch();
-    let r1 = EireneTree::new(&p64, EireneOptions::test_small()).run_batch(&batch).responses;
-    let r2 = EireneTree::new(&p64, EireneOptions::test_small()).run_batch(&batch).responses;
+    let r1 = EireneTree::new(&p64, EireneOptions::test_small())
+        .run_batch(&batch)
+        .responses;
+    let r2 = EireneTree::new(&p64, EireneOptions::test_small())
+        .run_batch(&batch)
+        .responses;
     assert_eq!(r1, r2);
 }
 

@@ -1,0 +1,217 @@
+//! Observability invariants across every concurrent tree: per-phase
+//! counter rows sum to the kernel totals exactly (±0), the bounded
+//! latency histogram counts every completed request, and per-warp event
+//! tracing is captured only when requested.
+
+use eirene::baselines::common::ConcurrentTree;
+use eirene::baselines::{LockTree, NoCcTree, StmTree};
+use eirene::core::{EireneOptions, EireneTree};
+use eirene::sim::{DeviceConfig, Phase, TraceEventKind};
+use eirene::workloads::{Batch, OpKind, Request};
+use rand::{Rng, SeedableRng};
+
+fn pairs(n: u64) -> Vec<(u64, u64)> {
+    (1..=n).map(|i| (2 * i, 2 * i + 1)).collect()
+}
+
+fn all_trees(p: &[(u64, u64)], cfg: DeviceConfig) -> Vec<Box<dyn ConcurrentTree>> {
+    vec![
+        Box::new(NoCcTree::new(p, cfg.clone())),
+        Box::new(StmTree::new(p, cfg.clone(), 1 << 13)),
+        Box::new(LockTree::new(p, cfg.clone(), 1 << 13)),
+        Box::new(EireneTree::new(
+            p,
+            EireneOptions {
+                device: cfg.clone(),
+                locality: false,
+                ..EireneOptions::test_small()
+            },
+        )),
+        Box::new(EireneTree::new(
+            p,
+            EireneOptions {
+                device: cfg,
+                ..EireneOptions::test_small()
+            },
+        )),
+    ]
+}
+
+/// Mixed batch with genuine contention: hot keys, ranges, deletes.
+fn mixed_batch(seed: u64, n: usize, domain: u32) -> Batch {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let reqs: Vec<Request> = (0..n as u64)
+        .map(|ts| {
+            let key = rng.gen_range(1..=domain);
+            let op = match rng.gen_range(0..10) {
+                0..=2 => OpKind::Upsert(rng.gen()),
+                3 => OpKind::Delete,
+                4 => OpKind::Range { len: 4 },
+                _ => OpKind::Query,
+            };
+            Request { key, op, ts }
+        })
+        .collect();
+    Batch::new(reqs)
+}
+
+#[test]
+fn phase_rows_sum_to_kernel_totals_for_every_tree() {
+    let p = pairs(1000);
+    let batch = mixed_batch(42, 1024, 2000);
+    for mut tree in all_trees(&p, DeviceConfig::test_small()) {
+        let run = tree.run_batch(&batch);
+        let t = &run.stats.totals;
+        let s = t.phase_sums();
+        assert_eq!(s.mem_insts, t.mem_insts, "{}: mem_insts", tree.name());
+        assert_eq!(s.mem_words, t.mem_words, "{}: mem_words", tree.name());
+        assert_eq!(
+            s.mem_transactions,
+            t.mem_transactions,
+            "{}: mem_transactions",
+            tree.name()
+        );
+        assert_eq!(
+            s.control_insts,
+            t.control_insts,
+            "{}: control_insts",
+            tree.name()
+        );
+        assert_eq!(
+            s.atomic_insts,
+            t.atomic_insts,
+            "{}: atomic_insts",
+            tree.name()
+        );
+        assert_eq!(
+            s.lock_conflicts,
+            t.lock_conflicts,
+            "{}: lock_conflicts",
+            tree.name()
+        );
+        assert_eq!(s.stm_aborts, t.stm_aborts, "{}: stm_aborts", tree.name());
+        assert_eq!(
+            s.version_conflicts,
+            t.version_conflicts,
+            "{}: version_conflicts",
+            tree.name()
+        );
+        assert_eq!(s.cycles, t.cycles, "{}: cycles", tree.name());
+    }
+}
+
+#[test]
+fn phase_attribution_reflects_each_design() {
+    let p = pairs(1000);
+    let batch = mixed_batch(7, 1024, 2000);
+    for mut tree in all_trees(&p, DeviceConfig::test_small()) {
+        let run = tree.run_batch(&batch);
+        let ph = &run.stats.totals.phases;
+        // Every tree walks the tree: traversal work must be attributed.
+        assert!(
+            ph.row(Phase::VerticalTraversal).cycles > 0,
+            "{}: no vertical-traversal cycles",
+            tree.name()
+        );
+        assert!(
+            ph.row(Phase::LeafOp).cycles > 0,
+            "{}: no leaf-op cycles",
+            tree.name()
+        );
+        match tree.name() {
+            "STM GB-tree" => {
+                assert!(ph.row(Phase::StmAccess).mem_insts > 0, "orec traffic");
+                assert!(ph.row(Phase::StmCommit).cycles > 0, "commit work");
+            }
+            "Lock GB-tree" => {
+                assert!(ph.row(Phase::LockAcquire).cycles > 0, "latch work");
+            }
+            "Eirene" => {
+                assert!(ph.row(Phase::Combine).cycles > 0, "combining cost");
+                assert!(ph.row(Phase::ResultCalc).cycles > 0, "result calculation");
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn latency_histogram_counts_every_request() {
+    let p = pairs(1000);
+    let batch = mixed_batch(11, 512, 2000);
+    for mut tree in all_trees(&p, DeviceConfig::test_small()) {
+        let run = tree.run_batch(&batch);
+        let t = &run.stats.totals;
+        assert_eq!(
+            t.latency.count(),
+            t.requests,
+            "{}: every processed request must be recorded",
+            tree.name()
+        );
+        assert!(t.latency.mean() > 0.0, "{}", tree.name());
+        assert!(t.latency.max() >= t.latency.min(), "{}", tree.name());
+        // Quantiles are clamped into the exact [min, max] envelope.
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let v = t.latency.quantile(q);
+            assert!(
+                v >= t.latency.min() && v <= t.latency.max(),
+                "{} q{q}",
+                tree.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn tracing_is_off_by_default_and_captures_when_enabled() {
+    let p = pairs(500);
+    let batch = mixed_batch(13, 768, 600);
+    for mut tree in all_trees(&p, DeviceConfig::test_small()) {
+        let run = tree.run_batch(&batch);
+        assert!(
+            run.stats.totals.events.is_empty(),
+            "{}: trace off by default",
+            tree.name()
+        );
+    }
+    let traced = DeviceConfig {
+        trace: true,
+        ..DeviceConfig::test_small()
+    };
+    let mut lock = LockTree::new(&p, traced.clone(), 1 << 13);
+    let run = lock.run_batch(&batch);
+    assert!(
+        !run.stats.totals.events.is_empty(),
+        "contended lock run must emit events"
+    );
+    assert!(run
+        .stats
+        .totals
+        .events
+        .iter()
+        .any(|e| e.kind == TraceEventKind::LockConflict));
+
+    // Hot keys: Eirene's combiner folds duplicates into runs and reports
+    // them as combine hits.
+    let hot = Batch::new(
+        (0..2048u64)
+            .map(|ts| Request::upsert(((ts % 4) * 2 + 2) as u32, ts as u32, ts))
+            .collect(),
+    );
+    let mut eirene = EireneTree::new(
+        &p,
+        EireneOptions {
+            device: traced,
+            ..EireneOptions::test_small()
+        },
+    );
+    let run = eirene.run_batch(&hot);
+    assert!(
+        run.stats
+            .totals
+            .events
+            .iter()
+            .any(|e| e.kind == TraceEventKind::CombineHit),
+        "hot-key batch must report combine hits"
+    );
+}
