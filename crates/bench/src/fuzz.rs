@@ -1,0 +1,107 @@
+//! The `fuzz` subcommand: the differential fuzz harness of `eirene-check`
+//! behind a CLI.
+//!
+//! ```text
+//! cargo run -p eirene-bench --release -- fuzz                       # defaults
+//! cargo run -p eirene-bench --release -- fuzz --seed 1 --batches 500
+//! cargo run -p eirene-bench --release -- fuzz --tree eirene --os-sched
+//! cargo run -p eirene-bench --release -- fuzz --inject-fault        # self-test
+//! ```
+//!
+//! Exit status: 0 when every case agrees with the sequential oracle, 1
+//! when a violation was found (the shrunk reproducer and its seeds are
+//! printed), 2 on usage errors.
+
+use eirene_check::{FaultSpec, FuzzOptions, FuzzOutcome, FuzzTree};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eirene-bench fuzz [--seed N] [--repro-seed HEX] [--batches N] [--batch N] \
+         [--domain N] [--initial-keys N] [--tree {}] [--os-sched] [--inject-fault]",
+        FuzzTree::ALL
+            .iter()
+            .map(|t| t.label())
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(v: Option<&String>) -> T {
+    v.unwrap_or_else(|| usage())
+        .parse()
+        .unwrap_or_else(|_| usage())
+}
+
+/// Seeds are printed in `{:#x}` form by failure reports, so accept both
+/// `0x`-prefixed hex and decimal.
+fn parse_seed(v: Option<&String>) -> u64 {
+    let s = v.unwrap_or_else(|| usage());
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    }
+    .unwrap_or_else(|_| usage())
+}
+
+/// Parses `fuzz` arguments and runs the harness; returns the process exit
+/// code.
+pub fn run(args: &[String]) -> i32 {
+    let mut opts = FuzzOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => opts.seed = parse_seed(it.next()),
+            "--repro-seed" => opts.repro = Some(parse_seed(it.next())),
+            "--batches" => opts.batches = parse_num(it.next()),
+            "--batch" => opts.batch_size = parse_num(it.next()),
+            "--domain" => opts.domain = parse_num(it.next()),
+            "--initial-keys" => opts.initial_keys = parse_num(it.next()),
+            "--tree" => {
+                let name = it.next().unwrap_or_else(|| usage());
+                match FuzzTree::parse(name) {
+                    Some(t) => opts.trees = vec![t],
+                    None => usage(),
+                }
+            }
+            "--os-sched" => opts.deterministic = false,
+            "--inject-fault" => opts.fault = Some(FaultSpec::default()),
+            _ => usage(),
+        }
+    }
+    eprintln!(
+        "fuzz: {}, {} batches x {} requests, domain {}, trees [{}], {}{}",
+        match opts.repro {
+            Some(s) => format!("replaying batch seed {s:#x}"),
+            None => format!("seed {:#x}", opts.seed),
+        },
+        opts.batches,
+        opts.batch_size,
+        opts.domain,
+        opts.trees
+            .iter()
+            .map(|t| t.label())
+            .collect::<Vec<_>>()
+            .join(", "),
+        if opts.deterministic {
+            "deterministic scheduling"
+        } else {
+            "OS scheduling"
+        },
+        if opts.fault.is_some() {
+            ", fault injection ON"
+        } else {
+            ""
+        },
+    );
+    match eirene_check::run_fuzz(&opts) {
+        FuzzOutcome::Passed { cases } => {
+            println!("fuzz: {cases} cases, all consistent with the sequential oracle");
+            0
+        }
+        FuzzOutcome::Failed(f) => {
+            println!("{f}");
+            1
+        }
+    }
+}

@@ -277,10 +277,15 @@ mod tests {
     #[test]
     fn eirene_beats_stm_on_default_mix() {
         // Batch large enough to amortize Eirene's fixed kernel-launch and
-        // sort overheads (the paper uses 1M-request batches).
-        let spec = spec_for(12, 1 << 14, default_mix(), 5);
-        let stm = measure(TreeKind::Stm, &spec, 2);
-        let eirene = measure(TreeKind::Eirene, &spec, 2);
+        // sort overheads AND to fill the device's warp seats in the update
+        // kernel (the paper uses 1M-request batches): with a 5% update
+        // mix, smaller batches leave the update kernel under-occupied,
+        // and under the honest occupancy model (no imaginary speedup for
+        // empty warp seats) its makespan is then bounded by per-warp
+        // serial time.
+        let spec = spec_for(12, 1 << 17, default_mix(), 5);
+        let stm = measure(TreeKind::Stm, &spec, 1);
+        let eirene = measure(TreeKind::Eirene, &spec, 1);
         assert!(
             eirene.throughput > stm.throughput,
             "eirene {:.1e} <= stm {:.1e}",

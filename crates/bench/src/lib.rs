@@ -8,6 +8,7 @@
 
 pub mod ablate;
 pub mod figures;
+pub mod fuzz;
 pub mod harness;
 pub mod metrics;
 

@@ -16,7 +16,9 @@ fn usage() -> ! {
          ablate-threshold|ablate-protection|ablate-iteration|ablate-distribution|\
          ablate-batch|ablate-mix|ablate-all> \
          [--paper-scale] [--smoke] [--batch N] [--repeats N] [--exps a,b,c] \
-         [--json PATH] [--trace PATH]"
+         [--json PATH] [--trace PATH]\n       \
+         eirene-bench fuzz [--seed N] [--batches N] [--batch N] [--tree T] \
+         [--os-sched] [--inject-fault]   (differential fuzz harness)"
     );
     std::process::exit(2);
 }
@@ -25,6 +27,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
+    }
+    if args[0] == "fuzz" {
+        std::process::exit(eirene_bench::fuzz::run(&args[1..]));
     }
     let mut scale = Scale::default();
     let mut which = None;

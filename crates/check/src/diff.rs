@@ -1,0 +1,236 @@
+//! Differential execution: one generated case, one tree, one oracle.
+
+use eirene_baselines::common::ConcurrentTree;
+use eirene_baselines::{LockTree, StmTree};
+use eirene_btree::refops;
+use eirene_btree::validate::validate;
+use eirene_core::{EireneOptions, EireneTree, UpdateProtection};
+use eirene_sim::DeviceConfig;
+use eirene_workloads::{Batch, Oracle, Request, Response, SequentialOracle};
+
+/// The five trees the differential fuzzer exercises: full Eirene, its two
+/// ablations (combining without locality, and the fine-grained-lock leaf
+/// protection §7 mentions), and the two baseline GB-trees. The NoCc tree
+/// is deliberately absent — without concurrency control it is *expected*
+/// to lose racing updates, so a differential check against it only
+/// measures the generator's conflict rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FuzzTree {
+    Eirene,
+    EireneCombining,
+    EireneLockLeaf,
+    Stm,
+    Lock,
+}
+
+impl FuzzTree {
+    pub const ALL: [FuzzTree; 5] = [
+        FuzzTree::Eirene,
+        FuzzTree::EireneCombining,
+        FuzzTree::EireneLockLeaf,
+        FuzzTree::Stm,
+        FuzzTree::Lock,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            FuzzTree::Eirene => "eirene",
+            FuzzTree::EireneCombining => "eirene-combining",
+            FuzzTree::EireneLockLeaf => "eirene-lockleaf",
+            FuzzTree::Stm => "stm",
+            FuzzTree::Lock => "lock",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<FuzzTree> {
+        FuzzTree::ALL.into_iter().find(|t| t.label() == s)
+    }
+
+    /// Whether the tree is linearizable under arbitrary key conflicts.
+    /// The Eirene variants are (combining orders same-key requests by
+    /// timestamp); the baselines resolve same-key races in lock or commit
+    /// order, so they are only checked on key-disjoint batches.
+    pub fn linearizable(self) -> bool {
+        matches!(
+            self,
+            FuzzTree::Eirene | FuzzTree::EireneCombining | FuzzTree::EireneLockLeaf
+        )
+    }
+}
+
+/// Builds a fresh instance of the selected tree over `pairs`.
+pub fn build_tree(
+    sel: FuzzTree,
+    pairs: &[(u64, u64)],
+    cfg: DeviceConfig,
+    headroom: usize,
+) -> Box<dyn ConcurrentTree> {
+    match sel {
+        FuzzTree::Stm => Box::new(StmTree::new(pairs, cfg, headroom)),
+        FuzzTree::Lock => Box::new(LockTree::new(pairs, cfg, headroom)),
+        sel => {
+            let opts = EireneOptions {
+                device: cfg,
+                locality: sel != FuzzTree::EireneCombining,
+                headroom_nodes: headroom,
+                protection: if sel == FuzzTree::EireneLockLeaf {
+                    UpdateProtection::FineGrainedLocks
+                } else {
+                    UpdateProtection::OptimisticStm
+                },
+                ..Default::default()
+            };
+            Box::new(EireneTree::new(pairs, opts))
+        }
+    }
+}
+
+/// How a differential case failed.
+#[derive(Clone, Debug)]
+pub enum Violation {
+    /// A response diverged from the oracle's.
+    Response {
+        index: usize,
+        request: Request,
+        got: Response,
+        want: Response,
+    },
+    /// `btree::validate` rejected the post-batch structure.
+    Structure(String),
+    /// Responses matched but the final key/value contents diverged.
+    Contents(String),
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Response {
+                index,
+                request,
+                got,
+                want,
+            } => write!(
+                f,
+                "response {index} diverges for {request:?}: got {got:?}, oracle says {want:?}"
+            ),
+            Violation::Structure(e) => write!(f, "structural invariant violated: {e}"),
+            Violation::Contents(e) => write!(f, "final contents diverge: {e}"),
+        }
+    }
+}
+
+/// Runs `reqs` as one batch on a fresh `sel` tree built over `pairs` and
+/// checks it against a fresh sequential oracle: positional response
+/// equality, then `btree::validate`, then final-contents equality.
+///
+/// A fresh tree per case keeps every reproducer self-contained: replaying
+/// a failure needs only `(tree, pairs, requests)` — plus the device seed
+/// when the config schedules deterministically.
+pub fn check_case(
+    sel: FuzzTree,
+    pairs: &[(u64, u64)],
+    cfg: &DeviceConfig,
+    headroom: usize,
+    reqs: &[Request],
+) -> Result<(), Violation> {
+    let mut tree = build_tree(sel, pairs, cfg.clone(), headroom);
+    check_tree_case(tree.as_mut(), pairs, reqs)
+}
+
+/// [`check_case`] against an already-built tree (used by the harness to
+/// interpose the [fault injector](crate::fault::FaultyTree)). The tree
+/// must be fresh and loaded with exactly `pairs`.
+pub fn check_tree_case(
+    tree: &mut dyn ConcurrentTree,
+    pairs: &[(u64, u64)],
+    reqs: &[Request],
+) -> Result<(), Violation> {
+    let pairs32: Vec<(u32, u32)> = pairs.iter().map(|&(k, v)| (k as u32, v as u32)).collect();
+    let mut oracle = SequentialOracle::load(&pairs32);
+    let batch = Batch::new(reqs.to_vec());
+    let got = tree.run_batch(&batch).responses;
+    let want = oracle.run_batch(&batch);
+    for i in 0..batch.len() {
+        if got[i] != want[i] {
+            return Err(Violation::Response {
+                index: i,
+                request: batch.requests[i],
+                got: got[i].clone(),
+                want: want[i].clone(),
+            });
+        }
+    }
+    validate(tree.device().mem(), tree.handle()).map_err(Violation::Structure)?;
+    let tree_contents = refops::contents(tree.device().mem(), tree.handle());
+    let oracle_contents: Vec<(u64, u64)> = oracle
+        .contents()
+        .iter()
+        .map(|(&k, &v)| (k as u64, v as u64))
+        .collect();
+    if tree_contents != oracle_contents {
+        let detail = first_contents_diff(&tree_contents, &oracle_contents);
+        return Err(Violation::Contents(detail));
+    }
+    Ok(())
+}
+
+fn first_contents_diff(got: &[(u64, u64)], want: &[(u64, u64)]) -> String {
+    let n = got.len().min(want.len());
+    for i in 0..n {
+        if got[i] != want[i] {
+            return format!(
+                "at sorted position {i}: tree has {:?}, oracle has {:?}",
+                got[i], want[i]
+            );
+        }
+    }
+    format!("tree holds {} keys, oracle holds {}", got.len(), want.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{adversarial_batch, dense_pairs, disjoint_batch, GenOptions, Profile};
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::test_small()
+    }
+
+    #[test]
+    fn all_trees_pass_a_disjoint_case() {
+        let pairs = dense_pairs(512);
+        let opts = GenOptions {
+            batch_size: 128,
+            domain: 2048,
+        };
+        let reqs = disjoint_batch(5, &opts).requests;
+        for sel in FuzzTree::ALL {
+            check_case(sel, &pairs, &cfg(), 1 << 12, &reqs)
+                .unwrap_or_else(|v| panic!("{}: {v}", sel.label()));
+        }
+    }
+
+    #[test]
+    fn linearizable_trees_pass_adversarial_cases() {
+        let pairs = dense_pairs(512);
+        let opts = GenOptions {
+            batch_size: 128,
+            domain: 1024,
+        };
+        for (i, profile) in Profile::ALL.into_iter().enumerate() {
+            let reqs = adversarial_batch(40 + i as u64, profile, &opts).requests;
+            for sel in FuzzTree::ALL.into_iter().filter(|t| t.linearizable()) {
+                check_case(sel, &pairs, &cfg(), 1 << 12, &reqs)
+                    .unwrap_or_else(|v| panic!("{} / {profile:?}: {v}", sel.label()));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_labels_round_trip() {
+        for t in FuzzTree::ALL {
+            assert_eq!(FuzzTree::parse(t.label()), Some(t));
+        }
+        assert_eq!(FuzzTree::parse("nope"), None);
+    }
+}

@@ -1,0 +1,252 @@
+//! Adversarial batch generation for the differential fuzzer.
+//!
+//! Each [`Profile`] stresses a different failure surface: key skew drives
+//! combining and same-leaf contention, boundary keys exercise the fence
+//! logic at both ends of the key space, duplicate timestamps exercise the
+//! batch-position tie-break of result calculation, overlapping ranges
+//! exercise artificial-query patching, and delete-heavy churn exercises
+//! leaf underflow paths. Everything is derived from a seed: the same
+//! `(seed, profile, options)` triple always yields the same batch.
+
+use eirene_workloads::{Batch, Key, OpKind, Request};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// What kind of adversarial batch to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// Uniform keys over the domain, mixed operations.
+    Uniform,
+    /// Log-uniform (Zipf-like) skew: a handful of hot keys absorb most of
+    /// the batch, maximizing run lengths and same-leaf conflicts.
+    Skewed,
+    /// Heavy use of the extreme keys `0`, `1`, `domain`, `u32::MAX - 1`
+    /// and `u32::MAX`.
+    Boundary,
+    /// Many requests share raw timestamps, so correctness depends on the
+    /// batch-position tie-break matching the oracle's stable sort.
+    DuplicateTs,
+    /// Overlapping range queries interleaved with updates inside their
+    /// windows: every range needs artificial-query patching.
+    RangeHeavy,
+    /// Delete-dominated churn on a small key set: keys flicker between
+    /// present and absent within one batch.
+    DeleteChurn,
+}
+
+impl Profile {
+    /// Every profile, in the order the fuzz driver cycles through them.
+    pub const ALL: [Profile; 6] = [
+        Profile::Uniform,
+        Profile::Skewed,
+        Profile::Boundary,
+        Profile::DuplicateTs,
+        Profile::RangeHeavy,
+        Profile::DeleteChurn,
+    ];
+}
+
+/// Size parameters shared by the generators.
+#[derive(Clone, Copy, Debug)]
+pub struct GenOptions {
+    /// Keys are drawn from `0..=domain` (plus `u32::MAX`-side boundary
+    /// keys in the boundary profile).
+    pub domain: u32,
+    /// Requests per batch.
+    pub batch_size: usize,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            domain: 4096,
+            batch_size: 256,
+        }
+    }
+}
+
+/// Initial tree contents used by the fuzz harness: every key in
+/// `1..=keys`, each mapped to `key + 1`. Dense, so point queries against
+/// untouched keys have non-trivial answers.
+pub fn dense_pairs(keys: u32) -> Vec<(u64, u64)> {
+    (1..=keys as u64).map(|k| (k, k + 1)).collect()
+}
+
+fn key_for(rng: &mut ChaCha8Rng, profile: Profile, domain: u32) -> Key {
+    match profile {
+        Profile::Uniform | Profile::DuplicateTs | Profile::RangeHeavy => rng.gen_range(0..=domain),
+        Profile::Skewed => {
+            // Log-uniform: exponentiate a uniform fraction of the domain's
+            // magnitude, yielding a heavy head at small keys.
+            let r: f64 = rng.gen_range(0.0..1.0);
+            ((domain as f64 + 1.0).powf(r) as u32).min(domain)
+        }
+        Profile::Boundary => match rng.gen_range(0..8u32) {
+            0 => 0,
+            1 => 1,
+            2 => domain,
+            3 => u32::MAX,
+            4 => u32::MAX - 1,
+            _ => rng.gen_range(0..=domain),
+        },
+        Profile::DeleteChurn => rng.gen_range(0..16u32) * (domain / 16).max(1),
+    }
+}
+
+fn op_for(rng: &mut ChaCha8Rng, profile: Profile) -> OpKind {
+    let range_len = rng.gen_range(1..=24u32);
+    match profile {
+        Profile::RangeHeavy => match rng.gen_range(0..10u32) {
+            0..=3 => OpKind::Range { len: range_len },
+            4..=6 => OpKind::Upsert(rng.gen()),
+            7 => OpKind::Delete,
+            _ => OpKind::Query,
+        },
+        Profile::DeleteChurn => match rng.gen_range(0..10u32) {
+            0..=3 => OpKind::Delete,
+            4..=6 => OpKind::Upsert(rng.gen()),
+            7 => OpKind::Range { len: range_len },
+            _ => OpKind::Query,
+        },
+        _ => match rng.gen_range(0..10u32) {
+            0..=2 => OpKind::Upsert(rng.gen()),
+            3 => OpKind::Delete,
+            4 => OpKind::Range { len: range_len },
+            _ => OpKind::Query,
+        },
+    }
+}
+
+/// Generates one adversarial batch. Only safe to run against linearizable
+/// trees (the Eirene variants): racing requests share keys and timestamps
+/// freely.
+pub fn adversarial_batch(seed: u64, profile: Profile, opts: &GenOptions) -> Batch {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = opts.batch_size;
+    let reqs: Vec<Request> = (0..n)
+        .map(|i| {
+            let key = key_for(&mut rng, profile, opts.domain);
+            let op = op_for(&mut rng, profile);
+            // Timestamps are the arrival order, except under DuplicateTs
+            // (heavy collisions) and a low background collision rate in
+            // every profile (two requests share the previous ts).
+            let ts = match profile {
+                Profile::DuplicateTs => rng.gen_range(0..(n as u64 / 4).max(1)),
+                _ if i > 0 && rng.gen_range(0..20u32) == 0 => i as u64 - 1,
+                _ => i as u64,
+            };
+            Request { key, op, ts }
+        })
+        .collect();
+    Batch::new(reqs)
+}
+
+/// Generates a batch whose request *footprints* are pairwise disjoint (a
+/// range reserves its whole window), in random order with unique
+/// timestamps. The STM and Lock baselines only serialize racing requests
+/// on the same key, so this is the strongest batch every tree — not just
+/// the linearizable ones — must agree on.
+pub fn disjoint_batch(seed: u64, opts: &GenOptions) -> Batch {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut keys: Vec<u32> = (0..=opts.domain).collect();
+    keys.shuffle(&mut rng);
+    let mut used = std::collections::HashSet::new();
+    let mut reqs: Vec<Request> = Vec::with_capacity(opts.batch_size);
+    for &key in &keys {
+        if reqs.len() == opts.batch_size {
+            break;
+        }
+        if used.contains(&key) {
+            continue;
+        }
+        let mut op = op_for(&mut rng, Profile::Uniform);
+        if let OpKind::Range { len } = op {
+            let fits = (1..len).all(|d| {
+                key.checked_add(d)
+                    .is_some_and(|k| k <= opts.domain && !used.contains(&k))
+            });
+            if fits {
+                used.extend((1..len).map(|d| key + d));
+            } else {
+                // Window collides or overflows: degrade to a point read.
+                op = OpKind::Query;
+            }
+        }
+        used.insert(key);
+        let ts = reqs.len() as u64;
+        reqs.push(Request { key, op, ts });
+    }
+    assert_eq!(
+        reqs.len(),
+        opts.batch_size,
+        "domain too small for a disjoint batch"
+    );
+    Batch::new(reqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let o = GenOptions::default();
+        for p in Profile::ALL {
+            assert_eq!(
+                adversarial_batch(9, p, &o).requests,
+                adversarial_batch(9, p, &o).requests,
+                "{p:?}"
+            );
+        }
+        assert_eq!(
+            disjoint_batch(9, &o).requests,
+            disjoint_batch(9, &o).requests
+        );
+    }
+
+    #[test]
+    fn boundary_profile_hits_extreme_keys() {
+        let o = GenOptions {
+            batch_size: 512,
+            ..Default::default()
+        };
+        let b = adversarial_batch(3, Profile::Boundary, &o);
+        assert!(b.requests.iter().any(|r| r.key == 0));
+        assert!(b.requests.iter().any(|r| r.key == u32::MAX));
+    }
+
+    #[test]
+    fn duplicate_ts_profile_collides() {
+        let o = GenOptions::default();
+        let b = adversarial_batch(3, Profile::DuplicateTs, &o);
+        let mut ts: Vec<u64> = b.requests.iter().map(|r| r.ts).collect();
+        ts.sort_unstable();
+        ts.dedup();
+        assert!(
+            ts.len() < b.len() / 2,
+            "expected heavy ts collisions, got {} distinct of {}",
+            ts.len(),
+            b.len()
+        );
+    }
+
+    #[test]
+    fn disjoint_batch_footprints_do_not_overlap() {
+        let o = GenOptions {
+            batch_size: 512,
+            domain: 8192,
+        };
+        let b = disjoint_batch(11, &o);
+        let mut used = std::collections::HashSet::new();
+        for r in &b.requests {
+            let span = match r.op {
+                OpKind::Range { len } => len,
+                _ => 1,
+            };
+            for d in 0..span {
+                assert!(used.insert(r.key + d), "footprint overlap at {}", r.key + d);
+            }
+        }
+    }
+}

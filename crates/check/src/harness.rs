@@ -1,0 +1,286 @@
+//! The fuzz driver: generate → execute → compare → shrink.
+
+use crate::diff::{build_tree, check_tree_case, FuzzTree, Violation};
+use crate::fault::{FaultSpec, FaultyTree};
+use crate::gen::{adversarial_batch, dense_pairs, disjoint_batch, GenOptions, Profile};
+use crate::shrink::shrink;
+use eirene_baselines::common::ConcurrentTree;
+use eirene_sim::DeviceConfig;
+use eirene_workloads::Request;
+
+/// Configuration of one fuzz run.
+#[derive(Clone, Debug)]
+pub struct FuzzOptions {
+    /// Master seed; every per-iteration batch seed and device seed derives
+    /// from it.
+    pub seed: u64,
+    /// Iterations (fresh tree + one batch) per tree kind.
+    pub batches: usize,
+    /// Requests per batch.
+    pub batch_size: usize,
+    /// Key domain of generated requests.
+    pub domain: u32,
+    /// Keys pre-loaded into every fresh tree (`1..=initial_keys`).
+    pub initial_keys: u32,
+    /// Trees to fuzz.
+    pub trees: Vec<FuzzTree>,
+    /// Run devices under the seeded deterministic scheduler, making each
+    /// case's warp interleaving — not just its batch — replayable from the
+    /// printed seeds. Costs wall-clock: deterministic launches serialize.
+    pub deterministic: bool,
+    /// Inject a response off-by-one (testing the harness itself).
+    pub fault: Option<FaultSpec>,
+    /// Replay mode: use this value directly as the batch seed (instead of
+    /// deriving per-iteration seeds from `seed`) and try each generator
+    /// profile once. Batch generation depends only on
+    /// `(batch seed, profile, batch_size, domain)`, so the batch seed a
+    /// [`FuzzFailure`] prints regenerates the original failing case
+    /// bit-for-bit.
+    pub repro: Option<u64>,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            seed: 0xE1BEE5,
+            batches: 100,
+            batch_size: 256,
+            domain: 4096,
+            initial_keys: 1024,
+            trees: FuzzTree::ALL.to_vec(),
+            deterministic: true,
+            fault: None,
+            repro: None,
+        }
+    }
+}
+
+/// A fuzz-found violation, shrunk to a minimal reproducer.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    pub tree: FuzzTree,
+    /// Iteration (per tree) at which the violation surfaced.
+    pub iteration: usize,
+    /// Profile that generated the failing batch.
+    pub profile: Option<Profile>,
+    /// Seed the failing batch was generated from.
+    pub batch_seed: u64,
+    /// Device scheduler seed (deterministic mode only).
+    pub device_seed: Option<u64>,
+    /// The minimal failing request sequence.
+    pub shrunk: Vec<Request>,
+    /// How the shrunk case fails.
+    pub violation: Violation,
+    /// A self-contained `eirene-bench fuzz` command line replaying the
+    /// case (carries the batch seed plus every generation parameter).
+    pub replay: String,
+}
+
+impl std::fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "differential violation on {} (iteration {}, profile {:?}, batch seed {:#x}{})",
+            self.tree.label(),
+            self.iteration,
+            self.profile,
+            self.batch_seed,
+            match self.device_seed {
+                Some(s) => format!(", device seed {s:#x}"),
+                None => ", OS scheduling".to_string(),
+            }
+        )?;
+        writeln!(f, "  {}", self.violation)?;
+        writeln!(f, "  minimal reproducer ({} requests):", self.shrunk.len())?;
+        for r in &self.shrunk {
+            writeln!(f, "    {r:?}")?;
+        }
+        write!(f, "  replay: {}", self.replay)
+    }
+}
+
+/// Result of a fuzz run.
+#[derive(Debug)]
+pub enum FuzzOutcome {
+    /// Every case agreed with the oracle.
+    Passed {
+        /// Total cases executed across all trees.
+        cases: usize,
+    },
+    /// A violation was found (and shrunk).
+    Failed(Box<FuzzFailure>),
+}
+
+/// SplitMix64 step, used to derive independent per-case seeds.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn device_cfg(opts: &FuzzOptions, device_seed: u64) -> DeviceConfig {
+    let cfg = DeviceConfig::test_small();
+    if opts.deterministic {
+        cfg.with_deterministic_sched(device_seed)
+    } else {
+        cfg
+    }
+}
+
+fn run_case(
+    opts: &FuzzOptions,
+    tree: FuzzTree,
+    pairs: &[(u64, u64)],
+    device_seed: u64,
+    reqs: &[Request],
+) -> Result<(), Violation> {
+    let headroom = (opts.batch_size * 2).max(1 << 12);
+    let built = build_tree(tree, pairs, device_cfg(opts, device_seed), headroom);
+    let mut built: Box<dyn ConcurrentTree> = match opts.fault {
+        Some(spec) => Box::new(FaultyTree::new(built, spec)),
+        None => built,
+    };
+    check_tree_case(built.as_mut(), pairs, reqs)
+}
+
+/// Builds the self-contained CLI replay command printed with a failure:
+/// the batch seed plus every generation parameter it combines with.
+fn replay_command(opts: &FuzzOptions, tree: FuzzTree, batch_seed: u64) -> String {
+    let mut cmd = format!(
+        "eirene-bench fuzz --tree {} --batch {} --domain {} --initial-keys {} --repro-seed {batch_seed:#x}",
+        tree.label(),
+        opts.batch_size,
+        opts.domain,
+        opts.initial_keys,
+    );
+    if !opts.deterministic {
+        cmd.push_str(" --os-sched");
+    }
+    if opts.fault.is_some() {
+        cmd.push_str(" --inject-fault");
+    }
+    cmd
+}
+
+/// Runs the differential fuzz loop. On the first violation the failing
+/// batch is shrunk (re-executing the shrunken candidate each probe, same
+/// tree and device seed) and returned; otherwise all cases passed.
+pub fn run_fuzz(opts: &FuzzOptions) -> FuzzOutcome {
+    let pairs = dense_pairs(opts.initial_keys);
+    let gen_opts = GenOptions {
+        domain: opts.domain,
+        batch_size: opts.batch_size,
+    };
+    let mut cases = 0usize;
+    // In replay mode the batch seed is fixed, so one pass over the
+    // profiles covers every batch that seed can generate.
+    let iters = match opts.repro {
+        Some(_) => Profile::ALL.len(),
+        None => opts.batches,
+    };
+    for iter in 0..iters {
+        for &tree in &opts.trees {
+            let batch_seed = match opts.repro {
+                Some(s) => s,
+                None => mix(opts.seed ^ mix(iter as u64) ^ tree.label().len() as u64),
+            };
+            let device_seed = mix(batch_seed);
+            // Baselines only serialize same-key races, so they get
+            // disjoint-footprint batches; linearizable trees get the full
+            // adversarial generator.
+            let (profile, reqs) = if tree.linearizable() {
+                let profile = Profile::ALL[iter % Profile::ALL.len()];
+                (
+                    Some(profile),
+                    adversarial_batch(batch_seed, profile, &gen_opts).requests,
+                )
+            } else {
+                (None, disjoint_batch(batch_seed, &gen_opts).requests)
+            };
+            cases += 1;
+            if let Err(first) = run_case(opts, tree, &pairs, device_seed, &reqs) {
+                let shrunk = shrink(&reqs, |cand| {
+                    run_case(opts, tree, &pairs, device_seed, cand).is_err()
+                });
+                let violation = run_case(opts, tree, &pairs, device_seed, &shrunk)
+                    .err()
+                    .unwrap_or(first);
+                return FuzzOutcome::Failed(Box::new(FuzzFailure {
+                    tree,
+                    iteration: iter,
+                    profile,
+                    batch_seed,
+                    device_seed: opts.deterministic.then_some(device_seed),
+                    shrunk,
+                    violation,
+                    replay: replay_command(opts, tree, batch_seed),
+                }));
+            }
+        }
+    }
+    FuzzOutcome::Passed { cases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_trees_pass_a_short_run() {
+        let opts = FuzzOptions {
+            batches: 3,
+            batch_size: 96,
+            domain: 1024,
+            initial_keys: 512,
+            deterministic: false,
+            ..Default::default()
+        };
+        match run_fuzz(&opts) {
+            FuzzOutcome::Passed { cases } => assert_eq!(cases, 3 * FuzzTree::ALL.len()),
+            FuzzOutcome::Failed(f) => panic!("unexpected violation:\n{f}"),
+        }
+    }
+
+    #[test]
+    fn repro_seed_replays_a_found_failure() {
+        let opts = FuzzOptions {
+            seed: 7,
+            batches: 50,
+            batch_size: 64,
+            domain: 512,
+            initial_keys: 512,
+            trees: vec![FuzzTree::Eirene],
+            deterministic: false,
+            fault: Some(FaultSpec::default()),
+            repro: None,
+        };
+        let found = match run_fuzz(&opts) {
+            FuzzOutcome::Failed(f) => f,
+            FuzzOutcome::Passed { cases } => panic!("no failure to replay across {cases} cases"),
+        };
+        assert!(found.replay.contains("--repro-seed"), "{}", found.replay);
+        let replayed = match run_fuzz(&FuzzOptions {
+            repro: Some(found.batch_seed),
+            ..opts
+        }) {
+            FuzzOutcome::Failed(f) => f,
+            FuzzOutcome::Passed { cases } => panic!(
+                "repro seed {:#x} did not reproduce in {cases} cases",
+                found.batch_seed
+            ),
+        };
+        assert_eq!(replayed.batch_seed, found.batch_seed);
+        assert!(!replayed.shrunk.is_empty());
+    }
+
+    #[test]
+    fn seed_derivation_separates_trees_and_iterations() {
+        let a = mix(1 ^ mix(0) ^ 6);
+        let b = mix(1 ^ mix(1) ^ 6);
+        let c = mix(1 ^ mix(0) ^ 3);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,83 @@
+//! Delta-debugging reduction of a failing batch.
+//!
+//! Classic ddmin over the request list: try removing ever-smaller chunks,
+//! keeping any removal after which the case still fails, until no single
+//! request can be removed. The test predicate rebuilds the tree from
+//! scratch on every probe (see [`check_case`](crate::diff::check_case)),
+//! so probes are independent and — under the deterministic scheduler —
+//! exactly reproducible.
+
+use eirene_workloads::Request;
+
+/// Shrinks `reqs` to a (locally) minimal subsequence for which
+/// `still_fails` returns `true`. The caller guarantees
+/// `still_fails(reqs)`; the result preserves relative request order.
+pub fn shrink(reqs: &[Request], mut still_fails: impl FnMut(&[Request]) -> bool) -> Vec<Request> {
+    debug_assert!(still_fails(reqs), "shrink needs a failing input");
+    let mut cur = reqs.to_vec();
+    let mut chunk = cur.len().div_ceil(2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < cur.len() && cur.len() > 1 {
+            let end = (start + chunk).min(cur.len());
+            let mut cand = Vec::with_capacity(cur.len() - (end - start));
+            cand.extend_from_slice(&cur[..start]);
+            cand.extend_from_slice(&cur[end..]);
+            if !cand.is_empty() && still_fails(&cand) {
+                cur = cand;
+                removed_any = true;
+                // Re-probe the same offset: the next chunk slid into it.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                return cur;
+            }
+            // A removal at granularity 1 can unlock further removals of
+            // earlier elements; loop until a full clean pass.
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eirene_workloads::Request;
+
+    fn reqs(n: u64) -> Vec<Request> {
+        (0..n).map(|i| Request::query(i as u32, i)).collect()
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let input = reqs(100);
+        let out = shrink(&input, |rs| rs.iter().any(|r| r.key == 37));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, 37);
+    }
+
+    #[test]
+    fn shrinks_to_an_interacting_pair_preserving_order() {
+        // Fails only when key 10 appears before key 90.
+        let input = reqs(100);
+        let out = shrink(&input, |rs| {
+            let a = rs.iter().position(|r| r.key == 10);
+            let b = rs.iter().position(|r| r.key == 90);
+            matches!((a, b), (Some(a), Some(b)) if a < b)
+        });
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].key, out[1].key), (10, 90));
+    }
+
+    #[test]
+    fn keeps_everything_when_all_requests_matter() {
+        let input = reqs(7);
+        let out = shrink(&input, |rs| rs.len() == 7);
+        assert_eq!(out.len(), 7);
+    }
+}

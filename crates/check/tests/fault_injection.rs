@@ -1,0 +1,77 @@
+//! Acceptance: the fuzz harness, pointed at a deliberately injected
+//! off-by-one, finds the violation and shrinks it to ≤ 8 requests.
+
+use eirene_check::{FaultSpec, FuzzOptions, FuzzOutcome, FuzzTree, Violation};
+
+#[test]
+fn harness_finds_and_shrinks_injected_off_by_one() {
+    let opts = FuzzOptions {
+        seed: 7,
+        batches: 50,
+        batch_size: 128,
+        domain: 1024,
+        initial_keys: 1024,
+        trees: vec![FuzzTree::Eirene],
+        deterministic: false,
+        fault: Some(FaultSpec {
+            key_mod: 64,
+            residue: 7,
+        }),
+        repro: None,
+    };
+    let failure = match eirene_check::run_fuzz(&opts) {
+        FuzzOutcome::Failed(f) => f,
+        FuzzOutcome::Passed { cases } => {
+            panic!("fuzzer missed the injected off-by-one across {cases} cases")
+        }
+    };
+    assert!(
+        failure.shrunk.len() <= 8,
+        "reproducer not minimal: {} requests\n{failure}",
+        failure.shrunk.len()
+    );
+    match &failure.violation {
+        Violation::Response { request, .. } => {
+            assert_eq!(
+                request.key % 64,
+                7,
+                "shrunk violation should isolate a faulted key\n{failure}"
+            );
+        }
+        other => panic!("expected a response violation, got {other:?}"),
+    }
+    // The report must carry everything needed to replay the case.
+    let report = failure.to_string();
+    assert!(report.contains("batch seed"));
+    assert!(report.contains("minimal reproducer"));
+}
+
+#[test]
+fn harness_also_fires_under_deterministic_scheduling() {
+    let opts = FuzzOptions {
+        seed: 11,
+        batches: 20,
+        batch_size: 96,
+        domain: 512,
+        initial_keys: 512,
+        trees: vec![FuzzTree::EireneCombining],
+        deterministic: true,
+        fault: Some(FaultSpec {
+            key_mod: 32,
+            residue: 3,
+        }),
+        repro: None,
+    };
+    match eirene_check::run_fuzz(&opts) {
+        FuzzOutcome::Failed(f) => {
+            assert!(
+                f.device_seed.is_some(),
+                "deterministic runs report the seed"
+            );
+            assert!(f.shrunk.len() <= 8, "reproducer not minimal:\n{f}");
+        }
+        FuzzOutcome::Passed { cases } => {
+            panic!("fuzzer missed the injected fault across {cases} cases")
+        }
+    }
+}

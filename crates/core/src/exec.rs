@@ -524,8 +524,13 @@ fn resolve_run(
     };
     for &orig in reqs {
         let req = &batch.requests[orig as usize];
-        // Artificial queries with earlier timestamps resolve first.
-        while ai < arts.len() && arts[ai].ts < req.ts {
+        // Artificial queries with earlier timestamp *ranks* resolve first.
+        // Ranks (position in the `(ts, batch index)` order) rather than raw
+        // timestamps: on an equal timestamp, the request earlier in the
+        // batch wins, exactly as the oracle's stable sort orders it. A raw
+        // `ts <` comparison would resolve an equal-ts artificial query
+        // after the point request and hand the range the *new* value.
+        while ai < arts.len() && arts[ai].rank < plan.rank[orig as usize] {
             let a = &arts[ai];
             range_results[a.range_idx as usize].set(a.offset as usize, value_at(state));
             ai += 1;

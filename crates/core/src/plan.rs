@@ -57,6 +57,12 @@ pub struct Artificial {
     pub range_idx: u32,
     pub offset: u32,
     pub ts: u64,
+    /// Timestamp *rank* of the originating range request — the position of
+    /// `(ts, batch index)` in the batch's total order. Result calculation
+    /// orders an artificial query against a point request by rank, so two
+    /// requests sharing a raw timestamp resolve in batch order, matching
+    /// the oracle's stable sort.
+    pub rank: u32,
 }
 
 /// Output of the combining phase.
@@ -70,8 +76,13 @@ pub struct CombinePlan {
     pub issued: Vec<Issued>,
     /// Range queries in ascending lower-bound order.
     pub ranges: Vec<RangeReq>,
-    /// Artificial queries per run, each list sorted by timestamp.
+    /// Artificial queries per run, each list sorted by timestamp rank.
     pub run_art: Vec<Vec<Artificial>>,
+    /// Timestamp rank per original batch position: the index of
+    /// `(ts, batch position)` in the batch's sorted total order. Breaks
+    /// equal-timestamp ties exactly as the sequential oracle's stable sort
+    /// does.
+    pub rank: Vec<u32>,
     /// Modelled device cost of sorting + combining + artificial-query
     /// generation.
     pub cost: PrimCost,
@@ -207,9 +218,10 @@ pub fn build_plan(batch: &Batch, cfg: &DeviceConfig) -> CombinePlan {
                     range_idx,
                     offset: (k - r.lo as u64) as u32,
                     ts: r.ts,
+                    rank: rank[r.orig_idx as usize],
                 });
             }
-            run_art[run_i].sort_unstable_by_key(|a| a.ts);
+            run_art[run_i].sort_unstable_by_key(|a| a.rank);
         }
     }
 
@@ -227,6 +239,7 @@ pub fn build_plan(batch: &Batch, cfg: &DeviceConfig) -> CombinePlan {
         issued,
         ranges,
         run_art,
+        rank,
         cost,
     }
 }

@@ -1,5 +1,7 @@
 //! Device configuration: geometry and latency model.
 
+use crate::sched::SchedMode;
+
 /// Geometry and cost model of the simulated device.
 ///
 /// Defaults approximate an NVIDIA A100 (108 SMs, 32-lane warps, 1.41 GHz).
@@ -46,6 +48,11 @@ pub struct DeviceConfig {
     /// allocates per-event and is meant for timeline inspection, not
     /// steady-state benchmarking.
     pub trace: bool,
+    /// Warp scheduling mode. `Os` (default) runs warps in parallel on OS
+    /// threads; `Deterministic { seed }` serializes warps under a seeded
+    /// cooperative scheduler so a `(seed, kernel)` pair replays the same
+    /// interleaving bit-for-bit, with schedule capture for replay.
+    pub sched: SchedMode,
 }
 
 impl Default for DeviceConfig {
@@ -63,6 +70,7 @@ impl Default for DeviceConfig {
             worker_threads: 0,
             yield_interval: 24,
             trace: false,
+            sched: SchedMode::Os,
         }
     }
 }
@@ -76,6 +84,13 @@ impl DeviceConfig {
             warps_per_sm: 2,
             ..Self::default()
         }
+    }
+
+    /// Returns a copy that launches kernels under the seeded deterministic
+    /// scheduler (see [`SchedMode::Deterministic`]).
+    pub fn with_deterministic_sched(mut self, seed: u64) -> Self {
+        self.sched = SchedMode::Deterministic { seed };
+        self
     }
 
     /// Words (u64) per coalesced transaction.

@@ -2,8 +2,12 @@
 
 use crate::config::DeviceConfig;
 use crate::mem::GlobalMemory;
+use crate::sched::{launch_seed, DetScheduler, LaunchSchedule, SchedMode, ScheduleLog};
 use crate::stats::{KernelStats, WarpStats};
 use crate::warp::WarpCtx;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Raw pointer wrapper for disjoint per-warp result slots.
 struct SendPtr<T>(*mut T);
@@ -21,6 +25,32 @@ impl<T> SendPtr<T> {
 unsafe impl<T> Send for SendPtr<T> {}
 unsafe impl<T> Sync for SendPtr<T> {}
 
+/// First panic captured out of a kernel launch: the offending warp id plus
+/// the original payload.
+type KernelPanic = (usize, Box<dyn std::any::Any + Send>);
+
+/// Best-effort text of a panic payload (the common `&str`/`String` cases).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Re-raises a captured kernel panic, annotated with the kernel name and
+/// the warp that actually panicked (rather than a misleading downstream
+/// `expect` failure for some unrelated warp).
+fn resume_kernel_panic(name: &str, failure: KernelPanic) -> ! {
+    let (wid, payload) = failure;
+    std::panic::panic_any(format!(
+        "kernel '{name}' panicked in warp {wid}: {}",
+        panic_message(payload.as_ref())
+    ))
+}
+
 /// A simulated GPU: a global-memory arena plus a configuration, able to
 /// launch kernels.
 ///
@@ -29,11 +59,29 @@ unsafe impl<T> Sync for SendPtr<T> {}
 /// exhibits genuine contention. The launch returns aggregated
 /// [`KernelStats`] including a makespan computed under the SM occupancy
 /// model: warps are assigned to SMs round-robin, an SM's time is the sum of
-/// its warps' cycles divided by the number of concurrently-resident warps,
-/// and the kernel's makespan is the slowest SM plus launch overhead.
+/// its warps' cycles divided by the number of concurrently-resident warps
+/// (capped at the configured occupancy, and never more than the warps the
+/// SM actually hosts), and the kernel's makespan is the slowest SM plus
+/// launch overhead.
+///
+/// Scheduling: under [`SchedMode::Os`] (default) warps run in parallel on
+/// OS threads. Under [`SchedMode::Deterministic`] the launch serializes
+/// warps beneath a seeded cooperative scheduler
+/// ([`DetScheduler`](crate::DetScheduler)) so the interleaving — and with
+/// it every conflict, allocation, and statistic — replays bit-for-bit for
+/// a given seed; each launch's warp-grant sequence is captured and can be
+/// drained with [`take_schedule_log`](Self::take_schedule_log) and
+/// force-replayed with [`set_replay_log`](Self::set_replay_log).
 pub struct Device {
     mem: GlobalMemory,
     cfg: DeviceConfig,
+    /// Monotonic launch counter; derives per-launch PRNG seeds in
+    /// deterministic mode.
+    launches: AtomicU64,
+    /// Schedules captured by deterministic launches since the last drain.
+    sched_log: Mutex<ScheduleLog>,
+    /// Pending replay queue: schedules consumed launch-by-launch.
+    replay: Mutex<Option<(ScheduleLog, usize)>>,
 }
 
 impl Device {
@@ -42,6 +90,9 @@ impl Device {
         Device {
             mem: GlobalMemory::new(arena_words),
             cfg,
+            launches: AtomicU64::new(0),
+            sched_log: Mutex::new(ScheduleLog::default()),
+            replay: Mutex::new(None),
         }
     }
 
@@ -58,38 +109,173 @@ impl Device {
         &self.cfg
     }
 
+    /// Drains the schedules captured by deterministic launches since the
+    /// last call (empty under [`SchedMode::Os`]).
+    pub fn take_schedule_log(&self) -> ScheduleLog {
+        std::mem::take(&mut self.sched_log.lock().unwrap())
+    }
+
+    /// Queues a captured schedule log for replay: subsequent deterministic
+    /// launches consume it in order instead of drawing fresh PRNG
+    /// decisions.
+    ///
+    /// # Panics
+    /// A consuming launch panics if its kernel name or warp count diverges
+    /// from the recorded entry — the replayed workload must be the one that
+    /// produced the log.
+    pub fn set_replay_log(&self, log: ScheduleLog) {
+        *self.replay.lock().unwrap() = Some((log, 0));
+    }
+
     /// Launches `num_warps` warps running `kernel` and aggregates their
     /// statistics. The closure receives the warp id and its context.
     ///
-    /// Warps execute on a pool of **oversubscribed** OS threads
+    /// In OS mode warps execute on a pool of **oversubscribed** OS threads
     /// ([`DeviceConfig::effective_workers`]); combined with the cooperative
     /// yields injected by [`WarpCtx`], co-resident warps interleave at
     /// memory-access granularity — so device-side synchronization exhibits
-    /// real contention regardless of how many host cores exist.
+    /// real contention regardless of how many host cores exist. In
+    /// deterministic mode each warp gets a dedicated (mostly parked)
+    /// thread and a seeded scheduler serializes their stepping.
+    ///
+    /// # Panics
+    /// If the kernel panics in any warp, the launch re-raises the first
+    /// captured panic annotated with the offending warp id.
     pub fn launch<F>(&self, name: &str, num_warps: usize, kernel: F) -> KernelStats
     where
         F: Fn(usize, &mut WarpCtx) + Sync,
     {
+        match self.cfg.sched {
+            SchedMode::Os => self.launch_os(name, num_warps, kernel),
+            SchedMode::Deterministic { seed } => self.launch_det(name, num_warps, seed, kernel),
+        }
+    }
+
+    fn launch_os<F>(&self, name: &str, num_warps: usize, kernel: F) -> KernelStats
+    where
+        F: Fn(usize, &mut WarpCtx) + Sync,
+    {
         let workers = self.cfg.effective_workers().min(num_warps.max(1));
-        let next = std::sync::atomic::AtomicUsize::new(0);
+        let next = AtomicUsize::new(0);
         let kernel = &kernel;
         let mut warp_stats: Vec<Option<WarpStats>> = vec![None; num_warps];
         let slots = SendPtr(warp_stats.as_mut_ptr());
+        let failure: Mutex<Option<KernelPanic>> = Mutex::new(None);
+        let poisoned = AtomicBool::new(false);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let next = &next;
+                let failure = &failure;
+                let poisoned = &poisoned;
                 scope.spawn(move || loop {
-                    let wid = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if poisoned.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let wid = next.fetch_add(1, Ordering::Relaxed);
                     if wid >= num_warps {
                         return;
                     }
                     let mut ctx = WarpCtx::new(&self.mem, &self.cfg, wid);
-                    kernel(wid, &mut ctx);
-                    // SAFETY: each wid is claimed by exactly one worker.
-                    unsafe { *slots.get().add(wid) = Some(ctx.into_stats()) };
+                    match catch_unwind(AssertUnwindSafe(|| kernel(wid, &mut ctx))) {
+                        // SAFETY: each wid is claimed by exactly one worker.
+                        Ok(()) => unsafe { *slots.get().add(wid) = Some(ctx.into_stats()) },
+                        Err(payload) => {
+                            poisoned.store(true, Ordering::Relaxed);
+                            let mut f = failure.lock().unwrap_or_else(|e| e.into_inner());
+                            if f.is_none() {
+                                *f = Some((wid, payload));
+                            }
+                            return;
+                        }
+                    }
                 });
             }
         });
+        if let Some(f) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            resume_kernel_panic(name, f);
+        }
+        let warp_stats: Vec<WarpStats> = warp_stats
+            .into_iter()
+            .map(|s| s.expect("warp ran"))
+            .collect();
+        self.aggregate(name, &warp_stats)
+    }
+
+    fn launch_det<F>(&self, name: &str, num_warps: usize, seed: u64, kernel: F) -> KernelStats
+    where
+        F: Fn(usize, &mut WarpCtx) + Sync,
+    {
+        let launch_idx = self.launches.fetch_add(1, Ordering::Relaxed);
+        if num_warps == 0 {
+            return self.aggregate(name, &[]);
+        }
+        // Replay takes precedence over fresh PRNG decisions.
+        let recorded: Option<Vec<u32>> = {
+            let mut guard = self.replay.lock().unwrap();
+            match guard.as_mut() {
+                Some((log, pos)) if *pos < log.launches.len() => {
+                    let entry = &log.launches[*pos];
+                    assert!(
+                        entry.name == name && entry.num_warps as usize == num_warps,
+                        "replay schedule mismatch: recorded '{}' ({} warps), \
+                         launching '{}' ({} warps)",
+                        entry.name,
+                        entry.num_warps,
+                        name,
+                        num_warps,
+                    );
+                    let choices = entry.choices.clone();
+                    *pos += 1;
+                    Some(choices)
+                }
+                _ => None,
+            }
+        };
+        let sched = match recorded {
+            Some(choices) => DetScheduler::replaying(num_warps, choices),
+            None => DetScheduler::seeded(num_warps, launch_seed(seed, launch_idx)),
+        };
+        let kernel = &kernel;
+        let sched_ref = &sched;
+        let mut warp_stats: Vec<Option<WarpStats>> = vec![None; num_warps];
+        let slots = SendPtr(warp_stats.as_mut_ptr());
+        let failure: Mutex<Option<KernelPanic>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for wid in 0..num_warps {
+                let failure = &failure;
+                scope.spawn(move || {
+                    sched_ref.warp_begin(wid);
+                    let mut ctx = WarpCtx::with_scheduler(&self.mem, &self.cfg, wid, sched_ref);
+                    let r = catch_unwind(AssertUnwindSafe(|| kernel(wid, &mut ctx)));
+                    match r {
+                        // SAFETY: each wid has exactly one thread.
+                        Ok(()) => unsafe { *slots.get().add(wid) = Some(ctx.into_stats()) },
+                        Err(payload) => {
+                            let mut f = failure.lock().unwrap_or_else(|e| e.into_inner());
+                            if f.is_none() {
+                                *f = Some((wid, payload));
+                            }
+                        }
+                    }
+                    // Hand the token back even on panic, or the
+                    // coordinator would wait forever.
+                    sched_ref.warp_finished(wid);
+                });
+            }
+            sched_ref.drive();
+        });
+        self.sched_log
+            .lock()
+            .unwrap()
+            .launches
+            .push(LaunchSchedule {
+                name: name.to_string(),
+                num_warps: num_warps as u32,
+                choices: sched.take_choices(),
+            });
+        if let Some(f) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            resume_kernel_panic(name, f);
+        }
         let warp_stats: Vec<WarpStats> = warp_stats
             .into_iter()
             .map(|s| s.expect("warp ran"))
@@ -115,13 +301,24 @@ impl Device {
 
     fn aggregate(&self, name: &str, warp_stats: &[WarpStats]) -> KernelStats {
         let mut totals = WarpStats::default();
-        let mut per_sm = vec![0u64; self.cfg.num_sms];
+        // Per SM: summed cycles and the number of warps it actually hosts.
+        let mut per_sm = vec![(0u64, 0usize); self.cfg.num_sms];
         for (wid, ws) in warp_stats.iter().enumerate() {
             totals.merge(ws);
-            per_sm[wid % self.cfg.num_sms] += ws.cycles;
+            let sm = &mut per_sm[wid % self.cfg.num_sms];
+            sm.0 += ws.cycles;
+            sm.1 += 1;
         }
-        let slowest_sm = per_sm.iter().copied().max().unwrap_or(0) as f64;
-        let makespan = slowest_sm / self.cfg.warps_per_sm as f64 + self.cfg.launch_overhead as f64;
+        // An SM's makespan is its cycle sum divided by the warps making
+        // concurrent progress on it: the configured occupancy, but never
+        // more than the warps the SM was actually assigned — an
+        // under-occupied launch gets no imaginary speedup.
+        let slowest_sm = per_sm
+            .iter()
+            .filter(|&&(_, warps)| warps > 0)
+            .map(|&(cycles, warps)| cycles as f64 / warps.min(self.cfg.warps_per_sm) as f64)
+            .fold(0.0f64, f64::max);
+        let makespan = slowest_sm + self.cfg.launch_overhead as f64;
         KernelStats {
             name: name.to_string(),
             warps: warp_stats.len() as u64,
@@ -183,6 +380,91 @@ mod tests {
     }
 
     #[test]
+    fn underoccupied_launch_is_not_divided_by_full_occupancy() {
+        // Regression: a 1-warp launch must report the warp's own cycles
+        // (plus launch overhead), not cycles / warps_per_sm.
+        let cfg = DeviceConfig {
+            num_sms: 4,
+            warps_per_sm: 8,
+            ..DeviceConfig::default()
+        };
+        let dev = Device::new(1 << 12, cfg.clone());
+        let a = dev.mem().alloc(1);
+        let stats = dev.launch("one", 1, |_, ctx| {
+            for _ in 0..10 {
+                ctx.read(a);
+            }
+        });
+        let warp_cycles = 10.0 * cfg.mem_latency as f64;
+        assert!(
+            (stats.makespan_cycles - (warp_cycles + cfg.launch_overhead as f64)).abs() < 1e-9,
+            "1-warp makespan {} != warp cycles {} + overhead {}",
+            stats.makespan_cycles,
+            warp_cycles,
+            cfg.launch_overhead
+        );
+    }
+
+    #[test]
+    fn partially_occupied_sm_divides_by_its_resident_warps() {
+        // 3 warps on one SM with occupancy 8: the SM hosts 3 warps, so its
+        // time is the cycle sum over 3, not over 8.
+        let cfg = DeviceConfig {
+            num_sms: 1,
+            warps_per_sm: 8,
+            launch_overhead: 0,
+            ..DeviceConfig::default()
+        };
+        let dev = Device::new(1 << 12, cfg.clone());
+        let a = dev.mem().alloc(1);
+        let stats = dev.launch("three", 3, |_, ctx| {
+            ctx.read(a);
+        });
+        let expect = 3.0 * cfg.mem_latency as f64 / 3.0;
+        assert!((stats.makespan_cycles - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_panic_reports_offending_warp() {
+        let dev = Device::new(1 << 12, DeviceConfig::test_small());
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            dev.launch("boom", 8, |wid, _ctx| {
+                if wid == 3 {
+                    panic!("injected fault");
+                }
+            });
+        }))
+        .expect_err("launch must propagate the kernel panic");
+        let msg = panic_message(err.as_ref());
+        assert!(
+            msg.contains("warp 3") && msg.contains("injected fault"),
+            "unhelpful panic message: {msg}"
+        );
+        assert!(msg.contains("boom"), "missing kernel name: {msg}");
+    }
+
+    #[test]
+    fn kernel_panic_reports_offending_warp_in_det_mode() {
+        let dev = Device::new(
+            1 << 12,
+            DeviceConfig::test_small().with_deterministic_sched(1),
+        );
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            dev.launch("boom-det", 4, |wid, _ctx| {
+                if wid == 2 {
+                    panic!("det fault");
+                }
+            });
+        }))
+        .expect_err("launch must propagate the kernel panic");
+        let msg = panic_message(err.as_ref());
+        assert!(
+            msg.contains("warp 2") && msg.contains("det fault"),
+            "unhelpful panic message: {msg}"
+        );
+    }
+
+    #[test]
     fn warps_contend_on_shared_memory() {
         let dev = Device::new(1 << 12, DeviceConfig::test_small());
         let cell = dev.mem().alloc(1);
@@ -199,6 +481,99 @@ mod tests {
             }
         });
         assert_eq!(dev.mem().read(cell), 3200);
+    }
+
+    #[test]
+    fn det_launch_is_bit_identical_for_a_seed() {
+        let run = || {
+            let dev = Device::new(
+                1 << 12,
+                DeviceConfig::test_small().with_deterministic_sched(0xDECAF),
+            );
+            let cell = dev.mem().alloc(1);
+            let stats = dev.launch("det-cas", 8, |_, ctx| {
+                for _ in 0..50 {
+                    loop {
+                        let cur = ctx.read(cell);
+                        if ctx.atomic_cas(cell, cur, cur + 1).is_ok() {
+                            break;
+                        }
+                        ctx.lock_conflict();
+                    }
+                }
+            });
+            assert_eq!(dev.mem().read(cell), 400);
+            (stats, dev.take_schedule_log())
+        };
+        let (s1, log1) = run();
+        let (s2, log2) = run();
+        assert_eq!(s1, s2, "KernelStats must be bit-identical");
+        assert_eq!(log1, log2, "schedules must be bit-identical");
+        assert_eq!(log1.launches.len(), 1);
+        assert!(!log1.launches[0].choices.is_empty());
+    }
+
+    #[test]
+    fn det_launches_with_different_seeds_can_differ() {
+        let run = |seed| {
+            let dev = Device::new(
+                1 << 12,
+                DeviceConfig::test_small().with_deterministic_sched(seed),
+            );
+            let cell = dev.mem().alloc(1);
+            dev.launch("det", 8, |_, ctx| {
+                for _ in 0..20 {
+                    ctx.atomic_add(cell, 1);
+                }
+            });
+            dev.take_schedule_log()
+        };
+        // Not a hard guarantee for any seed pair, but these differ.
+        assert_ne!(run(1), run(2), "seeds 1 and 2 produced equal schedules");
+    }
+
+    #[test]
+    fn captured_schedule_replays_identically() {
+        let mk = || {
+            Device::new(
+                1 << 12,
+                DeviceConfig::test_small().with_deterministic_sched(77),
+            )
+        };
+        let kernel = |_: usize, ctx: &mut WarpCtx| {
+            for _ in 0..30 {
+                let cur = ctx.read(0);
+                let _ = ctx.atomic_cas(0, cur, cur + 1);
+            }
+        };
+        let dev1 = mk();
+        let s1 = dev1.launch("replayable", 6, kernel);
+        let log = dev1.take_schedule_log();
+        // Round-trip through the text form, as a saved reproducer would.
+        let log = ScheduleLog::parse(&log.serialize()).unwrap();
+
+        let dev2 = mk();
+        dev2.set_replay_log(log.clone());
+        let s2 = dev2.launch("replayable", 6, kernel);
+        assert_eq!(s1, s2, "replayed stats must match the original");
+        assert_eq!(dev2.take_schedule_log(), log, "replay re-captures itself");
+    }
+
+    #[test]
+    #[should_panic(expected = "replay schedule mismatch")]
+    fn replay_rejects_diverging_launch() {
+        let dev = Device::new(
+            1 << 12,
+            DeviceConfig::test_small().with_deterministic_sched(5),
+        );
+        dev.set_replay_log(ScheduleLog {
+            launches: vec![LaunchSchedule {
+                name: "other".into(),
+                num_warps: 2,
+                choices: vec![0, 1],
+            }],
+        });
+        dev.launch("mine", 4, |_, _| {});
     }
 
     #[test]
@@ -231,5 +606,12 @@ mod tests {
         let stats = dev.launch("empty", 0, |_, _| {});
         assert_eq!(stats.warps, 0);
         assert_eq!(stats.totals.requests, 0);
+
+        let det = Device::new(
+            1 << 12,
+            DeviceConfig::test_small().with_deterministic_sched(0),
+        );
+        let stats = det.launch("empty-det", 0, |_, _| {});
+        assert_eq!(stats.warps, 0);
     }
 }

@@ -25,12 +25,16 @@
 mod config;
 mod device;
 mod mem;
+mod sched;
 mod stats;
 mod warp;
 
 pub use config::DeviceConfig;
 pub use device::Device;
 pub use mem::{Addr, GlobalMemory, NULL_ADDR};
+pub use sched::{
+    DetScheduler, LaunchSchedule, OsScheduler, SchedMode, ScheduleLog, Scheduler, OS_SCHEDULER,
+};
 pub use stats::{KernelStats, WarpStats};
 pub use warp::WarpCtx;
 

@@ -1,0 +1,403 @@
+//! Pluggable warp scheduling: OS yields by default, seeded deterministic
+//! cooperative stepping for reproducible concurrency testing.
+//!
+//! Every instrumented device operation passes through
+//! [`WarpCtx::maybe_yield`](crate::WarpCtx), which delegates to a
+//! [`Scheduler`]. Two implementations exist:
+//!
+//! * [`OsScheduler`] — the production default: a bare
+//!   `std::thread::yield_now()`, leaving interleaving to the OS. Fast and
+//!   genuinely parallel, but a failing interleaving is unreproducible.
+//! * [`DetScheduler`] — one warp runs at a time; at every yield point the
+//!   token returns to a coordinator that picks the next warp from a seeded
+//!   PRNG (or from a recorded schedule). A given `(seed, kernel)` pair
+//!   therefore replays the *same* interleaving bit-for-bit, and the chosen
+//!   warp sequence is captured as a [`LaunchSchedule`] that can be
+//!   serialized and replayed later.
+//!
+//! Deterministic mode serializes execution, so it is meant for correctness
+//! work (the differential fuzzer in `eirene-check`, regression replay), not
+//! for timing figures — the cycle model is unaffected either way.
+
+use std::sync::{Condvar, Mutex};
+
+/// Yield-point hook used by [`WarpCtx`](crate::WarpCtx). Implementations
+/// decide what "this warp offers to interleave here" means.
+pub trait Scheduler: Sync {
+    /// Called by the thread running warp `warp_id` at each cooperative
+    /// yield point. May block until the warp is scheduled again.
+    fn yield_point(&self, warp_id: usize);
+}
+
+/// Default scheduler: hand the decision to the OS.
+pub struct OsScheduler;
+
+impl Scheduler for OsScheduler {
+    #[inline]
+    fn yield_point(&self, _warp_id: usize) {
+        std::thread::yield_now();
+    }
+}
+
+/// Shared instance for contexts created outside a deterministic launch.
+pub static OS_SCHEDULER: OsScheduler = OsScheduler;
+
+/// Which scheduler a [`Device`](crate::Device) launches kernels under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// OS-scheduled worker threads with plain `yield_now` interleaving
+    /// points (today's default behavior).
+    #[default]
+    Os,
+    /// Seeded deterministic cooperative stepping: warps execute one at a
+    /// time, interleaved at yield points by a PRNG derived from `seed` and
+    /// the launch index, with schedule capture for replay.
+    Deterministic { seed: u64 },
+}
+
+/// The warp-choice sequence of one deterministic launch: `choices[i]` is
+/// the warp granted the execution token at scheduling step `i`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LaunchSchedule {
+    /// Kernel name the launch was issued with.
+    pub name: String,
+    /// Number of warps in the launch.
+    pub num_warps: u32,
+    /// Warp ids in grant order.
+    pub choices: Vec<u32>,
+}
+
+/// Ordered log of every deterministic launch a device performed. One
+/// tree-level batch spans several launches (query kernel, update kernel),
+/// so replaying a failure means replaying the whole log in order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScheduleLog {
+    pub launches: Vec<LaunchSchedule>,
+}
+
+impl ScheduleLog {
+    /// Serializes the log to a line-oriented text form (stable across
+    /// versions of this crate; see [`ScheduleLog::parse`]).
+    pub fn serialize(&self) -> String {
+        let mut out = String::from("eirene-schedule v1\n");
+        for l in &self.launches {
+            out.push_str(&l.name);
+            out.push('\t');
+            out.push_str(&l.num_warps.to_string());
+            out.push('\t');
+            for (i, c) in l.choices.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text form produced by [`ScheduleLog::serialize`].
+    pub fn parse(text: &str) -> Result<ScheduleLog, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("eirene-schedule v1") => {}
+            other => return Err(format!("bad schedule header: {other:?}")),
+        }
+        let mut launches = Vec::new();
+        for (ln, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let (name, warps, choices) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(n), Some(w), Some(c)) => (n, w, c),
+                _ => return Err(format!("line {}: expected 3 tab-separated fields", ln + 2)),
+            };
+            let num_warps: u32 = warps
+                .parse()
+                .map_err(|e| format!("line {}: bad warp count: {e}", ln + 2))?;
+            let choices: Vec<u32> = if choices.is_empty() {
+                Vec::new()
+            } else {
+                choices
+                    .split(',')
+                    .map(|c| c.parse::<u32>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("line {}: bad choice: {e}", ln + 2))?
+            };
+            launches.push(LaunchSchedule {
+                name: name.to_string(),
+                num_warps,
+                choices,
+            });
+        }
+        Ok(ScheduleLog { launches })
+    }
+}
+
+/// SplitMix64: small, seedable, dependency-free PRNG driving scheduling
+/// decisions. Statistical quality is ample for interleaving exploration.
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Derives the per-launch seed from the device seed and the launch index,
+/// so each launch under one device gets an independent but reproducible
+/// decision stream.
+pub(crate) fn launch_seed(device_seed: u64, launch_index: u64) -> u64 {
+    SplitMix64::new(device_seed ^ launch_index.wrapping_mul(0xA076_1D64_78BD_642F)).next()
+}
+
+/// Who currently holds the execution token.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Turn {
+    Coordinator,
+    Warp(usize),
+}
+
+enum ChoiceSource {
+    Rng(SplitMix64),
+    /// Recorded choices plus a cursor; once exhausted (or on divergence)
+    /// the scheduler falls back to the first runnable warp.
+    Replay(Vec<u32>, usize),
+}
+
+struct DetState {
+    turn: Turn,
+    finished: Vec<bool>,
+    live: usize,
+    source: ChoiceSource,
+    choices: Vec<u32>,
+}
+
+impl DetState {
+    fn pick(&mut self) -> usize {
+        let runnable: Vec<usize> = (0..self.finished.len())
+            .filter(|&w| !self.finished[w])
+            .collect();
+        debug_assert!(!runnable.is_empty());
+        let w = match &mut self.source {
+            ChoiceSource::Rng(rng) => runnable[(rng.next() % runnable.len() as u64) as usize],
+            ChoiceSource::Replay(choices, pos) => {
+                let recorded = choices.get(*pos).map(|&c| c as usize);
+                *pos += 1;
+                match recorded {
+                    Some(c) if c < self.finished.len() && !self.finished[c] => c,
+                    _ => runnable[0],
+                }
+            }
+        };
+        self.choices.push(w as u32);
+        w
+    }
+}
+
+/// Coordinator for one deterministic launch: grants the execution token to
+/// one warp at a time and records every grant.
+///
+/// Protocol: warp threads call [`warp_begin`](Self::warp_begin) before
+/// running the kernel, [`yield_point`](Scheduler::yield_point) (through
+/// `WarpCtx`) inside it, and [`warp_finished`](Self::warp_finished) after
+/// it (on every exit path, panic included); the launching thread runs
+/// [`drive`](Self::drive) until every warp finished.
+pub struct DetScheduler {
+    state: Mutex<DetState>,
+    cv: Condvar,
+}
+
+impl DetScheduler {
+    /// PRNG-driven scheduler for `num_warps` warps.
+    pub fn seeded(num_warps: usize, seed: u64) -> Self {
+        Self::with_source(num_warps, ChoiceSource::Rng(SplitMix64::new(seed)))
+    }
+
+    /// Replay scheduler following a recorded choice sequence.
+    pub fn replaying(num_warps: usize, choices: Vec<u32>) -> Self {
+        Self::with_source(num_warps, ChoiceSource::Replay(choices, 0))
+    }
+
+    fn with_source(num_warps: usize, source: ChoiceSource) -> Self {
+        DetScheduler {
+            state: Mutex::new(DetState {
+                turn: Turn::Coordinator,
+                finished: vec![false; num_warps],
+                live: num_warps,
+                source,
+                choices: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, DetState> {
+        // A kernel panic never happens while holding this lock (the lock
+        // guards only token handoff), but a poisoned mutex must not turn a
+        // captured kernel panic into a scheduler panic.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks the warp thread until the coordinator grants it the token
+    /// for the first time.
+    pub fn warp_begin(&self, warp_id: usize) {
+        let mut st = self.lock();
+        while st.turn != Turn::Warp(warp_id) {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Marks a warp complete and returns the token to the coordinator.
+    pub fn warp_finished(&self, warp_id: usize) {
+        let mut st = self.lock();
+        if !st.finished[warp_id] {
+            st.finished[warp_id] = true;
+            st.live -= 1;
+        }
+        st.turn = Turn::Coordinator;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Runs the scheduling loop until every warp has finished.
+    pub fn drive(&self) {
+        let mut st = self.lock();
+        loop {
+            while st.turn != Turn::Coordinator {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if st.live == 0 {
+                return;
+            }
+            let w = st.pick();
+            st.turn = Turn::Warp(w);
+            self.cv.notify_all();
+        }
+    }
+
+    /// The grant sequence recorded so far (normally read after `drive`
+    /// returns).
+    pub fn take_choices(&self) -> Vec<u32> {
+        std::mem::take(&mut self.lock().choices)
+    }
+}
+
+impl Scheduler for DetScheduler {
+    fn yield_point(&self, warp_id: usize) {
+        let mut st = self.lock();
+        st.turn = Turn::Coordinator;
+        self.cv.notify_all();
+        while st.turn != Turn::Warp(warp_id) {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_log_roundtrips_through_text() {
+        let log = ScheduleLog {
+            launches: vec![
+                LaunchSchedule {
+                    name: "eirene-query".into(),
+                    num_warps: 4,
+                    choices: vec![0, 2, 2, 1, 3, 0],
+                },
+                LaunchSchedule {
+                    name: "empty".into(),
+                    num_warps: 0,
+                    choices: vec![],
+                },
+            ],
+        };
+        let text = log.serialize();
+        assert_eq!(ScheduleLog::parse(&text).unwrap(), log);
+    }
+
+    #[test]
+    fn schedule_parse_rejects_garbage() {
+        assert!(ScheduleLog::parse("not a schedule").is_err());
+        assert!(ScheduleLog::parse("eirene-schedule v1\nname\t4\tx,y").is_err());
+        assert!(ScheduleLog::parse("eirene-schedule v1\nonly-one-field").is_err());
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_moves() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.next()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+        assert_ne!(launch_seed(1, 0), launch_seed(1, 1));
+        assert_eq!(launch_seed(9, 3), launch_seed(9, 3));
+    }
+
+    #[test]
+    fn det_scheduler_serializes_and_records_choices() {
+        // Three "warps" that each append their id at every step they are
+        // granted; the grant order must equal the recorded choices.
+        let sched = DetScheduler::seeded(3, 42);
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for w in 0..3usize {
+                let sched = &sched;
+                let order = &order;
+                scope.spawn(move || {
+                    sched.warp_begin(w);
+                    for _ in 0..5 {
+                        order.lock().unwrap().push(w as u32);
+                        sched.yield_point(w);
+                    }
+                    order.lock().unwrap().push(w as u32);
+                    sched.warp_finished(w);
+                });
+            }
+            sched.drive();
+        });
+        let order = order.into_inner().unwrap();
+        let choices = sched.take_choices();
+        assert_eq!(order.len(), 18, "6 steps per warp");
+        assert_eq!(choices, order, "grant sequence must match execution");
+    }
+
+    #[test]
+    fn replay_follows_recorded_choices() {
+        let run = |sched: DetScheduler| {
+            let order = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for w in 0..3usize {
+                    let sched = &sched;
+                    let order = &order;
+                    scope.spawn(move || {
+                        sched.warp_begin(w);
+                        for _ in 0..4 {
+                            order.lock().unwrap().push(w as u32);
+                            sched.yield_point(w);
+                        }
+                        sched.warp_finished(w);
+                    });
+                }
+                sched.drive();
+            });
+            (order.into_inner().unwrap(), sched.take_choices())
+        };
+        let (order1, choices1) = run(DetScheduler::seeded(3, 1234));
+        let (order2, choices2) = run(DetScheduler::replaying(3, choices1.clone()));
+        assert_eq!(order1, order2);
+        assert_eq!(choices1, choices2);
+    }
+}

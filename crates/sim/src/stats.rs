@@ -104,7 +104,7 @@ impl WarpStats {
 }
 
 /// Aggregated result of one kernel launch (or several merged launches).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct KernelStats {
     /// Kernel name(s), for reporting.
     pub name: String,

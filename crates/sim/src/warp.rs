@@ -3,6 +3,7 @@
 
 use crate::config::DeviceConfig;
 use crate::mem::{Addr, GlobalMemory};
+use crate::sched::{Scheduler, OS_SCHEDULER};
 use crate::stats::WarpStats;
 use eirene_telemetry::{Phase, TraceEvent, TraceEventKind};
 
@@ -39,13 +40,26 @@ pub struct WarpCtx<'a> {
     phase: Phase,
     req_start: u64,
     ops_since_yield: u32,
+    sched: &'a dyn Scheduler,
 }
 
 impl<'a> WarpCtx<'a> {
-    /// Creates a context. Normally called by
+    /// Creates a context under the default OS scheduler. Normally called by
     /// [`Device::launch`](crate::Device::launch); public so lower-level
     /// crates can unit-test device code without a full launch.
     pub fn new(mem: &'a GlobalMemory, cfg: &'a DeviceConfig, warp_id: usize) -> Self {
+        Self::with_scheduler(mem, cfg, warp_id, &OS_SCHEDULER)
+    }
+
+    /// Creates a context whose yield points report to `sched` — used by
+    /// deterministic launches, where the scheduler decides which warp runs
+    /// after every yield.
+    pub fn with_scheduler(
+        mem: &'a GlobalMemory,
+        cfg: &'a DeviceConfig,
+        warp_id: usize,
+        sched: &'a dyn Scheduler,
+    ) -> Self {
         WarpCtx {
             mem,
             cfg,
@@ -56,12 +70,15 @@ impl<'a> WarpCtx<'a> {
             // Stagger the first yield per warp so co-scheduled warps do
             // not advance in lockstep with each other.
             ops_since_yield: (warp_id as u32).wrapping_mul(7) % cfg.yield_interval.max(1),
+            sched,
         }
     }
 
     /// Cooperative interleaving point: with oversubscribed worker threads,
     /// periodic yields make warps alternate at memory-access granularity,
     /// so locks and transactions genuinely contend even on few-core hosts.
+    /// Under a deterministic scheduler this is where the warp hands the
+    /// execution token back.
     #[inline]
     fn maybe_yield(&mut self) {
         if self.cfg.yield_interval == 0 {
@@ -70,7 +87,7 @@ impl<'a> WarpCtx<'a> {
         self.ops_since_yield += 1;
         if self.ops_since_yield >= self.cfg.yield_interval {
             self.ops_since_yield = 0;
-            std::thread::yield_now();
+            self.sched.yield_point(self.warp_id);
         }
     }
 

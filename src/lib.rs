@@ -8,6 +8,7 @@
 
 pub use eirene_baselines as baselines;
 pub use eirene_btree as btree;
+pub use eirene_check as check;
 pub use eirene_core as core;
 pub use eirene_primitives as primitives;
 pub use eirene_sim as sim;

@@ -246,3 +246,77 @@ proptest! {
         r1.clear();
     }
 }
+
+#[test]
+fn equal_timestamp_range_before_update_sees_old_value() {
+    // Range query and upsert on a covered key share a raw timestamp; the
+    // range comes first in the batch, so the oracle's stable sort runs it
+    // first and it must observe the OLD value. Regression: the resolve
+    // pass used a raw `ts <` comparison, which always resolved the
+    // equal-ts artificial query after the point request and handed the
+    // range the new value.
+    let init = pairs(8); // keys 2..=16, key 10 -> value 11
+    let mut tree = EireneTree::new(&init, EireneOptions::test_small());
+    let mut oracle = SequentialOracle::load(&pairs32(8));
+    let batch = Batch::new(vec![
+        Request::range(8, 5, 7),    // covers key 10, ts 7, batch pos 0
+        Request::upsert(10, 99, 7), // same ts, batch pos 1
+    ]);
+    check_batch_against_oracle(&mut tree, &mut oracle, &batch);
+    let got = {
+        let mut t = EireneTree::new(&init, EireneOptions::test_small());
+        t.run_batch(&batch).responses
+    };
+    match &got[0] {
+        Response::Range(slots) => {
+            assert_eq!(
+                slots[2],
+                Some(11),
+                "range at equal ts but earlier batch position must see the old value"
+            );
+        }
+        other => panic!("expected a range response, got {other:?}"),
+    }
+}
+
+#[test]
+fn equal_timestamp_update_before_range_sees_new_value() {
+    // Mirror case: the upsert is earlier in the batch, so the equal-ts
+    // range must observe the NEW value.
+    let init = pairs(8);
+    let mut tree = EireneTree::new(&init, EireneOptions::test_small());
+    let mut oracle = SequentialOracle::load(&pairs32(8));
+    let batch = Batch::new(vec![
+        Request::upsert(10, 99, 7), // batch pos 0
+        Request::range(8, 5, 7),    // same ts, batch pos 1
+    ]);
+    check_batch_against_oracle(&mut tree, &mut oracle, &batch);
+    let got = {
+        let mut t = EireneTree::new(&init, EireneOptions::test_small());
+        t.run_batch(&batch).responses
+    };
+    match &got[1] {
+        Response::Range(slots) => {
+            assert_eq!(
+                slots[2],
+                Some(99),
+                "range at equal ts but later batch position must see the new value"
+            );
+        }
+        other => panic!("expected a range response, got {other:?}"),
+    }
+}
+
+#[test]
+fn equal_timestamp_delete_vs_range_ties_break_by_batch_position() {
+    // Same tie-break with a delete as the state op, both orders.
+    let init = pairs(8);
+    let run = |reqs: Vec<Request>| {
+        let mut tree = EireneTree::new(&init, EireneOptions::test_small());
+        let mut oracle = SequentialOracle::load(&pairs32(8));
+        let batch = Batch::new(reqs);
+        check_batch_against_oracle(&mut tree, &mut oracle, &batch);
+    };
+    run(vec![Request::range(8, 5, 3), Request::delete(10, 3)]);
+    run(vec![Request::delete(10, 3), Request::range(8, 5, 3)]);
+}
