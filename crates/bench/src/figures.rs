@@ -1,7 +1,16 @@
 //! One function per paper figure. Each prints the figure's series and
-//! writes a CSV under `results/`.
+//! writes a CSV under the results directory.
+//!
+//! Figures are declarative about their sweeps: they build the full list
+//! of [`Point`]s first (in the exact order the old serial loops visited
+//! them), hand the list to [`measure_all`] — which fans the independent
+//! (point, repeat) executions across `--jobs` host threads — and then
+//! print and record the results strictly in point order. Output is
+//! therefore identical for every `--jobs` value; only wall-clock changes.
 
-use crate::harness::{default_mix, measure, spec_for, write_csv, Measurement, Scale, TreeKind};
+use crate::harness::{
+    default_mix, measure_all, spec_for, write_csv, Measurement, Point, Scale, TreeKind,
+};
 use eirene_workloads::Mix;
 
 fn fmt_m(v: f64) -> String {
@@ -15,25 +24,29 @@ pub fn fig1(scale: &Scale) {
     println!("== Figure 1: profiling of STM GB-tree and Lock GB-tree ==");
     println!("{:<34}{:>14}{:>14}", "tree", "memory_inst", "control_inst");
     let spec = spec_for(scale.default_exp, scale.batch_size, default_mix(), 1);
+    let points: Vec<Point> = [TreeKind::NoCc, TreeKind::Stm, TreeKind::Lock]
+        .into_iter()
+        .map(|kind| Point::new(kind, spec.clone(), scale.repeats))
+        .collect();
+    let ms = measure_all(&points);
     let mut rows = Vec::new();
-    let mut base: Option<Measurement> = None;
-    for kind in [TreeKind::NoCc, TreeKind::Stm, TreeKind::Lock] {
-        let m = measure(kind, &spec, scale.repeats);
+    let mut base: Option<&Measurement> = None;
+    for m in &ms {
         println!(
             "{:<34}{:>14.1}{:>14.1}",
-            kind.label(),
+            m.tree.label(),
             m.mem_insts,
             m.control_insts
         );
         rows.push(format!(
             "{},{:.2},{:.2}",
-            kind.label(),
+            m.tree.label(),
             m.mem_insts,
             m.control_insts
         ));
-        if kind == TreeKind::NoCc {
-            base = Some(m.clone());
-        } else if let Some(b) = &base {
+        if m.tree == TreeKind::NoCc {
+            base = Some(m);
+        } else if let Some(b) = base {
             println!(
                 "{:<34}{:>13.2}x{:>13.2}x",
                 "  (vs no-CC)",
@@ -56,10 +69,11 @@ pub fn fig2(scale: &Scale) {
     );
     let spec = spec_for(scale.default_exp, scale.batch_size, default_mix(), 2);
     let repeats = scale.repeats.max(5);
-    let ms: Vec<Measurement> = [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene]
+    let points: Vec<Point> = [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene]
         .into_iter()
-        .map(|k| measure(k, &spec, repeats))
+        .map(|kind| Point::new(kind, spec.clone(), repeats))
         .collect();
+    let ms = measure_all(&points);
     let norm = ms[0].avg_ns;
     let mut rows = Vec::new();
     for m in &ms {
@@ -92,15 +106,23 @@ pub fn fig7(scale: &Scale) {
         print!("{e:>10}");
     }
     println!();
+    let kinds = [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene];
+    let mut points = Vec::new();
+    for kind in kinds {
+        for &e in &scale.tree_exps {
+            let spec = spec_for(e, scale.batch_size, default_mix(), 7);
+            points.push(Point::new(kind, spec, scale.repeats));
+        }
+    }
+    let ms = measure_all(&points);
     let mut rows = Vec::new();
     let mut eirene_vs = (0.0f64, 0.0f64); // (stm speedup, lock speedup) at default exp
     let mut stm_tput = 0.0;
     let mut lock_tput = 0.0;
-    for kind in [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene] {
+    for (ki, kind) in kinds.into_iter().enumerate() {
         print!("{:<18}", kind.label());
-        for &e in &scale.tree_exps {
-            let spec = spec_for(e, scale.batch_size, default_mix(), 7);
-            let m = measure(kind, &spec, scale.repeats);
+        for (ei, &e) in scale.tree_exps.iter().enumerate() {
+            let m = &ms[ki * scale.tree_exps.len() + ei];
             print!("{:>10}", fmt_m(m.throughput));
             rows.push(format!("{},{e},{:.0}", kind.label(), m.throughput));
             if e == scale.default_exp {
@@ -133,12 +155,16 @@ pub fn fig8(scale: &Scale) {
     );
     let spec = spec_for(scale.default_exp, scale.batch_size, default_mix(), 8);
     let repeats = scale.repeats.max(5);
+    let points: Vec<Point> = [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene]
+        .into_iter()
+        .map(|kind| Point::new(kind, spec.clone(), repeats))
+        .collect();
+    let ms = measure_all(&points);
     let mut rows = Vec::new();
-    for kind in [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene] {
-        let m = measure(kind, &spec, repeats);
+    for m in &ms {
         println!(
             "{:<18}{:>10.2}{:>10.2}{:>10.2}{:>11.1}%",
-            kind.label(),
+            m.tree.label(),
             m.avg_ns,
             m.min_ns,
             m.max_ns,
@@ -146,7 +172,7 @@ pub fn fig8(scale: &Scale) {
         );
         rows.push(format!(
             "{},{:.3},{:.3},{:.3},{:.4}",
-            kind.label(),
+            m.tree.label(),
             m.avg_ns,
             m.min_ns,
             m.max_ns,
@@ -162,10 +188,11 @@ pub fn fig9(scale: &Scale) {
     crate::metrics::set_context("fig9");
     println!("== Figure 9: metrics profiling of Eirene (normalized) ==");
     let spec = spec_for(scale.default_exp, scale.batch_size, default_mix(), 9);
-    let ms: Vec<Measurement> = [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene]
+    let points: Vec<Point> = [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene]
         .into_iter()
-        .map(|k| measure(k, &spec, scale.repeats))
+        .map(|kind| Point::new(kind, spec.clone(), scale.repeats))
         .collect();
+    let ms = measure_all(&points);
     println!(
         "{:<18}{:>14}{:>14}{:>14}",
         "tree", "mem/req", "ctrl/req", "conflicts/req"
@@ -215,16 +242,24 @@ pub fn fig10(scale: &Scale) {
         print!("{e:>10}");
     }
     println!();
+    let kinds = [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene];
+    let mut points = Vec::new();
+    for kind in kinds {
+        for &e in &scale.tree_exps {
+            let spec = spec_for(e, scale.batch_size, default_mix(), 10);
+            points.push(Point::new(kind, spec, scale.repeats));
+        }
+    }
+    let ms = measure_all(&points);
     let mut rows = Vec::new();
-    let mut stm_steps: Vec<f64> = Vec::new();
-    for kind in [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene] {
+    let stm_steps: Vec<f64> = ms[..scale.tree_exps.len()]
+        .iter()
+        .map(|m| m.steps)
+        .collect();
+    for (ki, kind) in kinds.into_iter().enumerate() {
         print!("{:<18}", kind.label());
         for (i, &e) in scale.tree_exps.iter().enumerate() {
-            let spec = spec_for(e, scale.batch_size, default_mix(), 10);
-            let m = measure(kind, &spec, scale.repeats);
-            if kind == TreeKind::Stm {
-                stm_steps.push(m.steps);
-            }
+            let m = &ms[ki * scale.tree_exps.len() + i];
             let norm = m.steps / stm_steps[i];
             print!("{norm:>10.2}");
             rows.push(format!("{},{e},{:.3},{:.3}", kind.label(), m.steps, norm));
@@ -248,13 +283,21 @@ pub fn fig11(scale: &Scale) {
         print!("{e:>10}");
     }
     println!();
-    let mut rows = Vec::new();
-    let mut at_default = Vec::new();
-    for kind in [TreeKind::Stm, TreeKind::EireneCombining, TreeKind::Eirene] {
-        print!("{:<18}", kind.label());
+    let kinds = [TreeKind::Stm, TreeKind::EireneCombining, TreeKind::Eirene];
+    let mut points = Vec::new();
+    for kind in kinds {
         for &e in &scale.tree_exps {
             let spec = spec_for(e, scale.batch_size, default_mix(), 11);
-            let m = measure(kind, &spec, scale.repeats);
+            points.push(Point::new(kind, spec, scale.repeats));
+        }
+    }
+    let ms = measure_all(&points);
+    let mut rows = Vec::new();
+    let mut at_default = Vec::new();
+    for (ki, kind) in kinds.into_iter().enumerate() {
+        print!("{:<18}", kind.label());
+        for (ei, &e) in scale.tree_exps.iter().enumerate() {
+            let m = &ms[ki * scale.tree_exps.len() + ei];
             print!("{:>10}", fmt_m(m.throughput));
             rows.push(format!("{},{e},{:.0}", kind.label(), m.throughput));
             if e == scale.default_exp {
@@ -281,9 +324,12 @@ pub fn fig12(scale: &Scale) {
     crate::metrics::set_context("fig12");
     println!("== Figure 12: contribution of the optimizations ==");
     let spec = spec_for(scale.default_exp, scale.batch_size, default_mix(), 12);
-    let stm = measure(TreeKind::Stm, &spec, scale.repeats);
-    let comb = measure(TreeKind::EireneCombining, &spec, scale.repeats);
-    let eir = measure(TreeKind::Eirene, &spec, scale.repeats);
+    let points: Vec<Point> = [TreeKind::Stm, TreeKind::EireneCombining, TreeKind::Eirene]
+        .into_iter()
+        .map(|kind| Point::new(kind, spec.clone(), scale.repeats))
+        .collect();
+    let ms = measure_all(&points);
+    let (stm, comb, eir) = (&ms[0], &ms[1], &ms[2]);
     println!(
         "{:<14}{:>14}{:>14}{:>14}",
         "metric", "combining %", "locality %", "total reduction %"
@@ -332,19 +378,31 @@ pub fn fig12(scale: &Scale) {
 pub fn fig13(scale: &Scale) {
     crate::metrics::set_context("fig13");
     println!("== Figure 13: range query throughput (Mreq/s) ==");
+    let lens = [4u32, 8];
+    let kinds = [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene];
+    let repeats = scale.repeats.min(3);
+    let mut points = Vec::new();
+    for len in lens {
+        for kind in kinds {
+            for &e in &scale.tree_exps {
+                let spec = spec_for(e, scale.batch_size, Mix::range_only(len), 13 + len as u64);
+                points.push(Point::new(kind, spec, repeats));
+            }
+        }
+    }
+    let ms = measure_all(&points);
     let mut rows = Vec::new();
-    for len in [4u32, 8] {
+    for (li, len) in lens.into_iter().enumerate() {
         println!("-- range_length_{len} --");
         print!("{:<18}", "tree \\ log2(size)");
         for e in &scale.tree_exps {
             print!("{e:>10}");
         }
         println!();
-        for kind in [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene] {
+        for (ki, kind) in kinds.into_iter().enumerate() {
             print!("{:<18}", kind.label());
-            for &e in &scale.tree_exps {
-                let spec = spec_for(e, scale.batch_size, Mix::range_only(len), 13 + len as u64);
-                let m = measure(kind, &spec, scale.repeats.min(3));
+            for (ei, &e) in scale.tree_exps.iter().enumerate() {
+                let m = &ms[(li * kinds.len() + ki) * scale.tree_exps.len() + ei];
                 print!("{:>10}", fmt_m(m.throughput));
                 rows.push(format!("{},{len},{e},{:.0}", kind.label(), m.throughput));
             }

@@ -4,7 +4,64 @@
 use eirene_baselines::{common::ConcurrentTree, LockTree, NoCcTree, StmTree};
 use eirene_core::{EireneOptions, EireneTree};
 use eirene_sim::{DeviceConfig, KernelStats};
-use eirene_workloads::{Mix, WorkloadGen, WorkloadSpec};
+use eirene_workloads::{Batch, Mix, WorkloadGen, WorkloadSpec};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Host threads figure sweeps fan measurement units across. 0 = unset,
+/// which resolves to the machine's available parallelism.
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the sweep parallelism (the `--jobs N` CLI flag). `1` reproduces
+/// the serial execution order exactly.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Sweep parallelism currently in effect (defaults to available host
+/// parallelism when `set_jobs` was never called).
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Runs `work(i)` for every `i in 0..n`, fanned across up to [`jobs`]
+/// host threads, and returns the results in index order. With one job (or
+/// one unit) the calling thread runs every index in order — byte-for-byte
+/// the serial behaviour. A panicking unit propagates to the caller.
+pub(crate) fn run_indexed<R: Send>(n: usize, work: &(dyn Fn(usize) -> R + Sync)) -> Vec<R> {
+    let workers = jobs().min(n);
+    if workers <= 1 {
+        return (0..n).map(work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = work(i);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every claimed unit stores a result")
+        })
+        .collect()
+}
 
 /// Which concurrent tree to measure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -166,26 +223,121 @@ fn build_tree(
     }
 }
 
-/// Runs `repeats` independent tests of the workload and returns the
-/// averaged measurement. Following the paper's methodology (§8.1, "all
-/// results are averaged by 5-time executions"), each repeat is a fresh
-/// execution: a freshly bulk-loaded tree processing one batch. Cross-test
-/// max/min response times feed the QoS figures; run-to-run differences
-/// come from batch composition and genuine scheduling nondeterminism in
-/// conflict handling (near-zero for Eirene, real for the baselines).
-pub fn measure(kind: TreeKind, spec: &WorkloadSpec, repeats: usize) -> Measurement {
-    let exp = spec.tree_size.trailing_zeros();
-    let pairs: Vec<(u64, u64)> = spec
-        .initial_pairs()
-        .iter()
-        .map(|&(k, v)| (k as u64, v as u64))
-        .collect();
+/// One figure data point: a tree kind run against a workload spec for
+/// `repeats` fresh executions. Points are the unit of fan-out in
+/// [`measure_all`].
+#[derive(Clone, Debug)]
+pub struct Point {
+    pub kind: TreeKind,
+    pub spec: WorkloadSpec,
+    pub repeats: usize,
+}
+
+impl Point {
+    pub fn new(kind: TreeKind, spec: WorkloadSpec, repeats: usize) -> Self {
+        Point {
+            kind,
+            spec,
+            repeats,
+        }
+    }
+}
+
+/// Deterministic lazy batch supply for one point: batch `r` is always the
+/// `r`-th batch the generator produces, no matter which worker thread asks
+/// first, so parallel sweeps consume the identical batch sequence the
+/// serial loop did. Out-of-order batches are parked; the window is
+/// bounded by the number of in-flight repeats (≤ [`jobs`]).
+struct BatchSource {
+    gen: WorkloadGen,
+    produced: usize,
+    parked: Vec<(usize, Batch)>,
+}
+
+impl BatchSource {
+    fn new(spec: &WorkloadSpec) -> Self {
+        BatchSource {
+            gen: WorkloadGen::new(spec.clone()),
+            produced: 0,
+            parked: Vec::new(),
+        }
+    }
+
+    fn take(&mut self, want: usize) -> Batch {
+        if let Some(pos) = self.parked.iter().position(|(i, _)| *i == want) {
+            return self.parked.swap_remove(pos).1;
+        }
+        loop {
+            let batch = self.gen.next_batch();
+            let idx = self.produced;
+            self.produced += 1;
+            if idx == want {
+                return batch;
+            }
+            self.parked.push((idx, batch));
+        }
+    }
+}
+
+/// Shared per-point state touched by its repeat units.
+struct PointState<'a> {
+    point: &'a Point,
+    /// Bulk-load pairs, built once per point by whichever unit gets there
+    /// first (they are identical for every repeat).
+    pairs: OnceLock<Vec<(u64, u64)>>,
+    source: Mutex<BatchSource>,
+}
+
+/// Everything one repeat contributes to its point's measurement.
+struct RepeatOutcome {
+    per_req_ns: f64,
+    tput: f64,
+    mem: f64,
+    ctrl: f64,
+    confl: f64,
+    steps: f64,
+    cyc_to_ns: f64,
+    stats: KernelStats,
+}
+
+fn run_repeat(state: &PointState<'_>, r: usize, device_cfg: &DeviceConfig) -> RepeatOutcome {
+    let spec = &state.point.spec;
+    let pairs = state.pairs.get_or_init(|| {
+        spec.initial_pairs()
+            .iter()
+            .map(|&(k, v)| (k as u64, v as u64))
+            .collect()
+    });
     // Headroom: worst case every update is an insert into a fresh leaf.
     let updates = (spec.batch_size as f64 * (spec.mix.upsert + 0.01)) as usize;
     let headroom = (updates * 2).max(1 << 12);
-    let mut gen = WorkloadGen::new(spec.clone());
+    let batch = {
+        let mut source = state.source.lock().unwrap_or_else(|e| e.into_inner());
+        source.take(r)
+    };
+    let mut tree = build_tree(state.point.kind, pairs, device_cfg.clone(), headroom);
+    let run = tree.run_batch(&batch);
+    let cfg = tree.device().config();
+    let secs = cfg.cycles_to_secs(run.stats.makespan_cycles);
+    let n = batch.len() as f64;
+    RepeatOutcome {
+        per_req_ns: secs * 1e9 / n,
+        tput: n / secs,
+        mem: run.stats.totals.mem_insts as f64 / n,
+        ctrl: run.stats.totals.control_insts as f64 / n,
+        confl: run.stats.totals.conflicts() as f64 / n,
+        // Steps per processed (issued) request, as in Fig. 10.
+        steps: run.stats.steps_per_request(),
+        cyc_to_ns: cfg.cycles_to_secs(1.0) * 1e9,
+        stats: run.stats,
+    }
+}
 
-    let device_cfg = crate::metrics::device_config();
+/// Folds a point's repeat outcomes — strictly in repeat order, so float
+/// accumulation, event forwarding, and stats merging match the serial
+/// loop exactly — into the averaged [`Measurement`].
+fn finish_point(point: &Point, outcomes: Vec<RepeatOutcome>) -> Measurement {
+    let repeats = outcomes.len();
     let mut per_req_ns = Vec::with_capacity(repeats);
     let mut tput_sum = 0.0;
     let mut mem = 0.0;
@@ -194,31 +346,24 @@ pub fn measure(kind: TreeKind, spec: &WorkloadSpec, repeats: usize) -> Measureme
     let mut steps = 0.0;
     let mut agg = KernelStats::default();
     let mut cyc_to_ns = 1.0;
-    for _ in 0..repeats {
-        let mut tree = build_tree(kind, &pairs, device_cfg.clone(), headroom);
-        let batch = gen.next_batch();
-        let run = tree.run_batch(&batch);
-        let cfg = tree.device().config();
-        cyc_to_ns = cfg.cycles_to_secs(1.0) * 1e9;
-        let secs = cfg.cycles_to_secs(run.stats.makespan_cycles);
-        per_req_ns.push(secs * 1e9 / batch.len() as f64);
-        tput_sum += batch.len() as f64 / secs;
-        let n = batch.len() as f64;
-        mem += run.stats.totals.mem_insts as f64 / n;
-        ctrl += run.stats.totals.control_insts as f64 / n;
-        confl += run.stats.totals.conflicts() as f64 / n;
-        // Steps per processed (issued) request, as in Fig. 10.
-        steps += run.stats.steps_per_request();
-        crate::metrics::record_events(&run.stats.totals.events);
-        agg.merge(&run.stats);
+    for o in outcomes {
+        per_req_ns.push(o.per_req_ns);
+        tput_sum += o.tput;
+        mem += o.mem;
+        ctrl += o.ctrl;
+        confl += o.confl;
+        steps += o.steps;
+        cyc_to_ns = o.cyc_to_ns;
+        crate::metrics::record_events(&o.stats.totals.events);
+        agg.absorb(o.stats);
     }
     // The event log has been forwarded; don't carry a second copy.
     agg.totals.events.clear();
     let r = repeats as f64;
     let avg_ns = per_req_ns.iter().sum::<f64>() / r;
     let m = Measurement {
-        tree: kind,
-        tree_exp: exp,
+        tree: point.kind,
+        tree_exp: point.spec.tree_size.trailing_zeros(),
         throughput: tput_sum / r,
         avg_ns,
         min_ns: per_req_ns.iter().copied().fold(f64::INFINITY, f64::min),
@@ -237,14 +382,83 @@ pub fn measure(kind: TreeKind, spec: &WorkloadSpec, repeats: usize) -> Measureme
     m
 }
 
-/// Writes rows as CSV under `results/<name>.csv` (best effort) and
+/// Measures every point, fanning the individual (point, repeat) executions
+/// across up to [`jobs`] host threads. Each repeat is a fresh execution —
+/// a freshly bulk-loaded tree processing one batch (§8.1, "all results
+/// are averaged by 5-time executions") — and is therefore independent of
+/// every other unit, which is what makes the fan-out sound. Results come
+/// back in point order, folded in repeat order, so `--jobs 1` reproduces
+/// the serial code path exactly.
+pub fn measure_all(points: &[Point]) -> Vec<Measurement> {
+    let device_cfg = crate::metrics::device_config();
+    let states: Vec<PointState<'_>> = points
+        .iter()
+        .map(|point| PointState {
+            point,
+            pairs: OnceLock::new(),
+            source: Mutex::new(BatchSource::new(&point.spec)),
+        })
+        .collect();
+    // Flatten to (point, repeat) units, point-major, so the serial claim
+    // order equals the old nested loops.
+    let mut unit_of = Vec::new();
+    for (pi, point) in points.iter().enumerate() {
+        for r in 0..point.repeats {
+            unit_of.push((pi, r));
+        }
+    }
+    let outcomes = run_indexed(unit_of.len(), &|u| {
+        let (pi, r) = unit_of[u];
+        run_repeat(&states[pi], r, &device_cfg)
+    });
+    let mut it = outcomes.into_iter();
+    points
+        .iter()
+        .map(|point| {
+            let reps: Vec<RepeatOutcome> = (0..point.repeats)
+                .map(|_| it.next().expect("one outcome per unit"))
+                .collect();
+            finish_point(point, reps)
+        })
+        .collect()
+}
+
+/// Runs `repeats` independent tests of one workload configuration and
+/// returns the averaged measurement. Cross-test max/min response times
+/// feed the QoS figures; run-to-run differences come from batch
+/// composition and genuine scheduling nondeterminism in conflict handling
+/// (near-zero for Eirene, real for the baselines). Repeats fan out across
+/// [`jobs`] threads via [`measure_all`].
+pub fn measure(kind: TreeKind, spec: &WorkloadSpec, repeats: usize) -> Measurement {
+    measure_all(&[Point::new(kind, spec.clone(), repeats)])
+        .pop()
+        .expect("one measurement per point")
+}
+
+/// Directory CSV results land in: `$EIRENE_RESULTS_DIR` when set, else
+/// cwd-relative `results/`. Resolved (and logged) once per process so
+/// parallel CI jobs can point runs at disjoint directories.
+fn results_dir() -> &'static Path {
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let dir = std::env::var_os("EIRENE_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results"));
+        eprintln!("results: writing CSV files under {}", dir.display());
+        dir
+    })
+}
+
+/// Writes rows as CSV under `<results_dir>/<name>.csv` (best effort) and
 /// mirrors the table into the metrics sink when one is active.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     crate::metrics::record_table(name, header, rows);
-    let _ = std::fs::create_dir_all("results");
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(dir);
     let body = format!("{header}\n{}\n", rows.join("\n"));
-    if let Err(e) = std::fs::write(format!("results/{name}.csv"), body) {
-        eprintln!("warning: could not write results/{name}.csv: {e}");
+    let path = dir.join(format!("{name}.csv"));
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: could not write {}: {e}", path.display());
     }
 }
 

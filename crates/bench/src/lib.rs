@@ -11,5 +11,6 @@ pub mod figures;
 pub mod fuzz;
 pub mod harness;
 pub mod metrics;
+pub mod perf;
 
-pub use harness::{Measurement, Scale, TreeKind};
+pub use harness::{Measurement, Point, Scale, TreeKind};

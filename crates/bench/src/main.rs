@@ -16,9 +16,11 @@ fn usage() -> ! {
          ablate-threshold|ablate-protection|ablate-iteration|ablate-distribution|\
          ablate-batch|ablate-mix|ablate-all> \
          [--paper-scale] [--smoke] [--batch N] [--repeats N] [--exps a,b,c] \
-         [--json PATH] [--trace PATH]\n       \
+         [--jobs N] [--json PATH] [--trace PATH]\n       \
          eirene-bench fuzz [--seed N] [--batches N] [--batch N] [--tree T] \
-         [--os-sched] [--inject-fault]   (differential fuzz harness)"
+         [--os-sched] [--inject-fault]   (differential fuzz harness)\n       \
+         eirene-bench perf [--smoke] [--jobs N] [--out PATH]   \
+         (wall-clock suite, writes BENCH_sim.json)"
     );
     std::process::exit(2);
 }
@@ -30,6 +32,9 @@ fn main() {
     }
     if args[0] == "fuzz" {
         std::process::exit(eirene_bench::fuzz::run(&args[1..]));
+    }
+    if args[0] == "perf" {
+        std::process::exit(eirene_bench::perf::run(&args[1..]));
     }
     let mut scale = Scale::default();
     let mut which = None;
@@ -60,6 +65,14 @@ fn main() {
                     .collect();
                 scale.default_exp = scale.tree_exps[0];
             }
+            "--jobs" => {
+                let n: usize = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                eirene_bench::harness::set_jobs(n);
+            }
             "--json" => metrics::enable_json(it.next().unwrap_or_else(|| usage())),
             "--trace" => metrics::enable_trace(it.next().unwrap_or_else(|| usage())),
             name if which.is_none() && !name.starts_with('-') => which = Some(name.to_string()),
@@ -68,8 +81,12 @@ fn main() {
     }
     let which = which.unwrap_or_else(|| usage());
     eprintln!(
-        "scale: tree 2^{:?} (default 2^{}), batch {}, repeats {}",
-        scale.tree_exps, scale.default_exp, scale.batch_size, scale.repeats
+        "scale: tree 2^{:?} (default 2^{}), batch {}, repeats {}, jobs {}",
+        scale.tree_exps,
+        scale.default_exp,
+        scale.batch_size,
+        scale.repeats,
+        eirene_bench::harness::jobs()
     );
     if metrics::active() {
         metrics::set_meta("command", JsonValue::from(which.as_str()));

@@ -1,0 +1,196 @@
+//! `eirene-bench perf` — the wall-clock benchmark trajectory.
+//!
+//! Times a fixed three-scenario suite exercising the host-performance
+//! hot paths (not the simulated metrics, which are host-independent):
+//!
+//! * **launch_heavy** — thousands of small OS-mode kernel launches on one
+//!   device; dominated by launch overhead, i.e. the persistent worker
+//!   pool's epoch handoff.
+//! * **fuzz_heavy** — differential fuzz batches under the deterministic
+//!   scheduler; dominated by det-mode token passing on bounded worker
+//!   threads.
+//! * **figure_sweep** — a figure-style point sweep through
+//!   [`measure_all`], run once at the configured `--jobs` and once at
+//!   `--jobs 1`, yielding the parallel-sweep speedup.
+//!
+//! Results go to `BENCH_sim.json` (`--out` to override): wall-clock per
+//! scenario, work rates, and the sweep speedup. CI runs `perf --smoke`
+//! and compares total wall-clock against the committed smoke baseline so
+//! host-side regressions fail loudly.
+
+use crate::harness::{default_mix, jobs, measure_all, set_jobs, spec_for, Point, TreeKind};
+use eirene_check::{FuzzOptions, FuzzOutcome};
+use eirene_sim::{Device, DeviceConfig};
+use eirene_telemetry::JsonValue;
+use std::time::Instant;
+
+fn usage() -> i32 {
+    eprintln!("usage: eirene-bench perf [--smoke] [--jobs N] [--out PATH]");
+    2
+}
+
+/// Small launches on one long-lived device: measures per-launch overhead.
+fn launch_heavy(launches: usize) -> (f64, usize) {
+    const WARPS: usize = 32;
+    const STRIDE: usize = 64;
+    let dev = Device::new(1 << 16, DeviceConfig::default());
+    let cells = dev.mem().alloc(WARPS * STRIDE);
+    let start = Instant::now();
+    for round in 0..launches as u64 {
+        dev.launch("perf-launch", WARPS, |wid, ctx| {
+            let mine = cells + (wid * STRIDE) as u64;
+            let mut buf = [0u64; 16];
+            ctx.read_block(mine, &mut buf);
+            ctx.write(mine, round);
+            ctx.control(4);
+        });
+    }
+    (start.elapsed().as_secs_f64(), launches)
+}
+
+/// Deterministic-mode fuzz batches: measures det-scheduler throughput.
+/// Returns `None` if the fuzzer finds a real divergence (which would make
+/// the timing meaningless — and is a correctness failure to surface).
+fn fuzz_heavy(batches: usize) -> Option<(f64, usize)> {
+    let opts = FuzzOptions {
+        seed: 0xBE9C,
+        batches,
+        batch_size: 128,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    match eirene_check::run_fuzz(&opts) {
+        FuzzOutcome::Passed { cases } => Some((start.elapsed().as_secs_f64(), cases)),
+        FuzzOutcome::Failed(f) => {
+            eprintln!("perf: fuzz_heavy scenario found a divergence:\n{f}");
+            None
+        }
+    }
+}
+
+/// Figure-style sweep points (fig7 shape, scaled to the suite mode).
+fn sweep_points(smoke: bool) -> Vec<Point> {
+    let (exps, batch, repeats): (Vec<u32>, usize, usize) = if smoke {
+        (vec![10, 11], 1 << 10, 2)
+    } else {
+        (vec![12, 13, 14], 1 << 14, 3)
+    };
+    let mut points = Vec::new();
+    for kind in [TreeKind::Stm, TreeKind::Lock, TreeKind::Eirene] {
+        for &e in &exps {
+            points.push(Point::new(
+                kind,
+                spec_for(e, batch, default_mix(), 7),
+                repeats,
+            ));
+        }
+    }
+    points
+}
+
+fn scenario_doc(wall_s: f64, work_key: &str, work: usize) -> JsonValue {
+    JsonValue::obj(vec![
+        ("wall_s", JsonValue::from(wall_s)),
+        (work_key, JsonValue::from(work as u64)),
+        (
+            &format!("{work_key}_per_s"),
+            JsonValue::from(if wall_s > 0.0 {
+                work as f64 / wall_s
+            } else {
+                0.0
+            }),
+        ),
+    ])
+}
+
+/// Parses `perf` arguments and runs the suite; returns the process exit
+/// code.
+pub fn run(args: &[String]) -> i32 {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_sim.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => set_jobs(n),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let j = jobs();
+    set_jobs(j); // pin, so the jobs-1 detour below restores exactly
+    let mode = if smoke { "smoke" } else { "full" };
+    eprintln!("perf: {mode} suite, jobs {j}");
+    let total = Instant::now();
+
+    let (launch_wall, launches) = launch_heavy(if smoke { 300 } else { 3000 });
+    eprintln!(
+        "perf: launch_heavy   {launch_wall:8.3}s  ({:.0} launches/s)",
+        launches as f64 / launch_wall.max(1e-9)
+    );
+
+    let Some((fuzz_wall, cases)) = fuzz_heavy(if smoke { 6 } else { 40 }) else {
+        return 1;
+    };
+    eprintln!(
+        "perf: fuzz_heavy     {fuzz_wall:8.3}s  ({:.1} cases/s)",
+        cases as f64 / fuzz_wall.max(1e-9)
+    );
+
+    let points = sweep_points(smoke);
+    let start = Instant::now();
+    measure_all(&points);
+    let sweep_wall = start.elapsed().as_secs_f64();
+    set_jobs(1);
+    let start = Instant::now();
+    measure_all(&points);
+    let sweep_serial_wall = start.elapsed().as_secs_f64();
+    set_jobs(j);
+    let speedup = sweep_serial_wall / sweep_wall.max(1e-9);
+    eprintln!(
+        "perf: figure_sweep   {sweep_wall:8.3}s  ({:.1} points/s, {speedup:.2}x vs --jobs 1 at {:.3}s)",
+        points.len() as f64 / sweep_wall.max(1e-9),
+        sweep_serial_wall
+    );
+
+    let total_wall = total.elapsed().as_secs_f64();
+    let mut sweep_doc = scenario_doc(sweep_wall, "points", points.len());
+    if let JsonValue::Obj(fields) = &mut sweep_doc {
+        fields.push(("wall_s_jobs1".into(), JsonValue::from(sweep_serial_wall)));
+        fields.push(("speedup_vs_jobs1".into(), JsonValue::from(speedup)));
+    }
+    let doc = JsonValue::obj(vec![
+        ("schema_version", JsonValue::from(1u64)),
+        ("suite", JsonValue::from("eirene-bench perf")),
+        ("mode", JsonValue::from(mode)),
+        ("jobs", JsonValue::from(j as u64)),
+        (
+            "scenarios",
+            JsonValue::obj(vec![
+                (
+                    "launch_heavy",
+                    scenario_doc(launch_wall, "launches", launches),
+                ),
+                ("fuzz_heavy", scenario_doc(fuzz_wall, "cases", cases)),
+                ("figure_sweep", sweep_doc),
+            ]),
+        ),
+        ("total_wall_s", JsonValue::from(total_wall)),
+    ]);
+    match std::fs::write(&out, doc.to_json() + "\n") {
+        Ok(()) => {
+            eprintln!("perf: total {total_wall:.3}s, wrote {out}");
+            0
+        }
+        Err(e) => {
+            eprintln!("perf: could not write {out}: {e}");
+            1
+        }
+    }
+}

@@ -2,12 +2,13 @@
 
 use crate::config::DeviceConfig;
 use crate::mem::GlobalMemory;
+use crate::pool::WorkerPool;
 use crate::sched::{launch_seed, DetScheduler, LaunchSchedule, SchedMode, ScheduleLog};
 use crate::stats::{KernelStats, WarpStats};
 use crate::warp::WarpCtx;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Raw pointer wrapper for disjoint per-warp result slots.
 struct SendPtr<T>(*mut T);
@@ -82,6 +83,10 @@ pub struct Device {
     sched_log: Mutex<ScheduleLog>,
     /// Pending replay queue: schedules consumed launch-by-launch.
     replay: Mutex<Option<(ScheduleLog, usize)>>,
+    /// Persistent SM worker pool, created lazily on the first threaded
+    /// launch and reused for every subsequent one: launch overhead is a
+    /// few condvar wakes, not `effective_workers()` thread spawns/joins.
+    pool: OnceLock<WorkerPool>,
 }
 
 impl Device {
@@ -93,7 +98,15 @@ impl Device {
             launches: AtomicU64::new(0),
             sched_log: Mutex::new(ScheduleLog::default()),
             replay: Mutex::new(None),
+            pool: OnceLock::new(),
         }
+    }
+
+    /// The device's persistent worker pool (lazily created so purely
+    /// sequential users never spawn threads).
+    fn pool(&self) -> &WorkerPool {
+        self.pool
+            .get_or_init(|| WorkerPool::new(self.cfg.effective_workers()))
     }
 
     /// Device with default (A100-like) configuration.
@@ -155,40 +168,32 @@ impl Device {
     where
         F: Fn(usize, &mut WarpCtx) + Sync,
     {
-        let workers = self.cfg.effective_workers().min(num_warps.max(1));
-        let next = AtomicUsize::new(0);
+        if num_warps == 0 {
+            return self.aggregate(name, Vec::new());
+        }
         let kernel = &kernel;
         let mut warp_stats: Vec<Option<WarpStats>> = vec![None; num_warps];
         let slots = SendPtr(warp_stats.as_mut_ptr());
         let failure: Mutex<Option<KernelPanic>> = Mutex::new(None);
         let poisoned = AtomicBool::new(false);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let next = &next;
-                let failure = &failure;
-                let poisoned = &poisoned;
-                scope.spawn(move || loop {
-                    if poisoned.load(Ordering::Relaxed) {
-                        return;
+        // Each pool item is one warp; pool workers claim warp ids off an
+        // atomic counter, exactly as the old spawn-per-launch workers did —
+        // minus the spawns.
+        self.pool().run(num_warps, &|wid| {
+            if poisoned.load(Ordering::Relaxed) {
+                return;
+            }
+            let mut ctx = WarpCtx::new(&self.mem, &self.cfg, wid);
+            match catch_unwind(AssertUnwindSafe(|| kernel(wid, &mut ctx))) {
+                // SAFETY: each wid is claimed by exactly one worker.
+                Ok(()) => unsafe { *slots.get().add(wid) = Some(ctx.into_stats()) },
+                Err(payload) => {
+                    poisoned.store(true, Ordering::Relaxed);
+                    let mut f = failure.lock().unwrap_or_else(|e| e.into_inner());
+                    if f.is_none() {
+                        *f = Some((wid, payload));
                     }
-                    let wid = next.fetch_add(1, Ordering::Relaxed);
-                    if wid >= num_warps {
-                        return;
-                    }
-                    let mut ctx = WarpCtx::new(&self.mem, &self.cfg, wid);
-                    match catch_unwind(AssertUnwindSafe(|| kernel(wid, &mut ctx))) {
-                        // SAFETY: each wid is claimed by exactly one worker.
-                        Ok(()) => unsafe { *slots.get().add(wid) = Some(ctx.into_stats()) },
-                        Err(payload) => {
-                            poisoned.store(true, Ordering::Relaxed);
-                            let mut f = failure.lock().unwrap_or_else(|e| e.into_inner());
-                            if f.is_none() {
-                                *f = Some((wid, payload));
-                            }
-                            return;
-                        }
-                    }
-                });
+                }
             }
         });
         if let Some(f) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
@@ -198,7 +203,7 @@ impl Device {
             .into_iter()
             .map(|s| s.expect("warp ran"))
             .collect();
-        self.aggregate(name, &warp_stats)
+        self.aggregate(name, warp_stats)
     }
 
     fn launch_det<F>(&self, name: &str, num_warps: usize, seed: u64, kernel: F) -> KernelStats
@@ -207,7 +212,7 @@ impl Device {
     {
         let launch_idx = self.launches.fetch_add(1, Ordering::Relaxed);
         if num_warps == 0 {
-            return self.aggregate(name, &[]);
+            return self.aggregate(name, Vec::new());
         }
         // Replay takes precedence over fresh PRNG decisions.
         let recorded: Option<Vec<u32>> = {
@@ -231,24 +236,31 @@ impl Device {
                 _ => None,
             }
         };
+        // Warps multiplex over a bounded set of pool worker slots instead
+        // of one (mostly parked) thread per warp: a slot runs its assigned
+        // warp until the warp completes, then picks up the next start
+        // assignment. The token-passing protocol — and therefore schedule
+        // capture/replay — is unchanged; only the thread mapping is.
+        let workers = self.cfg.effective_workers().min(num_warps);
         let sched = match recorded {
             Some(choices) => DetScheduler::replaying(num_warps, choices),
             None => DetScheduler::seeded(num_warps, launch_seed(seed, launch_idx)),
-        };
+        }
+        .with_worker_limit(workers);
         let kernel = &kernel;
         let sched_ref = &sched;
         let mut warp_stats: Vec<Option<WarpStats>> = vec![None; num_warps];
         let slots = SendPtr(warp_stats.as_mut_ptr());
         let failure: Mutex<Option<KernelPanic>> = Mutex::new(None);
-        std::thread::scope(|scope| {
-            for wid in 0..num_warps {
-                let failure = &failure;
-                scope.spawn(move || {
+        self.pool().run_with_driver(
+            workers,
+            &|_slot| {
+                while let Some(wid) = sched_ref.next_assignment() {
                     sched_ref.warp_begin(wid);
                     let mut ctx = WarpCtx::with_scheduler(&self.mem, &self.cfg, wid, sched_ref);
                     let r = catch_unwind(AssertUnwindSafe(|| kernel(wid, &mut ctx)));
                     match r {
-                        // SAFETY: each wid has exactly one thread.
+                        // SAFETY: each wid is assigned to exactly one slot.
                         Ok(()) => unsafe { *slots.get().add(wid) = Some(ctx.into_stats()) },
                         Err(payload) => {
                             let mut f = failure.lock().unwrap_or_else(|e| e.into_inner());
@@ -260,10 +272,10 @@ impl Device {
                     // Hand the token back even on panic, or the
                     // coordinator would wait forever.
                     sched_ref.warp_finished(wid);
-                });
-            }
-            sched_ref.drive();
-        });
+                }
+            },
+            || sched_ref.drive(),
+        );
         self.sched_log
             .lock()
             .unwrap()
@@ -280,7 +292,7 @@ impl Device {
             .into_iter()
             .map(|s| s.expect("warp ran"))
             .collect();
-        self.aggregate(name, &warp_stats)
+        self.aggregate(name, warp_stats)
     }
 
     /// Sequential launch, for deterministic debugging and tests that need
@@ -296,18 +308,21 @@ impl Device {
                 ctx.into_stats()
             })
             .collect();
-        self.aggregate(name, &warp_stats)
+        self.aggregate(name, warp_stats)
     }
 
-    fn aggregate(&self, name: &str, warp_stats: &[WarpStats]) -> KernelStats {
+    fn aggregate(&self, name: &str, warp_stats: Vec<WarpStats>) -> KernelStats {
+        let warps = warp_stats.len() as u64;
         let mut totals = WarpStats::default();
         // Per SM: summed cycles and the number of warps it actually hosts.
         let mut per_sm = vec![(0u64, 0usize); self.cfg.num_sms];
-        for (wid, ws) in warp_stats.iter().enumerate() {
-            totals.merge(ws);
+        for (wid, ws) in warp_stats.into_iter().enumerate() {
             let sm = &mut per_sm[wid % self.cfg.num_sms];
             sm.0 += ws.cycles;
             sm.1 += 1;
+            // Move-based merge: trace event vectors are appended, not
+            // cloned (and no allocation happens when tracing is off).
+            totals.absorb(ws);
         }
         // An SM's makespan is its cycle sum divided by the warps making
         // concurrent progress on it: the configured occupancy, but never
@@ -321,7 +336,7 @@ impl Device {
         let makespan = slowest_sm + self.cfg.launch_overhead as f64;
         KernelStats {
             name: name.to_string(),
-            warps: warp_stats.len() as u64,
+            warps,
             totals,
             makespan_cycles: makespan,
         }

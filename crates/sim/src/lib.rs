@@ -25,6 +25,7 @@
 mod config;
 mod device;
 mod mem;
+mod pool;
 mod sched;
 mod stats;
 mod warp;

@@ -6,7 +6,7 @@
 //! *uninstrumented* — device code must go through
 //! [`WarpCtx`](crate::WarpCtx) so that every access is counted and charged.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 
 /// A device address: an index of a 64-bit word in the arena.
 pub type Addr = u64;
@@ -148,18 +148,37 @@ impl GlobalMemory {
         self.word(addr).fetch_and(bits, Ordering::AcqRel)
     }
 
-    /// Host-side bulk write of contiguous words (e.g. during bulk build).
+    /// Bulk write of contiguous words (node images, bulk build). The
+    /// per-word stores are `Relaxed`; one `Release` fence ahead of the
+    /// block keeps everything written *before* this call visible to any
+    /// thread that observes one of these stores. The block itself is
+    /// published the way all node data is: by a subsequent `Release`
+    /// [`write`](Self::write)/CAS of the pointer or flag that names it,
+    /// which orders the relaxed stores before the publication for free —
+    /// so readers of published data lose nothing, and the innermost copy
+    /// loop sheds a full fence per word on weakly-ordered hosts.
     pub fn write_slice(&self, base: Addr, values: &[u64]) {
-        for (i, &v) in values.iter().enumerate() {
-            self.write(base + i as Addr, v);
+        let base = base as usize;
+        let dst = &self.words[base..base + values.len()];
+        fence(Ordering::Release);
+        for (slot, &v) in dst.iter().zip(values) {
+            slot.store(v, Ordering::Relaxed);
         }
     }
 
-    /// Host-side bulk read of contiguous words.
+    /// Bulk read of contiguous words: `Relaxed` loads closed by one
+    /// `Acquire` fence, the mirror of [`write_slice`](Self::write_slice).
+    /// The fence upgrades every observed store to a synchronizing one, so
+    /// anything that happened before the writer's fence (or before a
+    /// `Release` store whose value one of these loads saw) is visible
+    /// after this call returns.
     pub fn read_slice(&self, base: Addr, out: &mut [u64]) {
-        for (i, slot) in out.iter_mut().enumerate() {
-            *slot = self.read(base + i as Addr);
+        let base = base as usize;
+        let src = &self.words[base..base + out.len()];
+        for (slot, word) in out.iter_mut().zip(src) {
+            *slot = word.load(Ordering::Relaxed);
         }
+        fence(Ordering::Acquire);
     }
 }
 
@@ -243,6 +262,42 @@ mod tests {
         let mut out = [0u64; 4];
         m.read_slice(a, &mut out);
         assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    /// Two-thread visibility check for the fence-based slice ops: a writer
+    /// fills a block with `write_slice` and publishes it with a `Release`
+    /// flag write; once the reader observes the flag, `read_slice` must
+    /// return the complete block. Runs many rounds at distinct addresses
+    /// so a visibility bug has repeated chances to surface.
+    #[test]
+    fn slice_writes_published_by_flag_are_fully_visible() {
+        use std::sync::Arc;
+        const ROUNDS: u64 = 200;
+        const BLOCK: usize = 64;
+        let m = Arc::new(GlobalMemory::new(1 << 16));
+        let flags = m.alloc(ROUNDS as usize);
+        let blocks = m.alloc(ROUNDS as usize * BLOCK);
+        let writer = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                for r in 0..ROUNDS {
+                    let vals: Vec<u64> = (0..BLOCK as u64).map(|i| r * 1000 + i + 1).collect();
+                    m.write_slice(blocks + r * BLOCK as u64, &vals);
+                    m.write(flags + r, 1); // Release: publishes the block
+                }
+            })
+        };
+        for r in 0..ROUNDS {
+            while m.read(flags + r) == 0 {
+                std::hint::spin_loop();
+            }
+            let mut out = [0u64; BLOCK];
+            m.read_slice(blocks + r * BLOCK as u64, &mut out);
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, r * 1000 + i as u64 + 1, "round {r} word {i}");
+            }
+        }
+        writer.join().unwrap();
     }
 
     #[test]

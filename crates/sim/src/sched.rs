@@ -19,6 +19,7 @@
 //! work (the differential fuzzer in `eirene-check`, regression replay), not
 //! for timing figures — the cycle model is unaffected either way.
 
+use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
 /// Yield-point hook used by [`WarpCtx`](crate::WarpCtx). Implementations
@@ -180,12 +181,38 @@ struct DetState {
     live: usize,
     source: ChoiceSource,
     choices: Vec<u32>,
+    /// Bounded-worker multiplexing (None = legacy one-thread-per-warp).
+    /// When set, at most `limit` warps may be mid-execution at once; a
+    /// warp not yet started is only eligible while a worker slot is free,
+    /// and granting it enqueues a start assignment for the worker pool.
+    workers: Option<WorkerState>,
+}
+
+struct WorkerState {
+    started: Vec<bool>,
+    /// Worker slots not currently owning a started-but-unfinished warp.
+    free: usize,
+    /// Warp ids granted their first turn, awaiting pickup by a worker.
+    assignments: VecDeque<usize>,
 }
 
 impl DetState {
+    /// A warp is eligible for the next grant if it is unfinished and —
+    /// under bounded workers — either already started (its worker is
+    /// parked at a yield point) or startable on a free worker slot.
+    fn eligible(&self, w: usize) -> bool {
+        if self.finished[w] {
+            return false;
+        }
+        match &self.workers {
+            None => true,
+            Some(ws) => ws.started[w] || ws.free > 0,
+        }
+    }
+
     fn pick(&mut self) -> usize {
         let runnable: Vec<usize> = (0..self.finished.len())
-            .filter(|&w| !self.finished[w])
+            .filter(|&w| self.eligible(w))
             .collect();
         debug_assert!(!runnable.is_empty());
         let w = match &mut self.source {
@@ -194,12 +221,19 @@ impl DetState {
                 let recorded = choices.get(*pos).map(|&c| c as usize);
                 *pos += 1;
                 match recorded {
-                    Some(c) if c < self.finished.len() && !self.finished[c] => c,
+                    Some(c) if c < self.finished.len() && runnable.contains(&c) => c,
                     _ => runnable[0],
                 }
             }
         };
         self.choices.push(w as u32);
+        if let Some(ws) = &mut self.workers {
+            if !ws.started[w] {
+                ws.started[w] = true;
+                ws.free -= 1;
+                ws.assignments.push_back(w);
+            }
+        }
         w
     }
 }
@@ -236,8 +270,48 @@ impl DetScheduler {
                 live: num_warps,
                 source,
                 choices: Vec::new(),
+                workers: None,
             }),
             cv: Condvar::new(),
+        }
+    }
+
+    /// Enables bounded-worker multiplexing: at most `limit` warps may be
+    /// mid-execution at once, and warps are started through the assignment
+    /// queue ([`next_assignment`](Self::next_assignment)) instead of
+    /// dedicated per-warp threads. The grant sequence stays a pure
+    /// function of the seed (worker-slot availability at each step is
+    /// itself determined by the grant prefix), so capture/replay is
+    /// unaffected; with `limit >= num_warps` the eligibility constraint
+    /// never binds and the schedule equals the unbounded one.
+    pub fn with_worker_limit(self, limit: usize) -> Self {
+        {
+            let mut st = self.lock();
+            let n = st.finished.len();
+            st.workers = Some(WorkerState {
+                started: vec![false; n],
+                free: limit.max(1),
+                assignments: VecDeque::new(),
+            });
+        }
+        self
+    }
+
+    /// Blocks until a warp is assigned to this worker slot, returning
+    /// `None` once every warp has finished. Used by pooled deterministic
+    /// launches; each worker runs assigned warps to completion in a loop.
+    pub fn next_assignment(&self) -> Option<usize> {
+        let mut st = self.lock();
+        loop {
+            if let Some(ws) = &mut st.workers {
+                if let Some(w) = ws.assignments.pop_front() {
+                    return Some(w);
+                }
+            }
+            if st.live == 0 {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -263,6 +337,11 @@ impl DetScheduler {
         if !st.finished[warp_id] {
             st.finished[warp_id] = true;
             st.live -= 1;
+            if let Some(ws) = &mut st.workers {
+                // The finishing warp's worker slot is free for another
+                // start assignment.
+                ws.free += 1;
+            }
         }
         st.turn = Turn::Coordinator;
         drop(st);
@@ -372,6 +451,88 @@ mod tests {
         let choices = sched.take_choices();
         assert_eq!(order.len(), 18, "6 steps per warp");
         assert_eq!(choices, order, "grant sequence must match execution");
+    }
+
+    /// Runs `num_warps` warps (each yielding `yields` times) under
+    /// `sched`, either on dedicated per-warp threads (`limit == None`,
+    /// the legacy pattern) or multiplexed over `limit` worker slots via
+    /// the assignment queue. Returns (execution order, recorded choices).
+    fn run_warps(sched: DetScheduler, num_warps: usize, yields: usize) -> (Vec<u32>, Vec<u32>) {
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for w in 0..num_warps {
+                let sched = &sched;
+                let order = &order;
+                scope.spawn(move || {
+                    sched.warp_begin(w);
+                    for _ in 0..yields {
+                        order.lock().unwrap().push(w as u32);
+                        sched.yield_point(w);
+                    }
+                    order.lock().unwrap().push(w as u32);
+                    sched.warp_finished(w);
+                });
+            }
+            sched.drive();
+        });
+        (order.into_inner().unwrap(), sched.take_choices())
+    }
+
+    fn run_warps_bounded(sched: DetScheduler, limit: usize, yields: usize) -> (Vec<u32>, Vec<u32>) {
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _slot in 0..limit {
+                let sched = &sched;
+                let order = &order;
+                scope.spawn(move || {
+                    while let Some(w) = sched.next_assignment() {
+                        sched.warp_begin(w);
+                        for _ in 0..yields {
+                            order.lock().unwrap().push(w as u32);
+                            sched.yield_point(w);
+                        }
+                        order.lock().unwrap().push(w as u32);
+                        sched.warp_finished(w);
+                    }
+                });
+            }
+            sched.drive();
+        });
+        (order.into_inner().unwrap(), sched.take_choices())
+    }
+
+    #[test]
+    fn bounded_workers_multiplex_deterministically() {
+        let run =
+            |seed| run_warps_bounded(DetScheduler::seeded(6, seed).with_worker_limit(2), 2, 3);
+        let (o1, c1) = run(99);
+        let (o2, c2) = run(99);
+        assert_eq!(o1, o2, "bounded schedule must be seed-deterministic");
+        assert_eq!(c1, c2);
+        assert_eq!(o1.len(), 6 * 4, "every warp ran all its steps");
+        assert_eq!(c1, o1, "grant sequence must match execution order");
+    }
+
+    #[test]
+    fn bounded_replay_follows_recorded_choices() {
+        let (o1, c1) =
+            run_warps_bounded(DetScheduler::seeded(5, 0xFEED).with_worker_limit(2), 2, 4);
+        let (o2, c2) = run_warps_bounded(
+            DetScheduler::replaying(5, c1.clone()).with_worker_limit(2),
+            2,
+            4,
+        );
+        assert_eq!(o1, o2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn wide_worker_limit_matches_unbounded_schedule() {
+        // With limit >= num_warps the eligibility constraint never binds,
+        // so the multiplexed schedule equals the per-warp-thread one.
+        let (_, unbounded) = run_warps(DetScheduler::seeded(6, 4242), 6, 3);
+        let (_, wide) = run_warps_bounded(DetScheduler::seeded(6, 4242).with_worker_limit(6), 6, 3);
+        assert_eq!(wide, unbounded);
     }
 
     #[test]

@@ -77,6 +77,31 @@ impl WarpStats {
     /// Cost is bounded by the phase-table and histogram sizes, not by the
     /// number of requests the warps processed.
     pub fn merge(&mut self, other: &WarpStats) {
+        self.merge_counters(other);
+        // Clone-based event append only when there are events to carry
+        // (i.e. tracing was on); the common trace-off path never touches
+        // the allocator.
+        if !other.events.is_empty() {
+            self.events.extend_from_slice(&other.events);
+        }
+    }
+
+    /// Move-based variant of [`merge`](Self::merge): consumes `other` and
+    /// *appends* its trace events instead of cloning them. This is the
+    /// aggregation path used by kernel launches, where per-warp stats are
+    /// owned exactly once.
+    pub fn absorb(&mut self, mut other: WarpStats) {
+        self.merge_counters(&other);
+        if !other.events.is_empty() {
+            if self.events.is_empty() {
+                self.events = std::mem::take(&mut other.events);
+            } else {
+                self.events.append(&mut other.events);
+            }
+        }
+    }
+
+    fn merge_counters(&mut self, other: &WarpStats) {
         self.mem_insts += other.mem_insts;
         self.mem_words += other.mem_words;
         self.mem_transactions += other.mem_transactions;
@@ -93,7 +118,6 @@ impl WarpStats {
         self.cycles += other.cycles;
         self.phases.merge(&other.phases);
         self.latency.merge(&other.latency);
-        self.events.extend_from_slice(&other.events);
     }
 
     /// The phase-tracked counters summed across all phase rows. Equals the
@@ -183,6 +207,21 @@ impl KernelStats {
         }
         self.warps += other.warps;
         self.totals.merge(&other.totals);
+        self.makespan_cycles += other.makespan_cycles;
+    }
+
+    /// Move-based variant of [`merge`](Self::merge): consumes `other`,
+    /// moving its trace events instead of cloning them (see
+    /// [`WarpStats::absorb`]).
+    pub fn absorb(&mut self, other: KernelStats) {
+        if self.name.is_empty() {
+            self.name = other.name;
+        } else if !other.name.is_empty() && !self.name.split('+').any(|part| part == other.name) {
+            self.name.push('+');
+            self.name.push_str(&other.name);
+        }
+        self.warps += other.warps;
+        self.totals.absorb(other.totals);
         self.makespan_cycles += other.makespan_cycles;
     }
 }

@@ -30,6 +30,20 @@ use eirene_telemetry::{Phase, TraceEvent, TraceEventKind};
 /// [`begin_request`](Self::begin_request) /
 /// [`end_request`](Self::end_request) so per-request response times (the
 /// QoS figures) land in the bounded latency histogram.
+/// The single shared-row charge helper: applies the same `field += delta`
+/// updates to the warp totals *and* to the current phase's row, evaluating
+/// each delta exactly once. Every `charge_*` method below goes through
+/// this, which is what keeps the phase rows summing to the totals exactly
+/// — there is one list of deltas per charge, not two to keep in sync.
+macro_rules! charge {
+    ($ctx:expr, $($field:ident += $delta:expr),+ $(,)?) => {{
+        $(let $field = $delta;)+
+        let row = $ctx.stats.phases.row_mut($ctx.phase);
+        $(row.$field += $field;)+
+        $($ctx.stats.$field += $field;)+
+    }};
+}
+
 pub struct WarpCtx<'a> {
     mem: &'a GlobalMemory,
     cfg: &'a DeviceConfig,
@@ -139,16 +153,13 @@ impl<'a> WarpCtx<'a> {
         self.maybe_yield();
         let insts = words.div_ceil(self.cfg.warp_size) as u64;
         let txns = self.cfg.transactions_for(addr, words);
-        let cycles = txns * self.cfg.mem_latency;
-        self.stats.mem_insts += insts;
-        self.stats.mem_words += words as u64;
-        self.stats.mem_transactions += txns;
-        self.stats.cycles += cycles;
-        let row = self.stats.phases.row_mut(self.phase);
-        row.mem_insts += insts;
-        row.mem_words += words as u64;
-        row.mem_transactions += txns;
-        row.cycles += cycles;
+        charge!(
+            self,
+            mem_insts += insts,
+            mem_words += words as u64,
+            mem_transactions += txns,
+            cycles += txns * self.cfg.mem_latency,
+        );
     }
 
     /// Instrumented single-word read.
@@ -182,13 +193,12 @@ impl<'a> WarpCtx<'a> {
     #[inline]
     fn charge_atomic(&mut self) {
         self.maybe_yield();
-        self.stats.atomic_insts += 1;
-        self.stats.mem_transactions += 1;
-        self.stats.cycles += self.cfg.atomic_latency;
-        let row = self.stats.phases.row_mut(self.phase);
-        row.atomic_insts += 1;
-        row.mem_transactions += 1;
-        row.cycles += self.cfg.atomic_latency;
+        charge!(
+            self,
+            atomic_insts += 1,
+            mem_transactions += 1,
+            cycles += self.cfg.atomic_latency,
+        );
     }
 
     /// Instrumented compare-and-swap.
@@ -223,20 +233,18 @@ impl<'a> WarpCtx<'a> {
     /// iterations, predicate evaluations).
     #[inline]
     pub fn control(&mut self, n: u64) {
-        let cycles = n * self.cfg.control_latency;
-        self.stats.control_insts += n;
-        self.stats.cycles += cycles;
-        let row = self.stats.phases.row_mut(self.phase);
-        row.control_insts += n;
-        row.cycles += cycles;
+        charge!(
+            self,
+            control_insts += n,
+            cycles += n * self.cfg.control_latency,
+        );
     }
 
     /// Charges extra cycles without touching instruction counters (e.g.
     /// back-off delays).
     #[inline]
-    pub fn charge_cycles(&mut self, cycles: u64) {
-        self.stats.cycles += cycles;
-        self.stats.phases.row_mut(self.phase).cycles += cycles;
+    pub fn charge_cycles(&mut self, extra: u64) {
+        charge!(self, cycles += extra);
     }
 
     /// Charges an arena allocation: one atomic bump of the allocation
@@ -244,11 +252,7 @@ impl<'a> WarpCtx<'a> {
     /// dedicated cursor word, not tree data).
     #[inline]
     pub fn charge_alloc(&mut self) {
-        self.stats.atomic_insts += 1;
-        self.stats.cycles += self.cfg.atomic_latency;
-        let row = self.stats.phases.row_mut(self.phase);
-        row.atomic_insts += 1;
-        row.cycles += self.cfg.atomic_latency;
+        charge!(self, atomic_insts += 1, cycles += self.cfg.atomic_latency);
     }
 
     /// Charges the fixed I/O of accepting a request and publishing its
@@ -256,30 +260,26 @@ impl<'a> WarpCtx<'a> {
     /// write of the response word).
     #[inline]
     pub fn charge_request_io(&mut self) {
-        self.stats.mem_insts += 2;
-        self.stats.mem_words += 2;
-        self.stats.mem_transactions += 1;
-        self.stats.cycles += self.cfg.mem_latency;
-        let row = self.stats.phases.row_mut(self.phase);
-        row.mem_insts += 2;
-        row.mem_words += 2;
-        row.mem_transactions += 1;
-        row.cycles += self.cfg.mem_latency;
+        charge!(
+            self,
+            mem_insts += 2,
+            mem_words += 2,
+            mem_transactions += 1,
+            cycles += self.cfg.mem_latency,
+        );
     }
 
     /// Records a failed latch acquisition, attributed to the current phase.
     #[inline]
     pub fn lock_conflict(&mut self) {
-        self.stats.lock_conflicts += 1;
-        self.stats.phases.row_mut(self.phase).lock_conflicts += 1;
+        charge!(self, lock_conflicts += 1);
         self.emit(TraceEventKind::LockConflict, 0);
     }
 
     /// Records an STM abort, attributed to the current phase.
     #[inline]
     pub fn stm_abort(&mut self) {
-        self.stats.stm_aborts += 1;
-        self.stats.phases.row_mut(self.phase).stm_aborts += 1;
+        charge!(self, stm_aborts += 1);
         self.emit(TraceEventKind::StmAbort, 0);
     }
 
@@ -287,8 +287,7 @@ impl<'a> WarpCtx<'a> {
     /// phase.
     #[inline]
     pub fn version_conflict(&mut self) {
-        self.stats.version_conflicts += 1;
-        self.stats.phases.row_mut(self.phase).version_conflicts += 1;
+        charge!(self, version_conflicts += 1);
         self.emit(TraceEventKind::VersionConflict, 0);
     }
 
