@@ -390,7 +390,7 @@ fn finish_point(point: &Point, outcomes: Vec<RepeatOutcome>) -> Measurement {
 /// back in point order, folded in repeat order, so `--jobs 1` reproduces
 /// the serial code path exactly.
 pub fn measure_all(points: &[Point]) -> Vec<Measurement> {
-    let device_cfg = crate::metrics::device_config();
+    let device_cfg = sweep_device_cfg(crate::metrics::device_config(), jobs());
     let states: Vec<PointState<'_>> = points
         .iter()
         .map(|point| PointState {
@@ -421,6 +421,23 @@ pub fn measure_all(points: &[Point]) -> Vec<Measurement> {
             finish_point(point, reps)
         })
         .collect()
+}
+
+/// Per-device worker budget for parallel sweeps. Every in-flight repeat
+/// builds a fresh `Device` whose lazy pool holds `effective_workers()`
+/// threads; left at the auto default with `--jobs` at host parallelism,
+/// that compounds to roughly `2 × cores²` live threads (~8k parked threads
+/// on a 64-core host). When the sweep itself is parallel, divide the auto
+/// worker count across the jobs — with a floor of 4 so cross-warp
+/// interleaving (and the genuine lock/STM contention the conflict counters
+/// depend on) survives. An explicitly pinned `worker_threads` is the
+/// user's call and passes through untouched, and `--jobs 1` changes
+/// nothing, preserving the serial path byte-for-byte.
+fn sweep_device_cfg(mut cfg: DeviceConfig, jobs: usize) -> DeviceConfig {
+    if jobs > 1 && cfg.worker_threads == 0 {
+        cfg.worker_threads = (cfg.effective_workers() / jobs).max(4);
+    }
+    cfg
 }
 
 /// Runs `repeats` independent tests of one workload configuration and
@@ -506,6 +523,28 @@ mod tests {
             eirene.throughput,
             stm.throughput
         );
+    }
+
+    #[test]
+    fn sweep_device_cfg_divides_workers_across_jobs() {
+        let auto = DeviceConfig::default();
+        // Serial sweep: untouched (byte-identical serial path).
+        assert_eq!(sweep_device_cfg(auto.clone(), 1).worker_threads, 0);
+        // Parallel sweep: auto workers split across jobs, floored at 4 so
+        // per-device cross-warp contention survives.
+        let split = sweep_device_cfg(auto.clone(), 2);
+        assert_eq!(
+            split.worker_threads,
+            (auto.effective_workers() / 2).max(4)
+        );
+        let many = sweep_device_cfg(auto.clone(), 10_000);
+        assert_eq!(many.worker_threads, 4);
+        // An explicit pin is the user's call.
+        let pinned = DeviceConfig {
+            worker_threads: 3,
+            ..DeviceConfig::default()
+        };
+        assert_eq!(sweep_device_cfg(pinned, 8).worker_threads, 3);
     }
 
     #[test]

@@ -121,6 +121,10 @@ impl DeviceConfig {
     }
 
     /// Resolved worker-thread count for kernel launches.
+    ///
+    /// Host-dependent by design (auto mode scales with the machine's
+    /// cores), so it must never influence anything a deterministic launch
+    /// captures — see [`det_workers`](Self::det_workers).
     pub fn effective_workers(&self) -> usize {
         if self.worker_threads != 0 {
             return self.worker_threads;
@@ -128,6 +132,32 @@ impl DeviceConfig {
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         (2 * cores).max(8)
     }
+
+    /// Worker-slot bound for deterministic-mode launches.
+    ///
+    /// Unlike [`effective_workers`](Self::effective_workers) this is a
+    /// pure function of the configuration — never of the host. Under
+    /// bounded multiplexing the slot limit shapes the captured schedule
+    /// (an unstarted warp is only eligible for a grant while a slot is
+    /// free), so deriving it from `available_parallelism` would make the
+    /// same seed produce different interleavings on hosts with different
+    /// core counts and silently invalidate schedule logs exchanged between
+    /// machines. An explicit `worker_threads` is honored — it is part of
+    /// the `DeviceConfig` a reproducer must ship — while the auto (`0`)
+    /// default resolves to [`Self::DET_WORKER_SLOTS`].
+    pub fn det_workers(&self) -> usize {
+        if self.worker_threads != 0 {
+            return self.worker_threads;
+        }
+        Self::DET_WORKER_SLOTS
+    }
+
+    /// Deterministic-mode slot count in auto (`worker_threads == 0`) mode.
+    /// Equals the floor of what auto [`effective_workers`](Self::effective_workers)
+    /// can resolve to, so deterministic slots never outnumber the pool
+    /// threads that must run them concurrently (fewer slot threads than
+    /// the scheduler's limit would deadlock a granted-but-unpicked warp).
+    pub const DET_WORKER_SLOTS: usize = 8;
 }
 
 #[cfg(test)]
@@ -155,6 +185,23 @@ mod tests {
         assert_eq!(c.transactions_for(0, 0), 0);
         // 36 words aligned: words 0..36 covers segments 0,1,2.
         assert_eq!(c.transactions_for(0, 36), 3);
+    }
+
+    #[test]
+    fn det_workers_is_host_independent() {
+        // Auto mode resolves to the fixed constant, never to anything
+        // derived from available_parallelism: the det worker limit shapes
+        // captured schedules, which must replay bit-for-bit across hosts.
+        let auto = DeviceConfig::default();
+        assert_eq!(auto.det_workers(), DeviceConfig::DET_WORKER_SLOTS);
+        // An explicit pin is part of the shipped config, so it is honored
+        // (and keeps the det limit equal to the pool size).
+        let pinned = DeviceConfig {
+            worker_threads: 5,
+            ..DeviceConfig::default()
+        };
+        assert_eq!(pinned.det_workers(), 5);
+        assert_eq!(pinned.effective_workers(), 5);
     }
 
     #[test]

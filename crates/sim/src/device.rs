@@ -135,7 +135,12 @@ impl Device {
     /// # Panics
     /// A consuming launch panics if its kernel name or warp count diverges
     /// from the recorded entry — the replayed workload must be the one that
-    /// produced the log.
+    /// produced the log — or if a recorded choice cannot be honored under
+    /// the current deterministic worker limit
+    /// ([`DeviceConfig::det_workers`]), which means the log was captured
+    /// under a different limit (machine-pinned `worker_threads`, or an
+    /// older crate version): a silent fallback would replay a
+    /// different-but-plausible interleaving, defeating regression replay.
     pub fn set_replay_log(&self, log: ScheduleLog) {
         *self.replay.lock().unwrap() = Some((log, 0));
     }
@@ -148,8 +153,10 @@ impl Device {
     /// yields injected by [`WarpCtx`], co-resident warps interleave at
     /// memory-access granularity — so device-side synchronization exhibits
     /// real contention regardless of how many host cores exist. In
-    /// deterministic mode each warp gets a dedicated (mostly parked)
-    /// thread and a seeded scheduler serializes their stepping.
+    /// deterministic mode warps multiplex over a small **host-independent**
+    /// number of pool slots ([`DeviceConfig::det_workers`]) and a seeded
+    /// scheduler serializes their stepping, so a `(seed, config, kernel)`
+    /// triple replays the same interleaving on any machine.
     ///
     /// # Panics
     /// If the kernel panics in any warp, the launch re-raises the first
@@ -239,9 +246,13 @@ impl Device {
         // Warps multiplex over a bounded set of pool worker slots instead
         // of one (mostly parked) thread per warp: a slot runs its assigned
         // warp until the warp completes, then picks up the next start
-        // assignment. The token-passing protocol — and therefore schedule
-        // capture/replay — is unchanged; only the thread mapping is.
-        let workers = self.cfg.effective_workers().min(num_warps);
+        // assignment. The token-passing protocol is unchanged; only the
+        // thread mapping is. The slot bound shapes the captured schedule
+        // (an unstarted warp needs a free slot to be grantable), so it
+        // must be host-independent — `det_workers()`, never the
+        // core-count-derived `effective_workers()` — or the same seed
+        // would interleave differently on different machines.
+        let workers = self.cfg.det_workers().min(num_warps);
         let sched = match recorded {
             Some(choices) => DetScheduler::replaying(num_warps, choices),
             None => DetScheduler::seeded(num_warps, launch_seed(seed, launch_idx)),
@@ -287,6 +298,14 @@ impl Device {
             });
         if let Some(f) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
             resume_kernel_panic(name, f);
+        }
+        // A replayed choice the scheduler could not honor means the log
+        // came from a different det worker limit (machine/version): the
+        // launch drained on a fallback interleaving, which must not pass
+        // for a faithful replay. Checked after the kernel-panic path so a
+        // real kernel failure keeps precedence.
+        if let Some(msg) = sched.replay_divergence() {
+            panic!("kernel '{name}': {msg}");
         }
         let warp_stats: Vec<WarpStats> = warp_stats
             .into_iter()
@@ -480,6 +499,32 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_launches_on_one_device_are_safe() {
+        // `launch` takes &self; with per-launch scoped threads concurrent
+        // launches were safe, and the pooled substrate must keep them so
+        // (the pool serializes epochs internally).
+        let dev = Device::new(1 << 14, DeviceConfig::test_small());
+        let cells: Vec<_> = (0..4).map(|_| dev.mem().alloc(1)).collect();
+        std::thread::scope(|s| {
+            for &cell in &cells {
+                let dev = &dev;
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        let stats = dev.launch("concurrent", 16, |_, ctx| {
+                            ctx.atomic_add(cell, 1);
+                        });
+                        assert_eq!(stats.warps, 16);
+                        assert_eq!(stats.totals.atomic_insts, 16);
+                    }
+                });
+            }
+        });
+        for &cell in &cells {
+            assert_eq!(dev.mem().read(cell), 5 * 16);
+        }
+    }
+
+    #[test]
     fn warps_contend_on_shared_memory() {
         let dev = Device::new(1 << 12, DeviceConfig::test_small());
         let cell = dev.mem().alloc(1);
@@ -572,6 +617,59 @@ mod tests {
         let s2 = dev2.launch("replayable", 6, kernel);
         assert_eq!(s1, s2, "replayed stats must match the original");
         assert_eq!(dev2.take_schedule_log(), log, "replay re-captures itself");
+    }
+
+    #[test]
+    fn det_schedule_does_not_depend_on_host_worker_resolution() {
+        // The det slot bound must come from the config, never from
+        // available_parallelism: a launch wider than the bound captures
+        // the same schedule whether the (host-dependent) OS worker count
+        // is tiny or huge. Both configs here resolve det_workers() == 8
+        // because worker_threads is left auto; the test pins the *shape*
+        // of the guarantee by running well past the slot bound.
+        let run = || {
+            let dev = Device::new(
+                1 << 14,
+                DeviceConfig::test_small().with_deterministic_sched(0xC0FFEE),
+            );
+            let cell = dev.mem().alloc(1);
+            dev.launch("wide-det", 3 * DeviceConfig::DET_WORKER_SLOTS, |_, ctx| {
+                for _ in 0..40 {
+                    ctx.atomic_add(cell, 1);
+                }
+            });
+            dev.take_schedule_log()
+        };
+        assert_eq!(run(), run(), "schedules must be identical across runs");
+    }
+
+    #[test]
+    #[should_panic(expected = "replay diverged")]
+    fn replay_from_larger_worker_limit_fails_loudly() {
+        // A log that starts DET_WORKER_SLOTS + 1 distinct warps before any
+        // finishes can only have been captured under a larger worker limit
+        // (another machine's pinned config, or the pre-bounding version).
+        // Replaying it must fail, not silently substitute an eligible warp.
+        let dev = Device::new(
+            1 << 12,
+            DeviceConfig::test_small().with_deterministic_sched(9),
+        );
+        let a = dev.mem().alloc(1);
+        let warps = DeviceConfig::DET_WORKER_SLOTS + 4;
+        dev.set_replay_log(ScheduleLog {
+            launches: vec![LaunchSchedule {
+                name: "div".into(),
+                num_warps: warps as u32,
+                choices: (0..=DeviceConfig::DET_WORKER_SLOTS as u32).collect(),
+            }],
+        });
+        dev.launch("div", warps, |_, ctx| {
+            // Enough reads that every warp yields before finishing, so the
+            // first DET_WORKER_SLOTS starts all stay in flight.
+            for _ in 0..60 {
+                ctx.read(a);
+            }
+        });
     }
 
     #[test]

@@ -157,6 +157,16 @@ impl GlobalMemory {
     /// which orders the relaxed stores before the publication for free —
     /// so readers of published data lose nothing, and the innermost copy
     /// loop sheds a full fence per word on weakly-ordered hosts.
+    ///
+    /// **No intra-slice ordering.** Unlike the old per-word `Release`
+    /// stores, observing one word of this block does **not** make earlier
+    /// words of the same block visible: the words themselves are plain
+    /// `Relaxed` stores with no ordering among them. A word of the slice
+    /// must therefore never be used as the publication flag for the rest
+    /// of the slice — publish through a *separate* `Release`
+    /// [`write`](Self::write)/[`cas`](Self::cas) (or read the block back
+    /// with [`read_slice`](Self::read_slice), whose trailing `Acquire`
+    /// fence pairs with the leading fence here).
     pub fn write_slice(&self, base: Addr, values: &[u64]) {
         let base = base as usize;
         let dst = &self.words[base..base + values.len()];
@@ -171,7 +181,10 @@ impl GlobalMemory {
     /// The fence upgrades every observed store to a synchronizing one, so
     /// anything that happened before the writer's fence (or before a
     /// `Release` store whose value one of these loads saw) is visible
-    /// after this call returns.
+    /// after this call returns. The same caveat as `write_slice` applies:
+    /// synchronization is established only *after* the whole call — the
+    /// individual loads carry no ordering among themselves, so a caller
+    /// must not treat one slice word as a flag guarding the others.
     pub fn read_slice(&self, base: Addr, out: &mut [u64]) {
         let base = base as usize;
         let src = &self.words[base..base + out.len()];

@@ -17,8 +17,9 @@
 //!   kernel closure directly while the launching thread waits — the same
 //!   claimer population as the old scoped-thread launch, so OS-mode
 //!   contention interleavings keep their historical distribution.
-//! * Deterministic mode: one item per *det worker slot* (at most
-//!   `effective_workers()`), each running an assignment loop against the
+//! * Deterministic mode: one item per *det worker slot* (at most the
+//!   host-independent `DeviceConfig::det_workers()`, which never exceeds
+//!   the pool size), each running an assignment loop against the
 //!   token-passing [`DetScheduler`](crate::DetScheduler) while the
 //!   launching thread drives the schedule. See `Device::launch_det`.
 //!
@@ -78,9 +79,20 @@ impl Shared {
 }
 
 /// A fixed set of long-lived worker threads executing launch epochs.
+///
+/// Epochs run one at a time: `State` holds a single current epoch, so the
+/// pool serializes `run`/`run_with_driver` callers behind an internal
+/// launch mutex. `Device::launch` takes `&self` and was safe to call from
+/// several threads back when each launch built its own scoped-thread
+/// substrate; without the mutex a second concurrent launch would overwrite
+/// the published epoch and strand the first launcher waiting on a
+/// completion count that can no longer be reached.
 pub struct WorkerPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
+    /// Serializes epoch publication (see type-level doc). Held across the
+    /// whole epoch, driver included.
+    launch: Mutex<()>,
 }
 
 impl WorkerPool {
@@ -104,7 +116,11 @@ impl WorkerPool {
                     .expect("spawn pool worker")
             })
             .collect();
-        WorkerPool { shared, handles }
+        WorkerPool {
+            shared,
+            handles,
+            launch: Mutex::new(()),
+        }
     }
 
     /// Runs `task(idx)` for every `idx in 0..num_items` across the pool.
@@ -136,6 +152,9 @@ impl WorkerPool {
             driver();
             return;
         }
+        // One epoch at a time (see the type-level doc); a poisoned guard
+        // only means a previous launcher re-raised a kernel panic.
+        let _serial = self.launch.lock().unwrap_or_else(|e| e.into_inner());
         // SAFETY: lifetime erasure only — the claim protocol (documented at
         // module level) guarantees no dereference happens after this
         // function returns, because we wait for `done == num_items` below.
@@ -297,6 +316,36 @@ mod tests {
         );
         assert_eq!(drove.load(Ordering::Relaxed), 1);
         assert_eq!(ran.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn concurrent_epochs_from_multiple_threads_are_serialized() {
+        // Regression for a lost-epoch deadlock: two launchers racing on one
+        // pool used to overwrite each other's published epoch, leaving the
+        // first waiting forever on a completion count the workers had
+        // abandoned. The launch mutex serializes them; every item of every
+        // epoch must run exactly once.
+        let pool = WorkerPool::new(4);
+        let counts: Vec<Vec<AtomicU64>> = (0..4)
+            .map(|_| (0..64).map(|_| AtomicU64::new(0)).collect())
+            .collect();
+        std::thread::scope(|s| {
+            for counts in &counts {
+                let pool = &pool;
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        pool.run(counts.len(), &|i| {
+                            counts[i].fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        for (l, counts) in counts.iter().enumerate() {
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 20, "launcher {l} item {i}");
+            }
+        }
     }
 
     #[test]

@@ -170,8 +170,13 @@ enum Turn {
 
 enum ChoiceSource {
     Rng(SplitMix64),
-    /// Recorded choices plus a cursor; once exhausted (or on divergence)
-    /// the scheduler falls back to the first runnable warp.
+    /// Recorded choices plus a cursor. Once the tape is exhausted, or when
+    /// a recorded warp already finished (benign length drift), the
+    /// scheduler falls back to the first runnable warp. A recorded warp
+    /// that is *unfinished* but ineligible under the worker bound is a
+    /// real divergence (the log was captured under a different limit or
+    /// version) and is reported through [`DetScheduler::replay_divergence`]
+    /// instead of being silently substituted.
     Replay(Vec<u32>, usize),
 }
 
@@ -181,6 +186,11 @@ struct DetState {
     live: usize,
     source: ChoiceSource,
     choices: Vec<u32>,
+    /// First replay divergence detected (see [`ChoiceSource::Replay`]).
+    /// The schedule keeps draining on the fallback so every warp finishes
+    /// — panicking mid-drive would strand warp threads parked on the
+    /// token — and the launch fails loudly afterwards.
+    diverged: Option<String>,
     /// Bounded-worker multiplexing (None = legacy one-thread-per-warp).
     /// When set, at most `limit` warps may be mid-execution at once; a
     /// warp not yet started is only eligible while a worker slot is free,
@@ -189,6 +199,9 @@ struct DetState {
 }
 
 struct WorkerState {
+    /// The configured slot limit (kept for diagnostics; `free` tracks the
+    /// live remainder).
+    limit: usize,
     started: Vec<bool>,
     /// Worker slots not currently owning a started-but-unfinished warp.
     free: usize,
@@ -215,11 +228,40 @@ impl DetState {
             .filter(|&w| self.eligible(w))
             .collect();
         debug_assert!(!runnable.is_empty());
+        let step = self.choices.len();
         let w = match &mut self.source {
             ChoiceSource::Rng(rng) => runnable[(rng.next() % runnable.len() as u64) as usize],
             ChoiceSource::Replay(choices, pos) => {
                 let recorded = choices.get(*pos).map(|&c| c as usize);
                 *pos += 1;
+                let divergence = match recorded {
+                    Some(c) if c < self.finished.len() && runnable.contains(&c) => None,
+                    // A recorded warp that is still unfinished but not
+                    // grantable can only mean the worker bound differs
+                    // from the recording run (other machine, other limit,
+                    // other crate version). Substituting a plausible warp
+                    // here would silently replay a *different*
+                    // interleaving, so record the divergence; the launch
+                    // drains on the fallback and then fails loudly.
+                    Some(c) if c < self.finished.len() && !self.finished[c] => Some(format!(
+                        "schedule replay diverged at step {step}: recorded warp {c} is \
+                         unfinished but cannot be granted (not started and no free slot \
+                         under det worker limit {}); the log was captured under a \
+                         different worker limit or version",
+                        self.workers.as_ref().map_or(0, |ws| ws.limit),
+                    )),
+                    Some(c) if c >= self.finished.len() => Some(format!(
+                        "schedule replay diverged at step {step}: recorded warp {c} is \
+                         out of range for a {}-warp launch (corrupt or mismatched log)",
+                        self.finished.len(),
+                    )),
+                    // Exhausted tape or an already-finished warp: benign
+                    // length drift, fall back as before.
+                    _ => None,
+                };
+                if divergence.is_some() && self.diverged.is_none() {
+                    self.diverged = divergence;
+                }
                 match recorded {
                     Some(c) if c < self.finished.len() && runnable.contains(&c) => c,
                     _ => runnable[0],
@@ -270,6 +312,7 @@ impl DetScheduler {
                 live: num_warps,
                 source,
                 choices: Vec::new(),
+                diverged: None,
                 workers: None,
             }),
             cv: Condvar::new(),
@@ -289,6 +332,7 @@ impl DetScheduler {
             let mut st = self.lock();
             let n = st.finished.len();
             st.workers = Some(WorkerState {
+                limit: limit.max(1),
                 started: vec![false; n],
                 free: limit.max(1),
                 assignments: VecDeque::new(),
@@ -368,6 +412,16 @@ impl DetScheduler {
     /// returns).
     pub fn take_choices(&self) -> Vec<u32> {
         std::mem::take(&mut self.lock().choices)
+    }
+
+    /// The first replay divergence detected, if any: a recorded choice
+    /// that was unfinished yet ineligible (or out of range), meaning the
+    /// log came from a different worker limit, machine, or version. The
+    /// schedule drains on a fallback so every warp completes — callers
+    /// (e.g. `Device::launch_det`) must check this after `drive` returns
+    /// and fail loudly rather than accept the substituted interleaving.
+    pub fn replay_divergence(&self) -> Option<String> {
+        self.lock().diverged.clone()
     }
 }
 
@@ -524,6 +578,61 @@ mod tests {
         );
         assert_eq!(o1, o2);
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn bounded_replay_under_smaller_limit_reports_divergence() {
+        // The tape starts warps 0, 1, 2 back-to-back, which needs three
+        // concurrent slots; under limit 2 the third start is ineligible.
+        // The schedule must still drain (every warp finishes) and the
+        // divergence must be reported, not silently substituted.
+        let sched = DetScheduler::replaying(3, vec![0, 1, 2]).with_worker_limit(2);
+        std::thread::scope(|scope| {
+            for _slot in 0..2 {
+                let sched = &sched;
+                scope.spawn(move || {
+                    while let Some(w) = sched.next_assignment() {
+                        sched.warp_begin(w);
+                        for _ in 0..2 {
+                            sched.yield_point(w);
+                        }
+                        sched.warp_finished(w);
+                    }
+                });
+            }
+            sched.drive();
+        });
+        let msg = sched
+            .replay_divergence()
+            .expect("ineligible recorded choice must be reported");
+        assert!(msg.contains("worker limit 2"), "{msg}");
+        assert!(msg.contains("warp 2"), "{msg}");
+    }
+
+    #[test]
+    fn faithful_bounded_replay_reports_no_divergence() {
+        let (_, c1) = run_warps_bounded(DetScheduler::seeded(5, 0xFEED).with_worker_limit(2), 2, 4);
+        let sched = DetScheduler::replaying(5, c1).with_worker_limit(2);
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _slot in 0..2 {
+                let sched = &sched;
+                let order = &order;
+                scope.spawn(move || {
+                    while let Some(w) = sched.next_assignment() {
+                        sched.warp_begin(w);
+                        for _ in 0..4 {
+                            order.lock().unwrap().push(w as u32);
+                            sched.yield_point(w);
+                        }
+                        order.lock().unwrap().push(w as u32);
+                        sched.warp_finished(w);
+                    }
+                });
+            }
+            sched.drive();
+        });
+        assert_eq!(sched.replay_divergence(), None);
     }
 
     #[test]
