@@ -6,13 +6,20 @@
 //! cargo run -p eirene-bench --release -- fuzz --seed 1 --batches 500
 //! cargo run -p eirene-bench --release -- fuzz --tree eirene --os-sched
 //! cargo run -p eirene-bench --release -- fuzz --inject-fault        # self-test
+//! cargo run -p eirene-bench --release -- fuzz --serve --shards 4    # sharded service
 //! ```
+//!
+//! `--serve` routes the same adversarial request streams through the
+//! sharded serving layer (`eirene-serve`) instead of a single tree —
+//! shard routing, epoch pipelining, and cross-shard range merging all sit
+//! between the generator and the oracle.
 //!
 //! Exit status: 0 when every case agrees with the sequential oracle, 1
 //! when a violation was found (the shrunk reproducer and its seeds are
 //! printed), 2 on usage errors.
 
 use eirene_check::{FaultSpec, FuzzOptions, FuzzOutcome, FuzzTree};
+use eirene_check::{ServeFuzzOptions, ServeFuzzOutcome};
 
 fn usage() -> ! {
     eprintln!(
@@ -44,9 +51,67 @@ fn parse_seed(v: Option<&String>) -> u64 {
     .unwrap_or_else(|_| usage())
 }
 
+/// Parses `fuzz --serve` arguments and runs the serving-layer harness;
+/// accepts exactly the flag set that [`ServeFuzzFailure`]'s replay command
+/// prints (`eirene_check::ServeFuzzFailure`).
+fn run_serve(args: &[String]) -> i32 {
+    let mut opts = ServeFuzzOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--serve" => {}
+            "--seed" => opts.seed = parse_seed(it.next()),
+            "--repro-seed" => opts.repro = Some(parse_seed(it.next())),
+            "--batches" | "--cases" => opts.cases = parse_num(it.next()),
+            "--batch" => opts.batch_size = parse_num(it.next()),
+            "--domain" => opts.domain = parse_num(it.next()),
+            "--initial-keys" => opts.initial_keys = parse_num(it.next()),
+            "--shards" => opts.shards = parse_num(it.next()),
+            "--epoch-limit" => opts.epoch_limit = parse_num(it.next()),
+            "--os-sched" => opts.deterministic = false,
+            "--det" => opts.deterministic = true,
+            _ => usage(),
+        }
+    }
+    eprintln!(
+        "fuzz --serve: {}, {} batches x {} requests, domain {}, {} shards, epoch limit {}, {}",
+        match opts.repro {
+            Some(s) => format!("replaying batch seed {s:#x}"),
+            None => format!("seed {:#x}", opts.seed),
+        },
+        opts.cases,
+        opts.batch_size,
+        opts.domain,
+        opts.shards,
+        opts.epoch_limit,
+        if opts.deterministic {
+            "deterministic scheduling"
+        } else {
+            "OS scheduling"
+        },
+    );
+    match eirene_check::run_serve_fuzz(&opts) {
+        ServeFuzzOutcome::Passed { cases } => {
+            println!(
+                "fuzz --serve: {cases} cases across {} shards, all consistent with the \
+                 sequential oracle",
+                opts.shards
+            );
+            0
+        }
+        ServeFuzzOutcome::Failed(f) => {
+            println!("{f}");
+            1
+        }
+    }
+}
+
 /// Parses `fuzz` arguments and runs the harness; returns the process exit
 /// code.
 pub fn run(args: &[String]) -> i32 {
+    if args.iter().any(|a| a == "--serve") {
+        return run_serve(args);
+    }
     let mut opts = FuzzOptions::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {

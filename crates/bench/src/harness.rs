@@ -533,10 +533,7 @@ mod tests {
         // Parallel sweep: auto workers split across jobs, floored at 4 so
         // per-device cross-warp contention survives.
         let split = sweep_device_cfg(auto.clone(), 2);
-        assert_eq!(
-            split.worker_threads,
-            (auto.effective_workers() / 2).max(4)
-        );
+        assert_eq!(split.worker_threads, (auto.effective_workers() / 2).max(4));
         let many = sweep_device_cfg(auto.clone(), 10_000);
         assert_eq!(many.worker_threads, 4);
         // An explicit pin is the user's call.

@@ -12,5 +12,6 @@ pub mod fuzz;
 pub mod harness;
 pub mod metrics;
 pub mod perf;
+pub mod serve;
 
 pub use harness::{Measurement, Point, Scale, TreeKind};

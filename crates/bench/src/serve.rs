@@ -1,0 +1,264 @@
+//! The `serve` subcommand: throughput/QoS sweep of the sharded serving
+//! layer (`eirene-serve`) over shard count × offered load.
+//!
+//! ```text
+//! cargo run -p eirene-bench --release -- serve              # defaults
+//! cargo run -p eirene-bench --release -- serve --smoke
+//! cargo run -p eirene-bench --release -- serve --shards 1,2,4 --requests 32768
+//! ```
+//!
+//! Per cell the sweep reports aggregate throughput, end-to-end latency
+//! quantiles (p50/p99/p99.9), admission outcomes (shed/timed-out), and the
+//! shard-count speedup against the single-shard closed-loop baseline. The
+//! workload is YCSB-C (point lookups) over a shard-aware generator, with a
+//! configurable fraction of keys rewritten onto shard boundaries.
+//!
+//! Exit status: 0 when every report is internally consistent (per-shard
+//! telemetry rows sum to totals, trees validate), 1 otherwise.
+
+use eirene_serve::{AdmitPolicy, ServeConfig, ServeReport, Service, ShardMap};
+use eirene_sim::DeviceConfig;
+use eirene_workloads::{Distribution, Mix, ShardedGen, WorkloadGen, WorkloadSpec};
+use std::time::Duration;
+
+struct ServeScale {
+    shards: Vec<usize>,
+    /// Offered loads for the open-loop cells, as fractions of the
+    /// measured aggregate closed-loop capacity.
+    loads: Vec<f64>,
+    tree_exp: u32,
+    requests: usize,
+    batch_limit: usize,
+    straddle: f64,
+    seed: u64,
+    device: DeviceConfig,
+}
+
+impl Default for ServeScale {
+    fn default() -> Self {
+        ServeScale {
+            shards: vec![1, 2, 4, 8],
+            loads: vec![0.5, 0.9],
+            tree_exp: 18,
+            requests: 1 << 16,
+            batch_limit: 4096,
+            straddle: 0.05,
+            seed: 0x5E44E,
+            device: DeviceConfig::default(),
+        }
+    }
+}
+
+impl ServeScale {
+    fn smoke() -> Self {
+        ServeScale {
+            shards: vec![1, 4],
+            loads: vec![0.8],
+            tree_exp: 13,
+            requests: 1 << 13,
+            batch_limit: 512,
+            device: DeviceConfig::test_small(),
+            ..Default::default()
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eirene-bench serve [--smoke] [--shards a,b,c] [--loads f,f] [--tree-exp N] \
+         [--requests N] [--batch-limit N] [--straddle F] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(v: Option<&String>) -> T {
+    v.unwrap_or_else(|| usage())
+        .parse()
+        .unwrap_or_else(|_| usage())
+}
+
+fn parse_list<T: std::str::FromStr>(v: Option<&String>) -> Vec<T> {
+    v.unwrap_or_else(|| usage())
+        .split(',')
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .collect()
+}
+
+/// Shard map over the workload's key domain (not the full `u32` space), so
+/// the generated keys actually spread across shards; the last shard still
+/// runs to `u32::MAX`.
+fn workload_map(shards: usize, key_domain: u64) -> ShardMap {
+    let width = ((key_domain + 1) / shards as u64).max(1) as u32;
+    ShardMap::from_starts((0..shards as u32).map(|i| i * width).collect())
+}
+
+/// Runs one cell: submits `requests` YCSB-C lookups (single submitting
+/// client, gate held so epoch composition is load-independent), then
+/// releases and drains. `rate` (requests/second) spaces virtual arrivals
+/// for the open-loop cells; `None` is the closed-loop capacity
+/// measurement.
+fn run_cell(scale: &ServeScale, shards: usize, rate: Option<f64>) -> ServeReport {
+    let spec = WorkloadSpec {
+        tree_size: 1usize << scale.tree_exp,
+        batch_size: scale.batch_limit,
+        mix: Mix::ycsb_c(),
+        distribution: Distribution::Uniform,
+        seed: scale.seed,
+    };
+    let map = workload_map(shards, spec.key_domain());
+    let pairs: Vec<(u64, u64)> = spec
+        .initial_pairs()
+        .into_iter()
+        .map(|(k, v)| (k as u64, v as u64))
+        .collect();
+    let cfg = ServeConfig {
+        map: map.clone(),
+        device: scale.device.clone(),
+        batch_limit: scale.batch_limit,
+        // Everything fits queued while the gate is held.
+        queue_depth: scale.requests + 1,
+        policy: AdmitPolicy::Block,
+        linger: Duration::ZERO,
+        hold_gate: true,
+        headroom_nodes: 1 << 14,
+        replay: None,
+    };
+    let svc = Service::new(&pairs, cfg);
+    let client = svc.client();
+    // A single-shard map has no interior boundaries to straddle; fall back
+    // to the plain generator there.
+    let boundaries = map.boundaries();
+    let reqs = if boundaries.is_empty() {
+        WorkloadGen::new(spec).next_requests(scale.requests)
+    } else {
+        ShardedGen::new(spec, boundaries, scale.straddle).next_requests(scale.requests)
+    };
+    let cycles_per_req = rate.map(|r| scale.device.clock_ghz * 1e9 / r);
+    for (i, req) in reqs.into_iter().enumerate() {
+        match cycles_per_req {
+            Some(cpr) => {
+                let _ = client.submit_at(req.key, req.op, (i as f64 * cpr) as u64);
+            }
+            None => {
+                let _ = client.submit(req.key, req.op);
+            }
+        }
+    }
+    svc.release();
+    svc.shutdown()
+}
+
+fn cycles_to_us(device: &DeviceConfig, cycles: u64) -> f64 {
+    device.cycles_to_secs(cycles as f64) * 1e6
+}
+
+fn print_row(device: &DeviceConfig, shards: usize, mode: &str, report: &ServeReport, base: f64) {
+    let lat = report.latency();
+    let tput = report.throughput();
+    println!(
+        "{shards:>6}  {mode:<12} {:>10.2}  {:>7.2}x  {:>9.1}  {:>9.1}  {:>9.1}  {:>5}  {:>7}  {:>6}",
+        tput / 1e6,
+        if base > 0.0 { tput / base } else { 0.0 },
+        cycles_to_us(device, lat.p50()),
+        cycles_to_us(device, lat.p99()),
+        cycles_to_us(device, lat.p999()),
+        report.shed(),
+        report.timed_out(),
+        report.shards.iter().map(|s| s.epochs).sum::<u64>(),
+    );
+}
+
+fn check_report(report: &ServeReport, label: &str) -> bool {
+    let mut ok = true;
+    if !report.phase_rows_sum_to_totals() {
+        eprintln!("serve: {label}: telemetry phase rows do not sum to totals");
+        ok = false;
+    }
+    if let Err(e) = report.structure() {
+        eprintln!("serve: {label}: structure validation failed: {e}");
+        ok = false;
+    }
+    ok
+}
+
+/// Parses `serve` arguments and runs the sweep; returns the process exit
+/// code.
+pub fn run(args: &[String]) -> i32 {
+    let mut scale = ServeScale::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => scale = ServeScale::smoke(),
+            "--shards" => scale.shards = parse_list(it.next()),
+            "--loads" => scale.loads = parse_list(it.next()),
+            "--tree-exp" => scale.tree_exp = parse_num(it.next()),
+            "--requests" => scale.requests = parse_num(it.next()),
+            "--batch-limit" => scale.batch_limit = parse_num(it.next()),
+            "--straddle" => scale.straddle = parse_num(it.next()),
+            "--seed" => scale.seed = parse_num(it.next()),
+            _ => usage(),
+        }
+    }
+    if scale.shards.is_empty() {
+        usage();
+    }
+    eprintln!(
+        "serve: YCSB-C, tree 2^{}, {} requests/cell, epoch limit {}, straddle {:.2}, shards {:?}",
+        scale.tree_exp, scale.requests, scale.batch_limit, scale.straddle, scale.shards
+    );
+    println!(
+        "{:>6}  {:<12} {:>10}  {:>8}  {:>9}  {:>9}  {:>9}  {:>5}  {:>7}  {:>6}",
+        "shards",
+        "mode",
+        "tput(M/s)",
+        "speedup",
+        "p50(us)",
+        "p99(us)",
+        "p99.9(us)",
+        "shed",
+        "timeout",
+        "epochs"
+    );
+    let mut all_ok = true;
+    let mut baseline = 0.0f64;
+    let mut speedups: Vec<(usize, f64)> = Vec::new();
+    for &shards in &scale.shards {
+        let closed = run_cell(&scale, shards, None);
+        all_ok &= check_report(&closed, &format!("{shards} shards closed"));
+        let tput = closed.throughput();
+        if baseline == 0.0 {
+            // First swept shard count is the baseline (conventionally 1).
+            baseline = tput;
+        }
+        speedups.push((shards, tput / baseline));
+        print_row(&scale.device, shards, "closed", &closed, baseline);
+        for &load in &scale.loads {
+            let rate = load * tput;
+            let open = run_cell(&scale, shards, Some(rate));
+            all_ok &= check_report(&open, &format!("{shards} shards load {load:.2}"));
+            print_row(
+                &scale.device,
+                shards,
+                &format!("open {load:.2}"),
+                &open,
+                baseline,
+            );
+        }
+    }
+    for &(shards, speedup) in &speedups {
+        if shards > 1 {
+            eprintln!(
+                "serve: {shards}-shard closed-loop speedup over {}-shard baseline: {speedup:.2}x",
+                scale.shards[0]
+            );
+        }
+    }
+    if all_ok {
+        eprintln!(
+            "serve: per-shard telemetry rows sum to totals on every cell; all trees validated"
+        );
+        0
+    } else {
+        1
+    }
+}

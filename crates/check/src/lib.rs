@@ -19,6 +19,10 @@
 //! * [`harness`] is the fuzz driver wired into `eirene-bench fuzz` and the
 //!   CI smoke job; failures print a self-contained reproducer with every
 //!   seed needed to replay it.
+//! * [`serve`] pushes the same adversarial streams through the sharded
+//!   serving layer (`eirene-serve`) — epoch splitting, cross-shard range
+//!   merging, shard routing — and shrinks any divergence to a minimal
+//!   cross-shard counterexample.
 //! * [`fault`] injects a deliberate off-by-one into a tree's responses so
 //!   the harness itself can be tested end-to-end (a fuzzer that never
 //!   fires is indistinguishable from a fuzzer that cannot fire).
@@ -34,10 +38,15 @@ pub mod diff;
 pub mod fault;
 pub mod gen;
 pub mod harness;
+pub mod serve;
 pub mod shrink;
 
 pub use diff::{build_tree, check_case, FuzzTree, Violation};
 pub use fault::{FaultSpec, FaultyTree};
 pub use gen::{adversarial_batch, dense_pairs, disjoint_batch, GenOptions, Profile};
 pub use harness::{run_fuzz, FuzzFailure, FuzzOptions, FuzzOutcome};
+pub use serve::{
+    fuzz_shard_map, run_serve_case, run_serve_fuzz, ServeFuzzFailure, ServeFuzzOptions,
+    ServeFuzzOutcome, ServeViolation,
+};
 pub use shrink::shrink;

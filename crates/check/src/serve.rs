@@ -1,0 +1,408 @@
+//! Differential fuzzing of the whole sharded serving layer
+//! (`eirene-serve`): adversarial request streams submitted through a
+//! service — boundary-straddling ranges, delete churn, duplicate-heavy key
+//! mixes from the existing generators — checked ticket-by-ticket against
+//! the [`SequentialOracle`], with ddmin shrinking to a minimal cross-shard
+//! counterexample.
+//!
+//! The oracle side leans on the service's linearizability contract:
+//! timestamps are assigned in submission order under the submission lock,
+//! so a single submitting client makes the oracle's execution order equal
+//! the submission order — the epoch structure, the shard split, and the
+//! cross-shard range merge must all be transparent.
+
+use crate::gen::{adversarial_batch, dense_pairs, GenOptions, Profile};
+use crate::shrink::shrink;
+use eirene_serve::{AdmitPolicy, Outcome, ServeConfig, Service, ShardMap, Ticket};
+use eirene_sim::DeviceConfig;
+use eirene_workloads::{Batch, Oracle, Request, Response, SequentialOracle};
+use std::time::Duration;
+
+/// Configuration of one serve-mode fuzz run.
+#[derive(Clone, Debug)]
+pub struct ServeFuzzOptions {
+    /// Master seed; per-case batch seeds derive from it.
+    pub seed: u64,
+    /// Adversarial batches to push through fresh services.
+    pub cases: usize,
+    /// Requests per case.
+    pub batch_size: usize,
+    /// Key domain of generated requests.
+    pub domain: u32,
+    /// Keys pre-loaded into every fresh service (`1..=initial_keys`).
+    pub initial_keys: u32,
+    /// Shards per service; boundaries are spread across the generation
+    /// domain so generated ranges actually straddle them.
+    pub shards: usize,
+    /// Epoch size limit, chosen well below `batch_size` so every case
+    /// exercises multiple epoch boundaries per shard.
+    pub epoch_limit: usize,
+    /// Run shard devices under the seeded deterministic scheduler.
+    pub deterministic: bool,
+    /// Replay mode: use this value directly as the batch seed and try each
+    /// generator profile once (same contract as
+    /// [`FuzzOptions::repro`](crate::FuzzOptions)).
+    pub repro: Option<u64>,
+}
+
+impl Default for ServeFuzzOptions {
+    fn default() -> Self {
+        ServeFuzzOptions {
+            seed: 0x5E4E5E,
+            cases: 500,
+            batch_size: 192,
+            domain: 4096,
+            initial_keys: 1024,
+            shards: 4,
+            epoch_limit: 48,
+            deterministic: false,
+            repro: None,
+        }
+    }
+}
+
+/// How a serve-mode case failed.
+#[derive(Clone, Debug)]
+pub enum ServeViolation {
+    /// A ticket's response diverged from the oracle's.
+    Response {
+        index: usize,
+        request: Request,
+        got: Response,
+        want: Response,
+    },
+    /// A ticket resolved without executing (shed or timed out) although the
+    /// case neither sets deadlines nor saturates the queues.
+    NotExecuted {
+        index: usize,
+        request: Request,
+        outcome: Outcome,
+    },
+    /// A shard tree failed `btree::validate` after the run.
+    Structure(String),
+    /// Responses matched but the merged final contents diverged.
+    Contents(String),
+    /// The report's own accounting is inconsistent (counter balance or
+    /// phase rows).
+    Accounting(String),
+}
+
+impl std::fmt::Display for ServeViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeViolation::Response {
+                index,
+                request,
+                got,
+                want,
+            } => write!(
+                f,
+                "ticket {index} diverges for {request:?}: got {got:?}, oracle says {want:?}"
+            ),
+            ServeViolation::NotExecuted {
+                index,
+                request,
+                outcome,
+            } => write!(
+                f,
+                "ticket {index} for {request:?} resolved {outcome:?} without executing"
+            ),
+            ServeViolation::Structure(e) => write!(f, "structural invariant violated: {e}"),
+            ServeViolation::Contents(e) => write!(f, "final contents diverge: {e}"),
+            ServeViolation::Accounting(e) => write!(f, "report accounting inconsistent: {e}"),
+        }
+    }
+}
+
+/// A serve-fuzz-found violation, shrunk to a minimal reproducer.
+#[derive(Clone, Debug)]
+pub struct ServeFuzzFailure {
+    pub iteration: usize,
+    pub profile: Profile,
+    pub batch_seed: u64,
+    /// Base device seed (deterministic mode only; per-shard seeds derive
+    /// from it through [`Cluster`](eirene_sim::Cluster)).
+    pub device_seed: Option<u64>,
+    pub shards: usize,
+    /// The minimal failing submission sequence (timestamps are positional).
+    pub shrunk: Vec<Request>,
+    pub violation: ServeViolation,
+    /// Self-contained `eirene-bench fuzz --serve` replay command.
+    pub replay: String,
+}
+
+impl std::fmt::Display for ServeFuzzFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "serve differential violation across {} shards (iteration {}, profile {:?}, batch seed {:#x}{})",
+            self.shards,
+            self.iteration,
+            self.profile,
+            self.batch_seed,
+            match self.device_seed {
+                Some(s) => format!(", device seed {s:#x}"),
+                None => ", OS scheduling".to_string(),
+            }
+        )?;
+        writeln!(f, "  {}", self.violation)?;
+        writeln!(f, "  minimal reproducer ({} requests):", self.shrunk.len())?;
+        for r in &self.shrunk {
+            writeln!(f, "    {r:?}")?;
+        }
+        write!(f, "  replay: {}", self.replay)
+    }
+}
+
+/// Result of a serve-mode fuzz run.
+#[derive(Debug)]
+pub enum ServeFuzzOutcome {
+    Passed { cases: usize },
+    Failed(Box<ServeFuzzFailure>),
+}
+
+/// The shard map the fuzzer services use: boundaries spread uniformly
+/// across the *generation domain* (not the full `u32` space), so generated
+/// keys and range windows land on and straddle real shard boundaries. The
+/// last shard still runs to `u32::MAX`, covering the boundary profile's
+/// extreme keys.
+pub fn fuzz_shard_map(shards: usize, domain: u32) -> ShardMap {
+    assert!(shards > 0 && (shards as u64) <= domain as u64 + 1);
+    let width = (domain / shards as u32).max(1);
+    ShardMap::from_starts((0..shards as u32).map(|i| i * width).collect())
+}
+
+/// SplitMix64 step (same scheme as the single-tree harness).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Submits `reqs` (in order, one client) through a fresh service over
+/// `pairs` and checks every ticket, the merged contents, the structures,
+/// and the report accounting against the sequential oracle.
+pub fn run_serve_case(
+    opts: &ServeFuzzOptions,
+    map: &ShardMap,
+    pairs: &[(u64, u64)],
+    device_seed: u64,
+    reqs: &[Request],
+) -> Result<(), ServeViolation> {
+    let device = if opts.deterministic {
+        DeviceConfig::test_small().with_deterministic_sched(device_seed)
+    } else {
+        DeviceConfig::test_small()
+    };
+    let cfg = ServeConfig {
+        map: map.clone(),
+        device,
+        batch_limit: opts.epoch_limit.max(1),
+        // Generous: every entry (split ranges make one per covered shard)
+        // fits queued at once, so nothing is shed even with the gate held.
+        queue_depth: (reqs.len() + 1) * map.num_shards(),
+        policy: AdmitPolicy::Block,
+        linger: Duration::ZERO,
+        hold_gate: true,
+        headroom_nodes: (reqs.len() * 4).max(1 << 12),
+        replay: None,
+    };
+    let svc = Service::new(pairs, cfg);
+    let client = svc.client();
+    let tickets: Vec<Ticket> = reqs.iter().map(|r| client.submit(r.key, r.op)).collect();
+    svc.release();
+    let report = svc.shutdown();
+
+    // One client + admission-order timestamps: the oracle executes the
+    // submission sequence flat, in order.
+    let pairs32: Vec<(u32, u32)> = pairs.iter().map(|&(k, v)| (k as u32, v as u32)).collect();
+    let mut oracle = SequentialOracle::load(&pairs32);
+    let batch = Batch::new(
+        reqs.iter()
+            .enumerate()
+            .map(|(ts, r)| Request {
+                key: r.key,
+                op: r.op,
+                ts: ts as u64,
+            })
+            .collect(),
+    );
+    let want = oracle.run_batch(&batch);
+    for (index, (ticket, want)) in tickets.iter().zip(want).enumerate() {
+        match ticket.wait() {
+            Outcome::Done(got) => {
+                if got != want {
+                    return Err(ServeViolation::Response {
+                        index,
+                        request: batch.requests[index],
+                        got,
+                        want,
+                    });
+                }
+            }
+            outcome => {
+                return Err(ServeViolation::NotExecuted {
+                    index,
+                    request: batch.requests[index],
+                    outcome,
+                })
+            }
+        }
+    }
+    report.structure().map_err(ServeViolation::Structure)?;
+    let got_contents = report.contents();
+    let want_contents: Vec<(u64, u64)> = oracle
+        .contents()
+        .iter()
+        .map(|(&k, &v)| (k as u64, v as u64))
+        .collect();
+    if got_contents != want_contents {
+        return Err(ServeViolation::Contents(contents_diff(
+            &got_contents,
+            &want_contents,
+        )));
+    }
+    if report.shed() != 0 || report.timed_out() != 0 {
+        return Err(ServeViolation::Accounting(format!(
+            "unexpected shed={} timed_out={}",
+            report.shed(),
+            report.timed_out()
+        )));
+    }
+    if report.enqueued() != report.executed() {
+        return Err(ServeViolation::Accounting(format!(
+            "enqueued {} != executed {}",
+            report.enqueued(),
+            report.executed()
+        )));
+    }
+    if !report.phase_rows_sum_to_totals() {
+        return Err(ServeViolation::Accounting(
+            "phase rows do not sum to totals".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+fn contents_diff(got: &[(u64, u64)], want: &[(u64, u64)]) -> String {
+    let n = got.len().min(want.len());
+    for i in 0..n {
+        if got[i] != want[i] {
+            return format!(
+                "at sorted position {i}: service has {:?}, oracle has {:?}",
+                got[i], want[i]
+            );
+        }
+    }
+    format!(
+        "service holds {} keys, oracle holds {}",
+        got.len(),
+        want.len()
+    )
+}
+
+fn replay_command(opts: &ServeFuzzOptions, batch_seed: u64) -> String {
+    let mut cmd = format!(
+        "eirene-bench fuzz --serve --shards {} --batch {} --domain {} --initial-keys {} --repro-seed {batch_seed:#x}",
+        opts.shards, opts.batch_size, opts.domain, opts.initial_keys,
+    );
+    if !opts.deterministic {
+        cmd.push_str(" --os-sched");
+    }
+    cmd
+}
+
+/// Runs the serve-mode differential fuzz loop. On the first violation the
+/// failing submission sequence is ddmin-shrunk (re-running a fresh service
+/// per probe, same shard map and device seed) and returned.
+pub fn run_serve_fuzz(opts: &ServeFuzzOptions) -> ServeFuzzOutcome {
+    let pairs = dense_pairs(opts.initial_keys);
+    let map = fuzz_shard_map(opts.shards, opts.domain);
+    let gen_opts = GenOptions {
+        domain: opts.domain,
+        batch_size: opts.batch_size,
+    };
+    let iters = match opts.repro {
+        Some(_) => Profile::ALL.len(),
+        None => opts.cases,
+    };
+    for iter in 0..iters {
+        let batch_seed = match opts.repro {
+            Some(s) => s,
+            None => mix(opts.seed ^ mix(iter as u64)),
+        };
+        let device_seed = mix(batch_seed);
+        let profile = Profile::ALL[iter % Profile::ALL.len()];
+        // The generated timestamps are discarded: the serving layer assigns
+        // timestamps at admission, so only the submission *order* matters.
+        let reqs = adversarial_batch(batch_seed, profile, &gen_opts).requests;
+        if let Err(first) = run_serve_case(opts, &map, &pairs, device_seed, &reqs) {
+            let shrunk = shrink(&reqs, |cand| {
+                run_serve_case(opts, &map, &pairs, device_seed, cand).is_err()
+            });
+            let violation = run_serve_case(opts, &map, &pairs, device_seed, &shrunk)
+                .err()
+                .unwrap_or(first);
+            return ServeFuzzOutcome::Failed(Box::new(ServeFuzzFailure {
+                iteration: iter,
+                profile,
+                batch_seed,
+                device_seed: opts.deterministic.then_some(device_seed),
+                shards: opts.shards,
+                shrunk,
+                violation,
+                replay: replay_command(opts, batch_seed),
+            }));
+        }
+    }
+    ServeFuzzOutcome::Passed { cases: iters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_opts() -> ServeFuzzOptions {
+        ServeFuzzOptions {
+            cases: 12, // two passes over every generator profile
+            batch_size: 96,
+            domain: 1024,
+            initial_keys: 512,
+            epoch_limit: 24,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn serve_fuzz_passes_a_short_run() {
+        match run_serve_fuzz(&short_opts()) {
+            ServeFuzzOutcome::Passed { cases } => assert_eq!(cases, 12),
+            ServeFuzzOutcome::Failed(f) => panic!("unexpected violation:\n{f}"),
+        }
+    }
+
+    #[test]
+    fn serve_fuzz_passes_under_deterministic_scheduling() {
+        let opts = ServeFuzzOptions {
+            cases: 2,
+            batch_size: 64,
+            deterministic: true,
+            ..short_opts()
+        };
+        match run_serve_fuzz(&opts) {
+            ServeFuzzOutcome::Passed { cases } => assert_eq!(cases, 2),
+            ServeFuzzOutcome::Failed(f) => panic!("unexpected violation:\n{f}"),
+        }
+    }
+
+    #[test]
+    fn fuzz_shard_map_spreads_boundaries_over_the_domain() {
+        let map = fuzz_shard_map(4, 4096);
+        assert_eq!(map.boundaries(), vec![1024, 2048, 3072]);
+        assert_eq!(map.shard_of(u32::MAX), 3);
+        // A mid-domain window straddles a boundary into multiple parts.
+        assert!(map.split_range(1000, 100).len() > 1);
+    }
+}

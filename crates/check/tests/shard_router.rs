@@ -1,0 +1,112 @@
+//! Property tests for the serving layer's shard router ([`ShardMap`]):
+//! every key routes to exactly one shard, the shards tile the full `u32`
+//! key domain with no gaps or overlaps at range boundaries, the edge keys
+//! `Key::MIN`/`Key::MAX` are addressable, and split ranges reassemble the
+//! original window exactly. Maps are generated from seeded strategies —
+//! no external dependencies beyond the workspace proptest shim.
+
+use eirene_check::fuzz_shard_map;
+use eirene_serve::ShardMap;
+use proptest::prelude::*;
+
+/// Arbitrary shard maps: 1..=12 shards with arbitrary interior boundaries.
+fn map_strategy() -> impl Strategy<Value = ShardMap> {
+    proptest::collection::vec(any::<u32>(), 0..12).prop_map(|mut starts| {
+        starts.sort_unstable();
+        starts.dedup();
+        starts.retain(|&s| s != 0);
+        let mut all = vec![0u32];
+        all.extend(starts);
+        ShardMap::from_starts(all)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn prop_every_key_routes_to_exactly_one_shard(
+        map in map_strategy(),
+        key in any::<u32>(),
+    ) {
+        let shard = map.shard_of(key);
+        prop_assert!(shard < map.num_shards());
+        prop_assert!(map.start_of(shard) <= key && key <= map.end_of(shard));
+        // No other shard's range also contains the key (no overlaps).
+        for other in 0..map.num_shards() {
+            if other != shard {
+                prop_assert!(
+                    !(map.start_of(other) <= key && key <= map.end_of(other)),
+                    "key {} claimed by shards {} and {}", key, shard, other
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop_shards_tile_the_domain_without_gaps(map in map_strategy()) {
+        // Edge keys are addressable and land on the outermost shards.
+        prop_assert_eq!(map.shard_of(u32::MIN), 0);
+        prop_assert_eq!(map.shard_of(u32::MAX), map.num_shards() - 1);
+        prop_assert_eq!(map.start_of(0), 0);
+        prop_assert_eq!(map.end_of(map.num_shards() - 1), u32::MAX);
+        // Adjacent shard ranges abut exactly: no gap, no overlap.
+        for s in 0..map.num_shards() - 1 {
+            prop_assert_eq!(map.end_of(s) as u64 + 1, map.start_of(s + 1) as u64);
+        }
+        // Each interior boundary starts a new shard; its predecessor key
+        // still belongs to the previous shard.
+        for (i, b) in map.boundaries().into_iter().enumerate() {
+            prop_assert_eq!(map.shard_of(b), i + 1);
+            prop_assert_eq!(map.shard_of(b - 1), i);
+        }
+    }
+
+    #[test]
+    fn prop_split_ranges_tile_the_window(
+        map in map_strategy(),
+        lo in any::<u32>(),
+        len in 0u32..5000,
+    ) {
+        let parts = map.split_range(lo, len);
+        if len == 0 {
+            prop_assert!(parts.is_empty());
+            return Ok(());
+        }
+        // The window is clipped at the domain edge, matching the oracle's
+        // checked_add semantics.
+        let hi = lo.saturating_add(len - 1) as u64;
+        let mut expect_lo = lo as u64;
+        for p in &parts {
+            prop_assert_eq!(p.lo as u64, expect_lo, "parts must be contiguous");
+            prop_assert_eq!(p.offset as u64, p.lo as u64 - lo as u64);
+            prop_assert!(p.len >= 1);
+            let p_hi = p.lo as u64 + p.len as u64 - 1;
+            // Each part lies entirely inside its shard.
+            prop_assert_eq!(map.shard_of(p.lo), p.shard);
+            prop_assert!(p_hi <= map.end_of(p.shard) as u64);
+            expect_lo = p_hi + 1;
+        }
+        // The parts sum to the clipped window exactly and end at its edge.
+        let total: u64 = parts.iter().map(|p| p.len as u64).sum();
+        prop_assert_eq!(total, hi - lo as u64 + 1);
+        prop_assert_eq!(expect_lo, hi + 1);
+    }
+}
+
+#[test]
+fn uniform_maps_have_the_requested_shard_count() {
+    for shards in [1, 2, 3, 4, 5, 8, 13, 64] {
+        let map = ShardMap::uniform(shards);
+        assert_eq!(map.num_shards(), shards);
+        assert_eq!(map.shard_of(u32::MIN), 0);
+        assert_eq!(map.shard_of(u32::MAX), shards - 1);
+    }
+}
+
+#[test]
+fn fuzzer_map_keeps_boundaries_inside_the_generation_domain() {
+    let map = fuzz_shard_map(4, 4096);
+    assert!(map.boundaries().iter().all(|&b| b > 0 && b <= 4096));
+    assert_eq!(map.num_shards(), 4);
+}

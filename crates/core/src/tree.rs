@@ -108,11 +108,15 @@ impl EireneTree {
     pub fn plan(&self, batch: &Batch) -> crate::plan::CombinePlan {
         build_plan(batch, self.base.device.config())
     }
-}
 
-impl ConcurrentTree for EireneTree {
-    fn run_batch(&mut self, batch: &Batch) -> BatchRun {
-        let plan = build_plan(batch, self.base.device.config());
+    /// Executes a batch with an already-built [`CombinePlan`].
+    ///
+    /// [`build_plan`](crate::plan::build_plan) needs only the batch and the
+    /// device configuration — not the tree — so a caller can combine batch
+    /// N+1 on another host thread while batch N executes on the device (the
+    /// paper's pipelined-epoch model, used by `eirene-serve`). The plan
+    /// must have been built for this batch and this tree's device config.
+    pub fn run_planned(&mut self, batch: &Batch, plan: &crate::plan::CombinePlan) -> BatchRun {
         let exec_opts = ExecOptions {
             locality: self.opts.locality,
             retry_threshold: self.opts.retry_threshold,
@@ -126,8 +130,15 @@ impl ConcurrentTree for EireneTree {
             &self.stm,
             &exec_opts,
             batch,
-            &plan,
+            plan,
         )
+    }
+}
+
+impl ConcurrentTree for EireneTree {
+    fn run_batch(&mut self, batch: &Batch) -> BatchRun {
+        let plan = build_plan(batch, self.base.device.config());
+        self.run_planned(batch, &plan)
     }
 
     fn device(&self) -> &Device {
@@ -296,6 +307,32 @@ mod tests {
                 "key {key}"
             );
         }
+    }
+
+    #[test]
+    fn run_planned_matches_run_batch() {
+        let batch = Batch::new(
+            (0..400u32)
+                .map(|i| match i % 5 {
+                    0 => Request::upsert(i * 3 % 1000, i, i as u64),
+                    1 => Request::delete(i * 7 % 1000, i as u64),
+                    2 => Request::range(i * 11 % 1000, 4, i as u64),
+                    _ => Request::query(i * 13 % 1000, i as u64),
+                })
+                .collect(),
+        );
+        let mut a = EireneTree::new(&pairs(400), EireneOptions::test_small());
+        let mut b = EireneTree::new(&pairs(400), EireneOptions::test_small());
+        // Plan built off-tree (only the device config matters), as the
+        // serving layer's pipelined combiner does.
+        let plan = b.plan(&batch);
+        let ra = a.run_batch(&batch);
+        let rb = b.run_planned(&batch, &plan);
+        assert_eq!(ra.responses, rb.responses);
+        assert_eq!(
+            refops::contents(a.device().mem(), a.handle()),
+            refops::contents(b.device().mem(), b.handle())
+        );
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! # eirene-serve — sharded multi-device serving layer
+//!
+//! Serves the Eirene GB-tree as a *service*: the `u32` key domain is
+//! partitioned into contiguous shards ([`ShardMap`]), each shard owns an
+//! independent simulated device and tree, and clients submit individual
+//! timestamped requests through bounded ingress queues instead of
+//! hand-building batches.
+//!
+//! The layer adds, on top of `eirene-core`:
+//!
+//! - **Async submission** — [`Client::submit`] returns a [`Ticket`]
+//!   redeemable for the request's [`Outcome`].
+//! - **Epoch pipelining** — per shard, a combiner thread forms and plans
+//!   epoch N+1 (host work) while the executor runs epoch N on the device,
+//!   exploiting that [`build_plan`](eirene_core::plan::build_plan) needs
+//!   no tree access.
+//! - **Admission control** — bounded per-shard queues with a
+//!   shed-or-block [`AdmitPolicy`], plus per-request deadlines surfaced
+//!   as [`Outcome::TimedOut`] without executing.
+//! - **Cross-shard ranges** — range queries spanning shard boundaries are
+//!   split into per-shard sub-queries sharing one timestamp and merged
+//!   positionally, preserving global linearizability (see the
+//!   [`service`] module docs for the argument).
+//! - **Reports** — per-shard telemetry ([`ShardReport`]) with the
+//!   serving-only `ingress` / `queue_wait` phases, end-to-end latency
+//!   histograms, captured schedules, and aggregate views
+//!   ([`ServeReport`]).
+
+mod queue;
+mod report;
+mod service;
+mod shard;
+mod ticket;
+
+pub use queue::AdmitPolicy;
+pub use report::{ServeReport, ShardReport};
+pub use service::{Client, ServeConfig, Service};
+pub use shard::{RangePart, ShardId, ShardMap};
+pub use ticket::{Outcome, Ticket};

@@ -1,0 +1,213 @@
+//! Bounded MPSC ingress queue feeding one shard's epoch pipeline.
+
+use crate::ticket::Completion;
+use eirene_workloads::Request;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What admission control does when a shard's ingress queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitPolicy {
+    /// Reject immediately: the ticket resolves
+    /// [`Rejected`](crate::Outcome::Rejected).
+    Shed,
+    /// Block the submitting client until the queue drains.
+    Block,
+}
+
+/// One admitted request, queued on its shard.
+#[derive(Clone, Debug)]
+pub(crate) struct Entry {
+    /// The request as the shard's tree will see it (sub-range keys for
+    /// split ranges; the admission timestamp in `ts`).
+    pub req: Request,
+    /// Wall-clock deadline; expired entries resolve `TimedOut` at epoch
+    /// formation without executing.
+    pub deadline: Option<Instant>,
+    /// Virtual arrival time in device cycles (0 = at service start). The
+    /// epoch pipeline cannot start an epoch before its last member
+    /// arrived; offered-load benchmarks use this to model open-loop
+    /// arrival, and live submissions leave it 0.
+    pub arrival: u64,
+    pub completion: Completion,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    entries: VecDeque<Entry>,
+    closed: bool,
+}
+
+/// Bounded MPSC queue: many submitting clients, one combiner consumer.
+#[derive(Debug)]
+pub(crate) struct IngressQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl IngressQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ingress queue capacity must be positive");
+        IngressQueue {
+            state: Mutex::new(QueueState::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    pub(crate) fn depth(&self) -> usize {
+        self.state.lock().unwrap().entries.len()
+    }
+
+    /// Whether `n` more entries fit right now. Only meaningful while the
+    /// caller holds the service's submission lock: pushes are serialized
+    /// behind it, so the answer can only become *more* true (the consumer
+    /// may pop concurrently, never push).
+    pub(crate) fn has_room(&self, n: usize) -> bool {
+        let st = self.state.lock().unwrap();
+        !st.closed && st.entries.len() + n <= self.capacity
+    }
+
+    /// Non-blocking push (shed policy). Returns the entry on a full or
+    /// closed queue, and the resulting depth on success.
+    pub(crate) fn try_push(&self, entry: Entry) -> Result<usize, Entry> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed || st.entries.len() >= self.capacity {
+            return Err(entry);
+        }
+        st.entries.push_back(entry);
+        self.not_empty.notify_one();
+        Ok(st.entries.len())
+    }
+
+    /// Blocking push (block policy): waits for room. Returns the entry
+    /// only if the queue closed while waiting.
+    pub(crate) fn push_blocking(&self, entry: Entry) -> Result<usize, Entry> {
+        let mut st = self.state.lock().unwrap();
+        while !st.closed && st.entries.len() >= self.capacity {
+            st = self.not_full.wait(st).unwrap();
+        }
+        if st.closed {
+            return Err(entry);
+        }
+        st.entries.push_back(entry);
+        self.not_empty.notify_one();
+        Ok(st.entries.len())
+    }
+
+    /// Pops the next epoch: blocks until at least one entry is available
+    /// (or the queue is closed *and* drained — then `None`), lingers up to
+    /// `linger` for the epoch to fill to `max`, and drains at most `max`
+    /// entries.
+    pub(crate) fn pop_epoch(&self, max: usize, linger: Duration) -> Option<Vec<Entry>> {
+        let mut st = self.state.lock().unwrap();
+        while st.entries.is_empty() {
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+        if st.entries.len() < max && !st.closed && !linger.is_zero() {
+            let deadline = Instant::now() + linger;
+            while st.entries.len() < max && !st.closed {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (st2, timeout) = self.not_empty.wait_timeout(st, deadline - now).unwrap();
+                st = st2;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        let n = st.entries.len().min(max);
+        let epoch: Vec<Entry> = st.entries.drain(..n).collect();
+        self.not_full.notify_all();
+        Some(epoch)
+    }
+
+    /// Closes the queue: future pushes fail, blocked pushers wake with
+    /// their entry back, and `pop_epoch` drains the remainder then returns
+    /// `None`.
+    pub(crate) fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ticket::Ticket;
+    use eirene_workloads::Request;
+    use std::sync::Arc;
+
+    fn entry(ts: u64) -> Entry {
+        let (_t, cell) = Ticket::new();
+        Entry {
+            req: Request::query(1, ts),
+            deadline: None,
+            arrival: 0,
+            completion: Completion::Direct(cell),
+        }
+    }
+
+    #[test]
+    fn try_push_sheds_at_capacity() {
+        let q = IngressQueue::new(2);
+        assert_eq!(q.try_push(entry(0)).unwrap(), 1);
+        assert_eq!(q.try_push(entry(1)).unwrap(), 2);
+        assert!(q.try_push(entry(2)).is_err());
+        assert_eq!(q.depth(), 2);
+        assert!(q.has_room(0));
+        assert!(!q.has_room(1));
+    }
+
+    #[test]
+    fn pop_epoch_drains_in_fifo_order_and_bounds_size() {
+        let q = IngressQueue::new(16);
+        for ts in 0..5 {
+            q.try_push(entry(ts)).unwrap();
+        }
+        let a = q.pop_epoch(3, Duration::ZERO).unwrap();
+        assert_eq!(a.iter().map(|e| e.req.ts).collect::<Vec<_>>(), [0, 1, 2]);
+        let b = q.pop_epoch(3, Duration::ZERO).unwrap();
+        assert_eq!(b.len(), 2);
+        q.close();
+        assert!(q.pop_epoch(3, Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn blocked_pusher_wakes_on_drain() {
+        let q = Arc::new(IngressQueue::new(1));
+        q.try_push(entry(0)).unwrap();
+        let q2 = q.clone();
+        let pusher = std::thread::spawn(move || q2.push_blocking(entry(1)).is_ok());
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop_epoch(1, Duration::ZERO).unwrap().len(), 1);
+        assert!(pusher.join().unwrap());
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn close_fails_pending_and_future_pushes() {
+        let q = Arc::new(IngressQueue::new(1));
+        q.try_push(entry(0)).unwrap();
+        let q2 = q.clone();
+        let pusher = std::thread::spawn(move || q2.push_blocking(entry(1)).is_err());
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(pusher.join().unwrap(), "blocked pusher must fail on close");
+        assert!(q.try_push(entry(2)).is_err());
+        // The already-queued entry still drains.
+        assert_eq!(q.pop_epoch(8, Duration::ZERO).unwrap().len(), 1);
+        assert!(q.pop_epoch(8, Duration::ZERO).is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Final reports returned by [`Service::shutdown`](crate::Service::shutdown).
+
+use crate::shard::ShardId;
+use eirene_sim::{CycleHistogram, DeviceConfig, KernelStats, PhaseStats, ScheduleLog};
+
+/// Everything one shard's pipeline observed over the service's lifetime.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    pub shard: ShardId,
+    /// Merged execution statistics of every epoch on this shard's device,
+    /// plus the serving-layer `ingress` and `queue_wait` accounting rows.
+    pub stats: KernelStats,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Entries admitted to the ingress queue (split-range parts count
+    /// individually).
+    pub enqueued: u64,
+    /// Entries that executed in some epoch.
+    pub executed: u64,
+    /// Requests shed because this shard's queue was full.
+    pub shed: u64,
+    /// Entries whose deadline expired before their epoch formed.
+    pub timed_out: u64,
+    /// High-water mark of the ingress-queue depth.
+    pub max_queue_depth: u64,
+    /// End-to-end latency per executed entry (cycles): admission (or
+    /// virtual arrival) to end of its epoch on the shard's virtual clock.
+    pub latency: CycleHistogram,
+    /// Cycles the shard's device spent executing epochs.
+    pub busy_cycles: u64,
+    /// The shard's virtual clock at shutdown (end of its last epoch).
+    pub clock_cycles: u64,
+    /// Captured warp schedule (replayable in deterministic mode).
+    pub schedule: ScheduleLog,
+    /// Final `(key, value)` contents of the shard's tree, sentinel
+    /// filtered.
+    pub contents: Vec<(u64, u64)>,
+    /// Result of `btree::validate` on the final tree structure.
+    pub structure: Result<(), String>,
+}
+
+impl ShardReport {
+    /// Whether this shard's per-phase telemetry rows sum exactly to its
+    /// counter totals (the invariant the device guarantees, extended here
+    /// to the serving-layer rows).
+    pub fn phase_rows_sum_to_totals(&self) -> bool {
+        let sums: PhaseStats = self.stats.totals.phase_sums();
+        let t = &self.stats.totals;
+        sums.mem_insts == t.mem_insts
+            && sums.mem_words == t.mem_words
+            && sums.mem_transactions == t.mem_transactions
+            && sums.control_insts == t.control_insts
+            && sums.atomic_insts == t.atomic_insts
+            && sums.lock_conflicts == t.lock_conflicts
+            && sums.stm_aborts == t.stm_aborts
+            && sums.version_conflicts == t.version_conflicts
+            && sums.cycles == t.cycles
+    }
+}
+
+/// The whole service's final report: one [`ShardReport`] per shard plus
+/// aggregate views.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// The base device configuration the service was built with (cycle ↔
+    /// wall-time conversion).
+    pub device: DeviceConfig,
+}
+
+impl ServeReport {
+    pub fn executed(&self) -> u64 {
+        self.shards.iter().map(|s| s.executed).sum()
+    }
+
+    pub fn enqueued(&self) -> u64 {
+        self.shards.iter().map(|s| s.enqueued).sum()
+    }
+
+    pub fn shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed).sum()
+    }
+
+    pub fn timed_out(&self) -> u64 {
+        self.shards.iter().map(|s| s.timed_out).sum()
+    }
+
+    /// Service makespan in cycles: shards run concurrently, so it is the
+    /// latest virtual clock across shards.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.clock_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Aggregate throughput in executed entries per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.device.cycles_to_secs(self.makespan_cycles() as f64);
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.executed() as f64 / secs
+        }
+    }
+
+    /// End-to-end latency histogram merged across shards.
+    pub fn latency(&self) -> CycleHistogram {
+        let mut merged = CycleHistogram::new();
+        for shard in &self.shards {
+            merged.merge(&shard.latency);
+        }
+        merged
+    }
+
+    /// Whether every shard's telemetry rows sum exactly to its totals.
+    pub fn phase_rows_sum_to_totals(&self) -> bool {
+        self.shards.iter().all(|s| s.phase_rows_sum_to_totals())
+    }
+
+    /// Final contents of the whole service, merged across shards in key
+    /// order.
+    pub fn contents(&self) -> Vec<(u64, u64)> {
+        let mut all: Vec<(u64, u64)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.contents.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// First shard structure-validation failure, if any.
+    pub fn structure(&self) -> Result<(), String> {
+        for shard in &self.shards {
+            if let Err(e) = &shard.structure {
+                return Err(format!("shard {}: {e}", shard.shard));
+            }
+        }
+        Ok(())
+    }
+
+    /// Panics unless the report's internal accounting is consistent:
+    /// admission counters balance, every executed entry has a latency
+    /// sample, telemetry rows sum to totals, and every shard tree
+    /// validated.
+    pub fn assert_consistent(&self) {
+        for s in &self.shards {
+            assert_eq!(
+                s.enqueued,
+                s.executed + s.timed_out,
+                "shard {}: admitted entries must execute or time out",
+                s.shard
+            );
+            assert_eq!(
+                s.latency.count(),
+                s.executed,
+                "shard {}: one latency sample per executed entry",
+                s.shard
+            );
+            assert!(
+                s.phase_rows_sum_to_totals(),
+                "shard {}: phase rows do not sum to totals",
+                s.shard
+            );
+            assert!(
+                s.clock_cycles >= s.busy_cycles,
+                "shard {}: virtual clock ran backwards",
+                s.shard
+            );
+        }
+        if let Err(e) = self.structure() {
+            panic!("structure validation failed: {e}");
+        }
+    }
+}

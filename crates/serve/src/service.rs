@@ -1,0 +1,776 @@
+//! The sharded service: admission control, timestamp assignment, and the
+//! per-shard combiner/executor epoch pipelines.
+//!
+//! # Linearizability
+//!
+//! Timestamps are assigned from one global counter while the service's
+//! submission lock is held, and every part of a request is enqueued on its
+//! shard(s) *under that same lock*. Per-shard ingress order therefore
+//! equals global timestamp order, each epoch carries an ascending
+//! timestamp slice, and the whole service linearizes in global timestamp
+//! order — a flat [`SequentialOracle`](eirene_workloads::SequentialOracle)
+//! over the submission sequence is a valid oracle even with concurrent
+//! clients. Split range queries reuse the *same* timestamp on every shard,
+//! so each part observes its shard as of that timestamp and the merged
+//! response equals the global oracle's.
+//!
+//! # Pipelining
+//!
+//! Each shard runs two threads joined by a depth-1 channel: the *combiner*
+//! pops an epoch from the ingress queue, expires deadlines, and builds the
+//! [`CombinePlan`] (host work); the *executor* runs the planned epoch on
+//! the shard's device. The combiner therefore plans epoch N+1 while epoch
+//! N executes — the paper's pipelined-epoch model at service scope.
+
+use crate::queue::{AdmitPolicy, Entry, IngressQueue};
+use crate::report::{ServeReport, ShardReport};
+use crate::shard::{ShardId, ShardMap};
+use crate::ticket::{Completion, Outcome, RangeMerge, Ticket};
+use eirene_baselines::common::ConcurrentTree;
+use eirene_core::plan::{build_plan, CombinePlan};
+use eirene_core::{EireneOptions, EireneTree};
+use eirene_sim::{
+    Cluster, CycleHistogram, DeviceConfig, KernelStats, Phase, PhaseTable, ScheduleLog, WarpStats,
+};
+use eirene_workloads::{Batch, Key, OpKind, Request, Response};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sentinel pair appended to every shard's initial pairs: `bulk_build`
+/// requires a non-empty tree, and a shard's key slice may hold no initial
+/// data. The key is far outside the `u32` request domain (and no request
+/// window can reach it), so it is invisible to clients; reports filter it
+/// from shard contents.
+pub(crate) const SENTINEL_KEY: u64 = u64::MAX - 1;
+
+/// Host control-flow instructions charged per admitted request for the
+/// `ingress` telemetry phase (route lookup, timestamp fetch, queue push).
+const INGRESS_CONTROL_PER_REQUEST: u64 = 8;
+
+/// Configuration of a [`Service`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Key-range partition; one device (and tree) per shard.
+    pub map: ShardMap,
+    /// Base device configuration, specialized per shard by
+    /// [`Cluster`](eirene_sim::Cluster) (worker split in OS mode, derived
+    /// seeds in deterministic mode).
+    pub device: DeviceConfig,
+    /// Maximum requests combined into one epoch.
+    pub batch_limit: usize,
+    /// Bounded ingress-queue capacity per shard.
+    pub queue_depth: usize,
+    /// What admission does when a shard's queue is full.
+    pub policy: AdmitPolicy,
+    /// How long a combiner waits for an epoch to fill toward
+    /// `batch_limit` once it has at least one request.
+    pub linger: Duration,
+    /// Start with the epoch gate held: combiners do not consume until
+    /// [`Service::release`]. Tests use this to make epoch composition
+    /// deterministic. With [`AdmitPolicy::Block`], submitting more than
+    /// the total queue capacity while the gate is held deadlocks (nothing
+    /// drains) — release the gate from another thread first.
+    pub hold_gate: bool,
+    /// Per-shard arena headroom in nodes.
+    pub headroom_nodes: usize,
+    /// Replay a previously captured per-shard schedule (deterministic
+    /// mode); one log per shard, in shard order.
+    pub replay: Option<Vec<ScheduleLog>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            map: ShardMap::uniform(4),
+            device: DeviceConfig::default(),
+            batch_limit: 4096,
+            queue_depth: 1 << 16,
+            policy: AdmitPolicy::Block,
+            linger: Duration::from_millis(1),
+            hold_gate: false,
+            headroom_nodes: 1 << 14,
+            replay: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Small-device configuration for tests.
+    pub fn test_small(shards: usize) -> Self {
+        ServeConfig {
+            map: ShardMap::uniform(shards),
+            device: DeviceConfig::test_small(),
+            batch_limit: 1024,
+            queue_depth: 1 << 12,
+            headroom_nodes: 1 << 12,
+            ..Default::default()
+        }
+    }
+}
+
+/// Shared per-shard state: the ingress queue plus admission counters.
+#[derive(Debug)]
+struct ShardState {
+    queue: IngressQueue,
+    /// Entries admitted to this shard's queue (split-range parts count
+    /// individually).
+    enqueued: AtomicU64,
+    /// Requests shed because this shard's queue was full.
+    shed: AtomicU64,
+    /// Entries whose deadline expired before their epoch formed.
+    timed_out: AtomicU64,
+    /// High-water mark of the queue depth.
+    max_depth: AtomicU64,
+}
+
+impl ShardState {
+    fn new(capacity: usize) -> Self {
+        ShardState {
+            queue: IngressQueue::new(capacity),
+            enqueued: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            max_depth: AtomicU64::new(0),
+        }
+    }
+}
+
+struct Inner {
+    map: ShardMap,
+    shards: Vec<Arc<ShardState>>,
+    next_ts: AtomicU64,
+    /// Serializes timestamp assignment with enqueueing (see the module
+    /// docs: this is what makes per-shard queue order equal global
+    /// timestamp order). Workers never take it.
+    submit_lock: Mutex<()>,
+    /// `true` while the epoch gate is held (combiners blocked).
+    gate: Mutex<bool>,
+    gate_cv: Condvar,
+    policy: AdmitPolicy,
+}
+
+impl Inner {
+    fn wait_gate(&self) {
+        let mut held = self.gate.lock().unwrap();
+        while *held {
+            held = self.gate_cv.wait(held).unwrap();
+        }
+    }
+
+    fn release_gate(&self) {
+        *self.gate.lock().unwrap() = false;
+        self.gate_cv.notify_all();
+    }
+
+    fn push(&self, shard: ShardId, entry: Entry, blocking: bool) {
+        let state = &self.shards[shard];
+        let pushed = if blocking {
+            state.queue.push_blocking(entry)
+        } else {
+            state.queue.try_push(entry)
+        };
+        match pushed {
+            Ok(depth) => {
+                state.enqueued.fetch_add(1, Ordering::Relaxed);
+                state.max_depth.fetch_max(depth as u64, Ordering::Relaxed);
+            }
+            // Closed (service shutting down) or, for non-blocking pushes, a
+            // race with close: the entry never executes.
+            Err(entry) => entry.completion.resolve_fail(Outcome::Rejected),
+        }
+    }
+
+    fn submit(&self, key: Key, op: OpKind, deadline: Option<Instant>, arrival: u64) -> Ticket {
+        let (ticket, cell) = Ticket::new();
+        let _guard = self.submit_lock.lock().unwrap();
+        let ts = self.next_ts.fetch_add(1, Ordering::Relaxed);
+        let parts: Vec<(ShardId, Entry)> = match op {
+            OpKind::Range { len } => {
+                let split = self.map.split_range(key, len);
+                match split.len() {
+                    0 => {
+                        cell.resolve(Outcome::Done(Response::Range(Vec::new())));
+                        return ticket;
+                    }
+                    1 => {
+                        let entry = Entry {
+                            req: Request { key, op, ts },
+                            deadline,
+                            arrival,
+                            completion: Completion::Direct(cell),
+                        };
+                        vec![(split[0].shard, entry)]
+                    }
+                    n => {
+                        let merge = Arc::new(RangeMerge::new(len as usize, n, cell));
+                        split
+                            .iter()
+                            .map(|p| {
+                                let entry = Entry {
+                                    req: Request::range(p.lo, p.len, ts),
+                                    deadline,
+                                    arrival,
+                                    completion: Completion::Part {
+                                        merge: merge.clone(),
+                                        offset: p.offset,
+                                    },
+                                };
+                                (p.shard, entry)
+                            })
+                            .collect()
+                    }
+                }
+            }
+            _ => {
+                let entry = Entry {
+                    req: Request { key, op, ts },
+                    deadline,
+                    arrival,
+                    completion: Completion::Direct(cell),
+                };
+                vec![(self.map.shard_of(key), entry)]
+            }
+        };
+        match self.policy {
+            AdmitPolicy::Shed => {
+                // All-or-nothing: a split range either lands on every shard
+                // or is shed whole (each part is on a distinct shard, so one
+                // slot per involved queue). `has_room` is stable here: pushes
+                // are serialized behind the submission lock we hold, and the
+                // consumer only drains.
+                let full: Vec<ShardId> = parts
+                    .iter()
+                    .map(|(shard, _)| *shard)
+                    .filter(|&shard| !self.shards[shard].queue.has_room(1))
+                    .collect();
+                if !full.is_empty() {
+                    for shard in full {
+                        self.shards[shard].shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    for (_, entry) in parts {
+                        entry.completion.resolve_fail(Outcome::Rejected);
+                    }
+                    return ticket;
+                }
+                for (shard, entry) in parts {
+                    self.push(shard, entry, false);
+                }
+            }
+            AdmitPolicy::Block => {
+                for (shard, entry) in parts {
+                    self.push(shard, entry, true);
+                }
+            }
+        }
+        ticket
+    }
+}
+
+/// One planned epoch in flight from a shard's combiner to its executor.
+/// `entries` aligns positionally with `batch.requests`.
+struct Epoch {
+    batch: Batch,
+    plan: CombinePlan,
+    entries: Vec<Entry>,
+}
+
+/// Cloneable submission handle to a running [`Service`].
+#[derive(Clone)]
+pub struct Client {
+    inner: Arc<Inner>,
+}
+
+impl Client {
+    /// Submits a request; the returned [`Ticket`] resolves once its epoch
+    /// executes (or admission sheds it).
+    pub fn submit(&self, key: Key, op: OpKind) -> Ticket {
+        self.inner.submit(key, op, None, 0)
+    }
+
+    /// Submits with a deadline: if the deadline passes before the request's
+    /// epoch forms, it resolves [`Outcome::TimedOut`] without executing.
+    pub fn submit_with_deadline(&self, key: Key, op: OpKind, deadline: Duration) -> Ticket {
+        self.inner
+            .submit(key, op, Some(Instant::now() + deadline), 0)
+    }
+
+    /// Submits with a virtual arrival time in device cycles (open-loop
+    /// offered-load benchmarking): the request's epoch cannot start before
+    /// `arrival_cycles` on the shard's virtual clock, and its reported
+    /// latency is measured from that arrival.
+    pub fn submit_at(&self, key: Key, op: OpKind, arrival_cycles: u64) -> Ticket {
+        self.inner.submit(key, op, None, arrival_cycles)
+    }
+
+    /// The service's shard map.
+    pub fn map(&self) -> &ShardMap {
+        &self.inner.map
+    }
+
+    /// Current ingress-queue depth of one shard.
+    pub fn queue_depth(&self, shard: ShardId) -> usize {
+        self.inner.shards[shard].queue.depth()
+    }
+}
+
+/// A running sharded serving instance: `N` shards, each owning one device
+/// and one Eirene GB-tree, fed by bounded ingress queues.
+pub struct Service {
+    inner: Arc<Inner>,
+    combiners: Vec<JoinHandle<()>>,
+    executors: Vec<JoinHandle<ShardReport>>,
+    device: DeviceConfig,
+}
+
+impl Service {
+    /// Builds the service from strictly-ascending initial `(key, value)`
+    /// pairs (keys must fit the `u32` request domain), partitioned onto the
+    /// shard trees, and spawns every shard's combiner/executor pair.
+    pub fn new(pairs: &[(u64, u64)], cfg: ServeConfig) -> Self {
+        let num_shards = cfg.map.num_shards();
+        if let Some(replay) = &cfg.replay {
+            assert_eq!(replay.len(), num_shards, "one replay log per shard");
+        }
+        let cluster = Cluster::new(&cfg.device, num_shards);
+        let mut shard_pairs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); num_shards];
+        for &(k, v) in pairs {
+            assert!(
+                k <= Key::MAX as u64,
+                "initial key {k} outside the u32 request domain"
+            );
+            shard_pairs[cfg.map.shard_of(k as Key)].push((k, v));
+        }
+        for sp in &mut shard_pairs {
+            sp.push((SENTINEL_KEY, 0));
+        }
+        let states: Vec<Arc<ShardState>> = (0..num_shards)
+            .map(|_| Arc::new(ShardState::new(cfg.queue_depth)))
+            .collect();
+        let inner = Arc::new(Inner {
+            map: cfg.map.clone(),
+            shards: states.clone(),
+            next_ts: AtomicU64::new(0),
+            submit_lock: Mutex::new(()),
+            gate: Mutex::new(cfg.hold_gate),
+            gate_cv: Condvar::new(),
+            policy: cfg.policy,
+        });
+        let mut replays: Vec<Option<ScheduleLog>> = match cfg.replay {
+            Some(logs) => logs.into_iter().map(Some).collect(),
+            None => vec![None; num_shards],
+        };
+        let mut combiners = Vec::with_capacity(num_shards);
+        let mut executors = Vec::with_capacity(num_shards);
+        for (shard, pairs) in shard_pairs.into_iter().enumerate() {
+            let shard_cfg = cluster.config(shard).clone();
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Epoch>(1);
+            let (inner2, state) = (inner.clone(), states[shard].clone());
+            let (plan_cfg, batch_limit, linger) = (shard_cfg.clone(), cfg.batch_limit, cfg.linger);
+            combiners.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-combine-{shard}"))
+                    .spawn(move || {
+                        combiner_loop(&inner2, &state, &plan_cfg, batch_limit, linger, tx)
+                    })
+                    .expect("spawn combiner"),
+            );
+            let opts = EireneOptions {
+                device: shard_cfg,
+                headroom_nodes: cfg.headroom_nodes,
+                ..Default::default()
+            };
+            let (state, replay) = (states[shard].clone(), replays[shard].take());
+            executors.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-exec-{shard}"))
+                    .spawn(move || executor_loop(shard, &state, &pairs, opts, replay, &rx))
+                    .expect("spawn executor"),
+            );
+        }
+        Service {
+            inner,
+            combiners,
+            executors,
+            device: cfg.device,
+        }
+    }
+
+    /// A new submission handle.
+    pub fn client(&self) -> Client {
+        Client {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Opens the epoch gate (no-op unless the service was built with
+    /// [`ServeConfig::hold_gate`]).
+    pub fn release(&self) {
+        self.inner.release_gate();
+    }
+
+    /// Drains and stops the service: closes admission, executes every
+    /// already-admitted epoch, joins the pipelines, and returns the final
+    /// report.
+    pub fn shutdown(self) -> ServeReport {
+        for state in &self.inner.shards {
+            state.queue.close();
+        }
+        self.inner.release_gate();
+        for handle in self.combiners {
+            handle.join().expect("combiner panicked");
+        }
+        let mut shards: Vec<ShardReport> = self
+            .executors
+            .into_iter()
+            .map(|handle| handle.join().expect("executor panicked"))
+            .collect();
+        shards.sort_by_key(|r| r.shard);
+        ServeReport {
+            shards,
+            device: self.device,
+        }
+    }
+}
+
+fn combiner_loop(
+    inner: &Inner,
+    state: &ShardState,
+    plan_cfg: &DeviceConfig,
+    batch_limit: usize,
+    linger: Duration,
+    tx: SyncSender<Epoch>,
+) {
+    loop {
+        inner.wait_gate();
+        let Some(entries) = state.queue.pop_epoch(batch_limit, linger) else {
+            return; // closed and drained
+        };
+        let now = Instant::now();
+        let (live, expired): (Vec<Entry>, Vec<Entry>) = entries
+            .into_iter()
+            .partition(|e| e.deadline.is_none_or(|d| now < d));
+        if !expired.is_empty() {
+            state
+                .timed_out
+                .fetch_add(expired.len() as u64, Ordering::Relaxed);
+            for entry in &expired {
+                entry.completion.resolve_fail(Outcome::TimedOut);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let batch = Batch::new(live.iter().map(|e| e.req).collect());
+        let plan = build_plan(&batch, plan_cfg);
+        let epoch = Epoch {
+            batch,
+            plan,
+            entries: live,
+        };
+        if tx.send(epoch).is_err() {
+            return; // executor gone
+        }
+    }
+}
+
+fn executor_loop(
+    shard: ShardId,
+    state: &ShardState,
+    pairs: &[(u64, u64)],
+    opts: EireneOptions,
+    replay: Option<ScheduleLog>,
+    rx: &Receiver<Epoch>,
+) -> ShardReport {
+    let mut tree = EireneTree::new(pairs, opts);
+    if let Some(log) = replay {
+        tree.device().set_replay_log(log);
+    }
+    let control_latency = tree.device().config().control_latency;
+    let mut stats = KernelStats::default();
+    let mut latency = CycleHistogram::new();
+    let (mut clock, mut busy_cycles) = (0u64, 0u64);
+    let (mut epochs, mut executed) = (0u64, 0u64);
+    while let Ok(epoch) = rx.recv() {
+        // Virtual-clock model: an epoch cannot start before the shard is
+        // free *and* its last member has arrived.
+        let arrived = epoch.entries.iter().map(|e| e.arrival).max().unwrap_or(0);
+        let start = clock.max(arrived);
+        let run = tree.run_planned(&epoch.batch, &epoch.plan);
+        let makespan = run.stats.makespan_cycles.ceil() as u64;
+        let end = start + makespan;
+        let mut queue_wait = 0u64;
+        for entry in &epoch.entries {
+            queue_wait += start - entry.arrival;
+            latency.record(end - entry.arrival);
+        }
+        let n = epoch.batch.len() as u64;
+        stats.absorb(run.stats);
+        let ingress = INGRESS_CONTROL_PER_REQUEST * n;
+        stats.absorb(phase_row(
+            "serve-ingress",
+            Phase::Ingress,
+            ingress,
+            ingress * control_latency,
+        ));
+        stats.absorb(phase_row(
+            "serve-queue-wait",
+            Phase::QueueWait,
+            0,
+            queue_wait,
+        ));
+        for (entry, resp) in epoch.entries.iter().zip(run.responses) {
+            entry.completion.resolve_ok(resp);
+        }
+        clock = end;
+        busy_cycles += makespan;
+        epochs += 1;
+        executed += n;
+    }
+    let structure = eirene_btree::validate::validate(tree.device().mem(), tree.handle())
+        .map(|_| ())
+        .map_err(|e| e.to_string());
+    let contents: Vec<(u64, u64)> =
+        eirene_btree::refops::contents(tree.device().mem(), tree.handle())
+            .into_iter()
+            .filter(|&(k, _)| k != SENTINEL_KEY)
+            .collect();
+    ShardReport {
+        shard,
+        stats,
+        epochs,
+        enqueued: state.enqueued.load(Ordering::Relaxed),
+        executed,
+        shed: state.shed.load(Ordering::Relaxed),
+        timed_out: state.timed_out.load(Ordering::Relaxed),
+        max_queue_depth: state.max_depth.load(Ordering::Relaxed),
+        latency,
+        busy_cycles,
+        clock_cycles: clock,
+        schedule: tree.device().take_schedule_log(),
+        contents,
+        structure,
+    }
+}
+
+/// A host-side accounting row: counters attributed to one serving phase,
+/// with zero makespan (host work overlaps device execution; charging it to
+/// the makespan would double-count the pipeline). Totals and the phase row
+/// move together, preserving the rows-sum-to-totals invariant.
+fn phase_row(name: &str, phase: Phase, control_insts: u64, cycles: u64) -> KernelStats {
+    let mut phases = PhaseTable::default();
+    let row = phases.row_mut(phase);
+    row.control_insts = control_insts;
+    row.cycles = cycles;
+    KernelStats {
+        name: name.into(),
+        warps: 0,
+        totals: WarpStats {
+            control_insts,
+            cycles,
+            phases,
+            ..Default::default()
+        },
+        makespan_cycles: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eirene_workloads::{Oracle, SequentialOracle};
+
+    fn boundary_map() -> ShardMap {
+        ShardMap::from_starts(vec![0, 1000, 2000, 3000])
+    }
+
+    fn small_cfg(map: ShardMap) -> ServeConfig {
+        ServeConfig {
+            map,
+            ..ServeConfig::test_small(4)
+        }
+    }
+
+    fn initial_pairs() -> Vec<(u64, u64)> {
+        // Even keys 0..4000: ~500 per shard of `boundary_map`, plus the
+        // whole tail of the domain on shard 3.
+        (0..2000u64).map(|i| (2 * i, i + 1)).collect()
+    }
+
+    #[test]
+    fn point_ops_match_the_oracle_across_shards() {
+        let pairs = initial_pairs();
+        let mut cfg = small_cfg(boundary_map());
+        cfg.hold_gate = true;
+        let svc = Service::new(&pairs, cfg);
+        let client = svc.client();
+        // Ops deliberately straddle every shard and hit boundary keys.
+        let ops: Vec<(Key, OpKind)> = vec![
+            (999, OpKind::Upsert(71)),
+            (999, OpKind::Query),
+            (1000, OpKind::Delete),
+            (1000, OpKind::Query),
+            (2000, OpKind::Upsert(72)),
+            (2999, OpKind::Query),
+            (3000, OpKind::Query),
+            (0, OpKind::Delete),
+            (0, OpKind::Query),
+            (2000, OpKind::Query),
+        ];
+        let tickets: Vec<Ticket> = ops.iter().map(|&(k, op)| client.submit(k, op)).collect();
+        svc.release();
+        let report = svc.shutdown();
+
+        let reqs: Vec<Request> = ops
+            .iter()
+            .enumerate()
+            .map(|(ts, &(key, op))| Request {
+                key,
+                op,
+                ts: ts as u64,
+            })
+            .collect();
+        let oracle_pairs: Vec<(Key, Key)> =
+            pairs.iter().map(|&(k, v)| (k as Key, v as Key)).collect();
+        let mut oracle = SequentialOracle::load(&oracle_pairs);
+        let want = oracle.run_batch(&Batch::new(reqs));
+        for (ticket, want) in tickets.iter().zip(want) {
+            assert_eq!(ticket.wait(), Outcome::Done(want));
+        }
+        assert_eq!(report.executed(), ops.len() as u64);
+        let want_contents: Vec<(u64, u64)> = oracle
+            .contents()
+            .iter()
+            .map(|(&k, &v)| (k as u64, v as u64))
+            .collect();
+        assert_eq!(report.contents(), want_contents);
+        report.assert_consistent();
+    }
+
+    #[test]
+    fn split_ranges_merge_across_shards() {
+        let pairs = initial_pairs();
+        let mut cfg = small_cfg(boundary_map());
+        cfg.hold_gate = true;
+        let svc = Service::new(&pairs, cfg);
+        let client = svc.client();
+        // Mutate around a boundary, then read a window straddling all of
+        // shards 0..=2 at a later timestamp.
+        let t0 = client.submit(998, OpKind::Upsert(7));
+        let t1 = client.submit(1002, OpKind::Delete);
+        let t2 = client.submit(995, OpKind::Range { len: 1010 });
+        // Zero-length ranges resolve immediately and are not admitted.
+        let t3 = client.submit(995, OpKind::Range { len: 0 });
+        assert_eq!(t3.wait(), Outcome::Done(Response::Range(Vec::new())));
+        svc.release();
+        let report = svc.shutdown();
+
+        let oracle_pairs: Vec<(Key, Key)> =
+            pairs.iter().map(|&(k, v)| (k as Key, v as Key)).collect();
+        let mut oracle = SequentialOracle::load(&oracle_pairs);
+        let want = oracle.run_batch(&Batch::new(vec![
+            Request::upsert(998, 7, 0),
+            Request::delete(1002, 1),
+            Request::range(995, 1010, 2),
+        ]));
+        assert_eq!(t0.wait(), Outcome::Done(want[0].clone()));
+        assert_eq!(t1.wait(), Outcome::Done(want[1].clone()));
+        assert_eq!(t2.wait(), Outcome::Done(want[2].clone()));
+        // The range window [995, 2004] split into three parts (shards 0,
+        // 1 and 2), so 2 point entries + 3 range parts were admitted.
+        assert_eq!(report.enqueued(), 5);
+        report.assert_consistent();
+    }
+
+    #[test]
+    fn shed_policy_rejects_deterministically_at_capacity() {
+        let mut cfg = small_cfg(ShardMap::from_starts(vec![0, 1 << 16]));
+        cfg.policy = AdmitPolicy::Shed;
+        cfg.queue_depth = 4;
+        cfg.hold_gate = true;
+        let svc = Service::new(&[(2, 1), (1 << 20, 1)], cfg);
+        let client = svc.client();
+        let mut ok = Vec::new();
+        for i in 0..4 {
+            ok.push(client.submit(i, OpKind::Query));
+        }
+        // Queue 0 is full and the gate is held: the next submission to
+        // shard 0 is shed immediately and deterministically.
+        let shed = client.submit(5, OpKind::Query);
+        assert_eq!(shed.try_get(), Some(Outcome::Rejected));
+        // Other shards still have room.
+        let other = client.submit(1 << 20, OpKind::Query);
+        assert_eq!(other.try_get(), None);
+        svc.release();
+        let report = svc.shutdown();
+        for t in &ok {
+            assert!(matches!(t.wait(), Outcome::Done(_)));
+        }
+        assert!(matches!(other.wait(), Outcome::Done(_)));
+        assert_eq!(report.shards[0].shed, 1);
+        assert_eq!(report.shards[0].executed, 4);
+        assert_eq!(report.shards[0].max_queue_depth, 4);
+        assert_eq!(report.shards[1].shed, 0);
+        report.assert_consistent();
+    }
+
+    #[test]
+    fn block_policy_blocks_until_the_queue_drains() {
+        let mut cfg = small_cfg(ShardMap::uniform(2));
+        cfg.queue_depth = 1;
+        cfg.hold_gate = true;
+        let svc = Service::new(&[(2, 1)], cfg);
+        let client = svc.client();
+        let first = client.submit(10, OpKind::Query);
+        let client2 = client.clone();
+        let blocked = std::thread::spawn(move || client2.submit(11, OpKind::Query).wait());
+        // The second submission is stuck behind the full depth-1 queue.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(first.try_get(), None);
+        assert!(!blocked.is_finished());
+        // Releasing the gate lets the combiner drain the queue, unblocking
+        // the submitter; both requests then execute.
+        svc.release();
+        assert!(matches!(blocked.join().unwrap(), Outcome::Done(_)));
+        assert!(matches!(first.wait(), Outcome::Done(_)));
+        let report = svc.shutdown();
+        assert_eq!(report.executed(), 2);
+        assert_eq!(report.shed(), 0);
+        report.assert_consistent();
+    }
+
+    #[test]
+    fn expired_deadlines_time_out_without_executing() {
+        let mut cfg = small_cfg(ShardMap::uniform(2));
+        cfg.hold_gate = true;
+        let svc = Service::new(&[(2, 1)], cfg);
+        let client = svc.client();
+        // The upsert's deadline expires while the gate is held, so it must
+        // never mutate the tree; the later query proves it.
+        let doomed = client.submit_with_deadline(50, OpKind::Upsert(9), Duration::ZERO);
+        let witness = client.submit(50, OpKind::Query);
+        std::thread::sleep(Duration::from_millis(5));
+        svc.release();
+        assert_eq!(doomed.wait(), Outcome::TimedOut);
+        assert_eq!(witness.wait(), Outcome::Done(Response::Value(None)));
+        let report = svc.shutdown();
+        assert_eq!(report.timed_out(), 1);
+        assert_eq!(report.executed(), 1);
+        assert_eq!(report.enqueued(), 2);
+        assert!(report.contents().iter().all(|&(k, _)| k != 50));
+        report.assert_consistent();
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected() {
+        let svc = Service::new(&[(2, 1)], small_cfg(ShardMap::uniform(2)));
+        let client = svc.client();
+        let before = client.submit(3, OpKind::Query);
+        assert!(matches!(before.wait(), Outcome::Done(_)));
+        let _ = svc.shutdown();
+        let after = client.submit(3, OpKind::Query);
+        assert_eq!(after.wait(), Outcome::Rejected);
+    }
+}

@@ -1,0 +1,207 @@
+//! Asynchronous completion: tickets, outcomes, and cross-shard range
+//! merging.
+
+use eirene_workloads::{Response, Value};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Final outcome of a submitted request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The request executed in some epoch; the response is linearized at
+    /// the request's admission timestamp.
+    Done(Response),
+    /// The request's deadline expired before its epoch formed; it never
+    /// executed against any tree.
+    TimedOut,
+    /// Admission control shed the request (bounded ingress queue full
+    /// under [`AdmitPolicy::Shed`](crate::AdmitPolicy::Shed), or the
+    /// service was already shut down). It never executed.
+    Rejected,
+}
+
+impl Outcome {
+    /// The response, if the request executed.
+    pub fn response(&self) -> Option<&Response> {
+        match self {
+            Outcome::Done(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Shared slot a [`Ticket`] waits on. First resolution wins; later ones
+/// are ignored (a split range can race a timeout against a merge).
+#[derive(Debug, Default)]
+pub(crate) struct TicketCell {
+    state: Mutex<Option<Outcome>>,
+    cv: Condvar,
+}
+
+impl TicketCell {
+    pub(crate) fn resolve(&self, outcome: Outcome) {
+        let mut state = self.state.lock().unwrap();
+        if state.is_none() {
+            *state = Some(outcome);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Handle to one submitted request. Obtained from
+/// [`Client::submit`](crate::Client::submit); redeem it with
+/// [`wait`](Ticket::wait).
+#[derive(Clone, Debug)]
+pub struct Ticket {
+    cell: Arc<TicketCell>,
+}
+
+impl Ticket {
+    pub(crate) fn new() -> (Ticket, Arc<TicketCell>) {
+        let cell = Arc::new(TicketCell::default());
+        (Ticket { cell: cell.clone() }, cell)
+    }
+
+    /// Blocks until the request resolves.
+    pub fn wait(&self) -> Outcome {
+        let mut state = self.cell.state.lock().unwrap();
+        loop {
+            if let Some(o) = state.as_ref() {
+                return o.clone();
+            }
+            state = self.cell.cv.wait(state).unwrap();
+        }
+    }
+
+    /// The outcome if already resolved, without blocking.
+    pub fn try_get(&self) -> Option<Outcome> {
+        self.cell.state.lock().unwrap().clone()
+    }
+}
+
+/// Merge state of one cross-shard range query: each shard part fills its
+/// slice of the slot vector; the last part to arrive resolves the ticket.
+/// Any failed part (deadline expiry) poisons the whole range — sub-queries
+/// are read-only, so a partially executed range mutates nothing.
+#[derive(Debug)]
+pub(crate) struct RangeMerge {
+    state: Mutex<MergeState>,
+    cell: Arc<TicketCell>,
+}
+
+#[derive(Debug)]
+struct MergeState {
+    slots: Vec<Option<Value>>,
+    pending: usize,
+    failed: Option<Outcome>,
+}
+
+impl RangeMerge {
+    pub(crate) fn new(len: usize, parts: usize, cell: Arc<TicketCell>) -> Self {
+        RangeMerge {
+            state: Mutex::new(MergeState {
+                slots: vec![None; len],
+                pending: parts,
+                failed: None,
+            }),
+            cell,
+        }
+    }
+
+    fn finish(&self, state: &mut MergeState) {
+        state.pending -= 1;
+        if state.pending == 0 {
+            match state.failed.take() {
+                Some(o) => self.cell.resolve(o),
+                None => self
+                    .cell
+                    .resolve(Outcome::Done(Response::Range(std::mem::take(
+                        &mut state.slots,
+                    )))),
+            }
+        }
+    }
+
+    pub(crate) fn complete_part(&self, offset: u32, part: &[Option<Value>]) {
+        let mut state = self.state.lock().unwrap();
+        let off = offset as usize;
+        state.slots[off..off + part.len()].clone_from_slice(part);
+        self.finish(&mut state);
+    }
+
+    pub(crate) fn fail_part(&self, outcome: Outcome) {
+        let mut state = self.state.lock().unwrap();
+        state.failed.get_or_insert(outcome);
+        self.finish(&mut state);
+    }
+}
+
+/// How an executed (or failed) shard entry reports back.
+#[derive(Clone, Debug)]
+pub(crate) enum Completion {
+    /// The whole request lives on one shard.
+    Direct(Arc<TicketCell>),
+    /// One part of a split range query.
+    Part { merge: Arc<RangeMerge>, offset: u32 },
+}
+
+impl Completion {
+    pub(crate) fn resolve_ok(&self, resp: Response) {
+        match self {
+            Completion::Direct(cell) => cell.resolve(Outcome::Done(resp)),
+            Completion::Part { merge, offset } => match resp {
+                Response::Range(slots) => merge.complete_part(*offset, &slots),
+                other => panic!("range part resolved with non-range response {other:?}"),
+            },
+        }
+    }
+
+    pub(crate) fn resolve_fail(&self, outcome: Outcome) {
+        match self {
+            Completion::Direct(cell) => cell.resolve(outcome),
+            Completion::Part { merge, .. } => merge.fail_part(outcome),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_resolves_once() {
+        let (t, cell) = Ticket::new();
+        assert_eq!(t.try_get(), None);
+        cell.resolve(Outcome::Done(Response::Done));
+        cell.resolve(Outcome::Rejected); // ignored: first resolution wins
+        assert_eq!(t.try_get(), Some(Outcome::Done(Response::Done)));
+        assert_eq!(t.wait(), Outcome::Done(Response::Done));
+    }
+
+    #[test]
+    fn range_merge_assembles_parts_in_any_order() {
+        let (t, cell) = Ticket::new();
+        let merge = RangeMerge::new(5, 2, cell);
+        merge.complete_part(3, &[Some(30), None]);
+        assert_eq!(t.try_get(), None);
+        merge.complete_part(0, &[Some(1), None, Some(3)]);
+        assert_eq!(
+            t.wait(),
+            Outcome::Done(Response::Range(vec![
+                Some(1),
+                None,
+                Some(3),
+                Some(30),
+                None
+            ]))
+        );
+    }
+
+    #[test]
+    fn failed_part_poisons_the_range() {
+        let (t, cell) = Ticket::new();
+        let merge = RangeMerge::new(4, 2, cell);
+        merge.complete_part(0, &[Some(1), Some(2)]);
+        merge.fail_part(Outcome::TimedOut);
+        assert_eq!(t.wait(), Outcome::TimedOut);
+    }
+}

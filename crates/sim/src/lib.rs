@@ -22,6 +22,7 @@
 //! Units: device memory is addressed in 64-bit **words**; [`Addr`] is a word
 //! index into the arena. Address 0 is reserved as a null pointer.
 
+mod cluster;
 mod config;
 mod device;
 mod mem;
@@ -30,6 +31,7 @@ mod sched;
 mod stats;
 mod warp;
 
+pub use cluster::{mix64, Cluster, MIN_WORKERS_PER_SHARD};
 pub use config::DeviceConfig;
 pub use device::Device;
 pub use mem::{Addr, GlobalMemory, NULL_ADDR};

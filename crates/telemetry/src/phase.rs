@@ -3,8 +3,10 @@
 //! Phases cover both Eirene's pipeline (sort/combine, vertical traversal,
 //! horizontal traversal, leaf ops, structure modification, result
 //! calculation) and the baselines' synchronization work (lock
-//! acquire/retry, STM read-set access, STM validate/commit). Work that
-//! predates instrumentation or sits outside any declared span lands in
+//! acquire/retry, STM read-set access, STM validate/commit), plus the
+//! serving layer's admission accounting (ingress routing, queue wait).
+//! Work that predates instrumentation or sits outside any declared span
+//! lands in
 //! [`Phase::Other`], so the per-phase rows always sum to kernel totals.
 
 /// A pipeline phase a warp can be executing.
@@ -31,9 +33,15 @@ pub enum Phase {
     StmCommit,
     /// Host-side result materialization for combined requests (Eirene).
     ResultCalc,
+    /// Serving-layer admission work: routing a request to its shard and
+    /// enqueueing it on the bounded ingress queue (`eirene-serve`).
+    Ingress,
+    /// Simulated cycles a request spent queued on a shard before its epoch
+    /// started executing (`eirene-serve`).
+    QueueWait,
 }
 
-pub const PHASE_COUNT: usize = 10;
+pub const PHASE_COUNT: usize = 12;
 
 impl Phase {
     pub const ALL: [Phase; PHASE_COUNT] = [
@@ -47,6 +55,8 @@ impl Phase {
         Phase::StmAccess,
         Phase::StmCommit,
         Phase::ResultCalc,
+        Phase::Ingress,
+        Phase::QueueWait,
     ];
 
     /// Stable snake_case name used in reports and the JSON schema.
@@ -62,6 +72,8 @@ impl Phase {
             Phase::StmAccess => "stm_access",
             Phase::StmCommit => "stm_commit",
             Phase::ResultCalc => "result_calc",
+            Phase::Ingress => "ingress",
+            Phase::QueueWait => "queue_wait",
         }
     }
 
@@ -78,6 +90,8 @@ impl Phase {
             Phase::StmAccess => 7,
             Phase::StmCommit => 8,
             Phase::ResultCalc => 9,
+            Phase::Ingress => 10,
+            Phase::QueueWait => 11,
         }
     }
 }

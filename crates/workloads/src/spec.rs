@@ -198,9 +198,17 @@ impl WorkloadGen {
 
     /// Generates the next batch of requests with fresh logical timestamps.
     pub fn next_batch(&mut self) -> Batch {
-        let mut requests = Vec::with_capacity(self.spec.batch_size);
+        Batch::new(self.next_requests(self.spec.batch_size))
+    }
+
+    /// Generates the next `n` requests as a flat stream (timestamps stay
+    /// globally monotonic across calls). The serving layer submits streams
+    /// rather than pre-formed batches — epoch boundaries are decided by
+    /// each shard's ingress queue, not by the generator.
+    pub fn next_requests(&mut self, n: usize) -> Vec<Request> {
+        let mut requests = Vec::with_capacity(n);
         let mix = self.spec.mix;
-        for _ in 0..self.spec.batch_size {
+        for _ in 0..n {
             let key = self.sample_key();
             let ts = self.next_ts;
             self.next_ts += 1;
@@ -216,7 +224,74 @@ impl WorkloadGen {
             };
             requests.push(Request { key, op, ts });
         }
-        Batch::new(requests)
+        requests
+    }
+}
+
+/// Shard-aware request generator: wraps a [`WorkloadGen`] and rewrites a
+/// configurable fraction of the stream onto shard-boundary keys, with
+/// range queries anchored just below a boundary so they straddle it. This
+/// is the workload that stresses a sharded service's range
+/// splitter/merger and boundary routing (the plain generator rarely lands
+/// on the handful of boundary keys).
+pub struct ShardedGen {
+    gen: WorkloadGen,
+    /// Interior shard-start keys (a key `< b` routes left of boundary `b`,
+    /// a key `>= b` routes right).
+    boundaries: Vec<Key>,
+    /// Fraction of requests rewritten onto a boundary neighbourhood.
+    straddle: f64,
+    rng: ChaCha8Rng,
+}
+
+impl ShardedGen {
+    /// # Panics
+    /// Panics if `boundaries` is empty or `straddle` is outside `[0, 1]`.
+    pub fn new(spec: WorkloadSpec, boundaries: Vec<Key>, straddle: f64) -> Self {
+        assert!(!boundaries.is_empty(), "need at least one shard boundary");
+        assert!(
+            (0.0..=1.0).contains(&straddle),
+            "straddle fraction must be in [0, 1]"
+        );
+        let rng = ChaCha8Rng::seed_from_u64(spec.seed ^ 0x5A4D_B01D);
+        ShardedGen {
+            gen: WorkloadGen::new(spec),
+            boundaries,
+            straddle,
+            rng,
+        }
+    }
+
+    pub fn spec(&self) -> &WorkloadSpec {
+        self.gen.spec()
+    }
+
+    /// Generates the next `n` requests; roughly `straddle * n` of them are
+    /// rewritten onto boundary keys (ranges start `len - 1` below a
+    /// boundary, so at `len >= 2` they span it).
+    pub fn next_requests(&mut self, n: usize) -> Vec<Request> {
+        let mut reqs = self.gen.next_requests(n);
+        for r in &mut reqs {
+            if self.rng.gen::<f64>() >= self.straddle {
+                continue;
+            }
+            let b = self.boundaries[self.rng.gen_range(0..self.boundaries.len() as u64) as usize];
+            r.key = match r.op {
+                // Anchor ranges so the window [key, key + len - 1] covers
+                // keys on both sides of the boundary.
+                OpKind::Range { len } => b.saturating_sub(len.saturating_sub(1).max(1) / 2 + 1),
+                // Point ops hit the boundary key itself or a neighbour.
+                _ => {
+                    let delta = self.rng.gen_range(0..4u64) as u32;
+                    if self.rng.gen::<bool>() {
+                        b.saturating_add(delta)
+                    } else {
+                        b.saturating_sub(delta)
+                    }
+                }
+            };
+        }
+        reqs
     }
 }
 
@@ -305,6 +380,49 @@ mod tests {
         assert_eq!(Mix::ycsb_b(), Mix::read_heavy());
         assert_eq!(Mix::ycsb_a().upsert, 0.5);
         assert_eq!(Mix::ycsb_e(8).range, 0.95);
+    }
+
+    #[test]
+    fn next_requests_streams_the_same_sequence_as_batches() {
+        let mut by_batch = WorkloadGen::new(spec());
+        let mut by_stream = WorkloadGen::new(spec());
+        let a = by_batch.next_batch().requests;
+        let b = by_stream.next_requests(spec().batch_size);
+        assert_eq!(a, b);
+        // Streaming keeps timestamps globally monotonic too.
+        let c = by_stream.next_requests(16);
+        assert!(c[0].ts > b.last().unwrap().ts);
+    }
+
+    #[test]
+    fn sharded_gen_straddles_boundaries() {
+        let mut s = spec();
+        s.mix = Mix {
+            range: 0.5,
+            ..Mix::read_heavy()
+        };
+        let boundaries = vec![512u32, 1024, 1536];
+        let mut gen = ShardedGen::new(s, boundaries.clone(), 0.5);
+        let reqs = gen.next_requests(4096);
+        // A healthy fraction of ranges must straddle some boundary: start
+        // strictly below it and end at or past it.
+        let straddling = reqs
+            .iter()
+            .filter(|r| match r.op {
+                OpKind::Range { len } => boundaries
+                    .iter()
+                    .any(|&b| r.key < b && r.key as u64 + len as u64 > b as u64),
+                _ => false,
+            })
+            .count();
+        assert!(straddling > 100, "only {straddling} straddling ranges");
+        // Point ops land on the boundary keys themselves.
+        assert!(boundaries
+            .iter()
+            .any(|&b| reqs.iter().any(|r| r.key == b && !r.op.is_range())));
+        // Determinism: same spec + boundaries → same stream.
+        let mut gen2 = ShardedGen::new(gen.spec().clone(), boundaries, 0.5);
+        assert_eq!(gen2.next_requests(4096), reqs);
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub use eirene_btree as btree;
 pub use eirene_check as check;
 pub use eirene_core as core;
 pub use eirene_primitives as primitives;
+pub use eirene_serve as serve;
 pub use eirene_sim as sim;
 pub use eirene_stm as stm;
 pub use eirene_workloads as workloads;

@@ -9,7 +9,9 @@
 //! cases with key conflicts run only on the linearizable Eirene variants;
 //! conflict-free cases run on all five.
 
-use eirene::check::{check_case, FuzzTree};
+use eirene::check::{check_case, run_serve_case, run_serve_fuzz, FuzzTree};
+use eirene::check::{ServeFuzzOptions, ServeFuzzOutcome};
+use eirene::serve::ShardMap;
 use eirene::sim::DeviceConfig;
 use eirene::workloads::Request;
 
@@ -153,4 +155,98 @@ fn delete_heavy_churn_on_a_small_key_set() {
         }
     }
     check_linearizable(&p, &reqs);
+}
+
+// ---------------------------------------------------------------------
+// Serving-layer seed corpus: the same delicate territory pushed through
+// the sharded service (shard routing, epoch splitting, range merging).
+// ---------------------------------------------------------------------
+
+fn check_serve(map: ShardMap, pairs: &[(u64, u64)], reqs: &[Request]) {
+    let opts = ServeFuzzOptions {
+        epoch_limit: 8, // small epochs: every corpus case spans several
+        ..ServeFuzzOptions::default()
+    };
+    // Once under OS scheduling, once under a deterministic warp schedule.
+    run_serve_case(&opts, &map, pairs, 0, reqs).unwrap_or_else(|v| panic!("os-sched: {v}"));
+    let det = ServeFuzzOptions {
+        deterministic: true,
+        ..opts
+    };
+    run_serve_case(&det, &map, pairs, 0x5EED, reqs).unwrap_or_else(|v| panic!("det-sched: {v}"));
+}
+
+#[test]
+fn serve_boundary_keys_route_and_linearize() {
+    // Ops on the extreme keys 0 and u32::MAX land on the outermost
+    // shards; a saturating range window near the top must still merge.
+    let map = ShardMap::from_starts(vec![0, 64, 128, u32::MAX - 8]);
+    check_serve(
+        map,
+        &pairs(48),
+        &[
+            Request::query(0, 0),
+            Request::upsert(0, 42, 1),
+            Request::upsert(u32::MAX, 7, 2),
+            Request::range(u32::MAX - 10, 16, 3), // straddles the top boundary, saturates
+            Request::query(0, 4),
+            Request::delete(u32::MAX, 5),
+            Request::range(u32::MAX - 10, 16, 6),
+        ],
+    );
+}
+
+#[test]
+fn serve_ranges_straddling_every_boundary() {
+    // One window covering all four shards plus per-boundary straddlers,
+    // interleaved with updates on the boundary keys themselves.
+    let map = ShardMap::from_starts(vec![0, 16, 32, 48]);
+    check_serve(
+        map,
+        &pairs(64),
+        &[
+            Request::range(1, 60, 0), // spans all four shards
+            Request::upsert(16, 100, 1),
+            Request::range(14, 5, 2),
+            Request::delete(32, 3),
+            Request::range(30, 5, 4),
+            Request::upsert(48, 200, 5),
+            Request::range(46, 5, 6),
+            Request::range(1, 60, 7),
+        ],
+    );
+}
+
+#[test]
+fn serve_duplicate_and_conflicting_keys_across_epochs() {
+    // A single hot key hammered across several tiny epochs: per-shard
+    // queue order must linearize identically to the flat oracle.
+    let map = ShardMap::from_starts(vec![0, 24]);
+    let mut reqs = Vec::new();
+    for i in 0u64..40 {
+        let op = match i % 4 {
+            0 => Request::upsert(24, i as u32, i), // boundary key itself
+            1 => Request::query(24, i),
+            2 => Request::delete(24, i),
+            _ => Request::range(20, 9, i),
+        };
+        reqs.push(op);
+    }
+    check_serve(map, &pairs(48), &reqs);
+}
+
+#[test]
+fn serve_fuzz_repro_seeds_stay_green() {
+    // Pinned repro seeds (the exact replay path a failure report prints):
+    // each runs every adversarial profile once through a 4-shard service.
+    for seed in [0x5E4E5E_u64, 0xB0A7, 0xD15C0] {
+        let opts = ServeFuzzOptions {
+            repro: Some(seed),
+            ..ServeFuzzOptions::default()
+        };
+        match run_serve_fuzz(&opts) {
+            ServeFuzzOutcome::Passed { .. } => {}
+            ServeFuzzOutcome::Failed(f) => panic!("repro seed {seed:#x} diverged: {f}"),
+        }
+    }
 }

@@ -9,11 +9,14 @@ use eirene::baselines::common::ConcurrentTree;
 use eirene::btree::refops;
 use eirene::btree::validate::validate;
 use eirene::core::{EireneOptions, EireneTree};
+use eirene::serve::{AdmitPolicy, Outcome, ServeConfig, Service, ShardMap, Ticket};
+use eirene::sim::DeviceConfig;
 use eirene::workloads::{
     Batch, Distribution, Mix, OpKind, Oracle, Request, Response, SequentialOracle, WorkloadGen,
     WorkloadSpec,
 };
 use proptest::prelude::*;
+use std::time::Duration;
 
 fn pairs(n: u64) -> Vec<(u64, u64)> {
     (1..=n).map(|i| (2 * i, 2 * i + 1)).collect()
@@ -305,6 +308,199 @@ fn equal_timestamp_update_before_range_sees_new_value() {
         }
         other => panic!("expected a range response, got {other:?}"),
     }
+}
+
+// ---------------------------------------------------------------------
+// Sharded serving layer: the linearizability claim must survive shard
+// routing, epoch pipelining, and cross-shard range splitting/merging.
+// ---------------------------------------------------------------------
+
+/// Four shards with boundaries at 100/200/300 — small enough that the
+/// test keys exercise every shard and every boundary.
+fn test_map() -> ShardMap {
+    ShardMap::from_starts(vec![0, 100, 200, 300])
+}
+
+fn serve_config(device: DeviceConfig) -> ServeConfig {
+    ServeConfig {
+        map: test_map(),
+        device,
+        batch_limit: 64, // force multi-epoch histories
+        queue_depth: 1 << 12,
+        policy: AdmitPolicy::Block,
+        linger: Duration::ZERO,
+        hold_gate: true,
+        headroom_nodes: 1 << 12,
+        replay: None,
+    }
+}
+
+/// A mixed request stream dense around the shard boundaries: upserts and
+/// deletes *on* the boundary keys interleaved with range queries whose
+/// windows straddle one or two boundaries.
+fn boundary_stream(n: u64) -> Vec<Request> {
+    (0..n)
+        .map(|i| {
+            let b = [100u32, 200, 300][(i % 3) as usize];
+            match i % 7 {
+                0 => Request::upsert(b, i as u32, i),
+                1 => Request::delete(b, i),
+                2 => Request::upsert(b - 1, i as u32, i),
+                3 => Request::range(b - 6, 12, i), // straddles one boundary
+                4 => Request::range(95, 120, i),   // straddles 100 and 200
+                5 => Request::query(b + 1, i),
+                _ => Request::query(b, i),
+            }
+        })
+        .collect()
+}
+
+/// Submits `reqs` in order through one client (gate held, so submission
+/// order is admission order), then checks every ticket and the merged
+/// final contents against a flat sequential oracle.
+fn check_service_against_oracle(
+    device: DeviceConfig,
+    replay: Option<Vec<eirene::sim::ScheduleLog>>,
+) {
+    let init = pairs(150); // keys 2..=300: every shard starts non-empty
+    let reqs = boundary_stream(280);
+    let mut cfg = serve_config(device);
+    cfg.replay = replay;
+    let svc = Service::new(&init, cfg);
+    let client = svc.client();
+    let tickets: Vec<Ticket> = reqs.iter().map(|r| client.submit(r.key, r.op)).collect();
+    svc.release();
+    let report = svc.shutdown();
+
+    let mut oracle = SequentialOracle::load(&pairs32(150));
+    let want = oracle.run_batch(&Batch::new(reqs.clone()));
+    for (i, (ticket, want)) in tickets.iter().zip(&want).enumerate() {
+        assert_eq!(
+            ticket.wait(),
+            Outcome::Done(want.clone()),
+            "response {i} diverges for {:?}",
+            reqs[i]
+        );
+    }
+    let oracle_contents: Vec<(u64, u64)> = oracle
+        .contents()
+        .iter()
+        .map(|(&k, &v)| (k as u64, v as u64))
+        .collect();
+    assert_eq!(report.contents(), oracle_contents, "final state diverges");
+    report.assert_consistent();
+}
+
+#[test]
+fn sharded_service_is_linearizable_across_boundaries_os_sched() {
+    check_service_against_oracle(DeviceConfig::test_small(), None);
+}
+
+#[test]
+fn sharded_service_is_linearizable_across_boundaries_det_sched() {
+    check_service_against_oracle(
+        DeviceConfig::test_small().with_deterministic_sched(0xD5EED),
+        None,
+    );
+}
+
+#[test]
+fn deterministic_serving_capture_replay_round_trips() {
+    // First run: capture per-shard warp schedules and all responses.
+    let init = pairs(150);
+    let reqs = boundary_stream(280);
+    let device = DeviceConfig::test_small().with_deterministic_sched(0xCAFE);
+    let run = |replay: Option<Vec<eirene::sim::ScheduleLog>>| {
+        let mut cfg = serve_config(device.clone());
+        cfg.replay = replay;
+        let svc = Service::new(&init, cfg);
+        let client = svc.client();
+        let tickets: Vec<Ticket> = reqs.iter().map(|r| client.submit(r.key, r.op)).collect();
+        svc.release();
+        let report = svc.shutdown();
+        let outcomes: Vec<Outcome> = tickets.iter().map(|t| t.wait()).collect();
+        let schedules: Vec<eirene::sim::ScheduleLog> =
+            report.shards.iter().map(|s| s.schedule.clone()).collect();
+        (outcomes, schedules, report)
+    };
+    let (out1, sched1, report1) = run(None);
+    report1.assert_consistent();
+    assert!(
+        sched1.iter().any(|s| !s.launches.is_empty()),
+        "deterministic devices must capture non-empty schedules"
+    );
+    // Second run replays those schedules: identical responses AND the
+    // re-captured logs must match the originals bit-for-bit.
+    let (out2, sched2, report2) = run(Some(sched1.clone()));
+    report2.assert_consistent();
+    assert_eq!(out1, out2, "replayed responses diverge");
+    assert_eq!(sched1, sched2, "replayed schedules diverge");
+}
+
+#[test]
+fn concurrent_clients_preserve_session_order() {
+    // Four client threads write disjoint key stripes (one owned key per
+    // shard each) and immediately read their own writes. Timestamps are
+    // assigned in global submission order, so each query follows its
+    // thread's latest upsert in logical time and — with no other writer on
+    // the key — must observe it. Cross-shard ranges ride along to keep the
+    // splitter/merger in the concurrent mix. No gate: the epoch pipeline
+    // runs live under real thread interleaving.
+    const THREADS: u32 = 4;
+    const OPS: u32 = 48;
+    let init = pairs(150);
+    let cfg = ServeConfig {
+        hold_gate: false,
+        linger: Duration::from_micros(50),
+        ..serve_config(DeviceConfig::test_small())
+    };
+    let svc = Service::new(&init, cfg);
+    let mut expected: std::collections::BTreeMap<u64, u64> = init.iter().copied().collect();
+    // Thread t owns key s*100 + 8t + 1 on each shard s: odd keys, absent
+    // from the even initial pairs, disjoint across threads.
+    for t in 0..THREADS {
+        for s in 0..4u32 {
+            let key = s * 100 + 8 * t + 1;
+            let last = (0..OPS).filter(|i| i % 4 == s).max().unwrap();
+            expected.insert(key as u64, (t * 1000 + last) as u64);
+        }
+    }
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let client = svc.client();
+            scope.spawn(move || {
+                let mut reads = Vec::new();
+                for i in 0..OPS {
+                    let s = i % 4;
+                    let key = s * 100 + 8 * t + 1;
+                    let val = t * 1000 + i;
+                    client.submit(key, OpKind::Upsert(val));
+                    reads.push((key, val, client.submit(key, OpKind::Query)));
+                    if i % 8 == 0 {
+                        // Straddles the 100 and 200 boundaries.
+                        let range = client.submit(95, OpKind::Range { len: 110 });
+                        match range.wait() {
+                            Outcome::Done(Response::Range(slots)) => {
+                                assert_eq!(slots.len(), 110)
+                            }
+                            other => panic!("range failed: {other:?}"),
+                        }
+                    }
+                }
+                for (key, val, ticket) in reads {
+                    assert_eq!(
+                        ticket.wait(),
+                        Outcome::Done(Response::Value(Some(val))),
+                        "thread {t} lost its own write to key {key}"
+                    );
+                }
+            });
+        }
+    });
+    let report = svc.shutdown();
+    report.assert_consistent();
+    let contents: Vec<(u64, u64)> = expected.into_iter().collect();
+    assert_eq!(report.contents(), contents, "final state diverges");
 }
 
 #[test]
