@@ -24,7 +24,8 @@ use eirene_check::{ServeFuzzOptions, ServeFuzzOutcome};
 fn usage() -> ! {
     eprintln!(
         "usage: eirene-bench fuzz [--seed N] [--repro-seed HEX] [--batches N] [--batch N] \
-         [--domain N] [--initial-keys N] [--tree {}] [--os-sched] [--inject-fault]",
+         [--domain N] [--initial-keys N] [--tree {}] [--os-sched] [--inject-fault] \
+         [--serve [--shards N] [--submitters N] [--epoch-limit N] [--det]]",
         FuzzTree::ALL
             .iter()
             .map(|t| t.label())
@@ -67,6 +68,7 @@ fn run_serve(args: &[String]) -> i32 {
             "--domain" => opts.domain = parse_num(it.next()),
             "--initial-keys" => opts.initial_keys = parse_num(it.next()),
             "--shards" => opts.shards = parse_num(it.next()),
+            "--submitters" => opts.submitters = parse_num(it.next()),
             "--epoch-limit" => opts.epoch_limit = parse_num(it.next()),
             "--os-sched" => opts.deterministic = false,
             "--det" => opts.deterministic = true,
@@ -74,7 +76,8 @@ fn run_serve(args: &[String]) -> i32 {
         }
     }
     eprintln!(
-        "fuzz --serve: {}, {} batches x {} requests, domain {}, {} shards, epoch limit {}, {}",
+        "fuzz --serve: {}, {} batches x {} requests, domain {}, {} shards, {} submitter(s), \
+         epoch limit {}, {}",
         match opts.repro {
             Some(s) => format!("replaying batch seed {s:#x}"),
             None => format!("seed {:#x}", opts.seed),
@@ -83,6 +86,7 @@ fn run_serve(args: &[String]) -> i32 {
         opts.batch_size,
         opts.domain,
         opts.shards,
+        opts.submitters.max(1),
         opts.epoch_limit,
         if opts.deterministic {
             "deterministic scheduling"

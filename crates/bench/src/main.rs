@@ -19,13 +19,13 @@ fn usage() -> ! {
          [--jobs N] [--json PATH] [--trace PATH]\n       \
          eirene-bench fuzz [--seed N] [--batches N] [--batch N] [--tree T] \
          [--os-sched] [--inject-fault]   (differential fuzz harness)\n       \
-         eirene-bench fuzz --serve [--shards N] [--batches N] [--batch N] [--domain N] \
-         [--initial-keys N] [--epoch-limit N] [--seed N] [--repro-seed H] [--os-sched|--det]   \
-         (sharded-serving fuzz)\n       \
-         eirene-bench perf [--smoke] [--jobs N] [--out PATH]   \
-         (wall-clock suite, writes BENCH_sim.json)\n       \
+         eirene-bench fuzz --serve [--shards N] [--submitters N] [--batches N] [--batch N] \
+         [--domain N] [--initial-keys N] [--epoch-limit N] [--seed N] [--repro-seed H] \
+         [--os-sched|--det]   (sharded-serving fuzz)\n       \
+         eirene-bench perf [--smoke] [--jobs N] [--out PATH] [--serve-out PATH]   \
+         (wall-clock suite, writes BENCH_sim.json + BENCH_serve.json)\n       \
          eirene-bench serve [--smoke] [--shards a,b,c] [--loads f,f] [--tree-exp N] \
-         [--requests N] [--batch-limit N] [--straddle F] [--seed N]   \
+         [--requests N] [--batch-limit N] [--straddle F] [--clients N] [--seed N]   \
          (sharded-serving throughput/QoS sweep)"
     );
     std::process::exit(2);

@@ -12,21 +12,117 @@
 //! * **figure_sweep** — a figure-style point sweep through
 //!   [`measure_all`], run once at the configured `--jobs` and once at
 //!   `--jobs 1`, yielding the parallel-sweep speedup.
+//! * **ingress** — 8 submitter threads race point lookups into a 4-shard
+//!   service with the epoch gate held, once per admission mode: the
+//!   global-lock baseline, the lock-free path one request at a time, and
+//!   the lock-free path through batched `submit_many` chunks. The headline
+//!   number is wall-clock submissions/sec and the speedups over the
+//!   locked baseline.
 //!
-//! Results go to `BENCH_sim.json` (`--out` to override): wall-clock per
-//! scenario, work rates, and the sweep speedup. CI runs `perf --smoke`
-//! and compares total wall-clock against the committed smoke baseline so
-//! host-side regressions fail loudly.
+//! Sim results go to `BENCH_sim.json` (`--out` to override) and the
+//! ingress results to `BENCH_serve.json` (`--serve-out`): wall-clock per
+//! scenario, work rates, and speedups. CI runs `perf --smoke` and compares
+//! both totals against the committed smoke baselines so host-side
+//! regressions fail loudly.
 
 use crate::harness::{default_mix, jobs, measure_all, set_jobs, spec_for, Point, TreeKind};
 use eirene_check::{FuzzOptions, FuzzOutcome};
+use eirene_serve::{AdmissionMode, AdmitPolicy, ServeConfig, Service, ShardMap, Ticket};
 use eirene_sim::{Device, DeviceConfig};
 use eirene_telemetry::JsonValue;
-use std::time::Instant;
+use eirene_workloads::{Distribution, Key, Mix, OpKind, WorkloadGen, WorkloadSpec};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 fn usage() -> i32 {
-    eprintln!("usage: eirene-bench perf [--smoke] [--jobs N] [--out PATH]");
+    eprintln!("usage: eirene-bench perf [--smoke] [--jobs N] [--out PATH] [--serve-out PATH]");
     2
+}
+
+/// Shape of the ingress scenario (acceptance target: 8 threads × 4 shards,
+/// batched lock-free ≥ 3× the locked baseline).
+const INGRESS_THREADS: usize = 8;
+const INGRESS_SHARDS: usize = 4;
+/// `submit_many` chunk size of the batched mode.
+const INGRESS_CHUNK: usize = 256;
+
+/// One ingress cell: `INGRESS_THREADS` submitters push `per_thread` point
+/// lookups each into a gated `INGRESS_SHARDS`-shard service under the
+/// given admission mode; returns the wall-clock seconds of the submission
+/// phase only (the drain after the gate release is not timed). `chunk = 1`
+/// submits one request at a time; larger chunks go through `submit_many`.
+fn ingress_cell(per_thread: usize, admission: AdmissionMode, chunk: usize) -> f64 {
+    let spec = WorkloadSpec {
+        tree_size: 1 << 12,
+        batch_size: 1024,
+        mix: Mix::ycsb_c(),
+        distribution: Distribution::Uniform,
+        seed: 0x164E55,
+    };
+    // Shards split the workload's key domain so submissions spread.
+    let width = ((spec.key_domain() + 1) / INGRESS_SHARDS as u64).max(1) as u32;
+    let map = ShardMap::from_starts((0..INGRESS_SHARDS as u32).map(|i| i * width).collect());
+    let pairs: Vec<(u64, u64)> = spec
+        .initial_pairs()
+        .into_iter()
+        .map(|(k, v)| (k as u64, v as u64))
+        .collect();
+    let cfg = ServeConfig {
+        map,
+        device: DeviceConfig::test_small(),
+        batch_limit: 1024,
+        // Everything fits queued while the gate is held; nothing blocks.
+        queue_depth: INGRESS_THREADS * per_thread + 16,
+        policy: AdmitPolicy::Block,
+        admission,
+        linger: Duration::ZERO,
+        hold_gate: true,
+        headroom_nodes: 1 << 12,
+        replay: None,
+    };
+    let svc = Service::new(&pairs, cfg);
+    // Generate outside the timed region: the scenario measures admission,
+    // not key sampling.
+    let streams: Vec<Vec<(Key, OpKind)>> = (0..INGRESS_THREADS as u64)
+        .map(|t| {
+            WorkloadGen::new(spec.for_client(t))
+                .next_requests(per_thread)
+                .into_iter()
+                .map(|r| (r.key, r.op))
+                .collect()
+        })
+        .collect();
+    // Clients hold their tickets (as a real waiter would); dropping them
+    // inside the timed window would charge the release to the submission
+    // path. The holder outlives the measurement.
+    let held: Mutex<Vec<Vec<Ticket>>> = Mutex::new(Vec::new());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for ops in &streams {
+            let client = svc.client();
+            let held = &held;
+            scope.spawn(move || {
+                let mut tickets = Vec::with_capacity(ops.len());
+                if chunk <= 1 {
+                    for &(key, op) in ops {
+                        tickets.push(client.submit(key, op));
+                    }
+                } else {
+                    for sub in ops.chunks(chunk) {
+                        tickets.extend(client.submit_many(sub));
+                    }
+                }
+                held.lock().unwrap().push(tickets);
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    svc.release();
+    let report = svc.shutdown();
+    let total = (INGRESS_THREADS * per_thread) as u64;
+    assert_eq!(report.enqueued(), total, "ingress cell lost submissions");
+    report.assert_consistent();
+    wall
 }
 
 /// Small launches on one long-lived device: measures per-launch overhead.
@@ -108,12 +204,17 @@ fn scenario_doc(wall_s: f64, work_key: &str, work: usize) -> JsonValue {
 pub fn run(args: &[String]) -> i32 {
     let mut smoke = false;
     let mut out = String::from("BENCH_sim.json");
+    let mut serve_out = String::from("BENCH_serve.json");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--out" => match it.next() {
                 Some(path) => out = path.clone(),
+                None => return usage(),
+            },
+            "--serve-out" => match it.next() {
+                Some(path) => serve_out = path.clone(),
                 None => return usage(),
             },
             "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
@@ -160,6 +261,73 @@ pub fn run(args: &[String]) -> i32 {
     );
 
     let total_wall = total.elapsed().as_secs_f64();
+
+    // The ingress scenario is reported to its own baseline file: its
+    // wall-clock tracks the serve front door, not the simulator.
+    let per_thread = if smoke { 16_000 } else { 40_000 };
+    let submissions = INGRESS_THREADS * per_thread;
+    // Best of five repetitions per mode: each cell is only tens of
+    // milliseconds of timed submission, so a single stray scheduler
+    // hiccup would otherwise dominate the ratio.
+    let best_of = |admission: AdmissionMode, chunk: usize| {
+        (0..5)
+            .map(|_| ingress_cell(per_thread, admission, chunk))
+            .fold(f64::MAX, f64::min)
+    };
+    let ingress_total = Instant::now();
+    let locked_wall = best_of(AdmissionMode::GlobalLock, 1);
+    let lockfree_wall = best_of(AdmissionMode::LockFree, 1);
+    let batched_wall = best_of(AdmissionMode::LockFree, INGRESS_CHUNK);
+    let ingress_total_wall = ingress_total.elapsed().as_secs_f64();
+    let speedup_lockfree = locked_wall / lockfree_wall.max(1e-9);
+    let speedup_batched = locked_wall / batched_wall.max(1e-9);
+    let rate = |wall: f64| submissions as f64 / wall.max(1e-9);
+    eprintln!(
+        "perf: ingress        {ingress_total_wall:8.3}s  ({INGRESS_THREADS} threads x {INGRESS_SHARDS} shards, \
+         {:.0}/s locked, {:.0}/s lock-free ({speedup_lockfree:.2}x), \
+         {:.0}/s batched ({speedup_batched:.2}x)",
+        rate(locked_wall),
+        rate(lockfree_wall),
+        rate(batched_wall),
+    );
+    let mode_doc = |wall: f64| {
+        JsonValue::obj(vec![
+            ("wall_s", JsonValue::from(wall)),
+            ("submissions", JsonValue::from(submissions as u64)),
+            ("submissions_per_s", JsonValue::from(rate(wall))),
+        ])
+    };
+    let serve_doc = JsonValue::obj(vec![
+        ("schema_version", JsonValue::from(1u64)),
+        ("suite", JsonValue::from("eirene-bench perf (ingress)")),
+        ("mode", JsonValue::from(mode)),
+        ("threads", JsonValue::from(INGRESS_THREADS as u64)),
+        ("shards", JsonValue::from(INGRESS_SHARDS as u64)),
+        ("chunk", JsonValue::from(INGRESS_CHUNK as u64)),
+        (
+            "scenarios",
+            JsonValue::obj(vec![
+                ("locked_single", mode_doc(locked_wall)),
+                ("lockfree_single", mode_doc(lockfree_wall)),
+                ("lockfree_batched", mode_doc(batched_wall)),
+            ]),
+        ),
+        (
+            "speedup_lockfree_vs_locked",
+            JsonValue::from(speedup_lockfree),
+        ),
+        (
+            "speedup_batched_vs_locked",
+            JsonValue::from(speedup_batched),
+        ),
+        ("total_wall_s", JsonValue::from(ingress_total_wall)),
+    ]);
+    if let Err(e) = std::fs::write(&serve_out, serve_doc.to_json() + "\n") {
+        eprintln!("perf: could not write {serve_out}: {e}");
+        return 1;
+    }
+    eprintln!("perf: ingress results written to {serve_out}");
+
     let mut sweep_doc = scenario_doc(sweep_wall, "points", points.len());
     if let JsonValue::Obj(fields) = &mut sweep_doc {
         fields.push(("wall_s_jobs1".into(), JsonValue::from(sweep_serial_wall)));

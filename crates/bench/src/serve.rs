@@ -5,13 +5,17 @@
 //! cargo run -p eirene-bench --release -- serve              # defaults
 //! cargo run -p eirene-bench --release -- serve --smoke
 //! cargo run -p eirene-bench --release -- serve --shards 1,2,4 --requests 32768
+//! cargo run -p eirene-bench --release -- serve --clients 8  # concurrent submitters
 //! ```
 //!
 //! Per cell the sweep reports aggregate throughput, end-to-end latency
-//! quantiles (p50/p99/p99.9), admission outcomes (shed/timed-out), and the
-//! shard-count speedup against the single-shard closed-loop baseline. The
-//! workload is YCSB-C (point lookups) over a shard-aware generator, with a
-//! configurable fraction of keys rewritten onto shard boundaries.
+//! quantiles (p50/p99/p99.9), admission outcomes (shed/timed-out), the
+//! shard-count speedup against the single-shard closed-loop baseline, and
+//! the wall-clock ingress rate of the submission phase (`--clients N`
+//! threads racing batched `submit_many` chunks through the lock-free
+//! front door). The workload is YCSB-C (point lookups) over a shard-aware
+//! generator, with a configurable fraction of keys rewritten onto shard
+//! boundaries.
 //!
 //! Exit status: 0 when every report is internally consistent (per-shard
 //! telemetry rows sum to totals, trees validate), 1 otherwise.
@@ -19,7 +23,10 @@
 use eirene_serve::{AdmitPolicy, ServeConfig, ServeReport, Service, ShardMap};
 use eirene_sim::DeviceConfig;
 use eirene_workloads::{Distribution, Mix, ShardedGen, WorkloadGen, WorkloadSpec};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Requests per `submit_many` call on a bench client thread.
+const SUBMIT_CHUNK: usize = 256;
 
 struct ServeScale {
     shards: Vec<usize>,
@@ -30,6 +37,8 @@ struct ServeScale {
     requests: usize,
     batch_limit: usize,
     straddle: f64,
+    /// Concurrent submitter threads per cell.
+    clients: usize,
     seed: u64,
     device: DeviceConfig,
 }
@@ -43,6 +52,7 @@ impl Default for ServeScale {
             requests: 1 << 16,
             batch_limit: 4096,
             straddle: 0.05,
+            clients: 1,
             seed: 0x5E44E,
             device: DeviceConfig::default(),
         }
@@ -66,7 +76,7 @@ impl ServeScale {
 fn usage() -> ! {
     eprintln!(
         "usage: eirene-bench serve [--smoke] [--shards a,b,c] [--loads f,f] [--tree-exp N] \
-         [--requests N] [--batch-limit N] [--straddle F] [--seed N]"
+         [--requests N] [--batch-limit N] [--straddle F] [--clients N] [--seed N]"
     );
     std::process::exit(2);
 }
@@ -92,12 +102,14 @@ fn workload_map(shards: usize, key_domain: u64) -> ShardMap {
     ShardMap::from_starts((0..shards as u32).map(|i| i * width).collect())
 }
 
-/// Runs one cell: submits `requests` YCSB-C lookups (single submitting
-/// client, gate held so epoch composition is load-independent), then
-/// releases and drains. `rate` (requests/second) spaces virtual arrivals
-/// for the open-loop cells; `None` is the closed-loop capacity
-/// measurement.
-fn run_cell(scale: &ServeScale, shards: usize, rate: Option<f64>) -> ServeReport {
+/// Runs one cell: `scale.clients` submitter threads push contiguous
+/// slices of `requests` YCSB-C lookups through batched `submit_many`
+/// chunks (gate held so epoch composition is load-independent), then the
+/// gate releases and the service drains. `rate` (requests/second) spaces
+/// virtual arrivals by *global* request index for the open-loop cells;
+/// `None` is the closed-loop capacity measurement. Returns the report and
+/// the wall-clock seconds the submission phase took.
+fn run_cell(scale: &ServeScale, shards: usize, rate: Option<f64>) -> (ServeReport, f64) {
     let spec = WorkloadSpec {
         tree_size: 1usize << scale.tree_exp,
         batch_size: scale.batch_limit,
@@ -121,10 +133,9 @@ fn run_cell(scale: &ServeScale, shards: usize, rate: Option<f64>) -> ServeReport
         linger: Duration::ZERO,
         hold_gate: true,
         headroom_nodes: 1 << 14,
-        replay: None,
+        ..ServeConfig::default()
     };
     let svc = Service::new(&pairs, cfg);
-    let client = svc.client();
     // A single-shard map has no interior boundaries to straddle; fall back
     // to the plain generator there.
     let boundaries = map.boundaries();
@@ -134,29 +145,63 @@ fn run_cell(scale: &ServeScale, shards: usize, rate: Option<f64>) -> ServeReport
         ShardedGen::new(spec, boundaries, scale.straddle).next_requests(scale.requests)
     };
     let cycles_per_req = rate.map(|r| scale.device.clock_ghz * 1e9 / r);
-    for (i, req) in reqs.into_iter().enumerate() {
-        match cycles_per_req {
-            Some(cpr) => {
-                let _ = client.submit_at(req.key, req.op, (i as f64 * cpr) as u64);
-            }
-            None => {
-                let _ = client.submit(req.key, req.op);
-            }
+    let clients = scale.clients.max(1);
+    let per_client = reqs.len().div_ceil(clients).max(1);
+    let ingress_start = Instant::now();
+    std::thread::scope(|scope| {
+        for (t, slice) in reqs.chunks(per_client).enumerate() {
+            let client = svc.client();
+            let base = t * per_client;
+            scope.spawn(move || match cycles_per_req {
+                Some(cpr) => {
+                    let mut chunk = Vec::with_capacity(SUBMIT_CHUNK);
+                    for (off, sub) in slice.chunks(SUBMIT_CHUNK).enumerate() {
+                        chunk.clear();
+                        chunk.extend(sub.iter().enumerate().map(|(j, r)| {
+                            let i = base + off * SUBMIT_CHUNK + j;
+                            (r.key, r.op, (i as f64 * cpr) as u64)
+                        }));
+                        let _ = client.submit_many_at(&chunk);
+                    }
+                }
+                None => {
+                    let mut chunk = Vec::with_capacity(SUBMIT_CHUNK);
+                    for sub in slice.chunks(SUBMIT_CHUNK) {
+                        chunk.clear();
+                        chunk.extend(sub.iter().map(|r| (r.key, r.op)));
+                        let _ = client.submit_many(&chunk);
+                    }
+                }
+            });
         }
-    }
+    });
+    let ingress_secs = ingress_start.elapsed().as_secs_f64();
     svc.release();
-    svc.shutdown()
+    (svc.shutdown(), ingress_secs)
 }
 
 fn cycles_to_us(device: &DeviceConfig, cycles: u64) -> f64 {
     device.cycles_to_secs(cycles as f64) * 1e6
 }
 
-fn print_row(device: &DeviceConfig, shards: usize, mode: &str, report: &ServeReport, base: f64) {
+fn print_row(
+    device: &DeviceConfig,
+    shards: usize,
+    mode: &str,
+    report: &ServeReport,
+    base: f64,
+    ingress_secs: f64,
+) {
     let lat = report.latency();
     let tput = report.throughput();
+    let submitted = report.enqueued() + report.shed();
+    let ingress = if ingress_secs > 0.0 {
+        submitted as f64 / ingress_secs / 1e6
+    } else {
+        0.0
+    };
     println!(
-        "{shards:>6}  {mode:<12} {:>10.2}  {:>7.2}x  {:>9.1}  {:>9.1}  {:>9.1}  {:>5}  {:>7}  {:>6}",
+        "{shards:>6}  {mode:<12} {:>10.2}  {:>7.2}x  {:>9.1}  {:>9.1}  {:>9.1}  {:>5}  {:>7}  {:>6}  {:>11.2}",
         tput / 1e6,
         if base > 0.0 { tput / base } else { 0.0 },
         cycles_to_us(device, lat.p50()),
@@ -165,6 +210,7 @@ fn print_row(device: &DeviceConfig, shards: usize, mode: &str, report: &ServeRep
         report.shed(),
         report.timed_out(),
         report.shards.iter().map(|s| s.epochs).sum::<u64>(),
+        ingress,
     );
 }
 
@@ -195,6 +241,7 @@ pub fn run(args: &[String]) -> i32 {
             "--requests" => scale.requests = parse_num(it.next()),
             "--batch-limit" => scale.batch_limit = parse_num(it.next()),
             "--straddle" => scale.straddle = parse_num(it.next()),
+            "--clients" => scale.clients = parse_num(it.next()),
             "--seed" => scale.seed = parse_num(it.next()),
             _ => usage(),
         }
@@ -203,11 +250,17 @@ pub fn run(args: &[String]) -> i32 {
         usage();
     }
     eprintln!(
-        "serve: YCSB-C, tree 2^{}, {} requests/cell, epoch limit {}, straddle {:.2}, shards {:?}",
-        scale.tree_exp, scale.requests, scale.batch_limit, scale.straddle, scale.shards
+        "serve: YCSB-C, tree 2^{}, {} requests/cell, epoch limit {}, straddle {:.2}, \
+         {} client(s), shards {:?}",
+        scale.tree_exp,
+        scale.requests,
+        scale.batch_limit,
+        scale.straddle,
+        scale.clients.max(1),
+        scale.shards
     );
     println!(
-        "{:>6}  {:<12} {:>10}  {:>8}  {:>9}  {:>9}  {:>9}  {:>5}  {:>7}  {:>6}",
+        "{:>6}  {:<12} {:>10}  {:>8}  {:>9}  {:>9}  {:>9}  {:>5}  {:>7}  {:>6}  {:>11}",
         "shards",
         "mode",
         "tput(M/s)",
@@ -217,13 +270,14 @@ pub fn run(args: &[String]) -> i32 {
         "p99.9(us)",
         "shed",
         "timeout",
-        "epochs"
+        "epochs",
+        "ingr(M/s)"
     );
     let mut all_ok = true;
     let mut baseline = 0.0f64;
     let mut speedups: Vec<(usize, f64)> = Vec::new();
     for &shards in &scale.shards {
-        let closed = run_cell(&scale, shards, None);
+        let (closed, ingress) = run_cell(&scale, shards, None);
         all_ok &= check_report(&closed, &format!("{shards} shards closed"));
         let tput = closed.throughput();
         if baseline == 0.0 {
@@ -231,10 +285,10 @@ pub fn run(args: &[String]) -> i32 {
             baseline = tput;
         }
         speedups.push((shards, tput / baseline));
-        print_row(&scale.device, shards, "closed", &closed, baseline);
+        print_row(&scale.device, shards, "closed", &closed, baseline, ingress);
         for &load in &scale.loads {
             let rate = load * tput;
-            let open = run_cell(&scale, shards, Some(rate));
+            let (open, ingress) = run_cell(&scale, shards, Some(rate));
             all_ok &= check_report(&open, &format!("{shards} shards load {load:.2}"));
             print_row(
                 &scale.device,
@@ -242,6 +296,7 @@ pub fn run(args: &[String]) -> i32 {
                 &format!("open {load:.2}"),
                 &open,
                 baseline,
+                ingress,
             );
         }
     }

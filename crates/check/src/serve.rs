@@ -5,17 +5,23 @@
 //! the [`SequentialOracle`], with ddmin shrinking to a minimal cross-shard
 //! counterexample.
 //!
-//! The oracle side leans on the service's linearizability contract:
-//! timestamps are assigned in submission order under the submission lock,
-//! so a single submitting client makes the oracle's execution order equal
-//! the submission order — the epoch structure, the shard split, and the
-//! cross-shard range merge must all be transparent.
+//! The oracle side leans on the service's linearizability contract: every
+//! admitted request linearizes at its admission timestamp (exposed through
+//! [`Ticket::timestamp`]), so replaying the submissions through the flat
+//! [`SequentialOracle`] *in timestamp order* must reproduce every ticket's
+//! response and the merged final contents — whatever the submission
+//! interleaving was. That makes the same check work for one client and for
+//! several racing lock-free submitter threads, and it exercises the epoch
+//! structure, the shard split, the cross-shard range merge, the reorder
+//! watermark, and batched [`Client::submit_many`] admission all at once
+//! (each submitter chops its stream into pseudo-random single/batched
+//! chunks derived from the case seed).
 
 use crate::gen::{adversarial_batch, dense_pairs, GenOptions, Profile};
 use crate::shrink::shrink;
-use eirene_serve::{AdmitPolicy, Outcome, ServeConfig, Service, ShardMap, Ticket};
+use eirene_serve::{AdmitPolicy, Client, Outcome, ServeConfig, Service, ShardMap, Ticket};
 use eirene_sim::DeviceConfig;
-use eirene_workloads::{Batch, Oracle, Request, Response, SequentialOracle};
+use eirene_workloads::{Batch, Key, OpKind, Oracle, Request, Response, SequentialOracle};
 use std::time::Duration;
 
 /// Configuration of one serve-mode fuzz run.
@@ -37,6 +43,9 @@ pub struct ServeFuzzOptions {
     /// Epoch size limit, chosen well below `batch_size` so every case
     /// exercises multiple epoch boundaries per shard.
     pub epoch_limit: usize,
+    /// Concurrent submitter threads per case (contiguous slices of the
+    /// request stream race through the lock-free admission path).
+    pub submitters: usize,
     /// Run shard devices under the seeded deterministic scheduler.
     pub deterministic: bool,
     /// Replay mode: use this value directly as the batch seed and try each
@@ -55,6 +64,7 @@ impl Default for ServeFuzzOptions {
             initial_keys: 1024,
             shards: 4,
             epoch_limit: 48,
+            submitters: 1,
             deterministic: false,
             repro: None,
         }
@@ -181,9 +191,33 @@ fn mix(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Submits `reqs` (in order, one client) through a fresh service over
-/// `pairs` and checks every ticket, the merged contents, the structures,
-/// and the report accounting against the sequential oracle.
+/// Submits one client's stream as a pseudo-random mix of single
+/// `submit` calls and `submit_many` chunks (chunk pattern derived from
+/// `seed`), returning the tickets in submission order.
+fn submit_stream(client: &Client, reqs: &[Request], seed: u64) -> Vec<Ticket> {
+    let mut tickets = Vec::with_capacity(reqs.len());
+    let mut state = seed;
+    let mut i = 0;
+    while i < reqs.len() {
+        state = mix(state);
+        let take = (1 + state % 13) as usize;
+        let take = take.min(reqs.len() - i);
+        if take == 1 {
+            tickets.push(client.submit(reqs[i].key, reqs[i].op));
+        } else {
+            let ops: Vec<(Key, OpKind)> = reqs[i..i + take].iter().map(|r| (r.key, r.op)).collect();
+            tickets.extend(client.submit_many(&ops));
+        }
+        i += take;
+    }
+    tickets
+}
+
+/// Submits `reqs` through a fresh service over `pairs` — one client, or
+/// `opts.submitters` racing threads on contiguous slices, chunked through
+/// `submit_many` either way — and checks every ticket, the merged
+/// contents, the structures, and the report accounting against the
+/// sequential oracle replayed in admission-timestamp order.
 pub fn run_serve_case(
     opts: &ServeFuzzOptions,
     map: &ShardMap,
@@ -207,36 +241,85 @@ pub fn run_serve_case(
         linger: Duration::ZERO,
         hold_gate: true,
         headroom_nodes: (reqs.len() * 4).max(1 << 12),
-        replay: None,
+        ..ServeConfig::default()
     };
     let svc = Service::new(pairs, cfg);
-    let client = svc.client();
-    let tickets: Vec<Ticket> = reqs.iter().map(|r| client.submit(r.key, r.op)).collect();
+    let submitters = opts.submitters.max(1);
+    let tickets: Vec<Ticket> = if submitters == 1 {
+        submit_stream(&svc.client(), reqs, mix(device_seed))
+    } else {
+        // Contiguous slices, one racing thread each; tickets keep global
+        // submission-slice order so `tickets[i]` still belongs to `reqs[i]`.
+        let chunk = reqs.len().div_ceil(submitters);
+        let mut parts: Vec<Vec<Ticket>> = Vec::with_capacity(submitters);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = reqs
+                .chunks(chunk.max(1))
+                .enumerate()
+                .map(|(t, slice)| {
+                    let client = svc.client();
+                    scope.spawn(move || submit_stream(&client, slice, mix(device_seed ^ t as u64)))
+                })
+                .collect();
+            parts.extend(handles.into_iter().map(|h| h.join().expect("submitter")));
+        });
+        parts.into_iter().flatten().collect()
+    };
     svc.release();
     let report = svc.shutdown();
 
-    // One client + admission-order timestamps: the oracle executes the
-    // submission sequence flat, in order.
+    // Replay the oracle in admission-timestamp order — the service's
+    // linearization order whatever the submission interleaving was.
+    // Empty-window ranges are never admitted (no timestamp): they must
+    // resolve to an empty range response and touch nothing.
+    let mut order: Vec<(u64, usize)> = Vec::with_capacity(tickets.len());
+    for (index, ticket) in tickets.iter().enumerate() {
+        match ticket.timestamp() {
+            Some(ts) => order.push((ts, index)),
+            None => {
+                let want = Response::Range(Vec::new());
+                match ticket.wait() {
+                    Outcome::Done(got) if got == want => {}
+                    Outcome::Done(got) => {
+                        return Err(ServeViolation::Response {
+                            index,
+                            request: reqs[index],
+                            got,
+                            want,
+                        })
+                    }
+                    outcome => {
+                        return Err(ServeViolation::NotExecuted {
+                            index,
+                            request: reqs[index],
+                            outcome,
+                        })
+                    }
+                }
+            }
+        }
+    }
+    order.sort_unstable();
     let pairs32: Vec<(u32, u32)> = pairs.iter().map(|&(k, v)| (k as u32, v as u32)).collect();
     let mut oracle = SequentialOracle::load(&pairs32);
     let batch = Batch::new(
-        reqs.iter()
-            .enumerate()
-            .map(|(ts, r)| Request {
-                key: r.key,
-                op: r.op,
-                ts: ts as u64,
+        order
+            .iter()
+            .map(|&(ts, i)| Request {
+                key: reqs[i].key,
+                op: reqs[i].op,
+                ts,
             })
             .collect(),
     );
     let want = oracle.run_batch(&batch);
-    for (index, (ticket, want)) in tickets.iter().zip(want).enumerate() {
-        match ticket.wait() {
+    for (pos, (&(_, index), want)) in order.iter().zip(want).enumerate() {
+        match tickets[index].wait() {
             Outcome::Done(got) => {
                 if got != want {
                     return Err(ServeViolation::Response {
                         index,
-                        request: batch.requests[index],
+                        request: batch.requests[pos],
                         got,
                         want,
                     });
@@ -245,7 +328,7 @@ pub fn run_serve_case(
             outcome => {
                 return Err(ServeViolation::NotExecuted {
                     index,
-                    request: batch.requests[index],
+                    request: batch.requests[pos],
                     outcome,
                 })
             }
@@ -308,6 +391,9 @@ fn replay_command(opts: &ServeFuzzOptions, batch_seed: u64) -> String {
         "eirene-bench fuzz --serve --shards {} --batch {} --domain {} --initial-keys {} --repro-seed {batch_seed:#x}",
         opts.shards, opts.batch_size, opts.domain, opts.initial_keys,
     );
+    if opts.submitters > 1 {
+        cmd.push_str(&format!(" --submitters {}", opts.submitters));
+    }
     if !opts.deterministic {
         cmd.push_str(" --os-sched");
     }
@@ -379,6 +465,19 @@ mod tests {
     fn serve_fuzz_passes_a_short_run() {
         match run_serve_fuzz(&short_opts()) {
             ServeFuzzOutcome::Passed { cases } => assert_eq!(cases, 12),
+            ServeFuzzOutcome::Failed(f) => panic!("unexpected violation:\n{f}"),
+        }
+    }
+
+    #[test]
+    fn serve_fuzz_passes_with_racing_submitters() {
+        let opts = ServeFuzzOptions {
+            cases: 6,
+            submitters: 4,
+            ..short_opts()
+        };
+        match run_serve_fuzz(&opts) {
+            ServeFuzzOutcome::Passed { cases } => assert_eq!(cases, 6),
             ServeFuzzOutcome::Failed(f) => panic!("unexpected violation:\n{f}"),
         }
     }

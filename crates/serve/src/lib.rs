@@ -9,7 +9,12 @@
 //! The layer adds, on top of `eirene-core`:
 //!
 //! - **Async submission** — [`Client::submit`] returns a [`Ticket`]
-//!   redeemable for the request's [`Outcome`].
+//!   redeemable for the request's [`Outcome`]; [`Client::submit_many`]
+//!   admits a whole request vector with one timestamp range-claim and one
+//!   bulk enqueue per shard. Admission is lock-free by default
+//!   ([`AdmissionMode`]): a bare atomic timestamp counter plus a
+//!   watermark of in-flight submissions that lets each combiner restore
+//!   timestamp order (see the [`service`] module docs).
 //! - **Epoch pipelining** — per shard, a combiner thread forms and plans
 //!   epoch N+1 (host work) while the executor runs epoch N on the device,
 //!   exploiting that [`build_plan`](eirene_core::plan::build_plan) needs
@@ -34,6 +39,6 @@ mod ticket;
 
 pub use queue::AdmitPolicy;
 pub use report::{ServeReport, ShardReport};
-pub use service::{Client, ServeConfig, Service};
+pub use service::{AdmissionMode, Client, ServeConfig, Service};
 pub use shard::{RangePart, ShardId, ShardMap};
 pub use ticket::{Outcome, Ticket};

@@ -1,4 +1,20 @@
 //! Bounded MPSC ingress queue feeding one shard's epoch pipeline.
+//!
+//! Since the lock-free admission rework the queue carries entries in
+//! *arrival* order, which may differ slightly from timestamp order (many
+//! submitters interleave between drawing a timestamp and enqueueing); the
+//! combiner's reorder stage restores timestamp order. The queue's job is
+//! bounded buffering with race-free admission accounting:
+//!
+//! - **Reservations** make shed-vs-admit decisions atomic: a submitter
+//!   reserves capacity first ([`IngressQueue::try_reserve`] /
+//!   [`IngressQueue::reserve_up_to`]) and then fills the reservation with
+//!   [`IngressQueue::push_reserved`], so two submitters racing one
+//!   remaining slot can never both admit past the configured depth.
+//! - **Bulk pushes** ([`IngressQueue::push_reserved_many`],
+//!   [`IngressQueue::push_blocking_many`]) take the queue lock once per
+//!   batch instead of once per request — the amortization behind
+//!   [`Client::submit_many`](crate::Client::submit_many).
 
 use crate::ticket::Completion;
 use eirene_workloads::Request;
@@ -36,7 +52,25 @@ pub(crate) struct Entry {
 #[derive(Debug, Default)]
 struct QueueState {
     entries: VecDeque<Entry>,
+    /// Capacity promised to in-flight submitters but not yet filled.
+    /// `entries.len() + reserved <= capacity` always holds.
+    reserved: usize,
     closed: bool,
+}
+
+impl QueueState {
+    fn room(&self, capacity: usize) -> usize {
+        capacity - self.entries.len() - self.reserved
+    }
+}
+
+/// Everything one [`IngressQueue::drain`] call popped.
+#[derive(Debug)]
+pub(crate) struct Drained {
+    pub entries: Vec<Entry>,
+    /// The queue is closed and nothing more will ever come: the combiner
+    /// may finish once its reorder stage is empty too.
+    pub finished: bool,
 }
 
 /// Bounded MPSC queue: many submitting clients, one combiner consumer.
@@ -52,7 +86,13 @@ impl IngressQueue {
     pub(crate) fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ingress queue capacity must be positive");
         IngressQueue {
-            state: Mutex::new(QueueState::default()),
+            state: Mutex::new(QueueState {
+                // Pre-size the ring (capped for very deep queues) so bulk
+                // pushes on the ingress hot path don't pay repeated growth
+                // memcpys while the queue fills.
+                entries: VecDeque::with_capacity(capacity.min(1 << 15)),
+                ..QueueState::default()
+            }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
@@ -63,20 +103,49 @@ impl IngressQueue {
         self.state.lock().unwrap().entries.len()
     }
 
-    /// Whether `n` more entries fit right now. Only meaningful while the
-    /// caller holds the service's submission lock: pushes are serialized
-    /// behind it, so the answer can only become *more* true (the consumer
-    /// may pop concurrently, never push).
-    pub(crate) fn has_room(&self, n: usize) -> bool {
-        let st = self.state.lock().unwrap();
-        !st.closed && st.entries.len() + n <= self.capacity
+    /// Atomically reserves `n` slots (all or nothing). Returns `false` on
+    /// a closed queue or insufficient room; concurrent reservers can never
+    /// jointly over-commit the capacity.
+    pub(crate) fn try_reserve(&self, n: usize) -> bool {
+        let mut st = self.state.lock().unwrap();
+        if st.closed || st.room(self.capacity) < n {
+            return false;
+        }
+        st.reserved += n;
+        true
     }
 
-    /// Non-blocking push (shed policy). Returns the entry on a full or
-    /// closed queue, and the resulting depth on success.
-    pub(crate) fn try_push(&self, entry: Entry) -> Result<usize, Entry> {
+    /// Reserves as many of `n` slots as currently fit, returning the
+    /// granted count (0 on a closed queue).
+    pub(crate) fn reserve_up_to(&self, n: usize) -> usize {
         let mut st = self.state.lock().unwrap();
-        if st.closed || st.entries.len() >= self.capacity {
+        if st.closed {
+            return 0;
+        }
+        let grant = st.room(self.capacity).min(n);
+        st.reserved += grant;
+        grant
+    }
+
+    /// Returns `n` unfilled reservations.
+    pub(crate) fn cancel_reservation(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        debug_assert!(st.reserved >= n, "cancelling more than was reserved");
+        st.reserved -= n;
+        self.not_full.notify_all();
+    }
+
+    /// Fills one previously granted reservation. Fails only on a closed
+    /// queue (the reservation is returned either way). Returns the
+    /// resulting depth.
+    pub(crate) fn push_reserved(&self, entry: Entry) -> Result<usize, Entry> {
+        let mut st = self.state.lock().unwrap();
+        debug_assert!(st.reserved >= 1, "push_reserved without a reservation");
+        st.reserved -= 1;
+        if st.closed {
             return Err(entry);
         }
         st.entries.push_back(entry);
@@ -84,11 +153,30 @@ impl IngressQueue {
         Ok(st.entries.len())
     }
 
+    /// Fills `entries.len()` previously granted reservations under one
+    /// lock acquisition. On a closed queue the unpushed tail comes back.
+    /// Returns `(pushed, resulting depth)`.
+    pub(crate) fn push_reserved_many(
+        &self,
+        entries: Vec<Entry>,
+    ) -> Result<(usize, usize), Vec<Entry>> {
+        let n = entries.len();
+        let mut st = self.state.lock().unwrap();
+        debug_assert!(st.reserved >= n, "push_reserved_many without reservations");
+        st.reserved -= n;
+        if st.closed {
+            return Err(entries);
+        }
+        st.entries.extend(entries);
+        self.not_empty.notify_one();
+        Ok((n, st.entries.len()))
+    }
+
     /// Blocking push (block policy): waits for room. Returns the entry
     /// only if the queue closed while waiting.
     pub(crate) fn push_blocking(&self, entry: Entry) -> Result<usize, Entry> {
         let mut st = self.state.lock().unwrap();
-        while !st.closed && st.entries.len() >= self.capacity {
+        while !st.closed && st.room(self.capacity) == 0 {
             st = self.not_full.wait(st).unwrap();
         }
         if st.closed {
@@ -99,41 +187,80 @@ impl IngressQueue {
         Ok(st.entries.len())
     }
 
-    /// Pops the next epoch: blocks until at least one entry is available
-    /// (or the queue is closed *and* drained — then `None`), lingers up to
-    /// `linger` for the epoch to fill to `max`, and drains at most `max`
-    /// entries.
-    pub(crate) fn pop_epoch(&self, max: usize, linger: Duration) -> Option<Vec<Entry>> {
+    /// Blocking bulk push: takes the lock once and pushes every entry,
+    /// waiting on the consumer whenever the queue is full. If the queue
+    /// closes mid-way the unpushed tail comes back. Returns
+    /// `(pushed, high-water depth)`.
+    pub(crate) fn push_blocking_many(
+        &self,
+        entries: Vec<Entry>,
+    ) -> Result<(usize, usize), (usize, usize, Vec<Entry>)> {
         let mut st = self.state.lock().unwrap();
-        while st.entries.is_empty() {
-            if st.closed {
-                return None;
+        let (mut pushed, mut high) = (0usize, 0usize);
+        let mut it = entries.into_iter();
+        for entry in it.by_ref() {
+            while !st.closed && st.room(self.capacity) == 0 {
+                self.not_empty.notify_one();
+                st = self.not_full.wait(st).unwrap();
             }
-            st = self.not_empty.wait(st).unwrap();
+            if st.closed {
+                let mut rest = vec![entry];
+                rest.extend(it);
+                return Err((pushed, high, rest));
+            }
+            st.entries.push_back(entry);
+            pushed += 1;
+            high = high.max(st.entries.len());
         }
-        if st.entries.len() < max && !st.closed && !linger.is_zero() {
-            let deadline = Instant::now() + linger;
-            while st.entries.len() < max && !st.closed {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
+        self.not_empty.notify_one();
+        Ok((pushed, high))
+    }
+
+    /// Drains up to `max` entries in arrival order. With `wait: None` the
+    /// call blocks until at least one entry exists or the queue closes;
+    /// `Some(d)` bounds that wait (`Duration::ZERO` = non-blocking).
+    /// `finished` is set once the queue is closed and fully drained.
+    pub(crate) fn drain(&self, max: usize, wait: Option<Duration>) -> Drained {
+        let mut st = self.state.lock().unwrap();
+        if st.entries.is_empty() && !st.closed {
+            match wait {
+                None => {
+                    while st.entries.is_empty() && !st.closed {
+                        st = self.not_empty.wait(st).unwrap();
+                    }
                 }
-                let (st2, timeout) = self.not_empty.wait_timeout(st, deadline - now).unwrap();
-                st = st2;
-                if timeout.timed_out() {
-                    break;
+                Some(d) if !d.is_zero() => {
+                    let deadline = Instant::now() + d;
+                    while st.entries.is_empty() && !st.closed {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        let (st2, timeout) =
+                            self.not_empty.wait_timeout(st, deadline - now).unwrap();
+                        st = st2;
+                        if timeout.timed_out() {
+                            break;
+                        }
+                    }
                 }
+                Some(_) => {}
             }
         }
         let n = st.entries.len().min(max);
-        let epoch: Vec<Entry> = st.entries.drain(..n).collect();
-        self.not_full.notify_all();
-        Some(epoch)
+        let entries: Vec<Entry> = st.entries.drain(..n).collect();
+        if n > 0 {
+            self.not_full.notify_all();
+        }
+        Drained {
+            entries,
+            finished: st.closed && st.entries.is_empty(),
+        }
     }
 
-    /// Closes the queue: future pushes fail, blocked pushers wake with
-    /// their entry back, and `pop_epoch` drains the remainder then returns
-    /// `None`.
+    /// Closes the queue: future pushes and reservations fail, blocked
+    /// pushers wake with their entries back, and `drain` reports
+    /// `finished` once the remainder is popped.
     pub(crate) fn close(&self) {
         let mut st = self.state.lock().unwrap();
         st.closed = true;
@@ -159,55 +286,148 @@ mod tests {
         }
     }
 
-    #[test]
-    fn try_push_sheds_at_capacity() {
-        let q = IngressQueue::new(2);
-        assert_eq!(q.try_push(entry(0)).unwrap(), 1);
-        assert_eq!(q.try_push(entry(1)).unwrap(), 2);
-        assert!(q.try_push(entry(2)).is_err());
-        assert_eq!(q.depth(), 2);
-        assert!(q.has_room(0));
-        assert!(!q.has_room(1));
+    fn drain_ts(q: &IngressQueue, max: usize) -> Vec<u64> {
+        q.drain(max, Some(Duration::ZERO))
+            .entries
+            .iter()
+            .map(|e| e.req.ts)
+            .collect()
     }
 
     #[test]
-    fn pop_epoch_drains_in_fifo_order_and_bounds_size() {
+    fn reservations_gate_admission_at_capacity() {
+        let q = IngressQueue::new(2);
+        assert!(q.try_reserve(1));
+        assert!(q.try_reserve(1));
+        // Capacity is fully promised: a third reservation must fail even
+        // though nothing has been pushed yet.
+        assert!(!q.try_reserve(1));
+        assert_eq!(q.push_reserved(entry(0)).unwrap(), 1);
+        assert_eq!(q.push_reserved(entry(1)).unwrap(), 2);
+        assert!(!q.try_reserve(1));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn cancelled_reservations_free_room() {
+        let q = IngressQueue::new(2);
+        assert!(q.try_reserve(2));
+        assert!(!q.try_reserve(1));
+        q.cancel_reservation(2);
+        assert!(q.try_reserve(2));
+        q.cancel_reservation(2);
+    }
+
+    #[test]
+    fn reserve_up_to_grants_partial_room() {
+        let q = IngressQueue::new(4);
+        assert!(q.try_reserve(3));
+        assert_eq!(q.reserve_up_to(5), 1);
+        assert_eq!(q.reserve_up_to(5), 0);
+        q.cancel_reservation(4);
+        assert_eq!(q.reserve_up_to(2), 2);
+        q.cancel_reservation(2);
+        assert_eq!(q.push_blocking(entry(9)).unwrap(), 1);
+        assert_eq!(q.reserve_up_to(9), 3);
+    }
+
+    #[test]
+    fn racing_reservers_never_over_admit() {
+        // 4 threads race 8 single-slot reservations against capacity 3:
+        // exactly 3 must win in aggregate, no matter the interleaving.
+        let q = Arc::new(IngressQueue::new(3));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..2).filter(|_| q.try_reserve(1)).count()
+            }));
+        }
+        let won: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(won, 3);
+    }
+
+    #[test]
+    fn bulk_reserved_push_fills_in_one_shot() {
+        let q = IngressQueue::new(8);
+        assert!(q.try_reserve(3));
+        let (pushed, depth) = q
+            .push_reserved_many(vec![entry(0), entry(1), entry(2)])
+            .unwrap();
+        assert_eq!((pushed, depth), (3, 3));
+        assert_eq!(drain_ts(&q, 8), [0, 1, 2]);
+    }
+
+    #[test]
+    fn drain_bounds_size_and_reports_finished() {
         let q = IngressQueue::new(16);
         for ts in 0..5 {
-            q.try_push(entry(ts)).unwrap();
+            assert!(q.try_reserve(1));
+            q.push_reserved(entry(ts)).unwrap();
         }
-        let a = q.pop_epoch(3, Duration::ZERO).unwrap();
-        assert_eq!(a.iter().map(|e| e.req.ts).collect::<Vec<_>>(), [0, 1, 2]);
-        let b = q.pop_epoch(3, Duration::ZERO).unwrap();
-        assert_eq!(b.len(), 2);
+        assert_eq!(drain_ts(&q, 3), [0, 1, 2]);
+        let d = q.drain(3, Some(Duration::ZERO));
+        assert_eq!(d.entries.len(), 2);
+        assert!(!d.finished);
         q.close();
-        assert!(q.pop_epoch(3, Duration::ZERO).is_none());
+        assert!(q.drain(3, Some(Duration::ZERO)).finished);
     }
 
     #[test]
     fn blocked_pusher_wakes_on_drain() {
         let q = Arc::new(IngressQueue::new(1));
-        q.try_push(entry(0)).unwrap();
+        q.push_blocking(entry(0)).unwrap();
         let q2 = q.clone();
         let pusher = std::thread::spawn(move || q2.push_blocking(entry(1)).is_ok());
         std::thread::sleep(Duration::from_millis(20));
-        assert_eq!(q.pop_epoch(1, Duration::ZERO).unwrap().len(), 1);
+        assert_eq!(q.drain(1, None).entries.len(), 1);
         assert!(pusher.join().unwrap());
         assert_eq!(q.depth(), 1);
     }
 
     #[test]
+    fn blocking_bulk_push_streams_through_a_tiny_queue() {
+        let q = Arc::new(IngressQueue::new(2));
+        let q2 = q.clone();
+        let pusher = std::thread::spawn(move || q2.push_blocking_many((0..7).map(entry).collect()));
+        let mut got = Vec::new();
+        while got.len() < 7 {
+            got.extend(q.drain(16, None).entries.into_iter().map(|e| e.req.ts));
+        }
+        let (pushed, high) = pusher.join().unwrap().unwrap();
+        assert_eq!(pushed, 7);
+        assert!(high <= 2);
+        assert_eq!(got, (0..7).collect::<Vec<u64>>());
+    }
+
+    #[test]
     fn close_fails_pending_and_future_pushes() {
         let q = Arc::new(IngressQueue::new(1));
-        q.try_push(entry(0)).unwrap();
+        q.push_blocking(entry(0)).unwrap();
         let q2 = q.clone();
         let pusher = std::thread::spawn(move || q2.push_blocking(entry(1)).is_err());
         std::thread::sleep(Duration::from_millis(20));
         q.close();
         assert!(pusher.join().unwrap(), "blocked pusher must fail on close");
-        assert!(q.try_push(entry(2)).is_err());
-        // The already-queued entry still drains.
-        assert_eq!(q.pop_epoch(8, Duration::ZERO).unwrap().len(), 1);
-        assert!(q.pop_epoch(8, Duration::ZERO).is_none());
+        assert!(!q.try_reserve(1));
+        assert_eq!(q.reserve_up_to(1), 0);
+        // The already-queued entry still drains, then the queue reports
+        // finished.
+        let d = q.drain(8, Some(Duration::ZERO));
+        assert_eq!(d.entries.len(), 1);
+        assert!(d.finished);
+    }
+
+    #[test]
+    fn bulk_blocking_push_returns_tail_on_close() {
+        let q = Arc::new(IngressQueue::new(2));
+        let q2 = q.clone();
+        let pusher = std::thread::spawn(move || q2.push_blocking_many((0..5).map(entry).collect()));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        let (pushed, _high, rest) = pusher.join().unwrap().unwrap_err();
+        assert_eq!(pushed, 2);
+        assert_eq!(rest.len(), 3);
+        assert_eq!(q.drain(8, Some(Duration::ZERO)).entries.len(), 2);
     }
 }

@@ -1,31 +1,65 @@
 //! The sharded service: admission control, timestamp assignment, and the
 //! per-shard combiner/executor epoch pipelines.
 //!
-//! # Linearizability
+//! # Linearizability without a submission lock
 //!
-//! Timestamps are assigned from one global counter while the service's
-//! submission lock is held, and every part of a request is enqueued on its
-//! shard(s) *under that same lock*. Per-shard ingress order therefore
-//! equals global timestamp order, each epoch carries an ascending
-//! timestamp slice, and the whole service linearizes in global timestamp
-//! order — a flat [`SequentialOracle`](eirene_workloads::SequentialOracle)
-//! over the submission sequence is a valid oracle even with concurrent
-//! clients. Split range queries reuse the *same* timestamp on every shard,
-//! so each part observes its shard as of that timestamp and the merged
-//! response equals the global oracle's.
+//! Timestamps come from one global `AtomicU64` with a bare `fetch_add` —
+//! there is no submission lock, so per-shard ingress queues receive
+//! entries in *arrival* order, which can differ slightly from timestamp
+//! order when many clients interleave between drawing a timestamp and
+//! enqueueing. Order is restored per shard by the combiner's bounded
+//! **reorder stage**: a pending min-heap keyed by timestamp, gated by a
+//! **low watermark** of in-flight submissions.
+//!
+//! Every submitter publishes a lower bound of the timestamp(s) it is
+//! about to draw in an in-flight slot ([`Inflight`]) *before* the
+//! `fetch_add`, and clears the slot only after every part of the request
+//! sits in its shard queue(s). The watermark is
+//! `min(next_ts, min over occupied slots)`, read in that order with
+//! sequentially consistent operations. That yields the key invariant:
+//!
+//! > any request with timestamp `t < watermark` is fully enqueued at the
+//! > moment the watermark was read.
+//!
+//! Proof sketch: suppose a submitter drew `t < watermark` but had not
+//! finished enqueueing when the combiner computed the watermark. Since
+//! `t < next_ts` as read by the combiner, the submitter's `fetch_add`
+//! precedes that read in the seq-cst total order; its slot publish (with
+//! value `lb <= t`) precedes the `fetch_add`; and the combiner scans the
+//! slots *after* reading `next_ts`. So the scan observes either the slot
+//! (value `<= t`, contradicting `t < watermark`) or its clearance — which
+//! only happens after the request is fully enqueued. ∎
+//!
+//! A combiner therefore drains its queue into the heap and emits an epoch
+//! only from entries with `ts < watermark`, in ascending order. Epochs
+//! carry strictly ascending timestamp slices and successive epochs are
+//! mutually ordered, so each shard still executes its slice of the
+//! history in global timestamp order and the whole service linearizes at
+//! admission timestamps — a flat
+//! [`SequentialOracle`](eirene_workloads::SequentialOracle) over the
+//! timestamp-sorted submissions remains a valid oracle even with
+//! concurrent lock-free clients. Split range queries reuse the *same*
+//! timestamp on every shard and all their parts are enqueued before the
+//! slot clears, so no combiner can close an epoch between two parts of
+//! one range.
+//!
+//! [`ServeConfig::admission`] can reinstate a global admission lock
+//! ([`AdmissionMode::GlobalLock`]) — the ingress benchmark's baseline,
+//! not a recommended mode.
 //!
 //! # Pipelining
 //!
 //! Each shard runs two threads joined by a depth-1 channel: the *combiner*
-//! pops an epoch from the ingress queue, expires deadlines, and builds the
-//! [`CombinePlan`] (host work); the *executor* runs the planned epoch on
-//! the shard's device. The combiner therefore plans epoch N+1 while epoch
-//! N executes — the paper's pipelined-epoch model at service scope.
+//! pops entries from the ingress queue, restores timestamp order, expires
+//! deadlines, and builds the [`CombinePlan`] (host work); the *executor*
+//! runs the planned epoch on the shard's device. The combiner therefore
+//! plans epoch N+1 while epoch N executes — the paper's pipelined-epoch
+//! model at service scope.
 
-use crate::queue::{AdmitPolicy, Entry, IngressQueue};
+use crate::queue::{AdmitPolicy, Drained, Entry, IngressQueue};
 use crate::report::{ServeReport, ShardReport};
-use crate::shard::{ShardId, ShardMap};
-use crate::ticket::{Completion, Outcome, RangeMerge, Ticket};
+use crate::shard::{RangePart, ShardId, ShardMap};
+use crate::ticket::{CellRef, Completion, Outcome, RangeMerge, Ticket, TicketBatch};
 use eirene_baselines::common::ConcurrentTree;
 use eirene_core::plan::{build_plan, CombinePlan};
 use eirene_core::{EireneOptions, EireneTree};
@@ -33,9 +67,11 @@ use eirene_sim::{
     Cluster, CycleHistogram, DeviceConfig, KernelStats, Phase, PhaseTable, ScheduleLog, WarpStats,
 };
 use eirene_workloads::{Batch, Key, OpKind, Request, Response};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -49,6 +85,19 @@ pub(crate) const SENTINEL_KEY: u64 = u64::MAX - 1;
 /// Host control-flow instructions charged per admitted request for the
 /// `ingress` telemetry phase (route lookup, timestamp fetch, queue push).
 const INGRESS_CONTROL_PER_REQUEST: u64 = 8;
+
+/// How clients draw timestamps and enqueue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionMode {
+    /// Lock-free: a bare atomic timestamp counter plus the in-flight
+    /// watermark protocol (see the module docs). The default.
+    #[default]
+    LockFree,
+    /// Every submission serializes behind one global mutex — the pre-
+    /// reorder design, kept as the measurable baseline for
+    /// `eirene-bench perf`'s ingress scenario.
+    GlobalLock,
+}
 
 /// Configuration of a [`Service`].
 #[derive(Clone, Debug)]
@@ -65,6 +114,8 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// What admission does when a shard's queue is full.
     pub policy: AdmitPolicy,
+    /// Lock-free (default) or global-lock-baseline admission.
+    pub admission: AdmissionMode,
     /// How long a combiner waits for an epoch to fill toward
     /// `batch_limit` once it has at least one request.
     pub linger: Duration,
@@ -89,6 +140,7 @@ impl Default for ServeConfig {
             batch_limit: 4096,
             queue_depth: 1 << 16,
             policy: AdmitPolicy::Block,
+            admission: AdmissionMode::LockFree,
             linger: Duration::from_millis(1),
             hold_gate: false,
             headroom_nodes: 1 << 14,
@@ -136,20 +188,103 @@ impl ShardState {
             max_depth: AtomicU64::new(0),
         }
     }
+
+    fn record_enqueue(&self, n: u64, depth: usize) {
+        self.enqueued.fetch_add(n, Ordering::Relaxed);
+        self.max_depth.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+}
+
+/// Empty in-flight slot.
+const SLOT_FREE: u64 = u64::MAX;
+/// In-flight slots; more concurrent submitters than this spin for a slot.
+const INFLIGHT_SLOTS: usize = 64;
+
+/// The in-flight submission registry behind the watermark (module docs).
+#[derive(Debug)]
+struct Inflight {
+    slots: Vec<AtomicU64>,
+    /// Rotating claim hint so submitters spread over the slot array.
+    hint: AtomicUsize,
+}
+
+impl Inflight {
+    fn new() -> Self {
+        Inflight {
+            slots: (0..INFLIGHT_SLOTS)
+                .map(|_| AtomicU64::new(SLOT_FREE))
+                .collect(),
+            hint: AtomicUsize::new(0),
+        }
+    }
+
+    /// Publishes `lower_bound` in a free slot, spinning until one frees
+    /// up. Must complete *before* the covered timestamps are drawn.
+    fn claim(&self, lower_bound: u64) -> InflightGuard<'_> {
+        let start = self.hint.fetch_add(1, Ordering::Relaxed);
+        loop {
+            for i in 0..INFLIGHT_SLOTS {
+                let idx = (start + i) % INFLIGHT_SLOTS;
+                if self.slots[idx]
+                    .compare_exchange(SLOT_FREE, lower_bound, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return InflightGuard { reg: self, idx };
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Minimum published lower bound over occupied slots ([`SLOT_FREE`]
+    /// when none). Callers must read `next_ts` *before* calling this —
+    /// the order the watermark proof depends on.
+    fn min_active(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(SLOT_FREE)
+    }
+}
+
+/// Clears the claimed slot on drop, so a panicking submitter cannot stall
+/// the watermark forever.
+struct InflightGuard<'a> {
+    reg: &'a Inflight,
+    idx: usize,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.reg.slots[self.idx].store(SLOT_FREE, Ordering::SeqCst);
+    }
+}
+
+/// How one request routes across shards.
+enum Route {
+    /// Resolves immediately (empty range window), nothing to enqueue.
+    Empty,
+    /// Whole request lands on one shard.
+    One(ShardId),
+    /// Range window split across several shards.
+    Split(Vec<RangePart>),
 }
 
 struct Inner {
     map: ShardMap,
     shards: Vec<Arc<ShardState>>,
     next_ts: AtomicU64,
-    /// Serializes timestamp assignment with enqueueing (see the module
-    /// docs: this is what makes per-shard queue order equal global
-    /// timestamp order). Workers never take it.
-    submit_lock: Mutex<()>,
+    inflight: Inflight,
+    /// Taken for the whole admission path in
+    /// [`AdmissionMode::GlobalLock`] only; the lock-free mode never
+    /// touches it.
+    baseline_lock: Mutex<()>,
     /// `true` while the epoch gate is held (combiners blocked).
     gate: Mutex<bool>,
     gate_cv: Condvar,
     policy: AdmitPolicy,
+    admission: AdmissionMode,
 }
 
 impl Inner {
@@ -165,107 +300,317 @@ impl Inner {
         self.gate_cv.notify_all();
     }
 
-    fn push(&self, shard: ShardId, entry: Entry, blocking: bool) {
-        let state = &self.shards[shard];
-        let pushed = if blocking {
-            state.queue.push_blocking(entry)
-        } else {
-            state.queue.try_push(entry)
-        };
-        match pushed {
-            Ok(depth) => {
-                state.enqueued.fetch_add(1, Ordering::Relaxed);
-                state.max_depth.fetch_max(depth as u64, Ordering::Relaxed);
+    fn serialize_admission(&self) -> Option<MutexGuard<'_, ()>> {
+        match self.admission {
+            AdmissionMode::LockFree => None,
+            AdmissionMode::GlobalLock => Some(self.baseline_lock.lock().unwrap()),
+        }
+    }
+
+    /// The reorder low watermark: every request with a timestamp below it
+    /// is fully enqueued (module docs). Can transiently regress between
+    /// calls; that only delays emission, never reorders it.
+    fn watermark(&self) -> u64 {
+        // next_ts MUST be read before the slot scan — see the proof.
+        let n = self.next_ts.load(Ordering::SeqCst);
+        n.min(self.inflight.min_active())
+    }
+
+    fn route(&self, key: Key, op: OpKind) -> Route {
+        match op {
+            OpKind::Range { len } => {
+                let parts = self.map.split_range(key, len);
+                match parts.len() {
+                    0 => Route::Empty,
+                    1 => Route::One(parts[0].shard),
+                    _ => Route::Split(parts),
+                }
             }
-            // Closed (service shutting down) or, for non-blocking pushes, a
-            // race with close: the entry never executes.
-            Err(entry) => entry.completion.resolve_fail(Outcome::Rejected),
+            _ => Route::One(self.map.shard_of(key)),
+        }
+    }
+
+    /// Admits one entry to `shard` under the configured policy, updating
+    /// the admission counters. Shed-vs-admit is race-free: capacity is
+    /// claimed with an atomic reservation before the push.
+    fn admit_single(&self, shard: ShardId, entry: Entry) {
+        let state = &self.shards[shard];
+        match self.policy {
+            AdmitPolicy::Shed => {
+                if state.queue.try_reserve(1) {
+                    match state.queue.push_reserved(entry) {
+                        Ok(depth) => state.record_enqueue(1, depth),
+                        Err(e) => e.completion.resolve_fail(Outcome::Rejected),
+                    }
+                } else {
+                    state.shed.fetch_add(1, Ordering::Relaxed);
+                    entry.completion.resolve_fail(Outcome::Rejected);
+                }
+            }
+            AdmitPolicy::Block => match state.queue.push_blocking(entry) {
+                Ok(depth) => state.record_enqueue(1, depth),
+                Err(e) => e.completion.resolve_fail(Outcome::Rejected),
+            },
+        }
+    }
+
+    /// Admits a split range: all parts or none. Under [`AdmitPolicy::Shed`]
+    /// one slot is reserved per involved queue before any push (parts lie
+    /// on distinct shards); on the first full shard the earlier
+    /// reservations are cancelled, that shard's shed counter bumps, and
+    /// the whole range resolves `Rejected`.
+    fn admit_split(
+        &self,
+        parts: &[RangePart],
+        len: u32,
+        ts: u64,
+        deadline: Option<Instant>,
+        arrival: u64,
+        cell: CellRef,
+    ) {
+        if self.policy == AdmitPolicy::Shed {
+            for (i, p) in parts.iter().enumerate() {
+                if !self.shards[p.shard].queue.try_reserve(1) {
+                    for q in &parts[..i] {
+                        self.shards[q.shard].queue.cancel_reservation(1);
+                    }
+                    self.shards[p.shard].shed.fetch_add(1, Ordering::Relaxed);
+                    cell.resolve(Outcome::Rejected);
+                    return;
+                }
+            }
+        }
+        let merge = Arc::new(RangeMerge::new(len as usize, parts.len(), cell));
+        for p in parts {
+            let entry = Entry {
+                req: Request::range(p.lo, p.len, ts),
+                deadline,
+                arrival,
+                completion: Completion::Part {
+                    merge: merge.clone(),
+                    offset: p.offset,
+                },
+            };
+            let state = &self.shards[p.shard];
+            let pushed = match self.policy {
+                AdmitPolicy::Shed => state.queue.push_reserved(entry),
+                AdmitPolicy::Block => state.queue.push_blocking(entry),
+            };
+            match pushed {
+                Ok(depth) => state.record_enqueue(1, depth),
+                Err(e) => e.completion.resolve_fail(Outcome::Rejected),
+            }
         }
     }
 
     fn submit(&self, key: Key, op: OpKind, deadline: Option<Instant>, arrival: u64) -> Ticket {
         let (ticket, cell) = Ticket::new();
-        let _guard = self.submit_lock.lock().unwrap();
-        let ts = self.next_ts.fetch_add(1, Ordering::Relaxed);
-        let parts: Vec<(ShardId, Entry)> = match op {
-            OpKind::Range { len } => {
-                let split = self.map.split_range(key, len);
-                match split.len() {
-                    0 => {
-                        cell.resolve(Outcome::Done(Response::Range(Vec::new())));
-                        return ticket;
-                    }
-                    1 => {
-                        let entry = Entry {
-                            req: Request { key, op, ts },
-                            deadline,
-                            arrival,
-                            completion: Completion::Direct(cell),
-                        };
-                        vec![(split[0].shard, entry)]
-                    }
-                    n => {
-                        let merge = Arc::new(RangeMerge::new(len as usize, n, cell));
-                        split
-                            .iter()
-                            .map(|p| {
-                                let entry = Entry {
-                                    req: Request::range(p.lo, p.len, ts),
-                                    deadline,
-                                    arrival,
-                                    completion: Completion::Part {
-                                        merge: merge.clone(),
-                                        offset: p.offset,
-                                    },
-                                };
-                                (p.shard, entry)
-                            })
-                            .collect()
-                    }
-                }
-            }
-            _ => {
+        let _serial = self.serialize_admission();
+        match self.route(key, op) {
+            Route::Empty => cell.resolve(Outcome::Done(Response::Range(Vec::new()))),
+            Route::One(shard) => {
+                // Hot path: no intermediate Vec, one slot claim, one
+                // fetch_add, one queue push.
+                let lb = self.next_ts.load(Ordering::SeqCst);
+                let _slot = self.inflight.claim(lb);
+                let ts = self.next_ts.fetch_add(1, Ordering::SeqCst);
+                cell.set_ts(ts);
                 let entry = Entry {
                     req: Request { key, op, ts },
                     deadline,
                     arrival,
                     completion: Completion::Direct(cell),
                 };
-                vec![(self.map.shard_of(key), entry)]
+                self.admit_single(shard, entry);
             }
-        };
-        match self.policy {
-            AdmitPolicy::Shed => {
-                // All-or-nothing: a split range either lands on every shard
-                // or is shed whole (each part is on a distinct shard, so one
-                // slot per involved queue). `has_room` is stable here: pushes
-                // are serialized behind the submission lock we hold, and the
-                // consumer only drains.
-                let full: Vec<ShardId> = parts
-                    .iter()
-                    .map(|(shard, _)| *shard)
-                    .filter(|&shard| !self.shards[shard].queue.has_room(1))
-                    .collect();
-                if !full.is_empty() {
-                    for shard in full {
-                        self.shards[shard].shed.fetch_add(1, Ordering::Relaxed);
-                    }
-                    for (_, entry) in parts {
-                        entry.completion.resolve_fail(Outcome::Rejected);
-                    }
-                    return ticket;
-                }
-                for (shard, entry) in parts {
-                    self.push(shard, entry, false);
-                }
-            }
-            AdmitPolicy::Block => {
-                for (shard, entry) in parts {
-                    self.push(shard, entry, true);
-                }
+            Route::Split(parts) => {
+                let len = match op {
+                    OpKind::Range { len } => len,
+                    _ => unreachable!("only ranges split"),
+                };
+                let lb = self.next_ts.load(Ordering::SeqCst);
+                let _slot = self.inflight.claim(lb);
+                let ts = self.next_ts.fetch_add(1, Ordering::SeqCst);
+                cell.set_ts(ts);
+                self.admit_split(&parts, len, ts, deadline, arrival, cell);
             }
         }
         ticket
+    }
+
+    /// Batched admission: routes every op, claims the whole timestamp
+    /// range with ONE `fetch_add`, allocates every ticket cell in ONE
+    /// shared block ([`TicketBatch`]), and enqueues per shard in bulk
+    /// (one queue-lock acquisition per shard instead of one per request).
+    /// Request `i` gets timestamp `base + i`, so a single caller's batch
+    /// linearizes in its own order. `ops` must yield exactly `n` items.
+    fn submit_many(
+        &self,
+        n: usize,
+        ops: impl Iterator<Item = (Key, OpKind, u64)>,
+        deadline: Option<Instant>,
+    ) -> Vec<Ticket> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let num_shards = self.shards.len();
+        let batch = TicketBatch::new(n);
+        let mut tickets = Vec::with_capacity(n);
+        // Sized for a roughly uniform spread plus slack; a skewed batch
+        // costs at most one regrowth per shard.
+        let bucket_cap = n / num_shards + n / 8 + 4;
+        let mut buckets: Vec<Vec<Entry>> = (0..num_shards)
+            .map(|_| Vec::with_capacity(bucket_cap))
+            .collect();
+        let mut credits = vec![0usize; num_shards];
+        let _serial = self.serialize_admission();
+
+        // Under Shed the per-shard demand must be known before any entry
+        // is built, so that path routes in a pre-pass and grabs capacity
+        // credits up front (one reservation call per shard); requests
+        // whose shards ran out are shed individually, split ranges
+        // all-or-nothing. Block needs no credits, so it routes inline —
+        // a single pass with no intermediate routed Vec.
+        let mut ops = Some(ops);
+        let routed: Option<Vec<(Key, OpKind, u64, Route)>> = match self.policy {
+            AdmitPolicy::Block => None,
+            AdmitPolicy::Shed => {
+                let routed: Vec<(Key, OpKind, u64, Route)> = ops
+                    .take()
+                    .expect("ops iterator consumed twice")
+                    .map(|(key, op, arrival)| (key, op, arrival, self.route(key, op)))
+                    .collect();
+                let mut demand = vec![0usize; num_shards];
+                for (_, _, _, route) in &routed {
+                    match route {
+                        Route::Empty => {}
+                        Route::One(shard) => demand[*shard] += 1,
+                        Route::Split(parts) => {
+                            for p in parts {
+                                demand[p.shard] += 1;
+                            }
+                        }
+                    }
+                }
+                for (shard, &d) in demand.iter().enumerate() {
+                    if d > 0 {
+                        credits[shard] = self.shards[shard].queue.reserve_up_to(d);
+                    }
+                }
+                Some(routed)
+            }
+        };
+
+        let lb = self.next_ts.load(Ordering::SeqCst);
+        let _slot = self.inflight.claim(lb);
+        let base = self.next_ts.fetch_add(n as u64, Ordering::SeqCst);
+
+        {
+            let mut admit_one = |i: usize, key: Key, op: OpKind, arrival: u64, route: Route| {
+                let cell = batch.cell_ref(i);
+                let ts = base + i as u64;
+                match route {
+                    Route::Empty => cell.resolve(Outcome::Done(Response::Range(Vec::new()))),
+                    Route::One(shard) => {
+                        if self.policy == AdmitPolicy::Shed && credits[shard] == 0 {
+                            self.shards[shard].shed.fetch_add(1, Ordering::Relaxed);
+                            cell.resolve(Outcome::Rejected);
+                        } else {
+                            if self.policy == AdmitPolicy::Shed {
+                                credits[shard] -= 1;
+                            }
+                            cell.set_ts(ts);
+                            buckets[shard].push(Entry {
+                                req: Request { key, op, ts },
+                                deadline,
+                                arrival,
+                                completion: Completion::Direct(cell),
+                            });
+                        }
+                    }
+                    Route::Split(parts) => {
+                        let len = match op {
+                            OpKind::Range { len } => len,
+                            _ => unreachable!("only ranges split"),
+                        };
+                        if self.policy == AdmitPolicy::Shed {
+                            if let Some(full) = parts.iter().find(|p| credits[p.shard] == 0) {
+                                self.shards[full.shard].shed.fetch_add(1, Ordering::Relaxed);
+                                cell.resolve(Outcome::Rejected);
+                                return;
+                            }
+                            for p in &parts {
+                                credits[p.shard] -= 1;
+                            }
+                        }
+                        cell.set_ts(ts);
+                        let merge = Arc::new(RangeMerge::new(len as usize, parts.len(), cell));
+                        for p in &parts {
+                            buckets[p.shard].push(Entry {
+                                req: Request::range(p.lo, p.len, ts),
+                                deadline,
+                                arrival,
+                                completion: Completion::Part {
+                                    merge: merge.clone(),
+                                    offset: p.offset,
+                                },
+                            });
+                        }
+                    }
+                }
+            };
+            match routed {
+                Some(routed) => {
+                    for (i, (key, op, arrival, route)) in routed.into_iter().enumerate() {
+                        admit_one(i, key, op, arrival, route);
+                    }
+                }
+                None => {
+                    for (i, (key, op, arrival)) in
+                        ops.take().expect("ops iterator consumed twice").enumerate()
+                    {
+                        let route = self.route(key, op);
+                        admit_one(i, key, op, arrival, route);
+                    }
+                }
+            }
+        }
+        tickets.extend((0..n).map(|i| batch.ticket(i)));
+
+        for (shard, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                if self.policy == AdmitPolicy::Shed && credits[shard] > 0 {
+                    self.shards[shard].queue.cancel_reservation(credits[shard]);
+                }
+                continue;
+            }
+            let state = &self.shards[shard];
+            match self.policy {
+                AdmitPolicy::Shed => {
+                    match state.queue.push_reserved_many(bucket) {
+                        Ok((pushed, depth)) => state.record_enqueue(pushed as u64, depth),
+                        Err(rest) => {
+                            for e in rest {
+                                e.completion.resolve_fail(Outcome::Rejected);
+                            }
+                        }
+                    }
+                    if credits[shard] > 0 {
+                        state.queue.cancel_reservation(credits[shard]);
+                    }
+                }
+                AdmitPolicy::Block => match state.queue.push_blocking_many(bucket) {
+                    Ok((pushed, high)) => state.record_enqueue(pushed as u64, high),
+                    Err((pushed, high, rest)) => {
+                        state.record_enqueue(pushed as u64, high);
+                        for e in rest {
+                            e.completion.resolve_fail(Outcome::Rejected);
+                        }
+                    }
+                },
+            }
+        }
+        tickets
     }
 }
 
@@ -303,6 +648,22 @@ impl Client {
     /// latency is measured from that arrival.
     pub fn submit_at(&self, key: Key, op: OpKind, arrival_cycles: u64) -> Ticket {
         self.inner.submit(key, op, None, arrival_cycles)
+    }
+
+    /// Batched submission: admits the whole slice with one timestamp
+    /// range-claim and one bulk enqueue per involved shard, amortizing
+    /// the per-request admission overhead. Request `i` draws timestamp
+    /// `base + i`, so the batch linearizes in slice order. Tickets come
+    /// back positionally.
+    pub fn submit_many(&self, ops: &[(Key, OpKind)]) -> Vec<Ticket> {
+        self.inner
+            .submit_many(ops.len(), ops.iter().map(|&(k, o)| (k, o, 0)), None)
+    }
+
+    /// [`submit_many`](Client::submit_many) with a virtual arrival time
+    /// (device cycles) per request.
+    pub fn submit_many_at(&self, ops: &[(Key, OpKind, u64)]) -> Vec<Ticket> {
+        self.inner.submit_many(ops.len(), ops.iter().copied(), None)
     }
 
     /// The service's shard map.
@@ -353,10 +714,12 @@ impl Service {
             map: cfg.map.clone(),
             shards: states.clone(),
             next_ts: AtomicU64::new(0),
-            submit_lock: Mutex::new(()),
+            inflight: Inflight::new(),
+            baseline_lock: Mutex::new(()),
             gate: Mutex::new(cfg.hold_gate),
             gate_cv: Condvar::new(),
             policy: cfg.policy,
+            admission: cfg.admission,
         });
         let mut replays: Vec<Option<ScheduleLog>> = match cfg.replay {
             Some(logs) => logs.into_iter().map(Some).collect(),
@@ -435,6 +798,37 @@ impl Service {
     }
 }
 
+/// Min-heap wrapper ordering pending entries by admission timestamp.
+/// Timestamps are globally unique and a split range puts at most one part
+/// on each shard, so ties cannot occur within one shard's heap.
+struct ByTs(Entry);
+
+impl PartialEq for ByTs {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.req.ts == other.0.req.ts
+    }
+}
+impl Eq for ByTs {}
+impl PartialOrd for ByTs {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ByTs {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.req.ts.cmp(&other.0.req.ts)
+    }
+}
+
+/// The combiner: drains arrival-ordered entries into the timestamp
+/// min-heap, emits watermark-gated ascending epochs, and plans them.
+///
+/// The heap normally holds no more than ~two epochs of entries (draining
+/// pauses above that), but keeps draining regardless whenever emission is
+/// stalled — that keeps blocked `AdmitPolicy::Block` submitters (which
+/// hold watermark slots while waiting for queue room) live. Admitted
+/// entries in the heap were each within the queue bound at their
+/// admission instant; the hard admission check itself stays at the queue.
 fn combiner_loop(
     inner: &Inner,
     state: &ShardState,
@@ -443,13 +837,73 @@ fn combiner_loop(
     linger: Duration,
     tx: SyncSender<Epoch>,
 ) {
+    let mut heap: BinaryHeap<Reverse<ByTs>> = BinaryHeap::new();
+    let mut finished = false;
+    let heap_target = batch_limit.saturating_mul(2).max(64);
+    let mut stalls = 0u32;
     loop {
         inner.wait_gate();
-        let Some(entries) = state.queue.pop_epoch(batch_limit, linger) else {
-            return; // closed and drained
-        };
+        // Watermark BEFORE the drain: every entry below it is enqueued at
+        // this instant, so the drain below cannot miss one (module docs).
+        let wm = inner.watermark();
+        if !finished && (heap.len() < heap_target || stalls > 0) {
+            let wait = if heap.is_empty() {
+                None // block until something arrives or the queue closes
+            } else {
+                Some(Duration::ZERO)
+            };
+            let Drained {
+                entries,
+                finished: f,
+            } = state.queue.drain(usize::MAX, wait);
+            finished = f;
+            heap.extend(entries.into_iter().map(|e| Reverse(ByTs(e))));
+        }
+        if heap.is_empty() {
+            if finished {
+                return;
+            }
+            continue;
+        }
+        let mut ready = pop_ready(&mut heap, wm, batch_limit, Vec::new());
+        if ready.is_empty() {
+            // Head-of-line entry above the watermark: some submitter that
+            // drew an earlier timestamp is still enqueueing (or blocked on
+            // a full queue elsewhere). Slots clear in microseconds in the
+            // common case; back off harder if the stall persists.
+            stalls += 1;
+            if stalls > 16 {
+                std::thread::sleep(Duration::from_micros(50));
+            } else {
+                std::thread::yield_now();
+            }
+            continue;
+        }
+        stalls = 0;
+        // Linger for the epoch to fill toward batch_limit.
+        if ready.len() < batch_limit && !finished && !linger.is_zero() {
+            let deadline = Instant::now() + linger;
+            loop {
+                let now = Instant::now();
+                if now >= deadline || ready.len() >= batch_limit || finished {
+                    break;
+                }
+                let wm = inner.watermark();
+                let Drained {
+                    entries,
+                    finished: f,
+                } = state.queue.drain(usize::MAX, Some(deadline - now));
+                finished = f;
+                heap.extend(entries.into_iter().map(|e| Reverse(ByTs(e))));
+                ready = pop_ready(&mut heap, wm, batch_limit, ready);
+            }
+        }
+        debug_assert!(
+            ready.windows(2).all(|w| w[0].req.ts < w[1].req.ts),
+            "epoch must carry a strictly ascending timestamp slice"
+        );
         let now = Instant::now();
-        let (live, expired): (Vec<Entry>, Vec<Entry>) = entries
+        let (live, expired): (Vec<Entry>, Vec<Entry>) = ready
             .into_iter()
             .partition(|e| e.deadline.is_none_or(|d| now < d));
         if !expired.is_empty() {
@@ -474,6 +928,24 @@ fn combiner_loop(
             return; // executor gone
         }
     }
+}
+
+/// Pops heap entries below the watermark, ascending, until `limit`.
+fn pop_ready(
+    heap: &mut BinaryHeap<Reverse<ByTs>>,
+    watermark: u64,
+    limit: usize,
+    mut out: Vec<Entry>,
+) -> Vec<Entry> {
+    while out.len() < limit {
+        match heap.peek() {
+            Some(Reverse(p)) if p.0.req.ts < watermark => {
+                out.push(heap.pop().expect("peeked entry").0 .0);
+            }
+            _ => break,
+        }
+    }
+    out
 }
 
 fn executor_loop(
@@ -599,15 +1071,9 @@ mod tests {
         (0..2000u64).map(|i| (2 * i, i + 1)).collect()
     }
 
-    #[test]
-    fn point_ops_match_the_oracle_across_shards() {
-        let pairs = initial_pairs();
-        let mut cfg = small_cfg(boundary_map());
-        cfg.hold_gate = true;
-        let svc = Service::new(&pairs, cfg);
-        let client = svc.client();
+    fn boundary_ops() -> Vec<(Key, OpKind)> {
         // Ops deliberately straddle every shard and hit boundary keys.
-        let ops: Vec<(Key, OpKind)> = vec![
+        vec![
             (999, OpKind::Upsert(71)),
             (999, OpKind::Query),
             (1000, OpKind::Delete),
@@ -618,8 +1084,19 @@ mod tests {
             (0, OpKind::Delete),
             (0, OpKind::Query),
             (2000, OpKind::Query),
-        ];
-        let tickets: Vec<Ticket> = ops.iter().map(|&(k, op)| client.submit(k, op)).collect();
+        ]
+    }
+
+    fn check_ops_against_oracle(cfg: ServeConfig, batched: bool) {
+        let pairs = initial_pairs();
+        let ops = boundary_ops();
+        let svc = Service::new(&pairs, cfg);
+        let client = svc.client();
+        let tickets: Vec<Ticket> = if batched {
+            client.submit_many(&ops)
+        } else {
+            ops.iter().map(|&(k, op)| client.submit(k, op)).collect()
+        };
         svc.release();
         let report = svc.shutdown();
 
@@ -636,8 +1113,9 @@ mod tests {
             pairs.iter().map(|&(k, v)| (k as Key, v as Key)).collect();
         let mut oracle = SequentialOracle::load(&oracle_pairs);
         let want = oracle.run_batch(&Batch::new(reqs));
-        for (ticket, want) in tickets.iter().zip(want) {
-            assert_eq!(ticket.wait(), Outcome::Done(want));
+        for (i, (ticket, want)) in tickets.iter().zip(want).enumerate() {
+            assert_eq!(ticket.wait(), Outcome::Done(want), "response {i}");
+            assert_eq!(ticket.timestamp(), Some(i as u64));
         }
         assert_eq!(report.executed(), ops.len() as u64);
         let want_contents: Vec<(u64, u64)> = oracle
@@ -647,6 +1125,28 @@ mod tests {
             .collect();
         assert_eq!(report.contents(), want_contents);
         report.assert_consistent();
+    }
+
+    #[test]
+    fn point_ops_match_the_oracle_across_shards() {
+        let mut cfg = small_cfg(boundary_map());
+        cfg.hold_gate = true;
+        check_ops_against_oracle(cfg, false);
+    }
+
+    #[test]
+    fn submit_many_matches_the_oracle_across_shards() {
+        let mut cfg = small_cfg(boundary_map());
+        cfg.hold_gate = true;
+        check_ops_against_oracle(cfg, true);
+    }
+
+    #[test]
+    fn global_lock_admission_mode_still_linearizes() {
+        let mut cfg = small_cfg(boundary_map());
+        cfg.hold_gate = true;
+        cfg.admission = AdmissionMode::GlobalLock;
+        check_ops_against_oracle(cfg, false);
     }
 
     #[test]
@@ -661,9 +1161,11 @@ mod tests {
         let t0 = client.submit(998, OpKind::Upsert(7));
         let t1 = client.submit(1002, OpKind::Delete);
         let t2 = client.submit(995, OpKind::Range { len: 1010 });
-        // Zero-length ranges resolve immediately and are not admitted.
+        // Zero-length ranges resolve immediately and are not admitted —
+        // they never draw a timestamp.
         let t3 = client.submit(995, OpKind::Range { len: 0 });
         assert_eq!(t3.wait(), Outcome::Done(Response::Range(Vec::new())));
+        assert_eq!(t3.timestamp(), None);
         svc.release();
         let report = svc.shutdown();
 
@@ -678,6 +1180,8 @@ mod tests {
         assert_eq!(t0.wait(), Outcome::Done(want[0].clone()));
         assert_eq!(t1.wait(), Outcome::Done(want[1].clone()));
         assert_eq!(t2.wait(), Outcome::Done(want[2].clone()));
+        // Every part of the split range shares the range's timestamp.
+        assert_eq!(t2.timestamp(), Some(2));
         // The range window [995, 2004] split into three parts (shards 0,
         // 1 and 2), so 2 point entries + 3 range parts were admitted.
         assert_eq!(report.enqueued(), 5);
@@ -713,6 +1217,43 @@ mod tests {
         assert_eq!(report.shards[0].executed, 4);
         assert_eq!(report.shards[0].max_queue_depth, 4);
         assert_eq!(report.shards[1].shed, 0);
+        report.assert_consistent();
+    }
+
+    #[test]
+    fn racing_submitters_never_over_admit_past_queue_depth() {
+        // Two submitter threads race 8 requests each at a depth-4 queue
+        // with the gate held (nothing drains): admission must grant
+        // exactly 4 slots total, shed the other 12, and stay balanced —
+        // the accounting race the reservation protocol closes.
+        const THREADS: usize = 2;
+        const PER_THREAD: usize = 8;
+        let mut cfg = small_cfg(ShardMap::uniform(1));
+        cfg.policy = AdmitPolicy::Shed;
+        cfg.queue_depth = 4;
+        cfg.hold_gate = true;
+        let svc = Service::new(&[(2, 1)], cfg);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let client = svc.client();
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Mix the single and batched admission paths.
+                        if i % 2 == 0 {
+                            let _ = client.submit((t * 100 + i) as Key, OpKind::Query);
+                        } else {
+                            let _ = client.submit_many(&[((t * 100 + i) as Key, OpKind::Query)]);
+                        }
+                    }
+                });
+            }
+        });
+        svc.release();
+        let report = svc.shutdown();
+        assert_eq!(report.enqueued(), 4, "over-admission past queue depth");
+        assert_eq!(report.shed(), (THREADS * PER_THREAD) as u64 - 4);
+        assert_eq!(report.executed(), 4);
+        assert_eq!(report.shards[0].max_queue_depth, 4);
         report.assert_consistent();
     }
 
@@ -772,5 +1313,45 @@ mod tests {
         let _ = svc.shutdown();
         let after = client.submit(3, OpKind::Query);
         assert_eq!(after.wait(), Outcome::Rejected);
+        for t in client.submit_many(&[(3, OpKind::Query), (5, OpKind::Query)]) {
+            assert_eq!(t.wait(), Outcome::Rejected);
+        }
+    }
+
+    #[test]
+    fn inflight_slots_claim_release_and_minimum() {
+        let reg = Inflight::new();
+        assert_eq!(reg.min_active(), SLOT_FREE);
+        let a = reg.claim(7);
+        let b = reg.claim(3);
+        let c = reg.claim(9);
+        assert_eq!(reg.min_active(), 3);
+        drop(b);
+        assert_eq!(reg.min_active(), 7);
+        drop(a);
+        drop(c);
+        assert_eq!(reg.min_active(), SLOT_FREE);
+    }
+
+    #[test]
+    fn watermark_never_admits_unenqueued_timestamps() {
+        // Deterministic schedule of the protocol: a claimed slot with a
+        // lower bound below next_ts must cap the watermark.
+        let inner = Inner {
+            map: ShardMap::uniform(1),
+            shards: vec![Arc::new(ShardState::new(4))],
+            next_ts: AtomicU64::new(10),
+            inflight: Inflight::new(),
+            baseline_lock: Mutex::new(()),
+            gate: Mutex::new(false),
+            gate_cv: Condvar::new(),
+            policy: AdmitPolicy::Block,
+            admission: AdmissionMode::LockFree,
+        };
+        assert_eq!(inner.watermark(), 10);
+        let slot = inner.inflight.claim(6);
+        assert_eq!(inner.watermark(), 6);
+        drop(slot);
+        assert_eq!(inner.watermark(), 10);
     }
 }

@@ -2,7 +2,11 @@
 //! merging.
 
 use eirene_workloads::{Response, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Sentinel for "no timestamp assigned yet" in [`TicketCell::ts`].
+const TS_UNSET: u64 = u64::MAX;
 
 /// Final outcome of a submitted request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,10 +35,23 @@ impl Outcome {
 
 /// Shared slot a [`Ticket`] waits on. First resolution wins; later ones
 /// are ignored (a split range can race a timeout against a merge).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct TicketCell {
     state: Mutex<Option<Outcome>>,
     cv: Condvar,
+    /// The admission timestamp, once drawn ([`TS_UNSET`] before that and
+    /// for requests that resolve without admission, e.g. empty ranges).
+    ts: AtomicU64,
+}
+
+impl Default for TicketCell {
+    fn default() -> Self {
+        TicketCell {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+            ts: AtomicU64::new(TS_UNSET),
+        }
+    }
 }
 
 impl TicketCell {
@@ -45,6 +62,64 @@ impl TicketCell {
             self.cv.notify_all();
         }
     }
+
+    pub(crate) fn set_ts(&self, ts: u64) {
+        self.ts.store(ts, Ordering::Release);
+    }
+}
+
+/// One block of ticket cells allocated together. Batched submission
+/// ([`Client::submit_many`](crate::Client::submit_many)) makes ONE shared
+/// allocation per call instead of one `Arc` per request — the dominant
+/// per-op malloc on the ingress hot path. Individual [`Ticket`]s and
+/// [`Completion`]s address into the block by index via [`CellRef`]; the
+/// block is freed when the last of them drops.
+pub(crate) struct TicketBatch {
+    cells: Arc<[TicketCell]>,
+}
+
+impl TicketBatch {
+    pub(crate) fn new(n: usize) -> TicketBatch {
+        TicketBatch {
+            cells: (0..n).map(|_| TicketCell::default()).collect(),
+        }
+    }
+
+    pub(crate) fn cell_ref(&self, idx: usize) -> CellRef {
+        debug_assert!(idx < self.cells.len());
+        CellRef {
+            cells: self.cells.clone(),
+            idx: idx as u32,
+        }
+    }
+
+    pub(crate) fn ticket(&self, idx: usize) -> Ticket {
+        Ticket {
+            cell: self.cell_ref(idx),
+        }
+    }
+}
+
+/// Shared-ownership handle to one cell inside a [`TicketBatch`]. Derefs
+/// to the cell, so call sites read like the old `Arc<TicketCell>`.
+#[derive(Clone)]
+pub(crate) struct CellRef {
+    cells: Arc<[TicketCell]>,
+    idx: u32,
+}
+
+impl std::ops::Deref for CellRef {
+    type Target = TicketCell;
+
+    fn deref(&self) -> &TicketCell {
+        &self.cells[self.idx as usize]
+    }
+}
+
+impl std::fmt::Debug for CellRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CellRef({:?})", &**self)
+    }
 }
 
 /// Handle to one submitted request. Obtained from
@@ -52,13 +127,17 @@ impl TicketCell {
 /// [`wait`](Ticket::wait).
 #[derive(Clone, Debug)]
 pub struct Ticket {
-    cell: Arc<TicketCell>,
+    cell: CellRef,
 }
 
 impl Ticket {
-    pub(crate) fn new() -> (Ticket, Arc<TicketCell>) {
-        let cell = Arc::new(TicketCell::default());
-        (Ticket { cell: cell.clone() }, cell)
+    pub(crate) fn new() -> (Ticket, CellRef) {
+        // Single direct allocation (no intermediate Vec): the unbatched
+        // submit path — including the global-lock bench baseline — pays
+        // exactly one malloc here, same as before batching existed.
+        let cells: Arc<[TicketCell]> = Arc::new([TicketCell::default()]);
+        let batch = TicketBatch { cells };
+        (batch.ticket(0), batch.cell_ref(0))
     }
 
     /// Blocks until the request resolves.
@@ -76,6 +155,17 @@ impl Ticket {
     pub fn try_get(&self) -> Option<Outcome> {
         self.cell.state.lock().unwrap().clone()
     }
+
+    /// The global admission timestamp this request linearizes at, or
+    /// `None` if no timestamp was drawn (empty ranges resolve without
+    /// admission). Stable once the ticket has resolved — waiting clients
+    /// use it to replay a concurrent history in timestamp order.
+    pub fn timestamp(&self) -> Option<u64> {
+        match self.cell.ts.load(Ordering::Acquire) {
+            TS_UNSET => None,
+            ts => Some(ts),
+        }
+    }
 }
 
 /// Merge state of one cross-shard range query: each shard part fills its
@@ -85,7 +175,7 @@ impl Ticket {
 #[derive(Debug)]
 pub(crate) struct RangeMerge {
     state: Mutex<MergeState>,
-    cell: Arc<TicketCell>,
+    cell: CellRef,
 }
 
 #[derive(Debug)]
@@ -96,7 +186,7 @@ struct MergeState {
 }
 
 impl RangeMerge {
-    pub(crate) fn new(len: usize, parts: usize, cell: Arc<TicketCell>) -> Self {
+    pub(crate) fn new(len: usize, parts: usize, cell: CellRef) -> Self {
         RangeMerge {
             state: Mutex::new(MergeState {
                 slots: vec![None; len],
@@ -139,7 +229,7 @@ impl RangeMerge {
 #[derive(Clone, Debug)]
 pub(crate) enum Completion {
     /// The whole request lives on one shard.
-    Direct(Arc<TicketCell>),
+    Direct(CellRef),
     /// One part of a split range query.
     Part { merge: Arc<RangeMerge>, offset: u32 },
 }

@@ -148,6 +148,22 @@ impl WorkloadSpec {
     pub fn key_domain(&self) -> u64 {
         2 * self.tree_size as u64
     }
+
+    /// The same workload viewed by one of several concurrent clients: an
+    /// identical shape with a seed derived from `client`, so multi-client
+    /// benchmarks draw independent (but per-client deterministic) request
+    /// streams instead of `N` copies of one stream.
+    pub fn for_client(&self, client: u64) -> WorkloadSpec {
+        let mut derived = self.clone();
+        // SplitMix64 finalizer over (seed, client).
+        let mut z = self
+            .seed
+            .wrapping_add(client.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        derived.seed = z ^ (z >> 31);
+        derived
+    }
 }
 
 /// Streaming batch generator for a [`WorkloadSpec`].
@@ -423,6 +439,23 @@ mod tests {
         // Determinism: same spec + boundaries → same stream.
         let mut gen2 = ShardedGen::new(gen.spec().clone(), boundaries, 0.5);
         assert_eq!(gen2.next_requests(4096), reqs);
+    }
+
+    #[test]
+    fn per_client_specs_are_deterministic_and_distinct() {
+        let s = spec();
+        let a = s.for_client(0);
+        let b = s.for_client(1);
+        assert_eq!(a.seed, s.for_client(0).seed);
+        assert_ne!(a.seed, b.seed);
+        assert_ne!(a.seed, s.seed, "client 0 must not alias the base stream");
+        // Only the seed differs; the workload shape is preserved.
+        assert_eq!(a.tree_size, s.tree_size);
+        assert_eq!(a.batch_size, s.batch_size);
+        assert_eq!(a.mix, s.mix);
+        let ra = WorkloadGen::new(a).next_requests(64);
+        let rb = WorkloadGen::new(b).next_requests(64);
+        assert_ne!(ra, rb);
     }
 
     #[test]

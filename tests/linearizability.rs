@@ -331,7 +331,7 @@ fn serve_config(device: DeviceConfig) -> ServeConfig {
         linger: Duration::ZERO,
         hold_gate: true,
         headroom_nodes: 1 << 12,
-        replay: None,
+        ..ServeConfig::default()
     }
 }
 
@@ -501,6 +501,114 @@ fn concurrent_clients_preserve_session_order() {
     report.assert_consistent();
     let contents: Vec<(u64, u64)> = expected.into_iter().collect();
     assert_eq!(report.contents(), contents, "final state diverges");
+}
+
+#[test]
+fn lock_free_multi_client_stress_matches_timestamp_order_replay() {
+    // Eight threads race mixed single and batched submissions through the
+    // lock-free front door with the epoch pipeline running live. The
+    // service linearizes at admission timestamps, so replaying the whole
+    // concurrent history through the flat oracle in timestamp order must
+    // reproduce every ticket's response and the final contents, and the
+    // report accounting must balance with nothing shed or timed out.
+    const THREADS: u64 = 8;
+    const OPS: usize = 160; // per thread
+    let init = pairs(150);
+    let cfg = ServeConfig {
+        hold_gate: false,
+        linger: Duration::from_micros(20),
+        ..serve_config(DeviceConfig::test_small())
+    };
+    let svc = Service::new(&init, cfg);
+    let mut per_thread: Vec<Vec<(u32, OpKind, Ticket)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let client = svc.client();
+                scope.spawn(move || {
+                    // Per-thread deterministic LCG stream.
+                    let mut state = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t + 1);
+                    let mut next = move || {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        state >> 33
+                    };
+                    let ops: Vec<(u32, OpKind)> = (0..OPS)
+                        .map(|_| {
+                            let r = next();
+                            let key = 1 + (r % 400) as u32;
+                            let op = match r % 10 {
+                                0..=3 => OpKind::Upsert((r >> 10) as u32),
+                                4 => OpKind::Delete,
+                                // Long enough to straddle shard boundaries.
+                                5 => OpKind::Range {
+                                    len: 1 + ((r >> 7) % 40) as u32,
+                                },
+                                _ => OpKind::Query,
+                            };
+                            (key, op)
+                        })
+                        .collect();
+                    // Mix of single submissions and submit_many chunks.
+                    let mut out: Vec<(u32, OpKind, Ticket)> = Vec::with_capacity(OPS);
+                    let mut i = 0;
+                    while i < ops.len() {
+                        let take = (1 + next() % 9) as usize;
+                        let take = take.min(ops.len() - i);
+                        if take == 1 {
+                            let (key, op) = ops[i];
+                            out.push((key, op, client.submit(key, op)));
+                        } else {
+                            let slice = &ops[i..i + take];
+                            for (&(key, op), ticket) in slice.iter().zip(client.submit_many(slice))
+                            {
+                                out.push((key, op, ticket));
+                            }
+                        }
+                        i += take;
+                    }
+                    out
+                })
+            })
+            .collect();
+        per_thread.extend(handles.into_iter().map(|h| h.join().unwrap()));
+    });
+    let report = svc.shutdown();
+    assert_eq!(report.shed(), 0, "generous queues must not shed");
+    assert_eq!(report.timed_out(), 0, "no deadlines were set");
+    report.assert_consistent();
+
+    // Replay the concurrent history in admission-timestamp order.
+    let mut ordered: Vec<(u64, u32, OpKind, Ticket)> = per_thread
+        .into_iter()
+        .flatten()
+        .map(|(key, op, ticket)| {
+            let ts = ticket.timestamp().expect("every op draws a timestamp");
+            (ts, key, op, ticket)
+        })
+        .collect();
+    ordered.sort_by_key(|e| e.0);
+    let mut oracle = SequentialOracle::load(&pairs32(150));
+    let want = oracle.run_batch(&Batch::new(
+        ordered
+            .iter()
+            .map(|&(ts, key, op, _)| Request { key, op, ts })
+            .collect(),
+    ));
+    for ((ts, key, op, ticket), want) in ordered.iter().zip(want) {
+        assert_eq!(
+            ticket.wait(),
+            Outcome::Done(want),
+            "ts {ts}: {op:?} on key {key} diverges from the timestamp-order replay"
+        );
+    }
+    let oracle_contents: Vec<(u64, u64)> = oracle
+        .contents()
+        .iter()
+        .map(|(&k, &v)| (k as u64, v as u64))
+        .collect();
+    assert_eq!(report.contents(), oracle_contents, "final state diverges");
 }
 
 #[test]
