@@ -79,6 +79,9 @@ fn ingress_cell(per_thread: usize, admission: AdmissionMode, chunk: usize) -> f6
         hold_gate: true,
         headroom_nodes: 1 << 12,
         replay: None,
+        // The ingress scenario measures admission overhead; observability
+        // must stay off so the baseline is the bare hot path.
+        observe: Default::default(),
     };
     let svc = Service::new(&pairs, cfg);
     // Generate outside the timed region: the scenario measures admission,

@@ -6,6 +6,8 @@
 //! cargo run -p eirene-bench --release -- serve --smoke
 //! cargo run -p eirene-bench --release -- serve --shards 1,2,4 --requests 32768
 //! cargo run -p eirene-bench --release -- serve --clients 8  # concurrent submitters
+//! cargo run -p eirene-bench --release -- serve --smoke --monitor \
+//!     --monitor-out monitor.json --spans spans.jsonl
 //! ```
 //!
 //! Per cell the sweep reports aggregate throughput, end-to-end latency
@@ -17,12 +19,29 @@
 //! generator, with a configurable fraction of keys rewritten onto shard
 //! boundaries.
 //!
+//! `--monitor` turns on the serving layer's live observability for every
+//! cell: a per-shard console dashboard refreshes on stderr while the
+//! service drains, SLO breaches (`--slo-p99-us`, `--slo-shed-rate`) print
+//! as they fire, `--monitor-out` writes every cell's sampled series (and
+//! breaches) as one JSON document, and `--spans` writes the last cell's
+//! per-ticket lifecycle spans as JSON-lines. The monitored cells still
+//! feed the normal sweep table; the dashboard is sampling the same
+//! counters the final report is built from (the terminal sample
+//! reconciles exactly — checked per cell).
+//!
 //! Exit status: 0 when every report is internally consistent (per-shard
-//! telemetry rows sum to totals, trees validate), 1 otherwise.
+//! telemetry rows sum to totals, trees validate, sampled series reconcile
+//! when `--monitor` is on), 1 otherwise.
 
-use eirene_serve::{AdmitPolicy, ServeConfig, ServeReport, Service, ShardMap};
+use eirene_serve::{
+    reconcile_samples, spans_to_jsonl, AdmitPolicy, ObserveConfig, SeriesCollector, ServeConfig,
+    ServeReport, Service, ServiceObserver, ShardMap, ShardSample, SloBreach, SloSpec,
+};
 use eirene_sim::DeviceConfig;
+use eirene_telemetry::JsonValue;
 use eirene_workloads::{Distribution, Mix, ShardedGen, WorkloadGen, WorkloadSpec};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Requests per `submit_many` call on a bench client thread.
@@ -41,6 +60,16 @@ struct ServeScale {
     clients: usize,
     seed: u64,
     device: DeviceConfig,
+    /// Live observability: dashboard + series collection per cell.
+    monitor: bool,
+    /// Write every cell's sampled series to this JSON file.
+    monitor_out: Option<String>,
+    /// Write the last cell's lifecycle spans to this JSON-lines file.
+    spans_out: Option<String>,
+    /// SLO: windowed p99 completion latency budget, in microseconds.
+    slo_p99_us: Option<f64>,
+    /// SLO: windowed shed-rate budget (fraction of offered requests).
+    slo_shed_rate: Option<f64>,
 }
 
 impl Default for ServeScale {
@@ -55,6 +84,11 @@ impl Default for ServeScale {
             clients: 1,
             seed: 0x5E44E,
             device: DeviceConfig::default(),
+            monitor: false,
+            monitor_out: None,
+            spans_out: None,
+            slo_p99_us: None,
+            slo_shed_rate: None,
         }
     }
 }
@@ -76,7 +110,9 @@ impl ServeScale {
 fn usage() -> ! {
     eprintln!(
         "usage: eirene-bench serve [--smoke] [--shards a,b,c] [--loads f,f] [--tree-exp N] \
-         [--requests N] [--batch-limit N] [--straddle F] [--clients N] [--seed N]"
+         [--requests N] [--batch-limit N] [--straddle F] [--clients N] [--seed N] \
+         [--monitor] [--monitor-out FILE] [--spans FILE] [--slo-p99-us F] [--slo-shed-rate F]\n\
+         note: --smoke resets the scale, so pass it before other flags"
     );
     std::process::exit(2);
 }
@@ -102,14 +138,87 @@ fn workload_map(shards: usize, key_domain: u64) -> ShardMap {
     ShardMap::from_starts((0..shards as u32).map(|i| i * width).collect())
 }
 
+/// Observer for `--monitor`: accumulates the series and prints SLO
+/// breaches to stderr the moment a shard's executor emits them.
+struct MonitorObserver {
+    collector: Arc<SeriesCollector>,
+}
+
+impl ServiceObserver for MonitorObserver {
+    fn on_sample(&self, sample: &ShardSample) {
+        self.collector.on_sample(sample);
+    }
+
+    fn on_breach(&self, breach: &SloBreach) {
+        eprintln!("serve: {breach}");
+        self.collector.on_breach(breach);
+    }
+}
+
+/// The SLO spec the `--slo-*` flags describe, if any.
+fn slo_spec(scale: &ServeScale) -> Option<SloSpec> {
+    if scale.slo_p99_us.is_none() && scale.slo_shed_rate.is_none() {
+        return None;
+    }
+    Some(SloSpec {
+        p99_max_cycles: scale
+            .slo_p99_us
+            .map(|us| (us * 1e-6 * scale.device.clock_ghz * 1e9) as u64),
+        shed_rate_max: scale.slo_shed_rate,
+        ..SloSpec::default()
+    })
+}
+
+/// Renders one dashboard frame: a line per shard from its latest sample.
+fn render_dashboard(label: &str, device: &DeviceConfig, collector: &SeriesCollector, secs: f64) {
+    let latest = collector.latest_per_shard();
+    if latest.is_empty() {
+        return;
+    }
+    eprintln!(
+        "monitor[{label}] t={secs:.1}s  {:>5} {:>6} {:>10} {:>6} {:>6} {:>5} {:>4} {:>8} {:>5} {:>4} {:>8} {:>9} {:>9}",
+        "shard", "epoch", "clock(us)", "batch", "queue", "pend", "lag", "enq", "shed", "tmo", "done", "p50(us)", "p99(us)",
+    );
+    for s in &latest {
+        eprintln!(
+            "monitor[{label}] t={secs:.1}s  {:>5} {:>6} {:>10.1} {:>6} {:>6} {:>5} {:>4} {:>8} {:>5} {:>4} {:>8} {:>9.1} {:>9.1}",
+            s.shard,
+            s.epoch,
+            cycles_to_us(device, s.clock_cycles),
+            s.batch_size,
+            s.queue_depth,
+            s.reorder_pending,
+            s.watermark_lag,
+            s.enqueued,
+            s.shed,
+            s.timed_out,
+            s.completed,
+            cycles_to_us(device, s.latency.p50),
+            cycles_to_us(device, s.latency.p99),
+        );
+    }
+}
+
+/// Result of one monitored cell: the live series plus any breaches, ready
+/// for the `--monitor-out` export.
+struct CellSeries {
+    collector: Arc<SeriesCollector>,
+}
+
 /// Runs one cell: `scale.clients` submitter threads push contiguous
 /// slices of `requests` YCSB-C lookups through batched `submit_many`
 /// chunks (gate held so epoch composition is load-independent), then the
 /// gate releases and the service drains. `rate` (requests/second) spaces
 /// virtual arrivals by *global* request index for the open-loop cells;
-/// `None` is the closed-loop capacity measurement. Returns the report and
-/// the wall-clock seconds the submission phase took.
-fn run_cell(scale: &ServeScale, shards: usize, rate: Option<f64>) -> (ServeReport, f64) {
+/// `None` is the closed-loop capacity measurement. Returns the report,
+/// the wall-clock seconds the submission phase took, and — when
+/// `--monitor` is on — the collected live series.
+fn run_cell(
+    scale: &ServeScale,
+    shards: usize,
+    rate: Option<f64>,
+    label: &str,
+) -> (ServeReport, f64, Option<CellSeries>) {
     let spec = WorkloadSpec {
         tree_size: 1usize << scale.tree_exp,
         batch_size: scale.batch_limit,
@@ -123,6 +232,17 @@ fn run_cell(scale: &ServeScale, shards: usize, rate: Option<f64>) -> (ServeRepor
         .into_iter()
         .map(|(k, v)| (k as u64, v as u64))
         .collect();
+    let collector = scale.monitor.then(SeriesCollector::new);
+    let observe = match &collector {
+        Some(coll) => ObserveConfig {
+            slo: slo_spec(scale),
+            observer: Some(Arc::new(MonitorObserver {
+                collector: coll.clone(),
+            })),
+            ..ObserveConfig::live()
+        },
+        None => ObserveConfig::default(),
+    };
     let cfg = ServeConfig {
         map: map.clone(),
         device: scale.device.clone(),
@@ -133,6 +253,7 @@ fn run_cell(scale: &ServeScale, shards: usize, rate: Option<f64>) -> (ServeRepor
         linger: Duration::ZERO,
         hold_gate: true,
         headroom_nodes: 1 << 14,
+        observe,
         ..ServeConfig::default()
     };
     let svc = Service::new(&pairs, cfg);
@@ -177,7 +298,40 @@ fn run_cell(scale: &ServeScale, shards: usize, rate: Option<f64>) -> (ServeRepor
     });
     let ingress_secs = ingress_start.elapsed().as_secs_f64();
     svc.release();
-    (svc.shutdown(), ingress_secs)
+    // Dashboard: refresh per-shard lines on stderr while the service
+    // drains, from the same live samples the series export collects.
+    let dashboard = collector.as_ref().map(|coll| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let (stop2, coll2) = (stop.clone(), coll.clone());
+        let (label2, device2) = (label.to_string(), scale.device.clone());
+        let started = Instant::now();
+        let handle = std::thread::spawn(move || loop {
+            for _ in 0..25 {
+                if stop2.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            render_dashboard(&label2, &device2, &coll2, started.elapsed().as_secs_f64());
+        });
+        (stop, handle, started)
+    });
+    let report = svc.shutdown();
+    let series = collector.map(|collector| {
+        if let Some((stop, handle, started)) = dashboard {
+            stop.store(true, Ordering::Relaxed);
+            handle.join().expect("dashboard thread");
+            // One final frame so short runs still show the drained state.
+            render_dashboard(
+                label,
+                &scale.device,
+                &collector,
+                started.elapsed().as_secs_f64(),
+            );
+        }
+        CellSeries { collector }
+    });
+    (report, ingress_secs, series)
 }
 
 fn cycles_to_us(device: &DeviceConfig, cycles: u64) -> f64 {
@@ -243,6 +397,23 @@ pub fn run(args: &[String]) -> i32 {
             "--straddle" => scale.straddle = parse_num(it.next()),
             "--clients" => scale.clients = parse_num(it.next()),
             "--seed" => scale.seed = parse_num(it.next()),
+            "--monitor" => scale.monitor = true,
+            "--monitor-out" => {
+                scale.monitor = true;
+                scale.monitor_out = Some(it.next().unwrap_or_else(|| usage()).clone());
+            }
+            "--spans" => {
+                scale.monitor = true;
+                scale.spans_out = Some(it.next().unwrap_or_else(|| usage()).clone());
+            }
+            "--slo-p99-us" => {
+                scale.monitor = true;
+                scale.slo_p99_us = Some(parse_num(it.next()));
+            }
+            "--slo-shed-rate" => {
+                scale.monitor = true;
+                scale.slo_shed_rate = Some(parse_num(it.next()));
+            }
             _ => usage(),
         }
     }
@@ -276,9 +447,44 @@ pub fn run(args: &[String]) -> i32 {
     let mut all_ok = true;
     let mut baseline = 0.0f64;
     let mut speedups: Vec<(usize, f64)> = Vec::new();
+    let mut cell_docs: Vec<JsonValue> = Vec::new();
+    let mut last_spans: Vec<eirene_serve::LifecycleSpan> = Vec::new();
+    // Folds one monitored cell into the export state and cross-checks the
+    // live series against the cell's final report.
+    let absorb_cell = |label: &str,
+                       shards: usize,
+                       report: &ServeReport,
+                       series: Option<CellSeries>,
+                       cell_docs: &mut Vec<JsonValue>,
+                       last_spans: &mut Vec<eirene_serve::LifecycleSpan>|
+     -> bool {
+        let Some(series) = series else { return true };
+        let samples = series.collector.samples();
+        let mut ok = true;
+        if let Err(e) = reconcile_samples(&samples, report) {
+            eprintln!("serve: {label}: live series does not reconcile with report: {e}");
+            ok = false;
+        }
+        cell_docs.push(JsonValue::obj(vec![
+            ("label", JsonValue::from(label)),
+            ("shards", JsonValue::from(shards)),
+            ("series", series.collector.to_json()),
+        ]));
+        *last_spans = report.spans();
+        ok
+    };
     for &shards in &scale.shards {
-        let (closed, ingress) = run_cell(&scale, shards, None);
-        all_ok &= check_report(&closed, &format!("{shards} shards closed"));
+        let label = format!("{shards} shards closed");
+        let (closed, ingress, series) = run_cell(&scale, shards, None, &label);
+        all_ok &= check_report(&closed, &label);
+        all_ok &= absorb_cell(
+            &label,
+            shards,
+            &closed,
+            series,
+            &mut cell_docs,
+            &mut last_spans,
+        );
         let tput = closed.throughput();
         if baseline == 0.0 {
             // First swept shard count is the baseline (conventionally 1).
@@ -288,8 +494,17 @@ pub fn run(args: &[String]) -> i32 {
         print_row(&scale.device, shards, "closed", &closed, baseline, ingress);
         for &load in &scale.loads {
             let rate = load * tput;
-            let (open, ingress) = run_cell(&scale, shards, Some(rate));
-            all_ok &= check_report(&open, &format!("{shards} shards load {load:.2}"));
+            let label = format!("{shards} shards open {load:.2}");
+            let (open, ingress, series) = run_cell(&scale, shards, Some(rate), &label);
+            all_ok &= check_report(&open, &label);
+            all_ok &= absorb_cell(
+                &label,
+                shards,
+                &open,
+                series,
+                &mut cell_docs,
+                &mut last_spans,
+            );
             print_row(
                 &scale.device,
                 shards,
@@ -298,6 +513,32 @@ pub fn run(args: &[String]) -> i32 {
                 baseline,
                 ingress,
             );
+        }
+    }
+    if let Some(path) = &scale.monitor_out {
+        let doc = JsonValue::obj(vec![
+            ("schema_version", JsonValue::from(1u64)),
+            ("suite", JsonValue::from("eirene-bench serve --monitor")),
+            ("cells", JsonValue::Arr(cell_docs)),
+        ]);
+        match std::fs::write(path, doc.to_json() + "\n") {
+            Ok(()) => eprintln!("serve: wrote monitor series to {path}"),
+            Err(e) => {
+                eprintln!("serve: could not write {path}: {e}");
+                all_ok = false;
+            }
+        }
+    }
+    if let Some(path) = &scale.spans_out {
+        match std::fs::write(path, spans_to_jsonl(&last_spans)) {
+            Ok(()) => eprintln!(
+                "serve: wrote {} lifecycle spans (last cell) to {path}",
+                last_spans.len()
+            ),
+            Err(e) => {
+                eprintln!("serve: could not write {path}: {e}");
+                all_ok = false;
+            }
         }
     }
     for &(shards, speedup) in &speedups {

@@ -19,7 +19,10 @@
 
 use crate::gen::{adversarial_batch, dense_pairs, GenOptions, Profile};
 use crate::shrink::shrink;
-use eirene_serve::{AdmitPolicy, Client, Outcome, ServeConfig, Service, ShardMap, Ticket};
+use eirene_serve::{
+    reconcile_samples, AdmitPolicy, Client, ObserveConfig, Outcome, SeriesCollector, ServeConfig,
+    Service, ShardMap, Ticket,
+};
 use eirene_sim::DeviceConfig;
 use eirene_workloads::{Batch, Key, OpKind, Oracle, Request, Response, SequentialOracle};
 use std::time::Duration;
@@ -230,6 +233,9 @@ pub fn run_serve_case(
     } else {
         DeviceConfig::test_small()
     };
+    // Observability rides along on every case: span recording plus a live
+    // sample collector, cross-checked against the final report below.
+    let collector = SeriesCollector::new();
     let cfg = ServeConfig {
         map: map.clone(),
         device,
@@ -241,6 +247,7 @@ pub fn run_serve_case(
         linger: Duration::ZERO,
         hold_gate: true,
         headroom_nodes: (reqs.len() * 4).max(1 << 12),
+        observe: ObserveConfig::with_observer(collector.clone()),
         ..ServeConfig::default()
     };
     let svc = Service::new(pairs, cfg);
@@ -366,6 +373,48 @@ pub fn run_serve_case(
             "phase rows do not sum to totals".to_string(),
         ));
     }
+    // Span lifecycle invariants: one monotone submit→complete chain per
+    // executed entry, phase deltas telescoping to the span's end-to-end
+    // cycles, and (with nothing evicted) span totals summing exactly to
+    // the shard's reported latency histogram.
+    for shard in &report.shards {
+        if shard.spans.len() as u64 + shard.spans_dropped != shard.executed {
+            return Err(ServeViolation::Accounting(format!(
+                "shard {}: {} spans + {} dropped != {} executed",
+                shard.shard,
+                shard.spans.len(),
+                shard.spans_dropped,
+                shard.executed
+            )));
+        }
+        for span in &shard.spans {
+            if !span.is_monotone() {
+                return Err(ServeViolation::Accounting(format!(
+                    "shard {}: span {} stamps regress: {:?}",
+                    shard.shard, span.id, span.stamps
+                )));
+            }
+            if span.phase_deltas().iter().sum::<u64>() != span.total_cycles() {
+                return Err(ServeViolation::Accounting(format!(
+                    "shard {}: span {} phase deltas do not telescope",
+                    shard.shard, span.id
+                )));
+            }
+        }
+        if shard.spans_dropped == 0 {
+            let span_sum: u64 = shard.spans.iter().map(|s| s.total_cycles()).sum();
+            if span_sum != shard.latency.sum() {
+                return Err(ServeViolation::Accounting(format!(
+                    "shard {}: span latency sum {span_sum} != histogram sum {}",
+                    shard.shard,
+                    shard.latency.sum()
+                )));
+            }
+        }
+    }
+    // The live sample series (epoch ids, terminal counter snapshots) must
+    // reconcile exactly with the report's totals.
+    reconcile_samples(&collector.samples(), &report).map_err(ServeViolation::Accounting)?;
     Ok(())
 }
 

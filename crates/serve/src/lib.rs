@@ -30,15 +30,36 @@
 //!   serving-only `ingress` / `queue_wait` phases, end-to-end latency
 //!   histograms, captured schedules, and aggregate views
 //!   ([`ServeReport`]).
+//! - **Live observability** — with [`ObserveConfig`] enabled, each shard
+//!   emits a [`ShardSample`] of counters, gauges, and latency summaries
+//!   at every epoch boundary, records per-ticket lifecycle spans
+//!   (submit → enqueue → reorder-release → combine → execute → complete)
+//!   into a bounded ring, and evaluates [`SloSpec`] objectives over
+//!   sliding epoch windows, pushing samples and [`SloBreach`] events to a
+//!   registered [`ServiceObserver`]. A final *terminal* sample snapshots
+//!   each shard's totals, so sampled series reconcile exactly with the
+//!   shutdown [`ServeReport`] ([`reconcile_samples`]).
 
+mod observe;
 mod queue;
 mod report;
 mod service;
 mod shard;
 mod ticket;
 
+pub use observe::{
+    reconcile_samples, LatencySummary, ObserveConfig, SeriesCollector, ServiceObserver,
+    ShardSample, SloBreach, SloMonitor, SloObjective, SloSpec,
+};
 pub use queue::AdmitPolicy;
 pub use report::{ServeReport, ShardReport};
 pub use service::{AdmissionMode, Client, ServeConfig, Service};
 pub use shard::{RangePart, ShardId, ShardMap};
 pub use ticket::{Outcome, Ticket};
+
+// Span types live in `eirene-telemetry`; re-exported here because the
+// serving layer is what records them.
+pub use eirene_telemetry::{
+    chrome_trace_with_spans, spans_from_jsonl, spans_to_jsonl, LifecycleSpan, SpanPhase, SpanRing,
+    SPAN_PHASES,
+};

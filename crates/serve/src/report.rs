@@ -1,7 +1,9 @@
 //! Final reports returned by [`Service::shutdown`](crate::Service::shutdown).
 
+use crate::observe::SloBreach;
 use crate::shard::ShardId;
 use eirene_sim::{CycleHistogram, DeviceConfig, KernelStats, PhaseStats, ScheduleLog};
+use eirene_telemetry::LifecycleSpan;
 
 /// Everything one shard's pipeline observed over the service's lifetime.
 #[derive(Clone, Debug)]
@@ -37,6 +39,16 @@ pub struct ShardReport {
     pub contents: Vec<(u64, u64)>,
     /// Result of `btree::validate` on the final tree structure.
     pub structure: Result<(), String>,
+    /// Lifecycle spans retained by this shard's bounded ring, oldest
+    /// first (empty when observability was off).
+    pub spans: Vec<LifecycleSpan>,
+    /// Spans evicted to respect the ring's capacity bound.
+    pub spans_dropped: u64,
+    /// Whether span recording ran; gates the span invariants in
+    /// [`ServeReport::assert_consistent`].
+    pub spans_enabled: bool,
+    /// SLO breach events this shard emitted, in sample order.
+    pub breaches: Vec<SloBreach>,
 }
 
 impl ShardReport {
@@ -106,6 +118,25 @@ impl ServeReport {
         }
     }
 
+    /// Every retained lifecycle span, across shards (each span's `track`
+    /// field still names its shard). Ready for
+    /// [`chrome_trace_with_spans`](eirene_telemetry::chrome_trace_with_spans)
+    /// or [`spans_to_jsonl`](eirene_telemetry::spans_to_jsonl).
+    pub fn spans(&self) -> Vec<LifecycleSpan> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.spans.iter().copied())
+            .collect()
+    }
+
+    /// Every SLO breach, across shards.
+    pub fn breaches(&self) -> Vec<SloBreach> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.breaches.iter().cloned())
+            .collect()
+    }
+
     /// End-to-end latency histogram merged across shards.
     pub fn latency(&self) -> CycleHistogram {
         let mut merged = CycleHistogram::new();
@@ -170,6 +201,41 @@ impl ServeReport {
                 "shard {}: virtual clock ran backwards",
                 s.shard
             );
+            if s.spans_enabled {
+                assert_eq!(
+                    s.spans.len() as u64 + s.spans_dropped,
+                    s.executed,
+                    "shard {}: one lifecycle span per executed entry",
+                    s.shard
+                );
+                for span in &s.spans {
+                    assert!(
+                        span.is_monotone(),
+                        "shard {}: span {} stamps regress",
+                        s.shard,
+                        span.id
+                    );
+                    assert_eq!(
+                        span.phase_deltas().iter().sum::<u64>(),
+                        span.total_cycles(),
+                        "shard {}: span {} phase deltas do not telescope",
+                        s.shard,
+                        span.id
+                    );
+                }
+                if s.spans_dropped == 0 {
+                    // With no evictions the retained spans cover every
+                    // executed entry, so their end-to-end cycles must sum
+                    // to the latency histogram's exact sum.
+                    let span_sum: u64 = s.spans.iter().map(|sp| sp.total_cycles()).sum();
+                    assert_eq!(
+                        span_sum,
+                        s.latency.sum(),
+                        "shard {}: span latencies disagree with the histogram",
+                        s.shard
+                    );
+                }
+            }
         }
         if let Err(e) = self.structure() {
             panic!("structure validation failed: {e}");

@@ -56,6 +56,9 @@
 //! plans epoch N+1 while epoch N executes — the paper's pipelined-epoch
 //! model at service scope.
 
+use crate::observe::{
+    LatencySummary, ObserveConfig, ShardMetrics, ShardSample, SloBreach, SloMonitor,
+};
 use crate::queue::{AdmitPolicy, Drained, Entry, IngressQueue};
 use crate::report::{ServeReport, ShardReport};
 use crate::shard::{RangePart, ShardId, ShardMap};
@@ -66,6 +69,7 @@ use eirene_core::{EireneOptions, EireneTree};
 use eirene_sim::{
     Cluster, CycleHistogram, DeviceConfig, KernelStats, Phase, PhaseTable, ScheduleLog, WarpStats,
 };
+use eirene_telemetry::{LifecycleSpan, SpanRing};
 use eirene_workloads::{Batch, Key, OpKind, Request, Response};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -130,6 +134,10 @@ pub struct ServeConfig {
     /// Replay a previously captured per-shard schedule (deterministic
     /// mode); one log per shard, in shard order.
     pub replay: Option<Vec<ScheduleLog>>,
+    /// Live observability: epoch-boundary metric samples, per-ticket
+    /// lifecycle spans, and SLO evaluation. Disabled by default; when
+    /// disabled the epoch pipeline does none of that work.
+    pub observe: ObserveConfig,
 }
 
 impl Default for ServeConfig {
@@ -145,6 +153,7 @@ impl Default for ServeConfig {
             hold_gate: false,
             headroom_nodes: 1 << 14,
             replay: None,
+            observe: ObserveConfig::default(),
         }
     }
 }
@@ -163,35 +172,36 @@ impl ServeConfig {
     }
 }
 
-/// Shared per-shard state: the ingress queue plus admission counters.
+/// Shared per-shard state: the ingress queue plus the metric registry
+/// holding the admission counters (always on — the final report needs
+/// them) and the epoch-boundary gauges (refreshed only when observability
+/// is enabled).
 #[derive(Debug)]
 struct ShardState {
     queue: IngressQueue,
-    /// Entries admitted to this shard's queue (split-range parts count
-    /// individually).
-    enqueued: AtomicU64,
-    /// Requests shed because this shard's queue was full.
-    shed: AtomicU64,
-    /// Entries whose deadline expired before their epoch formed.
-    timed_out: AtomicU64,
-    /// High-water mark of the queue depth.
-    max_depth: AtomicU64,
+    metrics: ShardMetrics,
 }
 
 impl ShardState {
     fn new(capacity: usize) -> Self {
         ShardState {
             queue: IngressQueue::new(capacity),
-            enqueued: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            timed_out: AtomicU64::new(0),
-            max_depth: AtomicU64::new(0),
+            metrics: ShardMetrics::new(),
         }
     }
 
     fn record_enqueue(&self, n: u64, depth: usize) {
-        self.enqueued.fetch_add(n, Ordering::Relaxed);
-        self.max_depth.fetch_max(depth as u64, Ordering::Relaxed);
+        self.metrics.add(self.metrics.enqueued, n);
+        self.metrics
+            .record_max(self.metrics.max_depth, depth as u64);
+    }
+
+    fn record_shed(&self, n: u64) {
+        self.metrics.add(self.metrics.shed, n);
+    }
+
+    fn record_timeout(&self, n: u64) {
+        self.metrics.add(self.metrics.timed_out, n);
     }
 }
 
@@ -245,6 +255,15 @@ impl Inflight {
             .map(|s| s.load(Ordering::SeqCst))
             .min()
             .unwrap_or(SLOT_FREE)
+    }
+
+    /// Occupied slots: submissions currently mid-admission. A snapshot
+    /// for observability gauges only — no ordering relied upon.
+    fn occupancy(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter(|s| s.load(Ordering::Relaxed) != SLOT_FREE)
+            .count() as u64
     }
 }
 
@@ -343,7 +362,7 @@ impl Inner {
                         Err(e) => e.completion.resolve_fail(Outcome::Rejected),
                     }
                 } else {
-                    state.shed.fetch_add(1, Ordering::Relaxed);
+                    state.record_shed(1);
                     entry.completion.resolve_fail(Outcome::Rejected);
                 }
             }
@@ -374,7 +393,7 @@ impl Inner {
                     for q in &parts[..i] {
                         self.shards[q.shard].queue.cancel_reservation(1);
                     }
-                    self.shards[p.shard].shed.fetch_add(1, Ordering::Relaxed);
+                    self.shards[p.shard].record_shed(1);
                     cell.resolve(Outcome::Rejected);
                     return;
                 }
@@ -513,7 +532,7 @@ impl Inner {
                     Route::Empty => cell.resolve(Outcome::Done(Response::Range(Vec::new()))),
                     Route::One(shard) => {
                         if self.policy == AdmitPolicy::Shed && credits[shard] == 0 {
-                            self.shards[shard].shed.fetch_add(1, Ordering::Relaxed);
+                            self.shards[shard].record_shed(1);
                             cell.resolve(Outcome::Rejected);
                         } else {
                             if self.policy == AdmitPolicy::Shed {
@@ -535,7 +554,7 @@ impl Inner {
                         };
                         if self.policy == AdmitPolicy::Shed {
                             if let Some(full) = parts.iter().find(|p| credits[p.shard] == 0) {
-                                self.shards[full.shard].shed.fetch_add(1, Ordering::Relaxed);
+                                self.shards[full.shard].record_shed(1);
                                 cell.resolve(Outcome::Rejected);
                                 return;
                             }
@@ -614,12 +633,30 @@ impl Inner {
     }
 }
 
+/// Pipeline-state gauges the combiner snapshots at epoch emission when
+/// observability is enabled; the executor folds them into the shard's
+/// metric registry and the emitted [`ShardSample`].
+struct EpochGauges {
+    /// Ingress-queue depth left behind after forming this epoch.
+    queue_depth: u64,
+    /// Entries still parked in the reorder heap (admitted but above the
+    /// watermark or beyond the batch limit).
+    reorder_pending: u64,
+    /// `next_ts - watermark`: how far in-flight submissions were holding
+    /// the watermark behind the timestamp counter.
+    watermark_lag: u64,
+    /// Occupied slots of the in-flight submission registry.
+    inflight: u64,
+}
+
 /// One planned epoch in flight from a shard's combiner to its executor.
 /// `entries` aligns positionally with `batch.requests`.
 struct Epoch {
     batch: Batch,
     plan: CombinePlan,
     entries: Vec<Entry>,
+    /// `Some` iff observability is enabled.
+    gauges: Option<EpochGauges>,
 }
 
 /// Cloneable submission handle to a running [`Service`].
@@ -732,11 +769,20 @@ impl Service {
             let (tx, rx) = std::sync::mpsc::sync_channel::<Epoch>(1);
             let (inner2, state) = (inner.clone(), states[shard].clone());
             let (plan_cfg, batch_limit, linger) = (shard_cfg.clone(), cfg.batch_limit, cfg.linger);
+            let observe_epochs = cfg.observe.enabled;
             combiners.push(
                 std::thread::Builder::new()
                     .name(format!("serve-combine-{shard}"))
                     .spawn(move || {
-                        combiner_loop(&inner2, &state, &plan_cfg, batch_limit, linger, tx)
+                        combiner_loop(
+                            &inner2,
+                            &state,
+                            &plan_cfg,
+                            batch_limit,
+                            linger,
+                            observe_epochs,
+                            tx,
+                        )
                     })
                     .expect("spawn combiner"),
             );
@@ -746,10 +792,11 @@ impl Service {
                 ..Default::default()
             };
             let (state, replay) = (states[shard].clone(), replays[shard].take());
+            let observe = cfg.observe.clone();
             executors.push(
                 std::thread::Builder::new()
                     .name(format!("serve-exec-{shard}"))
-                    .spawn(move || executor_loop(shard, &state, &pairs, opts, replay, &rx))
+                    .spawn(move || executor_loop(shard, &state, &pairs, opts, replay, observe, &rx))
                     .expect("spawn executor"),
             );
         }
@@ -835,6 +882,7 @@ fn combiner_loop(
     plan_cfg: &DeviceConfig,
     batch_limit: usize,
     linger: Duration,
+    observe: bool,
     tx: SyncSender<Epoch>,
 ) {
     let mut heap: BinaryHeap<Reverse<ByTs>> = BinaryHeap::new();
@@ -907,9 +955,7 @@ fn combiner_loop(
             .into_iter()
             .partition(|e| e.deadline.is_none_or(|d| now < d));
         if !expired.is_empty() {
-            state
-                .timed_out
-                .fetch_add(expired.len() as u64, Ordering::Relaxed);
+            state.record_timeout(expired.len() as u64);
             for entry in &expired {
                 entry.completion.resolve_fail(Outcome::TimedOut);
             }
@@ -919,10 +965,22 @@ fn combiner_loop(
         }
         let batch = Batch::new(live.iter().map(|e| e.req).collect());
         let plan = build_plan(&batch, plan_cfg);
+        let gauges = observe.then(|| {
+            // Same read order as watermark(): next_ts before the slots.
+            let n = inner.next_ts.load(Ordering::SeqCst);
+            let wm = n.min(inner.inflight.min_active());
+            EpochGauges {
+                queue_depth: state.queue.depth() as u64,
+                reorder_pending: heap.len() as u64,
+                watermark_lag: n - wm,
+                inflight: inner.inflight.occupancy(),
+            }
+        });
         let epoch = Epoch {
             batch,
             plan,
             entries: live,
+            gauges,
         };
         if tx.send(epoch).is_err() {
             return; // executor gone
@@ -954,6 +1012,7 @@ fn executor_loop(
     pairs: &[(u64, u64)],
     opts: EireneOptions,
     replay: Option<ScheduleLog>,
+    observe: ObserveConfig,
     rx: &Receiver<Epoch>,
 ) -> ShardReport {
     let mut tree = EireneTree::new(pairs, opts);
@@ -965,6 +1024,14 @@ fn executor_loop(
     let mut latency = CycleHistogram::new();
     let (mut clock, mut busy_cycles) = (0u64, 0u64);
     let (mut epochs, mut executed) = (0u64, 0u64);
+    let mut spans = observe
+        .enabled
+        .then(|| SpanRing::new(observe.span_capacity));
+    let mut slo = observe
+        .enabled
+        .then(|| observe.slo.map(SloMonitor::new))
+        .flatten();
+    let mut breaches: Vec<SloBreach> = Vec::new();
     while let Ok(epoch) = rx.recv() {
         // Virtual-clock model: an epoch cannot start before the shard is
         // free *and* its last member has arrived.
@@ -974,9 +1041,27 @@ fn executor_loop(
         let makespan = run.stats.makespan_cycles.ceil() as u64;
         let end = start + makespan;
         let mut queue_wait = 0u64;
+        let mut epoch_hist = observe.enabled.then(CycleHistogram::new);
         for entry in &epoch.entries {
             queue_wait += start - entry.arrival;
-            latency.record(end - entry.arrival);
+            let lat = end - entry.arrival;
+            latency.record(lat);
+            if let Some(h) = epoch_hist.as_mut() {
+                h.record(lat);
+            }
+            if let Some(ring) = spans.as_mut() {
+                // Stamps on the shard's virtual clock: admission is host
+                // work with zero virtual duration (submit == enqueue at
+                // arrival), reorder-release/combine/execute coincide at
+                // epoch start, complete at epoch end. Monotone, and the
+                // deltas telescope to the reported latency.
+                ring.push(LifecycleSpan {
+                    id: entry.req.ts,
+                    track: shard as u32,
+                    epoch: epochs + 1,
+                    stamps: [entry.arrival, entry.arrival, start, start, start, end],
+                });
+            }
         }
         let n = epoch.batch.len() as u64;
         stats.absorb(run.stats);
@@ -1000,6 +1085,45 @@ fn executor_loop(
         busy_cycles += makespan;
         epochs += 1;
         executed += n;
+        let m = &state.metrics;
+        m.add(m.epochs, 1);
+        m.add(m.completed, n);
+        if let Some(epoch_hist) = epoch_hist {
+            m.set(m.epoch_batch, n);
+            if let Some(g) = &epoch.gauges {
+                m.set(m.queue_depth, g.queue_depth);
+                m.set(m.reorder_pending, g.reorder_pending);
+                m.set(m.watermark_lag, g.watermark_lag);
+                m.set(m.inflight, g.inflight);
+            }
+            let sample = shard_sample(shard, state, epochs, false, clock, n, epoch_hist, &latency);
+            emit_sample(&observe, &mut slo, &mut breaches, sample);
+        }
+    }
+    // Terminal sample: one final snapshot after the pipeline drained. The
+    // combiner has exited, so every admission counter is final — the
+    // report's totals are taken FROM this snapshot, which is what makes
+    // live sampled series reconcile exactly with the final report.
+    if observe.enabled {
+        let m = &state.metrics;
+        m.set(m.queue_depth, state.queue.depth() as u64);
+        m.set(m.epoch_batch, 0);
+        m.set(m.reorder_pending, 0);
+        m.set(m.watermark_lag, 0);
+        m.set(m.inflight, 0);
+    }
+    let terminal = shard_sample(
+        shard,
+        state,
+        epochs + 1,
+        true,
+        clock,
+        0,
+        CycleHistogram::new(),
+        &latency,
+    );
+    if observe.enabled {
+        emit_sample(&observe, &mut slo, &mut breaches, terminal.clone());
     }
     let structure = eirene_btree::validate::validate(tree.device().mem(), tree.handle())
         .map(|_| ())
@@ -1009,21 +1133,86 @@ fn executor_loop(
             .into_iter()
             .filter(|&(k, _)| k != SENTINEL_KEY)
             .collect();
+    let (spans, spans_dropped) = match spans {
+        Some(ring) => {
+            let dropped = ring.dropped();
+            (ring.into_vec(), dropped)
+        }
+        None => (Vec::new(), 0),
+    };
     ShardReport {
         shard,
         stats,
         epochs,
-        enqueued: state.enqueued.load(Ordering::Relaxed),
+        enqueued: terminal.enqueued,
         executed,
-        shed: state.shed.load(Ordering::Relaxed),
-        timed_out: state.timed_out.load(Ordering::Relaxed),
-        max_queue_depth: state.max_depth.load(Ordering::Relaxed),
+        shed: terminal.shed,
+        timed_out: terminal.timed_out,
+        max_queue_depth: terminal.max_queue_depth,
         latency,
         busy_cycles,
         clock_cycles: clock,
         schedule: tree.device().take_schedule_log(),
         contents,
         structure,
+        spans,
+        spans_dropped,
+        spans_enabled: observe.enabled,
+        breaches,
+    }
+}
+
+/// Snapshots one shard's registry into a [`ShardSample`].
+#[allow(clippy::too_many_arguments)]
+fn shard_sample(
+    shard: ShardId,
+    state: &ShardState,
+    epoch: u64,
+    terminal: bool,
+    clock: u64,
+    batch_size: u64,
+    epoch_latency: CycleHistogram,
+    latency: &CycleHistogram,
+) -> ShardSample {
+    let m = &state.metrics;
+    ShardSample {
+        shard,
+        epoch,
+        terminal,
+        clock_cycles: clock,
+        batch_size,
+        queue_depth: m.get(m.queue_depth),
+        reorder_pending: m.get(m.reorder_pending),
+        watermark_lag: m.get(m.watermark_lag),
+        inflight: m.get(m.inflight),
+        enqueued: m.get(m.enqueued),
+        shed: m.get(m.shed),
+        timed_out: m.get(m.timed_out),
+        completed: m.get(m.completed),
+        max_queue_depth: m.get(m.max_depth),
+        latency: LatencySummary::from_hist(latency),
+        epoch_latency,
+    }
+}
+
+/// Routes one sample through the SLO monitor and the registered observer
+/// (sample first, then any breaches it tripped).
+fn emit_sample(
+    observe: &ObserveConfig,
+    slo: &mut Option<SloMonitor>,
+    breaches: &mut Vec<SloBreach>,
+    sample: ShardSample,
+) {
+    if let Some(observer) = &observe.observer {
+        observer.on_sample(&sample);
+    }
+    if let Some(monitor) = slo.as_mut() {
+        for breach in monitor.observe(&sample) {
+            if let Some(observer) = &observe.observer {
+                observer.on_breach(&breach);
+            }
+            breaches.push(breach);
+        }
     }
 }
 
@@ -1316,6 +1505,116 @@ mod tests {
         for t in client.submit_many(&[(3, OpKind::Query), (5, OpKind::Query)]) {
             assert_eq!(t.wait(), Outcome::Rejected);
         }
+    }
+
+    #[test]
+    fn live_observability_samples_spans_and_reconciles() {
+        use crate::observe::{reconcile_samples, SeriesCollector, SloSpec};
+        let collector = SeriesCollector::new();
+        let mut cfg = small_cfg(boundary_map());
+        cfg.hold_gate = true;
+        cfg.observe = ObserveConfig {
+            // A 1-cycle p99 budget cannot be met: every sample breaches,
+            // proving the monitor and observer wiring end to end.
+            slo: Some(SloSpec {
+                p99_max_cycles: Some(1),
+                shed_rate_max: None,
+                window_epochs: 4,
+            }),
+            ..ObserveConfig::with_observer(collector.clone())
+        };
+        let pairs = initial_pairs();
+        let ops = boundary_ops();
+        let svc = Service::new(&pairs, cfg);
+        let client = svc.client();
+        let tickets = client.submit_many(&ops);
+        svc.release();
+        let report = svc.shutdown();
+        for t in &tickets {
+            assert!(matches!(t.wait(), Outcome::Done(_)));
+        }
+        // assert_consistent now also checks the span invariants (count,
+        // monotonicity, telescoping, histogram-sum agreement).
+        report.assert_consistent();
+        assert!(report.shards.iter().all(|s| s.spans_enabled));
+        assert_eq!(report.spans().len() as u64, report.executed());
+        for span in report.spans() {
+            assert!(span.is_monotone());
+            assert!(span.epoch >= 1);
+        }
+        // The live sample series reconciles exactly with the report.
+        let samples = collector.samples();
+        assert!(!samples.is_empty());
+        reconcile_samples(&samples, &report).expect("samples reconcile");
+        // Terminal samples exist for every shard, even idle ones.
+        assert_eq!(
+            samples.iter().filter(|s| s.terminal).count(),
+            report.shards.len()
+        );
+        // The impossible SLO tripped, and breaches reached both the
+        // observer and the report.
+        let live = collector.breaches();
+        assert!(!live.is_empty());
+        assert_eq!(report.breaches().len(), live.len());
+    }
+
+    #[test]
+    fn spans_stamp_virtual_arrivals_and_match_latency() {
+        let collector = crate::observe::SeriesCollector::new();
+        let mut cfg = small_cfg(ShardMap::uniform(1));
+        cfg.hold_gate = true;
+        cfg.observe = ObserveConfig::with_observer(collector.clone());
+        let svc = Service::new(&[(2, 1)], cfg);
+        let client = svc.client();
+        // Two requests with distinct virtual arrivals land in one epoch:
+        // the epoch starts no earlier than the later arrival, and each
+        // span's total must equal its reported latency contribution.
+        let t0 = client.submit_at(10, OpKind::Query, 100);
+        let t1 = client.submit_at(20, OpKind::Query, 700);
+        svc.release();
+        let report = svc.shutdown();
+        assert!(matches!(t0.wait(), Outcome::Done(_)));
+        assert!(matches!(t1.wait(), Outcome::Done(_)));
+        report.assert_consistent();
+        let spans = report.spans();
+        assert_eq!(spans.len(), 2);
+        let by_ts = |ts: u64| *spans.iter().find(|s| s.id == ts).unwrap();
+        let (s0, s1) = (by_ts(0), by_ts(1));
+        // Submit and enqueue stamp the virtual arrival.
+        assert_eq!(s0.stamps[0], 100);
+        assert_eq!(s1.stamps[0], 700);
+        // Same epoch: both released at the same epoch start, which waits
+        // for the later arrival.
+        if s0.epoch == s1.epoch {
+            assert_eq!(s0.stamps[2], s1.stamps[2]);
+            assert!(s0.stamps[2] >= 700);
+        }
+        // Per-span totals sum to the histogram's exact latency sum.
+        assert_eq!(
+            s0.total_cycles() + s1.total_cycles(),
+            report.latency().sum()
+        );
+    }
+
+    #[test]
+    fn disabled_observability_reports_no_spans_or_samples() {
+        let mut cfg = small_cfg(boundary_map());
+        cfg.hold_gate = true;
+        let svc = Service::new(&initial_pairs(), cfg);
+        let client = svc.client();
+        let tickets = client.submit_many(&boundary_ops());
+        svc.release();
+        let report = svc.shutdown();
+        for t in &tickets {
+            assert!(matches!(t.wait(), Outcome::Done(_)));
+        }
+        for s in &report.shards {
+            assert!(!s.spans_enabled);
+            assert!(s.spans.is_empty());
+            assert_eq!(s.spans_dropped, 0);
+            assert!(s.breaches.is_empty());
+        }
+        report.assert_consistent();
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Lock-light metrics registry: named atomic counters and gauges.
+//!
+//! The serving layer needs *live* per-shard signals (queue depth,
+//! watermark lag, admission counts) that many threads update on hot paths
+//! and one observer samples at epoch boundaries. The registry is a fixed
+//! table of `AtomicU64` cells built during setup: updates are single
+//! relaxed atomic operations with no locking, and a sample is a plain
+//! loop of relaxed loads. Registration is not thread-safe (it happens
+//! before the service spawns its pipelines); updates and sampling are.
+
+use crate::json::JsonValue;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a registered metric measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone non-decreasing count (events since service start).
+    Counter,
+    /// Point-in-time level, overwritten on update (e.g. queue depth).
+    Gauge,
+}
+
+/// Handle to one registered metric; cheap to copy into hot paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetricId(usize);
+
+#[derive(Debug)]
+struct Metric {
+    name: String,
+    kind: MetricKind,
+    cell: AtomicU64,
+}
+
+/// A fixed table of atomic metrics. Build it up front with
+/// [`register_counter`](MetricsRegistry::register_counter) /
+/// [`register_gauge`](MetricsRegistry::register_gauge), then share it
+/// (e.g. behind an `Arc`) between updaters and samplers.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn register(&mut self, name: &str, kind: MetricKind) -> MetricId {
+        debug_assert!(
+            self.metrics.iter().all(|m| m.name != name),
+            "duplicate metric {name}"
+        );
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            kind,
+            cell: AtomicU64::new(0),
+        });
+        MetricId(self.metrics.len() - 1)
+    }
+
+    pub fn register_counter(&mut self, name: &str) -> MetricId {
+        self.register(name, MetricKind::Counter)
+    }
+
+    pub fn register_gauge(&mut self, name: &str) -> MetricId {
+        self.register(name, MetricKind::Gauge)
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&self, id: MetricId, n: u64) {
+        self.metrics[id.0].cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites a gauge with its current level.
+    #[inline]
+    pub fn set(&self, id: MetricId, v: u64) {
+        self.metrics[id.0].cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises a high-water-mark gauge to at least `v`.
+    #[inline]
+    pub fn record_max(&self, id: MetricId, v: u64) {
+        self.metrics[id.0].cell.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value of one metric.
+    #[inline]
+    pub fn get(&self, id: MetricId) -> u64 {
+        self.metrics[id.0].cell.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Snapshot of every metric, in registration order. Each value is
+    /// individually atomic; the snapshot as a whole is not (concurrent
+    /// updaters may land between loads), which is fine for monitoring.
+    pub fn sample(&self) -> Vec<u64> {
+        self.metrics
+            .iter()
+            .map(|m| m.cell.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// `(name, kind, value)` rows for display and export.
+    pub fn rows(&self) -> Vec<(&str, MetricKind, u64)> {
+        self.metrics
+            .iter()
+            .map(|m| (m.name.as_str(), m.kind, m.cell.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// The whole registry as one JSON object keyed by metric name.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(
+            self.metrics
+                .iter()
+                .map(|m| {
+                    (
+                        m.name.clone(),
+                        JsonValue::from(m.cell.load(Ordering::Relaxed)),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_and_gauges_update_and_sample() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.register_counter("admitted");
+        let g = reg.register_gauge("queue_depth");
+        let hw = reg.register_gauge("max_depth");
+        reg.add(c, 3);
+        reg.add(c, 2);
+        reg.set(g, 7);
+        reg.set(g, 4);
+        reg.record_max(hw, 9);
+        reg.record_max(hw, 6);
+        assert_eq!(reg.get(c), 5);
+        assert_eq!(reg.get(g), 4);
+        assert_eq!(reg.get(hw), 9);
+        assert_eq!(reg.sample(), vec![5, 4, 9]);
+        let rows = reg.rows();
+        assert_eq!(rows[0], ("admitted", MetricKind::Counter, 5));
+        assert_eq!(rows[1].1, MetricKind::Gauge);
+    }
+
+    #[test]
+    fn concurrent_counter_adds_never_lose_updates() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.register_counter("hits");
+        let reg = Arc::new(reg);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    reg.add(c, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.get(c), 40_000);
+    }
+
+    #[test]
+    fn json_export_keys_by_name() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.register_counter("shed");
+        reg.add(c, 11);
+        let doc = reg.to_json();
+        assert_eq!(doc.get("shed").and_then(|v| v.as_u64()), Some(11));
+    }
+}

@@ -1,0 +1,276 @@
+//! Per-ticket lifecycle spans and the bounded ring that holds them.
+//!
+//! A [`LifecycleSpan`] records the virtual-clock cycle at which one served
+//! request crossed each pipeline phase boundary — submit, enqueue,
+//! reorder-release, combine, execute, complete — together with the epoch
+//! it executed in and the track (shard) it ran on. Stamps are
+//! non-decreasing, so consecutive differences are per-phase dwell times
+//! and they telescope: the deltas sum exactly to `complete - submit`, the
+//! request's reported end-to-end latency.
+//!
+//! Spans are recorded into a bounded per-shard [`SpanRing`]: O(capacity)
+//! memory however long the service runs, with a drop counter so exports
+//! can state what was truncated. Export formats: JSON-lines
+//! ([`spans_to_jsonl`], one span per line, streaming-friendly) and
+//! chrome://tracing via
+//! [`chrome_trace_with_spans`](crate::trace::chrome_trace_with_spans).
+
+use crate::json::JsonValue;
+use std::collections::VecDeque;
+
+/// Number of lifecycle phases a span stamps.
+pub const SPAN_PHASES: usize = 6;
+
+/// The lifecycle phase boundaries of a served request, in order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// Timestamp drawn; the request entered admission (its virtual
+    /// arrival time for offered-load runs, 0 for live submissions).
+    Submit,
+    /// Fully enqueued on its shard's ingress queue.
+    Enqueue,
+    /// Released from the reorder stage (its timestamp passed under the
+    /// watermark and it was popped into an epoch).
+    ReorderRelease,
+    /// Its epoch's combine plan was built.
+    Combine,
+    /// Its epoch began executing on the shard's device.
+    Execute,
+    /// Its epoch finished; the ticket resolved.
+    Complete,
+}
+
+impl SpanPhase {
+    pub const ALL: [SpanPhase; SPAN_PHASES] = [
+        SpanPhase::Submit,
+        SpanPhase::Enqueue,
+        SpanPhase::ReorderRelease,
+        SpanPhase::Combine,
+        SpanPhase::Execute,
+        SpanPhase::Complete,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanPhase::Submit => "submit",
+            SpanPhase::Enqueue => "enqueue",
+            SpanPhase::ReorderRelease => "reorder_release",
+            SpanPhase::Combine => "combine",
+            SpanPhase::Execute => "execute",
+            SpanPhase::Complete => "complete",
+        }
+    }
+}
+
+/// One request's recorded lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LifecycleSpan {
+    /// The request's globally unique admission timestamp.
+    pub id: u64,
+    /// Track the span belongs to (the shard that executed it).
+    pub track: u32,
+    /// Epoch the request executed in (per-track, starting at 1).
+    pub epoch: u64,
+    /// Virtual-clock cycle of each [`SpanPhase`] boundary, in
+    /// [`SpanPhase::ALL`] order. Non-decreasing.
+    pub stamps: [u64; SPAN_PHASES],
+}
+
+impl LifecycleSpan {
+    /// Whether the stamps are non-decreasing in phase order.
+    pub fn is_monotone(&self) -> bool {
+        self.stamps.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    /// Cycles spent between consecutive phase boundaries.
+    pub fn phase_deltas(&self) -> [u64; SPAN_PHASES - 1] {
+        let mut d = [0u64; SPAN_PHASES - 1];
+        for (i, slot) in d.iter_mut().enumerate() {
+            *slot = self.stamps[i + 1].saturating_sub(self.stamps[i]);
+        }
+        d
+    }
+
+    /// End-to-end cycles, submit to complete. Equals the sum of
+    /// [`phase_deltas`](LifecycleSpan::phase_deltas) whenever the span is
+    /// monotone (the deltas telescope).
+    pub fn total_cycles(&self) -> u64 {
+        self.stamps[SPAN_PHASES - 1].saturating_sub(self.stamps[0])
+    }
+
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("ticket", JsonValue::from(self.id)),
+            ("shard", JsonValue::from(self.track)),
+            ("epoch", JsonValue::from(self.epoch)),
+            (
+                "stamps",
+                JsonValue::Obj(
+                    SpanPhase::ALL
+                        .iter()
+                        .zip(self.stamps.iter())
+                        .map(|(p, &c)| (p.name().to_string(), JsonValue::from(c)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    pub fn from_json(doc: &JsonValue) -> Option<LifecycleSpan> {
+        let stamps_doc = doc.get("stamps")?;
+        let mut stamps = [0u64; SPAN_PHASES];
+        for (i, p) in SpanPhase::ALL.iter().enumerate() {
+            stamps[i] = stamps_doc.get(p.name())?.as_u64()?;
+        }
+        Some(LifecycleSpan {
+            id: doc.get("ticket")?.as_u64()?,
+            track: doc.get("shard")?.as_u64()? as u32,
+            epoch: doc.get("epoch")?.as_u64()?,
+            stamps,
+        })
+    }
+}
+
+/// Bounded FIFO of spans: pushing past capacity drops the oldest span and
+/// counts it, so memory stays O(capacity) over an unbounded service
+/// lifetime.
+#[derive(Clone, Debug)]
+pub struct SpanRing {
+    buf: VecDeque<LifecycleSpan>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl SpanRing {
+    pub fn new(capacity: usize) -> Self {
+        SpanRing {
+            buf: VecDeque::with_capacity(capacity.min(1 << 12)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub fn push(&mut self, span: LifecycleSpan) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(span);
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Spans evicted to respect the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &LifecycleSpan> {
+        self.buf.iter()
+    }
+
+    /// Consumes the ring, oldest retained span first.
+    pub fn into_vec(self) -> Vec<LifecycleSpan> {
+        self.buf.into_iter().collect()
+    }
+}
+
+/// Serializes spans as JSON-lines: one compact JSON object per line.
+pub fn spans_to_jsonl(spans: &[LifecycleSpan]) -> String {
+    let mut out = String::new();
+    for span in spans {
+        out.push_str(&span.to_json().to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSON-lines span stream (blank lines ignored).
+pub fn spans_from_jsonl(text: &str) -> Result<Vec<LifecycleSpan>, String> {
+    let mut spans = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = JsonValue::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        spans.push(
+            LifecycleSpan::from_json(&doc)
+                .ok_or_else(|| format!("line {}: not a span object", lineno + 1))?,
+        );
+    }
+    Ok(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, base: u64) -> LifecycleSpan {
+        LifecycleSpan {
+            id,
+            track: 2,
+            epoch: 5,
+            stamps: [base, base, base + 10, base + 10, base + 12, base + 40],
+        }
+    }
+
+    #[test]
+    fn deltas_telescope_to_total() {
+        let s = span(9, 100);
+        assert!(s.is_monotone());
+        assert_eq!(s.phase_deltas().iter().sum::<u64>(), s.total_cycles());
+        assert_eq!(s.total_cycles(), 40);
+    }
+
+    #[test]
+    fn non_monotone_spans_are_detected() {
+        let mut s = span(1, 50);
+        s.stamps[3] = 10;
+        assert!(!s.is_monotone());
+    }
+
+    #[test]
+    fn ring_bounds_memory_and_counts_drops() {
+        let mut ring = SpanRing::new(3);
+        for i in 0..5 {
+            ring.push(span(i, i * 100));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let ids: Vec<u64> = ring.into_vec().iter().map(|s| s.id).collect();
+        assert_eq!(ids, [2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_ring_records_nothing() {
+        let mut ring = SpanRing::new(0);
+        ring.push(span(0, 0));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let spans = vec![span(1, 0), span(2, 1000)];
+        let text = spans_to_jsonl(&spans);
+        assert_eq!(text.lines().count(), 2);
+        let back = spans_from_jsonl(&text).unwrap();
+        assert_eq!(back, spans);
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed_lines() {
+        assert!(spans_from_jsonl("{\"ticket\": 1}\n").is_err());
+        assert!(spans_from_jsonl("not json\n").is_err());
+    }
+}

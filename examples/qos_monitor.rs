@@ -1,169 +1,187 @@
-//! QoS monitor — the paper's response-time story (Figs. 2 and 8): conflict
-//! detection and resolution make baseline response times *unpredictable*,
-//! while Eirene's conflict-free kernels keep them flat.
+//! QoS monitor — the paper's QoS story (§8), live. Instead of comparing
+//! batch-level response-time variance after the fact, this example wires
+//! an [`eirene::serve::ServiceObserver`] into a running sharded service
+//! and watches the per-shard epoch telemetry stream as it happens:
 //!
-//! Follows the paper's methodology (§8.1): each run is a fresh execution
-//! — a freshly bulk-loaded tree processing one batch — and the variance
-//! statistic is the worst-side deviation of per-batch response time from
-//! the mean across runs. (A long-lived tree absorbing batch after batch
-//! additionally sees periodic *split waves* as cohorts of leaves fill up
-//! together; `examples/kvstore.rs` shows that service-loop mode.)
+//! 1. **steady state** — a well-provisioned two-shard service under a
+//!    moderate stream; every epoch boundary emits a sample (batch size,
+//!    queue depth, watermark lag, cumulative latency percentiles) and the
+//!    SLO monitor stays quiet;
+//! 2. **overload burst** — a deliberately tiny admission queue under
+//!    `AdmitPolicy::Shed` takes a 4x-capacity burst aimed at one shard.
+//!    Most of the burst is shed at admission, and the sliding-window
+//!    shed-rate objective trips on the very first epoch, emitting
+//!    structured breach events in real time.
+//!
+//! At the end, the sampled counter series is reconciled *exactly*
+//! against the shutdown report — live telemetry and final accounting are
+//! two views of the same atomics, not approximations of each other.
 //!
 //! ```text
-//! cargo run --release --example qos_monitor [runs]
+//! cargo run --release --example qos_monitor
 //! ```
 
-use eirene::baselines::common::ConcurrentTree;
-use eirene::baselines::{LockTree, StmTree};
-use eirene::core::{EireneOptions, EireneTree};
-use eirene::sim::{DeviceConfig, KernelStats};
-use eirene::workloads::{Distribution, Mix, WorkloadGen, WorkloadSpec};
+use eirene::serve::{
+    reconcile_samples, AdmitPolicy, ObserveConfig, Outcome, SeriesCollector, ServeConfig, Service,
+    ServiceObserver, ShardMap, ShardSample, SloBreach, SloSpec,
+};
+use eirene::sim::DeviceConfig;
+use eirene::workloads::OpKind;
+use std::sync::Arc;
+
+/// Forwards every event into a [`SeriesCollector`] for post-hoc analysis
+/// and additionally prints breaches the moment the executor emits them.
+struct LiveObserver {
+    collector: Arc<SeriesCollector>,
+}
+
+impl ServiceObserver for LiveObserver {
+    fn on_sample(&self, sample: &ShardSample) {
+        self.collector.on_sample(sample);
+    }
+
+    fn on_breach(&self, breach: &SloBreach) {
+        println!("   !! {breach}");
+        self.collector.on_breach(breach);
+    }
+}
 
 fn main() {
-    let mut runs: usize = 10;
-    let mut zipf = false;
-    for a in std::env::args().skip(1) {
-        if a == "--zipf" {
-            zipf = true;
-        } else if let Ok(n) = a.parse() {
-            runs = n;
-        }
-    }
-    // Default: the paper's 95/5 uniform workload. `--zipf` switches to a
-    // skewed update-heavy stress mix where conflicts dominate.
-    let spec = WorkloadSpec {
-        tree_size: 1 << 14,
-        batch_size: 1 << 16,
-        mix: if zipf {
-            Mix {
-                upsert: 0.3,
-                delete: 0.0,
-                range: 0.0,
-                range_len: 4,
-            }
-        } else {
-            Mix::read_heavy()
+    steady_state();
+    overload_burst();
+}
+
+/// A comfortably provisioned service: the sample stream shows the epoch
+/// cadence, and a generous SLO never trips.
+fn steady_state() {
+    println!("== steady state: live per-shard epoch samples ==");
+    let pairs: Vec<(u64, u64)> = (1..=4096u64).map(|k| (k, k + 1)).collect();
+    let collector = SeriesCollector::new();
+    let cfg = ServeConfig {
+        map: ShardMap::from_starts(vec![0, 1 << 11]),
+        batch_limit: 256,
+        queue_depth: 1 << 14,
+        hold_gate: true,
+        observe: ObserveConfig {
+            slo: Some(SloSpec {
+                // Far above anything this workload produces: quiet run.
+                p99_max_cycles: Some(100_000_000),
+                shed_rate_max: Some(0.05),
+                window_epochs: 8,
+            }),
+            observer: Some(Arc::new(LiveObserver {
+                collector: collector.clone(),
+            })),
+            ..ObserveConfig::live()
         },
-        distribution: if zipf {
-            Distribution::Zipfian { theta: 0.99 }
-        } else {
-            Distribution::Uniform
-        },
-        seed: 7,
+        ..ServeConfig::test_small(2)
     };
-    let pairs: Vec<(u64, u64)> = spec
-        .initial_pairs()
-        .iter()
-        .map(|&(k, v)| (k as u64, v as u64))
-        .collect();
-    let headroom = spec.batch_size * runs / 4 + (1 << 12);
+    let svc = Service::new(&pairs, cfg);
+    let client = svc.client();
+    for i in 0..4096u32 {
+        client.submit((i % 4096) + 1, OpKind::Query);
+    }
+    svc.release();
+    let report = svc.shutdown();
+    report.assert_consistent();
 
+    let device = report.device.clone();
+    println!("   shard  epoch  batch  queue    lag  cum p99(us)");
+    for s in collector.samples().iter().filter(|s| s.shard == 0) {
+        println!(
+            "   {:>5}  {:>5}  {:>5}  {:>5}  {:>5}  {:>11.1}{}",
+            s.shard,
+            s.epoch,
+            s.batch_size,
+            s.queue_depth,
+            s.watermark_lag,
+            device.cycles_to_secs(s.latency.p99 as f64) * 1e6,
+            if s.terminal { "  (terminal)" } else { "" },
+        );
+    }
+    reconcile_samples(&collector.samples(), &report).expect("sampled series must reconcile");
     println!(
-        "{} workload, {} runs x {} requests\n",
-        if zipf {
-            "zipfian(0.99) 70/30"
-        } else {
-            "uniform 95/5"
+        "   {} executed over {} epochs, {} lifecycle spans captured, \
+         0 SLO breaches; series reconciles with the report\n",
+        report.executed(),
+        report.shards.iter().map(|s| s.epochs).sum::<u64>(),
+        report.spans().len(),
+    );
+    assert!(
+        collector.breaches().is_empty(),
+        "steady run must not breach"
+    );
+}
+
+/// A 4x-capacity burst into a depth-limited shedding queue: the
+/// shed-rate objective trips immediately and breach events stream out.
+fn overload_burst() {
+    println!("== overload burst: live shed-rate breaches ==");
+    let queue_depth = 64usize;
+    let burst = 4 * queue_depth;
+    let pairs: Vec<(u64, u64)> = (1..=512u64).map(|k| (k, k + 1)).collect();
+    let collector = SeriesCollector::new();
+    let cfg = ServeConfig {
+        map: ShardMap::from_starts(vec![0, 256]),
+        device: DeviceConfig::test_small(),
+        queue_depth,
+        policy: AdmitPolicy::Shed,
+        hold_gate: true, // nothing drains during the burst: the queue must fill
+        observe: ObserveConfig {
+            slo: Some(SloSpec {
+                p99_max_cycles: None,
+                shed_rate_max: Some(0.05),
+                window_epochs: 4,
+            }),
+            observer: Some(Arc::new(LiveObserver {
+                collector: collector.clone(),
+            })),
+            ..ObserveConfig::live()
         },
-        runs,
-        spec.batch_size
-    );
-    println!(
-        "{:<16}{:>10}{:>10}{:>10}{:>11}{:>15}",
-        "tree", "avg ns", "min ns", "max ns", "variance", "conflicts/req"
-    );
-    let mut aggregates: Vec<(String, KernelStats)> = Vec::new();
-    for which in 0..3 {
-        let mut gen = WorkloadGen::new(spec.clone());
-        let mut per_req = Vec::with_capacity(runs);
-        let mut agg = KernelStats::default();
-        let mut name = String::new();
-        for _ in 0..runs {
-            // Fresh execution per run, as in the paper.
-            let mut tree: Box<dyn ConcurrentTree> = match which {
-                0 => Box::new(StmTree::new(&pairs, DeviceConfig::default(), headroom)),
-                1 => Box::new(LockTree::new(&pairs, DeviceConfig::default(), headroom)),
-                _ => Box::new(EireneTree::new(
-                    &pairs,
-                    EireneOptions {
-                        headroom_nodes: headroom,
-                        ..Default::default()
-                    },
-                )),
-            };
-            name = tree.name().to_string();
-            let batch = gen.next_batch();
-            let run = tree.run_batch(&batch);
-            let secs = tree
-                .device()
-                .config()
-                .cycles_to_secs(run.stats.makespan_cycles);
-            per_req.push(secs * 1e9 / batch.len() as f64);
-            agg.merge(&run.stats);
+        ..ServeConfig::test_small(2)
+    };
+    let svc = Service::new(&pairs, cfg);
+    let client = svc.client();
+    // Background traffic to shard 1 stays comfortably under its queue.
+    for k in 0..32u32 {
+        client.submit(256 + k, OpKind::Query);
+    }
+    // The burst aims every request at shard 0. With the gate held, at
+    // most `queue_depth` are admitted; the rest shed at admission.
+    let mut shed = 0;
+    for k in 0..burst as u32 {
+        if client.submit(k % 256, OpKind::Query).try_get() == Some(Outcome::Rejected) {
+            shed += 1;
         }
-        let avg = per_req.iter().sum::<f64>() / per_req.len() as f64;
-        let min = per_req.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = per_req.iter().copied().fold(0.0f64, f64::max);
-        let var = ((max - avg).max(avg - min)) / avg * 100.0;
-        println!(
-            "{name:<16}{avg:>10.2}{min:>10.2}{max:>10.2}{:>10.1}%{:>15.4}",
-            var,
-            agg.conflicts_per_request()
-        );
-        aggregates.push((name, agg));
     }
+    svc.release();
+    let report = svc.shutdown();
+    report.assert_consistent();
+    reconcile_samples(&collector.samples(), &report).expect("sampled series must reconcile");
 
-    // Per-warp response-time percentiles from the bounded latency
-    // histogram (§8.2's QoS view, at request rather than batch grain).
-    let cyc_to_ns = DeviceConfig::default().cycles_to_secs(1.0) * 1e9;
-    println!("\nper-request response-time percentiles (warp-cycles -> ns):");
+    let breaches = collector.breaches();
     println!(
-        "{:<16}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
-        "tree", "p50", "p90", "p99", "p99.9", "max", "avg"
+        "   burst of {burst} into a depth-{queue_depth} queue: {shed} shed at \
+         admission, {} executed",
+        report.executed(),
     );
-    for (name, agg) in &aggregates {
-        println!(
-            "{name:<16}{:>10.0}{:>10.0}{:>10.0}{:>10.0}{:>10.0}{:>10.0}",
-            agg.response_quantile_cycles(0.50) as f64 * cyc_to_ns,
-            agg.response_quantile_cycles(0.90) as f64 * cyc_to_ns,
-            agg.response_quantile_cycles(0.99) as f64 * cyc_to_ns,
-            agg.response_quantile_cycles(0.999) as f64 * cyc_to_ns,
-            agg.max_response_cycles() as f64 * cyc_to_ns,
-            agg.avg_response_cycles() * cyc_to_ns,
-        );
-    }
-
-    // Where each design spends its work: per-phase breakdown (the
-    // software analogue of the paper's Nsight profiling, Figs. 1/9/12).
-    for (name, agg) in &aggregates {
-        let t = &agg.totals;
-        println!("\n{name}: per-phase breakdown");
-        println!(
-            "{:<22}{:>12}{:>12}{:>10}{:>12}{:>8}",
-            "phase", "mem_insts", "ctrl_insts", "conflicts", "cycles", "cyc %"
-        );
-        for (phase, row) in t.phases.iter() {
-            if row.is_zero() {
-                continue;
-            }
-            println!(
-                "{:<22}{:>12}{:>12}{:>10}{:>12}{:>7.1}%",
-                phase.name(),
-                row.mem_insts,
-                row.control_insts,
-                row.conflicts(),
-                row.cycles,
-                100.0 * row.cycles as f64 / t.cycles.max(1) as f64
-            );
-        }
-        let sums = t.phase_sums();
-        assert_eq!(sums.mem_insts, t.mem_insts, "phase rows must sum to totals");
-        assert_eq!(sums.cycles, t.cycles, "phase rows must sum to totals");
-    }
-
     println!(
-        "\nLower variance = more predictable service: the designs that \
-         detect and resolve conflicts during traversal are the ones whose \
-         response times move between runs."
+        "   {} shed-rate breach(es) on shard 0; worst window observed \
+         {:.0}% against a 5% objective",
+        breaches.len(),
+        breaches.iter().map(|b| b.observed).fold(0.0f64, f64::max) * 100.0,
+    );
+    assert!(shed >= 3 * queue_depth, "gate held: burst must mostly shed");
+    assert!(
+        breaches.iter().any(|b| b.shard == 0),
+        "the shed-rate objective must trip on the bursted shard"
+    );
+    assert!(
+        breaches.iter().all(|b| b.shard == 0),
+        "background traffic on shard 1 must stay within the SLO"
+    );
+    println!(
+        "\nThe same counters drive both views: the live series the observer \
+         streamed and the shutdown report reconcile field-for-field."
     );
 }
