@@ -25,7 +25,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: eirene-bench fuzz [--seed N] [--repro-seed HEX] [--batches N] [--batch N] \
          [--domain N] [--initial-keys N] [--tree {}] [--os-sched] [--inject-fault] \
-         [--serve [--shards N] [--submitters N] [--epoch-limit N] [--det]]",
+         [--serve [--shards N] [--submitters N] [--epoch-limit N] [--adaptive] [--tenants N] \
+         [--det]]",
         FuzzTree::ALL
             .iter()
             .map(|t| t.label())
@@ -70,6 +71,8 @@ fn run_serve(args: &[String]) -> i32 {
             "--shards" => opts.shards = parse_num(it.next()),
             "--submitters" => opts.submitters = parse_num(it.next()),
             "--epoch-limit" => opts.epoch_limit = parse_num(it.next()),
+            "--adaptive" => opts.adaptive = true,
+            "--tenants" => opts.tenants = parse_num(it.next()),
             "--os-sched" => opts.deterministic = false,
             "--det" => opts.deterministic = true,
             _ => usage(),
@@ -77,7 +80,7 @@ fn run_serve(args: &[String]) -> i32 {
     }
     eprintln!(
         "fuzz --serve: {}, {} batches x {} requests, domain {}, {} shards, {} submitter(s), \
-         epoch limit {}, {}",
+         epoch limit {}{}{}, {}",
         match opts.repro {
             Some(s) => format!("replaying batch seed {s:#x}"),
             None => format!("seed {:#x}", opts.seed),
@@ -88,6 +91,12 @@ fn run_serve(args: &[String]) -> i32 {
         opts.shards,
         opts.submitters.max(1),
         opts.epoch_limit,
+        if opts.adaptive { " (adaptive)" } else { "" },
+        if opts.tenants > 1 {
+            format!(", {} tenant lanes", opts.tenants)
+        } else {
+            String::new()
+        },
         if opts.deterministic {
             "deterministic scheduling"
         } else {

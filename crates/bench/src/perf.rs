@@ -27,7 +27,9 @@
 
 use crate::harness::{default_mix, jobs, measure_all, set_jobs, spec_for, Point, TreeKind};
 use eirene_check::{FuzzOptions, FuzzOutcome};
-use eirene_serve::{AdmissionMode, AdmitPolicy, ServeConfig, Service, ShardMap, Ticket};
+use eirene_serve::{
+    AdmissionMode, AdmitPolicy, EpochSizing, ServeConfig, Service, ShardMap, Ticket,
+};
 use eirene_sim::{Device, DeviceConfig};
 use eirene_telemetry::JsonValue;
 use eirene_workloads::{Distribution, Key, Mix, OpKind, WorkloadGen, WorkloadSpec};
@@ -70,7 +72,7 @@ fn ingress_cell(per_thread: usize, admission: AdmissionMode, chunk: usize) -> f6
     let cfg = ServeConfig {
         map,
         device: DeviceConfig::test_small(),
-        batch_limit: 1024,
+        sizing: EpochSizing::Fixed(1024),
         // Everything fits queued while the gate is held; nothing blocks.
         queue_depth: INGRESS_THREADS * per_thread + 16,
         policy: AdmitPolicy::Block,
@@ -82,6 +84,7 @@ fn ingress_cell(per_thread: usize, admission: AdmissionMode, chunk: usize) -> f6
         // The ingress scenario measures admission overhead; observability
         // must stay off so the baseline is the bare hot path.
         observe: Default::default(),
+        ..ServeConfig::default()
     };
     let svc = Service::new(&pairs, cfg);
     // Generate outside the timed region: the scenario measures admission,

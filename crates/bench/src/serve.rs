@@ -34,8 +34,9 @@
 //! when `--monitor` is on), 1 otherwise.
 
 use eirene_serve::{
-    reconcile_samples, spans_to_jsonl, AdmitPolicy, ObserveConfig, SeriesCollector, ServeConfig,
-    ServeReport, Service, ServiceObserver, ShardMap, ShardSample, SloBreach, SloSpec,
+    reconcile_samples, spans_to_jsonl, AdmitPolicy, AimdSpec, EpochSizing, ObserveConfig,
+    QosConfig, SeriesCollector, ServeConfig, ServeReport, Service, ServiceObserver, ShardMap,
+    ShardSample, SloBreach, SloSpec,
 };
 use eirene_sim::DeviceConfig;
 use eirene_telemetry::JsonValue;
@@ -47,6 +48,7 @@ use std::time::{Duration, Instant};
 /// Requests per `submit_many` call on a bench client thread.
 const SUBMIT_CHUNK: usize = 256;
 
+#[derive(Clone)]
 struct ServeScale {
     shards: Vec<usize>,
     /// Offered loads for the open-loop cells, as fractions of the
@@ -60,6 +62,26 @@ struct ServeScale {
     clients: usize,
     seed: u64,
     device: DeviceConfig,
+    /// Closed-loop AIMD epoch sizing instead of the fixed batch limit.
+    adaptive: bool,
+    /// AIMD bounds (`--min-batch` / `--max-batch`).
+    min_batch: usize,
+    max_batch: usize,
+    /// AIMD latency brake: epoch p99 budget in microseconds.
+    p99_budget_us: Option<f64>,
+    /// QoS tenant lanes (0 or 1 disables; submitter threads rotate).
+    tenants: usize,
+    /// Per-tenant per-shard lane quota; 0 sizes it so nothing sheds.
+    quota: usize,
+    /// Isolation scenario: the abusive tenant offers this multiple of
+    /// its admissible (quota × shards) load.
+    hog_factor: usize,
+    /// Zipfian skew for the key distribution (`None` = uniform).
+    theta: Option<f64>,
+    /// Run the paper-scale flow instead of the sweep.
+    paper: bool,
+    /// Where the paper flow writes its JSON document.
+    paper_out: Option<String>,
     /// Live observability: dashboard + series collection per cell.
     monitor: bool,
     /// Write every cell's sampled series to this JSON file.
@@ -89,6 +111,16 @@ impl Default for ServeScale {
             spans_out: None,
             slo_p99_us: None,
             slo_shed_rate: None,
+            adaptive: false,
+            min_batch: 256,
+            max_batch: 1 << 14,
+            p99_budget_us: None,
+            tenants: 0,
+            quota: 0,
+            hog_factor: 10,
+            theta: None,
+            paper: false,
+            paper_out: None,
         }
     }
 }
@@ -101,18 +133,68 @@ impl ServeScale {
             tree_exp: 13,
             requests: 1 << 13,
             batch_limit: 512,
+            max_batch: 512,
+            min_batch: 32,
             device: DeviceConfig::test_small(),
             ..Default::default()
+        }
+    }
+
+    /// The paper-scale point: 2^20 keys, ~10^6 requests, 8 shards.
+    /// `--paper-scale` resets the scale (like `--smoke`), so later flags
+    /// can still shrink it for CI smoke runs.
+    fn paper_scale() -> Self {
+        ServeScale {
+            shards: vec![8],
+            loads: vec![0.9],
+            tree_exp: 20,
+            requests: 1 << 20,
+            batch_limit: 4096,
+            device: DeviceConfig::test_small(),
+            paper: true,
+            tenants: 4,
+            paper_out: Some("BENCH_serve_paper.json".to_string()),
+            ..Default::default()
+        }
+    }
+
+    /// The epoch sizing the flags describe.
+    fn sizing(&self) -> EpochSizing {
+        if self.adaptive {
+            let mut spec = AimdSpec::bounded(self.min_batch, self.max_batch);
+            if let Some(us) = self.p99_budget_us {
+                spec = spec.with_p99_budget((us * 1e-6 * self.device.clock_ghz * 1e9) as u64);
+            }
+            EpochSizing::Adaptive(spec)
+        } else {
+            EpochSizing::Fixed(self.batch_limit)
+        }
+    }
+
+    /// The tenant table the flags describe; quota 0 auto-sizes so the
+    /// sweep cells never shed on quota.
+    fn qos(&self) -> QosConfig {
+        if self.tenants > 1 {
+            let quota = if self.quota > 0 {
+                self.quota
+            } else {
+                self.requests + 1
+            };
+            QosConfig::uniform(self.tenants, quota)
+        } else {
+            QosConfig::disabled()
         }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: eirene-bench serve [--smoke] [--shards a,b,c] [--loads f,f] [--tree-exp N] \
-         [--requests N] [--batch-limit N] [--straddle F] [--clients N] [--seed N] \
+        "usage: eirene-bench serve [--smoke] [--paper-scale] [--shards a,b,c] [--loads f,f] \
+         [--tree-exp N] [--requests N] [--batch-limit N] [--straddle F] [--clients N] [--seed N] \
+         [--adaptive] [--min-batch N] [--max-batch N] [--p99-budget-us F] \
+         [--tenants N] [--quota N] [--hog-factor N] [--theta F] [--paper-out FILE] \
          [--monitor] [--monitor-out FILE] [--spans FILE] [--slo-p99-us F] [--slo-shed-rate F]\n\
-         note: --smoke resets the scale, so pass it before other flags"
+         note: --smoke / --paper-scale reset the scale, so pass them before other flags"
     );
     std::process::exit(2);
 }
@@ -223,7 +305,10 @@ fn run_cell(
         tree_size: 1usize << scale.tree_exp,
         batch_size: scale.batch_limit,
         mix: Mix::ycsb_c(),
-        distribution: Distribution::Uniform,
+        distribution: match scale.theta {
+            Some(theta) => Distribution::Zipfian { theta },
+            None => Distribution::Uniform,
+        },
         seed: scale.seed,
     };
     let map = workload_map(shards, spec.key_domain());
@@ -246,7 +331,8 @@ fn run_cell(
     let cfg = ServeConfig {
         map: map.clone(),
         device: scale.device.clone(),
-        batch_limit: scale.batch_limit,
+        sizing: scale.sizing(),
+        qos: scale.qos(),
         // Everything fits queued while the gate is held.
         queue_depth: scale.requests + 1,
         policy: AdmitPolicy::Block,
@@ -271,7 +357,13 @@ fn run_cell(
     let ingress_start = Instant::now();
     std::thread::scope(|scope| {
         for (t, slice) in reqs.chunks(per_client).enumerate() {
-            let client = svc.client();
+            // With tenant lanes on, submitter threads rotate across the
+            // tenant table so every lane sees traffic.
+            let client = if scale.tenants > 1 {
+                svc.client().for_tenant(t % scale.tenants)
+            } else {
+                svc.client()
+            };
             let base = t * per_client;
             scope.spawn(move || match cycles_per_req {
                 Some(cpr) => {
@@ -381,6 +473,445 @@ fn check_report(report: &ServeReport, label: &str) -> bool {
     ok
 }
 
+/// Per-tenant outcome table for QoS cells: executed, shed, p50/p99.
+fn print_tenant_table(device: &DeviceConfig, report: &ServeReport) {
+    for t in 0..report.num_tenants() {
+        let lat = report.tenant_latency(t);
+        println!(
+            "        tenant {t}: {:>8} done  {:>6} shed  p50 {:>8.1}us  p99 {:>8.1}us",
+            lat.count(),
+            report.tenant_shed(t),
+            cycles_to_us(device, lat.p50()),
+            cycles_to_us(device, lat.p99()),
+        );
+    }
+}
+
+/// One measured paper-flow cell, ready for the JSON export.
+struct PaperCell {
+    label: String,
+    theta: Option<f64>,
+    loop_mode: &'static str,
+    sizing: String,
+    tput: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    shed: u64,
+    timed_out: u64,
+    epochs: u64,
+    /// Final controller batch target per shard (the controller gauge).
+    batch_target: Vec<u64>,
+}
+
+impl PaperCell {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("label", JsonValue::from(self.label.as_str())),
+            (
+                "theta",
+                match self.theta {
+                    Some(t) => JsonValue::from(t),
+                    None => JsonValue::from("uniform"),
+                },
+            ),
+            ("loop", JsonValue::from(self.loop_mode)),
+            ("sizing", JsonValue::from(self.sizing.as_str())),
+            ("tput_mps", JsonValue::from(self.tput / 1e6)),
+            ("p50_us", JsonValue::from(self.p50_us)),
+            ("p99_us", JsonValue::from(self.p99_us)),
+            ("p999_us", JsonValue::from(self.p999_us)),
+            ("shed", JsonValue::from(self.shed)),
+            ("timed_out", JsonValue::from(self.timed_out)),
+            ("epochs", JsonValue::from(self.epochs)),
+            (
+                "batch_target",
+                JsonValue::Arr(
+                    self.batch_target
+                        .iter()
+                        .map(|&v| JsonValue::from(v))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Runs one paper cell (a tweaked clone of the base scale) and folds the
+/// report into a [`PaperCell`] row.
+fn paper_cell(
+    base: &ServeScale,
+    shards: usize,
+    rate: Option<f64>,
+    theta: Option<f64>,
+    sizing: &str,
+    tweak: impl FnOnce(&mut ServeScale),
+) -> (PaperCell, ServeReport, bool) {
+    let mut s = base.clone();
+    s.theta = theta;
+    s.tenants = 0;
+    s.monitor = false;
+    tweak(&mut s);
+    let loop_mode = if rate.is_some() { "open" } else { "closed" };
+    let theta_label = match theta {
+        Some(t) => format!("zipf-{t:.2}"),
+        None => "uniform".to_string(),
+    };
+    let label = format!("{theta_label} {loop_mode} {sizing}");
+    let (report, _ingress, _series) = run_cell(&s, shards, rate, &label);
+    let ok = check_report(&report, &label);
+    let lat = report.latency();
+    let cell = PaperCell {
+        label: label.clone(),
+        theta,
+        loop_mode,
+        sizing: sizing.to_string(),
+        tput: report.throughput(),
+        p50_us: cycles_to_us(&s.device, lat.p50()),
+        p99_us: cycles_to_us(&s.device, lat.p99()),
+        p999_us: cycles_to_us(&s.device, lat.p999()),
+        shed: report.shed(),
+        timed_out: report.timed_out(),
+        epochs: report.shards.iter().map(|sh| sh.epochs).sum(),
+        batch_target: report.shards.iter().map(|sh| sh.batch_target).collect(),
+    };
+    println!(
+        "paper  {:<28} {:>10.2} M/s  p50 {:>9.1}us  p99 {:>9.1}us  p99.9 {:>9.1}us  targets {:?}",
+        label,
+        cell.tput / 1e6,
+        cell.p50_us,
+        cell.p99_us,
+        cell.p999_us,
+        cell.batch_target,
+    );
+    (cell, report, ok)
+}
+
+/// The tenant-isolation scenario's outcome.
+struct IsolationResult {
+    tenants: usize,
+    quota: usize,
+    hog_factor: usize,
+    solo_p99_us: f64,
+    hog_p99_us: f64,
+    ratio: f64,
+    bound: f64,
+    hog_shed: u64,
+    tenant_shed: Vec<u64>,
+    ok: bool,
+}
+
+impl IsolationResult {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("tenants", JsonValue::from(self.tenants)),
+            ("quota", JsonValue::from(self.quota)),
+            ("hog_factor", JsonValue::from(self.hog_factor)),
+            ("solo_p99_us", JsonValue::from(self.solo_p99_us)),
+            ("hog_p99_us", JsonValue::from(self.hog_p99_us)),
+            ("ratio", JsonValue::from(self.ratio)),
+            ("bound", JsonValue::from(self.bound)),
+            ("hog_shed", JsonValue::from(self.hog_shed)),
+            (
+                "tenant_shed",
+                JsonValue::Arr(
+                    self.tenant_shed
+                        .iter()
+                        .map(|&v| JsonValue::from(v))
+                        .collect(),
+                ),
+            ),
+            ("ok", JsonValue::from(self.ok)),
+        ])
+    }
+}
+
+/// How much a hog may inflate a well-behaved tenant's p99 before the
+/// isolation scenario fails. The hog's *admitted* share is bounded by
+/// its quota (≈ 1.25× one tenant's load), so fair WRR draining keeps the
+/// slowdown well under this.
+const ISOLATION_BOUND: f64 = 3.0;
+
+/// Tenant-isolation scenario: `tenants - 1` well-behaved tenants submit
+/// equal closed-loop loads; the hog (tenant 0) additionally offers
+/// `hog_factor ×` its admissible load in the second run. Lanes must shed
+/// the hog at its quota and hold the well-behaved p99 within
+/// [`ISOLATION_BOUND`] of the solo run.
+fn run_isolation(scale: &ServeScale, shards: usize) -> IsolationResult {
+    let tenants = scale.tenants.max(2);
+    let per_tenant = (scale.requests / tenants).max(1);
+    // Headroom above the expected per-shard share so well-behaved
+    // tenants never shed on quota; the hog's admissible total is then
+    // quota × shards ≈ 1.25 × one tenant's load.
+    let quota = if scale.quota > 0 {
+        scale.quota
+    } else {
+        let share = per_tenant / shards.max(1);
+        share + share / 4 + 64
+    };
+    let spec = WorkloadSpec {
+        tree_size: 1usize << scale.tree_exp,
+        batch_size: scale.batch_limit,
+        mix: Mix::ycsb_c(),
+        distribution: Distribution::Uniform,
+        seed: scale.seed,
+    };
+    let map = workload_map(shards, spec.key_domain());
+    let pairs: Vec<(u64, u64)> = spec
+        .initial_pairs()
+        .into_iter()
+        .map(|(k, v)| (k as u64, v as u64))
+        .collect();
+    let hog_load = scale.hog_factor.max(1) * quota * shards;
+    let run = |hog: bool| -> ServeReport {
+        let cfg = ServeConfig {
+            map: map.clone(),
+            device: scale.device.clone(),
+            sizing: scale.sizing(),
+            qos: QosConfig::uniform(tenants, quota),
+            queue_depth: scale.requests + hog_load + 16,
+            policy: AdmitPolicy::Block,
+            linger: Duration::ZERO,
+            hold_gate: true,
+            headroom_nodes: 1 << 14,
+            ..ServeConfig::default()
+        };
+        let svc = Service::new(&pairs, cfg);
+        std::thread::scope(|scope| {
+            for t in 1..tenants {
+                let client = svc.client().for_tenant(t);
+                let spec = spec.for_client(t as u64);
+                scope.spawn(move || {
+                    let reqs = WorkloadGen::new(spec).next_requests(per_tenant);
+                    let mut chunk = Vec::with_capacity(SUBMIT_CHUNK);
+                    for sub in reqs.chunks(SUBMIT_CHUNK) {
+                        chunk.clear();
+                        chunk.extend(sub.iter().map(|r| (r.key, r.op)));
+                        let _ = client.submit_many(&chunk);
+                    }
+                });
+            }
+            if hog {
+                let client = svc.client().for_tenant(0);
+                let spec = spec.for_client(0xB16_B07);
+                scope.spawn(move || {
+                    let reqs = WorkloadGen::new(spec).next_requests(hog_load);
+                    let mut chunk = Vec::with_capacity(SUBMIT_CHUNK);
+                    for sub in reqs.chunks(SUBMIT_CHUNK) {
+                        chunk.clear();
+                        chunk.extend(sub.iter().map(|r| (r.key, r.op)));
+                        let _ = client.submit_many(&chunk);
+                    }
+                });
+            }
+        });
+        svc.release();
+        svc.shutdown()
+    };
+    let solo = run(false);
+    let hogged = run(true);
+    let solo_p99_us = cycles_to_us(&scale.device, solo.tenant_latency(1).p99());
+    let hog_p99_us = cycles_to_us(&scale.device, hogged.tenant_latency(1).p99());
+    let ratio = if solo_p99_us > 0.0 {
+        hog_p99_us / solo_p99_us
+    } else {
+        f64::INFINITY
+    };
+    let hog_shed = hogged.tenant_shed(0);
+    let mut ok = true;
+    if hog_shed == 0 {
+        eprintln!("serve: isolation: hog was never shed — quota not enforced");
+        ok = false;
+    }
+    for t in 1..tenants {
+        let shed = solo.tenant_shed(t) + hogged.tenant_shed(t);
+        if shed != 0 {
+            eprintln!("serve: isolation: well-behaved tenant {t} shed {shed} requests");
+            ok = false;
+        }
+    }
+    if ratio > ISOLATION_BOUND {
+        eprintln!(
+            "serve: isolation: hog moved well-behaved p99 by {ratio:.2}x \
+             (bound {ISOLATION_BOUND:.1}x)"
+        );
+        ok = false;
+    }
+    println!(
+        "paper  isolation ({tenants} tenants, quota {quota}, hog {}x): \
+         solo p99 {solo_p99_us:.1}us, hogged p99 {hog_p99_us:.1}us ({ratio:.2}x, bound \
+         {ISOLATION_BOUND:.1}x), hog shed {hog_shed}",
+        scale.hog_factor
+    );
+    IsolationResult {
+        tenants,
+        quota,
+        hog_factor: scale.hog_factor,
+        solo_p99_us,
+        hog_p99_us,
+        ratio,
+        bound: ISOLATION_BOUND,
+        hog_shed,
+        tenant_shed: (0..tenants).map(|t| hogged.tenant_shed(t)).collect(),
+        ok,
+    }
+}
+
+/// Fixed batch limits the paper flow sweeps against the controller.
+const PAPER_FIXED: [usize; 3] = [1024, 4096, 1 << 14];
+
+/// The paper-scale flow: per key distribution (uniform and the paper's
+/// hardest skew point θ = 1.0) a closed-loop fixed-batch sweep plus the
+/// adaptive controller, an open-loop p99 comparison at 90% of the best
+/// fixed capacity under skew, and the tenant-isolation scenario; writes
+/// the whole thing as one JSON document.
+fn run_paper(scale: &ServeScale) -> i32 {
+    let shards = scale.shards.first().copied().unwrap_or(8);
+    eprintln!(
+        "serve: paper flow — tree 2^{}, {} requests/cell, {} shards, adaptive [{}, {}]",
+        scale.tree_exp, scale.requests, shards, scale.min_batch, scale.max_batch
+    );
+    let mut cells: Vec<PaperCell> = Vec::new();
+    let mut all_ok = true;
+    let mut checks: Vec<(&'static str, bool)> = Vec::new();
+    for theta in [None, Some(1.0)] {
+        // Closed-loop capacity: fixed sweep, then the controller.
+        let mut best_fixed_tput = 0.0f64;
+        let mut best_fixed_batch = PAPER_FIXED[0];
+        for batch in PAPER_FIXED {
+            let (cell, _report, ok) =
+                paper_cell(scale, shards, None, theta, &format!("fixed-{batch}"), |s| {
+                    s.adaptive = false;
+                    s.batch_limit = batch;
+                });
+            all_ok &= ok;
+            if cell.tput > best_fixed_tput {
+                best_fixed_tput = cell.tput;
+                best_fixed_batch = batch;
+            }
+            cells.push(cell);
+        }
+        let (adaptive_closed, _report, ok) =
+            paper_cell(scale, shards, None, theta, "adaptive", |s| {
+                s.adaptive = true;
+                s.p99_budget_us = None;
+            });
+        all_ok &= ok;
+        let within = adaptive_closed.tput >= 0.95 * best_fixed_tput;
+        if !within {
+            eprintln!(
+                "serve: paper: adaptive closed-loop tput {:.2} M/s fell below 95% of the best \
+                 fixed ({:.2} M/s at batch {best_fixed_batch})",
+                adaptive_closed.tput / 1e6,
+                best_fixed_tput / 1e6
+            );
+        }
+        checks.push((
+            if theta.is_some() {
+                "adaptive_closed_tput_within_5pct_zipf"
+            } else {
+                "adaptive_closed_tput_within_5pct_uniform"
+            },
+            within,
+        ));
+        cells.push(adaptive_closed);
+        // Open-loop QoS comparison at the skew point: p99 under 90% of
+        // the best fixed capacity, fixed sweep vs the latency-braked
+        // controller.
+        if theta == Some(1.0) {
+            let rate = 0.9 * best_fixed_tput;
+            let mut best_tput_fixed_open_p99 = f64::INFINITY;
+            let mut min_fixed_open_p99 = f64::INFINITY;
+            for batch in PAPER_FIXED {
+                let (cell, _report, ok) = paper_cell(
+                    scale,
+                    shards,
+                    Some(rate),
+                    theta,
+                    &format!("fixed-{batch}"),
+                    |s| {
+                        s.adaptive = false;
+                        s.batch_limit = batch;
+                    },
+                );
+                all_ok &= ok;
+                if batch == best_fixed_batch {
+                    best_tput_fixed_open_p99 = cell.p99_us;
+                }
+                min_fixed_open_p99 = min_fixed_open_p99.min(cell.p99_us);
+                cells.push(cell);
+            }
+            // The controller's latency brake targets the best p99 any
+            // fixed limit achieved at this load.
+            let budget_us = scale.p99_budget_us.unwrap_or(min_fixed_open_p99);
+            let (adaptive_open, _report, ok) =
+                paper_cell(scale, shards, Some(rate), theta, "adaptive", |s| {
+                    s.adaptive = true;
+                    s.p99_budget_us = Some(budget_us);
+                });
+            all_ok &= ok;
+            let improves = adaptive_open.p99_us <= best_tput_fixed_open_p99;
+            if !improves {
+                eprintln!(
+                    "serve: paper: adaptive open-loop p99 {:.1}us did not improve on the \
+                     throughput-best fixed limit's {:.1}us",
+                    adaptive_open.p99_us, best_tput_fixed_open_p99
+                );
+            }
+            checks.push(("adaptive_open_p99_improves_zipf", improves));
+            cells.push(adaptive_open);
+        }
+    }
+    let isolation = run_isolation(scale, shards);
+    all_ok &= isolation.ok;
+    for &(_, ok) in &checks {
+        all_ok &= ok;
+    }
+    if let Some(path) = &scale.paper_out {
+        let doc = JsonValue::obj(vec![
+            ("schema_version", JsonValue::from(1u64)),
+            ("suite", JsonValue::from("eirene-bench serve --paper-scale")),
+            (
+                "config",
+                JsonValue::obj(vec![
+                    ("tree_exp", JsonValue::from(scale.tree_exp)),
+                    ("requests", JsonValue::from(scale.requests)),
+                    ("shards", JsonValue::from(shards)),
+                    ("min_batch", JsonValue::from(scale.min_batch)),
+                    ("max_batch", JsonValue::from(scale.max_batch)),
+                ]),
+            ),
+            (
+                "cells",
+                JsonValue::Arr(cells.iter().map(|c| c.to_json()).collect()),
+            ),
+            ("isolation", isolation.to_json()),
+            (
+                "checks",
+                JsonValue::obj(
+                    checks
+                        .iter()
+                        .map(|&(name, ok)| (name, JsonValue::from(ok)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        match std::fs::write(path, doc.to_json() + "\n") {
+            Ok(()) => eprintln!("serve: wrote paper results to {path}"),
+            Err(e) => {
+                eprintln!("serve: could not write {path}: {e}");
+                all_ok = false;
+            }
+        }
+    }
+    if all_ok {
+        eprintln!("serve: paper flow passed every check");
+        0
+    } else {
+        1
+    }
+}
+
 /// Parses `serve` arguments and runs the sweep; returns the process exit
 /// code.
 pub fn run(args: &[String]) -> i32 {
@@ -389,6 +920,7 @@ pub fn run(args: &[String]) -> i32 {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => scale = ServeScale::smoke(),
+            "--paper-scale" => scale = ServeScale::paper_scale(),
             "--shards" => scale.shards = parse_list(it.next()),
             "--loads" => scale.loads = parse_list(it.next()),
             "--tree-exp" => scale.tree_exp = parse_num(it.next()),
@@ -397,6 +929,20 @@ pub fn run(args: &[String]) -> i32 {
             "--straddle" => scale.straddle = parse_num(it.next()),
             "--clients" => scale.clients = parse_num(it.next()),
             "--seed" => scale.seed = parse_num(it.next()),
+            "--adaptive" => scale.adaptive = true,
+            "--min-batch" => scale.min_batch = parse_num(it.next()),
+            "--max-batch" => scale.max_batch = parse_num(it.next()),
+            "--p99-budget-us" => {
+                scale.adaptive = true;
+                scale.p99_budget_us = Some(parse_num(it.next()));
+            }
+            "--tenants" => scale.tenants = parse_num(it.next()),
+            "--quota" => scale.quota = parse_num(it.next()),
+            "--hog-factor" => scale.hog_factor = parse_num(it.next()),
+            "--theta" => scale.theta = Some(parse_num(it.next())),
+            "--paper-out" => {
+                scale.paper_out = Some(it.next().unwrap_or_else(|| usage()).clone());
+            }
             "--monitor" => scale.monitor = true,
             "--monitor-out" => {
                 scale.monitor = true;
@@ -419,6 +965,9 @@ pub fn run(args: &[String]) -> i32 {
     }
     if scale.shards.is_empty() {
         usage();
+    }
+    if scale.paper {
+        return run_paper(&scale);
     }
     eprintln!(
         "serve: YCSB-C, tree 2^{}, {} requests/cell, epoch limit {}, straddle {:.2}, \
@@ -492,6 +1041,9 @@ pub fn run(args: &[String]) -> i32 {
         }
         speedups.push((shards, tput / baseline));
         print_row(&scale.device, shards, "closed", &closed, baseline, ingress);
+        if scale.tenants > 1 {
+            print_tenant_table(&scale.device, &closed);
+        }
         for &load in &scale.loads {
             let rate = load * tput;
             let label = format!("{shards} shards open {load:.2}");

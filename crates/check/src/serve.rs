@@ -20,8 +20,8 @@
 use crate::gen::{adversarial_batch, dense_pairs, GenOptions, Profile};
 use crate::shrink::shrink;
 use eirene_serve::{
-    reconcile_samples, AdmitPolicy, Client, ObserveConfig, Outcome, SeriesCollector, ServeConfig,
-    Service, ShardMap, Ticket,
+    reconcile_samples, AdmitPolicy, AimdSpec, Client, EpochSizing, FaultPlan, ObserveConfig,
+    Outcome, QosConfig, SeriesCollector, ServeConfig, Service, ShardMap, Ticket,
 };
 use eirene_sim::DeviceConfig;
 use eirene_workloads::{Batch, Key, OpKind, Oracle, Request, Response, SequentialOracle};
@@ -49,6 +49,15 @@ pub struct ServeFuzzOptions {
     /// Concurrent submitter threads per case (contiguous slices of the
     /// request stream race through the lock-free admission path).
     pub submitters: usize,
+    /// Drive epoch sizes with the AIMD controller instead of a fixed
+    /// limit: targets start at `epoch_limit / 4` and move every epoch, so
+    /// cases exercise epoch boundaries at shifting batch sizes.
+    pub adaptive: bool,
+    /// QoS tenant lanes per shard (0 or 1 disables lanes). Submissions
+    /// rotate across tenants, so admission goes through lane staging and
+    /// the WRR drain; quotas are sized so nothing is shed and the oracle
+    /// contract is unchanged (lanes reorder admission, not timestamps).
+    pub tenants: usize,
     /// Run shard devices under the seeded deterministic scheduler.
     pub deterministic: bool,
     /// Replay mode: use this value directly as the batch seed and try each
@@ -68,6 +77,8 @@ impl Default for ServeFuzzOptions {
             shards: 4,
             epoch_limit: 48,
             submitters: 1,
+            adaptive: false,
+            tenants: 0,
             deterministic: false,
             repro: None,
         }
@@ -194,15 +205,17 @@ fn mix(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Submits one client's stream as a pseudo-random mix of single
-/// `submit` calls and `submit_many` chunks (chunk pattern derived from
-/// `seed`), returning the tickets in submission order.
-fn submit_stream(client: &Client, reqs: &[Request], seed: u64) -> Vec<Ticket> {
+/// Submits one stream as a pseudo-random mix of single `submit` calls
+/// and `submit_many` chunks (chunk pattern derived from `seed`),
+/// rotating each chunk across the tenant clients, returning the tickets
+/// in submission order.
+fn submit_stream(clients: &[Client], reqs: &[Request], seed: u64) -> Vec<Ticket> {
     let mut tickets = Vec::with_capacity(reqs.len());
     let mut state = seed;
     let mut i = 0;
     while i < reqs.len() {
         state = mix(state);
+        let client = &clients[(state >> 32) as usize % clients.len()];
         let take = (1 + state % 13) as usize;
         let take = take.min(reqs.len() - i);
         if take == 1 {
@@ -214,6 +227,16 @@ fn submit_stream(client: &Client, reqs: &[Request], seed: u64) -> Vec<Ticket> {
         i += take;
     }
     tickets
+}
+
+/// One client per tenant (just the default client when lanes are off).
+fn tenant_clients(svc: &Service, opts: &ServeFuzzOptions) -> Vec<Client> {
+    let base = svc.client();
+    if opts.tenants > 1 {
+        (0..opts.tenants).map(|t| base.for_tenant(t)).collect()
+    } else {
+        vec![base]
+    }
 }
 
 /// Submits `reqs` through a fresh service over `pairs` — one client, or
@@ -236,10 +259,28 @@ pub fn run_serve_case(
     // Observability rides along on every case: span recording plus a live
     // sample collector, cross-checked against the final report below.
     let collector = SeriesCollector::new();
+    let sizing = if opts.adaptive {
+        // Start well below the limit so the controller's moves are what
+        // pick each epoch's size, not the bound.
+        EpochSizing::Adaptive(AimdSpec::bounded(
+            (opts.epoch_limit / 4).max(1),
+            opts.epoch_limit.max(1),
+        ))
+    } else {
+        EpochSizing::Fixed(opts.epoch_limit.max(1))
+    };
+    let qos = if opts.tenants > 1 {
+        // Quota fits the whole case staged on one lane, so lanes never
+        // shed and the zero-shed accounting check below still holds.
+        QosConfig::uniform(opts.tenants, reqs.len() + 1)
+    } else {
+        QosConfig::disabled()
+    };
     let cfg = ServeConfig {
         map: map.clone(),
         device,
-        batch_limit: opts.epoch_limit.max(1),
+        sizing,
+        qos,
         // Generous: every entry (split ranges make one per covered shard)
         // fits queued at once, so nothing is shed even with the gate held.
         queue_depth: (reqs.len() + 1) * map.num_shards(),
@@ -252,8 +293,9 @@ pub fn run_serve_case(
     };
     let svc = Service::new(pairs, cfg);
     let submitters = opts.submitters.max(1);
+    let clients = tenant_clients(&svc, opts);
     let tickets: Vec<Ticket> = if submitters == 1 {
-        submit_stream(&svc.client(), reqs, mix(device_seed))
+        submit_stream(&clients, reqs, mix(device_seed))
     } else {
         // Contiguous slices, one racing thread each; tickets keep global
         // submission-slice order so `tickets[i]` still belongs to `reqs[i]`.
@@ -264,8 +306,8 @@ pub fn run_serve_case(
                 .chunks(chunk.max(1))
                 .enumerate()
                 .map(|(t, slice)| {
-                    let client = svc.client();
-                    scope.spawn(move || submit_stream(&client, slice, mix(device_seed ^ t as u64)))
+                    let clients = &clients;
+                    scope.spawn(move || submit_stream(clients, slice, mix(device_seed ^ t as u64)))
                 })
                 .collect();
             parts.extend(handles.into_iter().map(|h| h.join().expect("submitter")));
@@ -418,6 +460,76 @@ pub fn run_serve_case(
     Ok(())
 }
 
+/// Fault-injection probe for the admission reservation guard (the
+/// "submitter killed between reserve and push" leak): arms
+/// [`FaultPlan::panic_on_admit`] so the first admission panics on its own
+/// scratch thread *inside* the reserve→push window, then proves the slot
+/// was recovered during unwind — the full queue depth must still admit
+/// without shedding, every ticket must execute, and the drained report
+/// must balance. Before the guard existed this wedged admission at
+/// `queue_depth - 1` forever.
+pub fn run_reservation_fault_case(queue_depth: usize) -> Result<(), String> {
+    let pairs = dense_pairs(64);
+    let cfg = ServeConfig {
+        map: ShardMap::from_starts(vec![0]),
+        device: DeviceConfig::test_small(),
+        sizing: EpochSizing::Fixed(64),
+        queue_depth,
+        policy: AdmitPolicy::Shed,
+        linger: Duration::ZERO,
+        hold_gate: true,
+        fault: FaultPlan {
+            panic_on_admit: Some(0),
+        },
+        ..ServeConfig::default()
+    };
+    let svc = Service::new(&pairs, cfg);
+    // The victim submission dies mid-admission; the (expected) panic
+    // stays on its scratch thread. Its noisy backtrace in test output is
+    // the injection working.
+    let victim = {
+        let client = svc.client();
+        std::thread::spawn(move || {
+            let _ = client.submit(1, OpKind::Query);
+        })
+    };
+    if victim.join().is_ok() {
+        return Err("injected admission fault did not trip".into());
+    }
+    // With the slot released, the *full* queue depth still fits behind
+    // the held gate; a leaked reservation would shed the last entry.
+    let client = svc.client();
+    let tickets: Vec<Ticket> = (0..queue_depth)
+        .map(|i| client.submit(1 + i as u32, OpKind::Query))
+        .collect();
+    svc.release();
+    let report = svc.shutdown();
+    for (i, ticket) in tickets.iter().enumerate() {
+        match ticket.wait() {
+            Outcome::Done(_) => {}
+            outcome => {
+                return Err(format!(
+                    "ticket {i} resolved {outcome:?}: leaked reservation starved admission"
+                ))
+            }
+        }
+    }
+    if report.shed() != 0 {
+        return Err(format!(
+            "{} entries shed after the fault: reservation leaked",
+            report.shed()
+        ));
+    }
+    if report.enqueued() != queue_depth as u64 || report.executed() != queue_depth as u64 {
+        return Err(format!(
+            "post-fault accounting off: enqueued {} executed {} (want {queue_depth} each)",
+            report.enqueued(),
+            report.executed()
+        ));
+    }
+    Ok(())
+}
+
 fn contents_diff(got: &[(u64, u64)], want: &[(u64, u64)]) -> String {
     let n = got.len().min(want.len());
     for i in 0..n {
@@ -442,6 +554,12 @@ fn replay_command(opts: &ServeFuzzOptions, batch_seed: u64) -> String {
     );
     if opts.submitters > 1 {
         cmd.push_str(&format!(" --submitters {}", opts.submitters));
+    }
+    if opts.adaptive {
+        cmd.push_str(" --adaptive");
+    }
+    if opts.tenants > 1 {
+        cmd.push_str(&format!(" --tenants {}", opts.tenants));
     }
     if !opts.deterministic {
         cmd.push_str(" --os-sched");
@@ -532,6 +650,35 @@ mod tests {
     }
 
     #[test]
+    fn serve_fuzz_passes_with_adaptive_sizing_and_tenant_lanes() {
+        let opts = ServeFuzzOptions {
+            cases: 6,
+            adaptive: true,
+            tenants: 4,
+            ..short_opts()
+        };
+        match run_serve_fuzz(&opts) {
+            ServeFuzzOutcome::Passed { cases } => assert_eq!(cases, 6),
+            ServeFuzzOutcome::Failed(f) => panic!("unexpected violation:\n{f}"),
+        }
+    }
+
+    #[test]
+    fn serve_fuzz_passes_with_adaptive_tenants_and_racing_submitters() {
+        let opts = ServeFuzzOptions {
+            cases: 4,
+            adaptive: true,
+            tenants: 3,
+            submitters: 4,
+            ..short_opts()
+        };
+        match run_serve_fuzz(&opts) {
+            ServeFuzzOutcome::Passed { cases } => assert_eq!(cases, 4),
+            ServeFuzzOutcome::Failed(f) => panic!("unexpected violation:\n{f}"),
+        }
+    }
+
+    #[test]
     fn serve_fuzz_passes_under_deterministic_scheduling() {
         let opts = ServeFuzzOptions {
             cases: 2,
@@ -543,6 +690,11 @@ mod tests {
             ServeFuzzOutcome::Passed { cases } => assert_eq!(cases, 2),
             ServeFuzzOutcome::Failed(f) => panic!("unexpected violation:\n{f}"),
         }
+    }
+
+    #[test]
+    fn killed_submitter_releases_its_reservation() {
+        run_reservation_fault_case(32).unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]

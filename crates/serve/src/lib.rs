@@ -30,6 +30,17 @@
 //!   serving-only `ingress` / `queue_wait` phases, end-to-end latency
 //!   histograms, captured schedules, and aggregate views
 //!   ([`ServeReport`]).
+//! - **Closed-loop epoch sizing** — [`EpochSizing::Adaptive`] replaces
+//!   the fixed batch limit with a per-shard AIMD controller fed by the
+//!   epoch-boundary signals (queue depth, reorder backlog, epoch p99);
+//!   [`EpochSizing::Fixed`] keeps the paper's constant-batch model for
+//!   ablation.
+//! - **Per-tenant QoS lanes** — with a [`QosConfig`] installed, each
+//!   submission stages on its home shard's lane for the submitting
+//!   tenant ([`Client::for_tenant`]); combiners admit lanes by weighted
+//!   round-robin and enforce per-tenant quotas, so an abusive tenant
+//!   sheds at its own quota while well-behaved tenants keep their
+//!   latency (see the [`lane`](crate::service) docs).
 //! - **Live observability** — with [`ObserveConfig`] enabled, each shard
 //!   emits a [`ShardSample`] of counters, gauges, and latency summaries
 //!   at every epoch boundary, records per-ticket lifecycle spans
@@ -40,6 +51,8 @@
 //!   each shard's totals, so sampled series reconcile exactly with the
 //!   shutdown [`ServeReport`] ([`reconcile_samples`]).
 
+mod control;
+mod lane;
 mod observe;
 mod queue;
 mod report;
@@ -47,13 +60,15 @@ mod service;
 mod shard;
 mod ticket;
 
+pub use control::{AimdSpec, BatchController, EpochFeedback, EpochSizing};
+pub use lane::{QosConfig, TenantId, TenantSpec};
 pub use observe::{
     reconcile_samples, LatencySummary, ObserveConfig, SeriesCollector, ServiceObserver,
     ShardSample, SloBreach, SloMonitor, SloObjective, SloSpec,
 };
 pub use queue::AdmitPolicy;
 pub use report::{ServeReport, ShardReport};
-pub use service::{AdmissionMode, Client, ServeConfig, Service};
+pub use service::{AdmissionMode, Client, FaultPlan, ServeConfig, Service};
 pub use shard::{RangePart, ShardId, ShardMap};
 pub use ticket::{Outcome, Ticket};
 

@@ -40,10 +40,16 @@ pub(crate) struct ShardMetrics {
     pub watermark_lag: MetricId,
     pub inflight: MetricId,
     pub epoch_batch: MetricId,
+    /// Controller's batch target for the next epoch.
+    pub batch_target: MetricId,
+    /// Entries staged on QoS lanes (0 when lanes are disabled).
+    pub lane_pending: MetricId,
+    /// Per-tenant shed counters; `tenant_shed[t]` sums into `shed`.
+    pub tenant_shed: Vec<MetricId>,
 }
 
 impl ShardMetrics {
-    pub fn new() -> Self {
+    pub fn new(tenants: usize) -> Self {
         let mut reg = MetricsRegistry::new();
         let enqueued = reg.register_counter("enqueued");
         let shed = reg.register_counter("shed");
@@ -56,6 +62,11 @@ impl ShardMetrics {
         let watermark_lag = reg.register_gauge("watermark_lag");
         let inflight = reg.register_gauge("inflight");
         let epoch_batch = reg.register_gauge("epoch_batch");
+        let batch_target = reg.register_gauge("batch_target");
+        let lane_pending = reg.register_gauge("lane_pending");
+        let tenant_shed = (0..tenants.max(1))
+            .map(|t| reg.register_counter(&format!("tenant{t}_shed")))
+            .collect();
         ShardMetrics {
             reg,
             enqueued,
@@ -69,6 +80,9 @@ impl ShardMetrics {
             watermark_lag,
             inflight,
             epoch_batch,
+            batch_target,
+            lane_pending,
+            tenant_shed,
         }
     }
 
@@ -159,6 +173,14 @@ pub struct ShardSample {
     pub watermark_lag: u64,
     /// Occupied slots of the in-flight submission registry.
     pub inflight: u64,
+    /// The batch controller's target for the *next* epoch (constant under
+    /// [`EpochSizing::Fixed`](crate::EpochSizing::Fixed)).
+    pub batch_target: u64,
+    /// Entries staged on QoS lanes when the epoch was emitted (0 with
+    /// lanes disabled).
+    pub lane_pending: u64,
+    /// Cumulative per-tenant shed counts; sums to `shed`.
+    pub tenant_shed: Vec<u64>,
     /// Cumulative entries admitted to this shard's queue.
     pub enqueued: u64,
     /// Cumulative requests shed at this shard's full queue.
@@ -187,6 +209,17 @@ impl ShardSample {
             ("reorder_pending", JsonValue::from(self.reorder_pending)),
             ("watermark_lag", JsonValue::from(self.watermark_lag)),
             ("inflight", JsonValue::from(self.inflight)),
+            ("batch_target", JsonValue::from(self.batch_target)),
+            ("lane_pending", JsonValue::from(self.lane_pending)),
+            (
+                "tenant_shed",
+                JsonValue::Arr(
+                    self.tenant_shed
+                        .iter()
+                        .map(|&v| JsonValue::from(v))
+                        .collect(),
+                ),
+            ),
             ("enqueued", JsonValue::from(self.enqueued)),
             ("shed", JsonValue::from(self.shed)),
             ("timed_out", JsonValue::from(self.timed_out)),
@@ -551,6 +584,18 @@ pub fn reconcile_samples(samples: &[ShardSample], report: &ServeReport) -> Resul
                 ));
             }
         }
+        if t.batch_target != shard.batch_target {
+            return Err(format!(
+                "shard {}: terminal sample batch_target = {} but report says {}",
+                shard.shard, t.batch_target, shard.batch_target
+            ));
+        }
+        if t.tenant_shed != shard.tenant_shed {
+            return Err(format!(
+                "shard {}: terminal sample tenant_shed = {:?} but report says {:?}",
+                shard.shard, t.tenant_shed, shard.tenant_shed
+            ));
+        }
     }
     Ok(())
 }
@@ -574,6 +619,9 @@ mod tests {
             reorder_pending: 0,
             watermark_lag: 0,
             inflight: 0,
+            batch_target: 0,
+            lane_pending: 0,
+            tenant_shed: vec![shed],
             enqueued,
             shed,
             timed_out: 0,
@@ -642,7 +690,7 @@ mod tests {
 
     #[test]
     fn shard_metrics_register_the_standard_set() {
-        let m = ShardMetrics::new();
+        let m = ShardMetrics::new(3);
         m.add(m.enqueued, 7);
         m.set(m.queue_depth, 3);
         m.record_max(m.max_depth, 9);
@@ -650,5 +698,11 @@ mod tests {
         assert_eq!(m.get(m.queue_depth), 3);
         assert_eq!(m.get(m.max_depth), 9);
         assert_eq!(m.get(m.shed), 0);
+        assert_eq!(m.tenant_shed.len(), 3);
+        m.add(m.tenant_shed[2], 5);
+        assert_eq!(m.get(m.tenant_shed[2]), 5);
+        assert_eq!(m.get(m.batch_target), 0);
+        // Even tenant-less services carry the implicit tenant 0.
+        assert_eq!(ShardMetrics::new(0).tenant_shed.len(), 1);
     }
 }

@@ -8,14 +8,23 @@
 //!
 //! - **Reservations** make shed-vs-admit decisions atomic: a submitter
 //!   reserves capacity first ([`IngressQueue::try_reserve`] /
-//!   [`IngressQueue::reserve_up_to`]) and then fills the reservation with
-//!   [`IngressQueue::push_reserved`], so two submitters racing one
-//!   remaining slot can never both admit past the configured depth.
-//! - **Bulk pushes** ([`IngressQueue::push_reserved_many`],
+//!   [`IngressQueue::reserve_up_to`]) and then fills the reservation
+//!   through the returned [`Reservation`] guard, so two submitters racing
+//!   one remaining slot can never both admit past the configured depth.
+//!   Reservations are RAII: a guard dropped with unfilled slots — normal
+//!   return, early shed, or a *panicking* submitter — releases them, so a
+//!   killed submitter can never strand capacity and wedge admission.
+//! - **Bulk pushes** ([`Reservation::push_many`],
 //!   [`IngressQueue::push_blocking_many`]) take the queue lock once per
 //!   batch instead of once per request — the amortization behind
 //!   [`Client::submit_many`](crate::Client::submit_many).
+//! - **Tenant lanes** (QoS mode) live *inside* the queue's mutex: staged,
+//!   not-yet-timestamped entries the combiner admits with weighted
+//!   round-robin. Sharing the mutex lets a lane push wake a combiner
+//!   blocked in [`drain`](IngressQueue::drain) through the same condvar
+//!   as a direct enqueue.
 
+use crate::lane::{LaneReject, LaneSet, QosConfig, TenantId};
 use crate::ticket::Completion;
 use eirene_workloads::Request;
 use std::collections::VecDeque;
@@ -36,7 +45,8 @@ pub enum AdmitPolicy {
 #[derive(Clone, Debug)]
 pub(crate) struct Entry {
     /// The request as the shard's tree will see it (sub-range keys for
-    /// split ranges; the admission timestamp in `ts`).
+    /// split ranges; the admission timestamp in `ts`, or `u64::MAX`
+    /// while staged on a tenant lane before a timestamp is drawn).
     pub req: Request,
     /// Wall-clock deadline; expired entries resolve `TimedOut` at epoch
     /// formation without executing.
@@ -46,6 +56,8 @@ pub(crate) struct Entry {
     /// arrived; offered-load benchmarks use this to model open-loop
     /// arrival, and live submissions leave it 0.
     pub arrival: u64,
+    /// Submitting tenant (0 when QoS lanes are disabled).
+    pub tenant: TenantId,
     pub completion: Completion,
 }
 
@@ -56,11 +68,17 @@ struct QueueState {
     /// `entries.len() + reserved <= capacity` always holds.
     reserved: usize,
     closed: bool,
+    /// Tenant lanes (QoS mode only).
+    lanes: Option<LaneSet>,
 }
 
 impl QueueState {
     fn room(&self, capacity: usize) -> usize {
         capacity - self.entries.len() - self.reserved
+    }
+
+    fn lane_pending(&self) -> usize {
+        self.lanes.as_ref().map_or(0, |l| l.pending())
     }
 }
 
@@ -68,9 +86,63 @@ impl QueueState {
 #[derive(Debug)]
 pub(crate) struct Drained {
     pub entries: Vec<Entry>,
-    /// The queue is closed and nothing more will ever come: the combiner
-    /// may finish once its reorder stage is empty too.
+    /// The queue is closed and nothing more will ever come (lanes
+    /// included): the combiner may finish once its reorder stage is
+    /// empty too.
     pub finished: bool,
+}
+
+/// Outcome of a bulk lane push: entries the lanes refused, partitioned
+/// by cause so the caller can count quota sheds separately.
+#[derive(Debug, Default)]
+pub(crate) struct LaneBulkReject {
+    pub over_quota: Vec<Entry>,
+    pub closed: Vec<Entry>,
+}
+
+/// RAII capacity grant on one [`IngressQueue`]. Fill it with
+/// [`push`](Reservation::push) / [`push_many`](Reservation::push_many);
+/// any slots still held when the guard drops — including an unwinding
+/// submitter — are released back to the queue.
+#[derive(Debug)]
+#[must_use = "dropping a Reservation immediately releases the reserved capacity"]
+pub(crate) struct Reservation<'q> {
+    queue: &'q IngressQueue,
+    count: usize,
+}
+
+impl Reservation<'_> {
+    /// Slots still held by this guard.
+    pub(crate) fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Fills one reserved slot. Fails only on a closed queue (the entry
+    /// comes back; the slot is consumed either way — a closed queue has
+    /// no capacity to return to). Returns the resulting depth.
+    pub(crate) fn push(&mut self, entry: Entry) -> Result<usize, Entry> {
+        debug_assert!(self.count >= 1, "push on an exhausted Reservation");
+        self.count -= 1;
+        self.queue.fill_reserved(entry)
+    }
+
+    /// Fills `entries.len()` reserved slots under one lock acquisition.
+    /// On a closed queue the entries come back. Returns
+    /// `(pushed, resulting depth)`.
+    pub(crate) fn push_many(&mut self, entries: Vec<Entry>) -> Result<(usize, usize), Vec<Entry>> {
+        debug_assert!(
+            self.count >= entries.len(),
+            "push_many beyond the Reservation"
+        );
+        self.count -= entries.len();
+        self.queue.fill_reserved_many(entries)
+    }
+}
+
+impl Drop for Reservation<'_> {
+    fn drop(&mut self) {
+        self.queue.cancel_reservation(self.count);
+    }
 }
 
 /// Bounded MPSC queue: many submitting clients, one combiner consumer.
@@ -99,36 +171,53 @@ impl IngressQueue {
         }
     }
 
+    /// A queue with tenant lanes attached (no-op for a disabled config).
+    pub(crate) fn with_lanes(capacity: usize, qos: &QosConfig) -> Self {
+        let q = Self::new(capacity);
+        if qos.enabled() {
+            q.state.lock().unwrap().lanes = Some(LaneSet::new(qos));
+        }
+        q
+    }
+
     pub(crate) fn depth(&self) -> usize {
         self.state.lock().unwrap().entries.len()
     }
 
-    /// Atomically reserves `n` slots (all or nothing). Returns `false` on
-    /// a closed queue or insufficient room; concurrent reservers can never
-    /// jointly over-commit the capacity.
-    pub(crate) fn try_reserve(&self, n: usize) -> bool {
+    /// Atomically reserves `n` slots (all or nothing). Returns `None` on
+    /// a closed queue or insufficient room; concurrent reservers can
+    /// never jointly over-commit the capacity.
+    pub(crate) fn try_reserve(&self, n: usize) -> Option<Reservation<'_>> {
         let mut st = self.state.lock().unwrap();
         if st.closed || st.room(self.capacity) < n {
-            return false;
+            return None;
         }
         st.reserved += n;
-        true
+        Some(Reservation {
+            queue: self,
+            count: n,
+        })
     }
 
-    /// Reserves as many of `n` slots as currently fit, returning the
-    /// granted count (0 on a closed queue).
-    pub(crate) fn reserve_up_to(&self, n: usize) -> usize {
+    /// Reserves as many of `n` slots as currently fit; the guard's
+    /// `count` reports the grant (0 on a closed queue).
+    pub(crate) fn reserve_up_to(&self, n: usize) -> Reservation<'_> {
         let mut st = self.state.lock().unwrap();
-        if st.closed {
-            return 0;
-        }
-        let grant = st.room(self.capacity).min(n);
+        let grant = if st.closed {
+            0
+        } else {
+            st.room(self.capacity).min(n)
+        };
         st.reserved += grant;
-        grant
+        Reservation {
+            queue: self,
+            count: grant,
+        }
     }
 
-    /// Returns `n` unfilled reservations.
-    pub(crate) fn cancel_reservation(&self, n: usize) {
+    /// Returns `n` unfilled reservations (called by [`Reservation`]'s
+    /// destructor).
+    fn cancel_reservation(&self, n: usize) {
         if n == 0 {
             return;
         }
@@ -138,10 +227,7 @@ impl IngressQueue {
         self.not_full.notify_all();
     }
 
-    /// Fills one previously granted reservation. Fails only on a closed
-    /// queue (the reservation is returned either way). Returns the
-    /// resulting depth.
-    pub(crate) fn push_reserved(&self, entry: Entry) -> Result<usize, Entry> {
+    fn fill_reserved(&self, entry: Entry) -> Result<usize, Entry> {
         let mut st = self.state.lock().unwrap();
         debug_assert!(st.reserved >= 1, "push_reserved without a reservation");
         st.reserved -= 1;
@@ -153,13 +239,7 @@ impl IngressQueue {
         Ok(st.entries.len())
     }
 
-    /// Fills `entries.len()` previously granted reservations under one
-    /// lock acquisition. On a closed queue the unpushed tail comes back.
-    /// Returns `(pushed, resulting depth)`.
-    pub(crate) fn push_reserved_many(
-        &self,
-        entries: Vec<Entry>,
-    ) -> Result<(usize, usize), Vec<Entry>> {
+    fn fill_reserved_many(&self, entries: Vec<Entry>) -> Result<(usize, usize), Vec<Entry>> {
         let n = entries.len();
         let mut st = self.state.lock().unwrap();
         debug_assert!(st.reserved >= n, "push_reserved_many without reservations");
@@ -216,22 +296,117 @@ impl IngressQueue {
         Ok((pushed, high))
     }
 
+    /// Stages one entry on `tenant`'s lane (QoS mode). Returns the lane
+    /// depth, or the refused entry with its cause.
+    pub(crate) fn push_lane(&self, tenant: TenantId, entry: Entry) -> Result<usize, LaneReject> {
+        let mut st = self.state.lock().unwrap();
+        let lanes = st.lanes.as_mut().expect("push_lane without lanes");
+        let res = lanes.push(tenant, entry);
+        if res.is_ok() {
+            self.not_empty.notify_one();
+        }
+        res
+    }
+
+    /// Bulk lane staging under one lock. Returns the accepted count and
+    /// the refused entries partitioned by cause.
+    pub(crate) fn push_lane_many(
+        &self,
+        tenant: TenantId,
+        entries: Vec<Entry>,
+    ) -> (usize, LaneBulkReject) {
+        let mut st = self.state.lock().unwrap();
+        let lanes = st.lanes.as_mut().expect("push_lane_many without lanes");
+        let mut accepted = 0usize;
+        let mut reject = LaneBulkReject::default();
+        for entry in entries {
+            match lanes.push(tenant, entry) {
+                Ok(_) => accepted += 1,
+                Err(LaneReject::OverQuota(e)) => reject.over_quota.push(e),
+                Err(LaneReject::Closed(e)) => reject.closed.push(e),
+            }
+        }
+        if accepted > 0 {
+            self.not_empty.notify_one();
+        }
+        (accepted, reject)
+    }
+
+    /// WRR-drains up to `budget` staged lane entries for admission. A
+    /// non-empty result marks the lanes mid-drain until
+    /// [`lane_drain_done`](Self::lane_drain_done).
+    pub(crate) fn drain_lanes(&self, budget: usize) -> Vec<Entry> {
+        let mut st = self.state.lock().unwrap();
+        match st.lanes.as_mut() {
+            Some(lanes) => lanes.drain_wrr(budget),
+            None => Vec::new(),
+        }
+    }
+
+    /// Marks the admission of the last [`drain_lanes`](Self::drain_lanes)
+    /// batch complete (shutdown waits for this before closing queues).
+    pub(crate) fn lane_drain_done(&self) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(lanes) = st.lanes.as_mut() {
+            lanes.drain_done();
+        }
+    }
+
+    /// Staged lane entries not yet admitted.
+    pub(crate) fn lane_pending(&self) -> usize {
+        self.state.lock().unwrap().lane_pending()
+    }
+
+    /// Number of tenants the lanes were configured with (1 when lanes
+    /// are disabled: the implicit tenant 0).
+    pub(crate) fn num_tenants(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap()
+            .lanes
+            .as_ref()
+            .map_or(1, |l| l.num_tenants())
+    }
+
+    /// Refuses future lane pushes; staged entries still drain.
+    pub(crate) fn close_lanes(&self) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(lanes) = st.lanes.as_mut() {
+            lanes.close();
+        }
+        self.not_empty.notify_all();
+    }
+
+    /// True when lanes are absent, or closed with nothing staged and no
+    /// drained batch still being admitted.
+    pub(crate) fn lanes_quiesced(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap()
+            .lanes
+            .as_ref()
+            .is_none_or(|l| l.quiesced())
+    }
+
     /// Drains up to `max` entries in arrival order. With `wait: None` the
-    /// call blocks until at least one entry exists or the queue closes;
-    /// `Some(d)` bounds that wait (`Duration::ZERO` = non-blocking).
-    /// `finished` is set once the queue is closed and fully drained.
+    /// call blocks until at least one entry exists (directly queued *or*
+    /// staged on a lane — lane arrivals need the combiner awake to admit
+    /// them) or the queue closes; `Some(d)` bounds that wait
+    /// (`Duration::ZERO` = non-blocking). `finished` is set once the
+    /// queue is closed and fully drained, lanes included.
     pub(crate) fn drain(&self, max: usize, wait: Option<Duration>) -> Drained {
         let mut st = self.state.lock().unwrap();
-        if st.entries.is_empty() && !st.closed {
+        let idle = |st: &QueueState| st.entries.is_empty() && st.lane_pending() == 0 && !st.closed;
+        if idle(&st) {
             match wait {
                 None => {
-                    while st.entries.is_empty() && !st.closed {
+                    while idle(&st) {
                         st = self.not_empty.wait(st).unwrap();
                     }
                 }
                 Some(d) if !d.is_zero() => {
                     let deadline = Instant::now() + d;
-                    while st.entries.is_empty() && !st.closed {
+                    while idle(&st) {
                         let now = Instant::now();
                         if now >= deadline {
                             break;
@@ -254,7 +429,7 @@ impl IngressQueue {
         }
         Drained {
             entries,
-            finished: st.closed && st.entries.is_empty(),
+            finished: st.closed && st.entries.is_empty() && st.lane_pending() == 0,
         }
     }
 
@@ -264,6 +439,9 @@ impl IngressQueue {
     pub(crate) fn close(&self) {
         let mut st = self.state.lock().unwrap();
         st.closed = true;
+        if let Some(lanes) = st.lanes.as_mut() {
+            lanes.close();
+        }
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
@@ -282,6 +460,7 @@ mod tests {
             req: Request::query(1, ts),
             deadline: None,
             arrival: 0,
+            tenant: 0,
             completion: Completion::Direct(cell),
         }
     }
@@ -297,38 +476,70 @@ mod tests {
     #[test]
     fn reservations_gate_admission_at_capacity() {
         let q = IngressQueue::new(2);
-        assert!(q.try_reserve(1));
-        assert!(q.try_reserve(1));
+        let mut r1 = q.try_reserve(1).unwrap();
+        let mut r2 = q.try_reserve(1).unwrap();
         // Capacity is fully promised: a third reservation must fail even
         // though nothing has been pushed yet.
-        assert!(!q.try_reserve(1));
-        assert_eq!(q.push_reserved(entry(0)).unwrap(), 1);
-        assert_eq!(q.push_reserved(entry(1)).unwrap(), 2);
-        assert!(!q.try_reserve(1));
+        assert!(q.try_reserve(1).is_none());
+        assert_eq!(r1.push(entry(0)).unwrap(), 1);
+        assert_eq!(r2.push(entry(1)).unwrap(), 2);
+        assert!(q.try_reserve(1).is_none());
         assert_eq!(q.depth(), 2);
     }
 
     #[test]
-    fn cancelled_reservations_free_room() {
+    fn dropped_reservations_free_room() {
         let q = IngressQueue::new(2);
-        assert!(q.try_reserve(2));
-        assert!(!q.try_reserve(1));
-        q.cancel_reservation(2);
-        assert!(q.try_reserve(2));
-        q.cancel_reservation(2);
+        let r = q.try_reserve(2).unwrap();
+        assert!(q.try_reserve(1).is_none());
+        drop(r);
+        let r = q.try_reserve(2).unwrap();
+        assert_eq!(r.count(), 2);
+    }
+
+    #[test]
+    fn panicking_reserver_releases_capacity() {
+        // The RAII guard must release on unwind: a submitter killed
+        // between try_reserve and push no longer leaks the slot (which
+        // used to wedge admission at capacity forever).
+        let q = Arc::new(IngressQueue::new(1));
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || {
+            let _res = q2.try_reserve(1).expect("slot free");
+            panic!("submitter dies mid-admission");
+        });
+        assert!(t.join().is_err());
+        let mut r = q.try_reserve(1).expect("capacity recovered after panic");
+        assert_eq!(r.push(entry(7)).unwrap(), 1);
+        assert_eq!(drain_ts(&q, 4), [7]);
+    }
+
+    #[test]
+    fn partially_used_reservation_returns_the_rest() {
+        let q = IngressQueue::new(4);
+        {
+            let mut r = q.try_reserve(3).unwrap();
+            r.push(entry(0)).unwrap();
+            assert_eq!(r.count(), 2);
+            // Two unfilled slots release here.
+        }
+        assert_eq!(q.reserve_up_to(9).count(), 3);
     }
 
     #[test]
     fn reserve_up_to_grants_partial_room() {
         let q = IngressQueue::new(4);
-        assert!(q.try_reserve(3));
-        assert_eq!(q.reserve_up_to(5), 1);
-        assert_eq!(q.reserve_up_to(5), 0);
-        q.cancel_reservation(4);
-        assert_eq!(q.reserve_up_to(2), 2);
-        q.cancel_reservation(2);
+        let r3 = q.try_reserve(3).unwrap();
+        let r1 = q.reserve_up_to(5);
+        assert_eq!(r1.count(), 1);
+        assert_eq!(q.reserve_up_to(5).count(), 0);
+        drop(r3);
+        drop(r1);
+        let r = q.reserve_up_to(2);
+        assert_eq!(r.count(), 2);
+        drop(r);
         assert_eq!(q.push_blocking(entry(9)).unwrap(), 1);
-        assert_eq!(q.reserve_up_to(9), 3);
+        assert_eq!(q.reserve_up_to(9).count(), 3);
     }
 
     #[test]
@@ -340,7 +551,9 @@ mod tests {
         for _ in 0..4 {
             let q = q.clone();
             handles.push(std::thread::spawn(move || {
-                (0..2).filter(|_| q.try_reserve(1)).count()
+                (0..2)
+                    .filter(|_| q.try_reserve(1).map(std::mem::forget).is_some())
+                    .count()
             }));
         }
         let won: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
@@ -350,10 +563,8 @@ mod tests {
     #[test]
     fn bulk_reserved_push_fills_in_one_shot() {
         let q = IngressQueue::new(8);
-        assert!(q.try_reserve(3));
-        let (pushed, depth) = q
-            .push_reserved_many(vec![entry(0), entry(1), entry(2)])
-            .unwrap();
+        let mut r = q.try_reserve(3).unwrap();
+        let (pushed, depth) = r.push_many(vec![entry(0), entry(1), entry(2)]).unwrap();
         assert_eq!((pushed, depth), (3, 3));
         assert_eq!(drain_ts(&q, 8), [0, 1, 2]);
     }
@@ -362,8 +573,8 @@ mod tests {
     fn drain_bounds_size_and_reports_finished() {
         let q = IngressQueue::new(16);
         for ts in 0..5 {
-            assert!(q.try_reserve(1));
-            q.push_reserved(entry(ts)).unwrap();
+            let mut r = q.try_reserve(1).unwrap();
+            r.push(entry(ts)).unwrap();
         }
         assert_eq!(drain_ts(&q, 3), [0, 1, 2]);
         let d = q.drain(3, Some(Duration::ZERO));
@@ -409,8 +620,8 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.close();
         assert!(pusher.join().unwrap(), "blocked pusher must fail on close");
-        assert!(!q.try_reserve(1));
-        assert_eq!(q.reserve_up_to(1), 0);
+        assert!(q.try_reserve(1).is_none());
+        assert_eq!(q.reserve_up_to(1).count(), 0);
         // The already-queued entry still drains, then the queue reports
         // finished.
         let d = q.drain(8, Some(Duration::ZERO));
@@ -429,5 +640,59 @@ mod tests {
         assert_eq!(pushed, 2);
         assert_eq!(rest.len(), 3);
         assert_eq!(q.drain(8, Some(Duration::ZERO)).entries.len(), 2);
+    }
+
+    #[test]
+    fn lane_push_wakes_a_blocked_drainer() {
+        let qos = QosConfig::uniform(2, 8);
+        let q = Arc::new(IngressQueue::with_lanes(16, &qos));
+        let q2 = q.clone();
+        let drainer = std::thread::spawn(move || q2.drain(8, None));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push_lane(1, entry(u64::MAX)).unwrap();
+        // The drainer wakes (lane pending breaks the idle predicate) with
+        // no direct entries; the combiner then admits from the lanes.
+        let d = drainer.join().unwrap();
+        assert!(d.entries.is_empty());
+        assert!(!d.finished);
+        assert_eq!(q.lane_pending(), 1);
+        assert_eq!(q.drain_lanes(4).len(), 1);
+        q.lane_drain_done();
+    }
+
+    #[test]
+    fn lane_quiesce_tracks_drain_in_progress() {
+        let qos = QosConfig::uniform(1, 4);
+        let q = IngressQueue::with_lanes(8, &qos);
+        q.push_lane(0, entry(u64::MAX)).unwrap();
+        q.close_lanes();
+        assert!(matches!(
+            q.push_lane(0, entry(u64::MAX)),
+            Err(LaneReject::Closed(_))
+        ));
+        assert!(!q.lanes_quiesced());
+        let batch = q.drain_lanes(8);
+        assert_eq!(batch.len(), 1);
+        assert!(!q.lanes_quiesced(), "drained batch still being admitted");
+        q.lane_drain_done();
+        assert!(q.lanes_quiesced());
+        // Direct entries still flow after lanes close.
+        let mut r = q.try_reserve(1).unwrap();
+        r.push(entry(3)).unwrap();
+        assert_eq!(drain_ts(&q, 4), [3]);
+    }
+
+    #[test]
+    fn bulk_lane_push_partitions_rejects() {
+        let qos = QosConfig::uniform(1, 2);
+        let q = IngressQueue::with_lanes(8, &qos);
+        let (accepted, rej) = q.push_lane_many(0, (0..4).map(entry).collect());
+        assert_eq!(accepted, 2);
+        assert_eq!(rej.over_quota.len(), 2);
+        assert!(rej.closed.is_empty());
+        q.close();
+        let (accepted, rej) = q.push_lane_many(0, (0..2).map(entry).collect());
+        assert_eq!(accepted, 0);
+        assert_eq!(rej.closed.len(), 2);
     }
 }

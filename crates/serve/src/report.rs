@@ -25,6 +25,15 @@ pub struct ShardReport {
     pub timed_out: u64,
     /// High-water mark of the ingress-queue depth.
     pub max_queue_depth: u64,
+    /// The batch controller's final target (constant under
+    /// [`EpochSizing::Fixed`](crate::EpochSizing::Fixed)).
+    pub batch_target: u64,
+    /// Per-tenant shed counts; sums to `shed`. Length is the service's
+    /// tenant count (1 when QoS lanes are disabled).
+    pub tenant_shed: Vec<u64>,
+    /// Per-tenant end-to-end latency histograms; counts sum to
+    /// `executed`. Same length as `tenant_shed`.
+    pub tenant_latency: Vec<CycleHistogram>,
     /// End-to-end latency per executed entry (cycles): admission (or
     /// virtual arrival) to end of its epoch on the shard's virtual clock.
     pub latency: CycleHistogram,
@@ -146,6 +155,35 @@ impl ServeReport {
         merged
     }
 
+    /// Number of tenant slots in the per-tenant vectors (1 when QoS
+    /// lanes were disabled).
+    pub fn num_tenants(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.tenant_shed.len())
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// One tenant's end-to-end latency histogram merged across shards.
+    pub fn tenant_latency(&self, tenant: usize) -> CycleHistogram {
+        let mut merged = CycleHistogram::new();
+        for shard in &self.shards {
+            if let Some(h) = shard.tenant_latency.get(tenant) {
+                merged.merge(h);
+            }
+        }
+        merged
+    }
+
+    /// One tenant's shed total across shards.
+    pub fn tenant_shed(&self, tenant: usize) -> u64 {
+        self.shards
+            .iter()
+            .filter_map(|s| s.tenant_shed.get(tenant))
+            .sum()
+    }
+
     /// Whether every shard's telemetry rows sum exactly to its totals.
     pub fn phase_rows_sum_to_totals(&self) -> bool {
         self.shards.iter().all(|s| s.phase_rows_sum_to_totals())
@@ -199,6 +237,24 @@ impl ServeReport {
             assert!(
                 s.clock_cycles >= s.busy_cycles,
                 "shard {}: virtual clock ran backwards",
+                s.shard
+            );
+            assert_eq!(
+                s.tenant_shed.iter().sum::<u64>(),
+                s.shed,
+                "shard {}: per-tenant shed counts must sum to shed",
+                s.shard
+            );
+            assert_eq!(
+                s.tenant_shed.len(),
+                s.tenant_latency.len(),
+                "shard {}: tenant vectors disagree on tenant count",
+                s.shard
+            );
+            assert_eq!(
+                s.tenant_latency.iter().map(|h| h.count()).sum::<u64>(),
+                s.executed,
+                "shard {}: per-tenant latency counts must sum to executed",
                 s.shard
             );
             if s.spans_enabled {

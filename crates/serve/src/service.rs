@@ -56,6 +56,8 @@
 //! plans epoch N+1 while epoch N executes — the paper's pipelined-epoch
 //! model at service scope.
 
+use crate::control::{BatchController, EpochFeedback, EpochSizing};
+use crate::lane::{LaneReject, QosConfig, TenantId};
 use crate::observe::{
     LatencySummary, ObserveConfig, ShardMetrics, ShardSample, SloBreach, SloMonitor,
 };
@@ -103,6 +105,24 @@ pub enum AdmissionMode {
     GlobalLock,
 }
 
+/// Test-only fault injection for the admission path. `Default` injects
+/// nothing; benchmarks never set this.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Panic inside the Nth (0-based) shed-mode single admission, *after*
+    /// the capacity reservation and *before* the enqueue — the window
+    /// where a killed submitter used to leak the reservation and wedge
+    /// admission at capacity forever. `eirene-check` uses this to prove
+    /// the RAII reservation guard releases on unwind.
+    pub panic_on_admit: Option<u64>,
+}
+
+impl FaultPlan {
+    pub fn is_armed(&self) -> bool {
+        self.panic_on_admit.is_some()
+    }
+}
+
 /// Configuration of a [`Service`].
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -112,16 +132,22 @@ pub struct ServeConfig {
     /// [`Cluster`](eirene_sim::Cluster) (worker split in OS mode, derived
     /// seeds in deterministic mode).
     pub device: DeviceConfig,
-    /// Maximum requests combined into one epoch.
-    pub batch_limit: usize,
+    /// How each shard sizes its epochs: a fixed batch limit (the paper's
+    /// model, kept for ablation) or the closed-loop AIMD controller.
+    pub sizing: EpochSizing,
+    /// Per-tenant QoS lanes and quotas; [`QosConfig::disabled`] (the
+    /// default) bypasses lanes entirely.
+    pub qos: QosConfig,
+    /// Admission-path fault injection for tests; inert by default.
+    pub fault: FaultPlan,
     /// Bounded ingress-queue capacity per shard.
     pub queue_depth: usize,
     /// What admission does when a shard's queue is full.
     pub policy: AdmitPolicy,
     /// Lock-free (default) or global-lock-baseline admission.
     pub admission: AdmissionMode,
-    /// How long a combiner waits for an epoch to fill toward
-    /// `batch_limit` once it has at least one request.
+    /// How long a combiner waits for an epoch to fill toward the batch
+    /// target once it has at least one request.
     pub linger: Duration,
     /// Start with the epoch gate held: combiners do not consume until
     /// [`Service::release`]. Tests use this to make epoch composition
@@ -145,7 +171,9 @@ impl Default for ServeConfig {
         ServeConfig {
             map: ShardMap::uniform(4),
             device: DeviceConfig::default(),
-            batch_limit: 4096,
+            sizing: EpochSizing::Fixed(4096),
+            qos: QosConfig::disabled(),
+            fault: FaultPlan::default(),
             queue_depth: 1 << 16,
             policy: AdmitPolicy::Block,
             admission: AdmissionMode::LockFree,
@@ -164,7 +192,7 @@ impl ServeConfig {
         ServeConfig {
             map: ShardMap::uniform(shards),
             device: DeviceConfig::test_small(),
-            batch_limit: 1024,
+            sizing: EpochSizing::Fixed(1024),
             queue_depth: 1 << 12,
             headroom_nodes: 1 << 12,
             ..Default::default()
@@ -183,10 +211,10 @@ struct ShardState {
 }
 
 impl ShardState {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, qos: &QosConfig) -> Self {
         ShardState {
-            queue: IngressQueue::new(capacity),
-            metrics: ShardMetrics::new(),
+            queue: IngressQueue::with_lanes(capacity, qos),
+            metrics: ShardMetrics::new(qos.num_tenants()),
         }
     }
 
@@ -196,8 +224,9 @@ impl ShardState {
             .record_max(self.metrics.max_depth, depth as u64);
     }
 
-    fn record_shed(&self, n: u64) {
+    fn record_shed(&self, n: u64, tenant: TenantId) {
         self.metrics.add(self.metrics.shed, n);
+        self.metrics.add(self.metrics.tenant_shed[tenant], n);
     }
 
     fn record_timeout(&self, n: u64) {
@@ -304,6 +333,11 @@ struct Inner {
     gate_cv: Condvar,
     policy: AdmitPolicy,
     admission: AdmissionMode,
+    qos: QosConfig,
+    fault: FaultPlan,
+    /// Counts shed-mode single admissions, solely to locate the one the
+    /// [`FaultPlan`] kills. Untouched (and unread) when no fault is armed.
+    admit_seq: AtomicU64,
 }
 
 impl Inner {
@@ -349,23 +383,38 @@ impl Inner {
         }
     }
 
+    /// Trips the armed admission fault, if any (tests only): dies between
+    /// the capacity reservation and the enqueue, the exact window the
+    /// RAII reservation guard exists to cover.
+    fn maybe_trip_fault(&self) {
+        if let Some(n) = self.fault.panic_on_admit {
+            if self.admit_seq.fetch_add(1, Ordering::Relaxed) == n {
+                panic!("injected fault: submitter killed between reserve and push");
+            }
+        }
+    }
+
     /// Admits one entry to `shard` under the configured policy, updating
     /// the admission counters. Shed-vs-admit is race-free: capacity is
-    /// claimed with an atomic reservation before the push.
+    /// claimed with an atomic reservation before the push, and the
+    /// reservation guard releases on any exit — including an unwinding
+    /// submitter.
     fn admit_single(&self, shard: ShardId, entry: Entry) {
         let state = &self.shards[shard];
         match self.policy {
-            AdmitPolicy::Shed => {
-                if state.queue.try_reserve(1) {
-                    match state.queue.push_reserved(entry) {
+            AdmitPolicy::Shed => match state.queue.try_reserve(1) {
+                Some(mut grant) => {
+                    self.maybe_trip_fault();
+                    match grant.push(entry) {
                         Ok(depth) => state.record_enqueue(1, depth),
                         Err(e) => e.completion.resolve_fail(Outcome::Rejected),
                     }
-                } else {
-                    state.record_shed(1);
+                }
+                None => {
+                    state.record_shed(1, entry.tenant);
                     entry.completion.resolve_fail(Outcome::Rejected);
                 }
-            }
+            },
             AdmitPolicy::Block => match state.queue.push_blocking(entry) {
                 Ok(depth) => state.record_enqueue(1, depth),
                 Err(e) => e.completion.resolve_fail(Outcome::Rejected),
@@ -375,9 +424,10 @@ impl Inner {
 
     /// Admits a split range: all parts or none. Under [`AdmitPolicy::Shed`]
     /// one slot is reserved per involved queue before any push (parts lie
-    /// on distinct shards); on the first full shard the earlier
-    /// reservations are cancelled, that shard's shed counter bumps, and
+    /// on distinct shards); on the first full shard the earlier grants
+    /// drop (releasing their slots), that shard's shed counter bumps, and
     /// the whole range resolves `Rejected`.
+    #[allow(clippy::too_many_arguments)]
     fn admit_split(
         &self,
         parts: &[RangePart],
@@ -385,26 +435,31 @@ impl Inner {
         ts: u64,
         deadline: Option<Instant>,
         arrival: u64,
+        tenant: TenantId,
         cell: CellRef,
     ) {
+        let mut grants = Vec::with_capacity(parts.len());
         if self.policy == AdmitPolicy::Shed {
-            for (i, p) in parts.iter().enumerate() {
-                if !self.shards[p.shard].queue.try_reserve(1) {
-                    for q in &parts[..i] {
-                        self.shards[q.shard].queue.cancel_reservation(1);
+            for p in parts {
+                match self.shards[p.shard].queue.try_reserve(1) {
+                    Some(g) => grants.push(g),
+                    None => {
+                        // Dropping `grants` releases the earlier slots.
+                        self.shards[p.shard].record_shed(1, tenant);
+                        cell.resolve(Outcome::Rejected);
+                        return;
                     }
-                    self.shards[p.shard].record_shed(1);
-                    cell.resolve(Outcome::Rejected);
-                    return;
                 }
             }
         }
         let merge = Arc::new(RangeMerge::new(len as usize, parts.len(), cell));
+        let mut grants = grants.into_iter();
         for p in parts {
             let entry = Entry {
                 req: Request::range(p.lo, p.len, ts),
                 deadline,
                 arrival,
+                tenant,
                 completion: Completion::Part {
                     merge: merge.clone(),
                     offset: p.offset,
@@ -412,7 +467,7 @@ impl Inner {
             };
             let state = &self.shards[p.shard];
             let pushed = match self.policy {
-                AdmitPolicy::Shed => state.queue.push_reserved(entry),
+                AdmitPolicy::Shed => grants.next().expect("one grant per part").push(entry),
                 AdmitPolicy::Block => state.queue.push_blocking(entry),
             };
             match pushed {
@@ -422,9 +477,20 @@ impl Inner {
         }
     }
 
-    fn submit(&self, key: Key, op: OpKind, deadline: Option<Instant>, arrival: u64) -> Ticket {
+    fn submit(
+        &self,
+        key: Key,
+        op: OpKind,
+        deadline: Option<Instant>,
+        arrival: u64,
+        tenant: TenantId,
+    ) -> Ticket {
         let (ticket, cell) = Ticket::new();
         let _serial = self.serialize_admission();
+        if self.qos.enabled() {
+            self.submit_lane(key, op, deadline, arrival, tenant, cell);
+            return ticket;
+        }
         match self.route(key, op) {
             Route::Empty => cell.resolve(Outcome::Done(Response::Range(Vec::new()))),
             Route::One(shard) => {
@@ -438,6 +504,7 @@ impl Inner {
                     req: Request { key, op, ts },
                     deadline,
                     arrival,
+                    tenant,
                     completion: Completion::Direct(cell),
                 };
                 self.admit_single(shard, entry);
@@ -451,10 +518,106 @@ impl Inner {
                 let _slot = self.inflight.claim(lb);
                 let ts = self.next_ts.fetch_add(1, Ordering::SeqCst);
                 cell.set_ts(ts);
-                self.admit_split(&parts, len, ts, deadline, arrival, cell);
+                self.admit_split(&parts, len, ts, deadline, arrival, tenant, cell);
             }
         }
         ticket
+    }
+
+    /// QoS-lane path: the request parks — *untimestamped* — on its home
+    /// shard's lane for the submitting tenant; the shard's combiner draws
+    /// the timestamp at admission ([`admit_lanes`]). A split range's home
+    /// is its first part's shard: the combiner re-routes and fans the
+    /// parts out when it admits the entry.
+    fn submit_lane(
+        &self,
+        key: Key,
+        op: OpKind,
+        deadline: Option<Instant>,
+        arrival: u64,
+        tenant: TenantId,
+        cell: CellRef,
+    ) {
+        let home = match self.route(key, op) {
+            Route::Empty => {
+                cell.resolve(Outcome::Done(Response::Range(Vec::new())));
+                return;
+            }
+            Route::One(shard) => shard,
+            Route::Split(parts) => parts[0].shard,
+        };
+        let entry = Entry {
+            req: Request {
+                key,
+                op,
+                ts: u64::MAX,
+            },
+            deadline,
+            arrival,
+            tenant,
+            completion: Completion::Direct(cell),
+        };
+        let state = &self.shards[home];
+        match state.queue.push_lane(tenant, entry) {
+            Ok(_) => {}
+            Err(LaneReject::OverQuota(e)) => {
+                state.record_shed(1, tenant);
+                e.completion.resolve_fail(Outcome::Rejected);
+            }
+            Err(LaneReject::Closed(e)) => e.completion.resolve_fail(Outcome::Rejected),
+        }
+    }
+
+    /// Bulk lane staging: routes every op to its home shard and pushes
+    /// each shard's slice under one lane lock. Quota sheds resolve
+    /// `Rejected` individually; the rest await combiner admission.
+    fn submit_many_lanes(
+        &self,
+        n: usize,
+        ops: impl Iterator<Item = (Key, OpKind, u64)>,
+        deadline: Option<Instant>,
+        tenant: TenantId,
+    ) -> Vec<Ticket> {
+        let num_shards = self.shards.len();
+        let batch = TicketBatch::new(n);
+        let mut buckets: Vec<Vec<Entry>> = (0..num_shards).map(|_| Vec::new()).collect();
+        let _serial = self.serialize_admission();
+        for (i, (key, op, arrival)) in ops.enumerate() {
+            let cell = batch.cell_ref(i);
+            let home = match self.route(key, op) {
+                Route::Empty => {
+                    cell.resolve(Outcome::Done(Response::Range(Vec::new())));
+                    continue;
+                }
+                Route::One(shard) => shard,
+                Route::Split(parts) => parts[0].shard,
+            };
+            buckets[home].push(Entry {
+                req: Request {
+                    key,
+                    op,
+                    ts: u64::MAX,
+                },
+                deadline,
+                arrival,
+                tenant,
+                completion: Completion::Direct(cell),
+            });
+        }
+        for (shard, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let state = &self.shards[shard];
+            let (_, reject) = state.queue.push_lane_many(tenant, bucket);
+            if !reject.over_quota.is_empty() {
+                state.record_shed(reject.over_quota.len() as u64, tenant);
+            }
+            for e in reject.over_quota.into_iter().chain(reject.closed) {
+                e.completion.resolve_fail(Outcome::Rejected);
+            }
+        }
+        (0..n).map(|i| batch.ticket(i)).collect()
     }
 
     /// Batched admission: routes every op, claims the whole timestamp
@@ -468,9 +631,13 @@ impl Inner {
         n: usize,
         ops: impl Iterator<Item = (Key, OpKind, u64)>,
         deadline: Option<Instant>,
+        tenant: TenantId,
     ) -> Vec<Ticket> {
         if n == 0 {
             return Vec::new();
+        }
+        if self.qos.enabled() {
+            return self.submit_many_lanes(n, ops, deadline, tenant);
         }
         let num_shards = self.shards.len();
         let batch = TicketBatch::new(n);
@@ -481,7 +648,12 @@ impl Inner {
         let mut buckets: Vec<Vec<Entry>> = (0..num_shards)
             .map(|_| Vec::with_capacity(bucket_cap))
             .collect();
-        let mut credits = vec![0usize; num_shards];
+        // Shed mode: one RAII capacity grant per shard; `avail` mirrors
+        // the unspent slots during routing, and any still unspent when
+        // the grants drop are released automatically.
+        let mut grants: Vec<Option<crate::queue::Reservation<'_>>> =
+            (0..num_shards).map(|_| None).collect();
+        let mut avail = vec![0usize; num_shards];
         let _serial = self.serialize_admission();
 
         // Under Shed the per-shard demand must be known before any entry
@@ -513,7 +685,9 @@ impl Inner {
                 }
                 for (shard, &d) in demand.iter().enumerate() {
                     if d > 0 {
-                        credits[shard] = self.shards[shard].queue.reserve_up_to(d);
+                        let grant = self.shards[shard].queue.reserve_up_to(d);
+                        avail[shard] = grant.count();
+                        grants[shard] = Some(grant);
                     }
                 }
                 Some(routed)
@@ -531,18 +705,19 @@ impl Inner {
                 match route {
                     Route::Empty => cell.resolve(Outcome::Done(Response::Range(Vec::new()))),
                     Route::One(shard) => {
-                        if self.policy == AdmitPolicy::Shed && credits[shard] == 0 {
-                            self.shards[shard].record_shed(1);
+                        if self.policy == AdmitPolicy::Shed && avail[shard] == 0 {
+                            self.shards[shard].record_shed(1, tenant);
                             cell.resolve(Outcome::Rejected);
                         } else {
                             if self.policy == AdmitPolicy::Shed {
-                                credits[shard] -= 1;
+                                avail[shard] -= 1;
                             }
                             cell.set_ts(ts);
                             buckets[shard].push(Entry {
                                 req: Request { key, op, ts },
                                 deadline,
                                 arrival,
+                                tenant,
                                 completion: Completion::Direct(cell),
                             });
                         }
@@ -553,13 +728,13 @@ impl Inner {
                             _ => unreachable!("only ranges split"),
                         };
                         if self.policy == AdmitPolicy::Shed {
-                            if let Some(full) = parts.iter().find(|p| credits[p.shard] == 0) {
-                                self.shards[full.shard].record_shed(1);
+                            if let Some(full) = parts.iter().find(|p| avail[p.shard] == 0) {
+                                self.shards[full.shard].record_shed(1, tenant);
                                 cell.resolve(Outcome::Rejected);
                                 return;
                             }
                             for p in &parts {
-                                credits[p.shard] -= 1;
+                                avail[p.shard] -= 1;
                             }
                         }
                         cell.set_ts(ts);
@@ -569,6 +744,7 @@ impl Inner {
                                 req: Request::range(p.lo, p.len, ts),
                                 deadline,
                                 arrival,
+                                tenant,
                                 completion: Completion::Part {
                                     merge: merge.clone(),
                                     offset: p.offset,
@@ -598,24 +774,25 @@ impl Inner {
 
         for (shard, bucket) in buckets.into_iter().enumerate() {
             if bucket.is_empty() {
-                if self.policy == AdmitPolicy::Shed && credits[shard] > 0 {
-                    self.shards[shard].queue.cancel_reservation(credits[shard]);
-                }
+                // An untouched grant (if any) drops with the function,
+                // releasing its slots.
                 continue;
             }
             let state = &self.shards[shard];
             match self.policy {
                 AdmitPolicy::Shed => {
-                    match state.queue.push_reserved_many(bucket) {
+                    // Fill through the grant; its unspent remainder is
+                    // released when the guard drops below.
+                    let mut grant = grants[shard]
+                        .take()
+                        .expect("grant reserved in the pre-pass");
+                    match grant.push_many(bucket) {
                         Ok((pushed, depth)) => state.record_enqueue(pushed as u64, depth),
                         Err(rest) => {
                             for e in rest {
                                 e.completion.resolve_fail(Outcome::Rejected);
                             }
                         }
-                    }
-                    if credits[shard] > 0 {
-                        state.queue.cancel_reservation(credits[shard]);
                     }
                 }
                 AdmitPolicy::Block => match state.queue.push_blocking_many(bucket) {
@@ -634,14 +811,9 @@ impl Inner {
 }
 
 /// Pipeline-state gauges the combiner snapshots at epoch emission when
-/// observability is enabled; the executor folds them into the shard's
-/// metric registry and the emitted [`ShardSample`].
+/// observability is enabled (they cost SeqCst scans); the executor folds
+/// them into the shard's metric registry and the emitted [`ShardSample`].
 struct EpochGauges {
-    /// Ingress-queue depth left behind after forming this epoch.
-    queue_depth: u64,
-    /// Entries still parked in the reorder heap (admitted but above the
-    /// watermark or beyond the batch limit).
-    reorder_pending: u64,
     /// `next_ts - watermark`: how far in-flight submissions were holding
     /// the watermark behind the timestamp counter.
     watermark_lag: u64,
@@ -655,28 +827,58 @@ struct Epoch {
     batch: Batch,
     plan: CombinePlan,
     entries: Vec<Entry>,
+    /// Ingress-queue depth left behind after forming this epoch. Always
+    /// snapshotted (cheap): the adaptive controller feeds on it even with
+    /// observability off.
+    queue_depth: u64,
+    /// Entries still parked in the reorder heap (admitted but above the
+    /// watermark or beyond the batch target).
+    reorder_pending: u64,
+    /// Entries still staged on tenant lanes (0 without QoS).
+    lane_depth: u64,
     /// `Some` iff observability is enabled.
     gauges: Option<EpochGauges>,
 }
 
-/// Cloneable submission handle to a running [`Service`].
+/// Cloneable submission handle to a running [`Service`]. Handles carry
+/// the tenant they submit as (tenant 0 unless [`Client::for_tenant`]
+/// re-bound it); without QoS lanes the tenant is purely a label.
 #[derive(Clone)]
 pub struct Client {
     inner: Arc<Inner>,
+    tenant: TenantId,
 }
 
 impl Client {
+    /// A handle that submits as `tenant`. Panics if the tenant is outside
+    /// the service's [`QosConfig`].
+    pub fn for_tenant(&self, tenant: TenantId) -> Client {
+        assert!(
+            tenant < self.inner.qos.num_tenants(),
+            "tenant {tenant} outside the configured tenant table"
+        );
+        Client {
+            inner: self.inner.clone(),
+            tenant,
+        }
+    }
+
+    /// The tenant this handle submits as.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
     /// Submits a request; the returned [`Ticket`] resolves once its epoch
     /// executes (or admission sheds it).
     pub fn submit(&self, key: Key, op: OpKind) -> Ticket {
-        self.inner.submit(key, op, None, 0)
+        self.inner.submit(key, op, None, 0, self.tenant)
     }
 
     /// Submits with a deadline: if the deadline passes before the request's
     /// epoch forms, it resolves [`Outcome::TimedOut`] without executing.
     pub fn submit_with_deadline(&self, key: Key, op: OpKind, deadline: Duration) -> Ticket {
         self.inner
-            .submit(key, op, Some(Instant::now() + deadline), 0)
+            .submit(key, op, Some(Instant::now() + deadline), 0, self.tenant)
     }
 
     /// Submits with a virtual arrival time in device cycles (open-loop
@@ -684,7 +886,8 @@ impl Client {
     /// `arrival_cycles` on the shard's virtual clock, and its reported
     /// latency is measured from that arrival.
     pub fn submit_at(&self, key: Key, op: OpKind, arrival_cycles: u64) -> Ticket {
-        self.inner.submit(key, op, None, arrival_cycles)
+        self.inner
+            .submit(key, op, None, arrival_cycles, self.tenant)
     }
 
     /// Batched submission: admits the whole slice with one timestamp
@@ -693,14 +896,19 @@ impl Client {
     /// `base + i`, so the batch linearizes in slice order. Tickets come
     /// back positionally.
     pub fn submit_many(&self, ops: &[(Key, OpKind)]) -> Vec<Ticket> {
-        self.inner
-            .submit_many(ops.len(), ops.iter().map(|&(k, o)| (k, o, 0)), None)
+        self.inner.submit_many(
+            ops.len(),
+            ops.iter().map(|&(k, o)| (k, o, 0)),
+            None,
+            self.tenant,
+        )
     }
 
     /// [`submit_many`](Client::submit_many) with a virtual arrival time
     /// (device cycles) per request.
     pub fn submit_many_at(&self, ops: &[(Key, OpKind, u64)]) -> Vec<Ticket> {
-        self.inner.submit_many(ops.len(), ops.iter().copied(), None)
+        self.inner
+            .submit_many(ops.len(), ops.iter().copied(), None, self.tenant)
     }
 
     /// The service's shard map.
@@ -745,7 +953,7 @@ impl Service {
             sp.push((SENTINEL_KEY, 0));
         }
         let states: Vec<Arc<ShardState>> = (0..num_shards)
-            .map(|_| Arc::new(ShardState::new(cfg.queue_depth)))
+            .map(|_| Arc::new(ShardState::new(cfg.queue_depth, &cfg.qos)))
             .collect();
         let inner = Arc::new(Inner {
             map: cfg.map.clone(),
@@ -757,6 +965,9 @@ impl Service {
             gate_cv: Condvar::new(),
             policy: cfg.policy,
             admission: cfg.admission,
+            qos: cfg.qos.clone(),
+            fault: cfg.fault.clone(),
+            admit_seq: AtomicU64::new(0),
         });
         let mut replays: Vec<Option<ScheduleLog>> = match cfg.replay {
             Some(logs) => logs.into_iter().map(Some).collect(),
@@ -768,7 +979,11 @@ impl Service {
             let shard_cfg = cluster.config(shard).clone();
             let (tx, rx) = std::sync::mpsc::sync_channel::<Epoch>(1);
             let (inner2, state) = (inner.clone(), states[shard].clone());
-            let (plan_cfg, batch_limit, linger) = (shard_cfg.clone(), cfg.batch_limit, cfg.linger);
+            let (plan_cfg, linger) = (shard_cfg.clone(), cfg.linger);
+            // One controller per shard, shared combiner-side (reads the
+            // target) and executor-side (feeds epoch signals back).
+            let controller = Arc::new(BatchController::new(cfg.sizing.clone()));
+            let combine_ctl = controller.clone();
             let observe_epochs = cfg.observe.enabled;
             combiners.push(
                 std::thread::Builder::new()
@@ -777,8 +992,9 @@ impl Service {
                         combiner_loop(
                             &inner2,
                             &state,
+                            shard,
                             &plan_cfg,
-                            batch_limit,
+                            &combine_ctl,
                             linger,
                             observe_epochs,
                             tx,
@@ -796,7 +1012,18 @@ impl Service {
             executors.push(
                 std::thread::Builder::new()
                     .name(format!("serve-exec-{shard}"))
-                    .spawn(move || executor_loop(shard, &state, &pairs, opts, replay, observe, &rx))
+                    .spawn(move || {
+                        executor_loop(
+                            shard,
+                            &state,
+                            &pairs,
+                            opts,
+                            replay,
+                            observe,
+                            &controller,
+                            &rx,
+                        )
+                    })
                     .expect("spawn executor"),
             );
         }
@@ -808,10 +1035,11 @@ impl Service {
         }
     }
 
-    /// A new submission handle.
+    /// A new submission handle (tenant 0; see [`Client::for_tenant`]).
     pub fn client(&self) -> Client {
         Client {
             inner: self.inner.clone(),
+            tenant: 0,
         }
     }
 
@@ -825,6 +1053,20 @@ impl Service {
     /// already-admitted epoch, joins the pipelines, and returns the final
     /// report.
     pub fn shutdown(self) -> ServeReport {
+        if self.inner.qos.enabled() {
+            // Two-phase in QoS mode: refuse new lane arrivals first and
+            // let the combiners admit everything already staged (a lane
+            // admission may still fan split parts into *peer* ingress
+            // queues); only close the queues once every shard's lanes
+            // have quiesced, so no admitted part hits a closed queue.
+            for state in &self.inner.shards {
+                state.queue.close_lanes();
+            }
+            self.inner.release_gate();
+            while !self.inner.shards.iter().all(|s| s.queue.lanes_quiesced()) {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
         for state in &self.inner.shards {
             state.queue.close();
         }
@@ -876,23 +1118,38 @@ impl Ord for ByTs {
 /// hold watermark slots while waiting for queue room) live. Admitted
 /// entries in the heap were each within the queue bound at their
 /// admission instant; the hard admission check itself stays at the queue.
+///
+/// With QoS lanes the combiner is also the *admitter*: each pass it
+/// WRR-drains up to one batch target of staged entries and timestamps
+/// them ([`admit_lanes`]) before forming the epoch.
+#[allow(clippy::too_many_arguments)]
 fn combiner_loop(
     inner: &Inner,
     state: &ShardState,
+    shard: ShardId,
     plan_cfg: &DeviceConfig,
-    batch_limit: usize,
+    controller: &BatchController,
     linger: Duration,
     observe: bool,
     tx: SyncSender<Epoch>,
 ) {
     let mut heap: BinaryHeap<Reverse<ByTs>> = BinaryHeap::new();
     let mut finished = false;
-    let heap_target = batch_limit.saturating_mul(2).max(64);
+    let heap_target = controller.max_target().saturating_mul(2).max(64);
     let mut stalls = 0u32;
+    let qos = inner.qos.enabled();
     loop {
         inner.wait_gate();
+        // The closed-loop batch target for this epoch (constant under
+        // EpochSizing::Fixed).
+        let batch_limit = controller.target().max(1);
+        if qos && !finished {
+            admit_lanes(inner, state, shard, batch_limit, &mut heap);
+        }
         // Watermark BEFORE the drain: every entry below it is enqueued at
         // this instant, so the drain below cannot miss one (module docs).
+        // Lane entries admitted above drew their timestamps before this
+        // read, so they are covered too.
         let wm = inner.watermark();
         if !finished && (heap.len() < heap_target || stalls > 0) {
             let wait = if heap.is_empty() {
@@ -913,7 +1170,7 @@ fn combiner_loop(
             }
             continue;
         }
-        let mut ready = pop_ready(&mut heap, wm, batch_limit, Vec::new());
+        let ready = pop_ready(&mut heap, wm, batch_limit, Vec::new());
         if ready.is_empty() {
             // Head-of-line entry above the watermark: some submitter that
             // drew an earlier timestamp is still enqueueing (or blocked on
@@ -928,7 +1185,11 @@ fn combiner_loop(
             continue;
         }
         stalls = 0;
-        // Linger for the epoch to fill toward batch_limit.
+        // Expired entries resolve TimedOut *before* any lingering: a
+        // short-deadline request must not sit out a long linger window
+        // waiting for the epoch to fill.
+        let mut ready = expire_ready(state, ready);
+        // Linger for the epoch to fill toward the batch target.
         if ready.len() < batch_limit && !finished && !linger.is_zero() {
             let deadline = Instant::now() + linger;
             loop {
@@ -936,30 +1197,45 @@ fn combiner_loop(
                 if now >= deadline || ready.len() >= batch_limit || finished {
                     break;
                 }
+                // Wake no later than the earliest deadline among the
+                // gathered entries, so one expiring mid-linger resolves
+                // then — not when the linger runs out.
+                let wake = ready
+                    .iter()
+                    .filter_map(|e| e.deadline)
+                    .fold(deadline, |acc, d| acc.min(d));
                 let wm = inner.watermark();
                 let Drained {
                     entries,
                     finished: f,
-                } = state.queue.drain(usize::MAX, Some(deadline - now));
+                } = state
+                    .queue
+                    .drain(usize::MAX, Some(wake.saturating_duration_since(now)));
                 finished = f;
                 heap.extend(entries.into_iter().map(|e| Reverse(ByTs(e))));
+                if qos && !finished {
+                    // A lane arrival also wakes the drain; admit it (its
+                    // timestamp lands above `wm`, so it joins the *next*
+                    // pop) instead of spinning on a non-empty lane.
+                    admit_lanes(
+                        inner,
+                        state,
+                        shard,
+                        batch_limit.saturating_sub(ready.len()).max(1),
+                        &mut heap,
+                    );
+                }
                 ready = pop_ready(&mut heap, wm, batch_limit, ready);
+                ready = expire_ready(state, ready);
             }
         }
         debug_assert!(
             ready.windows(2).all(|w| w[0].req.ts < w[1].req.ts),
             "epoch must carry a strictly ascending timestamp slice"
         );
-        let now = Instant::now();
-        let (live, expired): (Vec<Entry>, Vec<Entry>) = ready
-            .into_iter()
-            .partition(|e| e.deadline.is_none_or(|d| now < d));
-        if !expired.is_empty() {
-            state.record_timeout(expired.len() as u64);
-            for entry in &expired {
-                entry.completion.resolve_fail(Outcome::TimedOut);
-            }
-        }
+        // Final expiry pass: covers the linger-zero path and anything
+        // that expired since the last refill.
+        let live = expire_ready(state, ready);
         if live.is_empty() {
             continue;
         }
@@ -970,8 +1246,6 @@ fn combiner_loop(
             let n = inner.next_ts.load(Ordering::SeqCst);
             let wm = n.min(inner.inflight.min_active());
             EpochGauges {
-                queue_depth: state.queue.depth() as u64,
-                reorder_pending: heap.len() as u64,
                 watermark_lag: n - wm,
                 inflight: inner.inflight.occupancy(),
             }
@@ -980,10 +1254,159 @@ fn combiner_loop(
             batch,
             plan,
             entries: live,
+            queue_depth: state.queue.depth() as u64,
+            reorder_pending: heap.len() as u64,
+            lane_depth: if qos {
+                state.queue.lane_pending() as u64
+            } else {
+                0
+            },
             gauges,
         };
         if tx.send(epoch).is_err() {
             return; // executor gone
+        }
+    }
+}
+
+/// Resolves `TimedOut` immediately for every expired entry in `ready`,
+/// returning the live remainder in order.
+fn expire_ready(state: &ShardState, ready: Vec<Entry>) -> Vec<Entry> {
+    let now = Instant::now();
+    if ready.iter().all(|e| e.deadline.is_none_or(|d| now < d)) {
+        return ready;
+    }
+    let (live, expired): (Vec<Entry>, Vec<Entry>) = ready
+        .into_iter()
+        .partition(|e| e.deadline.is_none_or(|d| now < d));
+    state.record_timeout(expired.len() as u64);
+    for entry in &expired {
+        entry.completion.resolve_fail(Outcome::TimedOut);
+    }
+    live
+}
+
+/// Admits one WRR-drained batch of staged lane entries: draws timestamps
+/// just-in-time under the in-flight-slot protocol (one slot covers the
+/// whole batch) and pushes each entry into the home heap — or, for a
+/// split range's peer parts, into the peer shards' ingress queues with
+/// all-or-nothing shed-on-full reservations. The admitting combiner never
+/// blocks on a peer queue: blocking there could deadlock two combiners
+/// admitting toward each other's full queues.
+fn admit_lanes(
+    inner: &Inner,
+    state: &ShardState,
+    shard: ShardId,
+    budget: usize,
+    heap: &mut BinaryHeap<Reverse<ByTs>>,
+) {
+    let drained = state.queue.drain_lanes(budget);
+    if drained.is_empty() {
+        return;
+    }
+    let now = Instant::now();
+    {
+        // Publish the slot before drawing any timestamp: peer combiners
+        // must not emit an epoch past these entries until every one —
+        // cross-shard parts included — sits in its queue or heap.
+        let lb = inner.next_ts.load(Ordering::SeqCst);
+        let _slot = inner.inflight.claim(lb);
+        for mut entry in drained {
+            if entry.deadline.is_some_and(|d| now >= d) {
+                // Dead on admission. Count it enqueued + timed out so the
+                // per-tenant books still balance (enqueued = executed +
+                // timed_out).
+                state.record_enqueue(1, 0);
+                state.record_timeout(1);
+                entry.completion.resolve_fail(Outcome::TimedOut);
+                continue;
+            }
+            match inner.route(entry.req.key, entry.req.op) {
+                Route::Empty => unreachable!("empty ranges resolve at submission"),
+                Route::One(s) => {
+                    debug_assert_eq!(s, shard, "lane entry staged on the wrong shard");
+                    let ts = inner.next_ts.fetch_add(1, Ordering::SeqCst);
+                    entry.req.ts = ts;
+                    if let Completion::Direct(cell) = &entry.completion {
+                        cell.set_ts(ts);
+                    }
+                    state.record_enqueue(1, 0);
+                    heap.push(Reverse(ByTs(entry)));
+                }
+                Route::Split(parts) => admit_lane_split(inner, state, shard, heap, entry, &parts),
+            }
+        }
+    }
+    state.queue.lane_drain_done();
+}
+
+/// Fans one lane-staged split range out: home part straight into this
+/// combiner's heap, peer parts into their shards' queues through RAII
+/// reservations taken up front (all-or-nothing; any full peer sheds the
+/// whole range without blocking).
+fn admit_lane_split(
+    inner: &Inner,
+    state: &ShardState,
+    shard: ShardId,
+    heap: &mut BinaryHeap<Reverse<ByTs>>,
+    entry: Entry,
+    parts: &[RangePart],
+) {
+    let Entry {
+        req,
+        deadline,
+        arrival,
+        tenant,
+        completion,
+    } = entry;
+    let cell = match completion {
+        Completion::Direct(cell) => cell,
+        Completion::Part { .. } => unreachable!("lane entries are whole requests"),
+    };
+    let len = match req.op {
+        OpKind::Range { len } => len,
+        _ => unreachable!("only ranges split"),
+    };
+    let mut grants = Vec::with_capacity(parts.len());
+    for p in parts.iter().filter(|p| p.shard != shard) {
+        match inner.shards[p.shard].queue.try_reserve(1) {
+            Some(g) => grants.push(g),
+            None => {
+                // Dropping `grants` releases the earlier reservations.
+                inner.shards[p.shard].record_shed(1, tenant);
+                cell.resolve(Outcome::Rejected);
+                return;
+            }
+        }
+    }
+    let ts = inner.next_ts.fetch_add(1, Ordering::SeqCst);
+    cell.set_ts(ts);
+    let merge = Arc::new(RangeMerge::new(len as usize, parts.len(), cell));
+    let mut grants = grants.into_iter();
+    for p in parts {
+        let part_entry = Entry {
+            req: Request::range(p.lo, p.len, ts),
+            deadline,
+            arrival,
+            tenant,
+            completion: Completion::Part {
+                merge: merge.clone(),
+                offset: p.offset,
+            },
+        };
+        if p.shard == shard {
+            state.record_enqueue(1, 0);
+            heap.push(Reverse(ByTs(part_entry)));
+        } else {
+            let peer = &inner.shards[p.shard];
+            match grants
+                .next()
+                .expect("one grant per peer part")
+                .push(part_entry)
+            {
+                Ok(depth) => peer.record_enqueue(1, depth),
+                Err(e) => e.completion.resolve_fail(Outcome::Rejected),
+            }
         }
     }
 }
@@ -1006,6 +1429,7 @@ fn pop_ready(
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn executor_loop(
     shard: ShardId,
     state: &ShardState,
@@ -1013,6 +1437,7 @@ fn executor_loop(
     opts: EireneOptions,
     replay: Option<ScheduleLog>,
     observe: ObserveConfig,
+    controller: &BatchController,
     rx: &Receiver<Epoch>,
 ) -> ShardReport {
     let mut tree = EireneTree::new(pairs, opts);
@@ -1020,8 +1445,12 @@ fn executor_loop(
         tree.device().set_replay_log(log);
     }
     let control_latency = tree.device().config().control_latency;
+    let adaptive = controller.is_adaptive();
+    let tenants = state.queue.num_tenants();
     let mut stats = KernelStats::default();
     let mut latency = CycleHistogram::new();
+    let mut tenant_latency: Vec<CycleHistogram> =
+        (0..tenants).map(|_| CycleHistogram::new()).collect();
     let (mut clock, mut busy_cycles) = (0u64, 0u64);
     let (mut epochs, mut executed) = (0u64, 0u64);
     let mut spans = observe
@@ -1041,11 +1470,14 @@ fn executor_loop(
         let makespan = run.stats.makespan_cycles.ceil() as u64;
         let end = start + makespan;
         let mut queue_wait = 0u64;
-        let mut epoch_hist = observe.enabled.then(CycleHistogram::new);
+        // The per-epoch histogram also feeds the adaptive controller's
+        // p99 signal, so it is computed whenever either consumer needs it.
+        let mut epoch_hist = (observe.enabled || adaptive).then(CycleHistogram::new);
         for entry in &epoch.entries {
             queue_wait += start - entry.arrival;
             let lat = end - entry.arrival;
             latency.record(lat);
+            tenant_latency[entry.tenant].record(lat);
             if let Some(h) = epoch_hist.as_mut() {
                 h.record(lat);
             }
@@ -1085,14 +1517,28 @@ fn executor_loop(
         busy_cycles += makespan;
         epochs += 1;
         executed += n;
+        if adaptive {
+            // Close the loop: this epoch's realized batch, the backlog
+            // left behind it (ingress + reorder + staged lanes), and its
+            // p99 set the next epoch's target.
+            controller.on_epoch(&EpochFeedback {
+                batch: n,
+                queue_depth: epoch.queue_depth + epoch.lane_depth,
+                reorder_pending: epoch.reorder_pending,
+                epoch_p99: epoch_hist.as_ref().map_or(0, |h| h.p99()),
+            });
+        }
         let m = &state.metrics;
         m.add(m.epochs, 1);
         m.add(m.completed, n);
-        if let Some(epoch_hist) = epoch_hist {
+        if observe.enabled {
+            let epoch_hist = epoch_hist.take().expect("histogram exists when observing");
             m.set(m.epoch_batch, n);
+            m.set(m.queue_depth, epoch.queue_depth);
+            m.set(m.reorder_pending, epoch.reorder_pending);
+            m.set(m.lane_pending, epoch.lane_depth);
+            m.set(m.batch_target, controller.target() as u64);
             if let Some(g) = &epoch.gauges {
-                m.set(m.queue_depth, g.queue_depth);
-                m.set(m.reorder_pending, g.reorder_pending);
                 m.set(m.watermark_lag, g.watermark_lag);
                 m.set(m.inflight, g.inflight);
             }
@@ -1111,6 +1557,10 @@ fn executor_loop(
         m.set(m.reorder_pending, 0);
         m.set(m.watermark_lag, 0);
         m.set(m.inflight, 0);
+        m.set(m.lane_pending, 0);
+        // The terminal sample keeps the controller's final target, so a
+        // sampled series ends on the value the report carries.
+        m.set(m.batch_target, controller.target() as u64);
     }
     let terminal = shard_sample(
         shard,
@@ -1140,6 +1590,7 @@ fn executor_loop(
         }
         None => (Vec::new(), 0),
     };
+    let m = &state.metrics;
     ShardReport {
         shard,
         stats,
@@ -1149,6 +1600,9 @@ fn executor_loop(
         shed: terminal.shed,
         timed_out: terminal.timed_out,
         max_queue_depth: terminal.max_queue_depth,
+        batch_target: controller.target() as u64,
+        tenant_shed: m.tenant_shed.iter().map(|&id| m.get(id)).collect(),
+        tenant_latency,
         latency,
         busy_cycles,
         clock_cycles: clock,
@@ -1190,6 +1644,9 @@ fn shard_sample(
         timed_out: m.get(m.timed_out),
         completed: m.get(m.completed),
         max_queue_depth: m.get(m.max_depth),
+        batch_target: m.get(m.batch_target),
+        lane_pending: m.get(m.lane_pending),
+        tenant_shed: m.tenant_shed.iter().map(|&id| m.get(id)).collect(),
         latency: LatencySummary::from_hist(latency),
         epoch_latency,
     }
@@ -1638,7 +2095,7 @@ mod tests {
         // lower bound below next_ts must cap the watermark.
         let inner = Inner {
             map: ShardMap::uniform(1),
-            shards: vec![Arc::new(ShardState::new(4))],
+            shards: vec![Arc::new(ShardState::new(4, &QosConfig::disabled()))],
             next_ts: AtomicU64::new(10),
             inflight: Inflight::new(),
             baseline_lock: Mutex::new(()),
@@ -1646,6 +2103,9 @@ mod tests {
             gate_cv: Condvar::new(),
             policy: AdmitPolicy::Block,
             admission: AdmissionMode::LockFree,
+            qos: QosConfig::disabled(),
+            fault: FaultPlan::default(),
+            admit_seq: AtomicU64::new(0),
         };
         assert_eq!(inner.watermark(), 10);
         let slot = inner.inflight.claim(6);

@@ -4,8 +4,8 @@
 //! zero-makespan throughput case.
 
 use eirene_serve::{
-    reconcile_samples, AdmitPolicy, ObserveConfig, Outcome, SeriesCollector, ServeConfig, Service,
-    ShardMap,
+    reconcile_samples, AdmitPolicy, EpochSizing, ObserveConfig, Outcome, SeriesCollector,
+    ServeConfig, Service, ShardMap,
 };
 use eirene_workloads::OpKind;
 use std::time::Duration;
@@ -105,7 +105,7 @@ fn sample_series_is_monotone_and_ends_quiescent() {
     let collector = SeriesCollector::new();
     let cfg = ServeConfig {
         map: ShardMap::from_starts(vec![0, 1024]),
-        batch_limit: 128,
+        sizing: EpochSizing::Fixed(128),
         queue_depth: 1 << 14,
         hold_gate: true,
         observe: ObserveConfig::with_observer(collector.clone()),

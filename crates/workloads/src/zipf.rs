@@ -4,6 +4,14 @@
 //!
 //! YCSB's default skew constant is `theta = 0.99`. Items are ranked
 //! 0..n-1; rank 0 is the most popular.
+//!
+//! For `theta < 1` sampling uses Gray's closed-form approximation of the
+//! inverse CDF (O(1) per sample). The closed form degenerates at
+//! `theta = 1` (`alpha = 1/(1-theta)` diverges and the generalized
+//! harmonic sum stops behaving like a power law), so for `theta >= 1`
+//! the generator precomputes the exact cumulative distribution
+//! (`zeta(i)/zeta(n)` — the plain harmonic numbers at `theta = 1`) and
+//! samples by binary search: O(n) memory, O(log n) per sample, exact.
 
 /// Zipfian distribution over `0..n`.
 #[derive(Clone, Debug)]
@@ -14,40 +22,89 @@ pub struct Zipfian {
     zeta_n: f64,
     eta: f64,
     zeta_2: f64,
+    /// Exact inverse-CDF table, populated only for `theta >= 1`:
+    /// `cdf[i] = zeta(i + 1) / zeta(n)`.
+    cdf: Option<Vec<f64>>,
 }
 
 impl Zipfian {
-    /// Creates a generator over `0..n` with skew `theta` (0 < theta < 1).
+    /// Creates a generator over `0..n` with skew `theta` (finite, > 0).
     ///
     /// Precomputes `zeta(n, theta)` in O(n); for the sizes used in the
     /// benchmarks (< 2^26) this is fast enough to do once per workload.
+    /// `theta >= 1` additionally materializes the O(n) exact CDF table.
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "zipfian domain must be non-empty");
         assert!(
-            theta > 0.0 && theta < 1.0,
-            "theta must be in (0, 1), got {theta}"
+            theta.is_finite() && theta > 0.0,
+            "theta must be finite and positive, got {theta}"
         );
-        let zeta_n = Self::zeta(n, theta);
         let zeta_2 = Self::zeta(2, theta);
-        let alpha = 1.0 / (1.0 - theta);
-        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
-        Zipfian {
-            n,
-            theta,
-            alpha,
-            zeta_n,
-            eta,
-            zeta_2,
+        if theta < 1.0 {
+            let zeta_n = Self::zeta(n, theta);
+            let alpha = 1.0 / (1.0 - theta);
+            let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
+            Zipfian {
+                n,
+                theta,
+                alpha,
+                zeta_n,
+                eta,
+                zeta_2,
+                cdf: None,
+            }
+        } else {
+            let mut cdf = Vec::with_capacity(n as usize);
+            let mut acc = 0.0;
+            for i in 1..=n {
+                acc += Self::term(i, theta);
+                cdf.push(acc);
+            }
+            let zeta_n = acc;
+            for c in &mut cdf {
+                *c /= zeta_n;
+            }
+            // Guard against the floating-point sum landing a hair below
+            // 1.0: the last bucket must cover every u in [0, 1).
+            if let Some(last) = cdf.last_mut() {
+                *last = 1.0;
+            }
+            Zipfian {
+                n,
+                theta,
+                // Unused on the table path; keep well-defined values so
+                // Debug output and accessors stay meaningful.
+                alpha: f64::INFINITY,
+                zeta_n,
+                eta: 0.0,
+                zeta_2,
+                cdf: Some(cdf),
+            }
+        }
+    }
+
+    /// `1 / i^theta`, with the harmonic special case at `theta = 1`
+    /// (exact reciprocal, no `powf`).
+    #[inline]
+    fn term(i: u64, theta: f64) -> f64 {
+        if theta == 1.0 {
+            1.0 / i as f64
+        } else {
+            1.0 / (i as f64).powf(theta)
         }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
-        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        (1..=n).map(|i| Self::term(i, theta)).sum()
     }
 
     /// Maps a uniform sample `u ∈ [0, 1)` to a zipfian-distributed rank.
     pub fn rank(&self, u: f64) -> u64 {
         debug_assert!((0.0..1.0).contains(&u));
+        if let Some(cdf) = &self.cdf {
+            // First rank whose cumulative probability exceeds u.
+            return cdf.partition_point(|&c| c <= u) as u64;
+        }
         let uz = u * self.zeta_n;
         if uz < 1.0 {
             return 0;
@@ -81,15 +138,20 @@ mod tests {
     use super::*;
     use rand::{Rng, SeedableRng};
 
-    #[test]
-    fn rank_zero_is_most_popular() {
-        let z = Zipfian::new(1000, 0.99);
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
-        let mut counts = vec![0u64; 1000];
-        for _ in 0..100_000 {
+    fn sample_counts(z: &Zipfian, samples: usize, seed: u64) -> Vec<u64> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut counts = vec![0u64; z.domain() as usize];
+        for _ in 0..samples {
             let r = z.rank(rng.gen::<f64>());
             counts[r as usize] += 1;
         }
+        counts
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = Zipfian::new(1000, 0.99);
+        let counts = sample_counts(&z, 100_000, 7);
         // Rank 0 must dominate rank 10 which must dominate rank 500.
         assert!(counts[0] > counts[10]);
         assert!(counts[10] > counts[500]);
@@ -113,6 +175,66 @@ mod tests {
         assert!(z.rank(0.999_999) < 100);
     }
 
+    /// The ROADMAP skew sweep covers theta = 0.5..1.2; the generator must
+    /// produce the right distribution *shape* across the theta = 1
+    /// boundary, not just avoid panicking. For each theta the empirical
+    /// head probabilities must match `1/i^theta / zeta(n)` closely, and
+    /// the popularity ratio P(0)/P(1) must track `2^theta`.
+    #[test]
+    fn distribution_shape_across_theta_one() {
+        let n = 1000u64;
+        let samples = 200_000usize;
+        for (case, &theta) in [0.99, 1.0, 1.2].iter().enumerate() {
+            let z = Zipfian::new(n, theta);
+            let counts = sample_counts(&z, samples, 11 + case as u64);
+            let zeta_n = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum::<f64>();
+            for rank in [0usize, 1, 2, 9] {
+                let expect = 1.0 / ((rank + 1) as f64).powf(theta) / zeta_n;
+                let got = counts[rank] as f64 / samples as f64;
+                assert!(
+                    (got - expect).abs() < 0.15 * expect + 0.002,
+                    "theta={theta} rank={rank}: empirical {got:.5} vs exact {expect:.5}"
+                );
+            }
+            let ratio = counts[0] as f64 / counts[1] as f64;
+            let expect_ratio = 2f64.powf(theta);
+            assert!(
+                (ratio - expect_ratio).abs() < 0.35,
+                "theta={theta}: P(0)/P(1) = {ratio:.3}, expected ~{expect_ratio:.3}"
+            );
+            // Every rank reachable, none out of domain (counts vec would
+            // have panicked), and the tail is strictly less popular.
+            assert!(counts[0] > counts[100]);
+            assert!(counts[100] >= counts[900].saturating_sub(50));
+        }
+    }
+
+    /// theta >= 1 used to panic outright; the full ROADMAP sweep range
+    /// must now construct and sample in-domain.
+    #[test]
+    fn roadmap_sweep_range_constructs() {
+        for theta in [0.5, 0.8, 0.99, 1.0, 1.1, 1.2] {
+            let z = Zipfian::new(4096, theta);
+            for i in 0..512 {
+                let u = i as f64 / 512.0;
+                assert!(z.rank(u) < 4096, "theta={theta}");
+            }
+            assert_eq!(z.rank(0.0), 0, "theta={theta}");
+        }
+    }
+
+    #[test]
+    fn exact_table_matches_harmonic_head() {
+        // At theta = 1, P(rank 0) = 1 / H_n exactly.
+        let n = 100u64;
+        let z = Zipfian::new(n, 1.0);
+        let h_n: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+        // u just below 1/H_n maps to rank 0, just above to rank 1.
+        let p0 = 1.0 / h_n;
+        assert_eq!(z.rank(p0 * 0.999), 0);
+        assert_eq!(z.rank(p0 * 1.001), 1);
+    }
+
     #[test]
     #[should_panic(expected = "domain must be non-empty")]
     fn rejects_empty_domain() {
@@ -120,8 +242,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "theta must be in")]
+    #[should_panic(expected = "theta must be finite and positive")]
     fn rejects_bad_theta() {
-        let _ = Zipfian::new(10, 1.5);
+        let _ = Zipfian::new(10, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be finite and positive")]
+    fn rejects_non_finite_theta() {
+        let _ = Zipfian::new(10, f64::INFINITY);
     }
 }

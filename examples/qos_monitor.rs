@@ -22,8 +22,8 @@
 //! ```
 
 use eirene::serve::{
-    reconcile_samples, AdmitPolicy, ObserveConfig, Outcome, SeriesCollector, ServeConfig, Service,
-    ServiceObserver, ShardMap, ShardSample, SloBreach, SloSpec,
+    reconcile_samples, AdmitPolicy, EpochSizing, ObserveConfig, Outcome, SeriesCollector,
+    ServeConfig, Service, ServiceObserver, ShardMap, ShardSample, SloBreach, SloSpec,
 };
 use eirene::sim::DeviceConfig;
 use eirene::workloads::OpKind;
@@ -59,7 +59,7 @@ fn steady_state() {
     let collector = SeriesCollector::new();
     let cfg = ServeConfig {
         map: ShardMap::from_starts(vec![0, 1 << 11]),
-        batch_limit: 256,
+        sizing: EpochSizing::Fixed(256),
         queue_depth: 1 << 14,
         hold_gate: true,
         observe: ObserveConfig {

@@ -9,7 +9,7 @@ use eirene::baselines::common::ConcurrentTree;
 use eirene::btree::refops;
 use eirene::btree::validate::validate;
 use eirene::core::{EireneOptions, EireneTree};
-use eirene::serve::{AdmitPolicy, Outcome, ServeConfig, Service, ShardMap, Ticket};
+use eirene::serve::{AdmitPolicy, EpochSizing, Outcome, ServeConfig, Service, ShardMap, Ticket};
 use eirene::sim::DeviceConfig;
 use eirene::workloads::{
     Batch, Distribution, Mix, OpKind, Oracle, Request, Response, SequentialOracle, WorkloadGen,
@@ -325,7 +325,7 @@ fn serve_config(device: DeviceConfig) -> ServeConfig {
     ServeConfig {
         map: test_map(),
         device,
-        batch_limit: 64, // force multi-epoch histories
+        sizing: EpochSizing::Fixed(64), // force multi-epoch histories
         queue_depth: 1 << 12,
         policy: AdmitPolicy::Block,
         linger: Duration::ZERO,
