@@ -26,7 +26,7 @@ fn usage() -> ! {
         "usage: eirene-bench fuzz [--seed N] [--repro-seed HEX] [--batches N] [--batch N] \
          [--domain N] [--initial-keys N] [--tree {}] [--os-sched] [--inject-fault] \
          [--serve [--shards N] [--submitters N] [--epoch-limit N] [--adaptive] [--tenants N] \
-         [--det]]",
+         [--rebalance] [--hash] [--det]]",
         FuzzTree::ALL
             .iter()
             .map(|t| t.label())
@@ -73,6 +73,8 @@ fn run_serve(args: &[String]) -> i32 {
             "--epoch-limit" => opts.epoch_limit = parse_num(it.next()),
             "--adaptive" => opts.adaptive = true,
             "--tenants" => opts.tenants = parse_num(it.next()),
+            "--rebalance" => opts.rebalance = true,
+            "--hash" => opts.hash = true,
             "--os-sched" => opts.deterministic = false,
             "--det" => opts.deterministic = true,
             _ => usage(),
@@ -80,7 +82,7 @@ fn run_serve(args: &[String]) -> i32 {
     }
     eprintln!(
         "fuzz --serve: {}, {} batches x {} requests, domain {}, {} shards, {} submitter(s), \
-         epoch limit {}{}{}, {}",
+         epoch limit {}{}{}{}, {}",
         match opts.repro {
             Some(s) => format!("replaying batch seed {s:#x}"),
             None => format!("seed {:#x}", opts.seed),
@@ -96,6 +98,13 @@ fn run_serve(args: &[String]) -> i32 {
             format!(", {} tenant lanes", opts.tenants)
         } else {
             String::new()
+        },
+        if opts.rebalance {
+            ", forced rebalancing"
+        } else if opts.hash {
+            ", hash sharding"
+        } else {
+            ""
         },
         if opts.deterministic {
             "deterministic scheduling"

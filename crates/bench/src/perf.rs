@@ -63,7 +63,8 @@ fn ingress_cell(per_thread: usize, admission: AdmissionMode, chunk: usize) -> f6
     };
     // Shards split the workload's key domain so submissions spread.
     let width = ((spec.key_domain() + 1) / INGRESS_SHARDS as u64).max(1) as u32;
-    let map = ShardMap::from_starts((0..INGRESS_SHARDS as u32).map(|i| i * width).collect());
+    let map = ShardMap::from_starts((0..INGRESS_SHARDS as u32).map(|i| i * width).collect())
+        .expect("valid shard starts");
     let pairs: Vec<(u64, u64)> = spec
         .initial_pairs()
         .into_iter()

@@ -21,7 +21,8 @@ use crate::gen::{adversarial_batch, dense_pairs, GenOptions, Profile};
 use crate::shrink::shrink;
 use eirene_serve::{
     reconcile_samples, AdmitPolicy, AimdSpec, Client, EpochSizing, FaultPlan, ObserveConfig,
-    Outcome, QosConfig, SeriesCollector, ServeConfig, Service, ShardMap, Ticket,
+    Outcome, QosConfig, RebalanceAction, RebalanceKind, RebalanceSpec, SeriesCollector,
+    ServeConfig, Service, ShardMap, Sharding, Ticket,
 };
 use eirene_sim::DeviceConfig;
 use eirene_workloads::{Batch, Key, OpKind, Oracle, Request, Response, SequentialOracle};
@@ -60,6 +61,16 @@ pub struct ServeFuzzOptions {
     pub tenants: usize,
     /// Run shard devices under the seeded deterministic scheduler.
     pub deterministic: bool,
+    /// Exercise online rebalancing: half the stream is submitted, then a
+    /// split of shard 0 and a merge of shard 0 into shard 1 are forced
+    /// (migrating live keys) before the rest of the stream races the new
+    /// topology. The unmodified flat oracle must still reproduce every
+    /// response — topology changes are invisible to linearizability.
+    pub rebalance: bool,
+    /// Serve with [`Sharding::Hash`] instead of key ranges: every range
+    /// query scatter-gathers across all shards and must merge to exactly
+    /// what the range-partitioned service (and the flat oracle) produce.
+    pub hash: bool,
     /// Replay mode: use this value directly as the batch seed and try each
     /// generator profile once (same contract as
     /// [`FuzzOptions::repro`](crate::FuzzOptions)).
@@ -80,6 +91,8 @@ impl Default for ServeFuzzOptions {
             adaptive: false,
             tenants: 0,
             deterministic: false,
+            rebalance: false,
+            hash: false,
             repro: None,
         }
     }
@@ -194,6 +207,7 @@ pub fn fuzz_shard_map(shards: usize, domain: u32) -> ShardMap {
     assert!(shards > 0 && (shards as u64) <= domain as u64 + 1);
     let width = (domain / shards as u32).max(1);
     ShardMap::from_starts((0..shards as u32).map(|i| i * width).collect())
+        .expect("valid shard starts")
 }
 
 /// SplitMix64 step (same scheme as the single-tree harness).
@@ -239,6 +253,28 @@ fn tenant_clients(svc: &Service, opts: &ServeFuzzOptions) -> Vec<Client> {
     }
 }
 
+/// Submits one phase of the stream: one client, or `submitters` racing
+/// threads on contiguous slices. Tickets keep submission-slice order so
+/// `tickets[i]` still belongs to `reqs[i]`.
+fn submit_phase(clients: &[Client], reqs: &[Request], submitters: usize, seed: u64) -> Vec<Ticket> {
+    if submitters <= 1 {
+        return submit_stream(clients, reqs, mix(seed));
+    }
+    let chunk = reqs.len().div_ceil(submitters);
+    let mut parts: Vec<Vec<Ticket>> = Vec::with_capacity(submitters);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = reqs
+            .chunks(chunk.max(1))
+            .enumerate()
+            .map(|(t, slice)| {
+                scope.spawn(move || submit_stream(clients, slice, mix(seed ^ t as u64)))
+            })
+            .collect();
+        parts.extend(handles.into_iter().map(|h| h.join().expect("submitter")));
+    });
+    parts.into_iter().flatten().collect()
+}
+
 /// Submits `reqs` through a fresh service over `pairs` — one client, or
 /// `opts.submitters` racing threads on contiguous slices, chunked through
 /// `submit_many` either way — and checks every ticket, the merged
@@ -276,8 +312,17 @@ pub fn run_serve_case(
     } else {
         QosConfig::disabled()
     };
+    // Hash sharding and online rebalancing are mutually exclusive (the
+    // hash topology is fixed), and rebalancing needs a boundary to move.
+    let do_rebalance = opts.rebalance && !opts.hash && map.num_shards() >= 2;
     let cfg = ServeConfig {
         map: map.clone(),
+        sharding: if opts.hash {
+            Sharding::Hash
+        } else {
+            Sharding::Range
+        },
+        rebalance: do_rebalance.then(RebalanceSpec::manual),
         device,
         sizing,
         qos,
@@ -294,28 +339,43 @@ pub fn run_serve_case(
     let svc = Service::new(pairs, cfg);
     let submitters = opts.submitters.max(1);
     let clients = tenant_clients(&svc, opts);
-    let tickets: Vec<Ticket> = if submitters == 1 {
-        submit_stream(&clients, reqs, mix(device_seed))
+    let tickets: Vec<Ticket> = if do_rebalance {
+        // Phase 1 races the original topology behind the held gate...
+        let (head, tail) = reqs.split_at(reqs.len() / 2);
+        let mut tickets = submit_phase(&clients, head, submitters, device_seed);
+        svc.release();
+        // ...then a forced split and a forced merge migrate live keys
+        // (quiescing needs the gate released, so forcing comes after)...
+        svc.force_rebalance(RebalanceAction::Split { shard: 0 });
+        svc.force_rebalance(RebalanceAction::Merge { left: 0 });
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while svc.rebalance_attempts() < 2 {
+            if std::time::Instant::now() > deadline {
+                return Err(ServeViolation::Accounting(
+                    "forced rebalance attempts did not complete within 30s".into(),
+                ));
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        // ...and phase 2 races the moved boundaries.
+        tickets.extend(submit_phase(&clients, tail, submitters, mix(device_seed)));
+        tickets
     } else {
-        // Contiguous slices, one racing thread each; tickets keep global
-        // submission-slice order so `tickets[i]` still belongs to `reqs[i]`.
-        let chunk = reqs.len().div_ceil(submitters);
-        let mut parts: Vec<Vec<Ticket>> = Vec::with_capacity(submitters);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = reqs
-                .chunks(chunk.max(1))
-                .enumerate()
-                .map(|(t, slice)| {
-                    let clients = &clients;
-                    scope.spawn(move || submit_stream(clients, slice, mix(device_seed ^ t as u64)))
-                })
-                .collect();
-            parts.extend(handles.into_iter().map(|h| h.join().expect("submitter")));
-        });
-        parts.into_iter().flatten().collect()
+        let tickets = submit_phase(&clients, reqs, submitters, device_seed);
+        svc.release();
+        tickets
     };
-    svc.release();
     let report = svc.shutdown();
+    if do_rebalance {
+        let has =
+            |kind: RebalanceKind| report.rebalances.iter().any(|e| e.kind == kind && e.forced);
+        if !has(RebalanceKind::Split) || !has(RebalanceKind::Merge) {
+            return Err(ServeViolation::Accounting(format!(
+                "forced rebalance published {:?}: want at least one forced split and one forced merge",
+                report.rebalances
+            )));
+        }
+    }
 
     // Replay the oracle in admission-timestamp order — the service's
     // linearization order whatever the submission interleaving was.
@@ -471,7 +531,7 @@ pub fn run_serve_case(
 pub fn run_reservation_fault_case(queue_depth: usize) -> Result<(), String> {
     let pairs = dense_pairs(64);
     let cfg = ServeConfig {
-        map: ShardMap::from_starts(vec![0]),
+        map: ShardMap::from_starts(vec![0]).expect("valid shard starts"),
         device: DeviceConfig::test_small(),
         sizing: EpochSizing::Fixed(64),
         queue_depth,
@@ -560,6 +620,12 @@ fn replay_command(opts: &ServeFuzzOptions, batch_seed: u64) -> String {
     }
     if opts.tenants > 1 {
         cmd.push_str(&format!(" --tenants {}", opts.tenants));
+    }
+    if opts.rebalance {
+        cmd.push_str(" --rebalance");
+    }
+    if opts.hash {
+        cmd.push_str(" --hash");
     }
     if !opts.deterministic {
         cmd.push_str(" --os-sched");
@@ -674,6 +740,46 @@ mod tests {
         };
         match run_serve_fuzz(&opts) {
             ServeFuzzOutcome::Passed { cases } => assert_eq!(cases, 4),
+            ServeFuzzOutcome::Failed(f) => panic!("unexpected violation:\n{f}"),
+        }
+    }
+
+    #[test]
+    fn serve_fuzz_passes_with_forced_rebalancing() {
+        let opts = ServeFuzzOptions {
+            cases: 6,
+            rebalance: true,
+            ..short_opts()
+        };
+        match run_serve_fuzz(&opts) {
+            ServeFuzzOutcome::Passed { cases } => assert_eq!(cases, 6),
+            ServeFuzzOutcome::Failed(f) => panic!("unexpected violation:\n{f}"),
+        }
+    }
+
+    #[test]
+    fn serve_fuzz_passes_with_rebalancing_and_racing_submitters() {
+        let opts = ServeFuzzOptions {
+            cases: 4,
+            rebalance: true,
+            submitters: 4,
+            ..short_opts()
+        };
+        match run_serve_fuzz(&opts) {
+            ServeFuzzOutcome::Passed { cases } => assert_eq!(cases, 4),
+            ServeFuzzOutcome::Failed(f) => panic!("unexpected violation:\n{f}"),
+        }
+    }
+
+    #[test]
+    fn serve_fuzz_passes_under_hash_sharding() {
+        let opts = ServeFuzzOptions {
+            cases: 6,
+            hash: true,
+            ..short_opts()
+        };
+        match run_serve_fuzz(&opts) {
+            ServeFuzzOutcome::Passed { cases } => assert_eq!(cases, 6),
             ServeFuzzOutcome::Failed(f) => panic!("unexpected violation:\n{f}"),
         }
     }

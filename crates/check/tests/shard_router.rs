@@ -2,11 +2,15 @@
 //! every key routes to exactly one shard, the shards tile the full `u32`
 //! key domain with no gaps or overlaps at range boundaries, the edge keys
 //! `Key::MIN`/`Key::MAX` are addressable, and split ranges reassemble the
-//! original window exactly. Maps are generated from seeded strategies —
-//! no external dependencies beyond the workspace proptest shim.
+//! original window exactly — plus the hash-scatter router ([`hash_shard`])
+//! and the differential property that a hash-scattered service's
+//! scatter-gather range merge equals the range-sharded merge. Maps are
+//! generated from seeded strategies — no external dependencies beyond the
+//! workspace proptest shim.
 
 use eirene_check::fuzz_shard_map;
-use eirene_serve::ShardMap;
+use eirene_serve::{hash_shard, Outcome, ServeConfig, Service, ShardMap, Sharding, Ticket};
+use eirene_workloads::{Key, OpKind};
 use proptest::prelude::*;
 
 /// Arbitrary shard maps: 1..=12 shards with arbitrary interior boundaries.
@@ -17,7 +21,7 @@ fn map_strategy() -> impl Strategy<Value = ShardMap> {
         starts.retain(|&s| s != 0);
         let mut all = vec![0u32];
         all.extend(starts);
-        ShardMap::from_starts(all)
+        ShardMap::from_starts(all).expect("valid shard starts")
     })
 }
 
@@ -92,6 +96,64 @@ proptest! {
         prop_assert_eq!(total, hi - lo as u64 + 1);
         prop_assert_eq!(expect_lo, hi + 1);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_hash_shard_is_total_and_stable(
+        key in any::<u32>(),
+        shards in 1usize..64,
+    ) {
+        let s = hash_shard(key, shards);
+        prop_assert!(s < shards);
+        // Routing is a pure function of (key, shards): the same key must
+        // land on the same shard every time, or point ops would desync.
+        prop_assert_eq!(s, hash_shard(key, shards));
+    }
+}
+
+/// Differential property: the same operation stream through a
+/// hash-scattered service and a range-sharded service must produce
+/// identical responses and final contents — in particular every range
+/// query's all-shard scatter-gather union must equal the range-sharded
+/// positional merge.
+#[test]
+fn hash_scatter_gather_matches_the_range_sharded_merge() {
+    let pairs: Vec<(u64, u64)> = (0..600u64).map(|i| (i * 7, i + 1)).collect();
+    // Mixed stream: point churn plus windows that straddle the range
+    // map's boundaries (so both routers actually split them).
+    let mut ops: Vec<(Key, OpKind)> = Vec::new();
+    for i in 0..200u32 {
+        ops.push((i * 11 % 4200, OpKind::Upsert(i)));
+        ops.push((i * 13 % 4200, OpKind::Query));
+        if i % 5 == 0 {
+            ops.push((i * 17 % 4200, OpKind::Delete));
+        }
+        if i % 7 == 0 {
+            ops.push((i * 19 % 4200, OpKind::Range { len: 1 + i % 300 }));
+        }
+    }
+    let run = |sharding: Sharding| {
+        let cfg = ServeConfig {
+            map: fuzz_shard_map(4, 4200),
+            sharding,
+            hold_gate: true,
+            ..ServeConfig::test_small(4)
+        };
+        let svc = Service::new(&pairs, cfg);
+        let client = svc.client();
+        let tickets: Vec<Ticket> = ops.iter().map(|&(k, op)| client.submit(k, op)).collect();
+        svc.release();
+        let report = svc.shutdown();
+        let outcomes: Vec<Outcome> = tickets.iter().map(|t| t.wait()).collect();
+        (outcomes, report.contents())
+    };
+    let (range_out, range_contents) = run(Sharding::Range);
+    let (hash_out, hash_contents) = run(Sharding::Hash);
+    assert_eq!(range_out, hash_out);
+    assert_eq!(range_contents, hash_contents);
 }
 
 #[test]

@@ -50,11 +50,21 @@
 //!   registered [`ServiceObserver`]. A final *terminal* sample snapshots
 //!   each shard's totals, so sampled series reconcile exactly with the
 //!   shutdown [`ServeReport`] ([`reconcile_samples`]).
+//! - **Skew resilience** — two answers to the hot-shard problem. With
+//!   [`Sharding::Hash`] keys scatter by multiplicative hash, so Zipf-hot
+//!   key *ranges* cannot pile onto one shard (ranges are served by
+//!   scatter-gather to every shard and merged positionally). With range
+//!   sharding plus a [`RebalanceSpec`], an online rebalancer watches each
+//!   shard's backlog and moves shard boundaries live — quiescing the
+//!   affected pair, migrating keys between their trees, and atomically
+//!   publishing the new [`ShardMap`] — emitting a [`RebalanceEvent`] per
+//!   published move.
 
 mod control;
 mod lane;
 mod observe;
 mod queue;
+mod rebalance;
 mod report;
 mod service;
 mod shard;
@@ -67,9 +77,10 @@ pub use observe::{
     ShardSample, SloBreach, SloMonitor, SloObjective, SloSpec,
 };
 pub use queue::AdmitPolicy;
+pub use rebalance::{RebalanceAction, RebalanceEvent, RebalanceKind, RebalanceSpec};
 pub use report::{ServeReport, ShardReport};
 pub use service::{AdmissionMode, Client, FaultPlan, ServeConfig, Service};
-pub use shard::{RangePart, ShardId, ShardMap};
+pub use shard::{hash_shard, RangePart, ShardId, ShardMap, ShardMapError, Sharding};
 pub use ticket::{Outcome, Ticket};
 
 // Span types live in `eirene-telemetry`; re-exported here because the

@@ -16,6 +16,7 @@
 //! the same relaxed atomics the report already needed), combiners skip the
 //! gauge reads, and executors record no spans and emit no samples.
 
+use crate::rebalance::RebalanceEvent;
 use crate::report::ServeReport;
 use crate::shard::ShardId;
 use eirene_telemetry::{CycleHistogram, JsonValue, MetricId, MetricsRegistry};
@@ -44,6 +45,10 @@ pub(crate) struct ShardMetrics {
     pub batch_target: MetricId,
     /// Entries staged on QoS lanes (0 when lanes are disabled).
     pub lane_pending: MetricId,
+    /// Keys owned by the shard's tree as of its last build or rebalance
+    /// migration (sentinel excluded). Not updated per epoch — upserts and
+    /// deletes move it only at the terminal snapshot, where it is exact.
+    pub key_count: MetricId,
     /// Per-tenant shed counters; `tenant_shed[t]` sums into `shed`.
     pub tenant_shed: Vec<MetricId>,
 }
@@ -64,6 +69,7 @@ impl ShardMetrics {
         let epoch_batch = reg.register_gauge("epoch_batch");
         let batch_target = reg.register_gauge("batch_target");
         let lane_pending = reg.register_gauge("lane_pending");
+        let key_count = reg.register_gauge("key_count");
         let tenant_shed = (0..tenants.max(1))
             .map(|t| reg.register_counter(&format!("tenant{t}_shed")))
             .collect();
@@ -82,6 +88,7 @@ impl ShardMetrics {
             epoch_batch,
             batch_target,
             lane_pending,
+            key_count,
             tenant_shed,
         }
     }
@@ -179,6 +186,10 @@ pub struct ShardSample {
     /// Entries staged on QoS lanes when the epoch was emitted (0 with
     /// lanes disabled).
     pub lane_pending: u64,
+    /// Keys owned by this shard's tree as of its last build or rebalance
+    /// migration (exact at the terminal sample). The signal a dashboard
+    /// watches to see load drain off a hot shard.
+    pub key_count: u64,
     /// Cumulative per-tenant shed counts; sums to `shed`.
     pub tenant_shed: Vec<u64>,
     /// Cumulative entries admitted to this shard's queue.
@@ -211,6 +222,7 @@ impl ShardSample {
             ("inflight", JsonValue::from(self.inflight)),
             ("batch_target", JsonValue::from(self.batch_target)),
             ("lane_pending", JsonValue::from(self.lane_pending)),
+            ("key_count", JsonValue::from(self.key_count)),
             (
                 "tenant_shed",
                 JsonValue::Arr(
@@ -416,6 +428,10 @@ pub trait ServiceObserver: Send + Sync {
 
     /// A configured objective was breached at a sample.
     fn on_breach(&self, _breach: &SloBreach) {}
+
+    /// The rebalancer published a topology change. Runs on the
+    /// rebalancer thread, after the new shard map is live.
+    fn on_rebalance(&self, _event: &RebalanceEvent) {}
 }
 
 /// Built-in observer that accumulates the full sample series and breach
@@ -429,6 +445,7 @@ pub struct SeriesCollector {
 struct SeriesState {
     samples: Vec<ShardSample>,
     breaches: Vec<SloBreach>,
+    rebalances: Vec<RebalanceEvent>,
 }
 
 impl SeriesCollector {
@@ -445,6 +462,11 @@ impl SeriesCollector {
     /// Snapshot of every breach event so far.
     pub fn breaches(&self) -> Vec<SloBreach> {
         self.state.lock().unwrap().breaches.clone()
+    }
+
+    /// Snapshot of every rebalance event so far, in publication order.
+    pub fn rebalances(&self) -> Vec<RebalanceEvent> {
+        self.state.lock().unwrap().rebalances.clone()
     }
 
     /// Latest sample per shard, in shard order.
@@ -473,6 +495,10 @@ impl SeriesCollector {
                 "breaches",
                 JsonValue::Arr(st.breaches.iter().map(|b| b.to_json()).collect()),
             ),
+            (
+                "rebalances",
+                JsonValue::Arr(st.rebalances.iter().map(|r| r.to_json()).collect()),
+            ),
         ])
     }
 }
@@ -484,6 +510,10 @@ impl ServiceObserver for SeriesCollector {
 
     fn on_breach(&self, breach: &SloBreach) {
         self.state.lock().unwrap().breaches.push(breach.clone());
+    }
+
+    fn on_rebalance(&self, event: &RebalanceEvent) {
+        self.state.lock().unwrap().rebalances.push(event.clone());
     }
 }
 
@@ -575,6 +605,7 @@ pub fn reconcile_samples(samples: &[ShardSample], report: &ServeReport) -> Resul
             ("clock_cycles", t.clock_cycles, shard.clock_cycles),
             ("latency_count", t.latency.count, shard.latency.count()),
             ("latency_max", t.latency.max, shard.latency.max()),
+            ("key_count", t.key_count, shard.key_count),
         ];
         for (name, sampled, reported) in pairs {
             if sampled != reported {
@@ -621,6 +652,7 @@ mod tests {
             inflight: 0,
             batch_target: 0,
             lane_pending: 0,
+            key_count: 0,
             tenant_shed: vec![shed],
             enqueued,
             shed,

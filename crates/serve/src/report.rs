@@ -1,6 +1,7 @@
 //! Final reports returned by [`Service::shutdown`](crate::Service::shutdown).
 
 use crate::observe::SloBreach;
+use crate::rebalance::RebalanceEvent;
 use crate::shard::ShardId;
 use eirene_sim::{CycleHistogram, DeviceConfig, KernelStats, PhaseStats, ScheduleLog};
 use eirene_telemetry::LifecycleSpan;
@@ -46,6 +47,10 @@ pub struct ShardReport {
     /// Final `(key, value)` contents of the shard's tree, sentinel
     /// filtered.
     pub contents: Vec<(u64, u64)>,
+    /// Keys owned by the shard's tree at shutdown (always
+    /// `contents.len()`); matches the terminal sample's `key_count`
+    /// gauge.
+    pub key_count: u64,
     /// Result of `btree::validate` on the final tree structure.
     pub structure: Result<(), String>,
     /// Lifecycle spans retained by this shard's bounded ring, oldest
@@ -88,6 +93,10 @@ pub struct ServeReport {
     /// The base device configuration the service was built with (cycle ↔
     /// wall-time conversion).
     pub device: DeviceConfig,
+    /// Topology changes the online rebalancer published, in sequence
+    /// order (empty unless [`ServeConfig::rebalance`](crate::ServeConfig)
+    /// was set).
+    pub rebalances: Vec<RebalanceEvent>,
 }
 
 impl ServeReport {
@@ -255,6 +264,12 @@ impl ServeReport {
                 s.tenant_latency.iter().map(|h| h.count()).sum::<u64>(),
                 s.executed,
                 "shard {}: per-tenant latency counts must sum to executed",
+                s.shard
+            );
+            assert_eq!(
+                s.key_count,
+                s.contents.len() as u64,
+                "shard {}: key_count gauge disagrees with the final contents",
                 s.shard
             );
             if s.spans_enabled {

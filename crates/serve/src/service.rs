@@ -59,11 +59,16 @@
 use crate::control::{BatchController, EpochFeedback, EpochSizing};
 use crate::lane::{LaneReject, QosConfig, TenantId};
 use crate::observe::{
-    LatencySummary, ObserveConfig, ShardMetrics, ShardSample, SloBreach, SloMonitor,
+    LatencySummary, ObserveConfig, ServiceObserver, ShardMetrics, ShardSample, SloBreach,
+    SloMonitor,
 };
 use crate::queue::{AdmitPolicy, Drained, Entry, IngressQueue};
+use crate::rebalance::{
+    decide, Decision, RebalanceAction, RebalanceEvent, RebalanceKind, RebalanceShared,
+    RebalanceSpec, Wake,
+};
 use crate::report::{ServeReport, ShardReport};
-use crate::shard::{RangePart, ShardId, ShardMap};
+use crate::shard::{hash_shard, RangePart, ShardId, ShardMap, Sharding};
 use crate::ticket::{CellRef, Completion, Outcome, RangeMerge, Ticket, TicketBatch};
 use eirene_baselines::common::ConcurrentTree;
 use eirene_core::plan::{build_plan, CombinePlan};
@@ -76,8 +81,8 @@ use eirene_workloads::{Batch, Key, OpKind, Request, Response};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -126,8 +131,18 @@ impl FaultPlan {
 /// Configuration of a [`Service`].
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Key-range partition; one device (and tree) per shard.
+    /// Key-range partition; one device (and tree) per shard. Under
+    /// [`Sharding::Hash`] only the shard *count* is used.
     pub map: ShardMap,
+    /// Range (default) or hash-scatter key placement.
+    pub sharding: Sharding,
+    /// Online shard rebalancing: watch the per-shard sample stream and
+    /// move a hot (or cold) range boundary at an epoch boundary. `None`
+    /// (the default) keeps the topology static. Requires range sharding;
+    /// incompatible with schedule replay (migrations rebuild shard
+    /// trees). Setting this forces [`ObserveConfig::enabled`] on — the
+    /// rebalancer feeds on epoch samples.
+    pub rebalance: Option<RebalanceSpec>,
     /// Base device configuration, specialized per shard by
     /// [`Cluster`](eirene_sim::Cluster) (worker split in OS mode, derived
     /// seeds in deterministic mode).
@@ -170,6 +185,8 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             map: ShardMap::uniform(4),
+            sharding: Sharding::default(),
+            rebalance: None,
             device: DeviceConfig::default(),
             sizing: EpochSizing::Fixed(4096),
             qos: QosConfig::disabled(),
@@ -320,7 +337,16 @@ enum Route {
 }
 
 struct Inner {
-    map: ShardMap,
+    /// The live shard map. Admission paths hold the read lock from
+    /// routing until every part of a request is enqueued (so its shard
+    /// counters are booked under the map that routed it); the rebalancer
+    /// takes the write lock to quiesce admission while it migrates keys
+    /// and publishes a moved boundary. Uncontended reads are a few
+    /// nanoseconds — unmeasurable next to a queue push.
+    topology: RwLock<ShardMap>,
+    /// Range or hash-scatter placement. Immutable for the service's
+    /// lifetime.
+    sharding: Sharding,
     shards: Vec<Arc<ShardState>>,
     next_ts: AtomicU64,
     inflight: Inflight,
@@ -369,17 +395,50 @@ impl Inner {
         n.min(self.inflight.min_active())
     }
 
-    fn route(&self, key: Key, op: OpKind) -> Route {
-        match op {
-            OpKind::Range { len } => {
-                let parts = self.map.split_range(key, len);
-                match parts.len() {
-                    0 => Route::Empty,
-                    1 => Route::One(parts[0].shard),
-                    _ => Route::Split(parts),
+    /// Routes one request under `map` (the caller's topology read guard).
+    /// Hash mode ignores the range structure of the map entirely: points
+    /// go to their hash shard, ranges scatter-gather to every shard —
+    /// each part covers the *full* clipped window and returns `Some` only
+    /// at the keys its shard owns; the positional union reassembles the
+    /// window ([`RangeMerge::complete_part`]).
+    fn route(&self, map: &ShardMap, key: Key, op: OpKind) -> Route {
+        match self.sharding {
+            Sharding::Range => match op {
+                OpKind::Range { len } => {
+                    let parts = map.split_range(key, len);
+                    match parts.len() {
+                        0 => Route::Empty,
+                        1 => Route::One(parts[0].shard),
+                        _ => Route::Split(parts),
+                    }
                 }
-            }
-            _ => Route::One(self.map.shard_of(key)),
+                _ => Route::One(map.shard_of(key)),
+            },
+            Sharding::Hash => match op {
+                OpKind::Range { len } => {
+                    let n = self.shards.len();
+                    if len == 0 {
+                        return Route::Empty;
+                    }
+                    if n == 1 {
+                        return Route::One(0);
+                    }
+                    // Clip at the domain edge like split_range: slots past
+                    // the edge stay None, matching the oracle.
+                    let clipped = key.saturating_add(len - 1) - key + 1;
+                    Route::Split(
+                        (0..n)
+                            .map(|shard| RangePart {
+                                shard,
+                                lo: key,
+                                len: clipped,
+                                offset: 0,
+                            })
+                            .collect(),
+                    )
+                }
+                _ => Route::One(hash_shard(key, self.shards.len())),
+            },
         }
     }
 
@@ -487,11 +546,15 @@ impl Inner {
     ) -> Ticket {
         let (ticket, cell) = Ticket::new();
         let _serial = self.serialize_admission();
+        // Hold the topology read lock across route + enqueue: a boundary
+        // cannot move between routing this request and booking it on the
+        // routed shard.
+        let topo = self.topology.read().unwrap();
         if self.qos.enabled() {
-            self.submit_lane(key, op, deadline, arrival, tenant, cell);
+            self.submit_lane(&topo, key, op, deadline, arrival, tenant, cell);
             return ticket;
         }
-        match self.route(key, op) {
+        match self.route(&topo, key, op) {
             Route::Empty => cell.resolve(Outcome::Done(Response::Range(Vec::new()))),
             Route::One(shard) => {
                 // Hot path: no intermediate Vec, one slot claim, one
@@ -529,8 +592,10 @@ impl Inner {
     /// the timestamp at admission ([`admit_lanes`]). A split range's home
     /// is its first part's shard: the combiner re-routes and fans the
     /// parts out when it admits the entry.
+    #[allow(clippy::too_many_arguments)]
     fn submit_lane(
         &self,
+        map: &ShardMap,
         key: Key,
         op: OpKind,
         deadline: Option<Instant>,
@@ -538,7 +603,7 @@ impl Inner {
         tenant: TenantId,
         cell: CellRef,
     ) {
-        let home = match self.route(key, op) {
+        let home = match self.route(map, key, op) {
             Route::Empty => {
                 cell.resolve(Outcome::Done(Response::Range(Vec::new())));
                 return;
@@ -582,9 +647,10 @@ impl Inner {
         let batch = TicketBatch::new(n);
         let mut buckets: Vec<Vec<Entry>> = (0..num_shards).map(|_| Vec::new()).collect();
         let _serial = self.serialize_admission();
+        let topo = self.topology.read().unwrap();
         for (i, (key, op, arrival)) in ops.enumerate() {
             let cell = batch.cell_ref(i);
-            let home = match self.route(key, op) {
+            let home = match self.route(&topo, key, op) {
                 Route::Empty => {
                     cell.resolve(Outcome::Done(Response::Range(Vec::new())));
                     continue;
@@ -655,6 +721,7 @@ impl Inner {
             (0..num_shards).map(|_| None).collect();
         let mut avail = vec![0usize; num_shards];
         let _serial = self.serialize_admission();
+        let topo = self.topology.read().unwrap();
 
         // Under Shed the per-shard demand must be known before any entry
         // is built, so that path routes in a pre-pass and grabs capacity
@@ -669,7 +736,7 @@ impl Inner {
                 let routed: Vec<(Key, OpKind, u64, Route)> = ops
                     .take()
                     .expect("ops iterator consumed twice")
-                    .map(|(key, op, arrival)| (key, op, arrival, self.route(key, op)))
+                    .map(|(key, op, arrival)| (key, op, arrival, self.route(&topo, key, op)))
                     .collect();
                 let mut demand = vec![0usize; num_shards];
                 for (_, _, _, route) in &routed {
@@ -764,7 +831,7 @@ impl Inner {
                     for (i, (key, op, arrival)) in
                         ops.take().expect("ops iterator consumed twice").enumerate()
                     {
-                        let route = self.route(key, op);
+                        let route = self.route(&topo, key, op);
                         admit_one(i, key, op, arrival, route);
                     }
                 }
@@ -840,6 +907,33 @@ struct Epoch {
     gauges: Option<EpochGauges>,
 }
 
+/// What flows over a shard's combiner→executor channel. Epochs come from
+/// the combiner; the migration messages come from the rebalancer, which
+/// only sends them while it holds the topology write lock and the shard
+/// pair is quiescent — so they never interleave with an epoch in flight.
+enum ExecMsg {
+    Epoch(Box<Epoch>),
+    /// Report the keys currently in `[lo, hi]` (the rebalancer picks the
+    /// donor's median key from this).
+    Probe {
+        lo: Key,
+        hi: Key,
+        reply: Sender<Vec<Key>>,
+    },
+    /// Remove and return every pair in `[lo, hi]`; the executor rebuilds
+    /// its tree from the remainder.
+    Extract {
+        lo: Key,
+        hi: Key,
+        reply: Sender<Vec<(u64, u64)>>,
+    },
+    /// Fold migrated pairs into this shard's tree (rebuild).
+    Absorb {
+        pairs: Vec<(u64, u64)>,
+        reply: Sender<()>,
+    },
+}
+
 /// Cloneable submission handle to a running [`Service`]. Handles carry
 /// the tenant they submit as (tenant 0 unless [`Client::for_tenant`]
 /// re-bound it); without QoS lanes the tenant is purely a label.
@@ -911,9 +1005,11 @@ impl Client {
             .submit_many(ops.len(), ops.iter().copied(), None, self.tenant)
     }
 
-    /// The service's shard map.
-    pub fn map(&self) -> &ShardMap {
-        &self.inner.map
+    /// A snapshot of the service's current shard map. With online
+    /// rebalancing enabled the live map can move at any epoch boundary,
+    /// so this returns a clone, not a reference.
+    pub fn map(&self) -> ShardMap {
+        self.inner.topology.read().unwrap().clone()
     }
 
     /// Current ingress-queue depth of one shard.
@@ -929,16 +1025,45 @@ pub struct Service {
     combiners: Vec<JoinHandle<()>>,
     executors: Vec<JoinHandle<ShardReport>>,
     device: DeviceConfig,
+    /// Present iff [`ServeConfig::rebalance`] was set.
+    rebalance: Option<Arc<RebalanceShared>>,
+    rebalancer: Option<JoinHandle<()>>,
 }
 
 impl Service {
     /// Builds the service from strictly-ascending initial `(key, value)`
     /// pairs (keys must fit the `u32` request domain), partitioned onto the
     /// shard trees, and spawns every shard's combiner/executor pair.
-    pub fn new(pairs: &[(u64, u64)], cfg: ServeConfig) -> Self {
+    pub fn new(pairs: &[(u64, u64)], mut cfg: ServeConfig) -> Self {
         let num_shards = cfg.map.num_shards();
         if let Some(replay) = &cfg.replay {
             assert_eq!(replay.len(), num_shards, "one replay log per shard");
+        }
+        if cfg.rebalance.is_some() {
+            assert_eq!(
+                cfg.sharding,
+                Sharding::Range,
+                "online rebalancing moves range boundaries; hash scatter has none"
+            );
+            assert!(
+                cfg.replay.is_none(),
+                "online rebalancing rebuilds shard trees, invalidating schedule replay"
+            );
+            // The rebalancer feeds on the epoch sample stream; span
+            // recording still honors span_capacity (0 records none).
+            cfg.observe.enabled = true;
+        }
+        let rebalance_shared = cfg
+            .rebalance
+            .as_ref()
+            .map(|_| Arc::new(RebalanceShared::default()));
+        if let Some(shared) = &rebalance_shared {
+            shared.set_shards(num_shards);
+            cfg.observe.observer = Some(Arc::new(RebalanceFeed {
+                shared: shared.clone(),
+                user: cfg.observe.observer.take(),
+                last_enqueued: Mutex::new(vec![0; num_shards]),
+            }));
         }
         let cluster = Cluster::new(&cfg.device, num_shards);
         let mut shard_pairs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); num_shards];
@@ -947,7 +1072,11 @@ impl Service {
                 k <= Key::MAX as u64,
                 "initial key {k} outside the u32 request domain"
             );
-            shard_pairs[cfg.map.shard_of(k as Key)].push((k, v));
+            let home = match cfg.sharding {
+                Sharding::Range => cfg.map.shard_of(k as Key),
+                Sharding::Hash => hash_shard(k as Key, num_shards),
+            };
+            shard_pairs[home].push((k, v));
         }
         for sp in &mut shard_pairs {
             sp.push((SENTINEL_KEY, 0));
@@ -956,7 +1085,8 @@ impl Service {
             .map(|_| Arc::new(ShardState::new(cfg.queue_depth, &cfg.qos)))
             .collect();
         let inner = Arc::new(Inner {
-            map: cfg.map.clone(),
+            topology: RwLock::new(cfg.map.clone()),
+            sharding: cfg.sharding,
             shards: states.clone(),
             next_ts: AtomicU64::new(0),
             inflight: Inflight::new(),
@@ -975,9 +1105,17 @@ impl Service {
         };
         let mut combiners = Vec::with_capacity(num_shards);
         let mut executors = Vec::with_capacity(num_shards);
+        // The rebalancer keeps a clone of every executor channel for its
+        // migration messages; the clones exist only when rebalancing is
+        // configured, so executors still exit when their combiner (and
+        // the joined rebalancer) drop their senders.
+        let mut exec_txs: Vec<SyncSender<ExecMsg>> = Vec::new();
         for (shard, pairs) in shard_pairs.into_iter().enumerate() {
             let shard_cfg = cluster.config(shard).clone();
-            let (tx, rx) = std::sync::mpsc::sync_channel::<Epoch>(1);
+            let (tx, rx) = std::sync::mpsc::sync_channel::<ExecMsg>(1);
+            if rebalance_shared.is_some() {
+                exec_txs.push(tx.clone());
+            }
             let (inner2, state) = (inner.clone(), states[shard].clone());
             let (plan_cfg, linger) = (shard_cfg.clone(), cfg.linger);
             // One controller per shard, shared combiner-side (reads the
@@ -1027,11 +1165,24 @@ impl Service {
                     .expect("spawn executor"),
             );
         }
+        let rebalancer = cfg.rebalance.map(|spec| {
+            let shared = rebalance_shared
+                .clone()
+                .expect("shared state exists when rebalance is configured");
+            let inner2 = inner.clone();
+            let observer = cfg.observe.observer.clone();
+            std::thread::Builder::new()
+                .name("serve-rebalance".into())
+                .spawn(move || rebalancer_loop(&inner2, &shared, &spec, &exec_txs, observer))
+                .expect("spawn rebalancer")
+        });
         Service {
             inner,
             combiners,
             executors,
             device: cfg.device,
+            rebalance: rebalance_shared,
+            rebalancer,
         }
     }
 
@@ -1049,10 +1200,53 @@ impl Service {
         self.inner.release_gate();
     }
 
+    /// Queues an explicit topology change on the rebalancer, bypassing
+    /// the sample-driven policy (tests and the fuzzer use this with
+    /// [`RebalanceSpec::manual`] for deterministic splits/merges). The
+    /// action runs asynchronously; poll [`rebalance_attempts`]
+    /// (monotone, bumped once per processed action — published or
+    /// skipped) to await it. Do not force while the epoch gate is held:
+    /// quiescing a shard pair needs the combiners draining.
+    ///
+    /// # Panics
+    /// Panics if the service was built without [`ServeConfig::rebalance`].
+    ///
+    /// [`rebalance_attempts`]: Service::rebalance_attempts
+    pub fn force_rebalance(&self, action: RebalanceAction) {
+        self.rebalance
+            .as_ref()
+            .expect("service was built without ServeConfig::rebalance")
+            .force(action);
+    }
+
+    /// Rebalance actions fully processed so far (published or skipped as
+    /// no-ops). 0 when rebalancing is not configured.
+    pub fn rebalance_attempts(&self) -> u64 {
+        self.rebalance.as_ref().map_or(0, |s| s.attempts_done())
+    }
+
+    /// Topology changes published so far, in sequence order.
+    pub fn rebalance_events(&self) -> Vec<RebalanceEvent> {
+        self.rebalance
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.events())
+    }
+
     /// Drains and stops the service: closes admission, executes every
     /// already-admitted epoch, joins the pipelines, and returns the final
     /// report.
-    pub fn shutdown(self) -> ServeReport {
+    pub fn shutdown(mut self) -> ServeReport {
+        // Stop the rebalancer first: it holds executor channel senders
+        // (joined executors below require every sender dropped), and no
+        // topology change may race the close sequence.
+        let rebalances = match (self.rebalancer.take(), self.rebalance.take()) {
+            (Some(handle), Some(shared)) => {
+                shared.stop();
+                handle.join().expect("rebalancer panicked");
+                shared.events()
+            }
+            _ => Vec::new(),
+        };
         if self.inner.qos.enabled() {
             // Two-phase in QoS mode: refuse new lane arrivals first and
             // let the combiners admit everything already staged (a lane
@@ -1083,6 +1277,7 @@ impl Service {
         ServeReport {
             shards,
             device: self.device,
+            rebalances,
         }
     }
 }
@@ -1131,7 +1326,7 @@ fn combiner_loop(
     controller: &BatchController,
     linger: Duration,
     observe: bool,
-    tx: SyncSender<Epoch>,
+    tx: SyncSender<ExecMsg>,
 ) {
     let mut heap: BinaryHeap<Reverse<ByTs>> = BinaryHeap::new();
     let mut finished = false;
@@ -1263,7 +1458,7 @@ fn combiner_loop(
             },
             gauges,
         };
-        if tx.send(epoch).is_err() {
+        if tx.send(ExecMsg::Epoch(Box::new(epoch))).is_err() {
             return; // executor gone
         }
     }
@@ -1300,6 +1495,16 @@ fn admit_lanes(
     budget: usize,
     heap: &mut BinaryHeap<Reverse<ByTs>>,
 ) {
+    // Never block on the topology here: the rebalancer holds the write
+    // lock while quiescing this very combiner's shard, and a combiner
+    // parked on the read lock could never drain — deadlock. Skip the
+    // admission pass instead (entries stay staged); the short sleep keeps
+    // the loop from hot-spinning meanwhile, since staged lane entries
+    // defeat the ingress drain's idle wait.
+    let Ok(topo) = inner.topology.try_read() else {
+        std::thread::sleep(Duration::from_micros(50));
+        return;
+    };
     let drained = state.queue.drain_lanes(budget);
     if drained.is_empty() {
         return;
@@ -1321,17 +1526,36 @@ fn admit_lanes(
                 entry.completion.resolve_fail(Outcome::TimedOut);
                 continue;
             }
-            match inner.route(entry.req.key, entry.req.op) {
+            match inner.route(&topo, entry.req.key, entry.req.op) {
                 Route::Empty => unreachable!("empty ranges resolve at submission"),
                 Route::One(s) => {
-                    debug_assert_eq!(s, shard, "lane entry staged on the wrong shard");
                     let ts = inner.next_ts.fetch_add(1, Ordering::SeqCst);
                     entry.req.ts = ts;
                     if let Completion::Direct(cell) = &entry.completion {
                         cell.set_ts(ts);
                     }
-                    state.record_enqueue(1, 0);
-                    heap.push(Reverse(ByTs(entry)));
+                    if s == shard {
+                        state.record_enqueue(1, 0);
+                        heap.push(Reverse(ByTs(entry)));
+                    } else {
+                        // A rebalance moved the boundary between staging
+                        // and admission: forward to the owning shard,
+                        // shed-on-full (a combiner never blocks on a peer
+                        // queue). The in-flight slot above still covers
+                        // the drawn timestamp until the push lands.
+                        let tenant = entry.tenant;
+                        let peer = &inner.shards[s];
+                        match peer.queue.try_reserve(1) {
+                            Some(mut grant) => match grant.push(entry) {
+                                Ok(depth) => peer.record_enqueue(1, depth),
+                                Err(e) => e.completion.resolve_fail(Outcome::Rejected),
+                            },
+                            None => {
+                                peer.record_shed(1, tenant);
+                                entry.completion.resolve_fail(Outcome::Rejected);
+                            }
+                        }
+                    }
                 }
                 Route::Split(parts) => admit_lane_split(inner, state, shard, heap, entry, &parts),
             }
@@ -1438,12 +1662,18 @@ fn executor_loop(
     replay: Option<ScheduleLog>,
     observe: ObserveConfig,
     controller: &BatchController,
-    rx: &Receiver<Epoch>,
+    rx: &Receiver<ExecMsg>,
 ) -> ShardReport {
-    let mut tree = EireneTree::new(pairs, opts);
+    // `opts` outlives the first build: rebalance migrations rebuild the
+    // tree from its surviving contents with the same options.
+    let mut tree = EireneTree::new(pairs, opts.clone());
     if let Some(log) = replay {
         tree.device().set_replay_log(log);
     }
+    // Sentinel excluded: the gauge counts client-visible keys.
+    state
+        .metrics
+        .set(state.metrics.key_count, pairs.len() as u64 - 1);
     let control_latency = tree.device().config().control_latency;
     let adaptive = controller.is_adaptive();
     let tenants = state.queue.num_tenants();
@@ -1461,7 +1691,53 @@ fn executor_loop(
         .then(|| observe.slo.map(SloMonitor::new))
         .flatten();
     let mut breaches: Vec<SloBreach> = Vec::new();
-    while let Ok(epoch) = rx.recv() {
+    while let Ok(msg) = rx.recv() {
+        let epoch = match msg {
+            ExecMsg::Epoch(epoch) => *epoch,
+            ExecMsg::Probe { lo, hi, reply } => {
+                let keys = eirene_btree::refops::contents(tree.device().mem(), tree.handle())
+                    .into_iter()
+                    .map(|(k, _)| k)
+                    .filter(|&k| k >= lo as u64 && k <= hi as u64)
+                    .map(|k| k as Key)
+                    .collect();
+                let _ = reply.send(keys);
+                continue;
+            }
+            ExecMsg::Extract { lo, hi, reply } => {
+                // Partition the live contents and rebuild from the keep
+                // side. The sentinel key sits above the u32 domain, so it
+                // always survives (`hi` is a u32 key) and the rebuilt
+                // tree is never empty. Migration is host work: it charges
+                // no virtual cycles and leaves the shard clock alone.
+                let all = eirene_btree::refops::contents(tree.device().mem(), tree.handle());
+                let (moved, keep): (Vec<_>, Vec<_>) = all
+                    .into_iter()
+                    .partition(|&(k, _)| k >= lo as u64 && k <= hi as u64);
+                tree = EireneTree::new(&keep, opts.clone());
+                state
+                    .metrics
+                    .set(state.metrics.key_count, keep.len() as u64 - 1);
+                let _ = reply.send(moved);
+                continue;
+            }
+            ExecMsg::Absorb {
+                pairs: migrated,
+                reply,
+            } => {
+                let mut all = eirene_btree::refops::contents(tree.device().mem(), tree.handle());
+                all.extend(migrated);
+                // Shards own disjoint key sets, so the merge has no
+                // duplicates; bulk_build wants ascending keys.
+                all.sort_unstable();
+                tree = EireneTree::new(&all, opts.clone());
+                state
+                    .metrics
+                    .set(state.metrics.key_count, all.len() as u64 - 1);
+                let _ = reply.send(());
+                continue;
+            }
+        };
         // Virtual-clock model: an epoch cannot start before the shard is
         // free *and* its last member has arrived.
         let arrived = epoch.entries.iter().map(|e| e.arrival).max().unwrap_or(0);
@@ -1562,6 +1838,20 @@ fn executor_loop(
         // sampled series ends on the value the report carries.
         m.set(m.batch_target, controller.target() as u64);
     }
+    let structure = eirene_btree::validate::validate(tree.device().mem(), tree.handle())
+        .map(|_| ())
+        .map_err(|e| e.to_string());
+    let contents: Vec<(u64, u64)> =
+        eirene_btree::refops::contents(tree.device().mem(), tree.handle())
+            .into_iter()
+            .filter(|&(k, _)| k != SENTINEL_KEY)
+            .collect();
+    // Contents are final here (the pipeline has drained), so the
+    // terminal sample's key_count is exact — mid-run the gauge only
+    // tracks builds and migrations, not per-epoch mutations.
+    state
+        .metrics
+        .set(state.metrics.key_count, contents.len() as u64);
     let terminal = shard_sample(
         shard,
         state,
@@ -1575,14 +1865,6 @@ fn executor_loop(
     if observe.enabled {
         emit_sample(&observe, &mut slo, &mut breaches, terminal.clone());
     }
-    let structure = eirene_btree::validate::validate(tree.device().mem(), tree.handle())
-        .map(|_| ())
-        .map_err(|e| e.to_string());
-    let contents: Vec<(u64, u64)> =
-        eirene_btree::refops::contents(tree.device().mem(), tree.handle())
-            .into_iter()
-            .filter(|&(k, _)| k != SENTINEL_KEY)
-            .collect();
     let (spans, spans_dropped) = match spans {
         Some(ring) => {
             let dropped = ring.dropped();
@@ -1607,6 +1889,7 @@ fn executor_loop(
         busy_cycles,
         clock_cycles: clock,
         schedule: tree.device().take_schedule_log(),
+        key_count: contents.len() as u64,
         contents,
         structure,
         spans,
@@ -1646,6 +1929,7 @@ fn shard_sample(
         max_queue_depth: m.get(m.max_depth),
         batch_target: m.get(m.batch_target),
         lane_pending: m.get(m.lane_pending),
+        key_count: m.get(m.key_count),
         tenant_shed: m.tenant_shed.iter().map(|&id| m.get(id)).collect(),
         latency: LatencySummary::from_hist(latency),
         epoch_latency,
@@ -1671,6 +1955,290 @@ fn emit_sample(
             breaches.push(breach);
         }
     }
+}
+
+/// Observer shim installed when rebalancing is configured: forwards every
+/// callback to the user's observer (if any) and feeds each shard's load
+/// into the rebalancer's shared state. The load signal is the shard's
+/// standing backlog (ingress depth + reorder heap + staged lanes) *plus*
+/// its arrivals since the previous sample: executors simulate device time
+/// on a virtual clock while draining queues at host speed, so a hot shard
+/// can run epoch after epoch with an empty ingress queue — its heat shows
+/// up in the arrival rate, not the instantaneous depth. The rate term
+/// exposes it either way; under real backpressure the depth term
+/// dominates instead.
+struct RebalanceFeed {
+    shared: Arc<RebalanceShared>,
+    user: Option<Arc<dyn ServiceObserver>>,
+    /// Cumulative `enqueued` per shard at its previous sample.
+    last_enqueued: Mutex<Vec<u64>>,
+}
+
+impl ServiceObserver for RebalanceFeed {
+    fn on_sample(&self, sample: &ShardSample) {
+        let arrivals = {
+            let mut last = self.last_enqueued.lock().unwrap();
+            if sample.shard >= last.len() {
+                last.resize(sample.shard + 1, 0);
+            }
+            let d = sample.enqueued.saturating_sub(last[sample.shard]);
+            last[sample.shard] = sample.enqueued;
+            d
+        };
+        self.shared.note_sample(
+            sample.shard,
+            sample.queue_depth + sample.reorder_pending + sample.lane_pending + arrivals,
+            sample.terminal,
+        );
+        if let Some(user) = &self.user {
+            user.on_sample(sample);
+        }
+    }
+
+    fn on_breach(&self, breach: &SloBreach) {
+        if let Some(user) = &self.user {
+            user.on_breach(breach);
+        }
+    }
+
+    fn on_rebalance(&self, event: &RebalanceEvent) {
+        if let Some(user) = &self.user {
+            user.on_rebalance(event);
+        }
+    }
+}
+
+/// The rebalancer thread: sleeps on the shared state, runs the hysteresis
+/// policy over each fresh round of backlog samples, and executes
+/// policy-chosen or forced boundary moves. Owns a sender clone of every
+/// executor channel for the migration messages.
+fn rebalancer_loop(
+    inner: &Inner,
+    shared: &RebalanceShared,
+    spec: &RebalanceSpec,
+    exec_txs: &[SyncSender<ExecMsg>],
+    observer: Option<Arc<dyn ServiceObserver>>,
+) {
+    let mut streaks = vec![0i64; inner.shards.len()];
+    // Warmup doubles as an initial cooldown: early rounds are skipped so
+    // the first decisions see a sample from every busy shard, not just
+    // the quick light ones.
+    let mut cooldown = spec.warmup_rounds;
+    let mut seq = 0u64;
+    loop {
+        let action = match shared.wait() {
+            Wake::Stop => return,
+            Wake::Forced(action) => Some((action, true)),
+            Wake::Samples(depths) => {
+                if cooldown > 0 {
+                    cooldown -= 1;
+                    continue;
+                }
+                match decide(&depths, &mut streaks, spec) {
+                    Decision::Act(action) => Some((action, false)),
+                    Decision::None => None,
+                }
+            }
+        };
+        let Some((action, forced)) = action else {
+            continue;
+        };
+        let published = execute_rebalance(
+            inner, shared, spec, exec_txs, &observer, action, forced, &mut seq,
+        );
+        // Whatever happened, this streak is consumed; on a publish let the
+        // queues re-equilibrate before judging the new map.
+        streaks.iter_mut().for_each(|s| *s = 0);
+        if published {
+            cooldown = spec.cooldown_epochs;
+        }
+        shared.attempt_done();
+    }
+}
+
+/// Blocks until both pair shards have drained completely — every admitted
+/// entry executed or timed out, which (with the topology write lock held,
+/// so no new admissions) also means empty ingress queue, empty reorder
+/// heap, and no epoch in the executor channel. Returns false if shutdown
+/// was requested mid-wait (the gate being held also parks us here until
+/// then: callers must not quiesce a gated service).
+fn quiesce_pair(inner: &Inner, shared: &RebalanceShared, pair: [ShardId; 2]) -> bool {
+    loop {
+        if shared.stopping() {
+            return false;
+        }
+        let drained = pair.iter().all(|&s| {
+            let m = &inner.shards[s].metrics;
+            m.get(m.enqueued) == m.get(m.completed) + m.get(m.timed_out)
+        });
+        if drained {
+            return true;
+        }
+        std::thread::sleep(Duration::from_micros(50));
+    }
+}
+
+fn exec_probe(tx: &SyncSender<ExecMsg>, lo: Key, hi: Key) -> Vec<Key> {
+    let (reply, rx) = std::sync::mpsc::channel();
+    if tx.send(ExecMsg::Probe { lo, hi, reply }).is_err() {
+        return Vec::new();
+    }
+    rx.recv().unwrap_or_default()
+}
+
+fn exec_extract(tx: &SyncSender<ExecMsg>, lo: Key, hi: Key) -> Vec<(u64, u64)> {
+    let (reply, rx) = std::sync::mpsc::channel();
+    if tx.send(ExecMsg::Extract { lo, hi, reply }).is_err() {
+        return Vec::new();
+    }
+    rx.recv().unwrap_or_default()
+}
+
+fn exec_absorb(tx: &SyncSender<ExecMsg>, pairs: Vec<(u64, u64)>) {
+    let (reply, rx) = std::sync::mpsc::channel();
+    if tx.send(ExecMsg::Absorb { pairs, reply }).is_ok() {
+        let _ = rx.recv();
+    }
+}
+
+/// Executes one topology change end to end: write-lock the topology
+/// (stalling new admissions; in-flight read-held admissions finish
+/// first), quiesce the affected adjacent pair, migrate keys between their
+/// trees, then publish the moved boundary and release. Returns whether a
+/// change was published (infeasible actions — degenerate spans, missing
+/// neighbors, already-merged pairs — are skipped, not errors).
+#[allow(clippy::too_many_arguments)]
+fn execute_rebalance(
+    inner: &Inner,
+    shared: &RebalanceShared,
+    spec: &RebalanceSpec,
+    exec_txs: &[SyncSender<ExecMsg>],
+    observer: &Option<Arc<dyn ServiceObserver>>,
+    action: RebalanceAction,
+    forced: bool,
+    seq: &mut u64,
+) -> bool {
+    let n = inner.shards.len();
+    if n < 2 {
+        return false;
+    }
+    let mut topo = inner.topology.write().unwrap();
+    let event = match action {
+        RebalanceAction::Split { shard } => {
+            if shard >= n {
+                return false;
+            }
+            let (lo, hi) = (topo.start_of(shard), topo.end_of(shard));
+            if !forced && (hi - lo) < spec.min_span {
+                return false;
+            }
+            // Donate toward the lighter adjacent neighbor (edge shards
+            // have only one choice).
+            let depths = shared.depths();
+            let weight = |s: ShardId| depths.get(s).copied().unwrap_or(0);
+            let give_right = match (shard > 0, shard + 1 < n) {
+                (_, false) => false,
+                (false, true) => true,
+                (true, true) => weight(shard + 1) <= weight(shard - 1),
+            };
+            let receiver = if give_right { shard + 1 } else { shard - 1 };
+            if !quiesce_pair(inner, shared, [shard, receiver]) {
+                return false;
+            }
+            // Median key of the *actual* keys, not the span midpoint:
+            // under skew the hot mass sits in a narrow band, and halving
+            // the keys (instead of the range) is what halves the load.
+            let keys = exec_probe(&exec_txs[shard], lo, hi);
+            if keys.is_empty() {
+                return false;
+            }
+            let median = keys[keys.len() / 2];
+            if give_right {
+                // Donor keeps [lo, b-1], receiver gains [b, hi]; b > lo
+                // keeps the donor non-empty.
+                let b = median.max(lo + 1);
+                let old_start = topo.start_of(receiver);
+                let Ok(new_map) = topo.with_boundary(receiver, b) else {
+                    return false;
+                };
+                let moved = exec_extract(&exec_txs[shard], b, hi);
+                exec_absorb(&exec_txs[receiver], moved.clone());
+                *topo = new_map;
+                RebalanceEvent {
+                    seq: *seq + 1,
+                    kind: RebalanceKind::Split,
+                    boundary: receiver,
+                    old_start,
+                    new_start: b,
+                    from: shard,
+                    to: receiver,
+                    moved_keys: moved.len() as u64,
+                    forced,
+                }
+            } else {
+                // Donor keeps [b, hi], receiver gains [lo, b-1].
+                let b = median.max(lo + 1);
+                let Ok(new_map) = topo.with_boundary(shard, b) else {
+                    return false;
+                };
+                let moved = exec_extract(&exec_txs[shard], lo, b - 1);
+                exec_absorb(&exec_txs[receiver], moved.clone());
+                *topo = new_map;
+                RebalanceEvent {
+                    seq: *seq + 1,
+                    kind: RebalanceKind::Split,
+                    boundary: shard,
+                    old_start: lo,
+                    new_start: b,
+                    from: shard,
+                    to: receiver,
+                    moved_keys: moved.len() as u64,
+                    forced,
+                }
+            }
+        }
+        RebalanceAction::Merge { left } => {
+            if left + 1 >= n {
+                return false;
+            }
+            let lo = topo.start_of(left);
+            let new_start = lo + 1;
+            let old_start = topo.start_of(left + 1);
+            if old_start == new_start {
+                return false; // already a width-1 remnant
+            }
+            if !quiesce_pair(inner, shared, [left, left + 1]) {
+                return false;
+            }
+            // The shard count is fixed, so a "merge" collapses the cold
+            // left shard to a width-1 remnant and hands the rest of its
+            // range to the right neighbor.
+            let Ok(new_map) = topo.with_boundary(left + 1, new_start) else {
+                return false;
+            };
+            let moved = exec_extract(&exec_txs[left], new_start, topo.end_of(left));
+            exec_absorb(&exec_txs[left + 1], moved.clone());
+            *topo = new_map;
+            RebalanceEvent {
+                seq: *seq + 1,
+                kind: RebalanceKind::Merge,
+                boundary: left + 1,
+                old_start,
+                new_start,
+                from: left,
+                to: left + 1,
+                moved_keys: moved.len() as u64,
+                forced,
+            }
+        }
+    };
+    *seq = event.seq;
+    shared.push_event(event.clone());
+    drop(topo); // publish before notifying observers
+    if let Some(obs) = observer {
+        obs.on_rebalance(&event);
+    }
+    true
 }
 
 /// A host-side accounting row: counters attributed to one serving phase,
@@ -1701,7 +2269,7 @@ mod tests {
     use eirene_workloads::{Oracle, SequentialOracle};
 
     fn boundary_map() -> ShardMap {
-        ShardMap::from_starts(vec![0, 1000, 2000, 3000])
+        ShardMap::from_starts(vec![0, 1000, 2000, 3000]).expect("valid shard starts")
     }
 
     fn small_cfg(map: ShardMap) -> ServeConfig {
@@ -1835,8 +2403,158 @@ mod tests {
     }
 
     #[test]
+    fn hash_sharding_matches_the_oracle_including_ranges() {
+        let pairs = initial_pairs();
+        let mut cfg = small_cfg(boundary_map());
+        cfg.sharding = Sharding::Hash;
+        cfg.hold_gate = true;
+        let svc = Service::new(&pairs, cfg);
+        let client = svc.client();
+        let mut ops = boundary_ops();
+        // Ranges under hash sharding scatter-gather across every shard.
+        ops.push((995, OpKind::Range { len: 1010 }));
+        ops.push((0, OpKind::Range { len: 20 }));
+        let tickets: Vec<Ticket> = ops.iter().map(|&(k, op)| client.submit(k, op)).collect();
+        svc.release();
+        let report = svc.shutdown();
+
+        let oracle_pairs: Vec<(Key, Key)> =
+            pairs.iter().map(|&(k, v)| (k as Key, v as Key)).collect();
+        let mut oracle = SequentialOracle::load(&oracle_pairs);
+        let reqs: Vec<Request> = ops
+            .iter()
+            .enumerate()
+            .map(|(ts, &(key, op))| Request {
+                key,
+                op,
+                ts: ts as u64,
+            })
+            .collect();
+        let want = oracle.run_batch(&Batch::new(reqs));
+        for (i, (ticket, want)) in tickets.iter().zip(want).enumerate() {
+            assert_eq!(ticket.wait(), Outcome::Done(want), "response {i}");
+        }
+        let want_contents: Vec<(u64, u64)> = oracle
+            .contents()
+            .iter()
+            .map(|(&k, &v)| (k as u64, v as u64))
+            .collect();
+        assert_eq!(report.contents(), want_contents);
+        // Each range fanned out to all 4 shards: 10 points + 2 * 4 parts.
+        assert_eq!(report.enqueued(), 18);
+        report.assert_consistent();
+    }
+
+    #[test]
+    fn forced_split_and_merge_migrate_keys_and_emit_events() {
+        let pairs = initial_pairs();
+        let mut cfg = small_cfg(boundary_map());
+        cfg.rebalance = Some(RebalanceSpec::manual());
+        let svc = Service::new(&pairs, cfg);
+        let client = svc.client();
+
+        // Half the ops before any topology change...
+        let ops = boundary_ops();
+        let (first, second) = ops.split_at(ops.len() / 2);
+        let t1: Vec<Ticket> = first.iter().map(|&(k, op)| client.submit(k, op)).collect();
+
+        // ...then force a split of shard 1 and a merge of shard 0 into
+        // shard 1, waiting for each attempt to finish.
+        svc.force_rebalance(RebalanceAction::Split { shard: 1 });
+        while svc.rebalance_attempts() < 1 {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        svc.force_rebalance(RebalanceAction::Merge { left: 0 });
+        while svc.rebalance_attempts() < 2 {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+
+        // The published topology is visible to clients and routes the
+        // remaining ops correctly.
+        let map = client.map();
+        assert_eq!(map.num_shards(), 4);
+        let t2: Vec<Ticket> = second.iter().map(|&(k, op)| client.submit(k, op)).collect();
+        let report = svc.shutdown();
+
+        let events = &report.rebalances;
+        assert_eq!(events.len(), 2, "events: {events:?}");
+        assert_eq!(events[0].kind, RebalanceKind::Split);
+        assert!(events[0].forced);
+        assert!(events[0].moved_keys > 0);
+        assert_eq!(events[1].kind, RebalanceKind::Merge);
+        assert_eq!(events[1].from, 0);
+        assert_eq!(events[1].to, 1);
+        // The merge left shard 0 a width-1 remnant.
+        assert_eq!(map.start_of(1), 1);
+
+        let oracle_pairs: Vec<(Key, Key)> =
+            pairs.iter().map(|&(k, v)| (k as Key, v as Key)).collect();
+        let mut oracle = SequentialOracle::load(&oracle_pairs);
+        let reqs: Vec<Request> = ops
+            .iter()
+            .enumerate()
+            .map(|(ts, &(key, op))| Request {
+                key,
+                op,
+                ts: ts as u64,
+            })
+            .collect();
+        let want = oracle.run_batch(&Batch::new(reqs));
+        for (i, (ticket, want)) in t1.iter().chain(&t2).zip(want).enumerate() {
+            assert_eq!(ticket.wait(), Outcome::Done(want), "response {i}");
+        }
+        let want_contents: Vec<(u64, u64)> = oracle
+            .contents()
+            .iter()
+            .map(|(&k, &v)| (k as u64, v as u64))
+            .collect();
+        assert_eq!(report.contents(), want_contents);
+        report.assert_consistent();
+    }
+
+    #[test]
+    fn auto_rebalance_splits_a_hot_shard_under_skew() {
+        // Shard 0 owns the whole hot prefix; hammer it and the policy
+        // must move its boundary toward shard 1.
+        let pairs: Vec<(u64, u64)> = (0..2000u64).map(|i| (i, i + 1)).collect();
+        let mut cfg =
+            small_cfg(ShardMap::from_starts(vec![0, 1 << 20]).expect("valid shard starts"));
+        cfg.rebalance = Some(RebalanceSpec {
+            sustain_epochs: 1,
+            cooldown_epochs: 0,
+            min_depth: 1,
+            ..RebalanceSpec::default()
+        });
+        cfg.sizing = EpochSizing::Fixed(64);
+        let svc = Service::new(&pairs, cfg);
+        let client = svc.client();
+        let mut tickets = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while svc.rebalance_events().is_empty() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no rebalance after 10s"
+            );
+            for k in 0..512u32 {
+                tickets.push(client.submit(k % 2000, OpKind::Query));
+            }
+        }
+        let report = svc.shutdown();
+        for t in &tickets {
+            assert!(matches!(t.wait(), Outcome::Done(_)));
+        }
+        let events = &report.rebalances;
+        assert!(!events.is_empty());
+        assert_eq!(events[0].kind, RebalanceKind::Split);
+        assert!(!events[0].forced);
+        assert_eq!(events[0].from, 0);
+        report.assert_consistent();
+    }
+
+    #[test]
     fn shed_policy_rejects_deterministically_at_capacity() {
-        let mut cfg = small_cfg(ShardMap::from_starts(vec![0, 1 << 16]));
+        let mut cfg =
+            small_cfg(ShardMap::from_starts(vec![0, 1 << 16]).expect("valid shard starts"));
         cfg.policy = AdmitPolicy::Shed;
         cfg.queue_depth = 4;
         cfg.hold_gate = true;
@@ -2094,7 +2812,8 @@ mod tests {
         // Deterministic schedule of the protocol: a claimed slot with a
         // lower bound below next_ts must cap the watermark.
         let inner = Inner {
-            map: ShardMap::uniform(1),
+            topology: RwLock::new(ShardMap::uniform(1)),
+            sharding: Sharding::Range,
             shards: vec![Arc::new(ShardState::new(4, &QosConfig::disabled()))],
             next_ts: AtomicU64::new(10),
             inflight: Inflight::new(),

@@ -1,9 +1,42 @@
-//! Key-range shard map: routing and cross-shard range splitting.
+//! Key-range shard map: routing, cross-shard range splitting, and the
+//! hash-scatter alternative.
 
 use eirene_workloads::Key;
 
 /// Identifier of a shard (index into the service's shard array).
 pub type ShardId = usize;
+
+/// Why a shard-start vector does not describe a valid partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardMapError {
+    /// The start vector was empty: a map needs at least one shard.
+    Empty,
+    /// `starts[0]` was not `0`, leaving low keys unowned.
+    FirstNotZero(Key),
+    /// `starts[index]` does not strictly exceed `starts[index - 1]` —
+    /// a duplicate start describes an empty shard, a descending one an
+    /// overlap.
+    NotAscending { index: usize, prev: Key, next: Key },
+}
+
+impl std::fmt::Display for ShardMapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardMapError::Empty => write!(f, "a shard map needs at least one shard"),
+            ShardMapError::FirstNotZero(k) => {
+                write!(f, "the first shard must start at key 0, got {k}")
+            }
+            ShardMapError::NotAscending { index, prev, next } => write!(
+                f,
+                "shard starts must be strictly ascending: starts[{}] = {prev} \
+                 but starts[{index}] = {next}",
+                index - 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardMapError {}
 
 /// Partition of the full `u32` key domain into contiguous shards.
 ///
@@ -40,29 +73,39 @@ impl ShardMap {
         let starts = (0..shards as u64)
             .map(|i| (i * width).min(Key::MAX as u64) as Key)
             .collect();
-        Self::from_starts(starts)
+        Self::from_starts(starts).expect("uniform starts are valid by construction")
     }
 
     /// Builds a map from explicit shard start keys. `starts[0]` must be `0`
-    /// and the sequence strictly ascending; shard `i` covers
-    /// `[starts[i], starts[i + 1])` and the last shard covers
-    /// `[starts.last(), Key::MAX]`.
-    ///
-    /// # Panics
-    /// Panics if `starts` is empty, does not begin at `0`, or is not
-    /// strictly ascending.
-    pub fn from_starts(starts: Vec<Key>) -> Self {
-        assert!(!starts.is_empty(), "a shard map needs at least one shard");
-        assert_eq!(starts[0], 0, "the first shard must start at key 0");
-        assert!(
-            starts.windows(2).all(|w| w[0] < w[1]),
-            "shard starts must be strictly ascending"
-        );
-        ShardMap { starts }
+    /// and the sequence strictly ascending (duplicates would describe
+    /// empty shards); shard `i` covers `[starts[i], starts[i + 1])` and
+    /// the last shard covers `[starts.last(), Key::MAX]`.
+    pub fn from_starts(starts: Vec<Key>) -> Result<Self, ShardMapError> {
+        let Some(&first) = starts.first() else {
+            return Err(ShardMapError::Empty);
+        };
+        if first != 0 {
+            return Err(ShardMapError::FirstNotZero(first));
+        }
+        for (i, w) in starts.windows(2).enumerate() {
+            if w[0] >= w[1] {
+                return Err(ShardMapError::NotAscending {
+                    index: i + 1,
+                    prev: w[0],
+                    next: w[1],
+                });
+            }
+        }
+        Ok(ShardMap { starts })
     }
 
     pub fn num_shards(&self) -> usize {
         self.starts.len()
+    }
+
+    /// The full start-key vector (`starts()[0]` is always `0`).
+    pub fn starts(&self) -> &[Key] {
+        &self.starts
     }
 
     /// The shard owning `key`.
@@ -89,6 +132,22 @@ impl ShardMap {
     /// first) — the keys a boundary-straddling workload should target.
     pub fn boundaries(&self) -> Vec<Key> {
         self.starts[1..].to_vec()
+    }
+
+    /// A copy of this map with interior boundary `index` (i.e.
+    /// `starts[index]`, `1 <= index < num_shards`) moved to `new_start`.
+    /// This is the only topology change online rebalancing ever makes:
+    /// one boundary between two adjacent shards shifts, so exactly that
+    /// pair exchanges keys.
+    pub fn with_boundary(&self, index: usize, new_start: Key) -> Result<Self, ShardMapError> {
+        assert!(
+            index >= 1 && index < self.starts.len(),
+            "boundary index {index} out of range (1..{})",
+            self.starts.len()
+        );
+        let mut starts = self.starts.clone();
+        starts[index] = new_start;
+        Self::from_starts(starts)
     }
 
     /// Splits the range window `[lo, lo + len - 1]` into per-shard parts,
@@ -120,6 +179,35 @@ impl ShardMap {
     }
 }
 
+/// How keys map to shards.
+///
+/// `Range` is the default: contiguous key ranges from the service's
+/// [`ShardMap`], optionally moved online by the rebalancer (see
+/// [`RebalanceSpec`](crate::RebalanceSpec)). `Hash` scatters keys by
+/// multiplicative hash — immune to key-space skew by construction, at the
+/// price of serving every range query by scatter-gather to all shards.
+/// The hash topology is fixed: hash mode and online rebalancing are
+/// mutually exclusive.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Sharding {
+    /// Contiguous key ranges (the configured `ShardMap`).
+    #[default]
+    Range,
+    /// Fibonacci-hash scatter across the same number of shards.
+    Hash,
+}
+
+/// The shard owning `key` under hash-scatter sharding: the key's
+/// Fibonacci (multiplicative) hash folded onto `shards` without modulo
+/// bias. Adjacent keys land on unrelated shards, so Zipf-hot *ranges*
+/// cannot pile onto one shard (a single hot key still pins its shard —
+/// no sharding scheme splits one key's load).
+pub fn hash_shard(key: Key, shards: usize) -> ShardId {
+    debug_assert!(shards > 0);
+    let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (((h >> 32) * shards as u64) >> 32) as ShardId
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,7 +231,7 @@ mod tests {
 
     #[test]
     fn split_range_inside_one_shard_is_a_single_part() {
-        let m = ShardMap::from_starts(vec![0, 100, 200]);
+        let m = ShardMap::from_starts(vec![0, 100, 200]).unwrap();
         let parts = m.split_range(10, 5);
         assert_eq!(
             parts,
@@ -158,7 +246,7 @@ mod tests {
 
     #[test]
     fn split_range_straddles_boundaries() {
-        let m = ShardMap::from_starts(vec![0, 100, 200]);
+        let m = ShardMap::from_starts(vec![0, 100, 200]).unwrap();
         // [95, 204] covers all three shards.
         let parts = m.split_range(95, 110);
         assert_eq!(
@@ -202,8 +290,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "start at key 0")]
-    fn from_starts_rejects_gapped_front() {
-        ShardMap::from_starts(vec![1, 100]);
+    fn from_starts_rejects_invalid_vectors() {
+        assert_eq!(ShardMap::from_starts(vec![]), Err(ShardMapError::Empty));
+        assert_eq!(
+            ShardMap::from_starts(vec![1, 100]),
+            Err(ShardMapError::FirstNotZero(1))
+        );
+        // Duplicate starts describe an empty shard: rejected, not a panic.
+        assert_eq!(
+            ShardMap::from_starts(vec![0, 100, 100]),
+            Err(ShardMapError::NotAscending {
+                index: 2,
+                prev: 100,
+                next: 100
+            })
+        );
+        assert_eq!(
+            ShardMap::from_starts(vec![0, 200, 100]),
+            Err(ShardMapError::NotAscending {
+                index: 2,
+                prev: 200,
+                next: 100
+            })
+        );
+        let err = ShardMap::from_starts(vec![0, 7, 7]).unwrap_err();
+        assert!(err.to_string().contains("strictly ascending"));
+    }
+
+    #[test]
+    fn with_boundary_moves_exactly_one_start() {
+        let m = ShardMap::from_starts(vec![0, 100, 200]).unwrap();
+        let moved = m.with_boundary(1, 150).unwrap();
+        assert_eq!(moved.starts(), &[0, 150, 200]);
+        // Collapsing a shard to zero width is rejected.
+        assert!(m.with_boundary(1, 200).is_err());
+        assert!(m.with_boundary(2, 100).is_err());
+    }
+
+    #[test]
+    fn hash_shard_is_in_range_and_spreads() {
+        for shards in [1usize, 2, 3, 8] {
+            let mut counts = vec![0usize; shards];
+            for key in 0..10_000u32 {
+                counts[hash_shard(key, shards)] += 1;
+            }
+            // Every shard takes a non-trivial share of a dense key block
+            // (contrast: range sharding puts a dense block on one shard).
+            for &c in &counts {
+                assert!(c > 10_000 / shards / 2, "counts {counts:?}");
+            }
+        }
+        assert_eq!(hash_shard(u32::MAX, 1), 0);
     }
 }

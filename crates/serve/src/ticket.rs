@@ -214,7 +214,16 @@ impl RangeMerge {
     pub(crate) fn complete_part(&self, offset: u32, part: &[Option<Value>]) {
         let mut state = self.state.lock().unwrap();
         let off = offset as usize;
-        state.slots[off..off + part.len()].clone_from_slice(part);
+        // Union, not overwrite. Range-sharded parts fill disjoint windows
+        // (union == overwrite there, since slots start `None`), while
+        // hash-scattered parts each cover the *whole* window with `Some`
+        // only at the keys their shard owns — a later all-`None`-elsewhere
+        // part must not clobber an earlier shard's hits.
+        for (slot, v) in state.slots[off..off + part.len()].iter_mut().zip(part) {
+            if v.is_some() {
+                *slot = *v;
+            }
+        }
         self.finish(&mut state);
     }
 
@@ -283,6 +292,22 @@ mod tests {
                 Some(30),
                 None
             ]))
+        );
+    }
+
+    #[test]
+    fn hash_scatter_parts_union_instead_of_overwriting() {
+        // Hash-scatter merging: every shard reports the full window, with
+        // `Some` only at its own keys. The union must survive whatever
+        // order the parts land in.
+        let (t, cell) = Ticket::new();
+        let merge = RangeMerge::new(4, 3, cell);
+        merge.complete_part(0, &[Some(1), None, None, None]);
+        merge.complete_part(0, &[None, None, Some(3), None]);
+        merge.complete_part(0, &[None, Some(2), None, None]);
+        assert_eq!(
+            t.wait(),
+            Outcome::Done(Response::Range(vec![Some(1), Some(2), Some(3), None]))
         );
     }
 

@@ -36,7 +36,7 @@ fn mixed_shed_timeout_batched_accounting_reconciles() {
     let pairs: Vec<(u64, u64)> = (1..=1024u64).map(|k| (k, k + 1)).collect();
     let collector = SeriesCollector::new();
     let cfg = ServeConfig {
-        map: ShardMap::from_starts(vec![0, 512]),
+        map: ShardMap::from_starts(vec![0, 512]).expect("valid shard starts"),
         queue_depth,
         policy: AdmitPolicy::Shed,
         hold_gate: true, // queues must fill so the burst actually sheds
@@ -104,7 +104,7 @@ fn sample_series_is_monotone_and_ends_quiescent() {
     let pairs: Vec<(u64, u64)> = (1..=2048u64).map(|k| (k, k + 1)).collect();
     let collector = SeriesCollector::new();
     let cfg = ServeConfig {
-        map: ShardMap::from_starts(vec![0, 1024]),
+        map: ShardMap::from_starts(vec![0, 1024]).expect("valid shard starts"),
         sizing: EpochSizing::Fixed(128),
         queue_depth: 1 << 14,
         hold_gate: true,

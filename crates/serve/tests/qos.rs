@@ -30,7 +30,7 @@ fn deadline_expires_during_linger_not_after_it() {
     let deadline = Duration::from_millis(100);
     let pairs: Vec<(u64, u64)> = (1..=256u64).map(|k| (k, k + 1)).collect();
     let cfg = ServeConfig {
-        map: ShardMap::from_starts(vec![0]),
+        map: ShardMap::from_starts(vec![0]).expect("valid shard starts"),
         // A huge target the single request can never fill: without the
         // fix the combiner lingers the full 1.5s before checking.
         sizing: EpochSizing::Fixed(1 << 14),
@@ -67,7 +67,7 @@ fn adaptive_target_grows_under_closed_loop_backlog() {
     let requests = 20_000usize;
     let pairs: Vec<(u64, u64)> = (1..=4096u64).map(|k| (k, k + 1)).collect();
     let cfg = ServeConfig {
-        map: ShardMap::from_starts(vec![0, 2048]),
+        map: ShardMap::from_starts(vec![0, 2048]).expect("valid shard starts"),
         sizing: EpochSizing::Adaptive(AimdSpec::bounded(64, 4096)),
         queue_depth: requests + 1,
         policy: AdmitPolicy::Block,
@@ -111,7 +111,7 @@ fn isolation_run(hog: bool, quota: usize) -> ServeReport {
     let pairs: Vec<(u64, u64)> = (1..=domain).map(|k| (k, k + 1)).collect();
     let hog_load = 10 * quota * ISO_SHARDS;
     let cfg = ServeConfig {
-        map: ShardMap::from_starts(vec![0, (domain / 2) as u32]),
+        map: ShardMap::from_starts(vec![0, (domain / 2) as u32]).expect("valid shard starts"),
         sizing: EpochSizing::Adaptive(AimdSpec::bounded(64, 1024)),
         qos: QosConfig::uniform(ISO_TENANTS, quota),
         queue_depth: (ISO_TENANTS * ISO_LOAD + hog_load + 16) * ISO_SHARDS,

@@ -27,7 +27,8 @@ fn main() {
 /// Concurrent clients against a live (ungated) four-shard service.
 fn async_clients() {
     println!("== async clients, cross-shard ranges ==");
-    let map = ShardMap::from_starts(vec![0, 1 << 10, 2 << 10, 3 << 10]);
+    let map =
+        ShardMap::from_starts(vec![0, 1 << 10, 2 << 10, 3 << 10]).expect("valid shard starts");
     let pairs: Vec<(u64, u64)> = (1..=2000u64).map(|k| (2 * k, 2 * k + 1)).collect();
     let cfg = ServeConfig {
         map,
@@ -126,7 +127,8 @@ fn shard_scaling() {
     for shards in [1usize, 4] {
         let width = (spec.key_domain() / shards as u64).max(1) as u32;
         let cfg = ServeConfig {
-            map: ShardMap::from_starts((0..shards as u32).map(|i| i * width).collect()),
+            map: ShardMap::from_starts((0..shards as u32).map(|i| i * width).collect())
+                .expect("valid shard starts"),
             sizing: EpochSizing::Fixed(512),
             queue_depth: 1 << 14,
             hold_gate: true,

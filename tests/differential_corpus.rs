@@ -180,7 +180,7 @@ fn check_serve(map: ShardMap, pairs: &[(u64, u64)], reqs: &[Request]) {
 fn serve_boundary_keys_route_and_linearize() {
     // Ops on the extreme keys 0 and u32::MAX land on the outermost
     // shards; a saturating range window near the top must still merge.
-    let map = ShardMap::from_starts(vec![0, 64, 128, u32::MAX - 8]);
+    let map = ShardMap::from_starts(vec![0, 64, 128, u32::MAX - 8]).expect("valid shard starts");
     check_serve(
         map,
         &pairs(48),
@@ -200,7 +200,7 @@ fn serve_boundary_keys_route_and_linearize() {
 fn serve_ranges_straddling_every_boundary() {
     // One window covering all four shards plus per-boundary straddlers,
     // interleaved with updates on the boundary keys themselves.
-    let map = ShardMap::from_starts(vec![0, 16, 32, 48]);
+    let map = ShardMap::from_starts(vec![0, 16, 32, 48]).expect("valid shard starts");
     check_serve(
         map,
         &pairs(64),
@@ -221,7 +221,7 @@ fn serve_ranges_straddling_every_boundary() {
 fn serve_duplicate_and_conflicting_keys_across_epochs() {
     // A single hot key hammered across several tiny epochs: per-shard
     // queue order must linearize identically to the flat oracle.
-    let map = ShardMap::from_starts(vec![0, 24]);
+    let map = ShardMap::from_starts(vec![0, 24]).expect("valid shard starts");
     let mut reqs = Vec::new();
     for i in 0u64..40 {
         let op = match i % 4 {

@@ -318,7 +318,7 @@ fn equal_timestamp_update_before_range_sees_new_value() {
 /// Four shards with boundaries at 100/200/300 — small enough that the
 /// test keys exercise every shard and every boundary.
 fn test_map() -> ShardMap {
-    ShardMap::from_starts(vec![0, 100, 200, 300])
+    ShardMap::from_starts(vec![0, 100, 200, 300]).expect("valid shard starts")
 }
 
 fn serve_config(device: DeviceConfig) -> ServeConfig {
