@@ -20,7 +20,7 @@ use crate::common::{
 use eirene_btree::build::TreeHandle;
 use eirene_btree::node::{meta_count, OFF_KEYS, OFF_META, OFF_NEXT, OFF_VALS};
 use eirene_btree::txops::{
-    tx_delete_at_leaf, tx_descend, tx_query_at_leaf, tx_upsert_at_leaf, LeafUpsert, NO_VALUE,
+    tx_delete_rebalancing, tx_descend, tx_query_at_leaf, tx_upsert_at_leaf, LeafUpsert, NO_VALUE,
 };
 use eirene_sim::{Device, DeviceConfig, Phase, WarpCtx};
 use eirene_stm::{Stm, Tx, TxResult};
@@ -70,8 +70,10 @@ fn tx_process(
             }
         }
         OpKind::Delete => {
-            let (addr, count) = tx_descend(tx, ctx, handle, key, false)?;
-            tx_delete_at_leaf(tx, ctx, addr, count, key)?;
+            // The merging descent keeps every node above the occupancy
+            // floor, so deletes shrink the tree instead of stranding
+            // near-empty nodes.
+            tx_delete_rebalancing(tx, ctx, handle, key)?;
             Ok(Response::Done)
         }
         OpKind::Range { len } => {

@@ -7,6 +7,7 @@
 //! cargo run -p eirene-bench --release -- fuzz --tree eirene --os-sched
 //! cargo run -p eirene-bench --release -- fuzz --inject-fault        # self-test
 //! cargo run -p eirene-bench --release -- fuzz --serve --shards 4    # sharded service
+//! cargo run -p eirene-bench --release -- fuzz --churn --cases 500   # churn + reclamation
 //! ```
 //!
 //! `--serve` routes the same adversarial request streams through the
@@ -14,11 +15,20 @@
 //! shard routing, epoch pipelining, and cross-shard range merging all sit
 //! between the generator and the oracle.
 //!
+//! `--churn` keeps one tree alive across many consecutive delete-heavy
+//! batches: keys flicker in and out, leaves merge and borrow, merged-away
+//! nodes retire through the slab arena, and every batch boundary advances
+//! the reclamation epoch. On top of the differential checks each case
+//! asserts the arena's live occupancy stays within a bound of the
+//! post-build node count (no leak) and that quarantine drains. A serve
+//! leg pushes the same streams through a sharded service with racing
+//! submitters and a forced rebalance.
+//!
 //! Exit status: 0 when every case agrees with the sequential oracle, 1
 //! when a violation was found (the shrunk reproducer and its seeds are
 //! printed), 2 on usage errors.
 
-use eirene_check::{FaultSpec, FuzzOptions, FuzzOutcome, FuzzTree};
+use eirene_check::{ChurnOptions, ChurnOutcome, FaultSpec, FuzzOptions, FuzzOutcome, FuzzTree};
 use eirene_check::{ServeFuzzOptions, ServeFuzzOutcome};
 
 fn usage() -> ! {
@@ -26,7 +36,9 @@ fn usage() -> ! {
         "usage: eirene-bench fuzz [--seed N] [--repro-seed HEX] [--batches N] [--batch N] \
          [--domain N] [--initial-keys N] [--tree {}] [--os-sched] [--inject-fault] \
          [--serve [--shards N] [--submitters N] [--epoch-limit N] [--adaptive] [--tenants N] \
-         [--rebalance] [--hash] [--det]]",
+         [--rebalance] [--hash] [--det]] \
+         [--churn [--cases N] [--rounds N] [--serve-cases N] [--occupancy-factor N] \
+         [--deterministic]]",
         FuzzTree::ALL
             .iter()
             .map(|t| t.label())
@@ -128,11 +140,76 @@ fn run_serve(args: &[String]) -> i32 {
     }
 }
 
+/// Parses `fuzz --churn` arguments and runs the churn/reclamation
+/// harness; accepts the flag set [`ChurnFailure`]'s replay command prints
+/// (`eirene_check::ChurnFailure`).
+fn run_churn(args: &[String]) -> i32 {
+    let mut opts = ChurnOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--churn" => {}
+            "--seed" => opts.seed = parse_seed(it.next()),
+            "--repro-seed" => opts.repro = Some(parse_seed(it.next())),
+            "--batches" | "--cases" => opts.cases = parse_num(it.next()),
+            "--rounds" => opts.rounds = parse_num(it.next()),
+            "--batch" => opts.batch_size = parse_num(it.next()),
+            "--domain" => opts.domain = parse_num(it.next()),
+            "--initial-keys" => opts.initial_keys = parse_num(it.next()),
+            "--serve-cases" => opts.serve_cases = parse_num(it.next()),
+            "--occupancy-factor" => opts.occupancy_factor = parse_num(it.next()),
+            "--deterministic" | "--det" => opts.deterministic = true,
+            "--os-sched" => opts.deterministic = false,
+            _ => usage(),
+        }
+    }
+    eprintln!(
+        "fuzz --churn: {}, {} cases x {} rounds x {} requests (+{} serve cases), \
+         domain {}, occupancy bound {}x, {}",
+        match opts.repro {
+            Some(s) => format!("replaying case seed {s:#x}"),
+            None => format!("seed {:#x}", opts.seed),
+        },
+        opts.cases,
+        opts.rounds,
+        opts.batch_size,
+        opts.serve_cases,
+        opts.domain,
+        opts.occupancy_factor,
+        if opts.deterministic {
+            "deterministic scheduling"
+        } else {
+            "OS scheduling"
+        },
+    );
+    match eirene_check::run_churn_fuzz(&opts) {
+        ChurnOutcome::Passed {
+            cases,
+            worst_occupancy_pct,
+        } => {
+            println!(
+                "fuzz --churn: {cases} cases, all consistent with the sequential oracle; \
+                 worst arena occupancy {}.{:02}x of post-build",
+                worst_occupancy_pct / 100,
+                worst_occupancy_pct % 100
+            );
+            0
+        }
+        ChurnOutcome::Failed(f) => {
+            println!("{f}");
+            1
+        }
+    }
+}
+
 /// Parses `fuzz` arguments and runs the harness; returns the process exit
 /// code.
 pub fn run(args: &[String]) -> i32 {
     if args.iter().any(|a| a == "--serve") {
         return run_serve(args);
+    }
+    if args.iter().any(|a| a == "--churn") {
+        return run_churn(args);
     }
     let mut opts = FuzzOptions::default();
     let mut it = args.iter();

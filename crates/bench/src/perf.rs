@@ -18,26 +18,39 @@
 //!   the lock-free path through batched `submit_many` chunks. The headline
 //!   number is wall-clock submissions/sec and the speedups over the
 //!   locked baseline.
+//! * **mem_churn** — the memory-bound regression: one long-lived tree
+//!   takes 2^20 delete/re-insert operations over a fixed 2^14-key working
+//!   set. Merged-away and emptied nodes must recycle through the slab
+//!   arena, so the final live-node count has to stay within
+//!   [`MEM_OCCUPANCY_FACTOR`]x of the post-build count — a leak (e.g.
+//!   retiring without reuse, or never retiring) fails the suite.
 //!
-//! Sim results go to `BENCH_sim.json` (`--out` to override) and the
-//! ingress results to `BENCH_serve.json` (`--serve-out`): wall-clock per
-//! scenario, work rates, and speedups. CI runs `perf --smoke` and compares
-//! both totals against the committed smoke baselines so host-side
-//! regressions fail loudly.
+//! Sim results go to `BENCH_sim.json` (`--out` to override), the ingress
+//! results to `BENCH_serve.json` (`--serve-out`), and the churn occupancy
+//! results to `BENCH_mem.json` (`--mem-out`): wall-clock per scenario,
+//! work rates, speedups, and arena occupancy. `--mem-only` runs just the
+//! mem_churn scenario (the CI mem-smoke job's entry point). CI runs
+//! `perf --smoke` and compares the totals against the committed smoke
+//! baselines so host-side regressions fail loudly.
 
 use crate::harness::{default_mix, jobs, measure_all, set_jobs, spec_for, Point, TreeKind};
+use eirene_baselines::common::ConcurrentTree;
 use eirene_check::{FuzzOptions, FuzzOutcome};
+use eirene_core::{EireneOptions, EireneTree};
 use eirene_serve::{
     AdmissionMode, AdmitPolicy, EpochSizing, ServeConfig, Service, ShardMap, Ticket,
 };
 use eirene_sim::{Device, DeviceConfig};
 use eirene_telemetry::JsonValue;
-use eirene_workloads::{Distribution, Key, Mix, OpKind, WorkloadGen, WorkloadSpec};
+use eirene_workloads::{Batch, Distribution, Key, Mix, OpKind, Request, WorkloadGen, WorkloadSpec};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 fn usage() -> i32 {
-    eprintln!("usage: eirene-bench perf [--smoke] [--jobs N] [--out PATH] [--serve-out PATH]");
+    eprintln!(
+        "usage: eirene-bench perf [--smoke] [--jobs N] [--out PATH] [--serve-out PATH] \
+         [--mem-out PATH] [--mem-only]"
+    );
     2
 }
 
@@ -171,6 +184,150 @@ fn fuzz_heavy(batches: usize) -> Option<(f64, usize)> {
     }
 }
 
+/// The mem_churn pass/fail bound: final live nodes may not exceed this
+/// multiple of the post-build live-node count. Matches the churn fuzz
+/// leg's default `occupancy_factor` (`eirene_check::ChurnOptions`); the
+/// steady state observed in practice is ~1.0x.
+const MEM_OCCUPANCY_FACTOR: u64 = 4;
+/// Requests per batch in the mem_churn scenario; every batch boundary is
+/// an epoch advance, so this is also the reclamation granularity.
+const MEM_BATCH: usize = 1024;
+
+/// Slab-arena occupancy figures of one [`mem_churn`] run.
+struct MemChurn {
+    ops: usize,
+    working_set: u32,
+    post_build_live: u64,
+    final_live: u64,
+    retired: u64,
+    reused: u64,
+    bump_allocs: u64,
+}
+
+/// Sustained delete/re-insert churn over a fixed working set on one
+/// long-lived tree: the memory-bound regression. Builds `working_set`
+/// keys, then drives `total_ops` requests in [`MEM_BATCH`]-sized batches
+/// that flip tracked keys out of and back into the tree — leaves merge
+/// and borrow on the way down, split on the way back up, and every batch
+/// boundary advances the reclamation epoch so the retired nodes must
+/// recycle. Returns `None` when the arena leaked: final occupancy above
+/// [`MEM_OCCUPANCY_FACTOR`]x post-build, or quarantine not drained.
+fn mem_churn(total_ops: usize, working_set: u32) -> Option<(f64, MemChurn)> {
+    let pairs: Vec<(u64, u64)> = (1..=working_set as u64).map(|k| (k, k + 1)).collect();
+    let mut tree = EireneTree::new(&pairs, EireneOptions::test_small());
+    let post_build_live = tree.device().mem().slab_stats().live;
+    // Keys present in the tree right now; deletes only target present keys
+    // so every delete is a real removal (and roughly half the working set
+    // is absent at steady state, keeping merges active).
+    let mut present = vec![true; working_set as usize + 1];
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut rng = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut ts = 0u64;
+    let start = Instant::now();
+    let mut remaining = total_ops;
+    while remaining > 0 {
+        let n = remaining.min(MEM_BATCH);
+        let mut reqs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let key = 1 + (rng() % working_set as u64) as u32;
+            ts += 1;
+            if present[key as usize] {
+                reqs.push(Request::delete(key, ts));
+            } else {
+                reqs.push(Request::upsert(key, key + 1, ts));
+            }
+            present[key as usize] = !present[key as usize];
+        }
+        tree.run_batch(&Batch::new(reqs));
+        remaining -= n;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let st = tree.device().mem().slab_stats();
+    let stats = MemChurn {
+        ops: total_ops,
+        working_set,
+        post_build_live,
+        final_live: st.live,
+        retired: st.retired,
+        reused: st.reused,
+        bump_allocs: st.bump_allocs,
+    };
+    if st.retired != 0 {
+        eprintln!(
+            "perf: mem_churn FAILED: {} node blocks still quarantined after the final epoch \
+             advance",
+            st.retired
+        );
+        return None;
+    }
+    let bound = post_build_live.max(1) * MEM_OCCUPANCY_FACTOR;
+    if st.live > bound {
+        eprintln!(
+            "perf: mem_churn FAILED: {} live node blocks after churn vs {} post-build \
+             (bound {}x = {bound}): the arena is leaking",
+            st.live, post_build_live, MEM_OCCUPANCY_FACTOR
+        );
+        return None;
+    }
+    Some((wall, stats))
+}
+
+/// Runs the mem_churn scenario and writes its occupancy doc to `mem_out`;
+/// the shared tail of the full suite and `--mem-only`.
+fn run_mem(smoke: bool, mem_out: &str) -> i32 {
+    // Full mode is the acceptance shape (2^20 ops over 2^14 keys); smoke
+    // keeps the same churn structure at CI scale.
+    let (ops, working_set) = if smoke {
+        (1 << 16, 1 << 12)
+    } else {
+        (1 << 20, 1 << 14)
+    };
+    let Some((wall, m)) = mem_churn(ops, working_set) else {
+        return 1;
+    };
+    let ratio = m.final_live as f64 / m.post_build_live.max(1) as f64;
+    eprintln!(
+        "perf: mem_churn      {wall:8.3}s  ({:.0} ops/s, occupancy {ratio:.2}x of {} post-build \
+         nodes, {} reuses, {} bump allocs)",
+        m.ops as f64 / wall.max(1e-9),
+        m.post_build_live,
+        m.reused,
+        m.bump_allocs,
+    );
+    let doc = JsonValue::obj(vec![
+        ("schema_version", JsonValue::from(1u64)),
+        ("suite", JsonValue::from("eirene-bench perf (mem churn)")),
+        (
+            "mode",
+            JsonValue::from(if smoke { "smoke" } else { "full" }),
+        ),
+        ("ops", JsonValue::from(m.ops as u64)),
+        ("working_set", JsonValue::from(m.working_set as u64)),
+        ("batch", JsonValue::from(MEM_BATCH as u64)),
+        ("post_build_live", JsonValue::from(m.post_build_live)),
+        ("final_live", JsonValue::from(m.final_live)),
+        ("occupancy_ratio", JsonValue::from(ratio)),
+        ("occupancy_bound", JsonValue::from(MEM_OCCUPANCY_FACTOR)),
+        ("retired", JsonValue::from(m.retired)),
+        ("reused", JsonValue::from(m.reused)),
+        ("bump_allocs", JsonValue::from(m.bump_allocs)),
+        ("wall_s", JsonValue::from(wall)),
+        ("ops_per_s", JsonValue::from(m.ops as f64 / wall.max(1e-9))),
+    ]);
+    if let Err(e) = std::fs::write(mem_out, doc.to_json() + "\n") {
+        eprintln!("perf: could not write {mem_out}: {e}");
+        return 1;
+    }
+    eprintln!("perf: mem churn results written to {mem_out}");
+    0
+}
+
 /// Figure-style sweep points (fig7 shape, scaled to the suite mode).
 fn sweep_points(smoke: bool) -> Vec<Point> {
     let (exps, batch, repeats): (Vec<u32>, usize, usize) = if smoke {
@@ -210,12 +367,15 @@ fn scenario_doc(wall_s: f64, work_key: &str, work: usize) -> JsonValue {
 /// code.
 pub fn run(args: &[String]) -> i32 {
     let mut smoke = false;
+    let mut mem_only = false;
     let mut out = String::from("BENCH_sim.json");
     let mut serve_out = String::from("BENCH_serve.json");
+    let mut mem_out = String::from("BENCH_mem.json");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--mem-only" => mem_only = true,
             "--out" => match it.next() {
                 Some(path) => out = path.clone(),
                 None => return usage(),
@@ -224,12 +384,23 @@ pub fn run(args: &[String]) -> i32 {
                 Some(path) => serve_out = path.clone(),
                 None => return usage(),
             },
+            "--mem-out" => match it.next() {
+                Some(path) => mem_out = path.clone(),
+                None => return usage(),
+            },
             "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) => set_jobs(n),
                 None => return usage(),
             },
             _ => return usage(),
         }
+    }
+    if mem_only {
+        eprintln!(
+            "perf: mem_churn only, {} suite",
+            if smoke { "smoke" } else { "full" }
+        );
+        return run_mem(smoke, &mem_out);
     }
     let j = jobs();
     set_jobs(j); // pin, so the jobs-1 detour below restores exactly
@@ -250,6 +421,13 @@ pub fn run(args: &[String]) -> i32 {
         "perf: fuzz_heavy     {fuzz_wall:8.3}s  ({:.1} cases/s)",
         cases as f64 / fuzz_wall.max(1e-9)
     );
+
+    // The memory-bound regression reports to its own baseline file
+    // (BENCH_mem.json) and fails the suite on an arena leak.
+    let rc = run_mem(smoke, &mem_out);
+    if rc != 0 {
+        return rc;
+    }
 
     let points = sweep_points(smoke);
     let start = Instant::now();

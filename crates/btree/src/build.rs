@@ -1,6 +1,6 @@
 //! Host-side bulk build of the tree and the tree handle.
 
-use crate::node::{build_fill_for, NodeRef, BUILD_FILL};
+use crate::node::{build_fill_for, NodeRef, BUILD_FILL, MIN_OCCUPANCY};
 use eirene_sim::{Addr, GlobalMemory};
 
 /// Handle to a tree living in device memory. Only two words of state: the
@@ -146,7 +146,16 @@ impl<'a, T> Iterator for StaggeredChunks<'a, T> {
         if self.rest.is_empty() {
             return None;
         }
-        let take = build_fill_for(self.idx).min(self.rest.len());
+        let mut take = build_fill_for(self.idx).min(self.rest.len());
+        // Never strand a runt: if taking the staggered fill would leave a
+        // tail below MIN_OCCUPANCY, split the remainder evenly instead —
+        // both halves land in [5, 9], inside the rebalancing floor and
+        // the insert-headroom ceiling. (A whole level smaller than the
+        // floor is fine: it becomes the root, which is exempt.)
+        let rem = self.rest.len() - take;
+        if rem > 0 && rem < MIN_OCCUPANCY {
+            take = self.rest.len() / 2;
+        }
         self.idx += 1;
         let (chunk, rest) = self.rest.split_at(take);
         self.rest = rest;

@@ -1,15 +1,19 @@
 //! Node layout: a fixed 38-word record in device memory.
 //!
 //! ```text
-//! word 0  META     bit0 = leaf flag, bit1 = lock bit, bits 8..16 = count
-//! word 1  VERSION  bumped atomically when the node splits (§4.2)
+//! word 0  META     bit0 = leaf flag, bit1 = lock bit, bit2 = dead flag
+//!                  (set when a merge unlinks the node), bits 8..16 = count
+//! word 1  VERSION  bumped atomically when the node splits or merges (§4.2)
 //! word 2  NEXT     right-sibling address (leaves; 0 = none)
 //! word 3  RF       range field for locality-aware traversal (§5);
 //!                  u64::MAX = "no bound, horizontal always allowed"
 //! word 4  HIGH     Lehman-Yao high key: exclusive upper bound of the
 //!                  node's key range (u64::MAX = unbounded). A request
-//!                  with key >= HIGH must follow NEXT; deletes never
-//!                  change HIGH, so right-hops stay correct even when a
+//!                  with key >= HIGH must follow NEXT; key deletions never
+//!                  shrink HIGH (an underflow merge *raises* the absorbing
+//!                  node's HIGH to cover the absorbed sibling, and the
+//!                  dead sibling keeps its NEXT/HIGH intact until
+//!                  reclamation), so right-hops stay correct even when a
 //!                  node's minimum key rises above its parent fence
 //! word 5  LOW      inclusive lower bound of the node's key range (the
 //!                  fence it was created with; 0 = unbounded). Together
@@ -49,6 +53,13 @@ pub fn build_fill_for(i: usize) -> usize {
     10 + (i * 7 + 3) % 5
 }
 
+/// Minimum occupancy maintained by delete rebalancing: a non-root node
+/// that drops below this borrows from or merges with an adjacent sibling.
+/// FANOUT/4 keeps merges rare under mixed workloads (a merge product has
+/// at most FANOUT/2 entries, leaving split headroom) while still bounding
+/// waste to 4x.
+pub const MIN_OCCUPANCY: usize = FANOUT / 4;
+
 /// Key slot value meaning "empty".
 pub const EMPTY_KEY: u64 = u64::MAX;
 
@@ -66,6 +77,12 @@ pub const OFF_VALS: u64 = 6 + FANOUT as u64;
 pub const META_LEAF: u64 = 1;
 /// META bit used as a latch by the lock-based tree.
 pub const META_LOCK: u64 = 2;
+/// META bit for "this node was unlinked by an underflow merge". Set
+/// transactionally before the node is retired so an *unprotected*
+/// optimistic traversal that raced the merge can detect the corpse and
+/// restart (the node's NEXT/HIGH stay intact for same-epoch readers;
+/// the block itself is recycled only after an epoch advance).
+pub const META_DEAD: u64 = 4;
 const META_COUNT_SHIFT: u64 = 8;
 const META_COUNT_MASK: u64 = 0xFF << META_COUNT_SHIFT;
 
@@ -94,6 +111,12 @@ pub fn meta_is_locked(meta: u64) -> bool {
     meta & META_LOCK != 0
 }
 
+/// True if the META word carries the merged-away tombstone.
+#[inline]
+pub fn meta_is_dead(meta: u64) -> bool {
+    meta & META_DEAD != 0
+}
+
 /// A typed, *uninstrumented* view of a node for host-side code (bulk
 /// build, reference ops, validation). Device kernels must not use these
 /// accessors — they read nodes through `WarpCtx` so traffic is counted.
@@ -103,9 +126,11 @@ pub struct NodeRef {
 }
 
 impl NodeRef {
-    /// Allocates a fresh node.
+    /// Allocates a fresh node from the slab arena (recycling a reclaimed
+    /// block when one is available; the arena zeroes it first, so
+    /// VERSION/NEXT/LOW/VALS keep their fresh-memory-is-zero contract).
     pub fn alloc(mem: &GlobalMemory, leaf: bool) -> NodeRef {
-        let addr = mem.alloc_aligned(NODE_WORDS, 16);
+        let addr = mem.alloc_reuse(NODE_WORDS, 16);
         mem.write(addr + OFF_META, pack_meta(leaf, false, 0));
         mem.write(addr + OFF_RF, u64::MAX);
         mem.write(addr + OFF_HIGH, u64::MAX);
@@ -115,9 +140,23 @@ impl NodeRef {
         NodeRef { addr }
     }
 
+    /// Retires this node into the arena's quarantine: it stays readable
+    /// for the rest of the current epoch and is recycled (poisoned under
+    /// debug) at the next epoch advance.
+    pub fn retire(&self, mem: &GlobalMemory) {
+        mem.retire(self.addr, NODE_WORDS, 16);
+    }
+
     #[inline]
     pub fn meta(&self, mem: &GlobalMemory) -> u64 {
-        mem.read(self.addr + OFF_META)
+        let meta = mem.read(self.addr + OFF_META);
+        debug_assert_ne!(
+            meta,
+            eirene_sim::POISON_WORD,
+            "read of a reclaimed node at {:#x} — a stale pointer outlived its epoch",
+            self.addr
+        );
+        meta
     }
 
     #[inline]
@@ -130,12 +169,12 @@ impl NodeRef {
         meta_count(self.meta(mem))
     }
 
-    /// Rewrites META preserving the leaf/lock bits, setting `count`.
+    /// Rewrites META preserving the leaf/lock/dead bits, setting `count`.
     pub fn set_count(&self, mem: &GlobalMemory, count: usize) {
         let meta = self.meta(mem);
         mem.write(
             self.addr + OFF_META,
-            pack_meta(meta_is_leaf(meta), meta_is_locked(meta), count),
+            pack_meta(meta_is_leaf(meta), meta_is_locked(meta), count) | (meta & META_DEAD),
         );
     }
 
@@ -246,6 +285,15 @@ pub struct ParsedNode {
 
 impl ParsedNode {
     pub fn from_words(w: &[u64; NODE_WORDS]) -> Self {
+        // A whole-node snapshot of the poison sentinel means a stale
+        // pointer crossed an epoch boundary into reclaimed memory — a
+        // reclamation bug, not a benign optimistic race (torn reads can
+        // hit one poisoned word, but META *and* VERSION both poisoned
+        // only happens on a reclaimed block).
+        debug_assert!(
+            !(w[0] == eirene_sim::POISON_WORD && w[1] == eirene_sim::POISON_WORD),
+            "snapshot of a reclaimed node — a stale pointer outlived its epoch"
+        );
         let mut keys = [0u64; FANOUT];
         let mut vals = [0u64; FANOUT];
         keys.copy_from_slice(&w[OFF_KEYS as usize..OFF_KEYS as usize + FANOUT]);
@@ -265,6 +313,12 @@ impl ParsedNode {
     #[inline]
     pub fn is_leaf(&self) -> bool {
         meta_is_leaf(self.meta)
+    }
+
+    /// True if the snapshot carries the merged-away tombstone.
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        meta_is_dead(self.meta)
     }
 
     /// Entry count, clamped to [`FANOUT`]: device snapshots may observe

@@ -3,7 +3,7 @@
 //! examples. Device kernels implement the same logic through `WarpCtx`.
 
 use crate::build::TreeHandle;
-use crate::node::{NodeRef, FANOUT};
+use crate::node::{NodeRef, FANOUT, META_DEAD, MIN_OCCUPANCY, OFF_META};
 use eirene_sim::{Addr, GlobalMemory};
 
 /// Result of a recursive insert at one level.
@@ -52,28 +52,228 @@ pub fn upsert(mem: &GlobalMemory, tree: &TreeHandle, key: u64, val: u64) -> Opti
     }
 }
 
-/// Deletes `key`, returning its previous value if it was present. Nodes
-/// are never merged (GPU B-trees, including the paper's baselines, do not
-/// rebalance on delete); an emptied leaf stays in the chain.
+/// Result of a recursive delete at one level.
+enum Del {
+    NotFound,
+    Done(u64),
+    /// Deleted, and the node dropped below [`MIN_OCCUPANCY`]; the parent
+    /// must borrow into it or merge it with a sibling.
+    Underflow(u64),
+}
+
+/// Deletes `key`, returning its previous value if it was present.
+/// Underflowing nodes rebalance: a node that drops below
+/// [`MIN_OCCUPANCY`] borrows an entry from an adjacent sibling when one
+/// can spare it, and merges right-into-left otherwise. Merged-away nodes
+/// are tombstoned (`META_DEAD`) and retired into the arena's epoch
+/// quarantine, so stale readers keep seeing intact NEXT/HIGH words until
+/// reclamation. An inner root left with a single child collapses,
+/// shrinking the height.
 pub fn delete(mem: &GlobalMemory, tree: &TreeHandle, key: u64) -> Option<u64> {
-    let mut node = NodeRef {
+    let root = NodeRef {
         addr: tree.root(mem),
     };
-    while !node.is_leaf(mem) {
-        node = NodeRef {
-            addr: node.val(mem, child_slot(mem, node, key)),
-        };
-    }
-    let c = node.count(mem);
-    let slot = (0..c).find(|&i| node.key(mem, i) == key)?;
-    let old = node.val(mem, slot);
-    for i in slot..c - 1 {
-        node.set_key(mem, i, node.key(mem, i + 1));
-        node.set_val(mem, i, node.val(mem, i + 1));
-    }
-    node.set_key(mem, c - 1, u64::MAX);
-    node.set_count(mem, c - 1);
+    let old = match delete_rec(mem, root, key) {
+        Del::NotFound => return None,
+        Del::Done(old) | Del::Underflow(old) => old,
+    };
+    collapse_root(mem, tree);
     Some(old)
+}
+
+fn delete_rec(mem: &GlobalMemory, node: NodeRef, key: u64) -> Del {
+    if node.is_leaf(mem) {
+        return leaf_delete(mem, node, key);
+    }
+    let slot = child_slot(mem, node, key);
+    let child = NodeRef {
+        addr: node.val(mem, slot),
+    };
+    match delete_rec(mem, child, key) {
+        Del::NotFound => Del::NotFound,
+        Del::Done(old) => Del::Done(old),
+        Del::Underflow(old) => {
+            fix_underflow(mem, node, slot);
+            if node.count(mem) < MIN_OCCUPANCY {
+                Del::Underflow(old)
+            } else {
+                Del::Done(old)
+            }
+        }
+    }
+}
+
+fn leaf_delete(mem: &GlobalMemory, leaf: NodeRef, key: u64) -> Del {
+    let c = leaf.count(mem);
+    let Some(slot) = (0..c).find(|&i| leaf.key(mem, i) == key) else {
+        return Del::NotFound;
+    };
+    let old = leaf.val(mem, slot);
+    for i in slot..c - 1 {
+        leaf.set_key(mem, i, leaf.key(mem, i + 1));
+        leaf.set_val(mem, i, leaf.val(mem, i + 1));
+    }
+    leaf.set_key(mem, c - 1, u64::MAX);
+    leaf.set_count(mem, c - 1);
+    if c - 1 < MIN_OCCUPANCY {
+        Del::Underflow(old)
+    } else {
+        Del::Done(old)
+    }
+}
+
+/// Restores the occupancy of `parent`'s child at `slot`: borrow one entry
+/// from the sibling that can spare it, else merge right-into-left. A
+/// parent with a single child (only possible near the root, which is
+/// exempt) leaves the child as-is.
+fn fix_underflow(mem: &GlobalMemory, parent: NodeRef, slot: usize) {
+    let pc = parent.count(mem);
+    let child = NodeRef {
+        addr: parent.val(mem, slot),
+    };
+    let right = (slot + 1 < pc).then(|| NodeRef {
+        addr: parent.val(mem, slot + 1),
+    });
+    let left = (slot > 0).then(|| NodeRef {
+        addr: parent.val(mem, slot - 1),
+    });
+    if let Some(r) = right {
+        if r.count(mem) > MIN_OCCUPANCY {
+            return borrow_from_right(mem, parent, slot, child, r);
+        }
+    }
+    if let Some(l) = left {
+        if l.count(mem) > MIN_OCCUPANCY {
+            return borrow_from_left(mem, parent, slot, l, child);
+        }
+    }
+    if let Some(r) = right {
+        merge_into_left(mem, parent, slot + 1, child, r);
+    } else if let Some(l) = left {
+        merge_into_left(mem, parent, slot, l, child);
+    }
+    // No sibling: single-child parent, nothing to rebalance against.
+}
+
+/// Moves `right`'s first entry to `child`'s end and re-fences.
+fn borrow_from_right(
+    mem: &GlobalMemory,
+    parent: NodeRef,
+    slot: usize,
+    child: NodeRef,
+    right: NodeRef,
+) {
+    let rc = right.count(mem);
+    let cc = child.count(mem);
+    child.set_key(mem, cc, right.key(mem, 0));
+    child.set_val(mem, cc, right.val(mem, 0));
+    child.set_count(mem, cc + 1);
+    for i in 0..rc - 1 {
+        right.set_key(mem, i, right.key(mem, i + 1));
+        right.set_val(mem, i, right.val(mem, i + 1));
+    }
+    right.set_key(mem, rc - 1, u64::MAX);
+    right.set_count(mem, rc - 1);
+    // The boundary between the two siblings moved up to right's new
+    // minimum: parent fence, right's low, and child's high all track it.
+    let fence = right.key(mem, 0);
+    parent.set_key(mem, slot + 1, fence);
+    right.set_low(mem, fence);
+    child.set_high(mem, fence);
+    child.bump_version(mem);
+    right.bump_version(mem);
+}
+
+/// Moves `left`'s last entry to `child`'s front and re-fences.
+fn borrow_from_left(
+    mem: &GlobalMemory,
+    parent: NodeRef,
+    slot: usize,
+    left: NodeRef,
+    child: NodeRef,
+) {
+    let lc = left.count(mem);
+    let cc = child.count(mem);
+    let (k, v) = (left.key(mem, lc - 1), left.val(mem, lc - 1));
+    let mut i = cc;
+    while i > 0 {
+        child.set_key(mem, i, child.key(mem, i - 1));
+        child.set_val(mem, i, child.val(mem, i - 1));
+        i -= 1;
+    }
+    child.set_key(mem, 0, k);
+    child.set_val(mem, 0, v);
+    child.set_count(mem, cc + 1);
+    left.set_key(mem, lc - 1, u64::MAX);
+    left.set_count(mem, lc - 1);
+    // The boundary moved down to the borrowed key.
+    parent.set_key(mem, slot, k);
+    child.set_low(mem, k);
+    left.set_high(mem, k);
+    child.bump_version(mem);
+    left.bump_version(mem);
+}
+
+/// Merges `right` (the parent entry at `right_slot`) into `left`, its
+/// chain predecessor. `left` absorbs the entries and the key range;
+/// `right` is tombstoned and retired — its NEXT/HIGH stay readable for
+/// same-epoch stale readers until the arena recycles it.
+fn merge_into_left(
+    mem: &GlobalMemory,
+    parent: NodeRef,
+    right_slot: usize,
+    left: NodeRef,
+    right: NodeRef,
+) {
+    let lc = left.count(mem);
+    let rc = right.count(mem);
+    debug_assert!(lc + rc <= FANOUT, "merge would overflow");
+    debug_assert_eq!(left.is_leaf(mem), right.is_leaf(mem));
+    for i in 0..rc {
+        left.set_key(mem, lc + i, right.key(mem, i));
+        left.set_val(mem, lc + i, right.val(mem, i));
+    }
+    left.set_count(mem, lc + rc);
+    left.set_next(mem, right.next(mem));
+    left.set_high(mem, right.high(mem));
+    left.bump_version(mem);
+    // Remove the parent's entry for the absorbed node.
+    let pc = parent.count(mem);
+    for i in right_slot..pc - 1 {
+        parent.set_key(mem, i, parent.key(mem, i + 1));
+        parent.set_val(mem, i, parent.val(mem, i + 1));
+    }
+    parent.set_key(mem, pc - 1, u64::MAX);
+    parent.set_count(mem, pc - 1);
+    // Tombstone, then quarantine: an optimistic reader that raced here
+    // sees META_DEAD and restarts; the block is recycled only after the
+    // next epoch advance.
+    mem.fetch_or(right.addr + OFF_META, META_DEAD);
+    right.bump_version(mem);
+    right.retire(mem);
+}
+
+/// Collapses single-child inner roots, shrinking the recorded height.
+/// The promoted child already spans the full key range (low 0 after the
+/// leftmost clamp, high unbounded as the rightmost), so no re-fencing is
+/// needed.
+fn collapse_root(mem: &GlobalMemory, tree: &TreeHandle) {
+    loop {
+        let root = NodeRef {
+            addr: tree.root(mem),
+        };
+        if root.is_leaf(mem) || root.count(mem) != 1 {
+            return;
+        }
+        let child = NodeRef {
+            addr: root.val(mem, 0),
+        };
+        let height = tree.height(mem);
+        tree.set_root(mem, child.addr, height - 1);
+        mem.fetch_or(root.addr + OFF_META, META_DEAD);
+        root.bump_version(mem);
+        root.retire(mem);
+    }
 }
 
 /// Returns the values of keys in `[lo, lo + len - 1]`, one optional slot

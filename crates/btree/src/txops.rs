@@ -7,8 +7,8 @@
 
 use crate::build::TreeHandle;
 use crate::node::{
-    meta_count, meta_is_leaf, pack_meta, FANOUT, NODE_WORDS, OFF_HIGH, OFF_KEYS, OFF_LOW, OFF_META,
-    OFF_NEXT, OFF_RF, OFF_VALS, OFF_VERSION,
+    meta_count, meta_is_leaf, pack_meta, FANOUT, META_DEAD, MIN_OCCUPANCY, NODE_WORDS, OFF_HIGH,
+    OFF_KEYS, OFF_LOW, OFF_META, OFF_NEXT, OFF_RF, OFF_VALS, OFF_VERSION,
 };
 use eirene_sim::{Addr, Phase, TraceEventKind, WarpCtx};
 use eirene_stm::{Tx, TxResult};
@@ -68,8 +68,10 @@ pub fn tx_find(
 
 /// Splits a full node inside the transaction, returning the sibling's
 /// address and fence key. All writes are transactional, so an abort rolls
-/// the whole split back (the freshly allocated sibling leaks into the bump
-/// arena, as it would on a GPU free-list allocator without reclamation).
+/// the whole split back; the freshly allocated sibling (and the new root,
+/// for a root split) is registered with [`Tx::retire_on_abort`], so a
+/// rollback retires the never-published node through the slab arena
+/// instead of leaking it.
 pub fn tx_split(
     tx: &mut Tx<'_>,
     ctx: &mut WarpCtx<'_>,
@@ -98,7 +100,8 @@ fn tx_split_inner(
     leaf: bool,
 ) -> TxResult<(Addr, u64)> {
     let half = FANOUT / 2;
-    let raddr = ctx.raw_mem().alloc_aligned(NODE_WORDS, 16);
+    let raddr = ctx.raw_mem().alloc_reuse(NODE_WORDS, 16);
+    tx.retire_on_abort(raddr, NODE_WORDS, 16);
     ctx.charge_alloc();
     // Move the upper half to the sibling.
     for i in half..FANOUT {
@@ -158,7 +161,8 @@ fn tx_split_inner(
         }
         SplitParent::Root => {
             // Root split: new root with two fences.
-            let new_root = ctx.raw_mem().alloc_aligned(NODE_WORDS, 16);
+            let new_root = ctx.raw_mem().alloc_reuse(NODE_WORDS, 16);
+            tx.retire_on_abort(new_root, NODE_WORDS, 16);
             ctx.charge_alloc();
             let k0 = tx.read(ctx, addr + OFF_KEYS)?;
             for i in 2..FANOUT {
@@ -284,6 +288,269 @@ fn tx_descend_inner(
     }
 }
 
+/// Transactional descent that keeps every node on the path above the
+/// occupancy floor: any child at or below [`MIN_OCCUPANCY`] is rebalanced
+/// (borrow from a richer sibling, else merge) *before* descending into it,
+/// and a single-child inner root is collapsed, so the returned leaf can
+/// always lose one entry without underflowing. Returns `(leaf address,
+/// leaf count, floor)` where `floor` is the occupancy bound to pass to
+/// [`tx_delete_at_leaf`] (zero when the leaf is the root, which is
+/// exempt).
+pub fn tx_descend_merging(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    handle: &TreeHandle,
+    key: u64,
+) -> TxResult<(Addr, usize, usize)> {
+    let prev = ctx.set_phase(Phase::VerticalTraversal);
+    let r = tx_descend_merging_inner(tx, ctx, handle, key);
+    ctx.set_phase(prev);
+    r
+}
+
+fn tx_descend_merging_inner(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    handle: &TreeHandle,
+    key: u64,
+) -> TxResult<(Addr, usize, usize)> {
+    'restart: loop {
+        ctx.stats.vertical_traversals += 1;
+        let mut cur = tx.read(ctx, handle.root_word)?;
+        let mut meta = tx.read(ctx, cur + OFF_META)?;
+        ctx.control(2);
+        // A single-child inner root is replaced by its child before the
+        // descent; the old root is tombstoned and retired on commit.
+        while !meta_is_leaf(meta) && meta_count(meta) == 1 {
+            let child = tx.read(ctx, cur + OFF_VALS)?;
+            tx.write(ctx, handle.root_word, child)?;
+            let h = tx.read(ctx, handle.height_word)?;
+            tx.write(ctx, handle.height_word, h - 1)?;
+            tx_retire_node(tx, ctx, cur, meta)?;
+            cur = child;
+            meta = tx.read(ctx, cur + OFF_META)?;
+        }
+        let mut at_root = true;
+        loop {
+            ctx.stats.vertical_steps += 1;
+            ctx.control(2);
+            let count = meta_count(meta);
+            if meta_is_leaf(meta) {
+                let (cur_l, count_l) = tx_hop_right(tx, ctx, cur, count, key)?;
+                if cur_l != cur && count_l <= MIN_OCCUPANCY {
+                    // Hopped onto an at-floor leaf whose parent we do not
+                    // hold; restart — the fence path reaches it with the
+                    // parent in hand and rebalances it preemptively.
+                    continue 'restart;
+                }
+                let floor = if at_root && cur_l == cur {
+                    0
+                } else {
+                    MIN_OCCUPANCY
+                };
+                return Ok((cur_l, count_l, floor));
+            }
+            let slot = tx_child_slot(tx, ctx, cur, count, key)?;
+            let child = tx.read(ctx, cur + OFF_VALS + slot as u64)?;
+            let cmeta = tx.read(ctx, child + OFF_META)?;
+            if meta_count(cmeta) <= MIN_OCCUPANCY && count > 1 {
+                tx_fix_child(tx, ctx, cur, count, slot, meta_is_leaf(cmeta))?;
+                continue 'restart;
+            }
+            at_root = false;
+            cur = child;
+            meta = cmeta;
+        }
+    }
+}
+
+/// Rebalances the at-floor child at `slot`: borrows from an adjacent
+/// sibling with slack, else merges with one (both at the floor, so the
+/// merged node holds at most `2 * MIN_OCCUPANCY <= FANOUT` entries).
+fn tx_fix_child(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    parent: Addr,
+    pcount: usize,
+    slot: usize,
+    leaf: bool,
+) -> TxResult<()> {
+    let prev = ctx.set_phase(Phase::StructureMod);
+    let r = tx_fix_child_inner(tx, ctx, parent, pcount, slot, leaf);
+    ctx.set_phase(prev);
+    r
+}
+
+fn tx_fix_child_inner(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    parent: Addr,
+    pcount: usize,
+    slot: usize,
+    leaf: bool,
+) -> TxResult<()> {
+    let child = tx.read(ctx, parent + OFF_VALS + slot as u64)?;
+    let ccount = meta_count(tx.read(ctx, child + OFF_META)?);
+    ctx.control(4);
+    if slot + 1 < pcount {
+        let right = tx.read(ctx, parent + OFF_VALS + (slot + 1) as u64)?;
+        let rcount = meta_count(tx.read(ctx, right + OFF_META)?);
+        if rcount > MIN_OCCUPANCY {
+            return tx_borrow_from_right(tx, ctx, parent, slot, child, ccount, right, rcount, leaf);
+        }
+    }
+    if slot > 0 {
+        let left = tx.read(ctx, parent + OFF_VALS + (slot - 1) as u64)?;
+        let lcount = meta_count(tx.read(ctx, left + OFF_META)?);
+        if lcount > MIN_OCCUPANCY {
+            return tx_borrow_from_left(tx, ctx, parent, slot, left, lcount, child, ccount, leaf);
+        }
+    }
+    let right_slot = if slot + 1 < pcount { slot + 1 } else { slot };
+    tx_merge_into_left(tx, ctx, parent, pcount, right_slot, leaf)
+}
+
+/// Moves the right sibling's first entry onto the child's end. The
+/// boundary triple moves together: the parent fence, the donor's low key,
+/// and the receiver's high key all become the donor's new minimum.
+#[allow(clippy::too_many_arguments)]
+fn tx_borrow_from_right(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    parent: Addr,
+    slot: usize,
+    left: Addr,
+    lcount: usize,
+    right: Addr,
+    rcount: usize,
+    leaf: bool,
+) -> TxResult<()> {
+    let k0 = tx.read(ctx, right + OFF_KEYS)?;
+    let v0 = tx.read(ctx, right + OFF_VALS)?;
+    tx.write(ctx, left + OFF_KEYS + lcount as u64, k0)?;
+    tx.write(ctx, left + OFF_VALS + lcount as u64, v0)?;
+    tx.write(ctx, left + OFF_META, pack_meta(leaf, false, lcount + 1))?;
+    for i in 0..rcount - 1 {
+        let k = tx.read(ctx, right + OFF_KEYS + (i + 1) as u64)?;
+        let v = tx.read(ctx, right + OFF_VALS + (i + 1) as u64)?;
+        tx.write(ctx, right + OFF_KEYS + i as u64, k)?;
+        tx.write(ctx, right + OFF_VALS + i as u64, v)?;
+    }
+    tx.write(ctx, right + OFF_KEYS + (rcount - 1) as u64, u64::MAX)?;
+    tx.write(ctx, right + OFF_META, pack_meta(leaf, false, rcount - 1))?;
+    let fence = tx.read(ctx, right + OFF_KEYS)?;
+    tx.write(ctx, parent + OFF_KEYS + (slot + 1) as u64, fence)?;
+    tx.write(ctx, right + OFF_LOW, fence)?;
+    tx.write(ctx, left + OFF_HIGH, fence)?;
+    tx_bump_version(tx, ctx, left)?;
+    tx_bump_version(tx, ctx, right)?;
+    ctx.control(4);
+    Ok(())
+}
+
+/// Moves the left sibling's last entry onto the child's front; the
+/// boundary triple (parent fence, child low, donor high) follows it.
+#[allow(clippy::too_many_arguments)]
+fn tx_borrow_from_left(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    parent: Addr,
+    slot: usize,
+    left: Addr,
+    lcount: usize,
+    child: Addr,
+    ccount: usize,
+    leaf: bool,
+) -> TxResult<()> {
+    let k = tx.read(ctx, left + OFF_KEYS + (lcount - 1) as u64)?;
+    let v = tx.read(ctx, left + OFF_VALS + (lcount - 1) as u64)?;
+    tx.write(ctx, left + OFF_KEYS + (lcount - 1) as u64, u64::MAX)?;
+    tx.write(ctx, left + OFF_META, pack_meta(leaf, false, lcount - 1))?;
+    let mut i = ccount;
+    while i > 0 {
+        let pk = tx.read(ctx, child + OFF_KEYS + (i - 1) as u64)?;
+        let pv = tx.read(ctx, child + OFF_VALS + (i - 1) as u64)?;
+        tx.write(ctx, child + OFF_KEYS + i as u64, pk)?;
+        tx.write(ctx, child + OFF_VALS + i as u64, pv)?;
+        i -= 1;
+    }
+    tx.write(ctx, child + OFF_KEYS, k)?;
+    tx.write(ctx, child + OFF_VALS, v)?;
+    tx.write(ctx, child + OFF_META, pack_meta(leaf, false, ccount + 1))?;
+    tx.write(ctx, parent + OFF_KEYS + slot as u64, k)?;
+    tx.write(ctx, child + OFF_LOW, k)?;
+    tx.write(ctx, left + OFF_HIGH, k)?;
+    tx_bump_version(tx, ctx, left)?;
+    tx_bump_version(tx, ctx, child)?;
+    ctx.control(4);
+    Ok(())
+}
+
+/// Merges the node at `right_slot` into its left sibling: the absorbed
+/// node's entries are appended, the left node inherits its `NEXT` and
+/// `HIGH` (keeping the leaf chain abutting), the parent entry is removed,
+/// and the absorbed node is tombstoned and retired on commit.
+fn tx_merge_into_left(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    parent: Addr,
+    pcount: usize,
+    right_slot: usize,
+    leaf: bool,
+) -> TxResult<()> {
+    let left = tx.read(ctx, parent + OFF_VALS + (right_slot - 1) as u64)?;
+    let right = tx.read(ctx, parent + OFF_VALS + right_slot as u64)?;
+    let lcount = meta_count(tx.read(ctx, left + OFF_META)?);
+    let rmeta = tx.read(ctx, right + OFF_META)?;
+    let rcount = meta_count(rmeta);
+    debug_assert!(lcount + rcount <= FANOUT, "merge would overflow the node");
+    for i in 0..rcount {
+        let k = tx.read(ctx, right + OFF_KEYS + i as u64)?;
+        let v = tx.read(ctx, right + OFF_VALS + i as u64)?;
+        tx.write(ctx, left + OFF_KEYS + (lcount + i) as u64, k)?;
+        tx.write(ctx, left + OFF_VALS + (lcount + i) as u64, v)?;
+    }
+    let rnext = tx.read(ctx, right + OFF_NEXT)?;
+    let rhigh = tx.read(ctx, right + OFF_HIGH)?;
+    tx.write(ctx, left + OFF_NEXT, rnext)?;
+    tx.write(ctx, left + OFF_HIGH, rhigh)?;
+    tx.write(
+        ctx,
+        left + OFF_META,
+        pack_meta(leaf, false, lcount + rcount),
+    )?;
+    tx_bump_version(tx, ctx, left)?;
+    // Remove the parent's entry for the absorbed node.
+    for i in right_slot..pcount - 1 {
+        let k = tx.read(ctx, parent + OFF_KEYS + (i + 1) as u64)?;
+        let v = tx.read(ctx, parent + OFF_VALS + (i + 1) as u64)?;
+        tx.write(ctx, parent + OFF_KEYS + i as u64, k)?;
+        tx.write(ctx, parent + OFF_VALS + i as u64, v)?;
+    }
+    tx.write(ctx, parent + OFF_KEYS + (pcount - 1) as u64, u64::MAX)?;
+    tx.write(ctx, parent + OFF_META, pack_meta(false, false, pcount - 1))?;
+    tx_retire_node(tx, ctx, right, rmeta)?;
+    ctx.emit(TraceEventKind::NodeMerge, right);
+    ctx.control(8);
+    Ok(())
+}
+
+/// Tombstones an unlinked node (dead bit + version bump, so optimistic
+/// readers holding a stale pointer fail their version check) and defers
+/// its retirement to commit. The node's `NEXT` and `HIGH` stay intact for
+/// same-epoch stale readers walking the chain.
+fn tx_retire_node(tx: &mut Tx<'_>, ctx: &mut WarpCtx<'_>, addr: Addr, meta: u64) -> TxResult<()> {
+    tx.write(ctx, addr + OFF_META, meta | META_DEAD)?;
+    tx_bump_version(tx, ctx, addr)?;
+    tx.defer_retire(addr, NODE_WORDS, 16);
+    Ok(())
+}
+
+fn tx_bump_version(tx: &mut Tx<'_>, ctx: &mut WarpCtx<'_>, addr: Addr) -> TxResult<()> {
+    let v = tx.read(ctx, addr + OFF_VERSION)?;
+    tx.write(ctx, addr + OFF_VERSION, v + 1)
+}
+
 /// Outcome of a leaf-local transactional upsert.
 pub enum LeafUpsert {
     /// Applied; carries the previous value or [`NO_VALUE`].
@@ -348,17 +615,32 @@ fn tx_upsert_at_leaf_inner(
     Ok(LeafUpsert::Done(NO_VALUE))
 }
 
-/// Deletes `key` from the (already located) leaf, returning the previous
-/// value or [`NO_VALUE`].
+/// Outcome of a leaf-local transactional delete.
+pub enum LeafDelete {
+    /// Applied (or the key was absent); carries the previous value or
+    /// [`NO_VALUE`].
+    Done(u64),
+    /// The key is present but removing it would drop the leaf below
+    /// `floor` — the caller must take a merge-capable path
+    /// ([`tx_delete_rebalancing`]). The leaf is left untouched.
+    Underflow,
+}
+
+/// Deletes `key` from the (already located) leaf. Does not rebalance:
+/// when the leaf sits at `floor` and holds the key, it escapes with
+/// [`LeafDelete::Underflow`] instead of violating the occupancy floor.
+/// Pass `floor = 0` to delete unconditionally (root leaves are exempt
+/// from the floor).
 pub fn tx_delete_at_leaf(
     tx: &mut Tx<'_>,
     ctx: &mut WarpCtx<'_>,
     addr: Addr,
     count: usize,
     key: u64,
-) -> TxResult<u64> {
+    floor: usize,
+) -> TxResult<LeafDelete> {
     let prev = ctx.set_phase(Phase::LeafOp);
-    let r = tx_delete_at_leaf_inner(tx, ctx, addr, count, key);
+    let r = tx_delete_at_leaf_inner(tx, ctx, addr, count, key, floor);
     ctx.set_phase(prev);
     r
 }
@@ -369,9 +651,11 @@ fn tx_delete_at_leaf_inner(
     addr: Addr,
     count: usize,
     key: u64,
-) -> TxResult<u64> {
+    floor: usize,
+) -> TxResult<LeafDelete> {
     match tx_find(tx, ctx, addr, count, key)? {
-        None => Ok(NO_VALUE),
+        None => Ok(LeafDelete::Done(NO_VALUE)),
+        Some(_) if count <= floor => Ok(LeafDelete::Underflow),
         Some(slot) => {
             let old = tx.read(ctx, addr + OFF_VALS + slot as u64)?;
             for i in slot..count - 1 {
@@ -382,8 +666,24 @@ fn tx_delete_at_leaf_inner(
             }
             tx.write(ctx, addr + OFF_KEYS + (count - 1) as u64, u64::MAX)?;
             tx.write(ctx, addr + OFF_META, pack_meta(true, false, count - 1))?;
-            Ok(old)
+            Ok(LeafDelete::Done(old))
         }
+    }
+}
+
+/// Full transactional delete with rebalancing: a merging descent keeps
+/// the path above the occupancy floor, so the leaf-local delete can never
+/// underflow. Returns the previous value or [`NO_VALUE`].
+pub fn tx_delete_rebalancing(
+    tx: &mut Tx<'_>,
+    ctx: &mut WarpCtx<'_>,
+    handle: &TreeHandle,
+    key: u64,
+) -> TxResult<u64> {
+    let (addr, count, floor) = tx_descend_merging(tx, ctx, handle, key)?;
+    match tx_delete_at_leaf(tx, ctx, addr, count, key, floor)? {
+        LeafDelete::Done(old) => Ok(old),
+        LeafDelete::Underflow => unreachable!("merging descent guarantees slack above the floor"),
     }
 }
 
@@ -455,8 +755,7 @@ mod tests {
         .unwrap();
         assert_eq!(refops::get(dev.mem(), &t, 7), Some(70));
         stm.run(&mut ctx, 4, |tx, ctx| {
-            let (addr, count) = tx_descend(tx, ctx, &t, 7, false)?;
-            let old = tx_delete_at_leaf(tx, ctx, addr, count, 7)?;
+            let old = tx_delete_rebalancing(tx, ctx, &t, 7)?;
             assert_eq!(old, 70);
             Ok(())
         })
@@ -507,6 +806,113 @@ mod tests {
             "rollback must undo"
         );
         validate(dev.mem(), &t).unwrap();
+    }
+
+    #[test]
+    fn aborted_split_retires_its_orphan_sibling() {
+        let (dev, t, stm) = setup(100);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        // Fill the rightmost leaf to FANOUT so a split-capable descent
+        // towards a huge key must split it.
+        let mut k = 1_000u64;
+        loop {
+            let count = stm
+                .run(&mut ctx, 4, |tx, ctx| {
+                    Ok(tx_descend(tx, ctx, &t, 5_000_000, false)?.1)
+                })
+                .unwrap();
+            if count == FANOUT {
+                break;
+            }
+            refops::upsert(dev.mem(), &t, k, 0);
+            k += 2;
+        }
+        let snapshot = refops::contents(dev.mem(), &t);
+        let retired_before = dev.mem().slab_stats().retired;
+        let mut tx = stm.begin();
+        tx_descend(&mut tx, &mut ctx, &t, 5_000_000, true).unwrap();
+        tx.rollback(&mut ctx);
+        assert_eq!(
+            refops::contents(dev.mem(), &t),
+            snapshot,
+            "rollback must undo the split"
+        );
+        validate(dev.mem(), &t).unwrap();
+        // The never-published sibling must land in the slab quarantine,
+        // not leak into the bump arena.
+        assert!(
+            dev.mem().slab_stats().retired > retired_before,
+            "aborted split must retire its orphaned sibling"
+        );
+    }
+
+    #[test]
+    fn leaf_delete_escapes_at_the_occupancy_floor() {
+        use crate::node::MIN_OCCUPANCY;
+        let (dev, t, stm) = setup(100);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        // Drain the leftmost leaf one key at a time with the floor-aware
+        // leaf delete; once it reaches the floor the op must escape
+        // without modifying the leaf.
+        let mut escaped = None;
+        for i in 1..=FANOUT as u64 {
+            let key = 2 * i;
+            let r = stm
+                .run(&mut ctx, 4, |tx, ctx| {
+                    let (addr, count) = tx_descend(tx, ctx, &t, key, false)?;
+                    tx_delete_at_leaf(tx, ctx, addr, count, key, MIN_OCCUPANCY)
+                })
+                .unwrap();
+            match r {
+                LeafDelete::Done(v) => assert_eq!(v, 2 * i + 1),
+                LeafDelete::Underflow => {
+                    escaped = Some(key);
+                    break;
+                }
+            }
+        }
+        let key = escaped.expect("the leaf must hit the floor");
+        assert_eq!(
+            refops::get(dev.mem(), &t, key),
+            Some(key + 1),
+            "the underflow escape must leave the leaf untouched"
+        );
+        // The merge-capable path finishes the job.
+        stm.run(&mut ctx, 8, |tx, ctx| {
+            tx_delete_rebalancing(tx, ctx, &t, key)
+        })
+        .unwrap();
+        assert_eq!(refops::get(dev.mem(), &t, key), None);
+        crate::validate::validate_with(dev.mem(), &t, crate::validate::ValidateOpts::merging())
+            .unwrap();
+    }
+
+    #[test]
+    fn tx_deletes_merge_shrink_and_recycle() {
+        let (dev, t, stm) = setup(1000);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        let h0 = t.height(dev.mem());
+        assert!(h0 >= 3);
+        for i in 1..=995u64 {
+            let old = stm
+                .run(&mut ctx, 16, |tx, ctx| {
+                    tx_delete_rebalancing(tx, ctx, &t, 2 * i)
+                })
+                .unwrap();
+            assert_eq!(old, 2 * i + 1, "key {}", 2 * i);
+        }
+        assert!(t.height(dev.mem()) < h0, "merges must shrink the tree");
+        let left = refops::contents(dev.mem(), &t);
+        assert_eq!(left.len(), 5);
+        crate::validate::validate_with(dev.mem(), &t, crate::validate::ValidateOpts::merging())
+            .unwrap();
+        let st = dev.mem().slab_stats();
+        assert!(st.retired > 0, "merged-away nodes must be quarantined");
+        // An epoch advance drains the quarantine into the free lists.
+        dev.mem().advance_epoch();
+        let st = dev.mem().slab_stats();
+        assert_eq!(st.retired, 0);
+        assert!(st.free > 0);
     }
 
     #[test]

@@ -1,8 +1,29 @@
 //! Structural validation of the B+tree invariants.
 
 use crate::build::TreeHandle;
-use crate::node::{NodeRef, FANOUT};
+use crate::node::{meta_is_dead, NodeRef, FANOUT, MIN_OCCUPANCY};
 use eirene_sim::GlobalMemory;
+
+/// Optional extra invariants checked by [`validate_with`]. The default is
+/// the lenient set every tree satisfies; trees that rebalance on delete
+/// (the Eirene variants) opt into the occupancy floor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ValidateOpts {
+    /// When nonzero, every node except the root must hold at least this
+    /// many entries (the floor delete rebalancing maintains). The
+    /// lock-based trees keep the seed's no-merge deletes and validate
+    /// with 0.
+    pub min_occupancy: usize,
+}
+
+impl ValidateOpts {
+    /// The strict set for merging trees: [`MIN_OCCUPANCY`] floor.
+    pub fn merging() -> Self {
+        ValidateOpts {
+            min_occupancy: MIN_OCCUPANCY,
+        }
+    }
+}
 
 /// Summary statistics returned by a successful validation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,6 +52,18 @@ pub struct TreeStats {
 /// Returns [`TreeStats`] on success, or a description of the first
 /// violation.
 pub fn validate(mem: &GlobalMemory, tree: &TreeHandle) -> Result<TreeStats, String> {
+    validate_with(mem, tree, ValidateOpts::default())
+}
+
+/// [`validate`] plus the opt-in invariants in [`ValidateOpts`]. Always
+/// checked regardless of opts: no reachable node carries the `META_DEAD`
+/// tombstone, and consecutive chained leaves have abutting key ranges
+/// (`left.high == right.low`).
+pub fn validate_with(
+    mem: &GlobalMemory,
+    tree: &TreeHandle,
+    opts: ValidateOpts,
+) -> Result<TreeStats, String> {
     let root = NodeRef {
         addr: tree.root(mem),
     };
@@ -50,11 +83,13 @@ pub fn validate(mem: &GlobalMemory, tree: &TreeHandle) -> Result<TreeStats, Stri
         None,
         u64::MAX,
         true,
+        &opts,
         &mut stats,
         &mut leaves_in_order,
     )?;
 
-    // Leaf chain must equal the in-order leaf sequence.
+    // Leaf chain must equal the in-order leaf sequence, with abutting
+    // ranges: each leaf hands off exactly where its successor picks up.
     let mut chain = Vec::with_capacity(leaves_in_order.len());
     let mut node = *leaves_in_order
         .first()
@@ -65,7 +100,17 @@ pub fn validate(mem: &GlobalMemory, tree: &TreeHandle) -> Result<TreeStats, Stri
         if next == 0 {
             break;
         }
-        node = NodeRef { addr: next };
+        let succ = NodeRef { addr: next };
+        if node.high(mem) != succ.low(mem) {
+            return Err(format!(
+                "leaf chain gap: {:#x} high {} != successor {:#x} low {}",
+                node.addr,
+                node.high(mem),
+                succ.addr,
+                succ.low(mem)
+            ));
+        }
+        node = succ;
     }
     if chain != leaves_in_order {
         return Err(format!(
@@ -86,9 +131,16 @@ fn check_node(
     lo: Option<u64>,
     hi: u64,
     leftmost: bool,
+    opts: &ValidateOpts,
     stats: &mut TreeStats,
     leaves: &mut Vec<NodeRef>,
 ) -> Result<(), String> {
+    if meta_is_dead(node.meta(mem)) {
+        return Err(format!(
+            "node {:#x}: reachable but tombstoned (META_DEAD)",
+            node.addr
+        ));
+    }
     let node_high = node.high(mem);
     if node_high != hi {
         return Err(format!(
@@ -112,6 +164,14 @@ fn check_node(
     let is_leaf = node.is_leaf(mem);
     if !is_leaf && c == 0 {
         return Err(format!("inner node {:#x} is empty", node.addr));
+    }
+    // The root is exempt from the occupancy floor (it may thin out to a
+    // single child right before collapsing, or be a near-empty leaf).
+    if depth > 1 && c < opts.min_occupancy {
+        return Err(format!(
+            "node {:#x}: count {c} below the occupancy floor {}",
+            node.addr, opts.min_occupancy
+        ));
     }
 
     // Keys strictly ascending and inside (lo, hi).
@@ -170,6 +230,7 @@ fn check_node(
             Some(fence),
             child_hi,
             leftmost && i == 0,
+            opts,
             stats,
             leaves,
         )?;
@@ -210,6 +271,101 @@ mod tests {
         }
         let s = validate(&mem, &t).unwrap();
         assert_eq!(s.keys, 1000 + 1000 - 500);
+    }
+
+    #[test]
+    fn leaf_underflow_rebalances_to_the_occupancy_floor() {
+        let (mem, t) = tree(1000);
+        // Deleting a dense prefix drives one leaf after another below the
+        // floor, exercising leaf borrows (from a full right sibling) and
+        // right-into-left leaf merges.
+        for i in 1..=900u64 {
+            assert_eq!(delete(&mem, &t, 2 * i), Some(2 * i + 1), "delete {}", 2 * i);
+        }
+        let s = validate_with(&mem, &t, ValidateOpts::merging()).unwrap();
+        assert_eq!(s.keys, 100);
+        for i in 901..=1000u64 {
+            assert_eq!(crate::refops::get(&mem, &t, 2 * i), Some(2 * i + 1));
+        }
+        assert!(
+            mem.slab_stats().retired + mem.slab_stats().free > 0,
+            "merges must retire the absorbed leaves"
+        );
+    }
+
+    #[test]
+    fn internal_underflow_merges_and_the_height_shrinks() {
+        let (mem, t) = tree(5000);
+        let h0 = t.height(&mem);
+        assert!(h0 >= 3, "need internal levels below the root");
+        // Delete all but a sliver: internal nodes underflow and merge,
+        // and the root collapses level by level.
+        for i in 1..=4995u64 {
+            delete(&mem, &t, 2 * i);
+        }
+        assert!(t.height(&mem) < h0, "height must shrink after mass deletes");
+        let s = validate_with(&mem, &t, ValidateOpts::merging()).unwrap();
+        assert_eq!(s.keys, 5);
+    }
+
+    #[test]
+    fn borrow_from_left_covers_the_rightmost_leaf() {
+        let (mem, t) = tree(1000);
+        // Deleting a dense suffix underflows the rightmost leaf, whose
+        // only sibling is on the left.
+        for i in (101..=1000u64).rev() {
+            delete(&mem, &t, 2 * i);
+        }
+        let s = validate_with(&mem, &t, ValidateOpts::merging()).unwrap();
+        assert_eq!(s.keys, 100);
+    }
+
+    #[test]
+    fn delete_everything_then_rebuild_by_inserts() {
+        let (mem, t) = tree(500);
+        for i in 1..=500u64 {
+            delete(&mem, &t, 2 * i);
+        }
+        // Fully drained: the root collapsed to a (possibly empty) leaf.
+        let s = validate_with(&mem, &t, ValidateOpts::merging()).unwrap();
+        assert_eq!(s.keys, 0);
+        mem.advance_epoch(); // recycle the merged-away nodes
+        for i in 1..=500u64 {
+            upsert(&mem, &t, 3 * i, i);
+        }
+        let s = validate_with(&mem, &t, ValidateOpts::merging()).unwrap();
+        assert_eq!(s.keys, 500);
+    }
+
+    #[test]
+    fn occupancy_floor_violations_are_reported_only_in_strict_mode() {
+        let (mem, t) = tree(1000);
+        // Force a non-root leaf below the floor behind validate's back.
+        let mut node = NodeRef { addr: t.root(&mem) };
+        while !node.is_leaf(&mem) {
+            node = NodeRef {
+                addr: node.val(&mem, 0),
+            };
+        }
+        for i in 1..node.count(&mem) {
+            node.set_key(&mem, i, u64::MAX);
+        }
+        node.set_count(&mem, 1);
+        validate(&mem, &t).expect("lenient mode tolerates thin leaves");
+        let err = validate_with(&mem, &t, ValidateOpts::merging()).unwrap_err();
+        assert!(err.contains("occupancy floor"), "{err}");
+    }
+
+    #[test]
+    fn reachable_tombstones_are_detected() {
+        let (mem, t) = tree(100);
+        let root = NodeRef { addr: t.root(&mem) };
+        let child = NodeRef {
+            addr: root.val(&mem, 0),
+        };
+        mem.fetch_or(child.addr, crate::node::META_DEAD);
+        let err = validate(&mem, &t).unwrap_err();
+        assert!(err.contains("tombstoned"), "{err}");
     }
 
     #[test]

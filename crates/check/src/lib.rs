@@ -23,6 +23,10 @@
 //!   serving layer (`eirene-serve`) — epoch splitting, cross-shard range
 //!   merging, shard routing — and shrinks any divergence to a minimal
 //!   cross-shard counterexample.
+//! * [`churn`] keeps one tree alive across many delete-heavy rounds,
+//!   hunting reclamation bugs the per-case-fresh-tree loop cannot see:
+//!   merge/borrow rebalancing, epoch-quarantined node reuse, and the
+//!   bounded-occupancy (no-leak) property of the slab arena.
 //! * [`fault`] injects a deliberate off-by-one into a tree's responses so
 //!   the harness itself can be tested end-to-end (a fuzzer that never
 //!   fires is indistinguishable from a fuzzer that cannot fire).
@@ -34,6 +38,7 @@
 //! `crates/sim/src/sched.rs` and the DESIGN.md section on deterministic
 //! scheduling).
 
+pub mod churn;
 pub mod diff;
 pub mod fault;
 pub mod gen;
@@ -41,6 +46,7 @@ pub mod harness;
 pub mod serve;
 pub mod shrink;
 
+pub use churn::{run_churn_case, run_churn_fuzz, ChurnFailure, ChurnOptions, ChurnOutcome};
 pub use diff::{build_tree, check_case, FuzzTree, Violation};
 pub use fault::{FaultSpec, FaultyTree};
 pub use gen::{adversarial_batch, dense_pairs, disjoint_batch, GenOptions, Profile};

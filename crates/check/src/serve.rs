@@ -514,6 +514,27 @@ pub fn run_serve_case(
             }
         }
     }
+    // Arena accounting: the terminal sample is taken after the final
+    // epoch advance, so nothing may still sit in quarantine, and the live
+    // node count must be consistent with the shard's key count — every
+    // non-root node holds at least MIN_OCCUPANCY (4) keys, so a shard
+    // whose arena holds more blocks than keys (plus slack for the
+    // sentinel, the root chain, and near-empty shards) is leaking nodes.
+    for shard in &report.shards {
+        if shard.arena_retired != 0 {
+            return Err(ServeViolation::Accounting(format!(
+                "shard {}: {} blocks still quarantined at shutdown",
+                shard.shard, shard.arena_retired
+            )));
+        }
+        let bound = shard.key_count + 16;
+        if shard.arena_live > bound {
+            return Err(ServeViolation::Accounting(format!(
+                "shard {}: {} live node blocks for {} keys (bound {bound}): arena leak",
+                shard.shard, shard.arena_live, shard.key_count
+            )));
+        }
+    }
     // The live sample series (epoch ids, terminal counter snapshots) must
     // reconcile exactly with the report's totals.
     reconcile_samples(&collector.samples(), &report).map_err(ServeViolation::Accounting)?;

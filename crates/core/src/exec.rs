@@ -20,9 +20,12 @@ use crate::locality::WarpLocator;
 use crate::plan::{Artificial, CombinePlan, IssuedKind, Run};
 use eirene_baselines::common::{charge_request_io, BatchRun, ResponseBuf};
 use eirene_btree::build::TreeHandle;
-use eirene_btree::node::{meta_count, meta_is_leaf, OFF_LOW, OFF_META, OFF_VERSION};
+use eirene_btree::node::{
+    meta_count, meta_is_dead, meta_is_leaf, MIN_OCCUPANCY, OFF_LOW, OFF_META, OFF_VERSION,
+};
 use eirene_btree::txops::{
-    tx_delete_at_leaf, tx_descend, tx_hop_right, tx_upsert_at_leaf, LeafUpsert, NO_VALUE,
+    tx_delete_at_leaf, tx_delete_rebalancing, tx_descend, tx_hop_right, tx_upsert_at_leaf,
+    LeafDelete, LeafUpsert, NO_VALUE,
 };
 use eirene_primitives::PrimCost;
 use eirene_sim::{Device, KernelStats, Phase, TraceEventKind};
@@ -305,10 +308,7 @@ fn update_one(
                             LeafUpsert::Full => unreachable!("descent guarantees room"),
                         }
                     }
-                    IssuedKind::Delete => {
-                        let (addr, count) = tx_descend(tx, ctx, handle, key, false)?;
-                        tx_delete_at_leaf(tx, ctx, addr, count, key)
-                    }
+                    IssuedKind::Delete => tx_delete_rebalancing(tx, ctx, handle, key),
                     IssuedKind::Query => unreachable!("queries run in the query kernel"),
                 })
                 .expect("unbounded retries cannot exhaust");
@@ -319,7 +319,7 @@ fn update_one(
         // leaf-version validation + STM-protected leaf region (37-45).
         let (addr, node) = loc.locate(ctx, handle, key);
         let leafvers = node.version;
-        let mut need_split = false;
+        let mut need_smo = false;
         let outer = ctx.set_phase(Phase::LeafOp);
         let attempt = {
             let mut tx = stm.begin();
@@ -331,8 +331,10 @@ fn update_one(
                 }
                 let meta = tx.read(ctx, addr + OFF_META)?;
                 ctx.control(1);
-                if !meta_is_leaf(meta) {
-                    return Ok(None); // the unprotected hint was garbage
+                if !meta_is_leaf(meta) || meta_is_dead(meta) {
+                    // The unprotected hint was garbage, or the leaf was
+                    // merged away and awaits reclamation.
+                    return Ok(None);
                 }
                 let count = meta_count(meta);
                 let (laddr, lcount) = tx_hop_right(&mut tx, ctx, addr, count, key)?;
@@ -350,13 +352,19 @@ fn update_one(
                         match tx_upsert_at_leaf(&mut tx, ctx, laddr, lcount, key, v as u64)? {
                             LeafUpsert::Done(old) => Ok(Some(old)),
                             LeafUpsert::Full => {
-                                need_split = true;
+                                need_smo = true;
                                 Err(Abort)
                             }
                         }
                     }
                     IssuedKind::Delete => {
-                        Ok(Some(tx_delete_at_leaf(&mut tx, ctx, laddr, lcount, key)?))
+                        match tx_delete_at_leaf(&mut tx, ctx, laddr, lcount, key, MIN_OCCUPANCY)? {
+                            LeafDelete::Done(old) => Ok(Some(old)),
+                            LeafDelete::Underflow => {
+                                need_smo = true;
+                                Err(Abort)
+                            }
+                        }
                     }
                     IssuedKind::Query => unreachable!(),
                 }
@@ -376,7 +384,7 @@ fn update_one(
                 }
                 Err(Abort) => {
                     tx.rollback(ctx);
-                    if !need_split {
+                    if !need_smo {
                         ctx.stm_abort();
                     }
                     None
@@ -387,9 +395,9 @@ fn update_one(
         match attempt {
             Some(old) => return old,
             None => {
-                if need_split {
+                if need_smo {
                     // Structure change required: jump straight to the
-                    // STM-protected path which can split.
+                    // STM-protected path, which can split or merge.
                     retries = opts.retry_threshold;
                 } else {
                     retries += 1;

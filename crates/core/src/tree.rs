@@ -124,14 +124,21 @@ impl EireneTree {
             protection: self.opts.protection,
             target_warps: self.opts.target_warps,
         };
-        execute(
+        let run = execute(
             &self.base.device,
             &self.base.handle,
             &self.stm,
             &exec_opts,
             batch,
             plan,
-        )
+        );
+        // The batch boundary is a quiescent point: kernel launches are
+        // synchronous, and nothing outside the launch holds node
+        // addresses (pending serve tickets carry only keys). Advancing
+        // the reclamation epoch here lets nodes retired by this batch's
+        // merges and aborted splits be recycled by the next batch.
+        self.base.device.mem().advance_epoch();
+        run
     }
 }
 

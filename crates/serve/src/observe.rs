@@ -49,6 +49,13 @@ pub(crate) struct ShardMetrics {
     /// migration (sentinel excluded). Not updated per epoch — upserts and
     /// deletes move it only at the terminal snapshot, where it is exact.
     pub key_count: MetricId,
+    /// Live node blocks in the shard device's slab arena (allocated minus
+    /// retired), refreshed at epoch boundaries.
+    pub arena_live: MetricId,
+    /// Node blocks quarantined in the slab arena awaiting their epoch to
+    /// pass; refreshed at epoch boundaries, right after the reclamation
+    /// epoch advanced (so it shows the steady-state backlog, usually 0).
+    pub arena_retired: MetricId,
     /// Per-tenant shed counters; `tenant_shed[t]` sums into `shed`.
     pub tenant_shed: Vec<MetricId>,
 }
@@ -70,6 +77,8 @@ impl ShardMetrics {
         let batch_target = reg.register_gauge("batch_target");
         let lane_pending = reg.register_gauge("lane_pending");
         let key_count = reg.register_gauge("key_count");
+        let arena_live = reg.register_gauge("arena_live");
+        let arena_retired = reg.register_gauge("arena_retired");
         let tenant_shed = (0..tenants.max(1))
             .map(|t| reg.register_counter(&format!("tenant{t}_shed")))
             .collect();
@@ -89,6 +98,8 @@ impl ShardMetrics {
             batch_target,
             lane_pending,
             key_count,
+            arena_live,
+            arena_retired,
             tenant_shed,
         }
     }
@@ -190,6 +201,14 @@ pub struct ShardSample {
     /// migration (exact at the terminal sample). The signal a dashboard
     /// watches to see load drain off a hot shard.
     pub key_count: u64,
+    /// Live node blocks in the shard device's slab arena when the epoch
+    /// finished. The signal a dashboard watches to confirm delete-heavy
+    /// churn is reclaiming memory instead of growing the arena.
+    pub arena_live: u64,
+    /// Node blocks still quarantined (retired, epoch not yet passed) when
+    /// the epoch finished — sampled right after the boundary's epoch
+    /// advance, so a non-zero steady state means reclamation is lagging.
+    pub arena_retired: u64,
     /// Cumulative per-tenant shed counts; sums to `shed`.
     pub tenant_shed: Vec<u64>,
     /// Cumulative entries admitted to this shard's queue.
@@ -223,6 +242,8 @@ impl ShardSample {
             ("batch_target", JsonValue::from(self.batch_target)),
             ("lane_pending", JsonValue::from(self.lane_pending)),
             ("key_count", JsonValue::from(self.key_count)),
+            ("arena_live", JsonValue::from(self.arena_live)),
+            ("arena_retired", JsonValue::from(self.arena_retired)),
             (
                 "tenant_shed",
                 JsonValue::Arr(
@@ -606,6 +627,8 @@ pub fn reconcile_samples(samples: &[ShardSample], report: &ServeReport) -> Resul
             ("latency_count", t.latency.count, shard.latency.count()),
             ("latency_max", t.latency.max, shard.latency.max()),
             ("key_count", t.key_count, shard.key_count),
+            ("arena_live", t.arena_live, shard.arena_live),
+            ("arena_retired", t.arena_retired, shard.arena_retired),
         ];
         for (name, sampled, reported) in pairs {
             if sampled != reported {
@@ -653,6 +676,8 @@ mod tests {
             batch_target: 0,
             lane_pending: 0,
             key_count: 0,
+            arena_live: 0,
+            arena_retired: 0,
             tenant_shed: vec![shed],
             enqueued,
             shed,

@@ -51,6 +51,13 @@ pub struct ShardReport {
     /// `contents.len()`); matches the terminal sample's `key_count`
     /// gauge.
     pub key_count: u64,
+    /// Live node blocks in the shard device's slab arena at shutdown;
+    /// matches the terminal sample's `arena_live` gauge.
+    pub arena_live: u64,
+    /// Node blocks still quarantined in the slab arena at shutdown (the
+    /// final epoch advance has already run, so this is normally 0);
+    /// matches the terminal sample's `arena_retired` gauge.
+    pub arena_retired: u64,
     /// Result of `btree::validate` on the final tree structure.
     pub structure: Result<(), String>,
     /// Lifecycle spans retained by this shard's bounded ring, oldest

@@ -74,7 +74,8 @@ use eirene_baselines::common::ConcurrentTree;
 use eirene_core::plan::{build_plan, CombinePlan};
 use eirene_core::{EireneOptions, EireneTree};
 use eirene_sim::{
-    Cluster, CycleHistogram, DeviceConfig, KernelStats, Phase, PhaseTable, ScheduleLog, WarpStats,
+    Cluster, CycleHistogram, DeviceConfig, GlobalMemory, KernelStats, Phase, PhaseTable,
+    ScheduleLog, WarpStats,
 };
 use eirene_telemetry::{LifecycleSpan, SpanRing};
 use eirene_workloads::{Batch, Key, OpKind, Request, Response};
@@ -1674,6 +1675,7 @@ fn executor_loop(
     state
         .metrics
         .set(state.metrics.key_count, pairs.len() as u64 - 1);
+    set_arena_gauges(state, tree.device().mem());
     let control_latency = tree.device().config().control_latency;
     let adaptive = controller.is_adaptive();
     let tenants = state.queue.num_tenants();
@@ -1705,19 +1707,28 @@ fn executor_loop(
                 continue;
             }
             ExecMsg::Extract { lo, hi, reply } => {
-                // Partition the live contents and rebuild from the keep
-                // side. The sentinel key sits above the u32 domain, so it
-                // always survives (`hi` is a u32 key) and the rebuilt
-                // tree is never empty. Migration is host work: it charges
-                // no virtual cycles and leaves the shard clock alone.
+                // Donor-side migration runs in place: every donated key
+                // goes through the merging delete path, so emptied donor
+                // nodes are tombstoned and retired into the shard's slab
+                // arena — and recycled at the epoch advance below — rather
+                // than discarded by a tree rebuild. The sentinel key sits
+                // above the u32 domain (`hi` is a u32 key), so the tree
+                // never empties. Migration is host work: it charges no
+                // virtual cycles and leaves the shard clock alone.
                 let all = eirene_btree::refops::contents(tree.device().mem(), tree.handle());
                 let (moved, keep): (Vec<_>, Vec<_>) = all
                     .into_iter()
                     .partition(|&(k, _)| k >= lo as u64 && k <= hi as u64);
-                tree = EireneTree::new(&keep, opts.clone());
+                for &(k, _) in &moved {
+                    eirene_btree::refops::delete(tree.device().mem(), tree.handle(), k);
+                }
+                // The pair is quiescent (no epoch in flight), so the
+                // retired donor nodes are reclaimable immediately.
+                tree.device().mem().advance_epoch();
                 state
                     .metrics
                     .set(state.metrics.key_count, keep.len() as u64 - 1);
+                set_arena_gauges(state, tree.device().mem());
                 let _ = reply.send(moved);
                 continue;
             }
@@ -1734,6 +1745,7 @@ fn executor_loop(
                 state
                     .metrics
                     .set(state.metrics.key_count, all.len() as u64 - 1);
+                set_arena_gauges(state, tree.device().mem());
                 let _ = reply.send(());
                 continue;
             }
@@ -1818,6 +1830,10 @@ fn executor_loop(
                 m.set(m.watermark_lag, g.watermark_lag);
                 m.set(m.inflight, g.inflight);
             }
+            // `run_planned` advanced the reclamation epoch at the batch
+            // boundary, so `retired` here is quarantine that survived the
+            // advance (normally 0).
+            set_arena_gauges(state, tree.device().mem());
             let sample = shard_sample(shard, state, epochs, false, clock, n, epoch_hist, &latency);
             emit_sample(&observe, &mut slo, &mut breaches, sample);
         }
@@ -1852,6 +1868,7 @@ fn executor_loop(
     state
         .metrics
         .set(state.metrics.key_count, contents.len() as u64);
+    set_arena_gauges(state, tree.device().mem());
     let terminal = shard_sample(
         shard,
         state,
@@ -1890,6 +1907,8 @@ fn executor_loop(
         clock_cycles: clock,
         schedule: tree.device().take_schedule_log(),
         key_count: contents.len() as u64,
+        arena_live: terminal.arena_live,
+        arena_retired: terminal.arena_retired,
         contents,
         structure,
         spans,
@@ -1930,10 +1949,20 @@ fn shard_sample(
         batch_target: m.get(m.batch_target),
         lane_pending: m.get(m.lane_pending),
         key_count: m.get(m.key_count),
+        arena_live: m.get(m.arena_live),
+        arena_retired: m.get(m.arena_retired),
         tenant_shed: m.tenant_shed.iter().map(|&id| m.get(id)).collect(),
         latency: LatencySummary::from_hist(latency),
         epoch_latency,
     }
+}
+
+/// Refreshes the shard's slab-arena occupancy gauges from its device.
+fn set_arena_gauges(state: &ShardState, mem: &GlobalMemory) {
+    let st = mem.slab_stats();
+    let m = &state.metrics;
+    m.set(m.arena_live, st.live);
+    m.set(m.arena_retired, st.retired);
 }
 
 /// Routes one sample through the SLO monitor and the registered observer

@@ -28,6 +28,7 @@ mod device;
 mod mem;
 mod pool;
 mod sched;
+mod slab;
 mod stats;
 mod warp;
 
@@ -38,6 +39,7 @@ pub use mem::{Addr, GlobalMemory, NULL_ADDR};
 pub use sched::{
     DetScheduler, LaunchSchedule, OsScheduler, SchedMode, ScheduleLog, Scheduler, OS_SCHEDULER,
 };
+pub use slab::{SlabStats, POISON_WORD};
 pub use stats::{KernelStats, WarpStats};
 pub use warp::WarpCtx;
 

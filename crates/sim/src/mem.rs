@@ -6,6 +6,9 @@
 //! *uninstrumented* — device code must go through
 //! [`WarpCtx`](crate::WarpCtx) so that every access is counted and charged.
 
+#[cfg(debug_assertions)]
+use crate::slab::POISON_WORD;
+use crate::slab::{SlabArena, SlabStats};
 use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 
 /// A device address: an index of a 64-bit word in the arena.
@@ -24,6 +27,7 @@ const RESERVED_WORDS: usize = 64;
 pub struct GlobalMemory {
     words: Box<[AtomicU64]>,
     next: AtomicUsize,
+    slab: SlabArena,
 }
 
 impl GlobalMemory {
@@ -41,6 +45,7 @@ impl GlobalMemory {
         GlobalMemory {
             words: v.into_boxed_slice(),
             next: AtomicUsize::new(RESERVED_WORDS),
+            slab: SlabArena::default(),
         }
     }
 
@@ -96,6 +101,70 @@ impl GlobalMemory {
                 return base as Addr;
             }
         }
+    }
+
+    /// Slab-backed allocation of a fixed-size block: pops the
+    /// `(words, align)` free list when a reclaimed block is available,
+    /// falling through to [`alloc_aligned`](Self::alloc_aligned)
+    /// otherwise. Reused blocks are zeroed first, so callers keep the
+    /// bump allocator's fresh-memory-is-zeroed contract either way. The
+    /// zero stores are `Relaxed`: a block is always published by a later
+    /// `Release` store/CAS of the pointer or flag that names it, which
+    /// orders them for every reader of published data.
+    pub fn alloc_reuse(&self, words: usize, align: usize) -> Addr {
+        if let Some(addr) = self.slab.pop_free(words, align) {
+            let base = addr as usize;
+            for slot in &self.words[base..base + words] {
+                slot.store(0, Ordering::Relaxed);
+            }
+            addr
+        } else {
+            self.slab.note_bump();
+            self.alloc_aligned(words, align)
+        }
+    }
+
+    /// Retires a block previously returned by
+    /// [`alloc_reuse`](Self::alloc_reuse). The block's contents stay
+    /// intact and readable until the next [`advance_epoch`]
+    /// (Self::advance_epoch) — same-epoch stale readers may still
+    /// dereference it — and it only becomes available to `alloc_reuse`
+    /// after that advance.
+    pub fn retire(&self, addr: Addr, words: usize, align: usize) {
+        self.slab.retire(addr, words, align);
+    }
+
+    /// Advances the reclamation epoch at a quiescent point (no in-flight
+    /// kernel may still hold pointers into retired blocks — see module
+    /// docs of [`crate::slab`]). Every block retired before the call
+    /// becomes reusable; under `cfg(debug_assertions)` each is first
+    /// overwritten with [`POISON_WORD`](crate::POISON_WORD) so stale
+    /// readers that outlive the epoch trip an assert. Returns the new
+    /// epoch.
+    pub fn advance_epoch(&self) -> u64 {
+        let (epoch, recycled) = self.slab.advance();
+        #[cfg(debug_assertions)]
+        for (addr, words) in recycled {
+            let base = addr as usize;
+            for slot in &self.words[base..base + words] {
+                slot.store(POISON_WORD, Ordering::Relaxed);
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = recycled;
+        epoch
+    }
+
+    /// Current reclamation epoch (starts at 0, bumped by
+    /// [`advance_epoch`](Self::advance_epoch)).
+    pub fn current_epoch(&self) -> u64 {
+        self.slab.epoch()
+    }
+
+    /// Occupancy snapshot of the slab layer (blocks live / quarantined /
+    /// reusable, cumulative reuse and bump counts).
+    pub fn slab_stats(&self) -> SlabStats {
+        self.slab.stats()
     }
 
     #[inline]
@@ -311,6 +380,103 @@ mod tests {
             }
         }
         writer.join().unwrap();
+    }
+
+    #[test]
+    fn alloc_reuse_falls_back_to_bump_and_recycles_after_advance() {
+        let m = GlobalMemory::new(4096);
+        let a = m.alloc_reuse(38, 16);
+        let b = m.alloc_reuse(38, 16);
+        assert_ne!(a, b);
+        assert_eq!(a % 16, 0);
+        let used_before = m.used();
+        m.retire(a, 38, 16);
+        // Quarantined: not reusable within the epoch that retired it.
+        let c = m.alloc_reuse(38, 16);
+        assert_ne!(c, a, "retired block reused before the epoch advanced");
+        m.advance_epoch();
+        let d = m.alloc_reuse(38, 16);
+        assert_eq!(d, a, "recycled block should come back first");
+        // Only c bumped (one aligned 38-word block, ≤ 48 words of stride).
+        assert!(m.used() <= used_before + 48, "more than one block bumped");
+        let st = m.slab_stats();
+        assert_eq!(st.reused, 1);
+        assert_eq!(st.bump_allocs, 3);
+        assert_eq!(st.live, 3, "b, c, and the recycled a/d block");
+        assert_eq!(st.free, 0);
+        assert_eq!(st.retired, 0);
+    }
+
+    #[test]
+    fn retired_blocks_stay_readable_until_the_epoch_advances() {
+        let m = GlobalMemory::new(4096);
+        let a = m.alloc_reuse(4, 4);
+        m.write(a, 7);
+        m.write(a + 3, 9);
+        m.retire(a, 4, 4);
+        // A same-epoch stale reader still sees intact contents.
+        assert_eq!(m.read(a), 7);
+        assert_eq!(m.read(a + 3), 9);
+        m.advance_epoch();
+        #[cfg(debug_assertions)]
+        {
+            // Past the epoch boundary the block is poisoned until reuse.
+            assert_eq!(m.read(a), crate::slab::POISON_WORD);
+            assert_eq!(m.read(a + 3), crate::slab::POISON_WORD);
+        }
+        let b = m.alloc_reuse(4, 4);
+        assert_eq!(b, a);
+        assert_eq!(m.read(b), 0, "reused blocks are zeroed");
+        assert_eq!(m.read(b + 3), 0, "reused blocks are zeroed");
+    }
+
+    /// The arena-level epoch-pinning property: a block retired in epoch N
+    /// survives any number of allocations within epoch N and is recycled
+    /// only by the advance into N+1 — so anything still referencing it
+    /// (an in-flight warp, a pending reorder-stage ticket of timestamp
+    /// ≤ N) reads intact memory for as long as it can legally run.
+    #[test]
+    fn epoch_pins_retired_blocks_against_reuse() {
+        let m = GlobalMemory::new(1 << 14);
+        m.advance_epoch(); // epoch 1
+        let pinned = m.alloc_reuse(38, 16);
+        m.write(pinned, 0xAB);
+        m.retire(pinned, 38, 16);
+        for _ in 0..32 {
+            assert_ne!(m.alloc_reuse(38, 16), pinned);
+            assert_eq!(m.read(pinned), 0xAB, "pinned block clobbered in-epoch");
+        }
+        assert_eq!(m.slab_stats().retired, 1);
+        m.advance_epoch(); // epoch 2: now it may recycle
+        let mut seen = false;
+        for _ in 0..2 {
+            if m.alloc_reuse(38, 16) == pinned {
+                seen = true;
+            }
+        }
+        assert!(seen, "block never recycled after the epoch advanced");
+    }
+
+    #[test]
+    fn distinct_size_classes_do_not_cross_recycle() {
+        let m = GlobalMemory::new(4096);
+        let node = m.alloc_reuse(38, 16);
+        m.retire(node, 38, 16);
+        m.advance_epoch();
+        // A different class must not be served the node-class block.
+        let t = m.alloc_reuse(8, 8);
+        assert_ne!(t, node);
+        assert_eq!(m.alloc_reuse(38, 16), node);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "double retire")]
+    fn double_retire_is_caught_in_debug() {
+        let m = GlobalMemory::new(4096);
+        let a = m.alloc_reuse(38, 16);
+        m.retire(a, 38, 16);
+        m.retire(a, 38, 16);
     }
 
     #[test]

@@ -56,6 +56,8 @@ impl Stm {
             reads: Vec::new(),
             undo: Vec::new(),
             owned: Vec::new(),
+            retires: Vec::new(),
+            abort_retires: Vec::new(),
         }
     }
 
@@ -106,6 +108,16 @@ pub struct Tx<'s> {
     undo: Vec<(Addr, u64)>,
     /// (record address, pre-lock version) for stripes this tx owns.
     owned: Vec<(Addr, u64)>,
+    /// (block address, words, align) retirements deferred to commit: a
+    /// retire inside an aborting transaction would be a use-after-free
+    /// (the rolled-back tree still links the block), so retirement is a
+    /// commit-time effect and a rollback simply drops the list.
+    retires: Vec<(Addr, usize, usize)>,
+    /// The mirror image: blocks this transaction allocated but has not
+    /// yet published (e.g. a split's fresh sibling). On commit they are
+    /// reachable and the list is dropped; on rollback the undo log
+    /// unlinks them, so they are retired instead of leaking.
+    abort_retires: Vec<(Addr, usize, usize)>,
 }
 
 impl<'s> Tx<'s> {
@@ -198,8 +210,28 @@ impl<'s> Tx<'s> {
         for &(rec, ver) in &self.owned {
             ctx.write(rec, ver.wrapping_add(2));
         }
+        // The tree no longer references deferred-retired blocks (the
+        // unlinking writes just published), so quarantine them now.
+        for &(addr, words, align) in &self.retires {
+            ctx.raw_mem().retire(addr, words, align);
+        }
         ctx.set_phase(prev);
         Ok(())
+    }
+
+    /// Defers a block retirement to a successful commit. If the
+    /// transaction aborts, the block stays live (the rollback restores
+    /// the links to it) and the request is dropped.
+    pub fn defer_retire(&mut self, addr: Addr, words: usize, align: usize) {
+        self.retires.push((addr, words, align));
+    }
+
+    /// Registers a freshly allocated, not-yet-published block for
+    /// retirement if this transaction rolls back. A committed transaction
+    /// drops the registration (the block became reachable when the links
+    /// to it published).
+    pub fn retire_on_abort(&mut self, addr: Addr, words: usize, align: usize) {
+        self.abort_retires.push((addr, words, align));
     }
 
     fn pre_lock_version(&self, rec: Addr) -> Option<u64> {
@@ -215,6 +247,12 @@ impl<'s> Tx<'s> {
         }
         for &(rec, ver) in &self.owned {
             ctx.write(rec, ver);
+        }
+        // Blocks this tx allocated were never published (the undo log
+        // just unlinked any references), so quarantine them instead of
+        // leaking them into the bump arena.
+        for &(addr, words, align) in &self.abort_retires {
+            ctx.raw_mem().retire(addr, words, align);
         }
         ctx.set_phase(prev);
     }
@@ -454,6 +492,53 @@ mod tests {
             }
         });
         assert_eq!(bad.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn deferred_retires_fire_on_commit_and_drop_on_rollback() {
+        let dev = device();
+        let stm = Stm::new(dev.mem(), 256);
+        let a = dev.mem().alloc(1);
+        let block = dev.mem().alloc_reuse(38, 16);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        // Rollback: the retirement request is dropped, nothing quarantined.
+        let mut tx = stm.begin();
+        tx.write(&mut ctx, a, 1).unwrap();
+        tx.defer_retire(block, 38, 16);
+        tx.rollback(&mut ctx);
+        assert_eq!(dev.mem().slab_stats().retired, 0);
+        // Commit: the block is quarantined and recycles after an advance.
+        let mut tx = stm.begin();
+        tx.write(&mut ctx, a, 2).unwrap();
+        tx.defer_retire(block, 38, 16);
+        tx.commit(&mut ctx).unwrap();
+        assert_eq!(dev.mem().slab_stats().retired, 1);
+        dev.mem().advance_epoch();
+        assert_eq!(dev.mem().alloc_reuse(38, 16), block);
+    }
+
+    #[test]
+    fn abort_retires_fire_on_rollback_and_drop_on_commit() {
+        let dev = device();
+        let stm = Stm::new(dev.mem(), 256);
+        let a = dev.mem().alloc(1);
+        let mut ctx = WarpCtx::new(dev.mem(), dev.config(), 0);
+        // Commit: the fresh block became reachable, nothing quarantined.
+        let fresh = dev.mem().alloc_reuse(38, 16);
+        let mut tx = stm.begin();
+        tx.write(&mut ctx, a, 1).unwrap();
+        tx.retire_on_abort(fresh, 38, 16);
+        tx.commit(&mut ctx).unwrap();
+        assert_eq!(dev.mem().slab_stats().retired, 0);
+        // Rollback: the orphan is quarantined and recycles after advance.
+        let orphan = dev.mem().alloc_reuse(38, 16);
+        let mut tx = stm.begin();
+        tx.write(&mut ctx, a, 2).unwrap();
+        tx.retire_on_abort(orphan, 38, 16);
+        tx.rollback(&mut ctx);
+        assert_eq!(dev.mem().slab_stats().retired, 1);
+        dev.mem().advance_epoch();
+        assert_eq!(dev.mem().alloc_reuse(38, 16), orphan);
     }
 
     #[test]

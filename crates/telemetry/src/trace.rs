@@ -19,6 +19,9 @@ pub enum TraceEventKind {
     VersionConflict,
     /// A node split (structure modification).
     NodeSplit,
+    /// An underflowing node merged into its left sibling (structure
+    /// modification; arg = the absorbed node's address).
+    NodeMerge,
     /// A combined run collapsed duplicate keys (arg = run length).
     CombineHit,
 }
@@ -30,6 +33,7 @@ impl TraceEventKind {
             TraceEventKind::StmAbort => "stm_abort",
             TraceEventKind::VersionConflict => "version_conflict",
             TraceEventKind::NodeSplit => "node_split",
+            TraceEventKind::NodeMerge => "node_merge",
             TraceEventKind::CombineHit => "combine_hit",
         }
     }
