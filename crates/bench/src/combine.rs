@@ -1,0 +1,303 @@
+//! The `combine_path` perf scenario: epoch-execution throughput of the
+//! coalesced descent (sorted-plan leaf runs + snapshot pivot cache)
+//! against the per-request baseline.
+//!
+//! Three mixes, each run on two fresh trees over identical batch
+//! sequences:
+//!
+//! * **duplicate_heavy** — point requests concentrated in a hot window of
+//!   the key space with heavy key duplication: combining collapses the
+//!   duplicates, and the surviving issued requests cluster densely onto
+//!   few leaves, so leaf runs are long and almost every descent rides a
+//!   run-mate. This is the acceptance mix: coalesced epoch execution must
+//!   be at least [`SPEEDUP_FLOOR`]x the per-request baseline.
+//! * **uniform_point** — uniform point requests over the whole domain:
+//!   short runs, the honest middle ground.
+//! * **uniform_range** — uniform point reads plus range scans: ranges
+//!   straddle leaf-run boundaries, exercising the horizontal walk under
+//!   coalesced dispatch.
+//!
+//! The *coalesced* configuration is the shipping default (leaf-run
+//! coalescing + locality-aware reorganization); *per-request* disables
+//! both, so every issued request pays its own root-to-leaf descent — the
+//! pre-combining execution model the tentpole replaces.
+//!
+//! Throughput is simulated, not wall-clock: requests over the device
+//! cycles spent in epoch execution (every phase except the host-side
+//! combine sort and result calculation — so the pivot-cache build and
+//! staging overhead, charged to the run-dispatch phase, count *against*
+//! coalescing). Makespan speedups are reported alongside. The doc goes to
+//! `BENCH_combine.json` (`--combine-out`); the smoke variant is the CI
+//! combine-smoke job's entry point and fails the process when the
+//! duplicate-heavy mix misses the floor.
+
+use eirene_baselines::common::ConcurrentTree;
+use eirene_core::{EireneOptions, EireneTree};
+use eirene_sim::DeviceConfig;
+use eirene_telemetry::{JsonValue, Phase};
+use eirene_workloads::{Batch, Request};
+use std::time::Instant;
+
+/// Acceptance floor: coalesced epoch-execution throughput over the
+/// per-request baseline on the duplicate-heavy mix.
+pub const SPEEDUP_FLOOR: f64 = 1.5;
+
+/// Batches per mix; every boundary advances the epoch, so later batches
+/// dispatch through a warm pivot cache while the first pays the build.
+const BATCHES: usize = 4;
+
+/// One workload mix of the scenario.
+#[derive(Clone, Copy)]
+struct MixSpec {
+    name: &'static str,
+    /// Width of the key window requests draw from, as a fraction
+    /// denominator of the domain (1 = whole domain).
+    window_frac: u32,
+    /// Per mille of requests that are range scans.
+    range_pm: u32,
+    /// Per mille of requests that are upserts.
+    upsert_pm: u32,
+}
+
+const MIXES: [MixSpec; 3] = [
+    MixSpec {
+        name: "duplicate_heavy",
+        window_frac: 16,
+        range_pm: 0,
+        upsert_pm: 300,
+    },
+    MixSpec {
+        name: "uniform_point",
+        window_frac: 1,
+        range_pm: 0,
+        upsert_pm: 300,
+    },
+    MixSpec {
+        name: "uniform_range",
+        window_frac: 1,
+        range_pm: 250,
+        upsert_pm: 150,
+    },
+];
+
+/// SplitMix64 step: batch generation without pulling a PRNG crate in.
+fn mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generates the mix's batch sequence (deterministic in the spec).
+fn batches_for(spec: MixSpec, domain: u32, batch: usize) -> Vec<Batch> {
+    let mut state = 0xC0A1 ^ (spec.name.len() as u64) << 32 ^ domain as u64;
+    let width = (domain / spec.window_frac).max(1);
+    let base = domain / 3; // hot window sits mid-keyspace
+    let mut ts = 0u64;
+    (0..BATCHES)
+        .map(|_| {
+            let reqs: Vec<Request> = (0..batch)
+                .map(|_| {
+                    let key = if spec.window_frac == 1 {
+                        1 + (mix64(&mut state) % domain as u64) as u32
+                    } else {
+                        base + (mix64(&mut state) % width as u64) as u32
+                    };
+                    ts += 1;
+                    let roll = (mix64(&mut state) % 1000) as u32;
+                    if roll < spec.range_pm {
+                        Request::range(key, 16, ts)
+                    } else if roll < spec.range_pm + spec.upsert_pm {
+                        Request::upsert(key, key + 7, ts)
+                    } else {
+                        Request::query(key, ts)
+                    }
+                })
+                .collect();
+            Batch::new(reqs)
+        })
+        .collect()
+}
+
+/// Cycle totals of one configuration over a mix's batch sequence.
+struct ConfigRun {
+    /// Device cycles in epoch execution: everything except the host-side
+    /// combine sort and result calculation.
+    exec_cycles: u64,
+    /// Summed kernel makespans (occupancy model), whole pipeline.
+    makespan_cycles: f64,
+    descents_saved: u64,
+    pivot_cache_hits: u64,
+    pivot_cache_rebuilds: u64,
+}
+
+fn run_config(
+    batches: &[Batch],
+    pairs: &[(u64, u64)],
+    cfg: &DeviceConfig,
+    coalesced: bool,
+) -> ConfigRun {
+    let mut tree = EireneTree::new(
+        pairs,
+        EireneOptions {
+            device: cfg.clone(),
+            headroom_nodes: 1 << 12,
+            coalesce: coalesced,
+            locality: coalesced,
+            ..Default::default()
+        },
+    );
+    let mut out = ConfigRun {
+        exec_cycles: 0,
+        makespan_cycles: 0.0,
+        descents_saved: 0,
+        pivot_cache_hits: 0,
+        pivot_cache_rebuilds: 0,
+    };
+    for batch in batches {
+        let run = tree.run_batch(batch);
+        let t = &run.stats.totals;
+        let planning = [Phase::Combine, Phase::ResultCalc]
+            .iter()
+            .map(|&p| t.phases.row(p).cycles)
+            .sum::<u64>();
+        out.exec_cycles += t.cycles - planning;
+        out.makespan_cycles += run.stats.makespan_cycles;
+        out.descents_saved += t.descents_saved;
+        out.pivot_cache_hits += t.pivot_cache_hits;
+        out.pivot_cache_rebuilds += t.pivot_cache_rebuilds;
+    }
+    out
+}
+
+/// Results of one mix: both configurations plus the derived speedups.
+struct MixResult {
+    name: &'static str,
+    requests: u64,
+    coalesced: ConfigRun,
+    per_request: ConfigRun,
+}
+
+impl MixResult {
+    fn exec_speedup(&self) -> f64 {
+        self.per_request.exec_cycles as f64 / self.coalesced.exec_cycles.max(1) as f64
+    }
+
+    fn makespan_speedup(&self) -> f64 {
+        self.per_request.makespan_cycles / self.coalesced.makespan_cycles.max(1e-9)
+    }
+
+    fn to_json(&self, cfg: &DeviceConfig) -> JsonValue {
+        let tput = |c: &ConfigRun| self.requests as f64 / cfg.cycles_to_secs(c.exec_cycles as f64);
+        let config_doc = |c: &ConfigRun| {
+            JsonValue::obj(vec![
+                ("exec_cycles", JsonValue::from(c.exec_cycles)),
+                ("makespan_cycles", JsonValue::from(c.makespan_cycles)),
+                ("exec_tput_req_s", JsonValue::from(tput(c))),
+                ("descents_saved", JsonValue::from(c.descents_saved)),
+                ("pivot_cache_hits", JsonValue::from(c.pivot_cache_hits)),
+                (
+                    "pivot_cache_rebuilds",
+                    JsonValue::from(c.pivot_cache_rebuilds),
+                ),
+            ])
+        };
+        JsonValue::obj(vec![
+            ("requests", JsonValue::from(self.requests)),
+            ("coalesced", config_doc(&self.coalesced)),
+            ("per_request", config_doc(&self.per_request)),
+            ("exec_speedup", JsonValue::from(self.exec_speedup())),
+            ("makespan_speedup", JsonValue::from(self.makespan_speedup())),
+        ])
+    }
+}
+
+/// Runs the combine_path scenario and writes its doc to `out`. Returns a
+/// process exit code: non-zero when the duplicate-heavy mix misses the
+/// [`SPEEDUP_FLOOR`] or the coalesced counters stayed flat.
+pub fn run_combine(smoke: bool, out: &str) -> i32 {
+    // Tree sizes keep the descent deep enough (4+ levels) that upper-level
+    // traffic — the thing coalescing removes — is a meaningful share of
+    // epoch execution; that is the workload regime the paper's combining
+    // path targets (§5: trees of 2^20+ keys).
+    let (tree_size, batch) = if smoke {
+        (1u64 << 14, 1usize << 10)
+    } else {
+        (1u64 << 17, 1usize << 13)
+    };
+    let pairs: Vec<(u64, u64)> = (1..=tree_size).map(|k| (k, k + 1)).collect();
+    let cfg = DeviceConfig::test_small();
+    let wall = Instant::now();
+    let mut results = Vec::new();
+    for spec in MIXES {
+        let batches = batches_for(spec, tree_size as u32, batch);
+        let coalesced = run_config(&batches, &pairs, &cfg, true);
+        let per_request = run_config(&batches, &pairs, &cfg, false);
+        results.push(MixResult {
+            name: spec.name,
+            requests: (batch * BATCHES) as u64,
+            coalesced,
+            per_request,
+        });
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    for r in &results {
+        eprintln!(
+            "perf: combine_path   {:>16}  exec {:.2}x, makespan {:.2}x \
+             ({} descents saved, {} cache hits, {} rebuilds over {} requests)",
+            r.name,
+            r.exec_speedup(),
+            r.makespan_speedup(),
+            r.coalesced.descents_saved,
+            r.coalesced.pivot_cache_hits,
+            r.coalesced.pivot_cache_rebuilds,
+            r.requests,
+        );
+    }
+    let mut rc = 0;
+    let dup = results
+        .iter()
+        .find(|r| r.name == "duplicate_heavy")
+        .expect("duplicate_heavy mix present");
+    if dup.exec_speedup() < SPEEDUP_FLOOR {
+        eprintln!(
+            "perf: combine_path FAILED: duplicate_heavy exec speedup {:.2}x is below the \
+             {SPEEDUP_FLOOR}x floor",
+            dup.exec_speedup()
+        );
+        rc = 1;
+    }
+    if dup.coalesced.descents_saved == 0 || dup.coalesced.pivot_cache_hits == 0 {
+        eprintln!("perf: combine_path FAILED: coalesced counters never fired");
+        rc = 1;
+    }
+    let doc = JsonValue::obj(vec![
+        ("schema_version", JsonValue::from(1u64)),
+        ("suite", JsonValue::from("eirene-bench perf (combine path)")),
+        (
+            "mode",
+            JsonValue::from(if smoke { "smoke" } else { "full" }),
+        ),
+        ("tree_size", JsonValue::from(tree_size)),
+        ("batch", JsonValue::from(batch as u64)),
+        ("batches", JsonValue::from(BATCHES as u64)),
+        ("speedup_floor", JsonValue::from(SPEEDUP_FLOOR)),
+        (
+            "mixes",
+            JsonValue::obj(
+                results
+                    .iter()
+                    .map(|r| (r.name, r.to_json(&cfg)))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        ("wall_s", JsonValue::from(wall_s)),
+    ]);
+    if let Err(e) = std::fs::write(out, doc.to_json() + "\n") {
+        eprintln!("perf: could not write {out}: {e}");
+        return 1;
+    }
+    eprintln!("perf: combine_path results written to {out}");
+    rc
+}

@@ -8,6 +8,7 @@
 //! cargo run -p eirene-bench --release -- fuzz --inject-fault        # self-test
 //! cargo run -p eirene-bench --release -- fuzz --serve --shards 4    # sharded service
 //! cargo run -p eirene-bench --release -- fuzz --churn --cases 500   # churn + reclamation
+//! cargo run -p eirene-bench --release -- fuzz --coalesce            # combine-path leg
 //! ```
 //!
 //! `--serve` routes the same adversarial request streams through the
@@ -24,11 +25,19 @@
 //! leg pushes the same streams through a sharded service with racing
 //! submitters and a forced rebalance.
 //!
+//! `--coalesce` targets the combine path: duplicate-key clusters with
+//! colliding timestamps, range queries straddling leaf-run boundaries,
+//! and a build → split-invalidate → rebuild pivot-cache cycle, with every
+//! round checked against the flat oracle AND a coalesce-disabled twin
+//! tree. Cases also assert the machinery fired (cache rebuilds and hits),
+//! so a silently disabled combine path fails rather than trivially passes.
+//!
 //! Exit status: 0 when every case agrees with the sequential oracle, 1
 //! when a violation was found (the shrunk reproducer and its seeds are
 //! printed), 2 on usage errors.
 
 use eirene_check::{ChurnOptions, ChurnOutcome, FaultSpec, FuzzOptions, FuzzOutcome, FuzzTree};
+use eirene_check::{CoalesceOptions, CoalesceOutcome};
 use eirene_check::{ServeFuzzOptions, ServeFuzzOutcome};
 
 fn usage() -> ! {
@@ -38,7 +47,8 @@ fn usage() -> ! {
          [--serve [--shards N] [--submitters N] [--epoch-limit N] [--adaptive] [--tenants N] \
          [--rebalance] [--hash] [--det]] \
          [--churn [--cases N] [--rounds N] [--serve-cases N] [--occupancy-factor N] \
-         [--deterministic]]",
+         [--deterministic]] \
+         [--coalesce [--cases N] [--deterministic]]",
         FuzzTree::ALL
             .iter()
             .map(|t| t.label())
@@ -202,6 +212,57 @@ fn run_churn(args: &[String]) -> i32 {
     }
 }
 
+/// Parses `fuzz --coalesce` arguments and runs the combine-path harness;
+/// accepts the flag set [`CoalesceFailure`]'s replay command prints
+/// (`eirene_check::CoalesceFailure`).
+fn run_coalesce(args: &[String]) -> i32 {
+    let mut opts = CoalesceOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--coalesce" => {}
+            "--seed" => opts.seed = parse_seed(it.next()),
+            "--repro-seed" => opts.repro = Some(parse_seed(it.next())),
+            "--batches" | "--cases" => opts.cases = parse_num(it.next()),
+            "--batch" => opts.batch_size = parse_num(it.next()),
+            "--domain" => opts.domain = parse_num(it.next()),
+            "--initial-keys" => opts.initial_keys = parse_num(it.next()),
+            "--deterministic" | "--det" => opts.deterministic = true,
+            "--os-sched" => opts.deterministic = false,
+            _ => usage(),
+        }
+    }
+    eprintln!(
+        "fuzz --coalesce: {}, {} cases x {} rounds x {} requests, domain {}, {}",
+        match opts.repro {
+            Some(s) => format!("replaying case seed {s:#x}"),
+            None => format!("seed {:#x}", opts.seed),
+        },
+        opts.cases,
+        eirene_check::coalesce::RoundKind::SEQUENCE.len(),
+        opts.batch_size,
+        opts.domain,
+        if opts.deterministic {
+            "deterministic scheduling"
+        } else {
+            "OS scheduling"
+        },
+    );
+    match eirene_check::run_coalesce_fuzz(&opts) {
+        CoalesceOutcome::Passed { cases, cache_hits } => {
+            println!(
+                "fuzz --coalesce: {cases} cases, all consistent with the sequential oracle \
+                 and the uncoalesced twin; {cache_hits} pivot-cache hits exercised"
+            );
+            0
+        }
+        CoalesceOutcome::Failed(f) => {
+            println!("{f}");
+            1
+        }
+    }
+}
+
 /// Parses `fuzz` arguments and runs the harness; returns the process exit
 /// code.
 pub fn run(args: &[String]) -> i32 {
@@ -210,6 +271,9 @@ pub fn run(args: &[String]) -> i32 {
     }
     if args.iter().any(|a| a == "--churn") {
         return run_churn(args);
+    }
+    if args.iter().any(|a| a == "--coalesce") {
+        return run_coalesce(args);
     }
     let mut opts = FuzzOptions::default();
     let mut it = args.iter();

@@ -7,6 +7,7 @@
 //! `results/`.
 
 pub mod ablate;
+pub mod combine;
 pub mod figures;
 pub mod fuzz;
 pub mod harness;

@@ -18,6 +18,13 @@
 //!   the lock-free path through batched `submit_many` chunks. The headline
 //!   number is wall-clock submissions/sec and the speedups over the
 //!   locked baseline.
+//! * **combine_path** — simulated epoch-execution throughput of the
+//!   coalesced descent (leaf runs + pivot cache) against the per-request
+//!   baseline, over duplicate-heavy and uniform point/range mixes; fails
+//!   the suite when the duplicate-heavy speedup drops below the
+//!   [`SPEEDUP_FLOOR`](crate::combine::SPEEDUP_FLOOR) acceptance floor
+//!   (results to `BENCH_combine.json`, `--combine-out` to override,
+//!   `--combine-only` to run just this scenario).
 //! * **mem_churn** — the memory-bound regression: one long-lived tree
 //!   takes 2^20 delete/re-insert operations over a fixed 2^14-key working
 //!   set. Merged-away and emptied nodes must recycle through the slab
@@ -33,6 +40,7 @@
 //! `perf --smoke` and compares the totals against the committed smoke
 //! baselines so host-side regressions fail loudly.
 
+use crate::combine::run_combine;
 use crate::harness::{default_mix, jobs, measure_all, set_jobs, spec_for, Point, TreeKind};
 use eirene_baselines::common::ConcurrentTree;
 use eirene_check::{FuzzOptions, FuzzOutcome};
@@ -49,7 +57,7 @@ use std::time::{Duration, Instant};
 fn usage() -> i32 {
     eprintln!(
         "usage: eirene-bench perf [--smoke] [--jobs N] [--out PATH] [--serve-out PATH] \
-         [--mem-out PATH] [--mem-only]"
+         [--mem-out PATH] [--mem-only] [--combine-out PATH] [--combine-only]"
     );
     2
 }
@@ -368,14 +376,21 @@ fn scenario_doc(wall_s: f64, work_key: &str, work: usize) -> JsonValue {
 pub fn run(args: &[String]) -> i32 {
     let mut smoke = false;
     let mut mem_only = false;
+    let mut combine_only = false;
     let mut out = String::from("BENCH_sim.json");
     let mut serve_out = String::from("BENCH_serve.json");
     let mut mem_out = String::from("BENCH_mem.json");
+    let mut combine_out = String::from("BENCH_combine.json");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--mem-only" => mem_only = true,
+            "--combine-only" => combine_only = true,
+            "--combine-out" => match it.next() {
+                Some(path) => combine_out = path.clone(),
+                None => return usage(),
+            },
             "--out" => match it.next() {
                 Some(path) => out = path.clone(),
                 None => return usage(),
@@ -402,6 +417,13 @@ pub fn run(args: &[String]) -> i32 {
         );
         return run_mem(smoke, &mem_out);
     }
+    if combine_only {
+        eprintln!(
+            "perf: combine_path only, {} suite",
+            if smoke { "smoke" } else { "full" }
+        );
+        return run_combine(smoke, &combine_out);
+    }
     let j = jobs();
     set_jobs(j); // pin, so the jobs-1 detour below restores exactly
     let mode = if smoke { "smoke" } else { "full" };
@@ -425,6 +447,14 @@ pub fn run(args: &[String]) -> i32 {
     // The memory-bound regression reports to its own baseline file
     // (BENCH_mem.json) and fails the suite on an arena leak.
     let rc = run_mem(smoke, &mem_out);
+    if rc != 0 {
+        return rc;
+    }
+
+    // The combine-path scenario reports to BENCH_combine.json and fails
+    // the suite when coalesced epoch execution loses its floor over the
+    // per-request baseline on the duplicate-heavy mix.
+    let rc = run_combine(smoke, &combine_out);
     if rc != 0 {
         return rc;
     }

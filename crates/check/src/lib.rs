@@ -27,6 +27,10 @@
 //!   hunting reclamation bugs the per-case-fresh-tree loop cannot see:
 //!   merge/borrow rebalancing, epoch-quarantined node reuse, and the
 //!   bounded-occupancy (no-leak) property of the slab arena.
+//! * [`coalesce`] hammers the combine path: duplicate-key clusters with
+//!   colliding timestamps, ranges straddling leaf-run boundaries, and a
+//!   build → split-invalidate → rebuild pivot-cache cycle, each round
+//!   checked against both the flat oracle and a coalesce-disabled twin.
 //! * [`fault`] injects a deliberate off-by-one into a tree's responses so
 //!   the harness itself can be tested end-to-end (a fuzzer that never
 //!   fires is indistinguishable from a fuzzer that cannot fire).
@@ -39,6 +43,7 @@
 //! scheduling).
 
 pub mod churn;
+pub mod coalesce;
 pub mod diff;
 pub mod fault;
 pub mod gen;
@@ -47,6 +52,9 @@ pub mod serve;
 pub mod shrink;
 
 pub use churn::{run_churn_case, run_churn_fuzz, ChurnFailure, ChurnOptions, ChurnOutcome};
+pub use coalesce::{
+    run_coalesce_case, run_coalesce_fuzz, CoalesceFailure, CoalesceOptions, CoalesceOutcome,
+};
 pub use diff::{build_tree, check_case, FuzzTree, Violation};
 pub use fault::{FaultSpec, FaultyTree};
 pub use gen::{adversarial_batch, dense_pairs, disjoint_batch, GenOptions, Profile};

@@ -17,7 +17,8 @@
 //! artificial queries — all without touching the tree.
 
 use crate::locality::WarpLocator;
-use crate::plan::{Artificial, CombinePlan, IssuedKind, Run};
+use crate::pivot::PivotCache;
+use crate::plan::{partition_leaf_runs, Artificial, CombinePlan, IssuedKind, Run};
 use eirene_baselines::common::{charge_request_io, BatchRun, ResponseBuf};
 use eirene_btree::build::TreeHandle;
 use eirene_btree::node::{
@@ -68,6 +69,11 @@ pub struct ExecOptions {
     /// warp). Smaller values mean more RGs per iteration warp — more
     /// locality reuse, less parallelism — the trade-off §5 discusses.
     pub target_warps: usize,
+    /// Coalesced run dispatch: group work items into leaf runs (one
+    /// descent per run, in-leaf application for run-mates) and start
+    /// descents from the snapshot pivot cache. Off = the per-request
+    /// baseline, one full descent per issued request.
+    pub coalesce: bool,
 }
 
 impl Default for ExecOptions {
@@ -78,6 +84,7 @@ impl Default for ExecOptions {
             rg_size: 32,
             protection: UpdateProtection::OptimisticStm,
             target_warps: 0,
+            coalesce: true,
         }
     }
 }
@@ -100,7 +107,8 @@ impl QkItem {
 }
 
 /// Executes a combined batch on the device. `stm` protects the update
-/// kernel's leaf region.
+/// kernel's leaf region. `pivot` is the snapshot pivot cache for the
+/// coalesced dispatch path (`None` = per-request descents from the root).
 pub fn execute(
     device: &Device,
     handle: &TreeHandle,
@@ -108,7 +116,9 @@ pub fn execute(
     opts: &ExecOptions,
     batch: &Batch,
     plan: &CombinePlan,
+    pivot: Option<&PivotCache>,
 ) -> BatchRun {
+    let pivot = pivot.filter(|_| opts.coalesce);
     let n = batch.len();
     let responses = ResponseBuf::new(n);
     // Old value per run, retrieved by the run's issued request.
@@ -176,6 +186,7 @@ pub fn execute(
         handle,
         opts,
         &qk_items,
+        pivot,
         "eirene-query",
         |ctx, loc, item| match *item {
             QkItem::Query { run, key } => {
@@ -228,6 +239,7 @@ pub fn execute(
         handle,
         opts,
         &uk_items,
+        pivot,
         "eirene-update",
         |ctx, loc, item| {
             let (run, key, kind) = *item;
@@ -275,6 +287,13 @@ pub fn execute(
     stats.merge(&query_stats);
     stats.merge(&update_stats);
     stats.merge(&resolve_cost.into_phased_kernel_stats("eirene-resolve", cfg, Phase::ResultCalc));
+    if let Some(cache) = pivot {
+        // Staging the frontier fences into shared memory, once per kernel
+        // that dispatched through the cache.
+        let mut staging = cache.staging_cost(cfg);
+        staging.merge(cache.staging_cost(cfg));
+        stats.merge(&staging.into_phased_kernel_stats("eirene-dispatch", cfg, Phase::RunDispatch));
+    }
 
     BatchRun {
         responses: responses.into_vec(),
@@ -414,6 +433,12 @@ fn update_one(
 /// Work items that expose the key the RF decision needs.
 trait HasKey: Sync {
     fn item_key(&self) -> u64;
+
+    /// Key the item's traversal starts at (ranges locate their lower
+    /// bound first); used for leaf-run partitioning.
+    fn locate_key(&self) -> u64 {
+        self.item_key()
+    }
 }
 
 impl HasKey for QkItem {
@@ -422,6 +447,13 @@ impl HasKey for QkItem {
             QkItem::Query { key, .. } => *key,
             // A range touches keys up to its inclusive upper bound.
             QkItem::Range { lo, len, .. } => lo + *len as u64 - 1,
+        }
+    }
+
+    fn locate_key(&self) -> u64 {
+        match self {
+            QkItem::Query { key, .. } => *key,
+            QkItem::Range { lo, .. } => *lo,
         }
     }
 }
@@ -434,13 +466,20 @@ impl HasKey for (u32, u64, IssuedKind) {
 
 /// Launches `items` over iteration warps: contiguous blocks of request
 /// groups per warp, so adjacent RGs share a [`WarpLocator`] buffer (§5).
+///
+/// With a pivot cache (`pivot = Some`), request groups are *leaf runs* —
+/// maximal ascending-key groups targeting the same leaf under the
+/// snapshot's fences — so each group pays one descent and applies the
+/// rest of its items in-leaf; without one, groups are fixed-size RG
+/// blocks (`opts.rg_size`), the per-request baseline.
 fn launch_grouped<T: HasKey>(
     device: &Device,
     _handle: &TreeHandle,
     opts: &ExecOptions,
     items: &[T],
+    pivot: Option<&PivotCache>,
     name: &str,
-    body: impl Fn(&mut eirene_sim::WarpCtx<'_>, &mut WarpLocator, &T) + Sync,
+    body: impl Fn(&mut eirene_sim::WarpCtx<'_>, &mut WarpLocator<'_>, &T) + Sync,
 ) -> KernelStats {
     let n = items.len();
     if n == 0 {
@@ -449,29 +488,61 @@ fn launch_grouped<T: HasKey>(
             ..Default::default()
         };
     }
-    let rg = opts.rg_size.max(1);
-    let num_rgs = n.div_ceil(rg);
-    // Spread contiguous RG blocks over the device's resident warps (or
-    // the configured iteration-warp target).
     let target = if opts.target_warps > 0 {
         opts.target_warps
     } else {
         device.config().resident_warps().max(1)
     };
-    let rgs_per_warp = num_rgs.div_ceil(target).max(1);
-    let num_warps = num_rgs.div_ceil(rgs_per_warp);
-    device.launch(name, num_warps, |wid, ctx| {
-        let mut loc = WarpLocator::new(opts.locality);
-        let rg_lo = wid * rgs_per_warp;
-        let rg_hi = ((wid + 1) * rgs_per_warp).min(num_rgs);
-        for rg_idx in rg_lo..rg_hi {
-            let lo = rg_idx * rg;
-            let hi = ((rg_idx + 1) * rg).min(n);
-            // RF decision per RG uses the group's maximal key (§5); keys
-            // are ascending, so it is the last item's key.
+    // Group boundaries: leaf runs under coalesced dispatch, fixed-size RG
+    // blocks otherwise.
+    let rg = opts.rg_size.max(1);
+    let groups: Vec<(usize, usize)> = match pivot {
+        Some(cache) => {
+            let keys: Vec<u64> = items.iter().map(|t| t.locate_key()).collect();
+            partition_leaf_runs(&keys, cache.leaf_fences())
+        }
+        None => (0..n.div_ceil(rg))
+            .map(|g| (g * rg, ((g + 1) * rg).min(n)))
+            .collect(),
+    };
+    // Spread contiguous group blocks over the iteration warps, balanced
+    // by item count (leaf runs vary in size; fixed RGs reduce to the old
+    // contiguous-block split).
+    let items_per_warp = match pivot {
+        Some(_) => n.div_ceil(target).max(1),
+        None => groups.len().div_ceil(target).max(1) * rg,
+    };
+    let mut warp_groups: Vec<(usize, usize)> = Vec::new();
+    let mut glo = 0usize;
+    let mut acc = 0usize;
+    for (g, &(lo, hi)) in groups.iter().enumerate() {
+        acc += hi - lo;
+        if acc >= items_per_warp {
+            warp_groups.push((glo, g + 1));
+            glo = g + 1;
+            acc = 0;
+        }
+    }
+    if glo < groups.len() {
+        warp_groups.push((glo, groups.len()));
+    }
+    let coalesced = pivot.is_some();
+    device.launch(name, warp_groups.len(), |wid, ctx| {
+        let mut loc = WarpLocator::with_cache(opts.locality, pivot);
+        let (wg_lo, wg_hi) = warp_groups[wid];
+        for &(lo, hi) in &groups[wg_lo..wg_hi] {
+            // RF decision per group uses the group's maximal key (§5);
+            // keys are ascending, so it is the last item's key.
             loc.begin_rg(items[hi - 1].item_key());
-            for item in &items[lo..hi] {
+            for (i, item) in items[lo..hi].iter().enumerate() {
+                let verticals_before = ctx.stats.vertical_traversals;
                 body(ctx, &mut loc, item);
+                // A run-mate that finished without a fresh vertical
+                // traversal rode the run's descent: an upper-level walk
+                // the per-request baseline would have paid.
+                if coalesced && i > 0 && ctx.stats.vertical_traversals == verticals_before {
+                    ctx.stats.descents_saved += 1;
+                }
             }
         }
     })

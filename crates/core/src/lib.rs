@@ -32,6 +32,7 @@
 
 pub mod exec;
 pub mod locality;
+pub mod pivot;
 pub mod plan;
 mod tree;
 

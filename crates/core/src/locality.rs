@@ -16,13 +16,18 @@
 //! minimal key of the node reached at step `height + 1`, exactly the
 //! adaptive rule of §5.
 
+use crate::pivot::PivotCache;
 use eirene_btree::build::TreeHandle;
 use eirene_btree::node::{ParsedNode, NODE_WORDS, OFF_RF};
 use eirene_sim::{Addr, Phase, WarpCtx};
 
 /// Per-warp traversal state implementing the RF-guided choice.
-pub struct WarpLocator {
+pub struct WarpLocator<'c> {
     enabled: bool,
+    /// Snapshot pivot cache for the coalesced path: vertical descents
+    /// start from a cached frontier node instead of the root when the
+    /// cached node still validates (see [`crate::pivot`]).
+    cache: Option<&'c PivotCache>,
     /// Last accessed leaf (address + snapshot), if reusable.
     cur: Option<(Addr, ParsedNode)>,
 }
@@ -36,9 +41,22 @@ pub fn load_node(ctx: &mut WarpCtx<'_>, addr: Addr) -> ParsedNode {
 
 use load_node as load;
 
-impl WarpLocator {
+impl<'c> WarpLocator<'c> {
     pub fn new(enabled: bool) -> Self {
-        WarpLocator { enabled, cur: None }
+        WarpLocator {
+            enabled,
+            cache: None,
+            cur: None,
+        }
+    }
+
+    /// Locator whose vertical descents consult the snapshot pivot cache.
+    pub fn with_cache(enabled: bool, cache: Option<&'c PivotCache>) -> Self {
+        WarpLocator {
+            enabled,
+            cache,
+            cur: None,
+        }
     }
 
     /// Called at every RG boundary with the RG's maximal key: applies the
@@ -143,12 +161,36 @@ impl WarpLocator {
         key: u64,
     ) -> (Addr, ParsedNode) {
         let outer = ctx.set_phase(Phase::VerticalTraversal);
+        // One cache consultation per descent: binary-search the staged
+        // frontier fences for the node owning `key`. The hit is a *hint*
+        // like everything else an unprotected traversal reads — the loaded
+        // node re-validates below and any mismatch restarts from the root.
+        let mut start: Option<Addr> = self.cache.map(|cache| {
+            let prev = ctx.set_phase(Phase::RunDispatch);
+            ctx.control(cache.lookup_cost());
+            ctx.set_phase(prev);
+            cache.lookup(key)
+        });
         'restart: loop {
             ctx.set_phase(Phase::VerticalTraversal);
             ctx.stats.vertical_traversals += 1;
-            let mut addr = ctx.read(handle.root_word);
+            let (mut addr, from_cache) = match start.take() {
+                Some(hint) => (hint, true),
+                None => (ctx.read(handle.root_word), false),
+            };
             let mut node = load(ctx, addr);
             ctx.stats.vertical_steps += 1;
+            if from_cache {
+                // Validate the snapshot start: alive and owning the key
+                // between its fences (a split since the snapshot shrinks
+                // HIGH; a merge sets the dead bit).
+                ctx.control(4);
+                if node.is_dead() || node.count() == 0 || key < node.low || key >= node.high {
+                    ctx.charge_cycles(50);
+                    continue 'restart;
+                }
+                ctx.stats.pivot_cache_hits += 1;
+            }
             let mut depth = 0u32;
             while !node.is_leaf() {
                 ctx.control(12);

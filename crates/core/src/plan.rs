@@ -244,6 +244,46 @@ pub fn build_plan(batch: &Batch, cfg: &DeviceConfig) -> CombinePlan {
     }
 }
 
+/// Partitions ascending work-item keys into *leaf runs*: maximal
+/// contiguous groups whose keys fall between the same pair of adjacent
+/// leaf low-fence keys, i.e. target the same leaf under the pivot-cache
+/// snapshot. Returns half-open `(start, end)` index ranges covering
+/// `keys` exactly, in order.
+///
+/// The fences are a dispatch *hint* (a snapshot): a stale partition only
+/// makes groups slightly off — every item still locates its leaf through
+/// the validated traversal — so correctness never depends on them.
+/// Linearization is untouched: partitioning only groups the already
+/// rank-ordered issued stream, it never reorders items.
+pub fn partition_leaf_runs(keys: &[u64], fences: &[u64]) -> Vec<(usize, usize)> {
+    debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must ascend");
+    debug_assert!(fences.windows(2).all(|w| w[0] < w[1]), "fences must ascend");
+    let mut out = Vec::new();
+    if keys.is_empty() {
+        return out;
+    }
+    // Bucket of a key = number of fences <= key; keys ascend, so the
+    // fence cursor only moves forward (O(keys + fences) total).
+    let advance = |mut b: usize, key: u64| -> usize {
+        while b < fences.len() && fences[b] <= key {
+            b += 1;
+        }
+        b
+    };
+    let mut start = 0usize;
+    let mut bucket = advance(0, keys[0]);
+    for (i, &key) in keys.iter().enumerate().skip(1) {
+        let b = advance(bucket, key);
+        if b != bucket {
+            out.push((start, i));
+            start = i;
+            bucket = b;
+        }
+    }
+    out.push((start, keys.len()));
+    out
+}
+
 fn close_run(run: &Run, last_state: &mut Option<IssuedKind>) -> Issued {
     let kind = last_state.take().unwrap_or(IssuedKind::Query);
     debug_assert_eq!(run.has_state_ops, !matches!(kind, IssuedKind::Query));
@@ -393,6 +433,39 @@ mod tests {
         assert!(p.runs.is_empty());
         assert!(p.issued.is_empty());
         assert!(p.ranges.is_empty());
+    }
+
+    #[test]
+    fn leaf_runs_group_by_fence_interval() {
+        // Fences split the key space into [0,10), [10,20), [20,30), [30,..).
+        let fences = [0u64, 10, 20, 30];
+        let keys = [1u64, 5, 9, 10, 19, 25, 31, 40];
+        let runs = partition_leaf_runs(&keys, &fences);
+        assert_eq!(runs, vec![(0, 3), (3, 5), (5, 6), (6, 8)]);
+        // Ranges are half-open, contiguous, and cover all keys.
+        assert_eq!(runs[0].0, 0);
+        assert_eq!(runs.last().unwrap().1, keys.len());
+        for w in runs.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn leaf_runs_handle_edges() {
+        assert!(partition_leaf_runs(&[], &[0, 10]).is_empty());
+        // All keys in one leaf -> one run.
+        assert_eq!(partition_leaf_runs(&[3, 4, 5], &[0, 10]), vec![(0, 3)]);
+        // Duplicate keys stay in the same run.
+        assert_eq!(
+            partition_leaf_runs(&[5, 5, 5, 15], &[0, 10]),
+            vec![(0, 3), (3, 4)]
+        );
+        // Keys below the first fence (possible when the snapshot is
+        // stale) still form a run.
+        assert_eq!(
+            partition_leaf_runs(&[1, 2, 12], &[5, 10]),
+            vec![(0, 2), (2, 3)]
+        );
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Public API: the Eirene concurrent GPU B+tree.
 
 use crate::exec::{execute, ExecOptions, UpdateProtection};
+use crate::pivot::PivotCache;
 use crate::plan::build_plan;
 use eirene_baselines::common::{BatchRun, ConcurrentTree, TreeBase};
 use eirene_btree::build::TreeHandle;
+use eirene_sim::Phase;
 use eirene_sim::{Device, DeviceConfig};
 use eirene_stm::Stm;
 use eirene_workloads::Batch;
@@ -27,6 +29,10 @@ pub struct EireneOptions {
     /// Iteration-warp target (0 = auto); see
     /// [`ExecOptions::target_warps`](crate::exec::ExecOptions).
     pub target_warps: usize,
+    /// Coalesced run dispatch through the snapshot pivot cache (leaf-run
+    /// groups, one descent per run). Off = per-request execution, the
+    /// comparison baseline of the `combine_path` bench.
+    pub coalesce: bool,
 }
 
 impl Default for EireneOptions {
@@ -38,6 +44,7 @@ impl Default for EireneOptions {
             headroom_nodes: 1 << 16,
             protection: UpdateProtection::OptimisticStm,
             target_warps: 0,
+            coalesce: true,
         }
     }
 }
@@ -80,6 +87,9 @@ pub struct EireneTree {
     base: TreeBase,
     stm: Stm,
     opts: EireneOptions,
+    /// Snapshot pivot cache, rebuilt lazily at batch boundaries and
+    /// dropped when a structure-modifying epoch invalidates it.
+    pivot: Option<PivotCache>,
 }
 
 impl EireneTree {
@@ -95,7 +105,12 @@ impl EireneTree {
             stripes + 64,
         );
         let stm = Stm::new(base.device.mem(), stripes);
-        EireneTree { base, stm, opts }
+        EireneTree {
+            base,
+            stm,
+            opts,
+            pivot: None,
+        }
     }
 
     /// The configured options.
@@ -123,15 +138,53 @@ impl EireneTree {
             rg_size: self.base.device.config().warp_size,
             protection: self.opts.protection,
             target_warps: self.opts.target_warps,
+            coalesce: self.opts.coalesce,
         };
-        let run = execute(
+        // Lazily (re)build the snapshot pivot cache at the batch boundary
+        // — the quiescent point where the snapshot is safe to take. A
+        // cache from an earlier batch survives as long as no structure
+        // modification changed the slab signature since.
+        let mut rebuild_cost = None;
+        if self.opts.coalesce {
+            let mem = self.base.device.mem();
+            let valid = self
+                .pivot
+                .as_ref()
+                .is_some_and(|c| c.is_valid(mem, &self.base.handle));
+            if !valid {
+                let (cache, cost) =
+                    PivotCache::build(mem, &self.base.handle, self.base.device.config());
+                self.pivot = Some(cache);
+                rebuild_cost = Some(cost);
+            }
+        }
+        let mut run = execute(
             &self.base.device,
             &self.base.handle,
             &self.stm,
             &exec_opts,
             batch,
             plan,
+            self.pivot.as_ref(),
         );
+        if let Some(cost) = rebuild_cost {
+            let cfg = self.base.device.config();
+            let mut build_stats =
+                cost.into_phased_kernel_stats("eirene-pivot-build", cfg, Phase::RunDispatch);
+            build_stats.totals.pivot_cache_rebuilds = 1;
+            run.stats.merge(&build_stats);
+        }
+        // A structure-modifying epoch (splits allocate, merges and
+        // aborted splits retire) leaves a changed slab signature: drop
+        // the snapshot before the epoch advance below recycles the
+        // retired nodes it may still reference.
+        if self
+            .pivot
+            .as_ref()
+            .is_some_and(|c| !c.is_valid(self.base.device.mem(), &self.base.handle))
+        {
+            self.pivot = None;
+        }
         // The batch boundary is a quiescent point: kernel launches are
         // synchronous, and nothing outside the launch holds node
         // addresses (pending serve tickets carry only keys). Advancing

@@ -1,0 +1,139 @@
+//! Property: executing a batch with leaf-run coalescing (sorted-plan
+//! leaf runs dispatched through the snapshot pivot cache) is
+//! indistinguishable from the unpartitioned per-request execution — the
+//! per-ticket responses are identical position by position, the final
+//! key/value contents of the tree are identical, and both trees pass the
+//! structural validator. Coalescing regroups *who walks*, never *what is
+//! applied in which timestamp order*; this test pins that claim across
+//! randomized duplicate-key, colliding-timestamp, mixed-operation
+//! batches, including multi-batch sequences that force pivot-cache
+//! invalidation between epochs.
+
+use eirene_baselines::common::ConcurrentTree;
+use eirene_btree::refops;
+use eirene_btree::validate::validate;
+use eirene_core::{EireneOptions, EireneTree};
+use eirene_sim::DeviceConfig;
+use eirene_workloads::{Batch, OpKind, Request};
+use proptest::prelude::*;
+
+const DOMAIN: u32 = 2048;
+
+fn build(coalesce: bool) -> EireneTree {
+    let pairs: Vec<(u64, u64)> = (1..=512u64).map(|k| (k, k + 1)).collect();
+    EireneTree::new(
+        &pairs,
+        EireneOptions {
+            device: DeviceConfig::test_small(),
+            headroom_nodes: 1 << 12,
+            coalesce,
+            ..Default::default()
+        },
+    )
+}
+
+/// One raw request: key, operation selector, upsert value, range length,
+/// timestamp (small domain so timestamps collide and the batch-position
+/// tie-break carries weight).
+type RawReq = (u32, u8, u32, u32, u64);
+
+fn request_strategy() -> impl Strategy<Value = RawReq> {
+    // The workspace proptest shim implements Strategy for tuples of at
+    // most four elements, so nest and flatten.
+    ((0..=DOMAIN, 0..10u8), (any::<u32>(), 1..=48u32, 0..48u64))
+        .prop_map(|((key, sel), (val, len, ts))| (key, sel, val, len, ts))
+}
+
+fn to_request(raw: &RawReq) -> Request {
+    let &(key, sel, val, len, ts) = raw;
+    let op = match sel {
+        0..=3 => OpKind::Upsert(val),
+        4 => OpKind::Delete,
+        5 => OpKind::Range { len },
+        _ => OpKind::Query,
+    };
+    Request { key, op, ts }
+}
+
+/// Runs `batches` on a fresh tree pair and asserts the coalesced and
+/// unpartitioned executions are indistinguishable after every batch.
+fn assert_equivalent(batches: &[Vec<RawReq>]) -> Result<(), TestCaseError> {
+    let mut on = build(true);
+    let mut off = build(false);
+    for (b, raw) in batches.iter().enumerate() {
+        let batch = Batch::new(raw.iter().map(to_request).collect());
+        let run_on = on.run_batch(&batch);
+        let run_off = off.run_batch(&batch);
+        for i in 0..batch.len() {
+            prop_assert_eq!(
+                &run_on.responses[i],
+                &run_off.responses[i],
+                "batch {} response {} diverges for {:?}",
+                b,
+                i,
+                batch.requests[i]
+            );
+        }
+        let c_on = refops::contents(on.device().mem(), on.handle());
+        let c_off = refops::contents(off.device().mem(), off.handle());
+        prop_assert_eq!(c_on, c_off, "batch {}: final contents diverge", b);
+        prop_assert!(validate(on.device().mem(), on.handle()).is_ok());
+        prop_assert!(validate(off.device().mem(), off.handle()).is_ok());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Single adversarial batch: duplicate keys, colliding timestamps,
+    /// ranges, deletes — coalesced == unpartitioned.
+    #[test]
+    fn prop_coalesced_batch_equals_unpartitioned(
+        raw in proptest::collection::vec(request_strategy(), 1..160),
+    ) {
+        assert_equivalent(&[raw])?;
+    }
+
+    /// Two consecutive batches against the SAME tree pair: the first
+    /// builds the coalesced tree's pivot cache; when it splits nodes the
+    /// snapshot is invalidated and the second batch rebuilds — the
+    /// equivalence must hold across that boundary too.
+    #[test]
+    fn prop_equivalence_survives_cache_invalidation(
+        first in proptest::collection::vec(request_strategy(), 32..96),
+        second in proptest::collection::vec(request_strategy(), 32..96),
+    ) {
+        assert_equivalent(&[first, second])?;
+    }
+}
+
+/// Deterministic pin of the machinery: a duplicate-heavy batch on the
+/// coalesced tree must actually save descents and hit the cache, and the
+/// unpartitioned tree must report zero for both.
+#[test]
+fn coalesced_counters_fire_and_baseline_stays_flat() {
+    let mut on = build(true);
+    let mut off = build(false);
+    let reqs: Vec<Request> = (0..256)
+        .map(|i| Request {
+            key: (i % 16) * 8 + 1,
+            op: if i % 3 == 0 {
+                OpKind::Upsert(i)
+            } else {
+                OpKind::Query
+            },
+            ts: i as u64,
+        })
+        .collect();
+    let batch = Batch::new(reqs);
+    let run_on = on.run_batch(&batch);
+    let run_off = off.run_batch(&batch);
+    assert_eq!(run_on.responses, run_off.responses);
+    assert!(run_on.stats.totals.pivot_cache_rebuilds >= 1);
+    assert!(run_on.stats.totals.pivot_cache_hits > 0);
+    assert!(run_on.stats.totals.descents_saved > 0);
+    assert_eq!(run_off.stats.totals.pivot_cache_hits, 0);
+    assert_eq!(run_off.stats.totals.descents_saved, 0);
+    assert_eq!(run_off.stats.totals.pivot_cache_rebuilds, 0);
+}

@@ -56,6 +56,12 @@ pub(crate) struct ShardMetrics {
     /// pass; refreshed at epoch boundaries, right after the reclamation
     /// epoch advanced (so it shows the steady-state backlog, usually 0).
     pub arena_retired: MetricId,
+    /// Upper-level descents avoided by leaf-run coalescing (cumulative
+    /// device total, refreshed at epoch boundaries).
+    pub descents_saved: MetricId,
+    /// Run dispatches resolved from the snapshot pivot cache instead of
+    /// device-memory upper levels (cumulative, refreshed per epoch).
+    pub pivot_cache_hits: MetricId,
     /// Per-tenant shed counters; `tenant_shed[t]` sums into `shed`.
     pub tenant_shed: Vec<MetricId>,
 }
@@ -79,6 +85,8 @@ impl ShardMetrics {
         let key_count = reg.register_gauge("key_count");
         let arena_live = reg.register_gauge("arena_live");
         let arena_retired = reg.register_gauge("arena_retired");
+        let descents_saved = reg.register_gauge("descents_saved");
+        let pivot_cache_hits = reg.register_gauge("pivot_cache_hits");
         let tenant_shed = (0..tenants.max(1))
             .map(|t| reg.register_counter(&format!("tenant{t}_shed")))
             .collect();
@@ -100,6 +108,8 @@ impl ShardMetrics {
             key_count,
             arena_live,
             arena_retired,
+            descents_saved,
+            pivot_cache_hits,
             tenant_shed,
         }
     }
@@ -209,6 +219,15 @@ pub struct ShardSample {
     /// the epoch finished — sampled right after the boundary's epoch
     /// advance, so a non-zero steady state means reclamation is lagging.
     pub arena_retired: u64,
+    /// Cumulative upper-level descents avoided by leaf-run coalescing.
+    /// The signal a dashboard watches to confirm the combine path is
+    /// actually amortizing traversals (0 with coalescing disabled).
+    pub descents_saved: u64,
+    /// Cumulative run dispatches resolved from the snapshot pivot cache.
+    /// Tracks `descents_saved`'s denominator side: a low hit count with
+    /// high epoch throughput means the cache is being invalidated by
+    /// structure-modifying epochs.
+    pub pivot_cache_hits: u64,
     /// Cumulative per-tenant shed counts; sums to `shed`.
     pub tenant_shed: Vec<u64>,
     /// Cumulative entries admitted to this shard's queue.
@@ -244,6 +263,8 @@ impl ShardSample {
             ("key_count", JsonValue::from(self.key_count)),
             ("arena_live", JsonValue::from(self.arena_live)),
             ("arena_retired", JsonValue::from(self.arena_retired)),
+            ("descents_saved", JsonValue::from(self.descents_saved)),
+            ("pivot_cache_hits", JsonValue::from(self.pivot_cache_hits)),
             (
                 "tenant_shed",
                 JsonValue::Arr(
@@ -629,6 +650,12 @@ pub fn reconcile_samples(samples: &[ShardSample], report: &ServeReport) -> Resul
             ("key_count", t.key_count, shard.key_count),
             ("arena_live", t.arena_live, shard.arena_live),
             ("arena_retired", t.arena_retired, shard.arena_retired),
+            ("descents_saved", t.descents_saved, shard.descents_saved),
+            (
+                "pivot_cache_hits",
+                t.pivot_cache_hits,
+                shard.pivot_cache_hits,
+            ),
         ];
         for (name, sampled, reported) in pairs {
             if sampled != reported {
@@ -678,6 +705,8 @@ mod tests {
             key_count: 0,
             arena_live: 0,
             arena_retired: 0,
+            descents_saved: 0,
+            pivot_cache_hits: 0,
             tenant_shed: vec![shed],
             enqueued,
             shed,

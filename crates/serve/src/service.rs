@@ -1819,6 +1819,10 @@ fn executor_loop(
         let m = &state.metrics;
         m.add(m.epochs, 1);
         m.add(m.completed, n);
+        // Combine-path gauges mirror the cumulative device totals, so the
+        // terminal sample (and hence the report) reconciles exactly.
+        m.set(m.descents_saved, stats.totals.descents_saved);
+        m.set(m.pivot_cache_hits, stats.totals.pivot_cache_hits);
         if observe.enabled {
             let epoch_hist = epoch_hist.take().expect("histogram exists when observing");
             m.set(m.epoch_batch, n);
@@ -1909,6 +1913,8 @@ fn executor_loop(
         key_count: contents.len() as u64,
         arena_live: terminal.arena_live,
         arena_retired: terminal.arena_retired,
+        descents_saved: terminal.descents_saved,
+        pivot_cache_hits: terminal.pivot_cache_hits,
         contents,
         structure,
         spans,
@@ -1951,6 +1957,8 @@ fn shard_sample(
         key_count: m.get(m.key_count),
         arena_live: m.get(m.arena_live),
         arena_retired: m.get(m.arena_retired),
+        descents_saved: m.get(m.descents_saved),
+        pivot_cache_hits: m.get(m.pivot_cache_hits),
         tenant_shed: m.tenant_shed.iter().map(|&id| m.get(id)).collect(),
         latency: LatencySummary::from_hist(latency),
         epoch_latency,

@@ -46,6 +46,14 @@ pub struct WarpStats {
     pub vertical_traversals: u64,
     /// Traversals that started from a buffered leaf (§5).
     pub horizontal_traversals: u64,
+    /// Upper-level descents avoided by leaf-run coalescing: requests that
+    /// rode a run-mate's descent instead of walking from the root.
+    pub descents_saved: u64,
+    /// Run dispatches resolved from the snapshot pivot cache instead of
+    /// device-memory upper levels.
+    pub pivot_cache_hits: u64,
+    /// Pivot-cache snapshot rebuilds (lazy, at batch boundaries).
+    pub pivot_cache_rebuilds: u64,
     /// Requests this warp completed (for per-request normalization).
     pub requests: u64,
     /// Simulated cycles consumed by this warp.
@@ -114,6 +122,9 @@ impl WarpStats {
         self.horizontal_steps += other.horizontal_steps;
         self.vertical_traversals += other.vertical_traversals;
         self.horizontal_traversals += other.horizontal_traversals;
+        self.descents_saved += other.descents_saved;
+        self.pivot_cache_hits += other.pivot_cache_hits;
+        self.pivot_cache_rebuilds += other.pivot_cache_rebuilds;
         self.requests += other.requests;
         self.cycles += other.cycles;
         self.phases.merge(&other.phases);

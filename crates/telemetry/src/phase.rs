@@ -39,9 +39,12 @@ pub enum Phase {
     /// Simulated cycles a request spent queued on a shard before its epoch
     /// started executing (`eirene-serve`).
     QueueWait,
+    /// Run dispatch: pivot-cache lookups and leaf-run routing that replace
+    /// per-request upper-level descents on the coalesced path (Eirene).
+    RunDispatch,
 }
 
-pub const PHASE_COUNT: usize = 12;
+pub const PHASE_COUNT: usize = 13;
 
 impl Phase {
     pub const ALL: [Phase; PHASE_COUNT] = [
@@ -57,6 +60,7 @@ impl Phase {
         Phase::ResultCalc,
         Phase::Ingress,
         Phase::QueueWait,
+        Phase::RunDispatch,
     ];
 
     /// Stable snake_case name used in reports and the JSON schema.
@@ -74,6 +78,7 @@ impl Phase {
             Phase::ResultCalc => "result_calc",
             Phase::Ingress => "ingress",
             Phase::QueueWait => "queue_wait",
+            Phase::RunDispatch => "run_dispatch",
         }
     }
 
@@ -92,6 +97,7 @@ impl Phase {
             Phase::ResultCalc => 9,
             Phase::Ingress => 10,
             Phase::QueueWait => 11,
+            Phase::RunDispatch => 12,
         }
     }
 }
